@@ -1,0 +1,137 @@
+//! Queueing model of hot-module contention (paper §1, citing Pfister &
+//! Norton's hotspot analysis).
+//!
+//! When every processor directs a fraction `h` of its references at one
+//! memory module, the module behaves like a single server fed by `n`
+//! sources. Treating it as **M/D/1** (deterministic service `s`, Poisson
+//! arrivals at aggregate rate `λ = n·h·r`), the mean queueing delay is
+//!
+//! ```text
+//! W = ρ·s / (2(1 − ρ)),   ρ = λ·s
+//! ```
+//!
+//! which diverges as the offered load approaches the module's capacity —
+//! the saturation the simulator reproduces in the `hotspot` example. The
+//! model also yields the *saturation machine size* `n_sat = 1/(h·r·s)`,
+//! the scale beyond which adding processors adds only queueing.
+
+/// Parameters of the hot-module queueing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotModel {
+    /// Processors.
+    pub n: f64,
+    /// Fraction of references aimed at the hot module.
+    pub hot_fraction: f64,
+    /// Per-processor reference rate (references per cycle, < 1).
+    pub ref_rate: f64,
+    /// Module service time per request, in cycles.
+    pub service: f64,
+}
+
+impl HotspotModel {
+    /// Creates the model.
+    pub fn new(n: usize, hot_fraction: f64, ref_rate: f64, service: f64) -> Self {
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        assert!(ref_rate > 0.0 && service > 0.0);
+        Self {
+            n: n as f64,
+            hot_fraction,
+            ref_rate,
+            service,
+        }
+    }
+
+    /// Aggregate arrival rate at the hot module (requests/cycle).
+    pub fn arrival_rate(&self) -> f64 {
+        self.n * self.hot_fraction * self.ref_rate
+    }
+
+    /// Offered utilisation ρ (may exceed 1: overload).
+    pub fn utilisation(&self) -> f64 {
+        self.arrival_rate() * self.service
+    }
+
+    /// Whether the module is saturated (ρ ≥ 1).
+    pub fn saturated(&self) -> bool {
+        self.utilisation() >= 1.0
+    }
+
+    /// Mean M/D/1 queueing delay in cycles (`None` when saturated — the
+    /// queue grows without bound).
+    pub fn mean_wait(&self) -> Option<f64> {
+        let rho = self.utilisation();
+        if rho >= 1.0 {
+            None
+        } else {
+            Some(rho * self.service / (2.0 * (1.0 - rho)))
+        }
+    }
+
+    /// Machine size at which the hot module saturates.
+    pub fn saturation_nodes(&self) -> f64 {
+        1.0 / (self.hot_fraction * self.ref_rate * self.service)
+    }
+
+    /// Effective per-processor throughput (references/cycle) accounting
+    /// for the hot module's capacity ceiling: beyond saturation the
+    /// machine-wide rate is capped at `1/(h·s)` total.
+    pub fn effective_throughput(&self) -> f64 {
+        let demand = self.ref_rate;
+        if self.saturated() {
+            // each processor gets an equal share of the module's capacity
+            1.0 / (self.hot_fraction * self.service * self.n)
+        } else {
+            demand
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_scales_with_n() {
+        let a = HotspotModel::new(8, 0.1, 0.1, 5.0);
+        let b = HotspotModel::new(16, 0.1, 0.1, 5.0);
+        assert!((b.utilisation() - 2.0 * a.utilisation()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_diverges_towards_saturation() {
+        let near = HotspotModel::new(19, 0.1, 0.1, 5.0); // rho = 0.95
+        let far = HotspotModel::new(10, 0.1, 0.1, 5.0); // rho = 0.5
+        let wn = near.mean_wait().unwrap();
+        let wf = far.mean_wait().unwrap();
+        assert!(wn > 5.0 * wf, "near {wn}, far {wf}");
+    }
+
+    #[test]
+    fn saturation_point() {
+        let m = HotspotModel::new(8, 0.1, 0.1, 5.0);
+        assert!((m.saturation_nodes() - 20.0).abs() < 1e-9);
+        assert!(!m.saturated());
+        let m = HotspotModel::new(20, 0.1, 0.1, 5.0);
+        assert!(m.saturated());
+        assert_eq!(m.mean_wait(), None);
+    }
+
+    #[test]
+    fn uniform_traffic_never_saturates_one_module() {
+        // h = 1/n: the load on any single module stays constant as the
+        // machine grows (uniform traffic scales; hotspots do not).
+        for n in [8usize, 16, 64, 256] {
+            let m = HotspotModel::new(n, 1.0 / n as f64, 0.1, 5.0);
+            assert!((m.utilisation() - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn throughput_collapses_past_saturation() {
+        let demand = 0.1;
+        let small = HotspotModel::new(10, 0.2, demand, 5.0);
+        assert_eq!(small.effective_throughput(), demand);
+        let big = HotspotModel::new(100, 0.2, demand, 5.0);
+        assert!(big.effective_throughput() < demand / 5.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ssmp-analytic
+//!
+//! The paper's closed-form cost models, implemented exactly as printed:
+//!
+//! * [`table2`] — per-processor network traffic of the linear-equation
+//!   solver under three coherence schemes (read-update, `inv-I` with
+//!   co-located `x` elements, `inv-II` with one element per line);
+//! * [`table3`] — messages and time of four synchronization scenarios
+//!   (parallel lock, serial lock, barrier request, barrier notify) under
+//!   the WBI baseline and the proposed CBL scheme;
+//! * [`hotspot`] — an M/D/1 queueing model of hot-module saturation
+//!   (§1's contention motivation, after Pfister & Norton).
+//!
+//! The experiment harness cross-validates these forms against simulator
+//! message counts (`ssmp-bench`, experiments E1 and E2).
+
+#![warn(missing_docs)]
+
+pub mod hotspot;
+pub mod table2;
+pub mod table3;
+
+pub use hotspot::HotspotModel;
+pub use table2::{CoherenceCosts, Scheme2, Table2};
+pub use table3::{Scenario, SyncScheme, Table3, Table3Params};

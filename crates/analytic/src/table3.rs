@@ -1,0 +1,250 @@
+//! Paper Table 3: messages and time of synchronization scenarios under the
+//! write-back-invalidate baseline (WBI, software synchronization) and the
+//! cache-based lock scheme (CBL).
+//!
+//! | scenario | meaning |
+//! |---|---|
+//! | parallel lock | `n` processors request the same lock simultaneously |
+//! | serial lock | one uncontended acquire/release |
+//! | barrier request | one processor arriving at the barrier |
+//! | barrier notify | the last arriver releasing everyone |
+//!
+//! Time parameters: `t_nw` network transit, `t_cs` critical-section
+//! length, `t_D` directory/cache-directory check, `t_m` memory block
+//! access. The headline result: under heavy contention CBL is **O(n)** in
+//! both messages and time where WBI is **O(n²)**.
+
+/// Timing parameters of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Params {
+    /// Number of processors.
+    pub n: u64,
+    /// Network transit time.
+    pub t_nw: f64,
+    /// Time inside the critical section.
+    pub t_cs: f64,
+    /// Directory / cache-directory check time.
+    pub t_d: f64,
+    /// Main-memory block access time.
+    pub t_m: f64,
+}
+
+impl Table3Params {
+    /// Table 4-flavoured defaults at `n` processors on a `log₂n`-stage
+    /// network (switch delay 1): `t_nw = log₂n`, `t_m = 4`, `t_D = 1`.
+    pub fn paper(n: u64, t_cs: f64) -> Self {
+        assert!(n >= 1);
+        Self {
+            n,
+            t_nw: (n.max(2) as f64).log2().ceil(),
+            t_cs,
+            t_d: 1.0,
+            t_m: 4.0,
+        }
+    }
+}
+
+/// The synchronization scheme being costed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncScheme {
+    /// Software synchronization over write-back invalidate.
+    Wbi,
+    /// The paper's cache-based locks / hardware barrier.
+    Cbl,
+}
+
+/// The four scenarios of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// `n` simultaneous requests for one lock (plus the serial critical
+    /// sections).
+    ParallelLock,
+    /// A single uncontended acquire + release.
+    SerialLock,
+    /// One processor arriving at the barrier.
+    BarrierRequest,
+    /// The last arriver notifying the `n−1` waiters.
+    BarrierNotify,
+}
+
+/// Table 3 evaluated at the given parameters.
+///
+/// ```
+/// use ssmp_analytic::{Scenario, SyncScheme, Table3, Table3Params};
+///
+/// let t = Table3::new(Table3Params::paper(16, 20.0));
+/// let wbi = t.messages(Scenario::ParallelLock, SyncScheme::Wbi);
+/// let cbl = t.messages(Scenario::ParallelLock, SyncScheme::Cbl);
+/// assert_eq!(wbi, 6 * 16 * 16 + 4 * 16); // O(n^2)
+/// assert_eq!(cbl, 6 * 16 - 3);           // O(n)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3 {
+    /// Model parameters.
+    pub p: Table3Params,
+}
+
+impl Table3 {
+    /// Creates the model.
+    pub fn new(p: Table3Params) -> Self {
+        Self { p }
+    }
+
+    /// Message count for a scenario under a scheme — the exact printed
+    /// forms.
+    pub fn messages(&self, s: Scenario, scheme: SyncScheme) -> u64 {
+        let n = self.p.n;
+        match (s, scheme) {
+            (Scenario::ParallelLock, SyncScheme::Wbi) => 6 * n * n + 4 * n,
+            (Scenario::ParallelLock, SyncScheme::Cbl) => 6 * n - 3,
+            (Scenario::SerialLock, SyncScheme::Wbi) => 8,
+            (Scenario::SerialLock, SyncScheme::Cbl) => 3,
+            (Scenario::BarrierRequest, SyncScheme::Wbi) => 18,
+            (Scenario::BarrierRequest, SyncScheme::Cbl) => 2,
+            (Scenario::BarrierNotify, SyncScheme::Wbi) => 5 * n - 3,
+            (Scenario::BarrierNotify, SyncScheme::Cbl) => n,
+        }
+    }
+
+    /// Time for a scenario under a scheme — the exact printed forms.
+    pub fn time(&self, s: Scenario, scheme: SyncScheme) -> f64 {
+        let Table3Params {
+            n,
+            t_nw,
+            t_cs,
+            t_d,
+            t_m,
+        } = self.p;
+        let n = n as f64;
+        match (s, scheme) {
+            // n t_cs + 10n t_nw + n(n+1)/2 t_m + 5n(5n−1)/2 t_D
+            (Scenario::ParallelLock, SyncScheme::Wbi) => {
+                n * t_cs + 10.0 * n * t_nw + n * (n + 1.0) / 2.0 * t_m
+                    + 5.0 * n * (5.0 * n - 1.0) / 2.0 * t_d
+            }
+            // n t_cs + (2n+1) t_nw + (n+1) t_D + t_m
+            (Scenario::ParallelLock, SyncScheme::Cbl) => {
+                n * t_cs + (2.0 * n + 1.0) * t_nw + (n + 1.0) * t_d + t_m
+            }
+            // 8 t_nw + 5 t_D + t_m + t_cs
+            (Scenario::SerialLock, SyncScheme::Wbi) => 8.0 * t_nw + 5.0 * t_d + t_m + t_cs,
+            // 3 t_nw + t_D + t_cs
+            (Scenario::SerialLock, SyncScheme::Cbl) => 3.0 * t_nw + t_d + t_cs,
+            // 18 t_nw + 12 t_D
+            (Scenario::BarrierRequest, SyncScheme::Wbi) => 18.0 * t_nw + 12.0 * t_d,
+            // 2(t_nw + t_m)
+            (Scenario::BarrierRequest, SyncScheme::Cbl) => 2.0 * (t_nw + t_m),
+            // 4 t_nw + (2n−1) t_D
+            (Scenario::BarrierNotify, SyncScheme::Wbi) => 4.0 * t_nw + (2.0 * n - 1.0) * t_d,
+            // 2 t_nw + (n−1) t_D
+            (Scenario::BarrierNotify, SyncScheme::Cbl) => 2.0 * t_nw + (n - 1.0) * t_d,
+        }
+    }
+
+    /// WBI-to-CBL message ratio for a scenario (the advantage factor).
+    pub fn message_ratio(&self, s: Scenario) -> f64 {
+        self.messages(s, SyncScheme::Wbi) as f64 / self.messages(s, SyncScheme::Cbl) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> Table3 {
+        Table3::new(Table3Params::paper(n, 20.0))
+    }
+
+    #[test]
+    fn printed_message_forms() {
+        let t16 = t(16);
+        assert_eq!(t16.messages(Scenario::ParallelLock, SyncScheme::Wbi), 6 * 256 + 64);
+        assert_eq!(t16.messages(Scenario::ParallelLock, SyncScheme::Cbl), 93);
+        assert_eq!(t16.messages(Scenario::SerialLock, SyncScheme::Wbi), 8);
+        assert_eq!(t16.messages(Scenario::SerialLock, SyncScheme::Cbl), 3);
+        assert_eq!(t16.messages(Scenario::BarrierRequest, SyncScheme::Wbi), 18);
+        assert_eq!(t16.messages(Scenario::BarrierRequest, SyncScheme::Cbl), 2);
+        assert_eq!(t16.messages(Scenario::BarrierNotify, SyncScheme::Wbi), 77);
+        assert_eq!(t16.messages(Scenario::BarrierNotify, SyncScheme::Cbl), 16);
+    }
+
+    #[test]
+    fn parallel_lock_complexity_classes() {
+        // Quadratic vs linear: doubling n roughly quadruples WBI messages
+        // but only doubles CBL's.
+        let (a, b) = (t(32), t(64));
+        let wbi_ratio = b.messages(Scenario::ParallelLock, SyncScheme::Wbi) as f64
+            / a.messages(Scenario::ParallelLock, SyncScheme::Wbi) as f64;
+        let cbl_ratio = b.messages(Scenario::ParallelLock, SyncScheme::Cbl) as f64
+            / a.messages(Scenario::ParallelLock, SyncScheme::Cbl) as f64;
+        assert!((wbi_ratio - 4.0).abs() < 0.2, "WBI ratio {wbi_ratio}");
+        assert!((cbl_ratio - 2.0).abs() < 0.2, "CBL ratio {cbl_ratio}");
+    }
+
+    #[test]
+    fn parallel_lock_time_quadratic_vs_linear() {
+        let (a, b) = (t(32), t(64));
+        // subtract the common n·t_cs serial term to expose the overhead
+        let overhead = |x: Table3, sch| {
+            x.time(Scenario::ParallelLock, sch) - x.p.n as f64 * x.p.t_cs
+        };
+        let wbi_ratio = overhead(b, SyncScheme::Wbi) / overhead(a, SyncScheme::Wbi);
+        let cbl_ratio = overhead(b, SyncScheme::Cbl) / overhead(a, SyncScheme::Cbl);
+        assert!(wbi_ratio > 3.5, "WBI overhead ratio {wbi_ratio}");
+        assert!(cbl_ratio < 2.5, "CBL overhead ratio {cbl_ratio}");
+    }
+
+    #[test]
+    fn cbl_wins_every_scenario() {
+        for n in [2u64, 4, 8, 16, 64, 256] {
+            let m = t(n);
+            for s in [
+                Scenario::ParallelLock,
+                Scenario::SerialLock,
+                Scenario::BarrierRequest,
+                Scenario::BarrierNotify,
+            ] {
+                assert!(
+                    m.messages(s, SyncScheme::Cbl) < m.messages(s, SyncScheme::Wbi),
+                    "n={n} scenario {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_lock_times() {
+        // uncontended times at n=16: t_nw = 4
+        let m = t(16);
+        assert_eq!(m.time(Scenario::SerialLock, SyncScheme::Wbi), 32.0 + 5.0 + 4.0 + 20.0);
+        assert_eq!(m.time(Scenario::SerialLock, SyncScheme::Cbl), 12.0 + 1.0 + 20.0);
+    }
+
+    #[test]
+    fn advantage_grows_with_n() {
+        let r8 = t(8).message_ratio(Scenario::ParallelLock);
+        let r64 = t(64).message_ratio(Scenario::ParallelLock);
+        assert!(r64 > r8, "advantage must grow with contention");
+        assert!(r64 > 50.0, "at n=64 WBI needs >50× the messages, got {r64}");
+    }
+
+    proptest::proptest! {
+        /// CBL time never exceeds WBI time, in any scenario, for any n and
+        /// reasonable parameters.
+        #[test]
+        fn prop_cbl_dominates_time(
+            n in 2u64..512,
+            t_cs in 0.0f64..1000.0,
+            t_nw in 1.0f64..50.0,
+        ) {
+            let m = Table3::new(Table3Params { n, t_nw, t_cs, t_d: 1.0, t_m: 4.0 });
+            for s in [Scenario::ParallelLock, Scenario::SerialLock,
+                      Scenario::BarrierRequest, Scenario::BarrierNotify] {
+                proptest::prop_assert!(
+                    m.time(s, SyncScheme::Cbl) <= m.time(s, SyncScheme::Wbi) + 1e-9,
+                    "scenario {:?}", s
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! **E3 — Figure 4**: completion time vs. number of processors at *medium*
+//! task granularity (64 references/task), for both workload models.
+//!
+//! Series (as in the paper): `WBI` and `CBL` on the sync model; `Q-WBI`,
+//! `Q-backoff` and `Q-CBL` on the work-queue model. Weak scaling: the
+//! task count grows with the machine.
+//!
+//! Expected shape: the two sync-model lines sit together at the bottom;
+//! `Q-WBI` blows up beyond 16 nodes; `Q-backoff` removes the cliff but
+//! still fails to scale; `Q-CBL` stays far below both.
+//!
+//! Usage: `fig4 [--quick] [--json] [--svg <file>]`
+
+use ssmp_bench::{
+    quick_mode, run_sync, run_work_queue_strong, sweep, Table, NODES_SWEEP, NODES_SWEEP_QUICK,
+};
+use ssmp_machine::MachineConfig;
+use ssmp_workload::Grain;
+
+fn main() {
+    let quick = quick_mode();
+    let json = std::env::args().any(|a| a == "--json");
+    let ns = if quick { NODES_SWEEP_QUICK } else { NODES_SWEEP };
+    let total_tasks = if quick { 32 } else { 128 };
+    let sync_tasks = if quick { 2 } else { 4 };
+    let grain = Grain::Medium;
+
+    let rows = sweep(ns, |&n| {
+        let wbi = run_sync(MachineConfig::wbi(n), grain.refs(), sync_tasks).completion;
+        let cbl = run_sync(MachineConfig::cbl(n), grain.refs(), sync_tasks).completion;
+        let q_wbi = run_work_queue_strong(MachineConfig::wbi(n), grain, total_tasks).completion;
+        let q_backoff =
+            run_work_queue_strong(MachineConfig::wbi_backoff(n), grain, total_tasks).completion;
+        let q_cbl = run_work_queue_strong(MachineConfig::cbl(n), grain, total_tasks).completion;
+        (n, [wbi, cbl, q_wbi, q_backoff, q_cbl])
+    });
+
+    let mut t = Table::new(
+        "Figure 4: completion time (cycles), medium granularity",
+        &["WBI", "CBL", "Q-WBI", "Q-backoff", "Q-CBL"],
+    );
+    for (n, vals) in rows {
+        t.row(format!("n={n}"), vals.iter().map(|&v| v as f64).collect());
+    }
+    t.note("work-queue: strong scaling (128-task problem); sync model: 4 tasks/node");
+    t.note("expected: Q-WBI explodes >16 nodes; Q-backoff grows slower but still fails; Q-CBL near-flat; WBI≈CBL at the bottom");
+    ssmp_bench::maybe_write_svg(&t);
+    if json {
+        println!("{}", t.to_json());
+    } else {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,48 @@
+//! **E4 — Figure 5**: completion time vs. number of processors at *coarse*
+//! task granularity (256 references/task).
+//!
+//! Expected shape: the larger grain dilutes synchronization, so `Q-WBI`
+//! scales acceptably up to ~32 nodes but degrades beyond; `Q-CBL` stays
+//! near-flat.
+//!
+//! Usage: `fig5 [--quick] [--json] [--svg <file>]`
+
+use ssmp_bench::{
+    quick_mode, run_sync, run_work_queue_strong, sweep, Table, NODES_SWEEP, NODES_SWEEP_QUICK,
+};
+use ssmp_machine::MachineConfig;
+use ssmp_workload::Grain;
+
+fn main() {
+    let quick = quick_mode();
+    let json = std::env::args().any(|a| a == "--json");
+    let ns = if quick { NODES_SWEEP_QUICK } else { NODES_SWEEP };
+    let total_tasks = if quick { 32 } else { 128 };
+    let sync_tasks = if quick { 2 } else { 4 };
+    let grain = Grain::Coarse;
+
+    let rows = sweep(ns, |&n| {
+        let wbi = run_sync(MachineConfig::wbi(n), grain.refs(), sync_tasks).completion;
+        let cbl = run_sync(MachineConfig::cbl(n), grain.refs(), sync_tasks).completion;
+        let q_wbi = run_work_queue_strong(MachineConfig::wbi(n), grain, total_tasks).completion;
+        let q_backoff =
+            run_work_queue_strong(MachineConfig::wbi_backoff(n), grain, total_tasks).completion;
+        let q_cbl = run_work_queue_strong(MachineConfig::cbl(n), grain, total_tasks).completion;
+        (n, [wbi, cbl, q_wbi, q_backoff, q_cbl])
+    });
+
+    let mut t = Table::new(
+        "Figure 5: completion time (cycles), coarse granularity",
+        &["WBI", "CBL", "Q-WBI", "Q-backoff", "Q-CBL"],
+    );
+    for (n, vals) in rows {
+        t.row(format!("n={n}"), vals.iter().map(|&v| v as f64).collect());
+    }
+    t.note("expected: Q-WBI improved vs Fig 4 but still degrades above 32 nodes; Q-CBL near-flat");
+    ssmp_bench::maybe_write_svg(&t);
+    if json {
+        println!("{}", t.to_json());
+    } else {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,46 @@
+//! **E5 — Figure 6**: buffered vs. sequential consistency on the CBL
+//! architecture at *fine* granularity (work-queue model).
+//!
+//! BC-CBL buffers global writes and flushes only before CP-Synch
+//! operations; SC-CBL stalls on every global write. The paper expects BC
+//! to win consistently but modestly ("the improvement is not very
+//! impressive"), because global writes occur with probability
+//! `sh × write_ratio ≈ 0.0045` in the tested workload.
+//!
+//! Usage: `fig6 [--quick] [--json] [--svg <file>]`
+
+use ssmp_bench::{
+    quick_mode, run_work_queue_strong, sweep, Table, NODES_SWEEP, NODES_SWEEP_QUICK,
+};
+use ssmp_machine::MachineConfig;
+use ssmp_workload::Grain;
+
+fn main() {
+    let quick = quick_mode();
+    let json = std::env::args().any(|a| a == "--json");
+    let ns = if quick { NODES_SWEEP_QUICK } else { NODES_SWEEP };
+    let total_tasks = if quick { 32 } else { 128 };
+    let grain = Grain::Fine;
+
+    let rows = sweep(ns, |&n| {
+        let sc = run_work_queue_strong(MachineConfig::sc_cbl(n), grain, total_tasks).completion;
+        let bc = run_work_queue_strong(MachineConfig::bc_cbl(n), grain, total_tasks).completion;
+        (n, sc, bc)
+    });
+
+    let mut t = Table::new(
+        "Figure 6: BC-CBL vs SC-CBL, fine granularity (work-queue)",
+        &["SC-CBL", "BC-CBL", "improvement %"],
+    );
+    for (n, sc, bc) in rows {
+        let imp = 100.0 * (sc as f64 - bc as f64) / sc as f64;
+        t.row(format!("n={n}"), vec![sc as f64, bc as f64, imp]);
+    }
+    t.note("expected: BC <= SC everywhere; improvement real but modest");
+    ssmp_bench::maybe_write_svg(&t);
+    if json {
+        println!("{}", t.to_json());
+    } else {
+        println!("{}", t.render());
+    }
+}

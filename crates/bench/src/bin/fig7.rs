@@ -1,0 +1,43 @@
+//! **E6 — Figure 7**: buffered vs. sequential consistency on the CBL
+//! architecture at *medium* granularity (work-queue model).
+//!
+//! Same comparison as Figure 6 at a larger task grain: the global-write
+//! fraction shrinks further, so the BC advantage should narrow.
+//!
+//! Usage: `fig7 [--quick] [--json] [--svg <file>]`
+
+use ssmp_bench::{
+    quick_mode, run_work_queue_strong, sweep, Table, NODES_SWEEP, NODES_SWEEP_QUICK,
+};
+use ssmp_machine::MachineConfig;
+use ssmp_workload::Grain;
+
+fn main() {
+    let quick = quick_mode();
+    let json = std::env::args().any(|a| a == "--json");
+    let ns = if quick { NODES_SWEEP_QUICK } else { NODES_SWEEP };
+    let total_tasks = if quick { 32 } else { 128 };
+    let grain = Grain::Medium;
+
+    let rows = sweep(ns, |&n| {
+        let sc = run_work_queue_strong(MachineConfig::sc_cbl(n), grain, total_tasks).completion;
+        let bc = run_work_queue_strong(MachineConfig::bc_cbl(n), grain, total_tasks).completion;
+        (n, sc, bc)
+    });
+
+    let mut t = Table::new(
+        "Figure 7: BC-CBL vs SC-CBL, medium granularity (work-queue)",
+        &["SC-CBL", "BC-CBL", "improvement %"],
+    );
+    for (n, sc, bc) in rows {
+        let imp = 100.0 * (sc as f64 - bc as f64) / sc as f64;
+        t.row(format!("n={n}"), vec![sc as f64, bc as f64, imp]);
+    }
+    t.note("expected: BC <= SC; smaller improvement than Fig 6 (writes are a smaller fraction)");
+    ssmp_bench::maybe_write_svg(&t);
+    if json {
+        println!("{}", t.to_json());
+    } else {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,88 @@
+//! **E1 — Table 2**: network traffic of the linear-equation solver under
+//! read-update vs. invalidation (co-located `inv-I` / padded `inv-II`).
+//!
+//! Prints the paper's closed forms and cross-validates them against the
+//! simulator: the solver workload runs under (a) RIC with `READ-UPDATE`
+//! enrollment, (b) WBI with packed `x` (false sharing), and (c) WBI with
+//! padded `x`; steady-state per-iteration message counts per processor are
+//! measured by differencing two run lengths.
+//!
+//! Usage: `table2 [--quick] [--json]`
+
+use ssmp_analytic::{CoherenceCosts, Scheme2, Table2};
+use ssmp_bench::{quick_mode, run_solver, Table};
+use ssmp_machine::MachineConfig;
+use ssmp_workload::Allocation;
+
+fn analytic_table(ns: &[u32]) -> Table {
+    let mut t = Table::new(
+        "Table 2 (analytic): per-processor traffic, message counts (C_* = 1)",
+        &[
+            "RU init", "RU wr", "RU rd", "I1 init", "I1 wr", "I1 rd", "I2 init", "I2 wr", "I2 rd",
+        ],
+    );
+    let c = CoherenceCosts::unit();
+    for &n in ns {
+        let m = Table2::new(n, 4);
+        t.row(
+            format!("n={n}"),
+            vec![
+                m.initial_load(Scheme2::ReadUpdate, c),
+                m.write(Scheme2::ReadUpdate, c),
+                m.read(Scheme2::ReadUpdate, c),
+                m.initial_load(Scheme2::InvI, c),
+                m.write(Scheme2::InvI, c),
+                m.read(Scheme2::InvI, c),
+                m.initial_load(Scheme2::InvII, c),
+                m.write(Scheme2::InvII, c),
+                m.read(Scheme2::InvII, c),
+            ],
+        );
+    }
+    t.note("RU = read-update, I1 = inv-I (packed x), I2 = inv-II (padded x)");
+    t.note("expected shape: writes comparable; reads free under RU, (n-1) block reloads under inv-II");
+    t
+}
+
+fn measured_table(ns: &[usize], iters: (usize, usize)) -> Table {
+    let mut t = Table::new(
+        "Table 2 (simulated): steady-state messages / iteration / processor",
+        &["read-update", "inv-I", "inv-II", "RU advantage"],
+    );
+    let (short, long) = iters;
+    for &n in ns {
+        let per_iter = |alloc: Allocation, ric: bool| -> f64 {
+            let cfg = if ric {
+                MachineConfig::sc_cbl(n)
+            } else {
+                MachineConfig::wbi(n)
+            };
+            let prefix = if ric { "msg.ric." } else { "msg.wbi." };
+            let a = run_solver(cfg.clone(), alloc, short).messages(prefix);
+            let b = run_solver(cfg, alloc, long).messages(prefix);
+            (b.saturating_sub(a)) as f64 / (long - short) as f64 / n as f64
+        };
+        let ru = per_iter(Allocation::Packed, true);
+        let i1 = per_iter(Allocation::Packed, false);
+        let i2 = per_iter(Allocation::Padded, false);
+        t.row(format!("n={n}"), vec![ru, i1, i2, i1.min(i2) / ru.max(1e-9)]);
+    }
+    t.note("measured by differencing two run lengths (initial load cancelled)");
+    t.note("paper shape: RU ≪ both invalidation variants once reads are counted");
+    t
+}
+
+fn main() {
+    let quick = quick_mode();
+    let json = std::env::args().any(|a| a == "--json");
+    let ns_a: &[u32] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    let ns_s: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
+    let a = analytic_table(ns_a);
+    let m = measured_table(ns_s, if quick { (2, 4) } else { (2, 8) });
+    if json {
+        println!("[{},{}]", a.to_json(), m.to_json());
+    } else {
+        println!("{}", a.render());
+        println!("{}", m.render());
+    }
+}

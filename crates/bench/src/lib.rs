@@ -1,0 +1,19 @@
+//! # ssmp-bench
+//!
+//! Shared infrastructure for the experiment binaries (`table2`, `table3`,
+//! `fig4`–`fig7`, `ablations`) that regenerate the paper's tables and
+//! figures, and for the criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod plot;
+pub mod results;
+pub mod runner;
+pub mod scenarios;
+
+pub use plot::{maybe_write_svg, to_svg};
+pub use results::{Row, Table};
+pub use runner::{
+    quick_mode, run_solver, run_sync, run_work_queue, run_work_queue_strong, sweep, NODES_SWEEP,
+    NODES_SWEEP_QUICK,
+};

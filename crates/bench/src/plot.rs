@@ -1,0 +1,203 @@
+//! Minimal SVG line charts for the figure harnesses (`--svg <file>`).
+//!
+//! Hand-rolled (no plotting dependency): log-y line chart with markers and
+//! a legend — enough to eyeball the paper's curve shapes from the
+//! regenerated data.
+
+use crate::results::Table;
+
+/// Chart geometry.
+const W: f64 = 720.0;
+const H: f64 = 480.0;
+const ML: f64 = 70.0; // left margin
+const MR: f64 = 160.0; // right margin (legend)
+const MT: f64 = 40.0;
+const MB: f64 = 50.0;
+
+const PALETTE: &[&str] = &[
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7", "#a463f2",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a [`Table`] as a log-y SVG line chart. Row labels of the form
+/// `n=4` become x-axis positions; each column becomes a series.
+pub fn to_svg(t: &Table) -> String {
+    let xs: Vec<f64> = t
+        .rows
+        .iter()
+        .map(|r| {
+            r.label
+                .trim_start_matches("n=")
+                .parse::<f64>()
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let all: Vec<f64> = t
+        .rows
+        .iter()
+        .flat_map(|r| r.values.iter().copied())
+        .filter(|v| *v > 0.0)
+        .collect();
+    let (ymin, ymax) = all
+        .iter()
+        .fold((f64::INFINITY, 1.0_f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (ymin, ymax) = (ymin.max(1.0), ymax.max(2.0));
+    let (lymin, lymax) = (ymin.ln(), ymax.ln());
+    let (xmin, xmax) = xs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let px = |x: f64| ML + (x - xmin) / (xmax - xmin).max(1e-9) * (W - ML - MR);
+    let py = |y: f64| {
+        let ly = y.max(ymin).ln();
+        H - MB - (ly - lymin) / (lymax - lymin).max(1e-9) * (H - MT - MB)
+    };
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+    ));
+    s.push_str(&format!(
+        r#"<rect width="{W}" height="{H}" fill="white"/><text x="{}" y="20" font-size="14" font-weight="bold">{}</text>"#,
+        ML,
+        esc(&t.artifact)
+    ));
+    // axes
+    s.push_str(&format!(
+        r##"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="#333"/><line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="#333"/>"##,
+        H - MB,
+        W - MR,
+        H - MB,
+        H - MB
+    ));
+    // x ticks at the data points
+    for &x in &xs {
+        s.push_str(&format!(
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            px(x),
+            H - MB + 18.0,
+            x
+        ));
+    }
+    s.push_str(&format!(
+        r#"<text x="{}" y="{}" text-anchor="middle">processors</text>"#,
+        (ML + W - MR) / 2.0,
+        H - 10.0
+    ));
+    // y ticks: powers of 10 within range
+    let mut tick = 10f64.powf(lymin.max(0.0) / std::f64::consts::LN_10);
+    tick = 10f64.powi(tick.log10().floor() as i32);
+    while tick <= ymax * 1.01 {
+        if tick >= ymin * 0.99 {
+            s.push_str(&format!(
+                r##"<line x1="{ML}" y1="{0}" x2="{1}" y2="{0}" stroke="#ddd"/><text x="{2}" y="{3}" text-anchor="end">{4}</text>"##,
+                py(tick),
+                W - MR,
+                ML - 6.0,
+                py(tick) + 4.0,
+                tick
+            ));
+        }
+        tick *= 10.0;
+    }
+    // series
+    for (ci, col) in t.columns.iter().enumerate() {
+        let color = PALETTE[ci % PALETTE.len()];
+        let pts: Vec<String> = t
+            .rows
+            .iter()
+            .zip(&xs)
+            .map(|(r, &x)| format!("{:.1},{:.1}", px(x), py(r.values[ci])))
+            .collect();
+        s.push_str(&format!(
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            pts.join(" ")
+        ));
+        for (r, &x) in t.rows.iter().zip(&xs) {
+            s.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(r.values[ci])
+            ));
+        }
+        // legend
+        let ly = MT + 18.0 * ci as f64;
+        s.push_str(&format!(
+            r#"<line x1="{0}" y1="{ly}" x2="{1}" y2="{ly}" stroke="{color}" stroke-width="3"/><text x="{2}" y="{3}">{4}</text>"#,
+            W - MR + 10.0,
+            W - MR + 34.0,
+            W - MR + 40.0,
+            ly + 4.0,
+            esc(col)
+        ));
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// Handles the `--svg <path>` flag: writes the chart if requested.
+pub fn maybe_write_svg(t: &Table) {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--svg") {
+        if let Some(path) = args.get(i + 1) {
+            std::fs::write(path, to_svg(t)).expect("write svg");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Figure X", &["a", "b"]);
+        t.row("n=4", vec![100.0, 200.0]);
+        t.row("n=8", vec![150.0, 800.0]);
+        t.row("n=16", vec![230.0, 3200.0]);
+        t
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = to_svg(&table());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2, "one line per series");
+        assert!(svg.matches("<circle").count() >= 6, "markers at data points");
+        assert!(svg.contains("Figure X"));
+        assert!(svg.contains("processors"));
+    }
+
+    #[test]
+    fn series_labels_escaped() {
+        let mut t = Table::new("A <& B", &["x<y"]);
+        t.row("n=2", vec![5.0]);
+        let svg = to_svg(&t);
+        assert!(svg.contains("A &lt;&amp; B"));
+        assert!(svg.contains("x&lt;y"));
+        assert!(!svg.contains("x<y"));
+    }
+
+    #[test]
+    fn log_scale_orders_points() {
+        let svg = to_svg(&table());
+        // higher values must map to smaller y coordinates; spot-check that
+        // the svg contains distinct circle positions
+        let circles = svg.matches("<circle").count();
+        assert_eq!(circles, 6);
+    }
+
+    #[test]
+    fn zero_values_clamped() {
+        let mut t = Table::new("Z", &["v"]);
+        t.row("n=2", vec![0.0]);
+        t.row("n=4", vec![10.0]);
+        let svg = to_svg(&t);
+        assert!(svg.contains("</svg>"), "zero values must not break rendering");
+    }
+}

@@ -1,0 +1,129 @@
+//! Result tables: console rendering and JSON export.
+
+use serde::Serialize;
+
+/// One row of an experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (e.g. the node count or scheme).
+    pub label: String,
+    /// Values, one per column.
+    pub values: Vec<f64>,
+}
+
+/// A named experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Which paper artifact this regenerates.
+    pub artifact: String,
+    /// Column headers (excluding the label column).
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (substitutions, expectations).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(artifact: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            artifact: artifact.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        let label = label.into();
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row '{label}' has {} values for {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push(Row { label, values });
+        self
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Renders to an aligned console table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.artifact);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap();
+        let _ = write!(out, "{:<label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, " {c:>14}");
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{:<label_w$}", r.label);
+            for v in &r.values {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(out, " {:>14}", *v as i64);
+                } else {
+                    let _ = write!(out, " {v:>14.2}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialisation")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Table X", &["a", "b"]);
+        t.row("n=4", vec![1.0, 2.5]).note("hello");
+        let s = t.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("n=4"));
+        assert!(s.contains("2.50"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let mut t = Table::new("T", &["x"]);
+        t.row("r", vec![3.0]);
+        let j = t.to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["artifact"], "T");
+        assert_eq!(v["rows"][0]["values"][0], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "values for")]
+    fn row_arity_checked() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.row("r", vec![1.0]);
+    }
+}

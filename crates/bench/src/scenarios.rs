@@ -1,0 +1,68 @@
+//! Script builders for the Table 3 synchronization scenarios.
+
+use ssmp_core::primitive::LockMode;
+use ssmp_machine::{Machine, MachineConfig, Op, Report};
+
+/// Parallel lock: every node requests the same lock at t=0 and holds it
+/// for `t_cs` cycles.
+pub fn parallel_lock(cfg: MachineConfig, t_cs: u64) -> Report {
+    let n = cfg.geometry.nodes;
+    let script = vec![
+        vec![
+            Op::Lock(0, LockMode::Write),
+            Op::Compute(t_cs),
+            Op::Unlock(0),
+        ];
+        n
+    ];
+    let wl = ssmp_machine::op::Script::new(script);
+    Machine::new(cfg, Box::new(wl), 2).run()
+}
+
+/// Serial lock: node 0 acquires and releases once, everyone else idle.
+pub fn serial_lock(cfg: MachineConfig, t_cs: u64) -> Report {
+    let n = cfg.geometry.nodes;
+    let mut script = vec![vec![]; n];
+    script[0] = vec![
+        Op::Lock(0, LockMode::Write),
+        Op::Compute(t_cs),
+        Op::Unlock(0),
+    ];
+    let wl = ssmp_machine::op::Script::new(script);
+    Machine::new(cfg, Box::new(wl), 2).run()
+}
+
+/// One barrier episode over all nodes (staggered arrivals so the last
+/// arriver is unambiguous).
+pub fn one_barrier(cfg: MachineConfig) -> Report {
+    let n = cfg.geometry.nodes;
+    let script: Vec<Vec<Op>> = (0..n)
+        .map(|i| vec![Op::Compute(1 + i as u64), Op::Barrier])
+        .collect();
+    let wl = ssmp_machine::op::Script::new(script);
+    Machine::new(cfg, Box::new(wl), 2).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_complete() {
+        assert!(parallel_lock(MachineConfig::cbl(8), 10).completion > 0);
+        assert!(serial_lock(MachineConfig::wbi(8), 10).completion > 0);
+        assert!(one_barrier(MachineConfig::cbl(8)).completion > 0);
+        assert!(one_barrier(MachineConfig::wbi(8)).completion > 0);
+    }
+
+    #[test]
+    fn parallel_lock_serialises_critical_sections() {
+        let t_cs = 50;
+        let r = parallel_lock(MachineConfig::cbl(8), t_cs);
+        assert!(
+            r.completion >= 8 * t_cs,
+            "eight CSs of {t_cs} cycles cannot overlap: {}",
+            r.completion
+        );
+    }
+}

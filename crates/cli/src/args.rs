@@ -1,0 +1,113 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs plus boolean `--switches`.
+#[derive(Debug, Default, Clone)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `argv` (after the subcommand). Flags needing values are
+    /// listed in `valued`; everything else starting with `--` is a switch.
+    pub fn parse(argv: &[String], valued: &[&str]) -> Result<Self, String> {
+        let mut f = Flags::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            };
+            if valued.contains(&name) {
+                let v = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                f.values.insert(name.to_string(), v.clone());
+                i += 2;
+            } else {
+                f.switches.push(name.to_string());
+                i += 1;
+            }
+        }
+        Ok(f)
+    }
+
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    /// A parsed numeric flag with default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{s}'")),
+        }
+    }
+
+    /// A comma-separated list flag.
+    pub fn list(&self, name: &str, default: &[&str]) -> Vec<String> {
+        match self.get(name) {
+            None => default.iter().map(|s| s.to_string()).collect(),
+            Some(s) => s.split(',').map(|x| x.trim().to_string()).collect(),
+        }
+    }
+
+    /// Whether a boolean switch is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(&v(&["--nodes", "16", "--json", "--seed", "7"]), &["nodes", "seed"])
+            .unwrap();
+        assert_eq!(f.get("nodes"), Some("16"));
+        assert_eq!(f.num::<u64>("seed", 0).unwrap(), 7);
+        assert!(f.has("json"));
+        assert!(!f.has("quiet"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Flags::parse(&v(&["--nodes"]), &["nodes"]).is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(Flags::parse(&v(&["oops"]), &[]).is_err());
+    }
+
+    #[test]
+    fn list_and_defaults() {
+        let f = Flags::parse(&v(&["--config", "wbi, cbl"]), &["config"]).unwrap();
+        assert_eq!(f.list("config", &[]), vec!["wbi", "cbl"]);
+        assert_eq!(f.list("nodes", &["8"]), vec!["8"]);
+        assert_eq!(f.num::<usize>("tasks", 128).unwrap(), 128);
+    }
+
+    #[test]
+    fn bad_number_reports_flag() {
+        let f = Flags::parse(&v(&["--seed", "zzz"]), &["seed"]).unwrap();
+        let err = f.num::<u64>("seed", 0).unwrap_err();
+        assert!(err.contains("--seed"));
+    }
+}

@@ -1,0 +1,530 @@
+//! Subcommand implementations.
+
+use ssmp_machine::{Machine, MachineConfig, Report, Workload};
+use ssmp_workload::{
+    Grain, Hotspot, HotspotParams, LinearSolver, SolverParams, SyncModel, SyncParams, Trace,
+    WorkQueue, WorkQueueParams,
+};
+
+use crate::args::Flags;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+usage:
+  ssmp run   --workload <wl> --config <cfg> [--nodes N] [--grain g] [--tasks T]
+             [--seed S] [--topology omega|bus|ideal] [--json]
+  ssmp sweep --workload <wl> --config <cfg>[,cfg...] [--nodes 4,8,16,...]
+             [--grain g] [--tasks T]
+  ssmp trace capture --workload <wl> [--nodes N] [--grain g] [--tasks T]
+             [--seed S] --out <file>
+  ssmp trace replay  --in <file> --config <cfg> [--json]
+  ssmp program --file <prog.sasm> --config <cfg> [--sems c0,c1,...] [--json]
+
+workloads: work-queue | sync | solver | fft | hotspot
+configs:   wbi | wbi-backoff | cbl | sc-cbl | bc-cbl
+grains:    fine | medium | coarse";
+
+const VALUED: &[&str] = &[
+    "workload", "config", "nodes", "grain", "tasks", "seed", "out", "in", "topology", "hot",
+    "file", "sems",
+];
+
+/// Dispatches a full argv (without the binary name).
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(|s| s.as_str()) {
+        Some("run") => run(&Flags::parse(&argv[1..], VALUED)?),
+        Some("sweep") => sweep(&Flags::parse(&argv[1..], VALUED)?),
+        Some("trace") => match argv.get(1).map(|s| s.as_str()) {
+            Some("capture") => trace_capture(&Flags::parse(&argv[2..], VALUED)?),
+            Some("replay") => trace_replay(&Flags::parse(&argv[2..], VALUED)?),
+            _ => Err("trace needs 'capture' or 'replay'".into()),
+        },
+        Some("program") => program(&Flags::parse(&argv[1..], VALUED)?),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn parse_config(name: &str, nodes: usize) -> Result<MachineConfig, String> {
+    if nodes == 0 || !nodes.is_power_of_two() {
+        return Err(format!(
+            "--nodes must be a power of two for the omega network, got {nodes}"
+        ));
+    }
+    Ok(match name {
+        "wbi" => MachineConfig::wbi(nodes),
+        "wbi-backoff" => MachineConfig::wbi_backoff(nodes),
+        "cbl" => MachineConfig::cbl(nodes),
+        "sc-cbl" => MachineConfig::sc_cbl(nodes),
+        "bc-cbl" => MachineConfig::bc_cbl(nodes),
+        other => return Err(format!("unknown config '{other}'")),
+    })
+}
+
+fn parse_grain(name: &str) -> Result<Grain, String> {
+    Ok(match name {
+        "fine" => Grain::Fine,
+        "medium" => Grain::Medium,
+        "coarse" => Grain::Coarse,
+        other => return Err(format!("unknown grain '{other}'")),
+    })
+}
+
+fn parse_topology(cfg: &mut MachineConfig, f: &Flags) -> Result<(), String> {
+    if let Some(t) = f.get("topology") {
+        cfg.topology = match t {
+            "omega" => ssmp_net::Topology::Omega,
+            "bus" => ssmp_net::Topology::Bus,
+            "ideal" => ssmp_net::Topology::Ideal,
+            other => return Err(format!("unknown topology '{other}'")),
+        };
+    }
+    Ok(())
+}
+
+/// Builds the named workload; returns it plus the machine lock count.
+fn build_workload(
+    name: &str,
+    nodes: usize,
+    f: &Flags,
+) -> Result<(Box<dyn Workload>, usize), String> {
+    let grain = parse_grain(f.get("grain").unwrap_or("medium"))?;
+    let tasks = f.num::<usize>("tasks", 8 * nodes)?;
+    let seed = f.num::<u64>("seed", 0xC11)?;
+    Ok(match name {
+        "work-queue" => {
+            let mut p = WorkQueueParams::strong(nodes, grain, tasks);
+            p.seed = seed;
+            let wl = WorkQueue::new(p);
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "sync" => {
+            let mut p = SyncParams::paper(nodes, grain.refs(), tasks.div_ceil(nodes));
+            p.seed = seed;
+            let wl = SyncModel::new(p);
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "solver" => {
+            let p = SolverParams::paper(nodes, ssmp_workload::Allocation::Packed, 6);
+            let wl = LinearSolver::new(p);
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "fft" => {
+            let p = ssmp_workload::FftParams::paper(nodes);
+            let wl = ssmp_workload::FftPhases::new(p);
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "hotspot" => {
+            let hot = f.num::<f64>("hot", 0.2)?;
+            let wl = Hotspot::new(HotspotParams::new(nodes, hot, grain.refs()));
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        other => return Err(format!("unknown workload '{other}'")),
+    })
+}
+
+fn adapt_geometry(cfg: &mut MachineConfig, workload: &str, nodes: usize) {
+    // the solver and FFT size the shared region themselves
+    if workload == "solver" {
+        let p = SolverParams::paper(nodes, ssmp_workload::Allocation::Packed, 1);
+        cfg.geometry =
+            ssmp_core::addr::Geometry::new(nodes, 4, p.shared_blocks().max(cfg.geometry.shared_blocks));
+    }
+    if workload == "fft" {
+        let p = ssmp_workload::FftParams::paper(nodes);
+        cfg.geometry = ssmp_core::addr::Geometry::new(
+            nodes,
+            4,
+            p.shared_blocks().max(cfg.geometry.shared_blocks),
+        );
+    }
+}
+
+fn print_report(r: &Report, json: bool) {
+    if json {
+        let counters: serde_json::Map<String, serde_json::Value> = r
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), serde_json::json!(v)))
+            .collect();
+        let doc = serde_json::json!({
+            "completion_cycles": r.completion,
+            "net_packets": r.net_packets,
+            "net_words": r.net_words,
+            "net_queueing": r.net_queueing,
+            "messages": r.total_messages(),
+            "lock_acquisitions": r.lock_wait.count(),
+            "lock_wait_mean": r.lock_wait.mean(),
+            "counters": counters,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
+    } else {
+        print!("{}", r.summary());
+    }
+}
+
+fn run(f: &Flags) -> Result<(), String> {
+    let nodes = f.num::<usize>("nodes", 16)?;
+    let workload = f.require("workload")?;
+    let mut cfg = parse_config(f.require("config")?, nodes)?;
+    parse_topology(&mut cfg, f)?;
+    adapt_geometry(&mut cfg, workload, nodes);
+    let (wl, locks) = build_workload(workload, nodes, f)?;
+    let r = Machine::new(cfg, wl, locks).run();
+    print_report(&r, f.has("json"));
+    Ok(())
+}
+
+fn sweep(f: &Flags) -> Result<(), String> {
+    let workload = f.require("workload")?;
+    let configs = f.list("config", &["wbi", "cbl", "bc-cbl"]);
+    let nodes: Vec<usize> = f
+        .list("nodes", &["4", "8", "16", "32"])
+        .iter()
+        .map(|s| s.parse().map_err(|_| format!("bad node count '{s}'")))
+        .collect::<Result<_, _>>()?;
+    print!("{:>6}", "n");
+    for c in &configs {
+        print!(" {c:>12}");
+    }
+    println!();
+    for &n in &nodes {
+        print!("{n:>6}");
+        for c in &configs {
+            let mut cfg = parse_config(c, n)?;
+            parse_topology(&mut cfg, f)?;
+            adapt_geometry(&mut cfg, workload, n);
+            let (wl, locks) = build_workload(workload, n, f)?;
+            let r = Machine::new(cfg, wl, locks).run();
+            print!(" {:>12}", r.completion);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn program(f: &Flags) -> Result<(), String> {
+    use ssmp_machine::Op;
+    let path = f.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let progs = ssmp_machine::asm::parse_programs(&text).map_err(|e| e.to_string())?;
+    let nodes = progs.len().next_power_of_two().max(2);
+    // Barriers are global: every program must carry the same count, and
+    // power-of-two padding nodes must participate too or the machine
+    // deadlocks.
+    let barrier_counts: Vec<usize> = progs
+        .iter()
+        .map(|p| p.iter().filter(|o| matches!(o, Op::Barrier)).count())
+        .collect();
+    let barriers = barrier_counts.first().copied().unwrap_or(0);
+    if barrier_counts.iter().any(|&c| c != barriers) {
+        return Err(format!(
+            "barriers are global: every program needs the same barrier count, got {barrier_counts:?}"
+        ));
+    }
+    // Size locks and semaphores from what the programs actually use.
+    let mut max_lock = 1usize;
+    let mut uses_sems = false;
+    let mut max_sem = 0usize;
+    for op in progs.iter().flatten() {
+        match *op {
+            Op::Lock(l, _) | Op::Unlock(l) | Op::LockedRead(l, _) | Op::LockedWrite(l, _)
+            | Op::LockedWriteVal(l, _, _) => max_lock = max_lock.max(l + 1),
+            Op::SemP(sid) | Op::SemV(sid) => {
+                uses_sems = true;
+                max_sem = max_sem.max(sid + 1);
+            }
+            _ => {}
+        }
+    }
+    let mut streams = progs;
+    streams.resize_with(nodes, || vec![Op::Barrier; barriers]);
+    let mut cfg = parse_config(f.require("config")?, nodes)?;
+    parse_topology(&mut cfg, f)?;
+    cfg.record_reads = true;
+    let sems: Vec<u64> = f
+        .list("sems", &[])
+        .iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| format!("bad semaphore credit '{s}'")))
+        .collect::<Result<_, _>>()?;
+    if uses_sems && sems.len() < max_sem {
+        return Err(format!(
+            "the program uses semaphore ids up to {} — pass --sems with {} credit value(s)",
+            max_sem - 1,
+            max_sem
+        ));
+    }
+    let wl = ssmp_machine::op::Script::new(streams);
+    let r = Machine::new(cfg, Box::new(wl), max_lock + 1)
+        .with_semaphores(&sems)
+        .run();
+    print_report(&r, f.has("json"));
+    if !f.has("json") && !r.read_log.is_empty() {
+        println!("reads observed:");
+        for (n, b, w, v) in &r.read_log {
+            println!("  node {n}: block {b} word {w} = {v}");
+        }
+    }
+    Ok(())
+}
+
+fn trace_capture(f: &Flags) -> Result<(), String> {
+    let nodes = f.num::<usize>("nodes", 8)?;
+    let workload = f.require("workload")?;
+    let out = f.require("out")?;
+    let seed = f.num::<u64>("seed", 0xC11)?;
+    // capture consumes the workload directly (idealised schedule)
+    let grain = parse_grain(f.get("grain").unwrap_or("medium"))?;
+    let tasks = f.num::<usize>("tasks", 8 * nodes)?;
+    let trace = match workload {
+        "sync" => {
+            let mut p = SyncParams::paper(nodes, grain.refs(), tasks.div_ceil(nodes));
+            p.seed = seed;
+            Trace::capture(SyncModel::new(p), format!("sync n={nodes}"), seed)
+        }
+        "work-queue" => {
+            let mut p = WorkQueueParams::strong(nodes, grain, tasks);
+            p.seed = seed;
+            Trace::capture(WorkQueue::new(p), format!("work-queue n={nodes}"), seed)
+        }
+        other => return Err(format!("trace capture supports sync|work-queue, not '{other}'")),
+    };
+    std::fs::write(out, trace.to_json()).map_err(|e| e.to_string())?;
+    println!(
+        "captured {} ops over {} nodes -> {out}",
+        trace.len(),
+        trace.nodes()
+    );
+    Ok(())
+}
+
+fn trace_replay(f: &Flags) -> Result<(), String> {
+    use ssmp_machine::Op;
+    let path = f.require("in")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let trace = Trace::from_json(&text)?;
+    let mut cfg = parse_config(f.require("config")?, trace.nodes())?;
+    parse_topology(&mut cfg, f)?;
+    // size the lock space from the trace contents
+    let mut max_lock = 1usize;
+    for op in trace.streams.iter().flatten() {
+        if let Op::Lock(l, _) | Op::Unlock(l) | Op::LockedRead(l, _) | Op::LockedWrite(l, _)
+        | Op::LockedWriteVal(l, _, _) = *op
+        {
+            max_lock = max_lock.max(l + 1);
+        }
+    }
+    let r = Machine::new(cfg, Box::new(trace.replay()), max_lock + 1).run();
+    print_report(&r, f.has("json"));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&v(&["frobnicate"])).is_err());
+        assert!(dispatch(&v(&[])).is_err());
+    }
+
+    #[test]
+    fn run_executes_small_machine() {
+        dispatch(&v(&[
+            "run",
+            "--workload",
+            "work-queue",
+            "--config",
+            "bc-cbl",
+            "--nodes",
+            "4",
+            "--grain",
+            "fine",
+            "--tasks",
+            "8",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn run_rejects_non_power_of_two_nodes() {
+        let e = dispatch(&v(&[
+            "run", "--workload", "sync", "--config", "cbl", "--nodes", "12",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("power of two"), "{e}");
+    }
+
+    #[test]
+    fn run_rejects_bad_config() {
+        let e = dispatch(&v(&["run", "--workload", "sync", "--config", "zzz"])).unwrap_err();
+        assert!(e.contains("unknown config"));
+    }
+
+    #[test]
+    fn solver_and_fft_resize_geometry() {
+        for wl in ["solver", "fft"] {
+            dispatch(&v(&[
+                "run", "--workload", wl, "--config", "sc-cbl", "--nodes", "8",
+            ]))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn hotspot_runs_with_fraction() {
+        dispatch(&v(&[
+            "run", "--workload", "hotspot", "--config", "sc-cbl", "--nodes", "4", "--hot", "0.5",
+            "--grain", "fine",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn trace_capture_then_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("ssmp_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let path_s = path.to_str().unwrap();
+        dispatch(&v(&[
+            "trace", "capture", "--workload", "sync", "--nodes", "4", "--tasks", "8", "--out",
+            path_s,
+        ]))
+        .unwrap();
+        dispatch(&v(&["trace", "replay", "--in", path_s, "--config", "cbl"])).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn program_subcommand_runs_sasm() {
+        let dir = std::env::temp_dir().join("ssmp_cli_prog");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.sasm");
+        std::fs::write(
+            &path,
+            "writeval 0.0 7\nflush\nbarrier\n---\nbarrier\nread 0.0\n",
+        )
+        .unwrap();
+        dispatch(&v(&[
+            "program",
+            "--file",
+            path.to_str().unwrap(),
+            "--config",
+            "bc-cbl",
+        ]))
+        .unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn program_pads_barrier_participants() {
+        // three programs with barriers pad to a 4-node machine; the idle
+        // node must still participate or this deadlocks
+        let dir = std::env::temp_dir().join("ssmp_cli_prog3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.sasm");
+        std::fs::write(
+            &path,
+            "compute 5\nbarrier\n---\nbarrier\n---\nbarrier\n",
+        )
+        .unwrap();
+        dispatch(&v(&[
+            "program", "--file", path.to_str().unwrap(), "--config", "cbl",
+        ]))
+        .unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn program_rejects_unequal_barriers() {
+        let dir = std::env::temp_dir().join("ssmp_cli_prog4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ub.sasm");
+        std::fs::write(&path, "barrier\nbarrier\n---\nbarrier\n").unwrap();
+        let e = dispatch(&v(&[
+            "program", "--file", path.to_str().unwrap(), "--config", "cbl",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("same barrier count"), "{e}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn program_requires_sems_when_used() {
+        let dir = std::env::temp_dir().join("ssmp_cli_prog5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.sasm");
+        std::fs::write(&path, "semp 0\nsemv 0\n---\ncompute 1\n").unwrap();
+        let e = dispatch(&v(&[
+            "program", "--file", path.to_str().unwrap(), "--config", "cbl",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--sems"), "{e}");
+        // and with credits provided it runs
+        dispatch(&v(&[
+            "program", "--file", path.to_str().unwrap(), "--config", "cbl", "--sems", "1",
+        ]))
+        .unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn program_reports_parse_errors() {
+        let dir = std::env::temp_dir().join("ssmp_cli_prog2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.sasm");
+        std::fs::write(&path, "bogus 1\n").unwrap();
+        let e = dispatch(&v(&[
+            "program",
+            "--file",
+            path.to_str().unwrap(),
+            "--config",
+            "cbl",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("line 1"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sweep_prints_matrix() {
+        dispatch(&v(&[
+            "sweep",
+            "--workload",
+            "work-queue",
+            "--config",
+            "cbl,bc-cbl",
+            "--nodes",
+            "4,8",
+            "--grain",
+            "fine",
+            "--tasks",
+            "8",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn topology_flag_applies() {
+        dispatch(&v(&[
+            "run", "--workload", "sync", "--config", "bc-cbl", "--nodes", "4", "--topology",
+            "bus", "--tasks", "4",
+        ]))
+        .unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! Address geometry: nodes, blocks, and words.
+//!
+//! The unit of coherence is the memory **block** (= cache line size, paper
+//! Table 4: 4 words). The unit of *write-back* under reader-initiated
+//! coherence is the **word**, thanks to the per-word dirty bits of Fig. 2a.
+//! Shared blocks are identified by a small dense [`BlockId`]; the home
+//! memory module of a block is `block % nodes` (memory is distributed among
+//! the nodes, paper §5.2).
+
+/// Identifies a node (processor + cache + write buffer + memory module).
+pub type NodeId = usize;
+
+/// Identifies a shared memory block (dense index into the shared region).
+pub type BlockId = usize;
+
+/// A word address within the shared region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct SharedAddr {
+    /// The containing block.
+    pub block: BlockId,
+    /// Word offset within the block.
+    pub word: u8,
+}
+
+impl SharedAddr {
+    /// Creates an address from block and word offset.
+    pub fn new(block: BlockId, word: u8) -> Self {
+        Self { block, word }
+    }
+}
+
+/// Machine geometry shared by every component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of nodes (power of two for the Ω network).
+    pub nodes: usize,
+    /// Words per block (paper Table 4: 4).
+    pub block_words: u8,
+    /// Number of shared blocks tracked exactly (paper Table 4: 32).
+    pub shared_blocks: usize,
+}
+
+impl Geometry {
+    /// Creates a geometry, validating invariants.
+    pub fn new(nodes: usize, block_words: u8, shared_blocks: usize) -> Self {
+        assert!(nodes >= 1 && nodes.is_power_of_two(), "nodes must be a power of two");
+        assert!((1..=64).contains(&block_words), "block_words must be in 1..=64 (dirty bits are a u64 mask)");
+        Self {
+            nodes,
+            block_words,
+            shared_blocks,
+        }
+    }
+
+    /// The paper's Table 4 geometry at a given node count.
+    pub fn paper(nodes: usize) -> Self {
+        Self::new(nodes, 4, 32)
+    }
+
+    /// Home memory module of a block (round-robin distribution).
+    pub fn home(&self, block: BlockId) -> NodeId {
+        block % self.nodes
+    }
+
+    /// Iterator over all word addresses of a block.
+    pub fn words_of(&self, block: BlockId) -> impl Iterator<Item = SharedAddr> + '_ {
+        (0..self.block_words).map(move |w| SharedAddr::new(block, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let g = Geometry::paper(16);
+        assert_eq!(g.block_words, 4);
+        assert_eq!(g.shared_blocks, 32);
+        assert_eq!(g.home(0), 0);
+        assert_eq!(g.home(17), 1);
+        assert_eq!(g.words_of(3).count(), 4);
+    }
+
+    #[test]
+    fn home_covers_all_nodes() {
+        let g = Geometry::paper(8);
+        let homes: std::collections::BTreeSet<_> = (0..32).map(|b| g.home(b)).collect();
+        assert_eq!(homes.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_node_count() {
+        Geometry::new(6, 4, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_words")]
+    fn bad_block_words() {
+        Geometry::new(4, 65, 32);
+    }
+
+    #[test]
+    fn addr_ordering() {
+        let a = SharedAddr::new(1, 0);
+        let b = SharedAddr::new(1, 2);
+        let c = SharedAddr::new(2, 0);
+        assert!(a < b && b < c);
+    }
+}

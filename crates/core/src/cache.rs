@@ -1,0 +1,268 @@
+//! The per-node data cache for shared blocks.
+//!
+//! The paper's simulation (Table 4) uses a 1024-block cache with 4-word
+//! blocks and tracks 32 shared blocks exactly, modelling private traffic
+//! probabilistically via a hit ratio — so shared blocks never face capacity
+//! pressure in the baseline experiments. The cache here is nevertheless a
+//! real set-associative structure with LRU replacement so that capacity
+//! ablations (and the lock-cache overflow scenario of §4.3) can be studied.
+
+use crate::addr::BlockId;
+use crate::line::{BlockData, CacheLine};
+
+/// What `insert` had to do to make room.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Eviction {
+    /// No victim (free way available).
+    None,
+    /// A clean victim was dropped silently.
+    Clean(BlockId),
+    /// A dirty victim must be written back: only the masked words travel
+    /// (per-word dirty bits, paper Fig. 2a).
+    WriteBack {
+        /// Victim block id.
+        block: BlockId,
+        /// Dirty-word mask.
+        mask: u64,
+        /// Victim line contents.
+        data: BlockData,
+    },
+}
+
+/// A set-associative, LRU-replacement cache mapping `BlockId` to
+/// [`CacheLine`].
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    /// Per-set storage: `(block, line)` in LRU order (front = LRU).
+    sets: Vec<Vec<(BlockId, CacheLine)>>,
+    assoc: usize,
+    block_words: u8,
+}
+
+impl DataCache {
+    /// Creates a cache of `num_sets × assoc` lines.
+    pub fn new(num_sets: usize, assoc: usize, block_words: u8) -> Self {
+        assert!(num_sets >= 1 && assoc >= 1);
+        Self {
+            sets: vec![Vec::with_capacity(assoc); num_sets],
+            assoc,
+            block_words,
+        }
+    }
+
+    /// A fully-associative cache of `capacity` lines.
+    pub fn fully_associative(capacity: usize, block_words: u8) -> Self {
+        Self::new(1, capacity, block_words)
+    }
+
+    fn set_of(&self, block: BlockId) -> usize {
+        block % self.sets.len()
+    }
+
+    /// Total lines currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: BlockId) -> bool {
+        let s = self.set_of(block);
+        self.sets[s].iter().any(|(b, _)| *b == block)
+    }
+
+    /// Read-only access to a resident line (does not touch LRU state).
+    pub fn peek(&self, block: BlockId) -> Option<&CacheLine> {
+        let s = self.set_of(block);
+        self.sets[s].iter().find(|(b, _)| *b == block).map(|(_, l)| l)
+    }
+
+    /// Mutable access to a resident line; promotes it to MRU.
+    pub fn get_mut(&mut self, block: BlockId) -> Option<&mut CacheLine> {
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        let pos = set.iter().position(|(b, _)| *b == block)?;
+        let entry = set.remove(pos);
+        set.push(entry);
+        set.last_mut().map(|(_, l)| l)
+    }
+
+    /// Inserts (or replaces) a line for `block`, evicting the LRU line of
+    /// the set if full. Lines whose lock field is active are never chosen
+    /// as victims (they live in the lock cache in hardware; pinning them
+    /// here models the same guarantee for configurations without a separate
+    /// lock cache).
+    pub fn insert(&mut self, block: BlockId, line: CacheLine) -> Eviction {
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|(b, _)| *b == block) {
+            let entry = set.remove(pos);
+            drop(entry);
+            set.push((block, line));
+            return Eviction::None;
+        }
+        let mut evicted = Eviction::None;
+        if set.len() >= self.assoc {
+            // choose the LRU line whose lock field is inactive
+            let pos = set
+                .iter()
+                .position(|(_, l)| matches!(l.lock, crate::line::LockField::None))
+                .unwrap_or(0);
+            let (vb, vl) = set.remove(pos);
+            evicted = if vl.is_dirty() {
+                Eviction::WriteBack {
+                    block: vb,
+                    mask: vl.dirty,
+                    data: vl.data,
+                }
+            } else {
+                Eviction::Clean(vb)
+            };
+        }
+        set.push((block, line));
+        evicted
+    }
+
+    /// Removes and returns the line for `block`.
+    pub fn remove(&mut self, block: BlockId) -> Option<CacheLine> {
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        let pos = set.iter().position(|(b, _)| *b == block)?;
+        Some(set.remove(pos).1)
+    }
+
+    /// Ensures a line exists for `block` (inserting an invalid one if
+    /// needed) and returns it mutably, along with any eviction performed.
+    pub fn entry(&mut self, block: BlockId) -> (&mut CacheLine, Eviction) {
+        let ev = if self.contains(block) {
+            Eviction::None
+        } else {
+            self.insert(block, CacheLine::new(self.block_words))
+        };
+        (self.get_mut(block).expect("just inserted"), ev)
+    }
+
+    /// Iterates over resident `(block, line)` pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &CacheLine)> {
+        self.sets.iter().flat_map(|s| s.iter().map(|(b, l)| (*b, l)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LockField;
+    use crate::primitive::LockMode;
+
+    fn line4() -> CacheLine {
+        let mut l = CacheLine::new(4);
+        l.valid = true;
+        l
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = DataCache::new(4, 2, 4);
+        assert_eq!(c.insert(0, line4()), Eviction::None);
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.peek(0).unwrap().valid);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 1 set, 2 ways: blocks 0, 1 fill it; touching 0 makes 1 the LRU.
+        let mut c = DataCache::new(1, 2, 4);
+        c.insert(0, line4());
+        c.insert(1, line4());
+        c.get_mut(0);
+        match c.insert(2, line4()) {
+            Eviction::Clean(b) => assert_eq!(b, 1),
+            other => panic!("expected clean eviction of 1, got {other:?}"),
+        }
+        assert!(c.contains(0) && c.contains(2));
+    }
+
+    #[test]
+    fn dirty_eviction_carries_masked_words() {
+        let mut c = DataCache::new(1, 1, 4);
+        let mut l = line4();
+        l.data.set(2, 42);
+        l.mark_dirty(2);
+        c.insert(7, l);
+        match c.insert(8, line4()) {
+            Eviction::WriteBack { block, mask, data } => {
+                assert_eq!(block, 7);
+                assert_eq!(mask, 0b100);
+                assert_eq!(data.get(2), 42);
+            }
+            other => panic!("expected write-back, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locked_lines_are_pinned() {
+        let mut c = DataCache::new(1, 2, 4);
+        let mut locked = line4();
+        locked.lock = LockField::Held(LockMode::Write);
+        c.insert(0, locked);
+        c.insert(1, line4());
+        // inserting a third line must evict block 1 (unlocked), not block 0
+        match c.insert(2, line4()) {
+            Eviction::Clean(b) => assert_eq!(b, 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c = DataCache::new(1, 1, 4);
+        c.insert(0, line4());
+        let mut l2 = line4();
+        l2.data.set(0, 5);
+        assert_eq!(c.insert(0, l2), Eviction::None);
+        assert_eq!(c.peek(0).unwrap().data.get(0), 5);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_entry() {
+        let mut c = DataCache::new(2, 2, 4);
+        c.insert(0, line4());
+        assert!(c.remove(0).is_some());
+        assert!(c.remove(0).is_none());
+        let (l, ev) = c.entry(3);
+        assert_eq!(ev, Eviction::None);
+        assert!(!l.valid, "entry() creates an invalid placeholder");
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn sets_partition_blocks() {
+        let mut c = DataCache::new(4, 1, 4);
+        for b in 0..4 {
+            c.insert(b, line4());
+        }
+        assert_eq!(c.len(), 4);
+        // block 4 maps to set 0, evicting block 0 only
+        c.insert(4, line4());
+        assert!(!c.contains(0));
+        assert!(c.contains(1) && c.contains(2) && c.contains(3));
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut c = DataCache::new(4, 2, 4);
+        for b in 0..6 {
+            c.insert(b, line4());
+        }
+        let mut blocks: Vec<_> = c.iter().map(|(b, _)| b).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Central-directory entries (paper Fig. 2b).
+//!
+//! The memory-side directory keeps, per block, just a **usage bit** and a
+//! **queue pointer** — the linked list itself is threaded through the
+//! participating cache lines (`prev`/`next` in Fig. 2a). The paper chose
+//! this pointer-based structure over full-map or limited directories for
+//! scalability (§4.1): directory storage is O(1) per block regardless of
+//! the number of sharers.
+//!
+//! The list serves two mutually exclusive purposes, disambiguated by the
+//! usage bit:
+//!
+//! * **Update list** (`READ-UPDATE`): the pointer names the *head*; update
+//!   distribution starts there and follows `next` pointers.
+//! * **Lock queue** (`READ-LOCK`/`WRITE-LOCK`): the pointer names the
+//!   *tail*; new requests are forwarded to the tail and append themselves.
+
+use crate::addr::NodeId;
+
+/// What the block's linked list is currently used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Usage {
+    /// No list active.
+    #[default]
+    Free,
+    /// The list is a read-update distribution list (pointer = head).
+    UpdateList,
+    /// The list is a lock waiting queue (pointer = tail).
+    LockQueue,
+}
+
+/// A central-directory entry: usage bit + queue pointer (paper Fig. 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CentralEntry {
+    /// Current use of the block's linked list.
+    pub usage: Usage,
+    /// Head (update list) or tail (lock queue) of the list.
+    pub queue: Option<NodeId>,
+    /// A release is in flight from this node (lock queue transient): the
+    /// holder released with no known successor while a forward may still be
+    /// en route to it.
+    pub release_pending: Option<NodeId>,
+}
+
+impl CentralEntry {
+    /// A free entry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the block is free for a new use of the list.
+    pub fn is_free(&self) -> bool {
+        self.usage == Usage::Free
+    }
+
+    /// Claims the list for lock use with `tail` as the sole member.
+    pub fn claim_lock(&mut self, tail: NodeId) {
+        debug_assert!(self.is_free(), "claiming a busy entry: {self:?}");
+        self.usage = Usage::LockQueue;
+        self.queue = Some(tail);
+    }
+
+    /// Claims the list for update-list use with `head` as the sole member.
+    pub fn claim_update(&mut self, head: NodeId) {
+        debug_assert!(self.is_free(), "claiming a busy entry: {self:?}");
+        self.usage = Usage::UpdateList;
+        self.queue = Some(head);
+    }
+
+    /// Frees the entry.
+    pub fn release(&mut self) {
+        self.usage = Usage::Free;
+        self.queue = None;
+        self.release_pending = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut e = CentralEntry::new();
+        assert!(e.is_free());
+        e.claim_lock(3);
+        assert_eq!(e.usage, Usage::LockQueue);
+        assert_eq!(e.queue, Some(3));
+        e.release();
+        assert!(e.is_free());
+        e.claim_update(5);
+        assert_eq!(e.usage, Usage::UpdateList);
+        assert_eq!(e.queue, Some(5));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "claiming a busy entry")]
+    fn double_claim_panics() {
+        let mut e = CentralEntry::new();
+        e.claim_lock(1);
+        e.claim_update(2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Memory consistency models: **sequential** vs **buffered** (paper §2).
+//!
+//! The consistency model is a *policy* over when the processor must stall:
+//!
+//! * **Sequential consistency (SC)** — every memory access waits for the
+//!   previous access to complete: global writes stall the processor until
+//!   acknowledged, and synchronization operations wait until globally
+//!   performed.
+//! * **Buffered consistency (BC)** — global writes are absorbed by the
+//!   write buffer and the processor continues; *CP-Synch* operations
+//!   (unlock, V, barrier) are preceded by a `FLUSH-BUFFER`, but the
+//!   processor does **not** wait for the synchronization operation itself
+//!   to be globally performed (the paper's key weakening over weak ordering
+//!   and release consistency); *NP-Synch* operations (lock, P) neither
+//!   flush nor wait beyond their own acknowledgment (the grant).
+
+use crate::primitive::AccessClass;
+
+/// The memory model a machine runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryModel {
+    /// Sequential consistency: strong ordering of all accesses.
+    Sequential,
+    /// Buffered consistency: the paper's model.
+    Buffered,
+}
+
+impl MemoryModel {
+    /// Must the processor stall until a global *write* is acknowledged?
+    ///
+    /// Under SC yes (each access waits for the previous one); under BC the
+    /// write goes to the write buffer and the processor continues.
+    pub fn stalls_on_global_write(self) -> bool {
+        matches!(self, MemoryModel::Sequential)
+    }
+
+    /// Must the write buffer be drained before performing an operation of
+    /// the given class?
+    ///
+    /// Under BC only CP-Synch operations require the flush. Under SC the
+    /// buffer never holds more than the single in-flight write (the
+    /// processor stalls per write), so the flush is a no-op but formally
+    /// required before everything.
+    pub fn flush_before(self, class: AccessClass) -> bool {
+        match self {
+            MemoryModel::Sequential => true,
+            MemoryModel::Buffered => class == AccessClass::CpSynch,
+        }
+    }
+
+    /// Must the processor wait for a *synchronization* operation to be
+    /// globally performed before continuing?
+    ///
+    /// Under SC yes. Under BC, no: "the requesting processor \[continues\]
+    /// with its local computation as soon as the acknowledgment is received
+    /// without waiting for the operation to be globally performed" — for
+    /// both NP-Synch and CP-Synch (§2).
+    pub fn waits_for_synch_completion(self) -> bool {
+        matches!(self, MemoryModel::Sequential)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::AccessClass::*;
+
+    #[test]
+    fn sc_is_strict() {
+        let m = MemoryModel::Sequential;
+        assert!(m.stalls_on_global_write());
+        assert!(m.flush_before(Data));
+        assert!(m.flush_before(NpSynch));
+        assert!(m.flush_before(CpSynch));
+        assert!(m.waits_for_synch_completion());
+    }
+
+    #[test]
+    fn bc_relaxations() {
+        let m = MemoryModel::Buffered;
+        assert!(!m.stalls_on_global_write());
+        assert!(!m.flush_before(Data));
+        assert!(!m.flush_before(NpSynch), "NP-Synch does not wait for prior writes");
+        assert!(m.flush_before(CpSynch), "CP-Synch requires prior writes globally performed");
+        assert!(
+            !m.waits_for_synch_completion(),
+            "BC continues as soon as the synch op is acknowledged"
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Cache-directory entries (paper Fig. 2a) and block data.
+//!
+//! Every cache line carries:
+//!
+//! * per-word **dirty bits** `d₁ d₂ … d_k` — only dirty words are written
+//!   back on replacement, which both solves the delayed-write lost-update
+//!   problem of buffered consistency and eliminates false sharing (§3 issue 6);
+//! * an **update bit** — set while the node is enrolled in the block's
+//!   read-update list (§4.1);
+//! * a **lock field** — the node's CBL state for this line (§4.3);
+//! * **prev/next pointers** — the doubly-linked list threaded through the
+//!   participating caches, used for *either* the update list or the lock
+//!   queue (the two uses are mutually exclusive; the central directory's
+//!   usage bit says which).
+
+use crate::addr::NodeId;
+use crate::primitive::LockMode;
+
+/// Simulated contents of one memory block. Words are `u64` "version stamps":
+/// the machine writes a fresh stamp on every store so tests can check
+/// visibility (who observed whose write) exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockData {
+    words: Vec<u64>,
+}
+
+impl BlockData {
+    /// A zero-filled block of `k` words.
+    pub fn new(k: u8) -> Self {
+        Self { words: vec![0; k as usize] }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> u8 {
+        self.words.len() as u8
+    }
+
+    /// True if the block has no words (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads word `w`.
+    pub fn get(&self, w: u8) -> u64 {
+        self.words[w as usize]
+    }
+
+    /// Writes word `w`.
+    pub fn set(&mut self, w: u8, v: u64) {
+        self.words[w as usize] = v;
+    }
+
+    /// Merges the words of `src` selected by `mask` into `self`.
+    ///
+    /// This is the word-granular write-back: only dirty words overwrite the
+    /// destination, so two nodes that dirtied *different* words of the same
+    /// block never clobber each other (§3 issue 6).
+    pub fn merge_masked(&mut self, src: &BlockData, mask: u64) {
+        for w in 0..self.words.len() {
+            if mask & (1 << w) != 0 {
+                self.words[w] = src.words[w];
+            }
+        }
+    }
+
+    /// All words as a slice.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// The CBL lock field of a cache line (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockField {
+    /// No lock activity on this line.
+    #[default]
+    None,
+    /// Lock requested in `mode`, grant not yet received.
+    Waiting(LockMode),
+    /// Lock held in `mode`.
+    Held(LockMode),
+    /// Lock released and written back to memory; awaiting the directory's
+    /// acknowledgment. Forwarded requests arriving in this window bounce.
+    ReleasePending,
+}
+
+/// A cache-directory entry (paper Fig. 2a) plus the line's data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Line contents (word version stamps).
+    pub data: BlockData,
+    /// Whether the line holds a valid copy.
+    pub valid: bool,
+    /// Per-word dirty bits, bit `w` = word `w` modified locally.
+    pub dirty: u64,
+    /// Update bit: enrolled in the block's read-update list.
+    pub update: bool,
+    /// CBL lock field.
+    pub lock: LockField,
+    /// Previous node in the (update or lock) linked list.
+    pub prev: Option<NodeId>,
+    /// Next node in the (update or lock) linked list.
+    pub next: Option<NodeId>,
+    /// Lock mode requested by `next`, remembered from the forward that
+    /// enqueued it (needed to decide grant sharing on release).
+    pub next_mode: Option<LockMode>,
+}
+
+impl CacheLine {
+    /// A fresh invalid line for blocks of `k` words.
+    pub fn new(k: u8) -> Self {
+        Self {
+            data: BlockData::new(k),
+            valid: false,
+            dirty: 0,
+            update: false,
+            lock: LockField::None,
+            prev: None,
+            next: None,
+            next_mode: None,
+        }
+    }
+
+    /// Marks word `w` dirty.
+    pub fn mark_dirty(&mut self, w: u8) {
+        debug_assert!((w as usize) < self.data.words().len());
+        self.dirty |= 1 << w;
+    }
+
+    /// True if any word is dirty.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty != 0
+    }
+
+    /// Number of dirty words (the write-back payload size under RIC).
+    pub fn dirty_words(&self) -> u32 {
+        self.dirty.count_ones()
+    }
+
+    /// Clears dirty state (after write-back).
+    pub fn clean(&mut self) {
+        self.dirty = 0;
+    }
+
+    /// Installs fresh data from memory, making the line valid and clean.
+    pub fn fill(&mut self, data: BlockData) {
+        self.data = data;
+        self.valid = true;
+        self.dirty = 0;
+    }
+
+    /// Invalidates the line and detaches it from any list.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.dirty = 0;
+        self.update = false;
+        self.lock = LockField::None;
+        self.prev = None;
+        self.next = None;
+        self.next_mode = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dirty_bit_tracking() {
+        let mut l = CacheLine::new(4);
+        assert!(!l.is_dirty());
+        l.mark_dirty(0);
+        l.mark_dirty(3);
+        assert_eq!(l.dirty_words(), 2);
+        assert_eq!(l.dirty, 0b1001);
+        l.clean();
+        assert!(!l.is_dirty());
+    }
+
+    #[test]
+    fn fill_resets_dirty() {
+        let mut l = CacheLine::new(4);
+        l.mark_dirty(1);
+        let mut d = BlockData::new(4);
+        d.set(2, 99);
+        l.fill(d);
+        assert!(l.valid);
+        assert!(!l.is_dirty());
+        assert_eq!(l.data.get(2), 99);
+    }
+
+    #[test]
+    fn invalidate_detaches() {
+        let mut l = CacheLine::new(4);
+        l.valid = true;
+        l.update = true;
+        l.prev = Some(3);
+        l.next = Some(5);
+        l.lock = LockField::Held(LockMode::Read);
+        l.invalidate();
+        assert!(!l.valid && !l.update);
+        assert_eq!(l.prev, None);
+        assert_eq!(l.next, None);
+        assert_eq!(l.lock, LockField::None);
+    }
+
+    #[test]
+    fn merge_masked_takes_only_dirty_words() {
+        let mut mem = BlockData::new(4);
+        for w in 0..4 {
+            mem.set(w, 100 + w as u64);
+        }
+        let mut mine = BlockData::new(4);
+        mine.set(1, 7);
+        mine.set(3, 9);
+        mem.merge_masked(&mine, 0b1010);
+        assert_eq!(mem.words(), &[100, 7, 102, 9]);
+    }
+
+    #[test]
+    fn merge_disjoint_writers_lose_nothing() {
+        // Node A dirties word 0, node B dirties word 2; both write back.
+        let mut mem = BlockData::new(4);
+        let mut a = BlockData::new(4);
+        a.set(0, 11);
+        let mut b = BlockData::new(4);
+        b.set(2, 22);
+        mem.merge_masked(&a, 0b0001);
+        mem.merge_masked(&b, 0b0100);
+        assert_eq!(mem.words(), &[11, 0, 22, 0]);
+    }
+
+    proptest! {
+        /// Per-word merge never loses an update when writers touch disjoint
+        /// word sets — the false-sharing fix of §3 issue 6.
+        #[test]
+        fn prop_disjoint_merges_preserve_all_writes(
+            writes in proptest::collection::vec((0u8..64, 1u64..u64::MAX), 1..64)
+        ) {
+            // Deduplicate words: later writes to the same word win.
+            let mut last: std::collections::BTreeMap<u8, u64> = Default::default();
+            for (w, v) in &writes {
+                last.insert(*w, *v);
+            }
+            let mut mem = BlockData::new(64);
+            // Each writer owns exactly one word; write-backs in arbitrary order.
+            for (&w, &v) in &last {
+                let mut line = BlockData::new(64);
+                line.set(w, v);
+                mem.merge_masked(&line, 1u64 << w);
+            }
+            for (&w, &v) in &last {
+                prop_assert_eq!(mem.get(w), v);
+            }
+        }
+
+        /// Masked merge never touches words outside the mask.
+        #[test]
+        fn prop_merge_respects_mask(mask: u64, seed in 0u64..1000) {
+            let k = 64u8;
+            let mut mem = BlockData::new(k);
+            for w in 0..k {
+                mem.set(w, seed + w as u64);
+            }
+            let before = mem.clone();
+            let mut src = BlockData::new(k);
+            for w in 0..k {
+                src.set(w, 1_000_000 + w as u64);
+            }
+            mem.merge_masked(&src, mask);
+            for w in 0..k {
+                if mask & (1 << w) != 0 {
+                    prop_assert_eq!(mem.get(w), src.get(w));
+                } else {
+                    prop_assert_eq!(mem.get(w), before.get(w));
+                }
+            }
+        }
+    }
+}

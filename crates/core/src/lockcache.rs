@@ -1,0 +1,144 @@
+//! The small fully-associative **lock cache** (paper §4.3).
+//!
+//! A cache line that is part of a CBL waiting queue must not be replaced —
+//! replacement would break the doubly-linked list. Rather than make the
+//! whole cache fully associative, the paper provisions a small separate
+//! fully-associative cache for lock variables: "Since a processor holds (or
+//! waits for) only a small number of locks at a time, a small separate
+//! fully-associative cache for lock variables would be an efficient method."
+//!
+//! The paper treats capacity as a compile-time resource-management problem
+//! ("Mapping of software locks to hardware locks is a compile time decision
+//! that can be made conservatively"). We surface overflow explicitly so
+//! experiments can verify the assumption and ablations can probe it.
+
+use crate::addr::BlockId;
+use crate::line::CacheLine;
+
+/// Error: the lock cache has no free entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockCacheFull;
+
+/// A small fully-associative cache for lock lines.
+#[derive(Debug, Clone)]
+pub struct LockCache {
+    entries: Vec<(BlockId, CacheLine)>,
+    capacity: usize,
+    /// Overflow attempts observed (should stay 0 under the paper's
+    /// conservative-mapping assumption).
+    pub overflows: u64,
+    /// High-water mark of simultaneous lock lines.
+    pub peak: usize,
+}
+
+impl LockCache {
+    /// Creates a lock cache with room for `capacity` lock lines.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            overflows: 0,
+            peak: 0,
+        }
+    }
+
+    /// Number of resident lock lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a line for `block` is resident.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.entries.iter().any(|(b, _)| *b == block)
+    }
+
+    /// Immutable access.
+    pub fn get(&self, block: BlockId) -> Option<&CacheLine> {
+        self.entries.iter().find(|(b, _)| *b == block).map(|(_, l)| l)
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, block: BlockId) -> Option<&mut CacheLine> {
+        self.entries.iter_mut().find(|(b, _)| *b == block).map(|(_, l)| l)
+    }
+
+    /// Inserts a line for `block`. Fails (and counts an overflow) when full;
+    /// lock lines are never evicted implicitly.
+    pub fn try_insert(&mut self, block: BlockId, line: CacheLine) -> Result<(), LockCacheFull> {
+        if let Some(existing) = self.get_mut(block) {
+            *existing = line;
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            self.overflows += 1;
+            return Err(LockCacheFull);
+        }
+        self.entries.push((block, line));
+        self.peak = self.peak.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Removes the line for `block` (when the lock activity on it ends).
+    pub fn remove(&mut self, block: BlockId) -> Option<CacheLine> {
+        let pos = self.entries.iter().position(|(b, _)| *b == block)?;
+        Some(self.entries.remove(pos).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> CacheLine {
+        CacheLine::new(4)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut lc = LockCache::new(2);
+        lc.try_insert(10, line()).unwrap();
+        assert!(lc.contains(10));
+        assert!(lc.get(10).is_some());
+        assert!(lc.remove(10).is_some());
+        assert!(!lc.contains(10));
+        assert!(lc.remove(10).is_none());
+    }
+
+    #[test]
+    fn overflow_is_explicit() {
+        let mut lc = LockCache::new(2);
+        lc.try_insert(1, line()).unwrap();
+        lc.try_insert(2, line()).unwrap();
+        assert_eq!(lc.try_insert(3, line()), Err(LockCacheFull));
+        assert_eq!(lc.overflows, 1);
+        // reinsertion of a resident block is not an overflow
+        lc.try_insert(1, line()).unwrap();
+        assert_eq!(lc.overflows, 1);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut lc = LockCache::new(4);
+        lc.try_insert(1, line()).unwrap();
+        lc.try_insert(2, line()).unwrap();
+        lc.remove(1);
+        lc.try_insert(3, line()).unwrap();
+        assert_eq!(lc.peak, 2);
+        assert_eq!(lc.len(), 2);
+    }
+
+    #[test]
+    fn never_evicts_silently() {
+        let mut lc = LockCache::new(1);
+        lc.try_insert(1, line()).unwrap();
+        let _ = lc.try_insert(2, line());
+        assert!(lc.contains(1), "resident lock line must survive overflow");
+        assert!(!lc.contains(2));
+    }
+}

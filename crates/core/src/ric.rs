@@ -1,0 +1,713 @@
+//! **Reader-initiated coherence** (RIC), paper §4.1.
+//!
+//! Instead of the writer deciding how to keep readers coherent (invalidate
+//! or update), readers *opt in* to updates: `READ-UPDATE` fetches the block
+//! and enrolls the reader in the block's update list; `RESET-UPDATE` (or a
+//! line replacement) leaves it. The list is a doubly-linked list threaded
+//! through the enrolled cache lines; the central directory stores only its
+//! head (Fig. 2b). When a `WRITE-GLOBAL` updates memory, memory pushes the
+//! updated block to the head, and each member forwards it to its successor.
+//!
+//! Compared with classic write-update protocols the reader set is *live*:
+//! a reader that stops caring stops receiving updates, and "a smart
+//! compiler could selectively determine regions in the program where
+//! updates may be needed" (e.g. the FFT phase pattern of §4.2).
+//!
+//! Like [`crate::cbl`], this module is a pure message-level state machine;
+//! list pointer surgery is applied atomically at the initiating event (the
+//! fix-up messages are emitted for cost accounting, their delivery is a
+//! no-op — see the modelling note in `cbl`).
+//!
+//! A member that leaves while an update push is in flight towards it simply
+//! drops the push ([`RicEffect::UpdateDropped`]); downstream members miss
+//! that push. This is benign: memory is always up to date, and program
+//! correctness never depends on pushes (synchronization transfers data
+//! explicitly); pushes are a freshness optimisation.
+
+use std::collections::BTreeMap;
+
+use crate::addr::NodeId;
+use crate::cbl::Endpoint;
+use crate::line::BlockData;
+
+/// RIC protocol message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RicKind {
+    /// Node → directory: plain read miss (fetch, no enrollment).
+    ReadMiss,
+    /// Node → directory: fetch and enroll in the update list.
+    ReadUpdateReq,
+    /// Directory → node: block data in response to either read.
+    ReadReply {
+        /// Whether the requester was enrolled.
+        enrolled: bool,
+    },
+    /// Node → directory: `READ-GLOBAL` (bypass cache, one word).
+    ReadGlobalReq {
+        /// Word offset requested.
+        word: u8,
+    },
+    /// Directory → node: `READ-GLOBAL` result.
+    ReadGlobalReply {
+        /// Word offset.
+        word: u8,
+    },
+    /// Node → directory: `WRITE-GLOBAL` of one word.
+    WriteGlobal {
+        /// Word offset written.
+        word: u8,
+        /// Value (version stamp).
+        value: u64,
+        /// Write-buffer id, echoed in the ack.
+        wid: u64,
+    },
+    /// Directory → node: global write performed at memory.
+    WriteAck {
+        /// Write-buffer id being acknowledged.
+        wid: u64,
+    },
+    /// Directory → head, then member → member: updated block pushed down
+    /// the update list.
+    UpdatePush,
+    /// Node → directory: head hand-off when the head leaves (accounting).
+    HeadChange,
+    /// Node → node: list fix-up (accounting only).
+    Splice,
+}
+
+/// A RIC protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RicMsg {
+    /// Sender.
+    pub src: Endpoint,
+    /// Receiver.
+    pub dst: Endpoint,
+    /// Payload words (1 control / block size for data).
+    pub words: u32,
+    /// Protocol content.
+    pub kind: RicKind,
+}
+
+/// Externally visible effects, consumed by the machine simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RicEffect {
+    /// Block data arrived at `node` in response to a read; install it in
+    /// the cache (setting the update bit if `enrolled`).
+    Filled {
+        /// Receiving node.
+        node: NodeId,
+        /// Block contents.
+        data: BlockData,
+        /// Whether the node is now on the update list.
+        enrolled: bool,
+    },
+    /// The node's global write `wid` is globally performed; retire the
+    /// write-buffer entry.
+    WriteDone {
+        /// Writing node.
+        node: NodeId,
+        /// Write-buffer id.
+        wid: u64,
+    },
+    /// A pushed update arrived; refresh the cached copy.
+    UpdateApplied {
+        /// Receiving node.
+        node: NodeId,
+        /// Fresh block contents.
+        data: BlockData,
+    },
+    /// A push arrived at a node that had left the list; dropped.
+    UpdateDropped {
+        /// The stale destination.
+        node: NodeId,
+    },
+    /// A `READ-GLOBAL` result.
+    ReadValue {
+        /// Requesting node.
+        node: NodeId,
+        /// Word offset.
+        word: u8,
+        /// Value read straight from memory.
+        value: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Member {
+    prev: Option<NodeId>,
+    next: Option<NodeId>,
+}
+
+/// The RIC controller for one memory block: the authoritative memory copy,
+/// the central-directory head pointer, and the members' list linkage.
+#[derive(Debug, Clone)]
+pub struct UpdateList {
+    block_words: u32,
+    mem: BlockData,
+    head: Option<NodeId>,
+    members: BTreeMap<NodeId, Member>,
+}
+
+impl UpdateList {
+    /// Creates the controller for a block of `block_words` words.
+    pub fn new(block_words: u8) -> Self {
+        Self {
+            block_words: block_words as u32,
+            mem: BlockData::new(block_words),
+            head: None,
+            members: BTreeMap::new(),
+        }
+    }
+
+    fn ctl(src: Endpoint, dst: Endpoint, kind: RicKind) -> RicMsg {
+        RicMsg {
+            src,
+            dst,
+            words: 1,
+            kind,
+        }
+    }
+
+    fn data_msg(&self, src: Endpoint, dst: Endpoint, kind: RicKind) -> RicMsg {
+        RicMsg {
+            src,
+            dst,
+            words: self.block_words,
+            kind,
+        }
+    }
+
+    /// The authoritative memory copy.
+    pub fn mem(&self) -> &BlockData {
+        &self.mem
+    }
+
+    /// Directly writes memory (used by other protocols sharing the block,
+    /// e.g. a CBL release write-back merging dirty words).
+    pub fn mem_mut(&mut self) -> &mut BlockData {
+        &mut self.mem
+    }
+
+    /// Current update-list membership, head first.
+    pub fn members_in_order(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.members.len());
+        let mut cur = self.head;
+        while let Some(n) = cur {
+            v.push(n);
+            cur = self.members.get(&n).and_then(|m| m.next);
+            if v.len() > self.members.len() {
+                panic!("update list cycle");
+            }
+        }
+        v
+    }
+
+    /// Whether `node` is enrolled.
+    pub fn is_member(&self, node: NodeId) -> bool {
+        self.members.contains_key(&node)
+    }
+
+    /// Number of enrolled nodes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when nobody is enrolled.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Processor issues a plain read miss (no enrollment).
+    pub fn read_miss(&mut self, node: NodeId) -> Vec<RicMsg> {
+        vec![Self::ctl(Endpoint::Node(node), Endpoint::Dir, RicKind::ReadMiss)]
+    }
+
+    /// Processor issues `READ-UPDATE` (cache miss or update bit clear).
+    ///
+    /// Panics if already enrolled — the cache services that case locally
+    /// ("a read-update request is serviced locally by the cache if the
+    /// update bit of the cache line is already set").
+    pub fn read_update(&mut self, node: NodeId) -> Vec<RicMsg> {
+        assert!(
+            !self.is_member(node),
+            "node {node} issued READ-UPDATE while already enrolled"
+        );
+        vec![Self::ctl(
+            Endpoint::Node(node),
+            Endpoint::Dir,
+            RicKind::ReadUpdateReq,
+        )]
+    }
+
+    /// Processor issues `READ-GLOBAL` for one word.
+    pub fn read_global(&mut self, node: NodeId, word: u8) -> Vec<RicMsg> {
+        vec![Self::ctl(
+            Endpoint::Node(node),
+            Endpoint::Dir,
+            RicKind::ReadGlobalReq { word },
+        )]
+    }
+
+    /// The write buffer issues a buffered `WRITE-GLOBAL`.
+    pub fn write_global(&mut self, node: NodeId, word: u8, value: u64, wid: u64) -> Vec<RicMsg> {
+        vec![Self::ctl(
+            Endpoint::Node(node),
+            Endpoint::Dir,
+            RicKind::WriteGlobal { word, value, wid },
+        )]
+    }
+
+    /// Processor issues `RESET-UPDATE`, or the cache replaces an enrolled
+    /// line: leave the list. Pointer surgery is atomic; the returned
+    /// messages are the fix-up traffic (accounting).
+    pub fn leave(&mut self, node: NodeId) -> Vec<RicMsg> {
+        let Some(m) = self.members.remove(&node) else {
+            return vec![]; // idempotent: already gone
+        };
+        let me = Endpoint::Node(node);
+        let mut msgs = Vec::new();
+        if let Some(p) = m.prev {
+            self.members.get_mut(&p).expect("prev member").next = m.next;
+            msgs.push(Self::ctl(me, Endpoint::Node(p), RicKind::Splice));
+        } else {
+            // We were the head: tell the directory.
+            self.head = m.next;
+            msgs.push(Self::ctl(me, Endpoint::Dir, RicKind::HeadChange));
+        }
+        if let Some(n) = m.next {
+            self.members.get_mut(&n).expect("next member").prev = m.prev;
+            msgs.push(Self::ctl(me, Endpoint::Node(n), RicKind::Splice));
+        }
+        msgs
+    }
+
+    /// Delivers a protocol message at its destination.
+    pub fn deliver(&mut self, msg: RicMsg) -> (Vec<RicMsg>, Vec<RicEffect>) {
+        match msg.dst {
+            Endpoint::Dir => self.deliver_at_dir(msg),
+            Endpoint::Node(n) => self.deliver_at_node(n, msg),
+        }
+    }
+
+    fn deliver_at_dir(&mut self, msg: RicMsg) -> (Vec<RicMsg>, Vec<RicEffect>) {
+        let Endpoint::Node(src) = msg.src else {
+            panic!("directory message from directory: {msg:?}");
+        };
+        match msg.kind {
+            RicKind::ReadMiss => (
+                vec![self.data_msg(
+                    Endpoint::Dir,
+                    Endpoint::Node(src),
+                    RicKind::ReadReply { enrolled: false },
+                )],
+                vec![],
+            ),
+            RicKind::ReadUpdateReq => {
+                let mut msgs = Vec::new();
+                if !self.is_member(src) {
+                    // Enroll at the head (cheapest insertion point: only the
+                    // directory pointer and the old head's back pointer move).
+                    let old_head = self.head;
+                    self.members.insert(
+                        src,
+                        Member {
+                            prev: None,
+                            next: old_head,
+                        },
+                    );
+                    if let Some(h) = old_head {
+                        self.members.get_mut(&h).expect("old head").prev = Some(src);
+                        msgs.push(Self::ctl(Endpoint::Dir, Endpoint::Node(h), RicKind::Splice));
+                    }
+                    self.head = Some(src);
+                }
+                msgs.push(self.data_msg(
+                    Endpoint::Dir,
+                    Endpoint::Node(src),
+                    RicKind::ReadReply { enrolled: true },
+                ));
+                (msgs, vec![])
+            }
+            RicKind::ReadGlobalReq { word } => (
+                vec![Self::ctl(
+                    Endpoint::Dir,
+                    Endpoint::Node(src),
+                    RicKind::ReadGlobalReply { word },
+                )],
+                vec![],
+            ),
+            RicKind::WriteGlobal { word, value, wid } => {
+                self.mem.set(word, value);
+                let mut msgs = vec![Self::ctl(
+                    Endpoint::Dir,
+                    Endpoint::Node(src),
+                    RicKind::WriteAck { wid },
+                )];
+                if let Some(h) = self.head {
+                    msgs.push(self.data_msg(Endpoint::Dir, Endpoint::Node(h), RicKind::UpdatePush));
+                }
+                (msgs, vec![])
+            }
+            RicKind::HeadChange => (vec![], vec![]), // applied atomically at leave()
+            other => panic!("directory cannot handle {other:?}"),
+        }
+    }
+
+    fn deliver_at_node(&mut self, node: NodeId, msg: RicMsg) -> (Vec<RicMsg>, Vec<RicEffect>) {
+        match msg.kind {
+            RicKind::ReadReply { enrolled } => (
+                vec![],
+                vec![RicEffect::Filled {
+                    node,
+                    data: self.mem.clone(),
+                    enrolled,
+                }],
+            ),
+            RicKind::ReadGlobalReply { word } => (
+                vec![],
+                vec![RicEffect::ReadValue {
+                    node,
+                    word,
+                    value: self.mem.get(word),
+                }],
+            ),
+            RicKind::WriteAck { wid } => (vec![], vec![RicEffect::WriteDone { node, wid }]),
+            RicKind::UpdatePush => {
+                match self.members.get(&node) {
+                    Some(m) => {
+                        let mut msgs = Vec::new();
+                        if let Some(nx) = m.next {
+                            msgs.push(self.data_msg(
+                                Endpoint::Node(node),
+                                Endpoint::Node(nx),
+                                RicKind::UpdatePush,
+                            ));
+                        }
+                        (
+                            msgs,
+                            vec![RicEffect::UpdateApplied {
+                                node,
+                                data: self.mem.clone(),
+                            }],
+                        )
+                    }
+                    // Left the list while the push was in flight.
+                    None => (vec![], vec![RicEffect::UpdateDropped { node }]),
+                }
+            }
+            RicKind::Splice => (vec![], vec![]),
+            other => panic!("node cannot handle {other:?}"),
+        }
+    }
+
+    /// Checks list well-formedness (valid at all times thanks to atomic
+    /// pointer surgery): the chain from `head` visits every member exactly
+    /// once with consistent back pointers.
+    pub fn check_list(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut prev: Option<NodeId> = None;
+        let mut cur = self.head;
+        while let Some(n) = cur {
+            if !seen.insert(n) {
+                return Err(format!("cycle at {n}"));
+            }
+            let m = self
+                .members
+                .get(&n)
+                .ok_or_else(|| format!("chain references non-member {n}"))?;
+            if m.prev != prev {
+                return Err(format!("node {n}: prev = {:?}, expected {prev:?}", m.prev));
+            }
+            prev = Some(n);
+            cur = m.next;
+        }
+        if seen.len() != self.members.len() {
+            return Err(format!(
+                "chain covers {} of {} members",
+                seen.len(),
+                self.members.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmp_engine::SimRng;
+    use std::collections::VecDeque;
+
+    struct Harness {
+        u: UpdateList,
+        wire: VecDeque<RicMsg>,
+        effects: Vec<RicEffect>,
+        messages: usize,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Self {
+                u: UpdateList::new(4),
+                wire: VecDeque::new(),
+                effects: Vec::new(),
+                messages: 0,
+            }
+        }
+
+        fn send(&mut self, msgs: Vec<RicMsg>) {
+            self.messages += msgs.len();
+            self.wire.extend(msgs);
+        }
+
+        fn drain(&mut self) {
+            while let Some(m) = self.wire.pop_front() {
+                let (msgs, eff) = self.u.deliver(m);
+                self.u.check_list().unwrap();
+                self.messages += msgs.len();
+                self.wire.extend(msgs);
+                self.effects.extend(eff);
+            }
+        }
+
+        fn updates_applied_to(&self) -> Vec<NodeId> {
+            self.effects
+                .iter()
+                .filter_map(|e| match e {
+                    RicEffect::UpdateApplied { node, .. } => Some(*node),
+                    _ => None,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn read_miss_fetches_without_enrolling() {
+        let mut h = Harness::new();
+        let m = h.u.read_miss(3);
+        h.send(m);
+        h.drain();
+        assert!(!h.u.is_member(3));
+        assert!(matches!(
+            h.effects[0],
+            RicEffect::Filled { node: 3, enrolled: false, .. }
+        ));
+    }
+
+    #[test]
+    fn read_update_enrolls_at_head() {
+        let mut h = Harness::new();
+        for n in [5, 2, 9] {
+            let m = h.u.read_update(n);
+            h.send(m);
+            h.drain();
+        }
+        assert_eq!(h.u.members_in_order(), vec![9, 2, 5], "newest enrollee is the head");
+        h.u.check_list().unwrap();
+    }
+
+    #[test]
+    fn write_pushes_down_the_chain_in_order() {
+        let mut h = Harness::new();
+        for n in [0, 1, 2] {
+            let m = h.u.read_update(n);
+            h.send(m);
+            h.drain();
+        }
+        h.effects.clear();
+        let m = h.u.write_global(7, 1, 42, 0);
+        h.send(m);
+        h.drain();
+        assert_eq!(h.u.mem().get(1), 42);
+        // chain order: head (last enrollee) first
+        assert_eq!(h.updates_applied_to(), vec![2, 1, 0]);
+        // writer got its ack
+        assert!(h
+            .effects
+            .iter()
+            .any(|e| matches!(e, RicEffect::WriteDone { node: 7, wid: 0 })));
+        // pushed data is fresh
+        for e in &h.effects {
+            if let RicEffect::UpdateApplied { data, .. } = e {
+                assert_eq!(data.get(1), 42);
+            }
+        }
+    }
+
+    #[test]
+    fn write_with_no_members_only_acks() {
+        let mut h = Harness::new();
+        let m = h.u.write_global(0, 0, 5, 3);
+        h.send(m);
+        h.drain();
+        assert_eq!(h.effects.len(), 1);
+        assert!(matches!(h.effects[0], RicEffect::WriteDone { node: 0, wid: 3 }));
+    }
+
+    #[test]
+    fn leave_middle_and_head() {
+        let mut h = Harness::new();
+        for n in [0, 1, 2] {
+            let m = h.u.read_update(n);
+            h.send(m);
+            h.drain();
+        }
+        // order: 2, 1, 0
+        let m = h.u.leave(1);
+        h.send(m);
+        h.drain();
+        assert_eq!(h.u.members_in_order(), vec![2, 0]);
+        let m = h.u.leave(2); // head
+        h.send(m);
+        h.drain();
+        assert_eq!(h.u.members_in_order(), vec![0]);
+        h.u.check_list().unwrap();
+        // writes now reach only node 0
+        h.effects.clear();
+        let m = h.u.write_global(9, 0, 1, 0);
+        h.send(m);
+        h.drain();
+        assert_eq!(h.updates_applied_to(), vec![0]);
+    }
+
+    #[test]
+    fn leave_is_idempotent() {
+        let mut h = Harness::new();
+        assert!(h.u.leave(4).is_empty());
+        let m = h.u.read_update(4);
+        h.send(m);
+        h.drain();
+        let m = h.u.leave(4);
+        assert!(!m.is_empty());
+        h.send(m);
+        h.drain();
+        assert!(h.u.leave(4).is_empty());
+        assert!(h.u.is_empty());
+    }
+
+    #[test]
+    fn push_to_departed_member_is_dropped() {
+        let mut h = Harness::new();
+        for n in [0, 1] {
+            let m = h.u.read_update(n);
+            h.send(m);
+            h.drain();
+        }
+        // Write: push to head (1) in flight...
+        let m = h.u.write_global(9, 0, 7, 0);
+        h.send(m);
+        // deliver only the WriteGlobal at dir, putting UpdatePush in flight
+        let wg = h.wire.pop_front().unwrap();
+        let (msgs, eff) = h.u.deliver(wg);
+        h.wire.extend(msgs);
+        h.effects.extend(eff);
+        // ... while the head leaves.
+        let m = h.u.leave(1);
+        h.send(m);
+        h.drain();
+        assert!(h
+            .effects
+            .iter()
+            .any(|e| matches!(e, RicEffect::UpdateDropped { node: 1 })));
+        // memory still authoritative
+        assert_eq!(h.u.mem().get(0), 7);
+    }
+
+    #[test]
+    fn read_global_returns_memory_value() {
+        let mut h = Harness::new();
+        let m = h.u.write_global(0, 2, 31, 0);
+        h.send(m);
+        h.drain();
+        let m = h.u.read_global(5, 2);
+        h.send(m);
+        h.drain();
+        assert!(h
+            .effects
+            .iter()
+            .any(|e| matches!(e, RicEffect::ReadValue { node: 5, word: 2, value: 31 })));
+    }
+
+    #[test]
+    fn message_sizes() {
+        let mut u = UpdateList::new(4);
+        let req = u.read_update(0);
+        assert_eq!(req[0].words, 1);
+        let (reply, _) = u.deliver(req[0]);
+        assert_eq!(reply.last().unwrap().words, 4, "read reply carries the block");
+        let w = u.write_global(1, 0, 9, 0);
+        assert_eq!(w[0].words, 1, "a global write sends one word");
+        let (out, _) = u.deliver(w[0]);
+        let push = out.iter().find(|m| m.kind == RicKind::UpdatePush).unwrap();
+        assert_eq!(push.words, 4, "the push carries the whole block");
+    }
+
+    #[test]
+    fn reenroll_after_leave() {
+        let mut h = Harness::new();
+        let m = h.u.read_update(0);
+        h.send(m);
+        h.drain();
+        let m = h.u.leave(0);
+        h.send(m);
+        h.drain();
+        let m = h.u.read_update(0);
+        h.send(m);
+        h.drain();
+        assert!(h.u.is_member(0));
+        h.u.check_list().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already enrolled")]
+    fn double_enroll_panics() {
+        let mut h = Harness::new();
+        let m = h.u.read_update(0);
+        h.send(m);
+        h.drain();
+        let _ = h.u.read_update(0);
+    }
+
+    proptest::proptest! {
+        /// Arbitrary join/leave/write interleavings keep the list
+        /// well-formed, and after a drain every current member has observed
+        /// the latest write (via push or its enrollment fill).
+        #[test]
+        fn prop_membership_churn(seed: u64, ops in proptest::collection::vec((0usize..8, 0u8..3), 1..60)) {
+            let mut rng = SimRng::new(seed);
+            let mut h = Harness::new();
+            let mut stamp = 1u64;
+            for (node, op) in ops {
+                match op {
+                    0 => {
+                        if !h.u.is_member(node) {
+                            let m = h.u.read_update(node);
+                            h.send(m);
+                        }
+                    }
+                    1 => {
+                        let m = h.u.leave(node);
+                        h.send(m);
+                    }
+                    _ => {
+                        let w = rng.below(4) as u8;
+                        let m = h.u.write_global(node, w, stamp, stamp);
+                        stamp += 1;
+                        h.send(m);
+                    }
+                }
+                h.drain();
+                h.u.check_list().unwrap();
+            }
+            // After the final drain, push the latest state once more and
+            // confirm every member sees it.
+            let members = h.u.members_in_order();
+            h.effects.clear();
+            let m = h.u.write_global(0, 0, 999_999, 0);
+            h.send(m);
+            h.drain();
+            let got = h.updates_applied_to();
+            proptest::prop_assert_eq!(got, members);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # ssmp-engine
+//!
+//! Deterministic discrete-event simulation (DES) kernel used by every other
+//! crate in the `ssmp` workspace.
+//!
+//! The kernel is deliberately small and completely deterministic:
+//!
+//! * [`EventQueue`] — a time-ordered priority queue with FIFO tie-breaking,
+//!   so two events scheduled for the same cycle always pop in the order they
+//!   were pushed. This is what makes whole-machine simulations bit-for-bit
+//!   reproducible from a seed.
+//! * [`SimRng`] — a sealed xoshiro256++ pseudo-random generator (seeded via
+//!   splitmix64) with the handful of distributions the workload models need.
+//!   We implement it here rather than depending on an external crate so that
+//!   a given seed produces the same reference stream forever, independent of
+//!   dependency upgrades.
+//! * [`stats`] — cheap counters, accumulators and power-of-two histograms
+//!   used for the paper's metrics (completion time, message counts, lock
+//!   wait times, ...).
+//!
+//! Time is measured in **cache cycles** ([`Cycle`]), matching the paper's
+//! Table 4 parameterisation (e.g. "main memory cycle time = 4 cache cycles").
+
+//! # Example
+//!
+//! ```
+//! use ssmp_engine::{EventQueue, SimRng};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(10, "fetch");
+//! q.schedule(5, "decode");
+//! assert_eq!(q.pop().unwrap().event, "decode");
+//! assert_eq!(q.now(), 5);
+//!
+//! let mut rng = SimRng::new(42);
+//! assert!(rng.below(10) < 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod wheel;
+
+pub use event::{EventQueue, Scheduled};
+pub use rng::SimRng;
+pub use wheel::WheelQueue;
+pub use stats::{Accumulator, CounterSet, Histogram};
+
+/// Simulation time, in cache cycles.
+pub type Cycle = u64;

@@ -1,0 +1,293 @@
+//! Sealed, seedable pseudo-random number generation.
+//!
+//! The simulator's workload models are *probabilistic* (the paper's "sync
+//! model" is a stochastic memory-reference generator in the style of
+//! Archibald & Baer), so experiment reproducibility hinges on the PRNG being
+//! stable across builds and dependency versions. We implement
+//! **xoshiro256++** (Blackman & Vigna) seeded through **splitmix64**, the
+//! standard recommended seeding procedure, and expose exactly the
+//! distributions the workloads need.
+//!
+//! The generator is intentionally *not* cryptographic.
+
+/// splitmix64 step; used for seeding and for deriving child seeds.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ PRNG.
+///
+/// Two `SimRng`s created from the same seed produce identical streams.
+/// Use [`SimRng::fork`] to derive statistically independent child generators
+/// (e.g. one per simulated node) from a parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro must not be seeded with all zeros; splitmix64 of any seed
+        // cannot produce four zeros, but guard anyway.
+        let s = if s == [0; 4] { [1, 2, 3, 4] } else { s };
+        Self { s }
+    }
+
+    /// Derives an independent child generator, keyed by `stream`.
+    ///
+    /// Forking with distinct `stream` values yields generators whose
+    /// sequences are independent for all practical purposes; the parent's
+    /// state is not advanced.
+    pub fn fork(&self, stream: u64) -> Self {
+        // Mix the parent's state with the stream id through splitmix64.
+        let mut sm = self.s[0] ^ self.s[1].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let _ = splitmix64(&mut sm);
+        Self::new(splitmix64(&mut sm))
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method (unbiased).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. `lo < hi` required.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `usize` index in `[0, len)` — convenience for slice indexing.
+    #[inline]
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// Bernoulli trial: true with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Geometric number of failures before the first success, for success
+    /// probability `p` in `(0, 1]`; capped at `cap` to bound simulation work.
+    pub fn geometric(&mut self, p: f64, cap: u64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric p out of range: {p}");
+        if p >= 1.0 {
+            return 0;
+        }
+        // Inversion: floor(ln(U) / ln(1-p)).
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        let g = (u.ln() / (1.0 - p).ln()).floor();
+        (g as u64).min(cap)
+    }
+
+    /// Picks a uniformly random element of `slice`.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose from empty slice");
+        &slice[self.index(slice.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_stable() {
+        let parent = SimRng::new(7);
+        let mut c0 = parent.fork(0);
+        let mut c1 = parent.fork(1);
+        let mut c0b = parent.fork(0);
+        assert_eq!(c0.next_u64(), c0b.next_u64());
+        // child streams differ from each other
+        let mut c0 = parent.fork(0);
+        let same = (0..64).filter(|_| c0.next_u64() == c1.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = SimRng::new(5);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[r.below(10) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(6);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_rate_matches_p() {
+        let mut r = SimRng::new(8);
+        let hits = (0..100_000).filter(|_| r.chance(0.15)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.15).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut r = SimRng::new(9);
+        let p = 0.25;
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| r.geometric(p, 10_000)).sum();
+        let mean = sum as f64 / n as f64;
+        let expect = (1.0 - p) / p; // 3.0
+        assert!((mean - expect).abs() < 0.15, "mean = {mean}");
+    }
+
+    #[test]
+    fn geometric_cap_and_p1() {
+        let mut r = SimRng::new(10);
+        assert_eq!(r.geometric(1.0, 5), 0);
+        for _ in 0..1000 {
+            assert!(r.geometric(0.001, 7) <= 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(12);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = SimRng::new(13);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[*r.choose(&items)] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3] && seen[4]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_range_bounds(lo in 0u64..1000, span in 1u64..1000, seed: u64) {
+            let mut r = SimRng::new(seed);
+            for _ in 0..100 {
+                let x = r.range(lo, lo + span);
+                prop_assert!(x >= lo && x < lo + span);
+            }
+        }
+
+        #[test]
+        fn prop_below_unbiased_small(bound in 1u64..17, seed: u64) {
+            let mut r = SimRng::new(seed);
+            for _ in 0..100 {
+                prop_assert!(r.below(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Statistics collection: counters, accumulators and histograms.
+//!
+//! The paper's evaluation reports completion time in machine cycles and
+//! reasons extensively about *message counts* (Table 3 compares WBI and CBL
+//! by messages and time). Components therefore bump named counters as they
+//! operate; experiment harnesses read them back to regenerate the tables.
+//!
+//! Counters are keyed by `&'static str` and stored in a `BTreeMap` so that
+//! report iteration order is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of named monotone counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name`, creating it at zero if absent.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Increments counter `name` by one.
+    #[inline]
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads counter `name` (0 if never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterates `(name, value)` pairs in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merges another counter set into this one (summing matching names).
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:<40} {v:>14}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Streaming min/max/mean/count accumulator.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of observations (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator's observations into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples `x` with `floor(log2(x+1)) == i`, i.e. bucket 0
+/// holds `x == 0`, bucket 1 holds `1..=2`, bucket 2 holds `3..=6`, and so on.
+/// Good enough for latency distributions at simulator cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; 64],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: u64) {
+        let b = 64 - (x + 1).leading_zeros().min(63) as usize - 1;
+        self.buckets[b.min(63)] += 1;
+        self.count += 1;
+        self.sum += x as u128;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate quantile: returns the *upper bound* of the bucket in which
+    /// the `q`-quantile sample falls. `q` in `[0, 1]`.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                // upper bound of bucket i is 2^(i+1) - 2 (inclusive)
+                return Some((1u64 << (i + 1)).saturating_sub(2));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Raw bucket counts (64 power-of-two buckets).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let mut c = CounterSet::new();
+        c.bump("net.msg.read");
+        c.add("net.msg.read", 2);
+        c.bump("net.msg.write");
+        assert_eq!(c.get("net.msg.read"), 3);
+        assert_eq!(c.get("net.msg.write"), 1);
+        assert_eq!(c.get("absent"), 0);
+        assert_eq!(c.sum_prefix("net.msg."), 4);
+        let keys: Vec<_> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["net.msg.read", "net.msg.write"]);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = CounterSet::new();
+        a.add("x", 2);
+        let mut b = CounterSet::new();
+        b.add("x", 3);
+        b.add("y", 1);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+    }
+
+    #[test]
+    fn counter_display_lists_all() {
+        let mut c = CounterSet::new();
+        c.add("alpha", 1);
+        c.add("beta", 2);
+        let s = format!("{c}");
+        assert!(s.contains("alpha") && s.contains("beta"));
+    }
+
+    #[test]
+    fn accumulator_basic() {
+        let mut a = Accumulator::new();
+        assert_eq!(a.mean(), None);
+        a.record(1.0);
+        a.record(3.0);
+        a.record(2.0);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), Some(2.0));
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(3.0));
+        assert_eq!(a.sum(), 6.0);
+    }
+
+    #[test]
+    fn histogram_buckets_boundaries() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 1
+        h.record(3); // bucket 2
+        h.record(6); // bucket 2
+        h.record(7); // bucket 3
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[3], 1);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        for x in [10, 20, 30] {
+            h.record(x);
+        }
+        assert_eq!(h.mean(), Some(20.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_ordered() {
+        let mut h = Histogram::new();
+        for x in 0..1000u64 {
+            h.record(x);
+        }
+        let q50 = h.quantile_bound(0.5).unwrap();
+        let q99 = h.quantile_bound(0.99).unwrap();
+        assert!(q50 <= q99);
+        assert!(q50 >= 499 / 2, "median bound too low: {q50}");
+        assert!(h.quantile_bound(0.0).is_some());
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = Accumulator::new();
+        a.record(1.0);
+        let mut b = Accumulator::new();
+        b.record(5.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), Some(3.0));
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(5.0));
+        // merging empty is a no-op
+        a.merge(&Accumulator::new());
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), Some(67.0));
+    }
+
+    #[test]
+    fn histogram_empty_quantile() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_bound(0.5), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_histogram_count_and_mean(xs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = Histogram::new();
+            for &x in &xs { h.record(x); }
+            prop_assert_eq!(h.count(), xs.len() as u64);
+            let mean = xs.iter().copied().map(|x| x as f64).sum::<f64>() / xs.len() as f64;
+            prop_assert!((h.mean().unwrap() - mean).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_bucket_monotone_with_value(x in 0u64..u64::MAX/2) {
+            // the bucket index for x is <= bucket index for 2x+1
+            let mut h1 = Histogram::new();
+            h1.record(x);
+            let b1 = h1.buckets().iter().position(|&c| c > 0).unwrap();
+            let mut h2 = Histogram::new();
+            h2.record(2*x + 1);
+            let b2 = h2.buckets().iter().position(|&c| c > 0).unwrap();
+            prop_assert!(b1 <= b2);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! A tiny text format for node programs ("ssmp assembly"), so experiments
+//! can be written by hand and run through the CLI without recompiling.
+//!
+//! One program per node, separated by `---`; `#` starts a comment.
+//!
+//! ```text
+//! # node 0: producer
+//! lock 0 w
+//! lockedwrite 0 1
+//! unlock 0
+//! barrier
+//! ---
+//! # node 1: consumer
+//! barrier
+//! lock 0 w
+//! lockedread 0 1
+//! unlock 0
+//! ```
+//!
+//! | mnemonic | operands | operation |
+//! |---|---|---|
+//! | `compute` | cycles | [`Op::Compute`] |
+//! | `private` | `r`\|`w` | [`Op::Private`] |
+//! | `read` | block.word | [`Op::SharedRead`] |
+//! | `write` | block.word | [`Op::SharedWrite`] |
+//! | `writeval` | block.word value | [`Op::SharedWriteVal`] |
+//! | `readglobal` | block.word | [`Op::ReadGlobal`] |
+//! | `spin` | block.word value | [`Op::SpinUntilGlobal`] |
+//! | `readupdate` | block | [`Op::ReadUpdate`] |
+//! | `resetupdate` | block | [`Op::ResetUpdate`] |
+//! | `lock` | id `r`\|`w` | [`Op::Lock`] |
+//! | `unlock` | id | [`Op::Unlock`] |
+//! | `lockedread` | id word | [`Op::LockedRead`] |
+//! | `lockedwrite` | id word | [`Op::LockedWrite`] |
+//! | `lockedwriteval` | id word value | [`Op::LockedWriteVal`] |
+//! | `semp` / `semv` | id | [`Op::SemP`] / [`Op::SemV`] |
+//! | `barrier` | | [`Op::Barrier`] |
+//! | `flush` | | [`Op::FlushBuffer`] |
+
+use ssmp_core::addr::SharedAddr;
+use ssmp_core::primitive::LockMode;
+
+use crate::op::Op;
+
+/// A parse failure, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_addr(line: usize, s: &str) -> Result<SharedAddr, AsmError> {
+    let (b, w) = s
+        .split_once('.')
+        .ok_or_else(|| err(line, format!("expected block.word, got '{s}'")))?;
+    let block = b
+        .parse()
+        .map_err(|_| err(line, format!("bad block '{b}'")))?;
+    let word = w.parse().map_err(|_| err(line, format!("bad word '{w}'")))?;
+    Ok(SharedAddr::new(block, word))
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, s: &str, what: &str) -> Result<T, AsmError> {
+    s.parse()
+        .map_err(|_| err(line, format!("bad {what} '{s}'")))
+}
+
+fn parse_mode(line: usize, s: &str) -> Result<LockMode, AsmError> {
+    match s {
+        "r" | "read" => Ok(LockMode::Read),
+        "w" | "write" => Ok(LockMode::Write),
+        other => Err(err(line, format!("lock mode must be r or w, got '{other}'"))),
+    }
+}
+
+/// Parses a whole program file into per-node operation streams.
+pub fn parse_programs(text: &str) -> Result<Vec<Vec<Op>>, AsmError> {
+    let mut nodes: Vec<Vec<Op>> = vec![Vec::new()];
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "---" {
+            nodes.push(Vec::new());
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let mnemonic = it.next().expect("non-empty");
+        let args: Vec<&str> = it.collect();
+        let need = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("{mnemonic} takes {n} operand(s), got {}", args.len()),
+                ))
+            }
+        };
+        let op = match mnemonic {
+            "compute" => {
+                need(1)?;
+                Op::Compute(parse_num(line_no, args[0], "cycle count")?)
+            }
+            "private" => {
+                need(1)?;
+                Op::Private {
+                    write: parse_mode(line_no, args[0])? == LockMode::Write,
+                }
+            }
+            "read" => {
+                need(1)?;
+                Op::SharedRead(parse_addr(line_no, args[0])?)
+            }
+            "write" => {
+                need(1)?;
+                Op::SharedWrite(parse_addr(line_no, args[0])?)
+            }
+            "writeval" => {
+                need(2)?;
+                Op::SharedWriteVal(
+                    parse_addr(line_no, args[0])?,
+                    parse_num(line_no, args[1], "value")?,
+                )
+            }
+            "readglobal" => {
+                need(1)?;
+                Op::ReadGlobal(parse_addr(line_no, args[0])?)
+            }
+            "spin" => {
+                need(2)?;
+                Op::SpinUntilGlobal(
+                    parse_addr(line_no, args[0])?,
+                    parse_num(line_no, args[1], "value")?,
+                )
+            }
+            "readupdate" => {
+                need(1)?;
+                Op::ReadUpdate(parse_num(line_no, args[0], "block")?)
+            }
+            "resetupdate" => {
+                need(1)?;
+                Op::ResetUpdate(parse_num(line_no, args[0], "block")?)
+            }
+            "lock" => {
+                need(2)?;
+                Op::Lock(
+                    parse_num(line_no, args[0], "lock id")?,
+                    parse_mode(line_no, args[1])?,
+                )
+            }
+            "unlock" => {
+                need(1)?;
+                Op::Unlock(parse_num(line_no, args[0], "lock id")?)
+            }
+            "lockedread" => {
+                need(2)?;
+                Op::LockedRead(
+                    parse_num(line_no, args[0], "lock id")?,
+                    parse_num(line_no, args[1], "word")?,
+                )
+            }
+            "lockedwrite" => {
+                need(2)?;
+                Op::LockedWrite(
+                    parse_num(line_no, args[0], "lock id")?,
+                    parse_num(line_no, args[1], "word")?,
+                )
+            }
+            "lockedwriteval" => {
+                need(3)?;
+                Op::LockedWriteVal(
+                    parse_num(line_no, args[0], "lock id")?,
+                    parse_num(line_no, args[1], "word")?,
+                    parse_num(line_no, args[2], "value")?,
+                )
+            }
+            "semp" => {
+                need(1)?;
+                Op::SemP(parse_num(line_no, args[0], "semaphore id")?)
+            }
+            "semv" => {
+                need(1)?;
+                Op::SemV(parse_num(line_no, args[0], "semaphore id")?)
+            }
+            "barrier" => {
+                need(0)?;
+                Op::Barrier
+            }
+            "flush" => {
+                need(0)?;
+                Op::FlushBuffer
+            }
+            other => return Err(err(line_no, format!("unknown mnemonic '{other}'"))),
+        };
+        nodes.last_mut().expect("non-empty").push(op);
+    }
+    Ok(nodes)
+}
+
+/// Renders op streams back to the text format (inverse of
+/// [`parse_programs`], modulo comments/whitespace).
+pub fn render_programs(nodes: &[Vec<Op>]) -> String {
+    let mut out = String::new();
+    for (i, prog) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push_str("---\n");
+        }
+        for op in prog {
+            let line = match *op {
+                Op::Compute(c) => format!("compute {c}"),
+                Op::Private { write } => {
+                    format!("private {}", if write { "w" } else { "r" })
+                }
+                Op::SharedRead(a) => format!("read {}.{}", a.block, a.word),
+                Op::SharedWrite(a) => format!("write {}.{}", a.block, a.word),
+                Op::SharedWriteVal(a, v) => format!("writeval {}.{} {v}", a.block, a.word),
+                Op::ReadGlobal(a) => format!("readglobal {}.{}", a.block, a.word),
+                Op::SpinUntilGlobal(a, v) => format!("spin {}.{} {v}", a.block, a.word),
+                Op::ReadUpdate(b) => format!("readupdate {b}"),
+                Op::ResetUpdate(b) => format!("resetupdate {b}"),
+                Op::Lock(l, LockMode::Read) => format!("lock {l} r"),
+                Op::Lock(l, LockMode::Write) => format!("lock {l} w"),
+                Op::Unlock(l) => format!("unlock {l}"),
+                Op::LockedRead(l, w) => format!("lockedread {l} {w}"),
+                Op::LockedWrite(l, w) => format!("lockedwrite {l} {w}"),
+                Op::LockedWriteVal(l, w, v) => format!("lockedwriteval {l} {w} {v}"),
+                Op::SemP(s) => format!("semp {s}"),
+                Op::SemV(s) => format!("semv {s}"),
+                Op::Barrier => "barrier".to_string(),
+                Op::FlushBuffer => "flush".to_string(),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# producer
+compute 10
+lock 0 w
+lockedwrite 0 1
+unlock 0
+writeval 3.2 42
+barrier
+---
+# consumer
+barrier
+spin 3.2 42
+read 3.2
+";
+
+    #[test]
+    fn parses_two_node_program() {
+        let progs = parse_programs(SAMPLE).unwrap();
+        assert_eq!(progs.len(), 2);
+        assert_eq!(progs[0].len(), 6);
+        assert_eq!(progs[0][0], Op::Compute(10));
+        assert_eq!(progs[0][1], Op::Lock(0, LockMode::Write));
+        assert_eq!(
+            progs[0][4],
+            Op::SharedWriteVal(SharedAddr::new(3, 2), 42)
+        );
+        assert_eq!(progs[1][1], Op::SpinUntilGlobal(SharedAddr::new(3, 2), 42));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_programs("compute 1\nfrobnicate 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse_programs("read 5\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("block.word"));
+
+        let e = parse_programs("lock 0\n").unwrap_err();
+        assert!(e.message.contains("takes 2"));
+
+        let e = parse_programs("lock 0 x\n").unwrap_err();
+        assert!(e.message.contains("r or w"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let progs = parse_programs("# only comments\n\n   \n# more\n").unwrap();
+        assert_eq!(progs.len(), 1);
+        assert!(progs[0].is_empty());
+    }
+
+    #[test]
+    fn round_trip() {
+        let progs = parse_programs(SAMPLE).unwrap();
+        let text = render_programs(&progs);
+        let back = parse_programs(&text).unwrap();
+        assert_eq!(progs, back);
+    }
+
+    #[test]
+    fn every_mnemonic_round_trips() {
+        let all = vec![vec![
+            Op::Compute(5),
+            Op::Private { write: true },
+            Op::Private { write: false },
+            Op::SharedRead(SharedAddr::new(1, 0)),
+            Op::SharedWrite(SharedAddr::new(1, 1)),
+            Op::SharedWriteVal(SharedAddr::new(1, 2), 9),
+            Op::ReadGlobal(SharedAddr::new(2, 0)),
+            Op::SpinUntilGlobal(SharedAddr::new(2, 1), 3),
+            Op::ReadUpdate(4),
+            Op::ResetUpdate(4),
+            Op::Lock(1, LockMode::Read),
+            Op::Lock(1, LockMode::Write),
+            Op::Unlock(1),
+            Op::LockedRead(1, 2),
+            Op::LockedWrite(1, 3),
+            Op::LockedWriteVal(1, 3, 77),
+            Op::SemP(0),
+            Op::SemV(0),
+            Op::Barrier,
+            Op::FlushBuffer,
+        ]];
+        let text = render_programs(&all);
+        let back = parse_programs(&text).unwrap();
+        assert_eq!(all, back);
+    }
+}

@@ -1,0 +1,242 @@
+//! Machine configuration: the evaluation matrix of the paper.
+
+use ssmp_core::addr::Geometry;
+use ssmp_core::consistency::MemoryModel;
+use ssmp_mem::{ExactPrivateParams, MemTiming};
+use ssmp_net::{NetConfig, Topology};
+
+/// Coherence scheme for ordinary shared data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataScheme {
+    /// Reader-initiated coherence (the paper's proposal, §4.1).
+    Ric,
+    /// Write-back invalidate directory protocol (the baseline).
+    Wbi,
+}
+
+/// Lock implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockScheme {
+    /// Cache-based locks (the paper's proposal, §4.3).
+    Cbl,
+    /// Software test-and-test-and-set spinning on the cached copy.
+    Tts,
+    /// TTS with randomized exponential backoff (`Q-backoff`).
+    TtsBackoff,
+}
+
+/// Barrier implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierScheme {
+    /// Hardware barrier at the directory with a chained release (Table 3).
+    Hw,
+    /// Software sense-reversing counter barrier over the lock scheme.
+    Sw,
+}
+
+/// How private references are modelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrivateMode {
+    /// Table 4's assumed hit ratio (Archibald-&-Baer style).
+    Probabilistic,
+    /// A real per-node direct-mapped cache over a synthetic working set:
+    /// the hit ratio emerges from locality (ablation A6).
+    Exact(ExactPrivateParams),
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Nodes / block size / shared-block count.
+    pub geometry: Geometry,
+    /// Coherence scheme for shared data blocks.
+    pub data: DataScheme,
+    /// Lock scheme.
+    pub locks: LockScheme,
+    /// Barrier scheme.
+    pub barrier: BarrierScheme,
+    /// Memory consistency model.
+    pub model: MemoryModel,
+    /// Network timing.
+    pub net: NetConfig,
+    /// Interconnect topology (the paper's Ω network by default).
+    pub topology: Topology,
+    /// Memory-module timing.
+    pub mem: MemTiming,
+    /// Lock-cache capacity per node (paper §4.3: small, fully associative).
+    pub lock_cache_capacity: usize,
+    /// Write-buffer capacity (`None` = infinite, the paper's assumption).
+    pub write_buffer_capacity: Option<usize>,
+    /// Under RIC, shared-read misses enroll in the update list by default.
+    pub auto_read_update: bool,
+    /// Probability that a private miss evicts a dirty victim.
+    pub private_dirty_victim: f64,
+    /// Private-reference hit ratio (Table 4: 0.95).
+    pub private_hit_ratio: f64,
+    /// Private-reference modelling mode.
+    pub private_mode: PrivateMode,
+    /// Hardware-barrier release as a binary tree (O(log n) notify depth)
+    /// instead of the paper's linear chain — ablation A9.
+    pub hw_tree_barrier: bool,
+    /// Enable the MESI exclusive-clean extension on the WBI baseline
+    /// (sole readers get silently-upgradeable copies — ablation A8).
+    pub wbi_mesi: bool,
+    /// Directory sharer limit for the WBI baseline (`None` = full map;
+    /// `Some(i)` = a `Dir_i` limited directory that evicts on overflow —
+    /// ablation A7, the §4.1 design-space contrast).
+    pub wbi_sharer_limit: Option<usize>,
+    /// Record every shared-read value into the report's `read_log`
+    /// (memory-ordering litmus tests; off for performance runs).
+    pub record_reads: bool,
+    /// Master seed (forked per node).
+    pub seed: u64,
+    /// Hard cap on simulated cycles (guards against configuration bugs).
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's Table 4 baseline at `nodes` processors, in the given
+    /// scheme combination.
+    pub fn paper(
+        nodes: usize,
+        data: DataScheme,
+        locks: LockScheme,
+        barrier: BarrierScheme,
+        model: MemoryModel,
+    ) -> Self {
+        Self {
+            geometry: Geometry::paper(nodes),
+            data,
+            locks,
+            barrier,
+            model,
+            net: NetConfig::default(),
+            topology: Topology::Omega,
+            mem: MemTiming::default(),
+            lock_cache_capacity: 8,
+            write_buffer_capacity: None,
+            auto_read_update: true,
+            private_dirty_victim: 0.3,
+            private_hit_ratio: 0.95,
+            private_mode: PrivateMode::Probabilistic,
+            wbi_sharer_limit: None,
+            hw_tree_barrier: false,
+            wbi_mesi: false,
+            record_reads: false,
+            seed: 0x5511_9a3e,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// The paper's `WBI` curve: invalidate protocol + TTS + software
+    /// barrier under sequential consistency.
+    pub fn wbi(nodes: usize) -> Self {
+        Self::paper(
+            nodes,
+            DataScheme::Wbi,
+            LockScheme::Tts,
+            BarrierScheme::Sw,
+            MemoryModel::Sequential,
+        )
+    }
+
+    /// The paper's `Q-backoff` curve.
+    pub fn wbi_backoff(nodes: usize) -> Self {
+        Self::paper(
+            nodes,
+            DataScheme::Wbi,
+            LockScheme::TtsBackoff,
+            BarrierScheme::Sw,
+            MemoryModel::Sequential,
+        )
+    }
+
+    /// The paper's `CBL` curve (Figs. 4–5): hardware locks and barriers,
+    /// invalidate data coherence, sequential consistency.
+    pub fn cbl(nodes: usize) -> Self {
+        Self::paper(
+            nodes,
+            DataScheme::Wbi,
+            LockScheme::Cbl,
+            BarrierScheme::Hw,
+            MemoryModel::Sequential,
+        )
+    }
+
+    /// `SC-CBL` (Figs. 6–7): the full proposed architecture under
+    /// sequential consistency.
+    pub fn sc_cbl(nodes: usize) -> Self {
+        Self::paper(
+            nodes,
+            DataScheme::Ric,
+            LockScheme::Cbl,
+            BarrierScheme::Hw,
+            MemoryModel::Sequential,
+        )
+    }
+
+    /// `BC-CBL` (Figs. 6–7): the full proposed architecture under buffered
+    /// consistency.
+    pub fn bc_cbl(nodes: usize) -> Self {
+        Self::paper(
+            nodes,
+            DataScheme::Ric,
+            LockScheme::Cbl,
+            BarrierScheme::Hw,
+            MemoryModel::Buffered,
+        )
+    }
+
+    /// Validates cross-field constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.model == MemoryModel::Buffered && self.data != DataScheme::Ric {
+            return Err(
+                "buffered consistency requires the WRITE-GLOBAL path (DataScheme::Ric)".into(),
+            );
+        }
+        if !(0.0..=1.0).contains(&self.private_hit_ratio) {
+            return Err(format!("hit ratio out of range: {}", self.private_hit_ratio));
+        }
+        if self.lock_cache_capacity == 0 {
+            return Err("lock cache needs at least one entry".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            MachineConfig::wbi(8),
+            MachineConfig::wbi_backoff(8),
+            MachineConfig::cbl(8),
+            MachineConfig::sc_cbl(8),
+            MachineConfig::bc_cbl(8),
+        ] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn bc_requires_ric() {
+        let mut cfg = MachineConfig::bc_cbl(4);
+        cfg.data = DataScheme::Wbi;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn preset_matrix_matches_paper() {
+        let wbi = MachineConfig::wbi(16);
+        assert_eq!(wbi.data, DataScheme::Wbi);
+        assert_eq!(wbi.locks, LockScheme::Tts);
+        assert_eq!(wbi.barrier, BarrierScheme::Sw);
+        let bc = MachineConfig::bc_cbl(16);
+        assert_eq!(bc.data, DataScheme::Ric);
+        assert_eq!(bc.locks, LockScheme::Cbl);
+        assert_eq!(bc.model, ssmp_core::consistency::MemoryModel::Buffered);
+    }
+}

@@ -1,0 +1,1967 @@
+//! The machine: event loop, protocol wiring, and timing.
+//!
+//! ## Timing model
+//!
+//! * Every locally-serviced operation costs one cache cycle.
+//! * A protocol message departs its source, traverses the Ω network
+//!   (contention included, see `ssmp-net`), and is then processed: at a
+//!   **directory** (the home memory module of the block) processing costs
+//!   `t_D` plus `t_m` when block data is read or written, serialised
+//!   through the module; at a **node** processing costs `t_D` (the cache
+//!   directory check of Table 3).
+//! * A stalled processor resumes one cycle after the event that satisfies
+//!   its stall.
+//!
+//! ## Spinning
+//!
+//! Spinning processors are *passive*: a node whose test-and-test-and-set
+//! observed a held lock simply waits until its cached copy is invalidated
+//! (the release), then re-reads — reproducing both the quiet spinning on
+//! the cached copy and the burst of refills/test-and-sets at release time
+//! that the paper identifies as WBI's scalability problem.
+
+use std::collections::BTreeMap;
+
+use ssmp_core::addr::{BlockId, NodeId};
+use ssmp_core::barrier::{BarEffect, BarKind, BarMsg, HwBarrier};
+use ssmp_core::cbl::{CblEffect, CblMsg, Endpoint, LockQueue};
+use ssmp_core::line::{BlockData, CacheLine};
+use ssmp_core::primitive::{AccessClass, LockMode};
+use ssmp_core::ric::{RicEffect, RicMsg, UpdateList};
+use ssmp_core::semaphore::{HwSemaphore, SemEffect, SemKind, SemMsg};
+use ssmp_core::wbuf::Enqueue;
+use ssmp_engine::{CounterSet, Cycle, EventQueue, Histogram, SimRng};
+use ssmp_mem::{MemModule, PrivAccess, PrivCache, PrivateModel, PrivateOutcome};
+use ssmp_net::Interconnect;
+use ssmp_wbi::{WbiBlock, WbiEffect, WbiMsg};
+
+use crate::config::{BarrierScheme, DataScheme, LockScheme, MachineConfig, PrivateMode};
+use crate::node::{MicroOp, Node, SpinTarget, SyncCtx, TtsPhase, Waiting};
+use crate::op::{LockId, Op, Workload};
+use crate::report::Report;
+
+/// Simulator events.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// The node is ready for its next (micro-)operation.
+    Resume(NodeId),
+    /// A protocol message is processed at its destination.
+    Deliver(Proto),
+    /// The write buffer issues its next buffered write.
+    WbufIssue(NodeId),
+    /// A spinning / backing-off node retries.
+    Retry(NodeId),
+}
+
+/// A protocol message with enough context to route it.
+#[derive(Debug, Clone)]
+enum Proto {
+    Cbl { lock: LockId, msg: CblMsg },
+    Ric { block: BlockId, msg: RicMsg },
+    WbiData { block: BlockId, msg: WbiMsg },
+    WbiLock { lock: LockId, msg: WbiMsg },
+    WbiFlag { msg: WbiMsg },
+    Bar { msg: BarMsg },
+    Sem { sem: usize, msg: SemMsg },
+    /// Reply of a probabilistic private-data fetch.
+    PrivFill { node: NodeId },
+}
+
+/// Which WBI controller an effect belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WbiCtx {
+    Data(BlockId),
+    Lock(LockId),
+    Flag,
+}
+
+/// The assembled machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    events: EventQueue<Ev>,
+    net: Interconnect,
+    mems: Vec<MemModule>,
+    nodes: Vec<Node>,
+    /// RIC controllers for shared data blocks (DataScheme::Ric).
+    ric: Vec<UpdateList>,
+    /// WBI controllers for shared data blocks (DataScheme::Wbi).
+    wbi: Vec<WbiBlock>,
+    /// CBL lock queues (LockScheme::Cbl).
+    cbl: Vec<LockQueue>,
+    /// Contents of CBL lock blocks (travel with the grant).
+    lock_data: Vec<BlockData>,
+    /// WBI controllers for lock blocks (TTS schemes). Word 0 is the lock
+    /// variable; the remaining words hold the lock-governed data.
+    wbi_locks: Vec<WbiBlock>,
+    /// WBI controller for the software barrier's release flag.
+    flag: WbiBlock,
+    swbar: ssmp_wbi::SwBarrier,
+    hwbar: HwBarrier,
+    /// Hardware counting semaphores (paper §2's P/V, built like the
+    /// hardware barrier). Empty unless configured with `with_semaphores`.
+    sems: Vec<HwSemaphore>,
+    workload: Box<dyn Workload>,
+    priv_model: PrivateModel,
+    /// Per-node exact private caches (PrivateMode::Exact only).
+    priv_caches: Vec<PrivCache>,
+    counters: CounterSet,
+    lock_wait: Histogram,
+    /// SC release waiters: the next grant on the lock completes the release.
+    release_waiters: BTreeMap<LockId, NodeId>,
+    live: usize,
+    completion: Cycle,
+    stamp: u64,
+    /// Observed shared-read values (when `record_reads` is configured).
+    read_log: Vec<(NodeId, BlockId, u8, u64)>,
+    /// Lock-order edges `held → requested` across all nodes.
+    lock_order: std::collections::BTreeSet<(LockId, LockId)>,
+}
+
+impl Machine {
+    /// Builds a machine for `workload` under `cfg`.
+    ///
+    /// The workload decides the number of locks via [`Workload::nodes`]
+    /// plus the `locks` argument here (workload-specific lock counts are a
+    /// property of the experiment, not the workload trait).
+    pub fn new(cfg: MachineConfig, workload: Box<dyn Workload>, locks: usize) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let n = cfg.geometry.nodes;
+        assert_eq!(workload.nodes(), n, "workload sized for a different machine");
+        let bw = cfg.geometry.block_words;
+        let master = SimRng::new(cfg.seed);
+        let nodes = (0..n)
+            .map(|id| {
+                Node::new(
+                    id,
+                    &master,
+                    cfg.geometry.shared_blocks.max(64),
+                    cfg.lock_cache_capacity,
+                    bw,
+                    cfg.write_buffer_capacity,
+                )
+            })
+            .collect();
+        let shared = cfg.geometry.shared_blocks;
+        Self {
+            net: Interconnect::build(cfg.topology, n, cfg.net),
+            mems: (0..n).map(|_| MemModule::new()).collect(),
+            nodes,
+            ric: (0..shared).map(|_| UpdateList::new(bw)).collect(),
+            wbi: (0..shared)
+                .map(|_| match (cfg.wbi_sharer_limit, cfg.wbi_mesi) {
+                    (Some(limit), _) => WbiBlock::with_sharer_limit(bw, limit),
+                    (None, true) => WbiBlock::with_mesi(bw),
+                    (None, false) => WbiBlock::new(bw),
+                })
+                .collect(),
+            cbl: (0..locks).map(|_| LockQueue::new(bw as u32)).collect(),
+            lock_data: (0..locks).map(|_| BlockData::new(bw)).collect(),
+            wbi_locks: (0..locks).map(|_| WbiBlock::new(bw)).collect(),
+            flag: WbiBlock::new(bw),
+            swbar: ssmp_wbi::SwBarrier::new(n),
+            hwbar: if cfg.hw_tree_barrier {
+                HwBarrier::with_tree_release(n)
+            } else {
+                HwBarrier::new(n)
+            },
+            sems: Vec::new(),
+            workload,
+            priv_model: PrivateModel::new(cfg.private_hit_ratio, cfg.private_dirty_victim, n),
+            priv_caches: match cfg.private_mode {
+                PrivateMode::Exact(p) => (0..n).map(|_| PrivCache::new(p.lines)).collect(),
+                PrivateMode::Probabilistic => Vec::new(),
+            },
+            counters: CounterSet::new(),
+            lock_wait: Histogram::new(),
+            release_waiters: BTreeMap::new(),
+            live: n,
+            completion: 0,
+            stamp: 0,
+            read_log: Vec::new(),
+            lock_order: std::collections::BTreeSet::new(),
+            events: EventQueue::new(),
+            cfg,
+        }
+    }
+
+    /// Provisions hardware counting semaphores with the given initial
+    /// credits (semaphore `i` is homed at module `(i + 1) % nodes`).
+    pub fn with_semaphores(mut self, initial: &[u64]) -> Self {
+        self.sems = initial.iter().map(|&c| HwSemaphore::new(c)).collect();
+        self
+    }
+
+    fn now(&self) -> Cycle {
+        self.events.now()
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Runs the workload to completion and returns the report.
+    pub fn run(mut self) -> Report {
+        for n in 0..self.nodes.len() {
+            self.events.schedule(0, Ev::Resume(n));
+        }
+        while self.live > 0 {
+            let Some(sch) = self.events.pop() else {
+                panic!(
+                    "deadlock: {} nodes live with no pending events; states: {:?}",
+                    self.live,
+                    self.nodes
+                        .iter()
+                        .filter(|n| !n.done)
+                        .map(|n| (n.id, n.waiting, n.sync))
+                        .collect::<Vec<_>>()
+                );
+            };
+            assert!(
+                sch.at <= self.cfg.max_cycles,
+                "exceeded max_cycles ({}); runaway configuration?",
+                self.cfg.max_cycles
+            );
+            match sch.event {
+                Ev::Resume(n) => self.resume(n),
+                Ev::Deliver(p) => self.deliver(p),
+                Ev::WbufIssue(n) => self.wbuf_issue(n),
+                Ev::Retry(n) => self.retry(n),
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> Report {
+        let net_stats = self.net.stats();
+        // Final coherent view of the shared region: under WBI a block's
+        // authoritative copy may still live in an owner's cache.
+        let bw = self.cfg.geometry.block_words;
+        let wbi_view = |b: &WbiBlock| -> Vec<u64> {
+            if let ssmp_wbi::directory::DirState::Modified(o) = b.dir_state() {
+                (0..bw)
+                    .map(|w| b.local_read(*o, w).unwrap_or_else(|| b.mem().get(w)))
+                    .collect()
+            } else {
+                b.mem().words().to_vec()
+            }
+        };
+        let shared_memory: Vec<Vec<u64>> = match self.cfg.data {
+            DataScheme::Ric => self.ric.iter().map(|u| u.mem().words().to_vec()).collect(),
+            DataScheme::Wbi => self.wbi.iter().map(wbi_view).collect(),
+        };
+        let lock_blocks: Vec<Vec<u64>> = match self.cfg.locks {
+            LockScheme::Cbl => self.lock_data.iter().map(|d| d.words().to_vec()).collect(),
+            _ => self.wbi_locks.iter().map(wbi_view).collect(),
+        };
+        let dir_evictions: u64 = self.wbi.iter().map(|b| b.dir_evictions()).sum();
+        if dir_evictions > 0 {
+            self.counters.add("wbi.dir_evictions", dir_evictions);
+        }
+        // lock-order cycle detection (DFS over the edge set)
+        let edges: Vec<(LockId, LockId)> = self.lock_order.iter().copied().collect();
+        let lock_order_cycle = find_lock_cycle(&edges);
+        let mut stall_breakdown = std::collections::BTreeMap::new();
+        for n in &self.nodes {
+            for (&k, &v) in &n.stall_breakdown {
+                *stall_breakdown.entry(k).or_insert(0) += v;
+            }
+        }
+        Report {
+            shared_memory,
+            lock_blocks,
+            read_log: self.read_log,
+            stall_breakdown,
+            lock_order_edges: edges,
+            lock_order_cycle,
+            completion: self.completion,
+            counters: self.counters,
+            lock_wait: self.lock_wait,
+            net_packets: net_stats.packets,
+            net_words: net_stats.words,
+            net_queueing: net_stats.total_queueing,
+            stalled_cycles: self.nodes.iter().map(|n| n.stalled_cycles).collect(),
+            ops_completed: self.nodes.iter().map(|n| n.ops_completed).collect(),
+            lock_cache_overflows: self.nodes.iter().map(|n| n.lock_cache.overflows).sum(),
+            wbuf_peak: self.nodes.iter().map(|n| n.wbuf.peak()).max().unwrap_or(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    fn home_of(&self, p: &Proto) -> NodeId {
+        let n = self.cfg.geometry.nodes;
+        match p {
+            Proto::Cbl { lock, .. } => lock % n,
+            Proto::Ric { block, .. } => block % n,
+            Proto::WbiData { block, .. } => block % n,
+            Proto::WbiLock { lock, .. } => lock % n,
+            Proto::WbiFlag { .. } => n - 1,
+            Proto::Bar { .. } => 0,
+            Proto::Sem { sem, .. } => (sem + 1) % n,
+            Proto::PrivFill { .. } => unreachable!("private fills are routed inline"),
+        }
+    }
+
+    fn endpoints(&self, p: &Proto) -> (Endpoint, Endpoint, u32) {
+        match p {
+            Proto::Cbl { msg, .. } => (msg.src, msg.dst, msg.words),
+            Proto::Ric { msg, .. } => (msg.src, msg.dst, msg.words),
+            Proto::WbiData { msg, .. } => (msg.src, msg.dst, msg.words),
+            Proto::WbiLock { msg, .. } => (msg.src, msg.dst, msg.words),
+            Proto::WbiFlag { msg } => (msg.src, msg.dst, msg.words),
+            Proto::Bar { msg } => (msg.src, msg.dst, msg.words),
+            Proto::Sem { msg, .. } => (msg.src, msg.dst, msg.words),
+            Proto::PrivFill { .. } => unreachable!(),
+        }
+    }
+
+    fn count_msg(&mut self, p: &Proto) {
+        let name = match p {
+            Proto::Cbl { msg, .. } => match msg.kind {
+                ssmp_core::cbl::CblKind::Request(_) => "msg.cbl.request",
+                ssmp_core::cbl::CblKind::Forward { .. } => "msg.cbl.forward",
+                ssmp_core::cbl::CblKind::GrantMem => "msg.cbl.grant_mem",
+                ssmp_core::cbl::CblKind::GrantChain => "msg.cbl.grant_chain",
+                ssmp_core::cbl::CblKind::Enqueued => "msg.cbl.enqueued",
+                ssmp_core::cbl::CblKind::Release { .. } => "msg.cbl.release",
+                ssmp_core::cbl::CblKind::ReleaseAck => "msg.cbl.release_ack",
+                ssmp_core::cbl::CblKind::Bounce { .. } => "msg.cbl.bounce",
+                ssmp_core::cbl::CblKind::SpliceNext | ssmp_core::cbl::CblKind::SplicePrev => {
+                    "msg.cbl.splice"
+                }
+            },
+            Proto::Ric { msg, .. } => match msg.kind {
+                ssmp_core::ric::RicKind::ReadMiss => "msg.ric.read_miss",
+                ssmp_core::ric::RicKind::ReadUpdateReq => "msg.ric.read_update",
+                ssmp_core::ric::RicKind::ReadReply { .. } => "msg.ric.read_reply",
+                ssmp_core::ric::RicKind::ReadGlobalReq { .. } => "msg.ric.read_global",
+                ssmp_core::ric::RicKind::ReadGlobalReply { .. } => "msg.ric.read_global_reply",
+                ssmp_core::ric::RicKind::WriteGlobal { .. } => "msg.ric.write_global",
+                ssmp_core::ric::RicKind::WriteAck { .. } => "msg.ric.write_ack",
+                ssmp_core::ric::RicKind::UpdatePush => "msg.ric.update_push",
+                ssmp_core::ric::RicKind::HeadChange => "msg.ric.head_change",
+                ssmp_core::ric::RicKind::Splice => "msg.ric.splice",
+            },
+            Proto::WbiData { msg, .. } | Proto::WbiLock { msg, .. } | Proto::WbiFlag { msg } => {
+                match msg.kind {
+                    ssmp_wbi::WbiKind::ReadReq => "msg.wbi.read_req",
+                    ssmp_wbi::WbiKind::WriteReq => "msg.wbi.write_req",
+                    ssmp_wbi::WbiKind::DataShared => "msg.wbi.data_shared",
+                    ssmp_wbi::WbiKind::DataExclClean => "msg.wbi.data_excl_clean",
+                    ssmp_wbi::WbiKind::DataExcl { .. } => "msg.wbi.data_excl",
+                    ssmp_wbi::WbiKind::Inv => "msg.wbi.inv",
+                    ssmp_wbi::WbiKind::InvAck => "msg.wbi.inv_ack",
+                    ssmp_wbi::WbiKind::FetchShared => "msg.wbi.fetch_shared",
+                    ssmp_wbi::WbiKind::FetchExcl => "msg.wbi.fetch_excl",
+                    ssmp_wbi::WbiKind::OwnerData { .. } => "msg.wbi.owner_data",
+                    ssmp_wbi::WbiKind::WriteBack => "msg.wbi.write_back",
+                    ssmp_wbi::WbiKind::WbRace => "msg.wbi.wb_race",
+                }
+            }
+            Proto::Bar { msg } => match msg.kind {
+                BarKind::Arrive => "msg.bar.arrive",
+                BarKind::Ack => "msg.bar.ack",
+                BarKind::Release => "msg.bar.release",
+            },
+            Proto::Sem { msg, .. } => match msg.kind {
+                SemKind::P => "msg.sem.p",
+                SemKind::V => "msg.sem.v",
+                SemKind::Grant => "msg.sem.grant",
+                SemKind::VAck => "msg.sem.v_ack",
+            },
+            Proto::PrivFill { .. } => "msg.priv.fill",
+        };
+        self.counters.bump(name);
+    }
+
+    /// Puts a protocol message on the wire at `depart`; schedules its
+    /// delivery (including directory service time for Dir-bound messages —
+    /// the service itself is charged at delivery).
+    fn route(&mut self, depart: Cycle, p: Proto) {
+        self.count_msg(&p);
+        let home = self.home_of(&p);
+        let (src, dst, words) = self.endpoints(&p);
+        let sp = match src {
+            Endpoint::Node(x) => x,
+            Endpoint::Dir => home,
+        };
+        let dp = match dst {
+            Endpoint::Node(x) => x,
+            Endpoint::Dir => home,
+        };
+        let arrival = self.net.send(depart, sp, dp, words);
+        self.events.schedule(arrival, Ev::Deliver(p));
+    }
+
+    fn route_all_cbl(&mut self, depart: Cycle, lock: LockId, msgs: Vec<CblMsg>) {
+        for msg in msgs {
+            self.route(depart, Proto::Cbl { lock, msg });
+        }
+    }
+
+    fn route_all_ric(&mut self, depart: Cycle, block: BlockId, msgs: Vec<RicMsg>) {
+        for msg in msgs {
+            self.route(depart, Proto::Ric { block, msg });
+        }
+    }
+
+    fn route_all_wbi(&mut self, depart: Cycle, ctx: WbiCtx, msgs: Vec<WbiMsg>) {
+        for msg in msgs {
+            let p = match ctx {
+                WbiCtx::Data(block) => Proto::WbiData { block, msg },
+                WbiCtx::Lock(lock) => Proto::WbiLock { lock, msg },
+                WbiCtx::Flag => Proto::WbiFlag { msg },
+            };
+            self.route(depart, p);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery
+    // ------------------------------------------------------------------
+
+    fn deliver(&mut self, p: Proto) {
+        let now = self.now();
+        let home = match &p {
+            Proto::PrivFill { .. } => 0,
+            other => self.home_of(other),
+        };
+        let (_, dst, in_words) = match &p {
+            Proto::PrivFill { node } => (Endpoint::Dir, Endpoint::Node(*node), 0),
+            other => self.endpoints(other),
+        };
+        if let Proto::PrivFill { node } = p {
+            self.counters.bump("priv.fill");
+            self.resume_from(node, Waiting::Fill, now);
+            return;
+        }
+
+        // Process at the destination; outgoing messages depart after the
+        // local processing time.
+        let touches_memory = Self::dir_touches_memory(&p);
+        let (out, done_at): (Vec<Proto>, Cycle) = match p {
+            Proto::Cbl { lock, msg } => {
+                let (msgs, effects) = self.cbl[lock].deliver(msg);
+                let t_done = self.processing_done(dst, home, touches_memory, in_words, &msgs_words_cbl(&msgs), now);
+                self.apply_cbl_effects(lock, &effects, t_done);
+                (
+                    msgs.into_iter().map(|m| Proto::Cbl { lock, msg: m }).collect(),
+                    t_done,
+                )
+            }
+            Proto::Ric { block, msg } => {
+                let (msgs, effects) = self.ric[block].deliver(msg);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, &msgs_words_ric(&msgs), now);
+                self.apply_ric_effects(block, effects, t_done);
+                (
+                    msgs.into_iter()
+                        .map(|m| Proto::Ric { block, msg: m })
+                        .collect(),
+                    t_done,
+                )
+            }
+            Proto::WbiData { block, msg } => {
+                let (msgs, effects) = self.wbi[block].deliver(msg);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, &msgs_words_wbi(&msgs), now);
+                self.apply_wbi_effects(WbiCtx::Data(block), effects, t_done);
+                (
+                    msgs.into_iter()
+                        .map(|m| Proto::WbiData { block, msg: m })
+                        .collect(),
+                    t_done,
+                )
+            }
+            Proto::WbiLock { lock, msg } => {
+                let (msgs, effects) = self.wbi_locks[lock].deliver(msg);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, &msgs_words_wbi(&msgs), now);
+                self.apply_wbi_effects(WbiCtx::Lock(lock), effects, t_done);
+                (
+                    msgs.into_iter()
+                        .map(|m| Proto::WbiLock { lock, msg: m })
+                        .collect(),
+                    t_done,
+                )
+            }
+            Proto::WbiFlag { msg } => {
+                let (msgs, effects) = self.flag.deliver(msg);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, &msgs_words_wbi(&msgs), now);
+                self.apply_wbi_effects(WbiCtx::Flag, effects, t_done);
+                (
+                    msgs.into_iter().map(|m| Proto::WbiFlag { msg: m }).collect(),
+                    t_done,
+                )
+            }
+            Proto::Bar { msg } => {
+                let (msgs, effects) = self.hwbar.deliver(msg);
+                let out_words: Vec<u32> = msgs.iter().map(|m| m.words).collect();
+                let t_done = self.processing_done(dst, home, touches_memory, in_words, &out_words, now);
+                for e in effects {
+                    let BarEffect::Passed { node, .. } = e;
+                    self.counters.bump("barrier.hw.passed");
+                    self.resume_from(node, Waiting::BarrierPass, t_done);
+                }
+                (
+                    msgs.into_iter().map(|m| Proto::Bar { msg: m }).collect(),
+                    t_done,
+                )
+            }
+            Proto::Sem { sem, msg } => {
+                let (msgs, effects) = self.sems[sem].deliver(msg);
+                let out_words: Vec<u32> = msgs.iter().map(|m| m.words).collect();
+                let t_done = self.processing_done(dst, home, touches_memory, in_words, &out_words, now);
+                for e in effects {
+                    match e {
+                        SemEffect::Acquired { node } => {
+                            self.counters.bump("sem.acquired");
+                            if self.nodes[node].waiting == Waiting::SemGrant(sem) {
+                                self.resume_from(node, Waiting::SemGrant(sem), t_done);
+                            }
+                        }
+                        SemEffect::VDone { node } => {
+                            if self.nodes[node].waiting == Waiting::SemDone(sem) {
+                                self.resume_from(node, Waiting::SemDone(sem), t_done);
+                            }
+                        }
+                    }
+                }
+                (
+                    msgs.into_iter().map(|m| Proto::Sem { sem, msg: m }).collect(),
+                    t_done,
+                )
+            }
+            Proto::PrivFill { .. } => unreachable!(),
+        };
+        for m in out {
+            self.route(done_at, m);
+        }
+    }
+
+    /// Computes when processing of a delivered message finishes: at a node,
+    /// a cache-directory check; at the home directory, a memory-module
+    /// service of `t_D` — plus `t_m` when main memory is read or written
+    /// (block data moving in or out, a one-word `WRITE-GLOBAL` or
+    /// `READ-GLOBAL`, or a barrier/semaphore counter update; pure
+    /// directory-pointer transactions like a queue forward cost `t_D`
+    /// only, as in Table 3).
+    fn processing_done(
+        &mut self,
+        dst: Endpoint,
+        home: NodeId,
+        touches_memory: bool,
+        in_words: u32,
+        out_words: &[u32],
+        arrival: Cycle,
+    ) -> Cycle {
+        match dst {
+            Endpoint::Node(_) => arrival + self.cfg.mem.dir_check,
+            Endpoint::Dir => {
+                let data = touches_memory || in_words > 1 || out_words.iter().any(|&w| w > 1);
+                let cost = if data {
+                    self.cfg.mem.data_cost()
+                } else {
+                    self.cfg.mem.control_cost()
+                };
+                self.mems[home].service(arrival, cost)
+            }
+        }
+    }
+
+    /// Whether a directory-bound message necessarily accesses main memory
+    /// (beyond the directory entry) even when all its payloads are
+    /// control-sized.
+    fn dir_touches_memory(p: &Proto) -> bool {
+        match p {
+            Proto::Ric { msg, .. } => matches!(
+                msg.kind,
+                ssmp_core::ric::RicKind::WriteGlobal { .. }
+                    | ssmp_core::ric::RicKind::ReadGlobalReq { .. }
+            ),
+            Proto::Bar { msg } => matches!(msg.kind, BarKind::Arrive),
+            Proto::Sem { msg, .. } => matches!(msg.kind, SemKind::P | SemKind::V),
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Effects
+    // ------------------------------------------------------------------
+
+    /// Appends a completed shared read to the log (when configured).
+    fn record_read(&mut self, node: NodeId, addr: ssmp_core::addr::SharedAddr, value: u64) {
+        if self.cfg.record_reads {
+            self.read_log.push((node, addr.block, addr.word, value));
+        }
+    }
+
+    fn resume_from(&mut self, node: NodeId, expected: Waiting, t: Cycle) {
+        let n = &mut self.nodes[node];
+        debug_assert_eq!(
+            n.waiting, expected,
+            "node {node} resumed from unexpected wait state"
+        );
+        n.unstall(t);
+        self.events.schedule(t + 1, Ev::Resume(node));
+    }
+
+    fn apply_cbl_effects(&mut self, lock: LockId, effects: &[CblEffect], t: Cycle) {
+        for &e in effects {
+            match e {
+                CblEffect::Granted { node, mode, .. } => {
+                    self.counters.bump("lock.cbl.granted");
+                    self.nodes[node].held_locks.insert(lock);
+                    let _ = mode;
+                    if let Some(start) = self.nodes[node].lock_wait_start.take() {
+                        self.lock_wait.record(t.saturating_sub(start));
+                    }
+                    // SC: an in-flight release completes when its handover
+                    // grant lands.
+                    if let Some(w) = self.release_waiters.remove(&lock) {
+                        self.resume_from(w, Waiting::ReleaseDone(lock), t);
+                    }
+                    if self.nodes[node].waiting == Waiting::LockGrant(lock) {
+                        self.resume_from(node, Waiting::LockGrant(lock), t);
+                    }
+                }
+                CblEffect::ReleaseComplete { node } => {
+                    self.counters.bump("lock.cbl.release_complete");
+                    self.nodes[node].lock_cache.remove(lock);
+                    if self.nodes[node].waiting == Waiting::ReleaseDone(lock) {
+                        self.release_waiters.remove(&lock);
+                        self.resume_from(node, Waiting::ReleaseDone(lock), t);
+                    } else if self.nodes[node].waiting == Waiting::LineFree(lock) {
+                        // A re-request was waiting for the line to drain.
+                        self.nodes[node].unstall(t);
+                        if let Some(op) = self.nodes[node].pending_op.take() {
+                            self.execute(node, op, t);
+                        }
+                    }
+                }
+                CblEffect::ReleaseForwarded { from, .. } => {
+                    self.counters.bump("lock.cbl.release_forwarded");
+                    self.nodes[from].lock_cache.remove(lock);
+                }
+            }
+        }
+    }
+
+    fn apply_ric_effects(&mut self, block: BlockId, effects: Vec<RicEffect>, t: Cycle) {
+        for e in effects {
+            match e {
+                RicEffect::Filled {
+                    node,
+                    data,
+                    enrolled,
+                } => {
+                    if let Some(addr) = self.nodes[node].pending_record.take() {
+                        if addr.block == block {
+                            let v = data.get(addr.word);
+                            self.record_read(node, addr, v);
+                        } else {
+                            self.nodes[node].pending_record = Some(addr);
+                        }
+                    }
+                    let (line, _) = self.nodes[node].cache.entry(block);
+                    line.fill(data);
+                    line.update = enrolled;
+                    if self.nodes[node].waiting == Waiting::Fill {
+                        self.resume_from(node, Waiting::Fill, t);
+                    }
+                }
+                RicEffect::WriteDone { node, wid } => {
+                    let acked = self.nodes[node].wbuf.ack(wid);
+                    debug_assert!(acked, "write-ack for unknown wid");
+                    self.counters.bump("wbuf.acked");
+                    if self.nodes[node].wbuf.is_drained()
+                        && self.nodes[node].waiting == Waiting::Flush
+                    {
+                        self.flush_done(node, t);
+                    }
+                }
+                RicEffect::UpdateApplied { node, data } => {
+                    self.counters.bump("ric.update_applied");
+                    if let Some(line) = self.nodes[node].cache.get_mut(block) {
+                        if line.valid && line.update {
+                            // merge: keep locally-dirty words
+                            let keep = line.dirty;
+                            let mut merged = data;
+                            merged.merge_masked(&line.data, keep);
+                            line.data = merged;
+                        }
+                    }
+                }
+                RicEffect::UpdateDropped { .. } => {
+                    self.counters.bump("ric.update_dropped");
+                }
+                RicEffect::ReadValue { node, word, value } => {
+                    if let Some(addr) = self.nodes[node].pending_record.take() {
+                        if addr.block == block && addr.word == word {
+                            self.record_read(node, addr, value);
+                        } else {
+                            self.nodes[node].pending_record = Some(addr);
+                        }
+                    }
+                    if let Some((addr, target)) = self.nodes[node].spin_global {
+                        if addr.block == block && addr.word == word {
+                            if value == target {
+                                self.nodes[node].spin_global = None;
+                                self.resume_from(node, Waiting::Fill, t);
+                            } else {
+                                // re-poll after a cycle
+                                self.nodes[node].unstall(t);
+                                self.nodes[node].stall(Waiting::Timer, t);
+                                self.events.schedule(t + 1, Ev::Retry(node));
+                            }
+                            continue;
+                        }
+                    }
+                    if self.nodes[node].waiting == Waiting::Fill {
+                        self.resume_from(node, Waiting::Fill, t);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_wbi_effects(&mut self, ctx: WbiCtx, effects: Vec<WbiEffect>, t: Cycle) {
+        for e in effects {
+            match e {
+                WbiEffect::FilledShared { node, ref data } => {
+                    if let WbiCtx::Data(block) = ctx {
+                        if let Some(addr) = self.nodes[node].pending_record.take() {
+                            if addr.block == block {
+                                let v = data.get(addr.word);
+                                self.record_read(node, addr, v);
+                            } else {
+                                self.nodes[node].pending_record = Some(addr);
+                            }
+                        }
+                    }
+                    match self.nodes[node].sync {
+                        Some(SyncCtx::TtsLock { lock, phase: TtsPhase::Fetch })
+                            if ctx == WbiCtx::Lock(lock) =>
+                        {
+                            self.nodes[node].unstall(t);
+                            self.tts_try(node, lock, t);
+                        }
+                        Some(SyncCtx::SwSpinFlag) if ctx == WbiCtx::Flag => {
+                            self.nodes[node].unstall(t);
+                            self.nodes[node].sync = None;
+                            self.sw_spin_flag(node, t);
+                        }
+                        _ => {
+                            if self.nodes[node].spin_global.is_some()
+                                && self.nodes[node].waiting == Waiting::Fill
+                            {
+                                // re-check the freshly filled value
+                                self.nodes[node].unstall(t);
+                                self.nodes[node].stall(Waiting::Timer, t);
+                                self.events.schedule(t + 1, Ev::Retry(node));
+                            } else if self.nodes[node].waiting == Waiting::Fill {
+                                self.resume_from(node, Waiting::Fill, t);
+                            }
+                        }
+                    }
+                }
+                WbiEffect::FilledExcl { node, .. } | WbiEffect::UpgradeGranted { node } => {
+                    self.wbi_ownership_arrived(ctx, node, t);
+                }
+                WbiEffect::Invalidated { node } => {
+                    self.counters.bump("wbi.invalidated");
+                    let spin_matches = match (self.nodes[node].waiting, ctx) {
+                        (Waiting::SpinInv(SpinTarget::LockVar(l)), WbiCtx::Lock(m)) => l == m,
+                        (Waiting::SpinInv(SpinTarget::Flag), WbiCtx::Flag) => true,
+                        _ => false,
+                    };
+                    if spin_matches {
+                        self.nodes[node].unstall(t);
+                        self.nodes[node].stall(Waiting::Timer, t);
+                        self.events.schedule(t + 1, Ev::Retry(node));
+                    }
+                }
+                WbiEffect::Downgraded { .. } => {
+                    self.counters.bump("wbi.downgraded");
+                }
+            }
+        }
+    }
+
+    /// Exclusive ownership (or an upgrade) arrived for `node` on the block
+    /// identified by `ctx`: perform the deferred store / test-and-set.
+    fn wbi_ownership_arrived(&mut self, ctx: WbiCtx, node: NodeId, t: Cycle) {
+        match self.nodes[node].sync {
+            Some(SyncCtx::PendingStore { block, word, value }) if ctx == WbiCtx::Data(block) => {
+                let ok = self.wbi[block].local_write(node, word, value);
+                debug_assert!(ok, "store failed after ownership");
+                self.nodes[node].sync = None;
+                self.resume_from(node, Waiting::Fill, t);
+            }
+            Some(SyncCtx::PendingStore { block, word, value }) if ctx == WbiCtx::Lock(block) => {
+                // LockedWrite under TTS: the lock block doubles as data.
+                let ok = self.wbi_locks[block].local_write(node, word, value);
+                debug_assert!(ok, "locked store failed after ownership");
+                self.nodes[node].sync = None;
+                self.resume_from(node, Waiting::Fill, t);
+            }
+            Some(SyncCtx::TtsLock { lock, phase: TtsPhase::Acquire })
+                if ctx == WbiCtx::Lock(lock) =>
+            {
+                let old = self.wbi_locks[lock]
+                    .fetch_and_store(node, 0, 1)
+                    .expect("test-and-set without ownership");
+                self.counters.bump("lock.tts.test_and_set");
+                self.nodes[node].unstall(t);
+                if old == 0 {
+                    self.tts_acquired(node, lock, t);
+                } else {
+                    // Lost the race: the lock is held. Spin or back off.
+                    self.counters.bump("lock.tts.failed_ts");
+                    if self.cfg.locks == LockScheme::TtsBackoff {
+                        let d = {
+                            let n = &mut self.nodes[node];
+                            let mut rng = n.rng.clone();
+                            let d = n.backoff.next_delay(&mut rng);
+                            n.rng = rng;
+                            d
+                        };
+                        self.nodes[node].stall(Waiting::Timer, t);
+                        self.events.schedule(t + d, Ev::Retry(node));
+                    } else {
+                        // We own the line (value 1); the releaser's write
+                        // will invalidate us.
+                        self.nodes[node].stall(Waiting::SpinInv(SpinTarget::LockVar(lock)), t);
+                    }
+                }
+            }
+            Some(SyncCtx::TtsUnlock { lock }) if ctx == WbiCtx::Lock(lock) => {
+                let ok = self.wbi_locks[lock].local_write(node, 0, 0);
+                debug_assert!(ok, "unlock store failed after ownership");
+                self.nodes[node].sync = None;
+                self.resume_from(node, Waiting::Fill, t);
+            }
+            Some(SyncCtx::SwWriteFlag) if ctx == WbiCtx::Flag => {
+                let v = self.swbar.flag_value();
+                let ok = self.flag.local_write(node, 0, v);
+                debug_assert!(ok, "flag store failed after ownership");
+                self.nodes[node].sync = None;
+                self.resume_from(node, Waiting::Fill, t);
+            }
+            _ => {
+                // A plain exclusive fill with no pending action (possible
+                // when a queued transaction completed after its purpose was
+                // already served); just resume if stalled on it.
+                if self.nodes[node].waiting == Waiting::Fill {
+                    self.resume_from(node, Waiting::Fill, t);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Processor operation execution
+    // ------------------------------------------------------------------
+
+    fn resume(&mut self, node: NodeId) {
+        let now = self.now();
+        if self.nodes[node].done {
+            return;
+        }
+        debug_assert_eq!(
+            self.nodes[node].waiting,
+            Waiting::None,
+            "node {node} resumed while stalled"
+        );
+        self.nodes[node].ops_completed += 1;
+        // Micro-ops first, then the workload.
+        if let Some(m) = self.nodes[node].injected.pop_front() {
+            match m {
+                MicroOp::Op(op) => self.execute(node, op, now),
+                MicroOp::SwArrive => self.sw_arrive(node, now),
+                MicroOp::SwWriteFlag => self.sw_write_flag(node, now),
+                MicroOp::SwSpinFlag => self.sw_spin_flag(node, now),
+            }
+            return;
+        }
+        let op = {
+            let n = &mut self.nodes[node];
+            let mut rng = n.rng.clone();
+            let op = self.workload.next_op(node, now, &mut rng);
+            n.rng = rng;
+            op
+        };
+        match op {
+            Some(op) => self.execute(node, op, now),
+            None => {
+                let n = &mut self.nodes[node];
+                n.done = true;
+                n.done_at = now;
+                self.live -= 1;
+                self.completion = self.completion.max(now);
+            }
+        }
+    }
+
+    fn execute(&mut self, node: NodeId, op: Op, now: Cycle) {
+        match op {
+            Op::Compute(c) => {
+                self.events.schedule(now + c.max(1), Ev::Resume(node));
+            }
+            Op::Private { write } => {
+                let outcome = match self.cfg.private_mode {
+                    PrivateMode::Probabilistic => {
+                        let n = &mut self.nodes[node];
+                        let mut rng = n.rng.clone();
+                        let o = self.priv_model.reference(&mut rng);
+                        n.rng = rng;
+                        o
+                    }
+                    PrivateMode::Exact(p) => {
+                        // Draw a working-set address and run it through the
+                        // node's real private cache; homes hash from the
+                        // block address.
+                        let nn = self.cfg.geometry.nodes;
+                        let (block, dirty_victim) = {
+                            let nd = &mut self.nodes[node];
+                            let mut rng = nd.rng.clone();
+                            let block = p.address(&mut rng);
+                            nd.rng = rng;
+                            match self.priv_caches[node].access(block, write) {
+                                PrivAccess::Hit => (None, false),
+                                PrivAccess::Miss { victim_dirty } => (Some(block), victim_dirty),
+                            }
+                        };
+                        match block {
+                            None => PrivateOutcome::Hit,
+                            Some(b) => PrivateOutcome::Miss {
+                                home: (b as usize) % nn,
+                                dirty_victim,
+                                victim_home: (b as usize).wrapping_mul(31) % nn,
+                            },
+                        }
+                    }
+                };
+                match outcome {
+                    PrivateOutcome::Hit => {
+                        self.counters.bump("priv.hit");
+                        self.events.schedule(now + 1, Ev::Resume(node));
+                    }
+                    PrivateOutcome::Miss {
+                        home,
+                        dirty_victim,
+                        victim_home,
+                    } => {
+                        self.counters.bump("priv.miss");
+                        let bw = self.cfg.geometry.block_words as u32;
+                        // request to home
+                        let a1 = self.net.send(now, node, home, 1);
+                        let served = self.mems[home].service(a1, self.cfg.mem.data_cost());
+                        // block reply
+                        let a2 = self.net.send(served, home, node, bw);
+                        self.events.schedule(a2, Ev::Deliver(Proto::PrivFill { node }));
+                        self.counters.add("msg.priv", 2);
+                        if dirty_victim {
+                            self.counters.bump("priv.writeback");
+                            self.counters.bump("msg.priv");
+                            let a = self.net.send(now, node, victim_home, bw);
+                            self.mems[victim_home].service(a, self.cfg.mem.data_cost());
+                        }
+                        self.nodes[node].stall(Waiting::Fill, now);
+                    }
+                }
+            }
+            Op::SharedRead(addr) => match self.cfg.data {
+                DataScheme::Ric => {
+                    let hit_value = self.nodes[node]
+                        .cache
+                        .peek(addr.block)
+                        .filter(|l| l.valid)
+                        .map(|l| l.data.get(addr.word));
+                    if let Some(v) = hit_value {
+                        self.counters.bump("shared.read.hit");
+                        self.record_read(node, addr, v);
+                        self.events.schedule(now + 1, Ev::Resume(node));
+                    } else {
+                        self.counters.bump("shared.read.miss");
+                        if self.cfg.record_reads {
+                            self.nodes[node].pending_record = Some(addr);
+                        }
+                        let msgs = if self.cfg.auto_read_update {
+                            self.ric[addr.block].read_update(node)
+                        } else {
+                            self.ric[addr.block].read_miss(node)
+                        };
+                        self.route_all_ric(now, addr.block, msgs);
+                        self.nodes[node].stall(Waiting::Fill, now);
+                    }
+                }
+                DataScheme::Wbi => {
+                    if let Some(v) = self.wbi[addr.block].local_read(node, addr.word) {
+                        self.counters.bump("shared.read.hit");
+                        self.record_read(node, addr, v);
+                        self.events.schedule(now + 1, Ev::Resume(node));
+                    } else {
+                        self.counters.bump("shared.read.miss");
+                        if self.cfg.record_reads {
+                            self.nodes[node].pending_record = Some(addr);
+                        }
+                        let msgs = self.wbi[addr.block].read_req(node);
+                        self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
+                        self.nodes[node].stall(Waiting::Fill, now);
+                    }
+                }
+            },
+            Op::ReadGlobal(addr) => match self.cfg.data {
+                DataScheme::Ric => {
+                    self.counters.bump("shared.read.global");
+                    if self.cfg.record_reads {
+                        self.nodes[node].pending_record = Some(addr);
+                    }
+                    let msgs = self.ric[addr.block].read_global(node, addr.word);
+                    self.route_all_ric(now, addr.block, msgs);
+                    self.nodes[node].stall(Waiting::Fill, now);
+                }
+                DataScheme::Wbi => {
+                    // WBI has no cache-bypass read; a coherent read is the
+                    // closest equivalent.
+                    self.execute(node, Op::SharedRead(addr), now);
+                }
+            },
+            Op::SpinUntilGlobal(addr, target) => {
+                self.nodes[node].spin_global = Some((addr, target));
+                self.counters.bump("shared.spin_global");
+                match self.cfg.data {
+                    DataScheme::Ric => {
+                        if self.cfg.record_reads {
+                            self.nodes[node].pending_record = Some(addr);
+                        }
+                        let msgs = self.ric[addr.block].read_global(node, addr.word);
+                        self.route_all_ric(now, addr.block, msgs);
+                        self.nodes[node].stall(Waiting::Fill, now);
+                    }
+                    DataScheme::Wbi => {
+                        // Poll coherently: read (miss fetches); the value is
+                        // checked when the fill or the cached copy arrives.
+                        match self.wbi[addr.block].local_read(node, addr.word) {
+                            Some(v) if v == target => {
+                                self.record_read(node, addr, v);
+                                self.nodes[node].spin_global = None;
+                                self.events.schedule(now + 1, Ev::Resume(node));
+                            }
+                            Some(_) => {
+                                // spin on the cached copy; invalidation wakes us
+                                self.nodes[node].sync = None;
+                                self.nodes[node].stall(Waiting::Timer, now);
+                                self.events.schedule(now + 2, Ev::Retry(node));
+                            }
+                            None => {
+                                if self.cfg.record_reads {
+                                    self.nodes[node].pending_record = Some(addr);
+                                }
+                                let msgs = self.wbi[addr.block].read_req(node);
+                                self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
+                                self.nodes[node].stall(Waiting::Fill, now);
+                            }
+                        }
+                    }
+                }
+            }
+            Op::SharedWrite(addr) => {
+                let stamp = self.next_stamp();
+                self.execute(node, Op::SharedWriteVal(addr, stamp), now);
+            }
+            Op::SharedWriteVal(addr, stamp) => {
+                match self.cfg.data {
+                    DataScheme::Ric => {
+                        // Keep the local copy fresh for our own reads.
+                        if let Some(line) = self.nodes[node].cache.get_mut(addr.block) {
+                            if line.valid {
+                                line.data.set(addr.word, stamp);
+                            }
+                        }
+                        match self.nodes[node].wbuf.push(addr, stamp) {
+                            Enqueue::Accepted(_) => {
+                                self.counters.bump("shared.write.global");
+                                self.schedule_wbuf_issue(node, now);
+                                if self.cfg.model.stalls_on_global_write() {
+                                    // SC: wait until the write is performed.
+                                    self.nodes[node].stall(Waiting::Flush, now);
+                                } else {
+                                    self.events.schedule(now + 1, Ev::Resume(node));
+                                }
+                            }
+                            Enqueue::Full => {
+                                self.counters.bump("wbuf.full_stall");
+                                self.nodes[node].pending_op = Some(op);
+                                self.nodes[node].stall(Waiting::Flush, now);
+                            }
+                        }
+                    }
+                    DataScheme::Wbi => {
+                        if self.wbi[addr.block].local_write(node, addr.word, stamp) {
+                            self.counters.bump("shared.write.hit");
+                            self.events.schedule(now + 1, Ev::Resume(node));
+                        } else {
+                            self.counters.bump("shared.write.miss");
+                            let msgs = self.wbi[addr.block].write_req(node);
+                            self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
+                            self.nodes[node].sync = Some(SyncCtx::PendingStore {
+                                block: addr.block,
+                                word: addr.word,
+                                value: stamp,
+                            });
+                            self.nodes[node].stall(Waiting::Fill, now);
+                        }
+                    }
+                }
+            }
+            Op::ReadUpdate(block) => match self.cfg.data {
+                DataScheme::Ric => {
+                    let enrolled = self.nodes[node]
+                        .cache
+                        .peek(block)
+                        .map(|l| l.valid && l.update)
+                        .unwrap_or(false);
+                    if enrolled {
+                        self.events.schedule(now + 1, Ev::Resume(node));
+                    } else {
+                        let msgs = self.ric[block].read_update(node);
+                        self.route_all_ric(now, block, msgs);
+                        self.nodes[node].stall(Waiting::Fill, now);
+                    }
+                }
+                DataScheme::Wbi => {
+                    self.execute(node, Op::SharedRead(ssmp_core::addr::SharedAddr::new(block, 0)), now);
+                }
+            },
+            Op::ResetUpdate(block) => {
+                if self.cfg.data == DataScheme::Ric {
+                    if let Some(line) = self.nodes[node].cache.get_mut(block) {
+                        line.update = false;
+                    }
+                    let msgs = self.ric[block].leave(node);
+                    self.route_all_ric(now, block, msgs);
+                }
+                self.events.schedule(now + 1, Ev::Resume(node));
+            }
+            Op::Lock(lock, mode) => {
+                for &h in &self.nodes[node].held_locks.clone() {
+                    if h != lock {
+                        self.lock_order.insert((h, lock));
+                    }
+                }
+                self.nodes[node].lock_wait_start = Some(now);
+                match self.cfg.locks {
+                    LockScheme::Cbl => {
+                        if self.cbl[lock].is_active(node) {
+                            // Our previous release of this lock has not
+                            // been acknowledged yet (BC lets the processor
+                            // race ahead): the line must drain first.
+                            self.counters.bump("lock.cbl.rerequest_wait");
+                            self.nodes[node].pending_op = Some(op);
+                            self.nodes[node].stall(Waiting::LineFree(lock), now);
+                            return;
+                        }
+                        let line = CacheLine::new(self.cfg.geometry.block_words);
+                        let _ = self.nodes[node].lock_cache.try_insert(lock, line);
+                        let msgs = self.cbl[lock].request(node, mode);
+                        self.route_all_cbl(now, lock, msgs);
+                        self.nodes[node].stall(Waiting::LockGrant(lock), now);
+                    }
+                    LockScheme::Tts | LockScheme::TtsBackoff => {
+                        // TTS supports exclusive locks only.
+                        self.tts_try(node, lock, now);
+                    }
+                }
+            }
+            Op::Unlock(lock) => {
+                // CP-Synch: drain the write buffer first (buffered
+                // consistency); under SC the buffer is trivially drained.
+                if self.cfg.model.flush_before(AccessClass::CpSynch)
+                    && !self.nodes[node].wbuf.is_drained()
+                {
+                    self.counters.bump("flush.before_cp_synch");
+                    self.nodes[node].pending_op = Some(op);
+                    self.nodes[node].stall(Waiting::Flush, now);
+                    return;
+                }
+                match self.cfg.locks {
+                    LockScheme::Cbl => {
+                        self.nodes[node].held_locks.remove(&lock);
+                        let (msgs, effects) = self.cbl[lock].release(node);
+                        self.route_all_cbl(now, lock, msgs);
+                        let immediate_done = effects
+                            .iter()
+                            .any(|e| matches!(e, CblEffect::ReleaseComplete { .. }));
+                        self.apply_cbl_effects(lock, &effects, now);
+                        if self.cfg.model.waits_for_synch_completion() && !immediate_done {
+                            self.release_waiters.insert(lock, node);
+                            self.nodes[node].stall(Waiting::ReleaseDone(lock), now);
+                        } else {
+                            // BC: "the unlocking processor is allowed to
+                            // continue its computation immediately".
+                            self.events.schedule(now + 1, Ev::Resume(node));
+                        }
+                    }
+                    LockScheme::Tts | LockScheme::TtsBackoff => {
+                        self.tts_unlock(node, lock, now);
+                    }
+                }
+            }
+            Op::LockedRead(lock, word) => {
+                match self.cfg.locks {
+                    LockScheme::Cbl => {
+                        debug_assert!(self.cbl[lock].holds(node), "locked read without the lock");
+                        let _ = self.lock_data[lock].get(word);
+                        self.events.schedule(now + 1, Ev::Resume(node));
+                    }
+                    LockScheme::Tts | LockScheme::TtsBackoff => {
+                        // Lock-governed data lives in the lock block.
+                        if self.wbi_locks[lock].local_read(node, word).is_some() {
+                            self.events.schedule(now + 1, Ev::Resume(node));
+                        } else {
+                            let msgs = self.wbi_locks[lock].read_req(node);
+                            self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
+                            self.nodes[node].stall(Waiting::Fill, now);
+                        }
+                    }
+                }
+            }
+            Op::LockedWrite(lock, word) => {
+                let stamp = self.next_stamp();
+                self.execute(node, Op::LockedWriteVal(lock, word, stamp), now);
+            }
+            Op::LockedWriteVal(lock, word, stamp) => {
+                match self.cfg.locks {
+                    LockScheme::Cbl => {
+                        debug_assert!(self.cbl[lock].holds(node), "locked write without the lock");
+                        self.lock_data[lock].set(word, stamp);
+                        self.events.schedule(now + 1, Ev::Resume(node));
+                    }
+                    LockScheme::Tts | LockScheme::TtsBackoff => {
+                        if self.wbi_locks[lock].local_write(node, word, stamp) {
+                            self.events.schedule(now + 1, Ev::Resume(node));
+                        } else {
+                            let msgs = self.wbi_locks[lock].write_req(node);
+                            self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
+                            self.nodes[node].sync = Some(SyncCtx::PendingStore {
+                                block: lock,
+                                word,
+                                value: stamp,
+                            });
+                            self.nodes[node].stall(Waiting::Fill, now);
+                        }
+                    }
+                }
+            }
+            Op::SemP(sem) => {
+                // NP-Synch: no flush required.
+                self.counters.bump("sem.p");
+                let msgs = self.sems[sem].p(node);
+                for m in msgs {
+                    self.route(now, Proto::Sem { sem, msg: m });
+                }
+                self.nodes[node].stall(Waiting::SemGrant(sem), now);
+            }
+            Op::SemV(sem) => {
+                // CP-Synch: prior global writes must be performed first.
+                if self.cfg.model.flush_before(AccessClass::CpSynch)
+                    && !self.nodes[node].wbuf.is_drained()
+                {
+                    self.counters.bump("flush.before_cp_synch");
+                    self.nodes[node].pending_op = Some(op);
+                    self.nodes[node].stall(Waiting::Flush, now);
+                    return;
+                }
+                self.counters.bump("sem.v");
+                let msgs = self.sems[sem].v(node);
+                for m in msgs {
+                    self.route(now, Proto::Sem { sem, msg: m });
+                }
+                if self.cfg.model.waits_for_synch_completion() {
+                    self.nodes[node].stall(Waiting::SemDone(sem), now);
+                } else {
+                    self.events.schedule(now + 1, Ev::Resume(node));
+                }
+            }
+            Op::Barrier => {
+                if self.cfg.model.flush_before(AccessClass::CpSynch)
+                    && !self.nodes[node].wbuf.is_drained()
+                {
+                    self.counters.bump("flush.before_cp_synch");
+                    self.nodes[node].pending_op = Some(op);
+                    self.nodes[node].stall(Waiting::Flush, now);
+                    return;
+                }
+                match self.cfg.barrier {
+                    BarrierScheme::Hw => {
+                        let msgs = self.hwbar.arrive(node);
+                        for m in msgs {
+                            self.route(now, Proto::Bar { msg: m });
+                        }
+                        self.nodes[node].stall(Waiting::BarrierPass, now);
+                    }
+                    BarrierScheme::Sw => {
+                        // Expand: lock; decrement; unlock; then write or
+                        // spin on the flag.
+                        let bl = self.barrier_lock();
+                        self.nodes[node].injected.push_back(MicroOp::Op(Op::Lock(
+                            bl,
+                            LockMode::Write,
+                        )));
+                        self.nodes[node].injected.push_back(MicroOp::SwArrive);
+                        self.events.schedule(now + 1, Ev::Resume(node));
+                    }
+                }
+            }
+            Op::FlushBuffer => {
+                if self.nodes[node].wbuf.is_drained() {
+                    self.events.schedule(now + 1, Ev::Resume(node));
+                } else {
+                    self.counters.bump("flush.explicit");
+                    self.nodes[node].stall(Waiting::Flush, now);
+                }
+            }
+        }
+    }
+
+    /// The software barrier uses the last lock id as its own lock.
+    fn barrier_lock(&self) -> LockId {
+        self.wbi_locks.len() - 1
+    }
+
+    // ------------------------------------------------------------------
+    // TTS spin lock
+    // ------------------------------------------------------------------
+
+    fn tts_try(&mut self, node: NodeId, lock: LockId, now: Cycle) {
+        assert!(
+            !self.nodes[node].held_locks.contains(&lock),
+            "node {node} re-acquired lock {lock} it already holds (TTS would spin on itself forever)"
+        );
+        match self.wbi_locks[lock].local_read(node, 0) {
+            Some(0) => {
+                // Observed free: attempt the test-and-set (needs ownership).
+                if self.wbi_locks[lock].fetch_and_store(node, 0, 1).is_some() {
+                    // Already owner: acquired locally.
+                    self.counters.bump("lock.tts.test_and_set");
+                    self.tts_acquired(node, lock, now);
+                } else {
+                    let msgs = self.wbi_locks[lock].write_req(node);
+                    self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
+                    self.nodes[node].sync = Some(SyncCtx::TtsLock {
+                        lock,
+                        phase: TtsPhase::Acquire,
+                    });
+                    self.nodes[node].stall(Waiting::Fill, now);
+                }
+            }
+            Some(_) => {
+                // Held: spin passively on the cached copy.
+                self.counters.bump("lock.tts.spin");
+                self.nodes[node].sync = Some(SyncCtx::TtsLock {
+                    lock,
+                    phase: TtsPhase::Fetch,
+                });
+                self.nodes[node].stall(Waiting::SpinInv(SpinTarget::LockVar(lock)), now);
+            }
+            None => {
+                // No cached copy: fetch it.
+                let msgs = self.wbi_locks[lock].read_req(node);
+                self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
+                self.nodes[node].sync = Some(SyncCtx::TtsLock {
+                    lock,
+                    phase: TtsPhase::Fetch,
+                });
+                self.nodes[node].stall(Waiting::Fill, now);
+            }
+        }
+    }
+
+    fn tts_acquired(&mut self, node: NodeId, lock: LockId, t: Cycle) {
+        self.counters.bump("lock.tts.acquired");
+        self.nodes[node].held_locks.insert(lock);
+        self.nodes[node].sync = None;
+        self.nodes[node].backoff.reset();
+        if let Some(start) = self.nodes[node].lock_wait_start.take() {
+            self.lock_wait.record(t.saturating_sub(start));
+        }
+        self.events.schedule(t + 1, Ev::Resume(node));
+    }
+
+    fn tts_unlock(&mut self, node: NodeId, lock: LockId, now: Cycle) {
+        self.nodes[node].held_locks.remove(&lock);
+        if self.wbi_locks[lock].local_write(node, 0, 0) {
+            // We still own the line: release is local (no spinners hold
+            // copies, so nobody needs waking).
+            self.counters.bump("lock.tts.release_local");
+            self.events.schedule(now + 1, Ev::Resume(node));
+        } else {
+            // Regain ownership; the invalidations wake the spinners — the
+            // release burst of the paper.
+            self.counters.bump("lock.tts.release_remote");
+            let msgs = self.wbi_locks[lock].write_req(node);
+            self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
+            self.nodes[node].sync = Some(SyncCtx::TtsUnlock { lock });
+            self.nodes[node].stall(Waiting::Fill, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Software barrier
+    // ------------------------------------------------------------------
+
+    fn sw_arrive(&mut self, node: NodeId, now: Cycle) {
+        // Holding the barrier lock: decrement the counter (a word of the
+        // lock block — the machine tracks the count in `swbar`).
+        let last = self.swbar.arrive(node);
+        self.counters.bump("barrier.sw.arrive");
+        let bl = self.barrier_lock();
+        // store the new count into the lock block (local: we own it)
+        let count_stamp = self.next_stamp();
+        let _ = self.wbi_locks[bl].local_write(node, 1, count_stamp);
+        self.nodes[node]
+            .injected
+            .push_back(MicroOp::Op(Op::Unlock(bl)));
+        self.nodes[node].injected.push_back(if last {
+            MicroOp::SwWriteFlag
+        } else {
+            MicroOp::SwSpinFlag
+        });
+        self.events.schedule(now + 1, Ev::Resume(node));
+    }
+
+    fn sw_write_flag(&mut self, node: NodeId, now: Cycle) {
+        self.counters.bump("barrier.sw.notify");
+        let v = self.swbar.flag_value();
+        if self.flag.local_write(node, 0, v) {
+            self.events.schedule(now + 1, Ev::Resume(node));
+        } else {
+            let msgs = self.flag.write_req(node);
+            self.route_all_wbi(now, WbiCtx::Flag, msgs);
+            self.nodes[node].sync = Some(SyncCtx::SwWriteFlag);
+            self.nodes[node].stall(Waiting::Fill, now);
+        }
+    }
+
+    fn sw_spin_flag(&mut self, node: NodeId, now: Cycle) {
+        if self.swbar.passable(node) {
+            // Release flag observed (or bookkeeping already flipped): pass.
+            self.counters.bump("barrier.sw.passed");
+            self.events.schedule(now + 1, Ev::Resume(node));
+            return;
+        }
+        match self.flag.local_read(node, 0) {
+            Some(_) => {
+                // Cached copy says "not yet": spin until invalidated.
+                self.nodes[node].stall(Waiting::SpinInv(SpinTarget::Flag), now);
+                self.nodes[node].sync = Some(SyncCtx::SwSpinFlag);
+            }
+            None => {
+                let msgs = self.flag.read_req(node);
+                self.route_all_wbi(now, WbiCtx::Flag, msgs);
+                self.nodes[node].sync = Some(SyncCtx::SwSpinFlag);
+                self.nodes[node].stall(Waiting::Fill, now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write buffer
+    // ------------------------------------------------------------------
+
+    fn schedule_wbuf_issue(&mut self, node: NodeId, now: Cycle) {
+        if !self.nodes[node].wbuf_issue_scheduled {
+            self.nodes[node].wbuf_issue_scheduled = true;
+            self.events.schedule(now + 1, Ev::WbufIssue(node));
+        }
+    }
+
+    fn wbuf_issue(&mut self, node: NodeId) {
+        let now = self.now();
+        self.nodes[node].wbuf_issue_scheduled = false;
+        let Some(w) = self.nodes[node].wbuf.next_unissued() else {
+            return;
+        };
+        self.counters.bump("wbuf.issued");
+        let msgs = self.ric[w.addr.block].write_global(node, w.addr.word, w.value, w.id);
+        self.route_all_ric(now, w.addr.block, msgs);
+        // more to issue?
+        if self.nodes[node].wbuf.pending() > 0 {
+            self.schedule_wbuf_issue(node, now);
+        }
+    }
+
+    fn flush_done(&mut self, node: NodeId, t: Cycle) {
+        self.nodes[node].unstall(t);
+        if let Some(op) = self.nodes[node].pending_op.take() {
+            self.execute(node, op, t);
+        } else {
+            self.events.schedule(t + 1, Ev::Resume(node));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Retry (spin wakeup / backoff expiry)
+    // ------------------------------------------------------------------
+
+    fn retry(&mut self, node: NodeId) {
+        let now = self.now();
+        if self.nodes[node].done {
+            return;
+        }
+        if self.nodes[node].waiting == Waiting::Timer {
+            self.nodes[node].unstall(now);
+        }
+        if let Some((addr, target)) = self.nodes[node].spin_global {
+            self.execute(node, Op::SpinUntilGlobal(addr, target), now);
+            return;
+        }
+        match self.nodes[node].sync {
+            Some(SyncCtx::TtsLock { lock, .. }) => self.tts_try(node, lock, now),
+            Some(SyncCtx::SwSpinFlag) => {
+                self.nodes[node].sync = None;
+                self.sw_spin_flag(node, now);
+            }
+            other => panic!("retry with no spin context: {other:?}"),
+        }
+    }
+}
+
+/// Finds a cycle in the lock-order graph, if any (DFS with colors).
+fn find_lock_cycle(edges: &[(LockId, LockId)]) -> Option<Vec<LockId>> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut adj: BTreeMap<LockId, Vec<LockId>> = BTreeMap::new();
+    let mut nodes: BTreeSet<LockId> = BTreeSet::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    let mut visited: BTreeSet<LockId> = BTreeSet::new();
+    for &start in &nodes {
+        if visited.contains(&start) {
+            continue;
+        }
+        // iterative DFS tracking the current path
+        let mut path: Vec<LockId> = Vec::new();
+        let mut on_path: BTreeSet<LockId> = BTreeSet::new();
+        let mut stack: Vec<(LockId, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i == 0 {
+                path.push(v);
+                on_path.insert(v);
+                visited.insert(v);
+            }
+            let next = adj.get(&v).and_then(|ns| ns.get(*i)).copied();
+            *i += 1;
+            match next {
+                Some(w) => {
+                    if on_path.contains(&w) {
+                        // cycle: slice of path from w
+                        let pos = path.iter().position(|&x| x == w).expect("on path");
+                        return Some(path[pos..].to_vec());
+                    }
+                    if !visited.contains(&w) {
+                        stack.push((w, 0));
+                    }
+                }
+                None => {
+                    stack.pop();
+                    path.pop();
+                    on_path.remove(&v);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn msgs_words_cbl(msgs: &[CblMsg]) -> Vec<u32> {
+    msgs.iter().map(|m| m.words).collect()
+}
+
+fn msgs_words_ric(msgs: &[RicMsg]) -> Vec<u32> {
+    msgs.iter().map(|m| m.words).collect()
+}
+
+fn msgs_words_wbi(msgs: &[WbiMsg]) -> Vec<u32> {
+    msgs.iter().map(|m| m.words).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Script;
+    use ssmp_core::addr::SharedAddr;
+
+    fn addr(b: BlockId, w: u8) -> SharedAddr {
+        SharedAddr::new(b, w)
+    }
+
+    fn run(cfg: MachineConfig, streams: Vec<Vec<Op>>, locks: usize) -> Report {
+        let wl = Script::new(streams);
+        Machine::new(cfg, Box::new(wl), locks).run()
+    }
+
+    #[test]
+    fn empty_workload_finishes_at_zero() {
+        let r = run(MachineConfig::wbi(4), vec![vec![]; 4], 1);
+        assert_eq!(r.completion, 0);
+    }
+
+    #[test]
+    fn compute_only() {
+        let r = run(MachineConfig::wbi(2), vec![vec![Op::Compute(100)], vec![]], 1);
+        assert_eq!(r.completion, 100);
+    }
+
+    #[test]
+    fn private_references_progress() {
+        let ops = vec![Op::Private { write: false }; 200];
+        let r = run(MachineConfig::wbi(4), vec![ops; 4], 1);
+        assert!(r.completion > 200, "misses must cost time");
+        assert!(r.counters.get("priv.hit") > 600, "most references hit");
+        assert!(r.counters.get("priv.miss") > 0);
+    }
+
+    #[test]
+    fn shared_rw_wbi_roundtrip() {
+        // One node writes, another reads the same word.
+        let streams = vec![
+            vec![Op::SharedWrite(addr(0, 1)), Op::Barrier],
+            vec![Op::Barrier, Op::SharedRead(addr(0, 1))],
+        ];
+        let r = run(MachineConfig::wbi(2), streams, 1);
+        assert!(r.completion > 0);
+        assert!(r.counters.get("msg.wbi.read_req") >= 1);
+    }
+
+    #[test]
+    fn shared_rw_ric_roundtrip() {
+        let streams = vec![
+            vec![Op::SharedWrite(addr(0, 1)), Op::Barrier],
+            vec![Op::SharedRead(addr(0, 1)), Op::Barrier, Op::SharedRead(addr(0, 1))],
+        ];
+        let r = run(MachineConfig::sc_cbl(2), streams, 1);
+        assert!(r.counters.get("msg.ric.write_global") == 1);
+        // reader enrolled, so the write pushed an update
+        assert!(r.counters.get("msg.ric.update_push") >= 1);
+    }
+
+    #[test]
+    fn cbl_lock_mutual_exclusion_traffic() {
+        let cs = |n: usize| {
+            vec![
+                Op::Lock(0, LockMode::Write),
+                Op::LockedWrite(0, 1),
+                Op::Compute(n as u64 + 5),
+                Op::Unlock(0),
+            ]
+        };
+        let streams: Vec<Vec<Op>> = (0..4).map(cs).collect();
+        let r = run(MachineConfig::cbl(4), streams, 1);
+        assert_eq!(r.counters.get("lock.cbl.granted"), 4);
+        assert_eq!(r.lock_wait.count(), 4);
+    }
+
+    #[test]
+    fn tts_lock_acquire_release() {
+        let streams: Vec<Vec<Op>> = (0..4)
+            .map(|_| {
+                vec![
+                    Op::Lock(0, LockMode::Write),
+                    Op::Compute(10),
+                    Op::Unlock(0),
+                ]
+            })
+            .collect();
+        let r = run(MachineConfig::wbi(4), streams, 1);
+        assert_eq!(r.counters.get("lock.tts.acquired"), 4);
+        // contention should generate invalidation traffic
+        assert!(r.counters.get("msg.wbi.inv") > 0);
+    }
+
+    #[test]
+    fn tts_backoff_variant_acquires() {
+        let streams: Vec<Vec<Op>> = (0..8)
+            .map(|_| {
+                vec![
+                    Op::Lock(0, LockMode::Write),
+                    Op::Compute(20),
+                    Op::Unlock(0),
+                ]
+            })
+            .collect();
+        let r = run(MachineConfig::wbi_backoff(8), streams, 1);
+        assert_eq!(r.counters.get("lock.tts.acquired"), 8);
+    }
+
+    #[test]
+    fn hw_barrier_synchronises() {
+        // Node 0 computes long, others arrive early; all must leave
+        // together.
+        let mut streams = vec![vec![Op::Compute(500), Op::Barrier]];
+        for _ in 1..4 {
+            streams.push(vec![Op::Barrier]);
+        }
+        let r = run(MachineConfig::cbl(4), streams, 1);
+        assert!(r.completion >= 500);
+        assert_eq!(r.counters.get("barrier.hw.passed"), 4);
+    }
+
+    #[test]
+    fn sw_barrier_synchronises() {
+        let mut streams = vec![vec![Op::Compute(500), Op::Barrier]];
+        for _ in 1..4 {
+            streams.push(vec![Op::Barrier]);
+        }
+        let r = run(MachineConfig::wbi(4), streams, 2);
+        assert!(r.completion >= 500);
+        assert_eq!(r.counters.get("barrier.sw.arrive"), 4);
+        assert_eq!(r.counters.get("barrier.sw.notify"), 1);
+    }
+
+    #[test]
+    fn bc_overlaps_writes_sc_does_not() {
+        // A burst of global writes followed by compute: BC should overlap
+        // them; SC pays a round trip per write.
+        let ops: Vec<Op> = (0..16)
+            .map(|i| Op::SharedWrite(addr(i % 8, (i % 4) as u8)))
+            .chain(std::iter::once(Op::FlushBuffer))
+            .collect();
+        let sc = run(MachineConfig::sc_cbl(4), vec![ops.clone(); 4], 1);
+        let bc = run(MachineConfig::bc_cbl(4), vec![ops; 4], 1);
+        assert!(
+            bc.completion < sc.completion,
+            "BC ({}) must beat SC ({}) on write bursts",
+            bc.completion,
+            sc.completion
+        );
+    }
+
+    #[test]
+    fn unlock_flushes_under_bc() {
+        let ops = vec![
+            Op::Lock(0, LockMode::Write),
+            Op::SharedWrite(addr(0, 0)),
+            Op::SharedWrite(addr(1, 0)),
+            Op::Unlock(0),
+        ];
+        let r = run(MachineConfig::bc_cbl(2), vec![ops, vec![]], 1);
+        assert!(
+            r.counters.get("flush.before_cp_synch") >= 1,
+            "unlock after buffered writes must flush: {}",
+            r.counters
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let mk = || {
+            let streams: Vec<Vec<Op>> = (0..4)
+                .map(|_| {
+                    vec![
+                        Op::Private { write: false },
+                        Op::Lock(0, LockMode::Write),
+                        Op::Compute(7),
+                        Op::Unlock(0),
+                        Op::Barrier,
+                    ]
+                })
+                .collect();
+            run(MachineConfig::cbl(4), streams, 1)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.completion, b.completion);
+        assert_eq!(a.net_packets, b.net_packets);
+    }
+
+    #[test]
+    fn contended_cbl_beats_tts_on_messages() {
+        let cs: Vec<Op> = vec![
+            Op::Lock(0, LockMode::Write),
+            Op::Compute(5),
+            Op::Unlock(0),
+        ];
+        let n = 16;
+        let cbl = run(MachineConfig::cbl(n), vec![cs.clone(); n], 1);
+        let tts = run(MachineConfig::wbi(n), vec![cs; n], 1);
+        let cbl_msgs = cbl.messages("msg.cbl.");
+        let tts_msgs = tts.messages("msg.wbi.");
+        assert!(
+            cbl_msgs * 2 < tts_msgs,
+            "CBL ({cbl_msgs}) should use far fewer messages than TTS ({tts_msgs})"
+        );
+    }
+
+    #[test]
+    fn read_locks_share_under_cbl() {
+        let reader = vec![
+            Op::Lock(0, LockMode::Read),
+            Op::LockedRead(0, 1),
+            Op::Compute(50),
+            Op::Unlock(0),
+        ];
+        let r = run(MachineConfig::cbl(4), vec![reader; 4], 1);
+        assert_eq!(r.counters.get("lock.cbl.granted"), 4);
+        // with sharing, waits should be short: mean well under the CS time
+        assert!(r.lock_wait.mean().unwrap() < 100.0);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::op::Script;
+    use ssmp_core::addr::SharedAddr;
+
+    fn run_with_sems(cfg: MachineConfig, streams: Vec<Vec<Op>>, sems: &[u64]) -> Report {
+        Machine::new(cfg, Box::new(Script::new(streams)), 2)
+            .with_semaphores(sems)
+            .run()
+    }
+
+    #[test]
+    fn semaphore_blocks_until_v() {
+        // node 1 P's an empty semaphore; node 0 V's it after a long compute
+        let streams = vec![
+            vec![Op::Compute(500), Op::SemV(0)],
+            vec![Op::SemP(0)],
+        ];
+        let r = run_with_sems(MachineConfig::cbl(2), streams, &[0]);
+        assert!(r.completion >= 500, "P must wait for the V: {}", r.completion);
+        assert_eq!(r.counters.get("sem.acquired"), 1);
+    }
+
+    #[test]
+    fn semaphore_v_flushes_under_bc() {
+        let streams = vec![
+            vec![
+                Op::SharedWrite(SharedAddr::new(0, 0)),
+                Op::SharedWrite(SharedAddr::new(1, 0)),
+                Op::SemV(0),
+            ],
+            vec![Op::SemP(0)],
+        ];
+        let r = run_with_sems(MachineConfig::bc_cbl(2), streams, &[0]);
+        assert!(
+            r.counters.get("flush.before_cp_synch") >= 1,
+            "V is CP-Synch and must flush: {}",
+            r.counters
+        );
+    }
+
+    #[test]
+    fn semaphore_works_under_every_config() {
+        for cfg in [
+            MachineConfig::wbi(4),
+            MachineConfig::cbl(4),
+            MachineConfig::bc_cbl(4),
+        ] {
+            let streams: Vec<Vec<Op>> = (0..4)
+                .map(|_| vec![Op::SemP(0), Op::Compute(10), Op::SemV(0)])
+                .collect();
+            let r = run_with_sems(cfg, streams, &[2]);
+            assert_eq!(r.counters.get("sem.acquired"), 4);
+            // capacity 2: the four 10-cycle holds need at least two rounds
+            assert!(r.completion >= 20);
+        }
+    }
+
+    #[test]
+    fn spin_until_global_under_wbi() {
+        let streams = vec![
+            vec![Op::Compute(300), Op::SharedWriteVal(SharedAddr::new(3, 0), 7)],
+            vec![Op::SpinUntilGlobal(SharedAddr::new(3, 0), 7)],
+        ];
+        let r = Machine::new(MachineConfig::wbi(2), Box::new(Script::new(streams)), 2).run();
+        assert!(r.completion >= 300);
+    }
+
+    #[test]
+    fn spin_until_global_under_ric() {
+        let streams = vec![
+            vec![
+                Op::Compute(300),
+                Op::SharedWriteVal(SharedAddr::new(3, 0), 7),
+                Op::FlushBuffer,
+            ],
+            vec![Op::SpinUntilGlobal(SharedAddr::new(3, 0), 7)],
+        ];
+        let r = Machine::new(MachineConfig::bc_cbl(2), Box::new(Script::new(streams)), 2).run();
+        assert!(r.completion >= 300);
+        assert!(r.counters.get("msg.ric.read_global") >= 1);
+    }
+
+    #[test]
+    fn bus_topology_runs_and_serialises() {
+        let mut omega = MachineConfig::bc_cbl(8);
+        let mut bus = MachineConfig::bc_cbl(8);
+        bus.topology = ssmp_net::Topology::Bus;
+        omega.topology = ssmp_net::Topology::Omega;
+        let mk = |cfg: MachineConfig| {
+            let streams: Vec<Vec<Op>> = (0..8)
+                .map(|i| {
+                    (0..20)
+                        .map(|k| Op::ReadGlobal(SharedAddr::new((i + k) % 8, 0)))
+                        .collect()
+                })
+                .collect();
+            Machine::new(cfg, Box::new(Script::new(streams)), 1).run().completion
+        };
+        let o = mk(omega);
+        let b = mk(bus);
+        assert!(b > o, "bus ({b}) must be slower than omega ({o}) under load");
+    }
+
+    #[test]
+    fn exact_private_mode_runs() {
+        let mut cfg = MachineConfig::bc_cbl(4);
+        cfg.private_mode = crate::config::PrivateMode::Exact(Default::default());
+        let streams: Vec<Vec<Op>> =
+            (0..4).map(|_| vec![Op::Private { write: false }; 300]).collect();
+        let r = Machine::new(cfg, Box::new(Script::new(streams)), 1).run();
+        let hits = r.counters.get("priv.hit");
+        let misses = r.counters.get("priv.miss");
+        assert_eq!(hits + misses, 4 * 300);
+        assert!(misses > 0, "cold caches must miss");
+    }
+
+    #[test]
+    fn stall_breakdown_populates() {
+        let streams: Vec<Vec<Op>> = (0..4)
+            .map(|_| {
+                vec![
+                    Op::Lock(0, LockMode::Write),
+                    Op::Compute(20),
+                    Op::Unlock(0),
+                    Op::Barrier,
+                ]
+            })
+            .collect();
+        let r = Machine::new(MachineConfig::cbl(4), Box::new(Script::new(streams)), 2).run();
+        assert!(r.stall_breakdown.get("lock").copied().unwrap_or(0) > 0);
+        assert!(r.stall_breakdown.get("barrier").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn limited_directory_config_applies() {
+        let mut cfg = MachineConfig::wbi(8);
+        cfg.wbi_sharer_limit = Some(1);
+        let streams: Vec<Vec<Op>> = (0..8)
+            .map(|_| vec![Op::SharedRead(SharedAddr::new(0, 0)); 4])
+            .collect();
+        let r = Machine::new(cfg, Box::new(Script::new(streams)), 2).run();
+        assert!(
+            r.counters.get("wbi.dir_evictions") > 0,
+            "eight readers of one block must overflow a Dir_1"
+        );
+    }
+}

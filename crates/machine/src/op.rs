@@ -1,0 +1,146 @@
+//! Abstract operations and the workload interface.
+//!
+//! A workload feeds each simulated processor a stream of [`Op`]s; the
+//! machine executes each to completion (cycles, messages, stalls) before
+//! asking for the next. Workloads may keep shared state across nodes (the
+//! work-queue model's task queue, for instance) — the machine calls
+//! [`Workload::next_op`] with the node id every time that node becomes
+//! ready.
+
+use ssmp_core::addr::{BlockId, NodeId, SharedAddr};
+use ssmp_core::primitive::LockMode;
+use ssmp_engine::{Cycle, SimRng};
+
+/// Identifies a lock variable. Lock blocks live in a separate space from
+/// shared data blocks (the compiler "is responsible to ensure that multiple
+/// lock variables are not allocated to the same memory block", §4.3).
+pub type LockId = usize;
+
+/// One abstract processor operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Op {
+    /// Local computation for the given number of cycles.
+    Compute(Cycle),
+    /// A private-data reference, modelled probabilistically (Table 4 hit
+    /// ratio).
+    Private {
+        /// Store (vs. load).
+        write: bool,
+    },
+    /// Read a word of a tracked shared block.
+    SharedRead(SharedAddr),
+    /// `READ-GLOBAL`: read a word straight from main memory, bypassing the
+    /// local cache (always fresh, never cached). A plain read under WBI.
+    ReadGlobal(SharedAddr),
+    /// Repeat `READ-GLOBAL` until the word equals the given value, then
+    /// complete (a software poll loop; each probe is a memory round trip).
+    SpinUntilGlobal(SharedAddr, u64),
+    /// Write a word of a tracked shared block (a global write under RIC;
+    /// an ownership acquisition under WBI). The stored value is a
+    /// machine-generated unique version stamp.
+    SharedWrite(SharedAddr),
+    /// Like [`Op::SharedWrite`] but stores the given value — used by
+    /// correctness tests to check end-to-end visibility and lost updates.
+    SharedWriteVal(SharedAddr, u64),
+    /// `READ-UPDATE`: fetch and enroll for pushes (RIC; a plain read
+    /// elsewhere).
+    ReadUpdate(BlockId),
+    /// `RESET-UPDATE`: leave the update list (RIC; no-op elsewhere).
+    ResetUpdate(BlockId),
+    /// Acquire lock `0` in the given mode.
+    Lock(LockId, LockMode),
+    /// Release the lock.
+    Unlock(LockId),
+    /// Read a word of the block governed by a held lock (local: the data
+    /// travelled with the grant).
+    LockedRead(LockId, u8),
+    /// Write a word of the block governed by a held lock (local; the data
+    /// travels onward with the next grant).
+    LockedWrite(LockId, u8),
+    /// Like [`Op::LockedWrite`] but stores the given value (for tests).
+    LockedWriteVal(LockId, u8, u64),
+    /// Semaphore P (NP-Synch): acquire one credit of semaphore `0`,
+    /// blocking FIFO at the home directory until one is available.
+    SemP(usize),
+    /// Semaphore V (CP-Synch): return one credit (flushes the write buffer
+    /// first under buffered consistency).
+    SemV(usize),
+    /// Arrive at the global barrier and wait for everyone.
+    Barrier,
+    /// `FLUSH-BUFFER`: stall until all buffered global writes complete.
+    FlushBuffer,
+}
+
+/// A stream of operations for every node.
+///
+/// `next_op` is called when `node` finished its previous operation;
+/// returning `None` retires the node. Implementations may inspect and
+/// mutate shared state (e.g. a task queue) — calls are strictly serialised
+/// by the simulator in event order, which is deterministic.
+pub trait Workload {
+    /// The next operation for `node`, or `None` when the node is done.
+    fn next_op(&mut self, node: NodeId, now: Cycle, rng: &mut SimRng) -> Option<Op>;
+
+    /// Number of nodes this workload drives.
+    fn nodes(&self) -> usize;
+}
+
+/// A fixed per-node script; the simplest workload (used heavily in tests).
+#[derive(Debug, Clone)]
+pub struct Script {
+    streams: Vec<std::collections::VecDeque<Op>>,
+}
+
+impl Script {
+    /// Creates a script from per-node operation lists.
+    pub fn new(streams: Vec<Vec<Op>>) -> Self {
+        Self {
+            streams: streams.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// A script where every node runs the same list.
+    pub fn uniform(nodes: usize, ops: Vec<Op>) -> Self {
+        Self::new(vec![ops; nodes])
+    }
+}
+
+impl Workload for Script {
+    fn next_op(&mut self, node: NodeId, _now: Cycle, _rng: &mut SimRng) -> Option<Op> {
+        self.streams[node].pop_front()
+    }
+
+    fn nodes(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_streams_independently() {
+        let mut s = Script::new(vec![
+            vec![Op::Compute(1), Op::Compute(2)],
+            vec![Op::Barrier],
+        ]);
+        let mut rng = SimRng::new(0);
+        assert_eq!(s.next_op(1, 0, &mut rng), Some(Op::Barrier));
+        assert_eq!(s.next_op(0, 0, &mut rng), Some(Op::Compute(1)));
+        assert_eq!(s.next_op(0, 0, &mut rng), Some(Op::Compute(2)));
+        assert_eq!(s.next_op(0, 0, &mut rng), None);
+        assert_eq!(s.next_op(1, 0, &mut rng), None);
+        assert_eq!(s.nodes(), 2);
+    }
+
+    #[test]
+    fn uniform_replicates() {
+        let mut s = Script::uniform(3, vec![Op::Compute(5)]);
+        let mut rng = SimRng::new(0);
+        for n in 0..3 {
+            assert_eq!(s.next_op(n, 0, &mut rng), Some(Op::Compute(5)));
+            assert_eq!(s.next_op(n, 0, &mut rng), None);
+        }
+    }
+}

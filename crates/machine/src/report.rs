@@ -1,0 +1,87 @@
+//! Simulation results.
+
+use ssmp_engine::{Cycle, CounterSet, Histogram};
+
+/// The outcome of one machine run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Completion time in machine cycles (the paper's metric).
+    pub completion: Cycle,
+    /// Named event counters (messages by protocol/kind, hits, misses, …).
+    pub counters: CounterSet,
+    /// Lock acquisition wait times.
+    pub lock_wait: Histogram,
+    /// Total packets injected into the network.
+    pub net_packets: u64,
+    /// Total payload words carried.
+    pub net_words: u64,
+    /// Total network queueing delay (contention) in cycles.
+    pub net_queueing: u64,
+    /// Per-node stalled cycles.
+    pub stalled_cycles: Vec<Cycle>,
+    /// Per-node completed operation counts.
+    pub ops_completed: Vec<u64>,
+    /// Lock-cache overflow events across nodes (should be 0 under the
+    /// paper's conservative-mapping assumption).
+    pub lock_cache_overflows: u64,
+    /// Peak write-buffer occupancy across nodes.
+    pub wbuf_peak: usize,
+    /// Final coherent contents of each shared block (per-word values) —
+    /// the end-to-end data-integrity view used by correctness tests.
+    pub shared_memory: Vec<Vec<u64>>,
+    /// Final contents of each lock-governed block.
+    pub lock_blocks: Vec<Vec<u64>>,
+    /// Observed shared-read values `(node, block, word, value)` in
+    /// completion order (populated when `record_reads` is set).
+    pub read_log: Vec<(usize, usize, u8, u64)>,
+    /// Stalled cycles summed over nodes, by cause (fill / lock / barrier /
+    /// semaphore / flush / spin / timer).
+    pub stall_breakdown: std::collections::BTreeMap<&'static str, Cycle>,
+    /// Observed lock-order edges `held → requested` (deadlock-hazard
+    /// analysis: a cycle among these edges means the program *can*
+    /// deadlock under some timing).
+    pub lock_order_edges: Vec<(usize, usize)>,
+    /// A lock-order cycle, if any was observed (deadlock hazard).
+    pub lock_order_cycle: Option<Vec<usize>>,
+}
+
+impl Report {
+    /// Total messages counted under the given counter prefix.
+    pub fn messages(&self, prefix: &str) -> u64 {
+        self.counters.sum_prefix(prefix)
+    }
+
+    /// All protocol messages.
+    pub fn total_messages(&self) -> u64 {
+        self.counters.sum_prefix("msg.")
+    }
+
+    /// A one-screen human-readable summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "completion: {} cycles", self.completion);
+        let _ = writeln!(
+            s,
+            "network: {} packets, {} words, {} queueing cycles",
+            self.net_packets, self.net_words, self.net_queueing
+        );
+        let _ = writeln!(s, "messages: {}", self.total_messages());
+        if let Some(mean) = self.lock_wait.mean() {
+            let _ = writeln!(
+                s,
+                "lock waits: {} acquisitions, mean {:.1} cycles",
+                self.lock_wait.count(),
+                mean
+            );
+        }
+        if !self.stall_breakdown.is_empty() {
+            let _ = write!(s, "stall cycles:");
+            for (k, v) in &self.stall_breakdown {
+                let _ = write!(s, " {k}={v}");
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+}

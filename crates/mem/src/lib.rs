@@ -1,0 +1,25 @@
+//! # ssmp-mem
+//!
+//! The memory substrate: "the memory modules are distributed among the
+//! nodes in the multiprocessor" (paper §5.2). Each node hosts one module;
+//! a block's home module is `block % nodes`.
+//!
+//! Two pieces live here:
+//!
+//! * [`MemModule`] — a serially-serviced resource with Table 4 timing
+//!   (`main memory cycle time = 4 cache cycles` for block access, plus a
+//!   directory-check cost `t_D` for control transactions). The machine
+//!   asks the module when an arriving request finishes; contention at a
+//!   hot home module appears as queueing delay.
+//! * [`PrivateModel`] — the probabilistic model of *private* references
+//!   used by the paper's sync workload (Archibald-&-Baer style): a
+//!   reference hits with the Table 4 hit ratio (0.95); misses fetch a block
+//!   from a home module and occasionally write back a dirty victim.
+
+#![warn(missing_docs)]
+
+pub mod module;
+pub mod private;
+
+pub use module::{MemModule, MemTiming};
+pub use private::{ExactPrivateParams, PrivAccess, PrivCache, PrivateModel, PrivateOutcome};

@@ -1,0 +1,146 @@
+//! A memory module: a serially-serviced resource with queueing.
+
+use ssmp_engine::Cycle;
+
+/// Service costs at a memory module (paper Table 4: memory cycle time = 4
+/// cache cycles; directory checks cost `t_D`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTiming {
+    /// `t_m`: cycles to read or write a block of main memory.
+    pub block_service: Cycle,
+    /// `t_D`: cycles to check/update a directory entry.
+    pub dir_check: Cycle,
+}
+
+impl Default for MemTiming {
+    fn default() -> Self {
+        Self {
+            block_service: 4,
+            dir_check: 1,
+        }
+    }
+}
+
+impl MemTiming {
+    /// Cost of a transaction that touches the directory only.
+    pub fn control_cost(&self) -> Cycle {
+        self.dir_check
+    }
+
+    /// Cost of a transaction that touches the directory and moves a block.
+    pub fn data_cost(&self) -> Cycle {
+        self.dir_check + self.block_service
+    }
+}
+
+/// One memory module: requests are serviced one at a time in arrival
+/// order; an arrival while busy queues (modelled by the reservation time).
+#[derive(Debug, Clone, Default)]
+pub struct MemModule {
+    next_free: Cycle,
+    busy_cycles: Cycle,
+    served: u64,
+    queued: u64,
+}
+
+impl MemModule {
+    /// A fresh, idle module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Services a request arriving at `arrival` with service time `cost`;
+    /// returns the completion time.
+    pub fn service(&mut self, arrival: Cycle, cost: Cycle) -> Cycle {
+        let start = arrival.max(self.next_free);
+        if start > arrival {
+            self.queued += 1;
+        }
+        let done = start + cost;
+        self.next_free = done;
+        self.busy_cycles += cost;
+        self.served += 1;
+        done
+    }
+
+    /// Earliest cycle the module is idle.
+    pub fn next_free(&self) -> Cycle {
+        self.next_free
+    }
+
+    /// Total busy cycles (utilisation numerator).
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy_cycles
+    }
+
+    /// Requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Requests that had to queue behind an earlier one.
+    pub fn queued(&self) -> u64 {
+        self.queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn idle_module_services_immediately() {
+        let mut m = MemModule::new();
+        assert_eq!(m.service(10, 4), 14);
+        assert_eq!(m.served(), 1);
+        assert_eq!(m.queued(), 0);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut m = MemModule::new();
+        let t1 = m.service(0, 4);
+        let t2 = m.service(0, 4);
+        let t3 = m.service(0, 4);
+        assert_eq!((t1, t2, t3), (4, 8, 12));
+        assert_eq!(m.queued(), 2);
+    }
+
+    #[test]
+    fn gap_resets_queueing() {
+        let mut m = MemModule::new();
+        m.service(0, 4);
+        let t = m.service(100, 4);
+        assert_eq!(t, 104);
+        assert_eq!(m.queued(), 0);
+    }
+
+    #[test]
+    fn timing_costs() {
+        let t = MemTiming::default();
+        assert_eq!(t.control_cost(), 1);
+        assert_eq!(t.data_cost(), 5);
+    }
+
+    proptest! {
+        /// Completions are monotone for nondecreasing arrivals, and busy
+        /// time equals the sum of service costs.
+        #[test]
+        fn prop_serial_service(reqs in proptest::collection::vec((0u64..100, 1u64..10), 1..50)) {
+            let mut m = MemModule::new();
+            let mut sorted = reqs.clone();
+            sorted.sort_by_key(|&(a, _)| a);
+            let mut last_done = 0;
+            let mut total_cost = 0;
+            for (a, c) in sorted {
+                let done = m.service(a, c);
+                prop_assert!(done >= a + c);
+                prop_assert!(done >= last_done, "service overlapped");
+                last_done = done;
+                total_cost += c;
+            }
+            prop_assert_eq!(m.busy_cycles(), total_cost);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Probabilistic model of private-data references.
+//!
+//! The paper's sync workload models the cache behaviour of private data
+//! statistically (hit ratio 0.95, Table 4) rather than by address: a
+//! private reference either hits (one cache cycle) or misses, fetching a
+//! block from a uniformly random home module; a miss occasionally evicts a
+//! dirty victim whose write-back follows the fetch. Shared blocks — the
+//! interesting ones — are tracked exactly elsewhere.
+
+use ssmp_core::addr::NodeId;
+use ssmp_engine::SimRng;
+
+/// What a private reference turned into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivateOutcome {
+    /// Cache hit: serviced locally in one cycle.
+    Hit,
+    /// Miss: fetch a block from `home`; `dirty_victim` adds a write-back
+    /// of `victim_words` dirty words to `victim_home`.
+    Miss {
+        /// Home module of the fetched block.
+        home: NodeId,
+        /// Whether a dirty victim must be written back.
+        dirty_victim: bool,
+        /// Home module of the victim block (valid when `dirty_victim`).
+        victim_home: NodeId,
+    },
+}
+
+/// The private-reference model.
+#[derive(Debug, Clone)]
+pub struct PrivateModel {
+    hit_ratio: f64,
+    dirty_victim_ratio: f64,
+    nodes: usize,
+}
+
+impl PrivateModel {
+    /// Creates the model. `hit_ratio` per Table 4 is 0.95;
+    /// `dirty_victim_ratio` is the probability a miss evicts a dirty line.
+    pub fn new(hit_ratio: f64, dirty_victim_ratio: f64, nodes: usize) -> Self {
+        assert!((0.0..=1.0).contains(&hit_ratio));
+        assert!((0.0..=1.0).contains(&dirty_victim_ratio));
+        assert!(nodes >= 1);
+        Self {
+            hit_ratio,
+            dirty_victim_ratio,
+            nodes,
+        }
+    }
+
+    /// Table 4 parameters: hit ratio 0.95, and a conventional 30% dirty
+    /// victim rate (the paper does not state one; exposed for ablation).
+    pub fn paper(nodes: usize) -> Self {
+        Self::new(0.95, 0.3, nodes)
+    }
+
+    /// Rolls one private reference.
+    pub fn reference(&self, rng: &mut SimRng) -> PrivateOutcome {
+        if rng.chance(self.hit_ratio) {
+            PrivateOutcome::Hit
+        } else {
+            let home = rng.index(self.nodes);
+            let dirty = rng.chance(self.dirty_victim_ratio);
+            let victim_home = if dirty { rng.index(self.nodes) } else { home };
+            PrivateOutcome::Miss {
+                home,
+                dirty_victim: dirty,
+                victim_home,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_matches_parameter() {
+        let m = PrivateModel::new(0.95, 0.3, 8);
+        let mut rng = SimRng::new(1);
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| matches!(m.reference(&mut rng), PrivateOutcome::Hit))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.95).abs() < 0.005, "hit rate {rate}");
+    }
+
+    #[test]
+    fn misses_cover_all_homes() {
+        let m = PrivateModel::new(0.0, 0.0, 4);
+        let mut rng = SimRng::new(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            if let PrivateOutcome::Miss { home, .. } = m.reference(&mut rng) {
+                seen[home] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dirty_victim_rate() {
+        let m = PrivateModel::new(0.0, 0.5, 8);
+        let mut rng = SimRng::new(3);
+        let n = 50_000;
+        let dirty = (0..n)
+            .filter(|_| {
+                matches!(
+                    m.reference(&mut rng),
+                    PrivateOutcome::Miss {
+                        dirty_victim: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let rate = dirty as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.01, "dirty rate {rate}");
+    }
+
+    #[test]
+    fn extreme_ratios() {
+        let m = PrivateModel::new(1.0, 0.0, 2);
+        let mut rng = SimRng::new(4);
+        for _ in 0..100 {
+            assert_eq!(m.reference(&mut rng), PrivateOutcome::Hit);
+        }
+        let m = PrivateModel::new(0.0, 1.0, 2);
+        for _ in 0..100 {
+            assert!(matches!(
+                m.reference(&mut rng),
+                PrivateOutcome::Miss {
+                    dirty_victim: true,
+                    ..
+                }
+            ));
+        }
+    }
+}
+
+/// Parameters of the *exact* private-reference model: a real per-node
+/// cache over a synthetic working set, so the hit ratio **emerges** from
+/// locality instead of being assumed (Table 4 just posits 0.95). Used by
+/// the machine's `PrivateMode::Exact` and ablation A6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactPrivateParams {
+    /// Private cache size in lines (Table 4: 1024 blocks).
+    pub lines: usize,
+    /// Working-set size in blocks.
+    pub working_set: usize,
+    /// Probability a reference targets the hot subset (temporal locality).
+    pub locality: f64,
+    /// Hot-subset size in blocks.
+    pub hot_set: usize,
+    /// Probability a hit/victim line is dirtied by a write.
+    pub write_ratio: f64,
+}
+
+impl Default for ExactPrivateParams {
+    fn default() -> Self {
+        Self {
+            lines: 1024,
+            working_set: 16 * 1024,
+            locality: 0.93,
+            hot_set: 512,
+            write_ratio: 0.15,
+        }
+    }
+}
+
+impl ExactPrivateParams {
+    /// Draws a private block address for one reference.
+    pub fn address(&self, rng: &mut SimRng) -> u64 {
+        if rng.chance(self.locality) {
+            rng.below(self.hot_set as u64)
+        } else {
+            self.hot_set as u64 + rng.below((self.working_set - self.hot_set) as u64)
+        }
+    }
+}
+
+/// Outcome of an exact private-cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivAccess {
+    /// Served from the private cache.
+    Hit,
+    /// Line must be fetched; a dirty victim must be written back first.
+    Miss {
+        /// Whether the evicted line was dirty.
+        victim_dirty: bool,
+    },
+}
+
+/// A direct-mapped private cache (tag + dirty bit per line).
+#[derive(Debug, Clone)]
+pub struct PrivCache {
+    tags: Vec<Option<(u64, bool)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PrivCache {
+    /// Creates a cache of `lines` direct-mapped lines.
+    pub fn new(lines: usize) -> Self {
+        assert!(lines >= 1);
+        Self {
+            tags: vec![None; lines],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Performs one access; `write` dirties the line.
+    pub fn access(&mut self, block: u64, write: bool) -> PrivAccess {
+        let set = (block as usize) % self.tags.len();
+        match self.tags[set] {
+            Some((tag, ref mut dirty)) if tag == block => {
+                *dirty |= write;
+                self.hits += 1;
+                PrivAccess::Hit
+            }
+            ref mut slot => {
+                let victim_dirty = matches!(slot, Some((_, true)));
+                *slot = Some((block, write));
+                self.misses += 1;
+                PrivAccess::Miss { victim_dirty }
+            }
+        }
+    }
+
+    /// Observed hit ratio so far.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// (hits, misses) counters.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod exact_tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_misses_then_hits() {
+        let mut c = PrivCache::new(4);
+        assert!(matches!(c.access(1, false), PrivAccess::Miss { victim_dirty: false }));
+        assert_eq!(c.access(1, false), PrivAccess::Hit);
+        assert_eq!(c.access(1, true), PrivAccess::Hit);
+    }
+
+    #[test]
+    fn conflict_evicts_and_reports_dirty_victim() {
+        let mut c = PrivCache::new(4);
+        c.access(1, true); // set 1, dirty
+        match c.access(5, false) {
+            // 5 % 4 == 1: conflict
+            PrivAccess::Miss { victim_dirty } => assert!(victim_dirty),
+            h => panic!("{h:?}"),
+        }
+        // original line is gone
+        assert!(matches!(c.access(1, false), PrivAccess::Miss { .. }));
+    }
+
+    #[test]
+    fn hit_ratio_accounting() {
+        let mut c = PrivCache::new(8);
+        for _ in 0..3 {
+            c.access(0, false);
+        }
+        assert_eq!(c.counts(), (2, 1));
+        assert!((c.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_params_emerge_near_table4_hit_ratio() {
+        // The default working set + locality should land in the vicinity of
+        // the paper's assumed 0.95 after warmup.
+        let p = ExactPrivateParams::default();
+        let mut c = PrivCache::new(p.lines);
+        let mut rng = SimRng::new(99);
+        // warmup
+        for _ in 0..50_000 {
+            let b = p.address(&mut rng);
+            c.access(b, rng.chance(p.write_ratio));
+        }
+        let before = c.counts();
+        for _ in 0..100_000 {
+            let b = p.address(&mut rng);
+            c.access(b, rng.chance(p.write_ratio));
+        }
+        let after = c.counts();
+        let hits = after.0 - before.0;
+        let total = (after.0 + after.1) - (before.0 + before.1);
+        let ratio = hits as f64 / total as f64;
+        assert!(
+            (0.88..=0.97).contains(&ratio),
+            "steady-state hit ratio {ratio} out of the Table 4 vicinity"
+        );
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let p = ExactPrivateParams::default();
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            assert!(p.address(&mut rng) < p.working_set as u64);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! A single shared bus, and an ideal (contention-free) interconnect.
+//!
+//! The paper's §1 motivation: "it is well-known that a bus is not a
+//! scalable interconnection network" — snooping protocols exploit its
+//! broadcast, but every transaction serialises on one shared medium.
+//! [`BusNetwork`] models exactly that: one global resource, occupied for
+//! the message's word time; latency is a fixed arbitration + transfer
+//! cost. [`IdealNetwork`] is the opposite limit — fixed latency, infinite
+//! bandwidth — isolating protocol behaviour from network contention.
+
+use ssmp_engine::Cycle;
+
+use crate::omega::NetStats;
+
+/// A single split-transaction bus shared by all endpoints.
+#[derive(Debug, Clone)]
+pub struct BusNetwork {
+    ports: usize,
+    /// Bus arbitration + first-word latency.
+    arbitration: Cycle,
+    /// Cycles per payload word on the bus.
+    word_cycles: Cycle,
+    next_free: Cycle,
+    stats: NetStats,
+}
+
+impl BusNetwork {
+    /// Creates a bus connecting `ports` endpoints.
+    pub fn new(ports: usize, arbitration: Cycle, word_cycles: Cycle) -> Self {
+        assert!(ports >= 1);
+        Self {
+            ports,
+            arbitration,
+            word_cycles,
+            next_free: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Default timing: 1-cycle arbitration, 1 cycle per word.
+    pub fn with_defaults(ports: usize) -> Self {
+        Self::new(ports, 1, 1)
+    }
+
+    /// Number of endpoints.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Uncontended transit for a packet of `words`.
+    pub fn uncontended_transit(&self, words: u32) -> Cycle {
+        self.arbitration + words.max(1) as Cycle * self.word_cycles
+    }
+
+    /// Sends a packet; every transfer serialises on the one bus.
+    pub fn send(&mut self, depart: Cycle, src: usize, dst: usize, words: u32) -> Cycle {
+        assert!(src < self.ports && dst < self.ports);
+        if src == dst {
+            self.stats.packets += 1;
+            return depart;
+        }
+        let words = words.max(1);
+        let occupancy = self.arbitration + words as Cycle * self.word_cycles;
+        let start = depart.max(self.next_free);
+        let arrival = start + occupancy;
+        self.next_free = arrival;
+        self.stats.packets += 1;
+        self.stats.words += words as u64;
+        self.stats.total_transit += arrival - depart;
+        self.stats.total_queueing += start - depart;
+        arrival
+    }
+}
+
+/// An ideal interconnect: fixed latency, no contention.
+#[derive(Debug, Clone)]
+pub struct IdealNetwork {
+    ports: usize,
+    latency: Cycle,
+    stats: NetStats,
+}
+
+impl IdealNetwork {
+    /// Creates an ideal network with the given fixed latency.
+    pub fn new(ports: usize, latency: Cycle) -> Self {
+        assert!(ports >= 1);
+        Self {
+            ports,
+            latency,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Uncontended (= actual) transit.
+    pub fn uncontended_transit(&self, _words: u32) -> Cycle {
+        self.latency
+    }
+
+    /// Sends a packet; arrival is always `depart + latency`.
+    pub fn send(&mut self, depart: Cycle, src: usize, dst: usize, words: u32) -> Cycle {
+        assert!(src < self.ports && dst < self.ports);
+        if src == dst {
+            self.stats.packets += 1;
+            return depart;
+        }
+        self.stats.packets += 1;
+        self.stats.words += words.max(1) as u64;
+        self.stats.total_transit += self.latency;
+        depart + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_serialises_everything() {
+        let mut b = BusNetwork::with_defaults(8);
+        let a1 = b.send(0, 0, 1, 4); // 1 + 4 = 5
+        let a2 = b.send(0, 2, 3, 4); // queues behind
+        let a3 = b.send(0, 4, 5, 1);
+        assert_eq!(a1, 5);
+        assert_eq!(a2, 10);
+        assert_eq!(a3, 12);
+        assert_eq!(b.stats().total_queueing, 5 + 10);
+    }
+
+    #[test]
+    fn bus_idle_gap_resets() {
+        let mut b = BusNetwork::with_defaults(4);
+        b.send(0, 0, 1, 4);
+        let a = b.send(100, 1, 2, 1);
+        assert_eq!(a, 102);
+    }
+
+    #[test]
+    fn bus_self_send_free() {
+        let mut b = BusNetwork::with_defaults(4);
+        assert_eq!(b.send(7, 2, 2, 4), 7);
+    }
+
+    #[test]
+    fn ideal_never_queues() {
+        let mut i = IdealNetwork::new(8, 3);
+        for k in 0..100 {
+            let a = i.send(0, k % 8, (k + 1) % 8, 4);
+            assert_eq!(a, 3);
+        }
+        assert_eq!(i.stats().total_queueing, 0);
+    }
+
+    #[test]
+    fn transit_formulas() {
+        let b = BusNetwork::with_defaults(4);
+        assert_eq!(b.uncontended_transit(1), 2);
+        assert_eq!(b.uncontended_transit(4), 5);
+        let i = IdealNetwork::new(4, 7);
+        assert_eq!(i.uncontended_transit(4), 7);
+    }
+}

@@ -1,0 +1,109 @@
+//! Exponential backoff for spin-lock retries (the `Q-backoff` curve of
+//! Figs. 4–5).
+//!
+//! After a failed test-and-set, the processor waits a randomized delay
+//! before re-reading the lock variable, doubling the window on every
+//! consecutive failure up to a cap. This "eliminates the severe performance
+//! loss but ... also fails to scale to a large number of processors"
+//! (paper §5.2) — the window grows blind to actual contention and idles
+//! processors at release time.
+
+use ssmp_engine::{Cycle, SimRng};
+
+/// Randomized truncated exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base: Cycle,
+    cap: Cycle,
+    window: Cycle,
+}
+
+impl Backoff {
+    /// Creates a backoff policy with initial window `base` and maximum
+    /// window `cap` (both in cycles).
+    pub fn new(base: Cycle, cap: Cycle) -> Self {
+        assert!(base >= 1 && cap >= base);
+        Self {
+            base,
+            cap,
+            window: base,
+        }
+    }
+
+    /// The paper-era default: 4-cycle base, 1024-cycle cap.
+    pub fn paper_default() -> Self {
+        Self::new(4, 1024)
+    }
+
+    /// Current window size.
+    pub fn window(&self) -> Cycle {
+        self.window
+    }
+
+    /// Draws the next delay (uniform in `[1, window]`) and doubles the
+    /// window, truncated at the cap.
+    pub fn next_delay(&mut self, rng: &mut SimRng) -> Cycle {
+        let d = rng.range(1, self.window + 1);
+        self.window = (self.window * 2).min(self.cap);
+        d
+    }
+
+    /// Resets the window after a successful acquisition.
+    pub fn reset(&mut self) {
+        self.window = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_doubles_to_cap() {
+        let mut b = Backoff::new(4, 32);
+        let mut rng = SimRng::new(1);
+        assert_eq!(b.window(), 4);
+        b.next_delay(&mut rng);
+        assert_eq!(b.window(), 8);
+        b.next_delay(&mut rng);
+        b.next_delay(&mut rng);
+        assert_eq!(b.window(), 32);
+        b.next_delay(&mut rng);
+        assert_eq!(b.window(), 32, "capped");
+    }
+
+    #[test]
+    fn delays_within_window() {
+        let mut b = Backoff::new(4, 1024);
+        let mut rng = SimRng::new(2);
+        let mut prev_window = b.window();
+        for _ in 0..50 {
+            let d = b.next_delay(&mut rng);
+            assert!(d >= 1 && d <= prev_window, "delay {d} outside [1, {prev_window}]");
+            prev_window = b.window();
+        }
+    }
+
+    #[test]
+    fn reset_restores_base() {
+        let mut b = Backoff::new(4, 1024);
+        let mut rng = SimRng::new(3);
+        for _ in 0..10 {
+            b.next_delay(&mut rng);
+        }
+        assert_eq!(b.window(), 1024);
+        b.reset();
+        assert_eq!(b.window(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b1 = Backoff::paper_default();
+        let mut b2 = Backoff::paper_default();
+        let mut r1 = SimRng::new(9);
+        let mut r2 = SimRng::new(9);
+        for _ in 0..20 {
+            assert_eq!(b1.next_delay(&mut r1), b2.next_delay(&mut r2));
+        }
+    }
+}

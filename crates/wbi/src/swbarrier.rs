@@ -1,0 +1,138 @@
+//! Sense-reversing software barrier bookkeeping.
+//!
+//! The WBI baseline implements barriers in software: a lock-protected
+//! counter plus a release flag that waiters spin on (cached). The machine
+//! crate drives the actual memory traffic (lock acquire, counter
+//! decrement, flag write, spin-fill storm); this module is the shared
+//! bookkeeping — counter, sense, episode — with the invariants tested in
+//! isolation.
+//!
+//! The paper's Table 3 charges this implementation 18 messages per barrier
+//! request (lock + decrement + unlock over WBI) and `5n − 3` messages for
+//! the notify (the flag write invalidates `n − 1` cached copies, which all
+//! re-fetch).
+
+use ssmp_core::addr::NodeId;
+
+/// Bookkeeping for a sense-reversing counter barrier over `n` processors.
+#[derive(Debug, Clone)]
+pub struct SwBarrier {
+    n: usize,
+    count: usize,
+    sense: bool,
+    local_sense: Vec<bool>,
+    episode: u64,
+}
+
+impl SwBarrier {
+    /// Creates a barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Self {
+            n,
+            count: n,
+            sense: false,
+            local_sense: vec![false; n],
+            episode: 0,
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Completed episodes.
+    pub fn episode(&self) -> u64 {
+        self.episode
+    }
+
+    /// The node flips its local sense and decrements the shared counter
+    /// (the machine performs this under the barrier lock). Returns `true`
+    /// if this node is the last arriver and must perform the notify (flag
+    /// write); `false` means it must spin until [`SwBarrier::passable`]
+    /// for its sense.
+    pub fn arrive(&mut self, node: NodeId) -> bool {
+        assert!(node < self.n);
+        self.local_sense[node] = !self.local_sense[node];
+        assert!(self.count > 0, "barrier counter underflow");
+        self.count -= 1;
+        if self.count == 0 {
+            // Last arriver: reset the counter and flip the global sense
+            // (this is the flag write the others spin on).
+            self.count = self.n;
+            self.sense = !self.sense;
+            self.episode += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `node`'s spin would now observe its sense (barrier passed).
+    pub fn passable(&self, node: NodeId) -> bool {
+        self.local_sense[node] == self.sense
+    }
+
+    /// The value of the shared flag word (what a spin-read observes).
+    pub fn flag_value(&self) -> u64 {
+        self.sense as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_arriver_flips_sense() {
+        let mut b = SwBarrier::new(3);
+        assert!(!b.arrive(0));
+        assert!(!b.arrive(1));
+        assert!(!b.passable(0));
+        assert!(!b.passable(1));
+        assert!(b.arrive(2), "last arriver performs the notify");
+        assert!(b.passable(0) && b.passable(1) && b.passable(2));
+        assert_eq!(b.episode(), 1);
+    }
+
+    #[test]
+    fn reusable_with_sense_reversal() {
+        let mut b = SwBarrier::new(2);
+        for ep in 1..=4 {
+            assert!(!b.arrive(0));
+            assert!(b.arrive(1));
+            assert_eq!(b.episode(), ep);
+            assert!(b.passable(0) && b.passable(1));
+        }
+    }
+
+    #[test]
+    fn early_arriver_of_next_episode_waits() {
+        let mut b = SwBarrier::new(2);
+        b.arrive(0);
+        b.arrive(1); // episode 1 done
+        // node 0 races ahead into episode 2
+        assert!(!b.arrive(0));
+        assert!(!b.passable(0), "must wait for the slow node");
+        assert!(b.passable(1), "node 1 has not re-arrived; its sense matches");
+        assert!(b.arrive(1));
+        assert!(b.passable(0));
+    }
+
+    #[test]
+    fn single_node_barrier_always_passes() {
+        let mut b = SwBarrier::new(1);
+        for _ in 0..3 {
+            assert!(b.arrive(0));
+            assert!(b.passable(0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_node_panics() {
+        let mut b = SwBarrier::new(2);
+        b.arrive(5);
+    }
+}

@@ -1,0 +1,251 @@
+//! A phase-structured FFT-style workload (paper §4.2).
+//!
+//! "In parallel Fast Fourier Transform programs, readers may need access
+//! to different regions of a shared data structure during different phases
+//! of the computation. In implementing such algorithms, the program may
+//! selectively reset the update bit for certain regions ... and request
+//! the regions to be used in the current computation phase using the
+//! read-update primitive."
+//!
+//! Each phase, a node: `RESET-UPDATE`s the blocks of its previous region,
+//! `READ-UPDATE`s its next region (a butterfly-style partner region),
+//! performs its reads/writes, and meets the others at a barrier. This is
+//! the showcase for the *live* reader set of RIC — a write-update protocol
+//! would keep pushing to readers that no longer care.
+
+use ssmp_core::addr::SharedAddr;
+use ssmp_engine::{Cycle, SimRng};
+use ssmp_machine::{Op, Workload};
+
+/// FFT workload parameters.
+#[derive(Debug, Clone)]
+pub struct FftParams {
+    /// Number of processors (power of two).
+    pub nodes: usize,
+    /// Blocks per region (each node owns one region).
+    pub blocks_per_region: usize,
+    /// Reads per block per phase.
+    pub reads_per_block: usize,
+    /// Writes to the node's own region per phase.
+    pub writes_per_phase: usize,
+    /// Compute cycles per butterfly.
+    pub compute: Cycle,
+    /// Whether nodes `RESET-UPDATE` their previous region when moving on.
+    /// Disabling this models a write-update-like protocol where past
+    /// readers keep receiving pushes forever (the §4.1 contrast).
+    pub reset_updates: bool,
+}
+
+impl FftParams {
+    /// A paper-style setup: log2(nodes) phases over `nodes` regions.
+    pub fn paper(nodes: usize) -> Self {
+        assert!(nodes.is_power_of_two());
+        Self {
+            nodes,
+            blocks_per_region: 2,
+            reads_per_block: 2,
+            writes_per_phase: 2,
+            compute: 4,
+            reset_updates: true,
+        }
+    }
+
+    /// Number of phases (log2 n, the butterfly depth; at least 1).
+    pub fn phases(&self) -> usize {
+        self.nodes.trailing_zeros().max(1) as usize
+    }
+
+    /// The partner region node `i` reads during `phase` (butterfly
+    /// exchange pattern).
+    pub fn partner(&self, node: usize, phase: usize) -> usize {
+        node ^ (1 << (phase % self.phases().max(1)))
+            & (self.nodes - 1)
+    }
+
+    /// Blocks of a region.
+    pub fn region_blocks(&self, region: usize) -> impl Iterator<Item = usize> + '_ {
+        let start = region * self.blocks_per_region;
+        start..start + self.blocks_per_region
+    }
+
+    /// Shared blocks the machine must provision.
+    pub fn shared_blocks(&self) -> usize {
+        self.nodes * self.blocks_per_region
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    ResetOld { phase: usize, k: usize },
+    Enroll { phase: usize, k: usize },
+    Read { phase: usize, k: usize },
+    Write { phase: usize, k: usize },
+    Sync { phase: usize },
+    Done,
+}
+
+/// The FFT phase workload.
+pub struct FftPhases {
+    p: FftParams,
+    step: Vec<Step>,
+}
+
+impl FftPhases {
+    /// Builds the workload.
+    pub fn new(p: FftParams) -> Self {
+        let step = vec![Step::Enroll { phase: 0, k: 0 }; p.nodes];
+        Self { p, step }
+    }
+
+    /// Locks needed on the machine (only the software-barrier lock).
+    pub fn machine_locks(&self) -> usize {
+        1
+    }
+}
+
+impl Workload for FftPhases {
+    fn next_op(&mut self, node: usize, _now: Cycle, _rng: &mut SimRng) -> Option<Op> {
+        let p = self.p.clone();
+        loop {
+            match self.step[node] {
+                Step::ResetOld { phase, k } => {
+                    if !p.reset_updates || k >= p.blocks_per_region {
+                        self.step[node] = Step::Enroll { phase, k: 0 };
+                        continue;
+                    }
+                    let prev_partner = p.partner(node, phase - 1);
+                    let block = prev_partner * p.blocks_per_region + k;
+                    self.step[node] = Step::ResetOld { phase, k: k + 1 };
+                    return Some(Op::ResetUpdate(block));
+                }
+                Step::Enroll { phase, k } => {
+                    if k >= p.blocks_per_region {
+                        self.step[node] = Step::Read { phase, k: 0 };
+                        continue;
+                    }
+                    let partner = p.partner(node, phase);
+                    let block = partner * p.blocks_per_region + k;
+                    self.step[node] = Step::Enroll { phase, k: k + 1 };
+                    return Some(Op::ReadUpdate(block));
+                }
+                Step::Read { phase, k } => {
+                    let total = p.blocks_per_region * p.reads_per_block;
+                    if k >= total {
+                        self.step[node] = Step::Write { phase, k: 0 };
+                        return Some(Op::Compute(p.compute));
+                    }
+                    let partner = p.partner(node, phase);
+                    let block = partner * p.blocks_per_region + (k % p.blocks_per_region);
+                    let word = ((k / p.blocks_per_region) % 4) as u8;
+                    self.step[node] = Step::Read { phase, k: k + 1 };
+                    return Some(Op::SharedRead(SharedAddr::new(block, word)));
+                }
+                Step::Write { phase, k } => {
+                    if k >= p.writes_per_phase {
+                        self.step[node] = Step::Sync { phase };
+                        return Some(Op::Barrier);
+                    }
+                    let block = node * p.blocks_per_region + (k % p.blocks_per_region);
+                    let word = (k % 4) as u8;
+                    self.step[node] = Step::Write { phase, k: k + 1 };
+                    return Some(Op::SharedWrite(SharedAddr::new(block, word)));
+                }
+                Step::Sync { phase } => {
+                    self.step[node] = if phase + 1 >= p.phases() {
+                        Step::Done
+                    } else {
+                        Step::ResetOld {
+                            phase: phase + 1,
+                            k: 0,
+                        }
+                    };
+                    continue;
+                }
+                Step::Done => return None,
+            }
+        }
+    }
+
+    fn nodes(&self) -> usize {
+        self.p.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(p: FftParams, node: usize) -> Vec<Op> {
+        let mut w = FftPhases::new(p);
+        let mut rng = SimRng::new(0);
+        let mut v = Vec::new();
+        while let Some(op) = w.next_op(node, 0, &mut rng) {
+            v.push(op);
+            assert!(v.len() < 100_000);
+        }
+        v
+    }
+
+    #[test]
+    fn phases_reset_then_enroll() {
+        let p = FftParams::paper(8);
+        let s = stream(p.clone(), 0);
+        let resets = s.iter().filter(|o| matches!(o, Op::ResetUpdate(_))).count();
+        let enrolls = s.iter().filter(|o| matches!(o, Op::ReadUpdate(_))).count();
+        // phase 0 enrolls without resetting; later phases reset then enroll
+        assert_eq!(enrolls, p.phases() * p.blocks_per_region);
+        assert_eq!(resets, (p.phases() - 1) * p.blocks_per_region);
+    }
+
+    #[test]
+    fn partners_differ_across_phases() {
+        let p = FftParams::paper(8);
+        let p0 = p.partner(3, 0);
+        let p1 = p.partner(3, 1);
+        assert_ne!(p0, p1);
+        assert_ne!(p0, 3);
+    }
+
+    #[test]
+    fn barriers_equal_phase_count_everywhere() {
+        let p = FftParams::paper(4);
+        for node in 0..4 {
+            let s = stream(p.clone(), node);
+            let barriers = s.iter().filter(|o| matches!(o, Op::Barrier)).count();
+            assert_eq!(barriers, p.phases());
+        }
+    }
+
+    #[test]
+    fn writes_target_own_region() {
+        let p = FftParams::paper(4);
+        let own: Vec<usize> = p.region_blocks(2).collect();
+        let s = stream(p, 2);
+        for op in &s {
+            if let Op::SharedWrite(a) = op {
+                assert!(own.contains(&a.block), "write outside own region");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod sticky_tests {
+    use super::*;
+    use ssmp_engine::SimRng;
+
+    #[test]
+    fn disabling_reset_emits_no_resets() {
+        let mut p = FftParams::paper(8);
+        p.reset_updates = false;
+        let mut w = FftPhases::new(p);
+        let mut rng = SimRng::new(0);
+        let mut resets = 0;
+        while let Some(op) = w.next_op(0, 0, &mut rng) {
+            if matches!(op, Op::ResetUpdate(_)) {
+                resets += 1;
+            }
+        }
+        assert_eq!(resets, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Hotspot traffic (paper §1, citing Pfister & Norton): "the
+//! synchronization accesses cause much greater network contention than
+//! accesses to normal shared data".
+//!
+//! Every processor directs a fraction `h` of its references at one *hot*
+//! block while the rest spread uniformly — the access pattern that causes
+//! tree saturation in multistage networks. Sweeping `h` (and the machine
+//! size) measures how the memory module and the Ω network degrade, and how
+//! much the hardware synchronization primitives help by removing the
+//! polling traffic entirely (compare a hot *lock* under TTS vs. CBL with
+//! the `lock_contention` example).
+
+use ssmp_core::addr::SharedAddr;
+use ssmp_engine::{Cycle, SimRng};
+use ssmp_machine::{Op, Workload};
+
+/// Hotspot workload parameters.
+#[derive(Debug, Clone)]
+pub struct HotspotParams {
+    /// Number of processors.
+    pub nodes: usize,
+    /// References per processor.
+    pub refs_per_node: usize,
+    /// Fraction of references aimed at the hot block.
+    pub hot_fraction: f64,
+    /// The hot block id.
+    pub hot_block: usize,
+    /// Number of shared blocks (cold traffic spreads over these).
+    pub shared_blocks: usize,
+    /// Fraction of references that are reads.
+    pub read_ratio: f64,
+    /// Compute cycles between references.
+    pub think: Cycle,
+    /// Content seed.
+    pub seed: u64,
+}
+
+impl HotspotParams {
+    /// A standard setup at the given scale and hot fraction.
+    pub fn new(nodes: usize, hot_fraction: f64, refs_per_node: usize) -> Self {
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        Self {
+            nodes,
+            refs_per_node,
+            hot_fraction,
+            hot_block: 0,
+            shared_blocks: 32,
+            read_ratio: 0.85,
+            think: 1,
+            seed: 0x707_5b07,
+        }
+    }
+}
+
+/// The hotspot workload.
+pub struct Hotspot {
+    p: HotspotParams,
+    rngs: Vec<SimRng>,
+    left: Vec<usize>,
+}
+
+impl Hotspot {
+    /// Builds the workload.
+    pub fn new(p: HotspotParams) -> Self {
+        let master = SimRng::new(p.seed);
+        let rngs = (0..p.nodes).map(|i| master.fork(i as u64)).collect();
+        let left = vec![p.refs_per_node; p.nodes];
+        Self { p, rngs, left }
+    }
+
+    /// Locks needed on the machine.
+    pub fn machine_locks(&self) -> usize {
+        1
+    }
+}
+
+impl Workload for Hotspot {
+    fn next_op(&mut self, node: usize, _now: Cycle, _rng: &mut SimRng) -> Option<Op> {
+        if self.left[node] == 0 {
+            return None;
+        }
+        self.left[node] -= 1;
+        let rng = &mut self.rngs[node];
+        let block = if rng.chance(self.p.hot_fraction) {
+            self.p.hot_block
+        } else {
+            // cold traffic spreads over the remaining blocks
+            1 + rng.index(self.p.shared_blocks - 1)
+        };
+        let addr = SharedAddr::new(block, rng.below(4) as u8);
+        Some(if rng.chance(self.p.read_ratio) {
+            // READ-GLOBAL forces a memory round trip per reference — the
+            // polling pattern that saturates the hot module.
+            Op::ReadGlobal(addr)
+        } else {
+            Op::SharedWriteVal(addr, 1)
+        })
+    }
+
+    fn nodes(&self) -> usize {
+        self.p.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(p: HotspotParams, node: usize) -> Vec<Op> {
+        let mut w = Hotspot::new(p);
+        let mut rng = SimRng::new(0);
+        let mut v = Vec::new();
+        while let Some(op) = w.next_op(node, 0, &mut rng) {
+            v.push(op);
+        }
+        v
+    }
+
+    #[test]
+    fn emits_exactly_refs_per_node() {
+        let p = HotspotParams::new(4, 0.25, 100);
+        assert_eq!(stream(p, 2).len(), 100);
+    }
+
+    #[test]
+    fn hot_fraction_is_respected() {
+        let p = HotspotParams::new(1, 0.25, 20_000);
+        let s = stream(p, 0);
+        let hot = s
+            .iter()
+            .filter(|o| {
+                matches!(o, Op::ReadGlobal(a) | Op::SharedWriteVal(a, _) if a.block == 0)
+            })
+            .count();
+        let frac = hot as f64 / s.len() as f64;
+        assert!((frac - 0.25).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn zero_fraction_never_hits_hot_block() {
+        let p = HotspotParams::new(2, 0.0, 1000);
+        let s = stream(p, 0);
+        assert!(!s.iter().any(|o| matches!(
+            o,
+            Op::ReadGlobal(a) | Op::SharedWriteVal(a, _) if a.block == 0
+        )));
+    }
+
+    #[test]
+    fn full_fraction_only_hot_block() {
+        let p = HotspotParams::new(2, 1.0, 1000);
+        let s = stream(p, 1);
+        assert!(s.iter().all(|o| matches!(
+            o,
+            Op::ReadGlobal(a) | Op::SharedWriteVal(a, _) if a.block == 0
+        )));
+    }
+}

@@ -1,0 +1,43 @@
+//! # ssmp-workload
+//!
+//! Workload generators driving the `ssmp-machine` simulator. Two of them
+//! reproduce the paper's §5.2 evaluation models; two more reproduce the
+//! analytical case studies of §4.
+//!
+//! | Generator | Paper source |
+//! |---|---|
+//! | [`SyncModel`] | the probabilistic memory-reference model "similar to the one developed by Archibald and Baer", Table 4 parameters |
+//! | [`WorkQueue`] | the work-queue dynamic-scheduling model of §5.2 |
+//! | [`LinearSolver`] | the iterative linear-equation solver of §4.1 / Table 2 |
+//! | [`FftPhases`] | the phase-structured FFT access pattern of §4.2 (`RESET-UPDATE` showcase) |
+//! | [`Trace`] | trace capture/replay — the §6 "trace-driven simulation" direction |
+//! | [`Hotspot`] | hotspot traffic (§1, citing Pfister & Norton): tree saturation in the Ω network |
+//! | [`Sor`] | red-black SOR stencil — stable neighbour read sets, RIC's best case |
+//!
+//! ## Determinism across schemes
+//!
+//! Comparing machine configurations is only meaningful if every
+//! configuration executes the *same work*. Generators therefore draw all
+//! content decisions (which block, read vs. write, task sizes) from
+//! internal per-node RNGs advanced one step per generated operation —
+//! independent of simulated time — so the operation streams are identical
+//! across schemes, seeds being equal. Timing-dependent state (who dequeues
+//! which task) still interleaves naturally through the shared queue state.
+
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod hotspot;
+pub mod solver;
+pub mod sor;
+pub mod sync_model;
+pub mod trace;
+pub mod work_queue;
+
+pub use fft::{FftParams, FftPhases};
+pub use hotspot::{Hotspot, HotspotParams};
+pub use solver::{Allocation, LinearSolver, ReadMode, SolverParams};
+pub use sor::{Sor, SorParams};
+pub use sync_model::{SyncModel, SyncParams};
+pub use trace::{Trace, TraceReplay};
+pub use work_queue::{Grain, WorkQueue, WorkQueueParams};

@@ -1,0 +1,250 @@
+//! The iterative **linear-equation solver** of paper §4.1 (Table 2).
+//!
+//! `Ax = b` solved by Jacobi-style iteration: in every iteration each
+//! processor `i` reads the whole `x` vector of the previous iteration,
+//! computes, writes its own `x_i`, and all processors synchronize at a
+//! barrier. The coherence-relevant traffic is entirely the `x` vector
+//! (the analysis "is focused only on the global operations of the x
+//! vector"), which this workload reproduces; the `A`-row and `b` accesses
+//! are private.
+//!
+//! Two allocations of `x` reproduce Table 2's invalidation variants:
+//!
+//! * [`Allocation::Packed`] (`inv-I`): `B` consecutive elements share a
+//!   block — false sharing on writes;
+//! * [`Allocation::Padded`] (`inv-II`): one element per block — `n×` the
+//!   initial-load and reload traffic.
+//!
+//! Under RIC the processors enroll once with `READ-UPDATE` and writes push
+//! updates; under WBI every write invalidates all readers, who re-fetch
+//! next iteration.
+
+use ssmp_core::addr::SharedAddr;
+use ssmp_engine::{Cycle, SimRng};
+use ssmp_machine::{Op, Workload};
+
+/// How the solver reads remote `x` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// `SharedRead`: under RIC the machine enrolls the reader on its first
+    /// miss (`READ-UPDATE`), so writers push fresh values afterwards.
+    Enroll,
+    /// `READ-GLOBAL` on every access: always fresh, never cached — the
+    /// honest no-enrollment alternative under RIC (a plain coherence-free
+    /// `READ` would silently serve stale values forever).
+    Global,
+}
+
+/// How the `x` vector is laid out over blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allocation {
+    /// `B` elements per block (Table 2's `inv-I` when run under WBI).
+    Packed,
+    /// One element per block (`inv-II`).
+    Padded,
+}
+
+/// Solver parameters.
+#[derive(Debug, Clone)]
+pub struct SolverParams {
+    /// Processors (= unknowns; the paper's dance-hall n×n case).
+    pub nodes: usize,
+    /// Jacobi iterations.
+    pub iterations: usize,
+    /// Block size in words (Table 4: 4).
+    pub block_words: u8,
+    /// `x` layout.
+    pub allocation: Allocation,
+    /// Remote-read strategy.
+    pub read_mode: ReadMode,
+    /// Compute cycles per element combine (the `a_ij * x_j` work).
+    pub compute_per_element: Cycle,
+}
+
+impl SolverParams {
+    /// Paper-style setup.
+    pub fn paper(nodes: usize, allocation: Allocation, iterations: usize) -> Self {
+        Self {
+            nodes,
+            iterations,
+            block_words: 4,
+            allocation,
+            read_mode: ReadMode::Enroll,
+            compute_per_element: 2,
+        }
+    }
+
+    /// Address of element `j` under the allocation.
+    pub fn element(&self, j: usize) -> SharedAddr {
+        match self.allocation {
+            Allocation::Packed => SharedAddr::new(
+                j / self.block_words as usize,
+                (j % self.block_words as usize) as u8,
+            ),
+            Allocation::Padded => SharedAddr::new(j, 0),
+        }
+    }
+
+    /// Shared blocks the machine must provision.
+    pub fn shared_blocks(&self) -> usize {
+        match self.allocation {
+            Allocation::Packed => self.nodes.div_ceil(self.block_words as usize),
+            Allocation::Padded => self.nodes,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Reading x_j (j counts up, skipping own element).
+    Read { iter: usize, j: usize },
+    /// Combine step after each read.
+    Compute { iter: usize, j: usize },
+    /// Write own element.
+    Write { iter: usize },
+    /// Barrier after the write.
+    Sync { iter: usize },
+    Done,
+}
+
+/// The solver workload.
+pub struct LinearSolver {
+    p: SolverParams,
+    phase: Vec<Phase>,
+}
+
+impl LinearSolver {
+    /// Builds the workload.
+    pub fn new(p: SolverParams) -> Self {
+        let phase = vec![Phase::Read { iter: 0, j: 0 }; p.nodes];
+        Self { p, phase }
+    }
+
+    /// Locks needed on the machine (only the software-barrier lock).
+    pub fn machine_locks(&self) -> usize {
+        1
+    }
+}
+
+impl Workload for LinearSolver {
+    fn next_op(&mut self, node: usize, _now: Cycle, _rng: &mut SimRng) -> Option<Op> {
+        let n = self.p.nodes;
+        loop {
+            match self.phase[node] {
+                Phase::Read { iter, j } => {
+                    if j >= n {
+                        self.phase[node] = Phase::Write { iter };
+                        continue;
+                    }
+                    if j == node {
+                        // own element: no global read needed
+                        self.phase[node] = Phase::Read { iter, j: j + 1 };
+                        continue;
+                    }
+                    self.phase[node] = Phase::Compute { iter, j };
+                    return Some(match self.p.read_mode {
+                        ReadMode::Enroll => Op::SharedRead(self.p.element(j)),
+                        ReadMode::Global => Op::ReadGlobal(self.p.element(j)),
+                    });
+                }
+                Phase::Compute { iter, j } => {
+                    self.phase[node] = Phase::Read { iter, j: j + 1 };
+                    return Some(Op::Compute(self.p.compute_per_element));
+                }
+                Phase::Write { iter } => {
+                    self.phase[node] = Phase::Sync { iter };
+                    return Some(Op::SharedWrite(self.p.element(node)));
+                }
+                Phase::Sync { iter } => {
+                    self.phase[node] = if iter + 1 >= self.p.iterations {
+                        Phase::Done
+                    } else {
+                        Phase::Read {
+                            iter: iter + 1,
+                            j: 0,
+                        }
+                    };
+                    return Some(Op::Barrier);
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+
+    fn nodes(&self) -> usize {
+        self.p.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(p: SolverParams, node: usize) -> Vec<Op> {
+        let mut w = LinearSolver::new(p);
+        let mut rng = SimRng::new(0);
+        let mut v = Vec::new();
+        while let Some(op) = w.next_op(node, 0, &mut rng) {
+            v.push(op);
+            assert!(v.len() < 1_000_000);
+        }
+        v
+    }
+
+    #[test]
+    fn reads_every_other_element_each_iteration() {
+        let p = SolverParams::paper(4, Allocation::Packed, 2);
+        let s = stream(p, 1);
+        let reads = s
+            .iter()
+            .filter(|o| matches!(o, Op::SharedRead(_)))
+            .count();
+        assert_eq!(reads, 2 * 3, "2 iterations × (n-1) reads");
+        let writes = s
+            .iter()
+            .filter(|o| matches!(o, Op::SharedWrite(_)))
+            .count();
+        assert_eq!(writes, 2);
+        let barriers = s.iter().filter(|o| matches!(o, Op::Barrier)).count();
+        assert_eq!(barriers, 2);
+    }
+
+    #[test]
+    fn packed_layout_collides_padded_does_not() {
+        let packed = SolverParams::paper(8, Allocation::Packed, 1);
+        assert_eq!(packed.element(0).block, packed.element(3).block);
+        assert_ne!(packed.element(0).block, packed.element(4).block);
+        assert_eq!(packed.shared_blocks(), 2);
+
+        let padded = SolverParams::paper(8, Allocation::Padded, 1);
+        assert_ne!(padded.element(0).block, padded.element(1).block);
+        assert_eq!(padded.shared_blocks(), 8);
+    }
+
+    #[test]
+    fn own_element_never_read() {
+        let p = SolverParams::paper(4, Allocation::Padded, 1);
+        let own = p.element(2);
+        let s = stream(p, 2);
+        assert!(!s
+            .iter()
+            .any(|o| matches!(o, Op::SharedRead(a) if *a == own)));
+        assert!(s
+            .iter()
+            .any(|o| matches!(o, Op::SharedWrite(a) if *a == own)));
+    }
+
+    #[test]
+    fn barrier_counts_match_across_nodes() {
+        let p = SolverParams::paper(4, Allocation::Packed, 3);
+        let counts: Vec<usize> = (0..4)
+            .map(|n| {
+                stream(p.clone(), n)
+                    .iter()
+                    .filter(|o| matches!(o, Op::Barrier))
+                    .count()
+            })
+            .collect();
+        assert!(counts.iter().all(|&c| c == 3));
+    }
+}

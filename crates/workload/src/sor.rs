@@ -1,0 +1,232 @@
+//! Red-black successive over-relaxation (SOR) — a second full application
+//! alongside the linear solver, with the *stable neighbour read set* that
+//! reader-initiated coherence is built for.
+//!
+//! A 1-D ring of grid chunks, one per processor. Each sweep has two
+//! half-phases (red, black); in each half-phase a processor reads the
+//! boundary words of its two neighbours' chunks, relaxes its own interior
+//! (compute + local writes), writes its own boundary words globally, and
+//! meets a barrier. The neighbour set never changes, so under RIC each
+//! processor enrolls once per neighbour boundary block and every later
+//! sweep's reads are push-fresh cache hits; under WBI every sweep's
+//! boundary writes invalidate the neighbours, who re-fetch — Table 2's
+//! read-reload cost, iterated.
+
+use ssmp_core::addr::SharedAddr;
+use ssmp_engine::{Cycle, SimRng};
+use ssmp_machine::{Op, Workload};
+
+/// SOR workload parameters.
+#[derive(Debug, Clone)]
+pub struct SorParams {
+    /// Number of processors (= chunks, ring topology).
+    pub nodes: usize,
+    /// Full red/black sweeps.
+    pub sweeps: usize,
+    /// Interior points per chunk (compute volume per half-phase).
+    pub interior: usize,
+    /// Compute cycles per relaxed point.
+    pub compute_per_point: Cycle,
+}
+
+impl SorParams {
+    /// A standard setup.
+    pub fn new(nodes: usize, sweeps: usize) -> Self {
+        Self {
+            nodes,
+            sweeps,
+            interior: 16,
+            compute_per_point: 2,
+        }
+    }
+
+    /// The boundary block owned by chunk `c` (one block per chunk).
+    pub fn boundary_block(&self, chunk: usize) -> usize {
+        chunk
+    }
+
+    /// Shared blocks the machine must provision.
+    pub fn shared_blocks(&self) -> usize {
+        self.nodes
+    }
+
+    /// Left/right neighbours on the ring.
+    pub fn neighbours(&self, chunk: usize) -> (usize, usize) {
+        (
+            (chunk + self.nodes - 1) % self.nodes,
+            (chunk + 1) % self.nodes,
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Read neighbour boundaries: k in 0..4 (2 words from each side).
+    ReadHalo { sweep: usize, half: u8, k: u8 },
+    /// Relax the interior.
+    Relax { sweep: usize, half: u8 },
+    /// Publish own boundary: k in 0..2.
+    WriteBoundary { sweep: usize, half: u8, k: u8 },
+    /// Half-phase barrier.
+    Sync { sweep: usize, half: u8 },
+    Done,
+}
+
+/// The SOR workload.
+pub struct Sor {
+    p: SorParams,
+    step: Vec<Step>,
+}
+
+impl Sor {
+    /// Builds the workload.
+    pub fn new(p: SorParams) -> Self {
+        let step = vec![
+            Step::ReadHalo {
+                sweep: 0,
+                half: 0,
+                k: 0,
+            };
+            p.nodes
+        ];
+        Self { p, step }
+    }
+
+    /// Locks needed on the machine (software-barrier lock only).
+    pub fn machine_locks(&self) -> usize {
+        1
+    }
+}
+
+impl Workload for Sor {
+    fn next_op(&mut self, node: usize, _now: Cycle, _rng: &mut SimRng) -> Option<Op> {
+        loop {
+            match self.step[node] {
+                Step::ReadHalo { sweep, half, k } => {
+                    if k >= 4 {
+                        self.step[node] = Step::Relax { sweep, half };
+                        continue;
+                    }
+                    let (left, right) = self.p.neighbours(node);
+                    let src = if k < 2 { left } else { right };
+                    let word = (k % 2) * 2 + half; // red/black words differ
+                    self.step[node] = Step::ReadHalo {
+                        sweep,
+                        half,
+                        k: k + 1,
+                    };
+                    return Some(Op::SharedRead(SharedAddr::new(
+                        self.p.boundary_block(src),
+                        word,
+                    )));
+                }
+                Step::Relax { sweep, half } => {
+                    self.step[node] = Step::WriteBoundary { sweep, half, k: 0 };
+                    return Some(Op::Compute(
+                        self.p.interior as Cycle * self.p.compute_per_point,
+                    ));
+                }
+                Step::WriteBoundary { sweep, half, k } => {
+                    if k >= 2 {
+                        self.step[node] = Step::Sync { sweep, half };
+                        return Some(Op::Barrier);
+                    }
+                    let word = k * 2 + half;
+                    self.step[node] = Step::WriteBoundary {
+                        sweep,
+                        half,
+                        k: k + 1,
+                    };
+                    return Some(Op::SharedWrite(SharedAddr::new(
+                        self.p.boundary_block(node),
+                        word,
+                    )));
+                }
+                Step::Sync { sweep, half } => {
+                    self.step[node] = if half == 0 {
+                        Step::ReadHalo {
+                            sweep,
+                            half: 1,
+                            k: 0,
+                        }
+                    } else if sweep + 1 >= self.p.sweeps {
+                        Step::Done
+                    } else {
+                        Step::ReadHalo {
+                            sweep: sweep + 1,
+                            half: 0,
+                            k: 0,
+                        }
+                    };
+                    continue;
+                }
+                Step::Done => return None,
+            }
+        }
+    }
+
+    fn nodes(&self) -> usize {
+        self.p.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(p: SorParams, node: usize) -> Vec<Op> {
+        let mut w = Sor::new(p);
+        let mut rng = SimRng::new(0);
+        let mut v = Vec::new();
+        while let Some(op) = w.next_op(node, 0, &mut rng) {
+            v.push(op);
+            assert!(v.len() < 100_000);
+        }
+        v
+    }
+
+    #[test]
+    fn sweep_structure() {
+        let p = SorParams::new(4, 3);
+        let s = stream(p, 0);
+        let barriers = s.iter().filter(|o| matches!(o, Op::Barrier)).count();
+        assert_eq!(barriers, 2 * 3, "two half-phase barriers per sweep");
+        let reads = s.iter().filter(|o| matches!(o, Op::SharedRead(_))).count();
+        assert_eq!(reads, 4 * 2 * 3, "4 halo reads per half-phase");
+        let writes = s
+            .iter()
+            .filter(|o| matches!(o, Op::SharedWrite(_)))
+            .count();
+        assert_eq!(writes, 2 * 2 * 3);
+    }
+
+    #[test]
+    fn halo_reads_target_ring_neighbours_only() {
+        let p = SorParams::new(8, 1);
+        let (l, r) = p.neighbours(3);
+        let s = stream(p, 3);
+        for op in &s {
+            if let Op::SharedRead(a) = op {
+                assert!(a.block == l || a.block == r, "read from non-neighbour {}", a.block);
+            }
+        }
+    }
+
+    #[test]
+    fn writes_own_boundary_only() {
+        let p = SorParams::new(8, 2);
+        let s = stream(p, 5);
+        for op in &s {
+            if let Op::SharedWrite(a) = op {
+                assert_eq!(a.block, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let p = SorParams::new(4, 1);
+        assert_eq!(p.neighbours(0), (3, 1));
+        assert_eq!(p.neighbours(3), (2, 0));
+    }
+}

@@ -1,0 +1,329 @@
+//! The probabilistic **sync model** (paper §5.2, Table 4).
+//!
+//! Each processor executes a fixed number of tasks. A task is `grain`
+//! memory references (the "grain size of parallelism ... decided by the
+//! number of data memory references during the execution of a task"),
+//! each shared with probability `sh` (Table 4: 0.03 during task
+//! execution) and a read with probability 0.85; non-shared references go
+//! through the probabilistic private-cache model. After its references, a
+//! task performs a synchronization episode: with probability `lock_ratio`
+//! (Table 4: 50%) a lock/critical-section/unlock on a random lock, and
+//! every `barrier_every` tasks all processors meet at a barrier
+//! (barriers must be deterministic and global to avoid deadlock, so the
+//! *placement* is fixed while the lock episodes stay probabilistic — the
+//! 50% lock ratio is interpreted as "half the synchronization episodes are
+//! locks, the other half barriers").
+
+use ssmp_core::addr::SharedAddr;
+use ssmp_core::primitive::LockMode;
+use ssmp_engine::{Cycle, SimRng};
+use ssmp_machine::{LockId, Op, Workload};
+
+/// Parameters of the sync model.
+#[derive(Debug, Clone)]
+pub struct SyncParams {
+    /// Number of processors.
+    pub nodes: usize,
+    /// Tasks per processor.
+    pub tasks_per_node: usize,
+    /// Memory references per task (grain size).
+    pub grain: usize,
+    /// Probability a reference is to shared data (Table 4: 0.03).
+    pub shared_ratio: f64,
+    /// Probability a reference is a read (Table 4: 0.85).
+    pub read_ratio: f64,
+    /// Number of shared blocks (Table 4: 32).
+    pub shared_blocks: usize,
+    /// Number of distinct locks.
+    pub locks: usize,
+    /// Probability that a task's synchronization episode is a lock
+    /// critical section (Table 4: lock ratio 50%).
+    pub lock_ratio: f64,
+    /// A global barrier every this many tasks (deterministic placement).
+    pub barrier_every: usize,
+    /// Shared references inside a critical section.
+    pub cs_refs: usize,
+    /// Compute cycles between references.
+    pub think: Cycle,
+    /// Whether the run ends with a global barrier (the work-queue model
+    /// always does; for the lock-centric sync model, completion time is
+    /// simply the last node's finish, keeping one barrier's O(n²) software
+    /// cost from dominating short runs).
+    pub final_barrier: bool,
+    /// Content seed.
+    pub seed: u64,
+}
+
+impl SyncParams {
+    /// Table 4 parameters at the given scale and grain.
+    pub fn paper(nodes: usize, grain: usize, tasks_per_node: usize) -> Self {
+        Self {
+            nodes,
+            tasks_per_node,
+            grain,
+            shared_ratio: 0.03,
+            read_ratio: 0.85,
+            shared_blocks: 32,
+            locks: 16,
+            lock_ratio: 0.5,
+            // The sync model is lock-centric; processors meet only at the
+            // final barrier (set lower for barrier-heavy variants).
+            barrier_every: usize::MAX,
+            cs_refs: 2,
+            think: 1,
+            final_barrier: false,
+            seed: 0xABCD_1234,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Remaining references in the current task.
+    Task { refs_left: usize },
+    /// Inside a critical section: remaining references, then unlock.
+    Cs { lock: LockId, refs_left: usize },
+    /// Task (including any critical section) finished; decide what's next.
+    AfterTask,
+    /// Barrier emitted; `last` ends the stream afterwards.
+    Barrier { last: bool },
+    Done,
+}
+
+struct NodeState {
+    rng: SimRng,
+    phase: Phase,
+    tasks_done: usize,
+}
+
+/// The sync-model workload.
+pub struct SyncModel {
+    p: SyncParams,
+    nodes: Vec<NodeState>,
+}
+
+impl SyncModel {
+    /// Builds the workload.
+    pub fn new(p: SyncParams) -> Self {
+        let master = SimRng::new(p.seed);
+        let nodes = (0..p.nodes)
+            .map(|i| NodeState {
+                rng: master.fork(i as u64),
+                phase: Phase::Task { refs_left: p.grain },
+                tasks_done: 0,
+            })
+            .collect();
+        Self { p, nodes }
+    }
+
+    /// Locks needed on the machine (application locks + 1 for the software
+    /// barrier).
+    pub fn machine_locks(&self) -> usize {
+        self.p.locks + 1
+    }
+
+    fn data_ref(p: &SyncParams, rng: &mut SimRng) -> Op {
+        if rng.chance(p.shared_ratio) {
+            let block = rng.index(p.shared_blocks);
+            let word = rng.below(4) as u8;
+            let a = SharedAddr::new(block, word);
+            if rng.chance(p.read_ratio) {
+                Op::SharedRead(a)
+            } else {
+                Op::SharedWrite(a)
+            }
+        } else {
+            Op::Private {
+                write: !rng.chance(p.read_ratio),
+            }
+        }
+    }
+}
+
+impl Workload for SyncModel {
+    fn next_op(&mut self, node: usize, _now: Cycle, _rng: &mut SimRng) -> Option<Op> {
+        let p = self.p.clone();
+        let st = &mut self.nodes[node];
+        loop {
+            match st.phase {
+                Phase::Task { refs_left } => {
+                    if refs_left > 0 {
+                        st.phase = Phase::Task {
+                            refs_left: refs_left - 1,
+                        };
+                        return Some(Self::data_ref(&p, &mut st.rng));
+                    }
+                    // Task body done: synchronization episode. Lock
+                    // episodes are probabilistic; barrier placement is
+                    // deterministic (all nodes must agree on barriers).
+                    st.tasks_done += 1;
+                    if st.rng.chance(p.lock_ratio) {
+                        let lock = st.rng.index(p.locks);
+                        st.phase = Phase::Cs {
+                            lock,
+                            refs_left: p.cs_refs,
+                        };
+                        return Some(Op::Lock(lock, LockMode::Write));
+                    }
+                    st.phase = Phase::AfterTask;
+                    // fall through to AfterTask
+                }
+                Phase::Cs { lock, refs_left } => {
+                    if refs_left > 0 {
+                        st.phase = Phase::Cs {
+                            lock,
+                            refs_left: refs_left - 1,
+                        };
+                        // Critical-section accesses touch the lock-governed
+                        // data (travels with a CBL grant; ordinary WBI
+                        // traffic otherwise).
+                        let w = 1 + (st.rng.below(3) as u8);
+                        return Some(if st.rng.chance(p.read_ratio) {
+                            Op::LockedRead(lock, w)
+                        } else {
+                            Op::LockedWrite(lock, w)
+                        });
+                    }
+                    st.phase = Phase::AfterTask;
+                    return Some(Op::Unlock(lock));
+                }
+                Phase::AfterTask => {
+                    let last = st.tasks_done >= p.tasks_per_node;
+                    if last && !p.final_barrier {
+                        st.phase = Phase::Done;
+                        return None;
+                    }
+                    if last || st.tasks_done.is_multiple_of(p.barrier_every) {
+                        st.phase = Phase::Barrier { last };
+                        return Some(Op::Barrier);
+                    }
+                    st.phase = Phase::Task { refs_left: p.grain };
+                    return Some(Op::Compute(p.think));
+                }
+                Phase::Barrier { last } => {
+                    if last {
+                        st.phase = Phase::Done;
+                        return None;
+                    }
+                    st.phase = Phase::Task { refs_left: p.grain };
+                    return Some(Op::Compute(p.think));
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+
+    fn nodes(&self) -> usize {
+        self.p.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_stream(p: SyncParams, node: usize) -> Vec<Op> {
+        let mut w = SyncModel::new(p);
+        let mut rng = SimRng::new(0);
+        let mut v = Vec::new();
+        while let Some(op) = w.next_op(node, 0, &mut rng) {
+            v.push(op);
+            assert!(v.len() < 1_000_000, "stream does not terminate");
+        }
+        v
+    }
+
+    #[test]
+    fn streams_terminate_and_are_nontrivial() {
+        let p = SyncParams::paper(4, 16, 8);
+        let s = collect_stream(p, 0);
+        assert!(s.len() > 8 * 16, "at least grain × tasks references");
+    }
+
+    #[test]
+    fn locks_are_balanced() {
+        let p = SyncParams::paper(2, 8, 50);
+        let s = collect_stream(p, 0);
+        let locks = s.iter().filter(|o| matches!(o, Op::Lock(..))).count();
+        let unlocks = s.iter().filter(|o| matches!(o, Op::Unlock(..))).count();
+        assert_eq!(locks, unlocks);
+        assert!(locks > 0, "with lock_ratio 0.5, some tasks must lock");
+    }
+
+    #[test]
+    fn lock_unlock_well_nested() {
+        let p = SyncParams::paper(2, 4, 30);
+        let s = collect_stream(p, 1);
+        let mut held: Option<LockId> = None;
+        for op in &s {
+            match op {
+                Op::Lock(l, _) => {
+                    assert!(held.is_none(), "nested lock");
+                    held = Some(*l);
+                }
+                Op::Unlock(l) => {
+                    assert_eq!(held, Some(*l), "unlock of non-held lock");
+                    held = None;
+                }
+                Op::LockedRead(l, _) | Op::LockedWrite(l, _) => {
+                    assert_eq!(held, Some(*l), "locked access outside CS");
+                }
+                Op::Barrier => assert!(held.is_none(), "barrier inside CS"),
+                _ => {}
+            }
+        }
+        assert!(held.is_none());
+    }
+
+    #[test]
+    fn barrier_counts_identical_across_nodes() {
+        // All nodes must emit the same number of barriers or the machine
+        // deadlocks.
+        let mut p = SyncParams::paper(4, 8, 12);
+        p.final_barrier = true;
+        p.barrier_every = 4;
+        let counts: Vec<usize> = (0..4)
+            .map(|n| {
+                collect_stream(p.clone(), n)
+                    .iter()
+                    .filter(|o| matches!(o, Op::Barrier))
+                    .count()
+            })
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        assert!(counts[0] >= 1);
+    }
+
+    #[test]
+    fn shared_ratio_is_respected() {
+        let mut p = SyncParams::paper(1, 64, 200);
+        p.lock_ratio = 0.0;
+        let s = collect_stream(p, 0);
+        let shared = s
+            .iter()
+            .filter(|o| matches!(o, Op::SharedRead(_) | Op::SharedWrite(_)))
+            .count();
+        let private = s
+            .iter()
+            .filter(|o| matches!(o, Op::Private { .. }))
+            .count();
+        let ratio = shared as f64 / (shared + private) as f64;
+        assert!((ratio - 0.03).abs() < 0.01, "shared ratio {ratio}");
+    }
+
+    #[test]
+    fn streams_deterministic() {
+        let p = SyncParams::paper(4, 16, 8);
+        let a = collect_stream(p.clone(), 2);
+        let b = collect_stream(p, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_nodes_different_content() {
+        let p = SyncParams::paper(4, 16, 8);
+        let a = collect_stream(p.clone(), 0);
+        let b = collect_stream(p, 1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,434 @@
+//! The **work-queue model** (paper §5.2): dynamic scheduling around a
+//! lock-protected, non-FIFO task queue.
+//!
+//! "The basic granularity is a task. A large problem is divided into
+//! atomic tasks ... Tasks are inserted into a work queue of executable
+//! tasks ... Each processor takes a task from the queue and processes it.
+//! If a new task is generated as a result of the processing, it is
+//! inserted into the queue. All the processors execute the same code until
+//! the task queue is empty ... If there is a need to synchronize all the
+//! processors at some point, then a barrier operation is used."
+//!
+//! Access phases and their Table 4 shared-access ratios:
+//!
+//! * **queue access** (dequeue/enqueue under the queue lock): references
+//!   are shared with probability 0.5 — the queue array lives in shared
+//!   blocks — plus reads/writes of the queue head in the lock block itself
+//!   (which travel with a CBL grant, or ping-pong under WBI);
+//! * **task execution**: `grain` references with shared probability 0.03.
+//!
+//! ## Fixed total work
+//!
+//! For cross-scheme comparability the *amount* of work must not depend on
+//! timing: the queue is pre-credited with the full task count (initial
+//! tasks plus spawns), and designated tasks additionally perform the
+//! enqueue critical section to model spawning traffic. Which processor
+//! executes which task still depends on timing, as in the real model.
+
+use ssmp_core::addr::SharedAddr;
+use ssmp_core::primitive::LockMode;
+use ssmp_engine::{Cycle, SimRng};
+use ssmp_machine::{Op, Workload};
+
+/// Task grain presets used for the figures. The paper only names the
+/// grains ("fine", "medium", "coarse"); the reference counts are chosen so
+/// the knees of the WBI curves land where the paper's text puts them
+/// (medium: stops scaling past ~16 nodes; coarse: degrades past ~32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grain {
+    /// Fine-grained parallelism (Fig. 6): 64 references per task.
+    Fine,
+    /// Medium (Figs. 4, 7): 256 references per task.
+    Medium,
+    /// Coarse (Fig. 5): 1024 references per task.
+    Coarse,
+}
+
+impl Grain {
+    /// References per task.
+    pub fn refs(self) -> usize {
+        match self {
+            Grain::Fine => 64,
+            Grain::Medium => 256,
+            Grain::Coarse => 1024,
+        }
+    }
+}
+
+/// Parameters of the work-queue model.
+#[derive(Debug, Clone)]
+pub struct WorkQueueParams {
+    /// Number of processors.
+    pub nodes: usize,
+    /// Total tasks (including spawned ones). Weak scaling: ∝ nodes.
+    pub total_tasks: usize,
+    /// References per task.
+    pub grain: usize,
+    /// Shared-access ratio during task execution (Table 4: 0.03).
+    pub task_shared_ratio: f64,
+    /// Shared-access ratio during queue access (Table 4: 0.5).
+    pub queue_shared_ratio: f64,
+    /// Read probability (Table 4: 0.85).
+    pub read_ratio: f64,
+    /// Shared blocks (Table 4: 32).
+    pub shared_blocks: usize,
+    /// References per queue access (dequeue or enqueue bookkeeping).
+    pub queue_refs: usize,
+    /// Every k-th task also performs an enqueue (spawn traffic).
+    pub spawn_every: usize,
+    /// Compute cycles between references.
+    pub think: Cycle,
+    /// Content seed.
+    pub seed: u64,
+}
+
+impl WorkQueueParams {
+    /// Strong scaling: a fixed problem of `total_tasks` tasks divided over
+    /// `nodes` processors — how the paper's figures read ("performance
+    /// degrades as the size of the system increases to more than 32
+    /// nodes" implies a fixed problem whose curve turns back up).
+    pub fn strong(nodes: usize, grain: Grain, total_tasks: usize) -> Self {
+        let mut p = Self::paper(nodes, grain, 1);
+        p.total_tasks = total_tasks;
+        p
+    }
+
+    /// Paper-style parameters: weak scaling with `tasks_per_node` tasks per
+    /// processor at the given grain.
+    pub fn paper(nodes: usize, grain: Grain, tasks_per_node: usize) -> Self {
+        Self {
+            nodes,
+            total_tasks: nodes * tasks_per_node,
+            grain: grain.refs(),
+            task_shared_ratio: 0.03,
+            queue_shared_ratio: 0.5,
+            read_ratio: 0.85,
+            shared_blocks: 32,
+            queue_refs: 2,
+            spawn_every: 4,
+            think: 1,
+            seed: 0x9e37_79b9,
+        }
+    }
+}
+
+/// The queue lock id (dequeue and enqueue serialise on it).
+pub const QUEUE_LOCK: usize = 0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Emit Lock(QUEUE_LOCK) to attempt a dequeue.
+    Start,
+    /// In the dequeue critical section.
+    Dequeue { refs_left: usize },
+    /// Unlock emitted after dequeue; `got` is the claimed task (None =>
+    /// queue empty, head to the barrier).
+    AfterDequeue { got: Option<usize> },
+    /// Executing a task.
+    Execute { task: usize, refs_left: usize },
+    /// In the enqueue (spawn) critical section.
+    Enqueue { refs_left: usize },
+    /// Spawn bookkeeping done, go back for more work.
+    AfterEnqueue,
+    /// Barrier emitted; stream ends next.
+    Final,
+    Done,
+}
+
+struct NodeState {
+    rng: SimRng,
+    phase: Phase,
+}
+
+/// The work-queue workload.
+pub struct WorkQueue {
+    p: WorkQueueParams,
+    nodes: Vec<NodeState>,
+    /// Tasks not yet claimed.
+    remaining: usize,
+    /// Tasks fully executed (statistics).
+    executed: usize,
+}
+
+impl WorkQueue {
+    /// Builds the workload.
+    pub fn new(p: WorkQueueParams) -> Self {
+        let master = SimRng::new(p.seed);
+        let nodes = (0..p.nodes)
+            .map(|i| NodeState {
+                rng: master.fork(i as u64),
+                phase: Phase::Start,
+            })
+            .collect();
+        Self {
+            remaining: p.total_tasks,
+            executed: 0,
+            p,
+            nodes,
+        }
+    }
+
+    /// Locks needed on the machine (queue lock + software-barrier lock).
+    pub fn machine_locks(&self) -> usize {
+        2
+    }
+
+    /// Tasks completed so far (== total at the end).
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+
+    fn queue_ref(p: &WorkQueueParams, rng: &mut SimRng) -> Op {
+        // Queue bookkeeping: half the references hit the shared queue
+        // storage; head/tail manipulation uses the lock block itself.
+        if rng.chance(p.queue_shared_ratio) {
+            let block = rng.index(p.shared_blocks.min(8)); // queue area
+            let word = rng.below(4) as u8;
+            let a = SharedAddr::new(block, word);
+            if rng.chance(0.5) {
+                Op::SharedRead(a)
+            } else {
+                Op::SharedWrite(a)
+            }
+        } else {
+            let w = 1 + (rng.below(3) as u8);
+            if rng.chance(0.5) {
+                Op::LockedRead(QUEUE_LOCK, w)
+            } else {
+                Op::LockedWrite(QUEUE_LOCK, w)
+            }
+        }
+    }
+
+    fn task_ref(p: &WorkQueueParams, rng: &mut SimRng) -> Op {
+        if rng.chance(p.task_shared_ratio) {
+            let block = rng.index(p.shared_blocks);
+            let word = rng.below(4) as u8;
+            let a = SharedAddr::new(block, word);
+            if rng.chance(p.read_ratio) {
+                Op::SharedRead(a)
+            } else {
+                Op::SharedWrite(a)
+            }
+        } else {
+            Op::Private {
+                write: !rng.chance(p.read_ratio),
+            }
+        }
+    }
+}
+
+impl Workload for WorkQueue {
+    fn next_op(&mut self, node: usize, _now: Cycle, _rng: &mut SimRng) -> Option<Op> {
+        let p = self.p.clone();
+        loop {
+            let st = &mut self.nodes[node];
+            match st.phase {
+                Phase::Start => {
+                    st.phase = Phase::Dequeue {
+                        refs_left: p.queue_refs,
+                    };
+                    return Some(Op::Lock(QUEUE_LOCK, LockMode::Write));
+                }
+                Phase::Dequeue { refs_left } => {
+                    if refs_left > 0 {
+                        st.phase = Phase::Dequeue {
+                            refs_left: refs_left - 1,
+                        };
+                        return Some(Self::queue_ref(&p, &mut st.rng));
+                    }
+                    // claim a task while holding the lock
+                    let got = if self.remaining > 0 {
+                        self.remaining -= 1;
+                        Some(self.p.total_tasks - self.remaining - 1)
+                    } else {
+                        None
+                    };
+                    self.nodes[node].phase = Phase::AfterDequeue { got };
+                    return Some(Op::Unlock(QUEUE_LOCK));
+                }
+                Phase::AfterDequeue { got } => match got {
+                    Some(task) => {
+                        st.phase = Phase::Execute {
+                            task,
+                            refs_left: p.grain,
+                        };
+                        return Some(Op::Compute(p.think));
+                    }
+                    None => {
+                        st.phase = Phase::Final;
+                        return Some(Op::Barrier);
+                    }
+                },
+                Phase::Execute { task, refs_left } => {
+                    if refs_left > 0 {
+                        st.phase = Phase::Execute {
+                            task,
+                            refs_left: refs_left - 1,
+                        };
+                        return Some(Self::task_ref(&p, &mut st.rng));
+                    }
+                    self.executed += 1;
+                    let spawns = p.spawn_every > 0 && task % p.spawn_every == p.spawn_every - 1;
+                    if spawns {
+                        self.nodes[node].phase = Phase::Enqueue {
+                            refs_left: p.queue_refs,
+                        };
+                        return Some(Op::Lock(QUEUE_LOCK, LockMode::Write));
+                    }
+                    st.phase = Phase::Start;
+                    // loop back for the next dequeue
+                }
+                Phase::Enqueue { refs_left } => {
+                    if refs_left > 0 {
+                        st.phase = Phase::Enqueue {
+                            refs_left: refs_left - 1,
+                        };
+                        return Some(Self::queue_ref(&p, &mut st.rng));
+                    }
+                    st.phase = Phase::AfterEnqueue;
+                    return Some(Op::Unlock(QUEUE_LOCK));
+                }
+                Phase::AfterEnqueue => {
+                    st.phase = Phase::Start;
+                    // loop back
+                }
+                Phase::Final => {
+                    st.phase = Phase::Done;
+                    return None;
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+
+    fn nodes(&self) -> usize {
+        self.p.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates the generator logic directly: round-robin the nodes as if
+    /// each op completed instantly.
+    fn drain(p: WorkQueueParams) -> (WorkQueue, Vec<Vec<Op>>) {
+        let nodes = p.nodes;
+        let mut w = WorkQueue::new(p);
+        let mut rng = SimRng::new(0);
+        let mut streams = vec![Vec::new(); nodes];
+        let mut live: Vec<usize> = (0..nodes).collect();
+        let mut guard = 0;
+        while !live.is_empty() {
+            live.retain(|&n| {
+                if let Some(op) = w.next_op(n, 0, &mut rng) {
+                    streams[n].push(op);
+                    true
+                } else {
+                    false
+                }
+            });
+            guard += 1;
+            assert!(guard < 10_000_000);
+        }
+        (w, streams)
+    }
+
+    #[test]
+    fn all_tasks_execute_exactly_once() {
+        let p = WorkQueueParams::paper(4, Grain::Fine, 8);
+        let total = p.total_tasks;
+        let (w, _) = drain(p);
+        assert_eq!(w.executed(), total);
+    }
+
+    #[test]
+    fn every_node_ends_with_one_barrier() {
+        let p = WorkQueueParams::paper(4, Grain::Fine, 4);
+        let (_, streams) = drain(p);
+        for s in &streams {
+            let barriers = s.iter().filter(|o| matches!(o, Op::Barrier)).count();
+            assert_eq!(barriers, 1);
+            assert!(matches!(s.last(), Some(Op::Barrier)));
+        }
+    }
+
+    #[test]
+    fn locks_balanced_and_nested_properly() {
+        let p = WorkQueueParams::paper(2, Grain::Medium, 6);
+        let (_, streams) = drain(p);
+        for s in &streams {
+            let mut held = false;
+            for op in s {
+                match op {
+                    Op::Lock(l, _) => {
+                        assert_eq!(*l, QUEUE_LOCK);
+                        assert!(!held);
+                        held = true;
+                    }
+                    Op::Unlock(_) => {
+                        assert!(held);
+                        held = false;
+                    }
+                    Op::LockedRead(l, w) | Op::LockedWrite(l, w) => {
+                        assert!(held, "queue access outside the lock");
+                        assert_eq!(*l, QUEUE_LOCK);
+                        assert!(*w >= 1, "word 0 is the lock variable");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(!held);
+        }
+    }
+
+    #[test]
+    fn spawn_tasks_enqueue() {
+        let p = WorkQueueParams::paper(2, Grain::Fine, 8);
+        let spawn_every = p.spawn_every;
+        let total = p.total_tasks;
+        let (_, streams) = drain(p);
+        let locks: usize = streams
+            .iter()
+            .map(|s| s.iter().filter(|o| matches!(o, Op::Lock(..))).count())
+            .sum();
+        // one dequeue lock per task + one per empty-probe per node + one
+        // enqueue lock per spawning task
+        let spawners = total / spawn_every;
+        assert!(locks >= total + spawners, "locks={locks}");
+    }
+
+    #[test]
+    fn grain_scales_stream_length() {
+        let fine = drain(WorkQueueParams::paper(2, Grain::Fine, 4)).1;
+        let coarse = drain(WorkQueueParams::paper(2, Grain::Coarse, 4)).1;
+        let fl: usize = fine.iter().map(|s| s.len()).sum();
+        let cl: usize = coarse.iter().map(|s| s.len()).sum();
+        assert!(cl > 4 * fl, "coarse {cl} vs fine {fl}");
+    }
+
+    #[test]
+    fn queue_phase_is_shared_heavy() {
+        let p = WorkQueueParams::paper(1, Grain::Fine, 40);
+        let (_, streams) = drain(p);
+        let s = &streams[0];
+        // between a Lock and its Unlock, roughly half the refs are shared
+        let mut in_cs = false;
+        let (mut shared, mut total) = (0usize, 0usize);
+        for op in s {
+            match op {
+                Op::Lock(..) => in_cs = true,
+                Op::Unlock(..) => in_cs = false,
+                Op::SharedRead(_) | Op::SharedWrite(_) if in_cs => {
+                    shared += 1;
+                    total += 1;
+                }
+                Op::LockedRead(..) | Op::LockedWrite(..) if in_cs => total += 1,
+                _ => {}
+            }
+        }
+        let ratio = shared as f64 / total as f64;
+        assert!((ratio - 0.5).abs() < 0.1, "queue shared ratio {ratio}");
+    }
+}

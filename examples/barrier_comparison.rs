@@ -1,0 +1,46 @@
+//! Hardware barrier (directory counter + chained release, Table 3) versus
+//! the software sense-reversing barrier over spin locks.
+//!
+//! Run with: `cargo run --release --example barrier_comparison`
+
+use ssmp::machine::op::Script;
+use ssmp::machine::{Machine, MachineConfig, Op};
+
+fn episode(cfg: MachineConfig, episodes: usize) -> (u64, u64) {
+    let n = cfg.geometry.nodes;
+    let script: Vec<Vec<Op>> = (0..n)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for e in 0..episodes {
+                // stagger arrivals differently each episode
+                ops.push(Op::Compute(1 + ((i + e) % n) as u64));
+                ops.push(Op::Barrier);
+            }
+            ops
+        })
+        .collect();
+    let r = Machine::new(cfg, Box::new(Script::new(script)), 2).run();
+    (r.completion, r.total_messages())
+}
+
+fn main() {
+    let episodes = 4;
+    println!("{episodes} barrier episodes, staggered arrivals\n");
+    println!(
+        "{:>4}  {:>12} {:>10}  {:>12} {:>10}  {:>8}",
+        "n", "HW cycles", "HW msgs", "SW cycles", "SW msgs", "speedup"
+    );
+    for n in [4usize, 8, 16, 32, 64] {
+        let (hc, hm) = episode(MachineConfig::cbl(n), episodes);
+        let (sc, sm) = episode(MachineConfig::wbi(n), episodes);
+        println!(
+            "{n:>4}  {hc:>12} {hm:>10}  {sc:>12} {sm:>10}  {:>8.1}x",
+            sc as f64 / hc as f64
+        );
+    }
+    println!(
+        "\nTable 3's claim: a barrier request costs 2 messages in hardware vs 18\n\
+         in software, and the notify n vs 5n−3 — before counting the software\n\
+         barrier's lock-contention storm, which dominates at scale."
+    );
+}

@@ -1,0 +1,80 @@
+//! Producer/consumer over a bounded buffer, built from the paper's §2
+//! synchronization classes: semaphore **P** (NP-Synch — proceeds as soon
+//! as the credit is granted) and **V** (CP-Synch — preceded by a
+//! `FLUSH-BUFFER` so the produced data is globally visible before the
+//! consumer is woken), plus a CBL mutex for the buffer indices.
+//!
+//! Run with: `cargo run --release --example bounded_buffer`
+
+use ssmp::core::primitive::LockMode;
+use ssmp::machine::op::Script;
+use ssmp::machine::{Machine, MachineConfig, Op};
+
+const EMPTY: usize = 0; // semaphore 0: free slots
+const FULL: usize = 1; // semaphore 1: filled slots
+const MUTEX: usize = 0; // CBL lock guarding the buffer indices
+
+fn producer(items: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..items {
+        ops.push(Op::Compute(20)); // produce
+        ops.push(Op::SemP(EMPTY)); // wait for a free slot
+        ops.push(Op::Lock(MUTEX, LockMode::Write));
+        ops.push(Op::LockedWriteVal(MUTEX, 1, 1000 + i as u64)); // insert
+        ops.push(Op::Unlock(MUTEX));
+        ops.push(Op::SemV(FULL)); // publish (flushes first under BC)
+    }
+    ops
+}
+
+fn consumer(items: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for _ in 0..items {
+        ops.push(Op::SemP(FULL)); // wait for an item
+        ops.push(Op::Lock(MUTEX, LockMode::Write));
+        ops.push(Op::LockedRead(MUTEX, 1)); // remove
+        ops.push(Op::Unlock(MUTEX));
+        ops.push(Op::SemV(EMPTY)); // free the slot
+        ops.push(Op::Compute(15)); // consume
+    }
+    ops
+}
+
+fn main() {
+    let capacity = 4u64;
+    let items_per_pair = 16;
+    let n = 8; // 4 producers + 4 consumers
+    println!(
+        "bounded buffer (capacity {capacity}): {} producers, {} consumers, {items_per_pair} items each\n",
+        n / 2,
+        n / 2
+    );
+
+    for (name, cfg) in [
+        ("BC-CBL (proposed)", MachineConfig::bc_cbl(n)),
+        ("SC-CBL", MachineConfig::sc_cbl(n)),
+    ] {
+        let mut streams = Vec::new();
+        for _ in 0..n / 2 {
+            streams.push(producer(items_per_pair));
+        }
+        for _ in 0..n / 2 {
+            streams.push(consumer(items_per_pair));
+        }
+        let m = Machine::new(cfg, Box::new(Script::new(streams)), 2)
+            .with_semaphores(&[capacity, 0]);
+        let r = m.run();
+        println!(
+            "{name:<20} {:>8} cycles | sem grants {} | P blocks resolved FIFO | mutex grants {}",
+            r.completion,
+            r.counters.get("sem.acquired"),
+            r.counters.get("lock.cbl.granted"),
+        );
+    }
+    println!(
+        "\nEvery producer item is matched by a consumer credit: 2 semaphores x\n\
+         {} P operations each, all granted; V hands credits directly to the\n\
+         oldest blocked waiter at the home directory (no retry traffic).",
+        (n / 2) * items_per_pair
+    );
+}

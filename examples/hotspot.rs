@@ -1,0 +1,34 @@
+//! Hotspot contention (paper §1, citing Pfister & Norton): a growing
+//! fraction of references aimed at one memory module saturates both the
+//! module and the Ω-network paths towards it ("tree saturation").
+//!
+//! Run with: `cargo run --release --example hotspot`
+
+use ssmp::machine::{Machine, MachineConfig};
+use ssmp::workload::{Hotspot, HotspotParams};
+
+fn run(n: usize, hot: f64) -> (u64, u64) {
+    let wl = Hotspot::new(HotspotParams::new(n, hot, 200));
+    let locks = wl.machine_locks();
+    let r = Machine::new(MachineConfig::sc_cbl(n), Box::new(wl), locks).run();
+    (r.completion, r.net_queueing)
+}
+
+fn main() {
+    println!("hotspot sweep: 200 READ-GLOBAL/processor, SC-CBL machine\n");
+    println!("{:>5} {:>12} {:>12} {:>12} {:>12}", "n", "h=0%", "h=10%", "h=30%", "h=100%");
+    for n in [4usize, 16, 64] {
+        let row: Vec<u64> = [0.0, 0.1, 0.3, 1.0].iter().map(|&h| run(n, h).0).collect();
+        println!("{n:>5} {:>12} {:>12} {:>12} {:>12}", row[0], row[1], row[2], row[3]);
+    }
+    println!("\nqueueing delay at n=64:");
+    for h in [0.0, 0.1, 0.3, 1.0] {
+        let (_, q) = run(64, h);
+        println!("  h={h:>4}: {q} queued cycles");
+    }
+    println!(
+        "\nEven a 10% hotspot multiplies completion at scale — the paper's\n\
+         argument for taking synchronization polling off the network\n\
+         entirely (queued locks, chained barrier release)."
+    );
+}

@@ -1,0 +1,43 @@
+//! Red-black SOR on a ring of grid chunks: each sweep, every processor
+//! reads its neighbours' boundary words. The neighbour set never changes —
+//! reader-initiated coherence enrolls once and every later read is a
+//! push-fresh cache hit, while the invalidation baseline re-fetches the
+//! halo every sweep.
+//!
+//! Run with: `cargo run --release --example sor_stencil`
+
+use ssmp::core::addr::Geometry;
+use ssmp::machine::{Machine, MachineConfig};
+use ssmp::workload::{Sor, SorParams};
+
+fn run(mut cfg: MachineConfig, n: usize, sweeps: usize) -> (u64, u64, u64) {
+    let p = SorParams::new(n, sweeps);
+    cfg.geometry = Geometry::new(n, 4, p.shared_blocks());
+    let wl = Sor::new(p);
+    let locks = wl.machine_locks();
+    let r = Machine::new(cfg, Box::new(wl), locks).run();
+    (
+        r.completion,
+        r.counters.get("shared.read.miss"),
+        r.total_messages(),
+    )
+}
+
+fn main() {
+    let sweeps = 10;
+    println!("red-black SOR, {sweeps} sweeps, halo exchange on a ring\n");
+    println!(
+        "{:>5}  {:>10} {:>10} {:>9}   {:>10} {:>10} {:>9}",
+        "n", "RIC cyc", "RIC miss", "RIC msg", "WBI cyc", "WBI miss", "WBI msg"
+    );
+    for n in [4usize, 8, 16, 32, 64] {
+        let (rc, rm, rmsg) = run(MachineConfig::bc_cbl(n), n, sweeps);
+        let (wc, wm, wmsg) = run(MachineConfig::wbi(n), n, sweeps);
+        println!("{n:>5}  {rc:>10} {rm:>10} {rmsg:>9}   {wc:>10} {wm:>10} {wmsg:>9}");
+    }
+    println!(
+        "\nRIC read misses stay at the cold start (one enrollment per\n\
+         neighbour block); WBI misses scale with sweeps × halo size, because\n\
+         every boundary write invalidates the neighbours' copies."
+    );
+}

@@ -1,0 +1,41 @@
+//! The work-queue dynamic-scheduling workload (paper §5.2) across all five
+//! machine configurations — a miniature of Figures 4–7.
+//!
+//! Run with: `cargo run --release --example work_queue`
+
+use ssmp::machine::{Machine, MachineConfig};
+use ssmp::workload::{Grain, WorkQueue, WorkQueueParams};
+
+fn run(cfg: MachineConfig, grain: Grain) -> u64 {
+    let n = cfg.geometry.nodes;
+    let wl = WorkQueue::new(WorkQueueParams::paper(n, grain, 4));
+    let locks = wl.machine_locks();
+    Machine::new(cfg, Box::new(wl), locks).run().completion
+}
+
+fn main() {
+    for (gname, grain) in [("medium", Grain::Medium), ("coarse", Grain::Coarse)] {
+        println!("work queue, {gname} grain, weak scaling (4 tasks/node):");
+        println!(
+            "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "n", "Q-WBI", "Q-backoff", "Q-CBL", "SC-CBL", "BC-CBL"
+        );
+        for n in [4usize, 8, 16, 32] {
+            println!(
+                "{n:>4} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                run(MachineConfig::wbi(n), grain),
+                run(MachineConfig::wbi_backoff(n), grain),
+                run(MachineConfig::cbl(n), grain),
+                run(MachineConfig::sc_cbl(n), grain),
+                run(MachineConfig::bc_cbl(n), grain),
+            );
+        }
+        println!();
+    }
+    println!(
+        "Q-WBI degrades sharply with scale (queue-lock contention over the\n\
+         invalidation protocol); hardware queued locks (CBL) keep the queue\n\
+         near its serial limit; buffered consistency shaves the remaining\n\
+         global-write stalls."
+    );
+}

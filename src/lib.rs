@@ -1,0 +1,31 @@
+//! Umbrella crate re-exporting the `ssmp` workspace: the full
+//! reproduction of Lee & Ramachandran's SPAA '91 scalable shared-memory
+//! architecture (buffered consistency, reader-initiated coherence,
+//! cache-based locks) with its simulation substrate.
+//!
+//! # Example
+//!
+//! Run the paper's dynamic work-queue workload on the proposed
+//! architecture and on the baseline:
+//!
+//! ```
+//! use ssmp::machine::{Machine, MachineConfig};
+//! use ssmp::workload::{Grain, WorkQueue, WorkQueueParams};
+//!
+//! let run = |cfg: MachineConfig| {
+//!     let wl = WorkQueue::new(WorkQueueParams::paper(4, Grain::Fine, 2));
+//!     let locks = wl.machine_locks();
+//!     Machine::new(cfg, Box::new(wl), locks).run().completion
+//! };
+//! let proposed = run(MachineConfig::bc_cbl(4)); // RIC + CBL + BC
+//! let baseline = run(MachineConfig::wbi(4));    // invalidate + spin locks
+//! assert!(proposed < baseline);
+//! ```
+pub use ssmp_analytic as analytic;
+pub use ssmp_core as core;
+pub use ssmp_engine as engine;
+pub use ssmp_machine as machine;
+pub use ssmp_mem as mem;
+pub use ssmp_net as net;
+pub use ssmp_wbi as wbi;
+pub use ssmp_workload as workload;

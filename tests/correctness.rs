@@ -1,0 +1,320 @@
+//! End-to-end correctness tests: data integrity and visibility through the
+//! full machine (network + directories + caches + consistency model),
+//! using value-carrying writes and the final coherent memory view.
+
+use ssmp::core::addr::{Geometry, SharedAddr};
+use ssmp::core::primitive::LockMode;
+use ssmp::machine::op::Script;
+use ssmp::machine::{Machine, MachineConfig, Op, Report};
+
+fn run(cfg: MachineConfig, streams: Vec<Vec<Op>>, locks: usize) -> Report {
+    Machine::new(cfg, Box::new(Script::new(streams)), locks).run()
+}
+
+fn all_configs(n: usize) -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("wbi", MachineConfig::wbi(n)),
+        ("wbi_backoff", MachineConfig::wbi_backoff(n)),
+        ("cbl", MachineConfig::cbl(n)),
+        ("sc_cbl", MachineConfig::sc_cbl(n)),
+        ("bc_cbl", MachineConfig::bc_cbl(n)),
+    ]
+}
+
+/// Writes to *different words of the same block* from different nodes must
+/// all survive — the §3 issue-6 lost-update / false-sharing hazard. Under
+/// RIC the per-word dirty bits guarantee it; under WBI the ownership
+/// protocol does.
+#[test]
+fn no_lost_updates_across_words() {
+    for (name, cfg) in all_configs(4) {
+        let streams: Vec<Vec<Op>> = (0..4)
+            .map(|i| {
+                vec![
+                    Op::SharedWriteVal(SharedAddr::new(0, i as u8), 100 + i as u64),
+                    Op::Barrier,
+                ]
+            })
+            .collect();
+        let r = run(cfg, streams, 2);
+        for i in 0..4 {
+            assert_eq!(
+                r.shared_memory[0][i],
+                100 + i as u64,
+                "config {name}: word {i} lost"
+            );
+        }
+    }
+}
+
+/// Repeated interleaved writes to disjoint words: the final value of each
+/// word is the last value its writer stored.
+#[test]
+fn interleaved_word_writes_keep_last_value() {
+    for (name, cfg) in all_configs(2) {
+        let mk = |node: usize| -> Vec<Op> {
+            let mut v = Vec::new();
+            for round in 0..10u64 {
+                v.push(Op::SharedWriteVal(
+                    SharedAddr::new(3, node as u8),
+                    1000 * (node as u64 + 1) + round,
+                ));
+            }
+            v.push(Op::Barrier);
+            v
+        };
+        let r = run(cfg, vec![mk(0), mk(1)], 2);
+        assert_eq!(r.shared_memory[3][0], 1009, "config {name}");
+        assert_eq!(r.shared_memory[3][1], 2009, "config {name}");
+    }
+}
+
+/// Producer/consumer through a critical section: the producer's buffered
+/// writes must be globally performed before the unlock completes
+/// (CP-Synch flush), so the block is up to date once the consumer gets the
+/// lock — under every scheme including BC.
+#[test]
+fn critical_section_data_is_flushed_by_unlock() {
+    for (name, cfg) in all_configs(2) {
+        let producer = vec![
+            Op::Lock(0, LockMode::Write),
+            Op::SharedWriteVal(SharedAddr::new(5, 1), 777),
+            Op::Unlock(0),
+        ];
+        let consumer = vec![
+            Op::Compute(2_000), // take the lock strictly after the producer
+            Op::Lock(0, LockMode::Write),
+            Op::SharedRead(SharedAddr::new(5, 1)),
+            Op::Unlock(0),
+        ];
+        let r = run(cfg, vec![producer, consumer], 2);
+        assert_eq!(r.shared_memory[5][1], 777, "config {name}");
+        // Under BC, the unlock must have forced a flush.
+        if name == "bc_cbl" {
+            assert!(
+                r.counters.get("flush.before_cp_synch") >= 1,
+                "BC unlock must flush the write buffer"
+            );
+        }
+    }
+}
+
+/// Lock-governed data written with `LockedWriteVal` travels with the lock:
+/// the final lock-block contents reflect the last holder's writes.
+#[test]
+fn lock_block_data_travels_with_grants() {
+    for (name, cfg) in all_configs(4) {
+        let streams: Vec<Vec<Op>> = (0..4)
+            .map(|i| {
+                vec![
+                    Op::Lock(0, LockMode::Write),
+                    Op::LockedWriteVal(0, 1, 50 + i as u64),
+                    Op::LockedWriteVal(0, (2 + (i % 2)) as u8, 90 + i as u64),
+                    Op::Unlock(0),
+                ]
+            })
+            .collect();
+        let r = run(cfg, streams, 2);
+        // Exactly one of the four holders was last; its word-1 value stuck.
+        let w1 = r.lock_blocks[0][1];
+        assert!(
+            (50..54).contains(&w1),
+            "config {name}: final lock word {w1} not from any holder"
+        );
+    }
+}
+
+/// Barriers separate phases: writes from phase 1 are visible to phase-2
+/// readers on every scheme (the barrier is a CP-Synch operation).
+#[test]
+fn barrier_publishes_prior_writes() {
+    for (name, cfg) in all_configs(4) {
+        let mut streams = vec![vec![
+            Op::SharedWriteVal(SharedAddr::new(7, 0), 4242),
+            Op::Barrier,
+        ]];
+        for _ in 1..4 {
+            streams.push(vec![Op::Barrier, Op::SharedRead(SharedAddr::new(7, 0))]);
+        }
+        let r = run(cfg, streams, 2);
+        assert_eq!(r.shared_memory[7][0], 4242, "config {name}");
+    }
+}
+
+/// Read locks allow concurrent readers under CBL but still exclude the
+/// writer's data race: a writer that queues behind readers writes only
+/// after they release.
+#[test]
+fn read_write_lock_ordering() {
+    let readers: Vec<Vec<Op>> = (0..3)
+        .map(|_| {
+            vec![
+                Op::Lock(0, LockMode::Read),
+                Op::Compute(100),
+                Op::Unlock(0),
+            ]
+        })
+        .collect();
+    let mut streams = readers;
+    streams.push(vec![
+        Op::Compute(10), // arrive after the readers
+        Op::Lock(0, LockMode::Write),
+        Op::LockedWriteVal(0, 1, 999),
+        Op::Unlock(0),
+    ]);
+    let r = run(MachineConfig::cbl(4), streams, 2);
+    assert_eq!(r.lock_blocks[0][1], 999);
+    assert_eq!(r.counters.get("lock.cbl.granted"), 4);
+}
+
+/// The full machine is deterministic: identical configuration and seed
+/// produce bit-identical reports even for heavily contended runs.
+#[test]
+fn machine_determinism_under_contention() {
+    let mk = || {
+        let streams: Vec<Vec<Op>> = (0..8)
+            .map(|i| {
+                vec![
+                    Op::Private { write: false },
+                    Op::Lock(0, LockMode::Write),
+                    Op::LockedWrite(0, 1),
+                    Op::Compute(5 + i as u64),
+                    Op::Unlock(0),
+                    Op::Barrier,
+                ]
+            })
+            .collect();
+        run(MachineConfig::wbi(8), streams, 2)
+    };
+    let (a, b) = (mk(), mk());
+    assert_eq!(a.completion, b.completion);
+    assert_eq!(a.net_packets, b.net_packets);
+    assert_eq!(a.shared_memory, b.shared_memory);
+    assert_eq!(
+        a.counters.iter().collect::<Vec<_>>(),
+        b.counters.iter().collect::<Vec<_>>()
+    );
+}
+
+/// Different seeds still complete with the same op counts (robustness of
+/// the event loop to timing perturbations).
+#[test]
+fn seed_perturbation_changes_timing_not_work() {
+    let mk = |seed: u64| {
+        let mut cfg = MachineConfig::cbl(4);
+        cfg.seed = seed;
+        let streams: Vec<Vec<Op>> = (0..4)
+            .map(|_| {
+                vec![
+                    Op::Private { write: true },
+                    Op::Lock(0, LockMode::Write),
+                    Op::Compute(10),
+                    Op::Unlock(0),
+                    Op::Barrier,
+                ]
+            })
+            .collect();
+        run(cfg, streams, 2)
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_eq!(a.ops_completed, b.ops_completed);
+    assert_eq!(a.counters.get("lock.cbl.granted"), 4);
+    assert_eq!(b.counters.get("lock.cbl.granted"), 4);
+}
+
+/// RIC keeps enrolled readers fresh: after a writer's global write and a
+/// barrier, an enrolled reader's *cache* already holds the new value (no
+/// read miss on re-access).
+#[test]
+fn ric_update_push_refreshes_reader_cache() {
+    let mut cfg = MachineConfig::bc_cbl(2);
+    cfg.geometry = Geometry::new(2, 4, 8);
+    let reader = vec![
+        Op::ReadUpdate(1),
+        Op::Barrier,
+        Op::Compute(200), // let the push arrive
+        Op::SharedRead(SharedAddr::new(1, 0)),
+    ];
+    let writer = vec![
+        Op::Barrier,
+        Op::SharedWriteVal(SharedAddr::new(1, 0), 31337),
+        Op::FlushBuffer,
+    ];
+    let r = run(cfg, vec![reader, writer], 2);
+    assert_eq!(r.shared_memory[1][0], 31337);
+    assert!(r.counters.get("msg.ric.update_push") >= 1);
+    // the reader's second access must have hit (pushed update, no miss)
+    assert_eq!(
+        r.counters.get("shared.read.miss"),
+        0,
+        "enrolled reader should never miss: {}",
+        r.counters
+    );
+    assert!(r.counters.get("shared.read.hit") >= 1);
+}
+
+/// Lock-cache overflow accounting: more simultaneous locks than capacity
+/// is surfaced (never silent).
+#[test]
+fn lock_cache_overflow_is_counted() {
+    let mut cfg = MachineConfig::cbl(2);
+    cfg.lock_cache_capacity = 1;
+    // Node 0 holds lock 0 and then requests lock 1 (two live lock lines).
+    let streams = vec![
+        vec![
+            Op::Lock(0, LockMode::Write),
+            Op::Lock(1, LockMode::Write),
+            Op::Unlock(1),
+            Op::Unlock(0),
+        ],
+        vec![],
+    ];
+    let r = run(cfg, streams, 3);
+    assert!(
+        r.lock_cache_overflows >= 1,
+        "overflow must be visible in the report"
+    );
+}
+
+/// Lock-order analysis: consistent ordering yields no cycle; opposite
+/// orderings across nodes flag the deadlock hazard even when this
+/// particular run happened to complete.
+#[test]
+fn lock_order_hazard_detection() {
+    // Consistent order: everyone takes 0 then 1.
+    let consistent: Vec<Vec<Op>> = (0..2)
+        .map(|_| {
+            vec![
+                Op::Lock(0, LockMode::Write),
+                Op::Lock(1, LockMode::Write),
+                Op::Unlock(1),
+                Op::Unlock(0),
+            ]
+        })
+        .collect();
+    let r = run(MachineConfig::cbl(2), consistent, 3);
+    assert_eq!(r.lock_order_edges, vec![(0, 1)]);
+    assert!(r.lock_order_cycle.is_none());
+
+    // Opposite orders, staggered so the run completes — the hazard must
+    // still be flagged.
+    let hazard = vec![
+        vec![
+            Op::Lock(0, LockMode::Write),
+            Op::Lock(1, LockMode::Write),
+            Op::Unlock(1),
+            Op::Unlock(0),
+        ],
+        vec![
+            Op::Compute(5_000), // let node 0 finish first
+            Op::Lock(1, LockMode::Write),
+            Op::Lock(0, LockMode::Write),
+            Op::Unlock(0),
+            Op::Unlock(1),
+        ],
+    ];
+    let r = run(MachineConfig::cbl(2), hazard, 3);
+    let cycle = r.lock_order_cycle.expect("0->1 and 1->0 must form a cycle");
+    assert_eq!(cycle.len(), 2);
+}

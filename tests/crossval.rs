@@ -1,0 +1,201 @@
+//! Cross-validation of the analytical models (Tables 2 and 3) against the
+//! simulator: the complexity classes and orderings the paper derives must
+//! emerge from the full machine.
+
+use ssmp::analytic::{CoherenceCosts, Scenario, Scheme2, SyncScheme, Table2, Table3, Table3Params};
+use ssmp::core::primitive::LockMode;
+use ssmp::machine::op::Script;
+use ssmp::machine::{Machine, MachineConfig, Op, Report};
+
+fn parallel_lock(cfg: MachineConfig, t_cs: u64) -> Report {
+    let n = cfg.geometry.nodes;
+    let script = vec![
+        vec![
+            Op::Lock(0, LockMode::Write),
+            Op::Compute(t_cs),
+            Op::Unlock(0),
+        ];
+        n
+    ];
+    Machine::new(cfg, Box::new(Script::new(script)), 2).run()
+}
+
+/// Table 3's headline: CBL parallel-lock messages grow linearly, WBI's
+/// superlinearly — in both the closed forms and the simulator.
+#[test]
+fn parallel_lock_complexity_classes_match() {
+    let measure = |mk: fn(usize) -> MachineConfig, prefix: &str| -> Vec<f64> {
+        [8usize, 16, 32]
+            .iter()
+            .map(|&n| parallel_lock(mk(n), 20).messages(prefix) as f64)
+            .collect()
+    };
+    let wbi = measure(MachineConfig::wbi, "msg.wbi.");
+    let cbl = measure(MachineConfig::cbl, "msg.cbl.");
+
+    // growth factors over each doubling
+    let wbi_g1 = wbi[1] / wbi[0];
+    let wbi_g2 = wbi[2] / wbi[1];
+    let cbl_g1 = cbl[1] / cbl[0];
+    let cbl_g2 = cbl[2] / cbl[1];
+    assert!(
+        wbi_g1 > 2.5 && wbi_g2 > 2.5,
+        "WBI must be superlinear: x{wbi_g1:.1}, x{wbi_g2:.1}"
+    );
+    assert!(
+        (1.5..=2.5).contains(&cbl_g1) && (1.5..=2.5).contains(&cbl_g2),
+        "CBL must be linear: x{cbl_g1:.1}, x{cbl_g2:.1}"
+    );
+
+    // and the analytic model agrees on the classes
+    let t8 = Table3::new(Table3Params::paper(8, 20.0));
+    let t16 = Table3::new(Table3Params::paper(16, 20.0));
+    let a_wbi = t16.messages(Scenario::ParallelLock, SyncScheme::Wbi) as f64
+        / t8.messages(Scenario::ParallelLock, SyncScheme::Wbi) as f64;
+    let a_cbl = t16.messages(Scenario::ParallelLock, SyncScheme::Cbl) as f64
+        / t8.messages(Scenario::ParallelLock, SyncScheme::Cbl) as f64;
+    assert!(a_wbi > 3.0 && a_cbl < 2.5);
+}
+
+/// CBL parallel-lock *measured* message count stays within a small factor
+/// of the printed 6n−3 form.
+#[test]
+fn cbl_parallel_lock_messages_near_closed_form() {
+    for n in [8usize, 16, 32] {
+        let measured = parallel_lock(MachineConfig::cbl(n), 20).messages("msg.cbl.") as f64;
+        let analytic = (6 * n - 3) as f64;
+        let ratio = measured / analytic;
+        assert!(
+            (0.4..=1.2).contains(&ratio),
+            "n={n}: measured {measured} vs 6n-3 = {analytic} (ratio {ratio:.2})"
+        );
+    }
+}
+
+/// Table 2's ordering on the simulator: per-iteration solver traffic is
+/// read-update < inv-I < inv-II (message counts).
+#[test]
+fn solver_traffic_ordering_matches_table2() {
+    use ssmp::core::addr::Geometry;
+    use ssmp::workload::{Allocation, LinearSolver, SolverParams};
+    let n = 16;
+    let per_iter = |alloc: Allocation, ric: bool| -> f64 {
+        let run = |iters: usize| -> u64 {
+            let p = SolverParams::paper(n, alloc, iters);
+            let mut cfg = if ric {
+                MachineConfig::sc_cbl(n)
+            } else {
+                MachineConfig::wbi(n)
+            };
+            cfg.geometry = Geometry::new(n, 4, p.shared_blocks().max(1));
+            let wl = LinearSolver::new(p);
+            let locks = wl.machine_locks();
+            let r = Machine::new(cfg, Box::new(wl), locks).run();
+            r.messages(if ric { "msg.ric." } else { "msg.wbi." })
+        };
+        (run(6) - run(2)) as f64 / 4.0
+    };
+    let ru = per_iter(Allocation::Packed, true);
+    let i1 = per_iter(Allocation::Packed, false);
+    let i2 = per_iter(Allocation::Padded, false);
+    assert!(ru < i1, "read-update {ru} must beat inv-I {i1}");
+    assert!(ru < i2, "read-update {ru} must beat inv-II {i2}");
+
+    // the closed forms order the same way at these parameters
+    let t = Table2::new(n as u32, 4);
+    let c = CoherenceCosts::unit();
+    assert!(
+        t.iteration(Scheme2::ReadUpdate, c) < t.iteration(Scheme2::InvII, c),
+        "analytic ordering must agree"
+    );
+}
+
+/// The time advantage of CBL under contention grows with n (Table 3's
+/// O(n²)/O(n) ratio), both analytically and in simulation.
+#[test]
+fn contention_advantage_grows_with_scale() {
+    let adv = |n: usize| -> f64 {
+        let wbi = parallel_lock(MachineConfig::wbi(n), 20).completion as f64;
+        let cbl = parallel_lock(MachineConfig::cbl(n), 20).completion as f64;
+        wbi / cbl
+    };
+    let a8 = adv(8);
+    let a32 = adv(32);
+    assert!(
+        a32 > a8,
+        "advantage must grow with contention: n=8 {a8:.1}x, n=32 {a32:.1}x"
+    );
+    let t8 = Table3::new(Table3Params::paper(8, 20.0));
+    let t32 = Table3::new(Table3Params::paper(32, 20.0));
+    let an8 = t8.time(Scenario::ParallelLock, SyncScheme::Wbi)
+        / t8.time(Scenario::ParallelLock, SyncScheme::Cbl);
+    let an32 = t32.time(Scenario::ParallelLock, SyncScheme::Wbi)
+        / t32.time(Scenario::ParallelLock, SyncScheme::Cbl);
+    assert!(an32 > an8);
+}
+
+/// Hardware barrier messages scale linearly (Table 3 notify = n); the
+/// software barrier's traffic grows much faster.
+#[test]
+fn barrier_message_scaling() {
+    let barrier = |cfg: MachineConfig| -> u64 {
+        let n = cfg.geometry.nodes;
+        let script: Vec<Vec<Op>> = (0..n).map(|i| vec![Op::Compute(1 + i as u64), Op::Barrier]).collect();
+        Machine::new(cfg, Box::new(Script::new(script)), 2)
+            .run()
+            .messages("msg.")
+    };
+    let hw8 = barrier(MachineConfig::cbl(8)) as f64;
+    let hw32 = barrier(MachineConfig::cbl(32)) as f64;
+    let sw8 = barrier(MachineConfig::wbi(8)) as f64;
+    let sw32 = barrier(MachineConfig::wbi(32)) as f64;
+    assert!(
+        hw32 / hw8 < 4.5,
+        "hardware barrier must scale linearly: {hw8} -> {hw32}"
+    );
+    assert!(
+        sw32 / sw8 > hw32 / hw8,
+        "software barrier must scale worse: sw {sw8}->{sw32}, hw {hw8}->{hw32}"
+    );
+    assert!(sw8 > hw8, "software barrier costs more at every size");
+}
+
+/// The analytic hotspot model's saturation trend matches the simulator:
+/// below the predicted saturation point completion grows mildly with the
+/// hot fraction; past it, completion is dominated by the serialised hot
+/// module (≈ total hot requests × service time).
+#[test]
+fn hotspot_saturation_matches_queueing_model() {
+    use ssmp::analytic::HotspotModel;
+    use ssmp::workload::{Hotspot, HotspotParams};
+
+    let n = 64;
+    let refs = 200;
+    let run = |hot: f64| -> u64 {
+        let wl = Hotspot::new(HotspotParams::new(n, hot, refs));
+        let locks = wl.machine_locks();
+        Machine::new(MachineConfig::sc_cbl(n), Box::new(wl), locks)
+            .run()
+            .completion
+    };
+    // service ≈ t_D + t_m = 5 cycles; request rate ≈ 1 per (transit+service)
+    let service = 5.0;
+    let rate = 0.05;
+    let low = HotspotModel::new(n, 0.05, rate, service);
+    let high = HotspotModel::new(n, 1.0, rate, service);
+    assert!(!low.saturated());
+    assert!(high.saturated());
+
+    let c_low = run(0.05);
+    let c_high = run(1.0);
+    // saturated: every hot request serialises through one module
+    let serial_floor = (n * refs) as f64 * service;
+    assert!(
+        c_high as f64 >= 0.9 * serial_floor,
+        "saturated run ({c_high}) must approach the serial floor ({serial_floor})"
+    );
+    assert!(
+        (c_low as f64) < 0.2 * serial_floor,
+        "unsaturated run ({c_low}) must stay well below the serial floor"
+    );
+}

@@ -1,0 +1,160 @@
+//! The whole paper in one CI test file: miniature versions of every
+//! evaluation artifact, with the headline qualitative claims asserted —
+//! the regression net under the experiment harness.
+
+use ssmp::core::addr::Geometry;
+use ssmp::machine::{Machine, MachineConfig};
+use ssmp::workload::*;
+
+fn work_queue(cfg: MachineConfig, grain: Grain, total: usize) -> u64 {
+    let n = cfg.geometry.nodes;
+    let wl = WorkQueue::new(WorkQueueParams::strong(n, grain, total));
+    let locks = wl.machine_locks();
+    Machine::new(cfg, Box::new(wl), locks).run().completion
+}
+
+fn sync_model(cfg: MachineConfig, grain: usize, tasks: usize) -> u64 {
+    let n = cfg.geometry.nodes;
+    let wl = SyncModel::new(SyncParams::paper(n, grain, tasks));
+    let locks = wl.machine_locks();
+    Machine::new(cfg, Box::new(wl), locks).run().completion
+}
+
+/// Figure 4's four claims at reduced scale (n = 16, medium grain).
+#[test]
+fn figure4_claims() {
+    let n = 16;
+    let total = 48;
+    let q_wbi = work_queue(MachineConfig::wbi(n), Grain::Medium, total);
+    let q_backoff = work_queue(MachineConfig::wbi_backoff(n), Grain::Medium, total);
+    let q_cbl = work_queue(MachineConfig::cbl(n), Grain::Medium, total);
+    // CBL beats backoff beats plain WBI on the work queue
+    assert!(q_cbl < q_backoff, "CBL {q_cbl} vs backoff {q_backoff}");
+    assert!(q_backoff < q_wbi, "backoff {q_backoff} vs WBI {q_wbi}");
+    assert!(q_wbi > 3 * q_cbl, "the gap must be large at n=16");
+
+    // sync model: the two schemes stay comparable (within 2x)
+    let s_wbi = sync_model(MachineConfig::wbi(n), 256, 4);
+    let s_cbl = sync_model(MachineConfig::cbl(n), 256, 4);
+    let ratio = s_wbi as f64 / s_cbl as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "sync model: WBI {s_wbi} vs CBL {s_cbl} must be comparable"
+    );
+}
+
+/// Figure 5's claim: at coarse grain the WBI work-queue curve is U-shaped
+/// (improves before it degrades); CBL keeps improving.
+#[test]
+fn figure5_claims() {
+    let total = 64;
+    let wbi: Vec<u64> = [4usize, 8, 32]
+        .iter()
+        .map(|&n| work_queue(MachineConfig::wbi(n), Grain::Coarse, total))
+        .collect();
+    assert!(wbi[1] < wbi[0], "WBI must improve 4 -> 8 at coarse grain");
+    assert!(wbi[2] > wbi[1], "WBI must degrade by 32");
+
+    let cbl: Vec<u64> = [4usize, 32]
+        .iter()
+        .map(|&n| work_queue(MachineConfig::cbl(n), Grain::Coarse, total))
+        .collect();
+    assert!(cbl[1] < cbl[0], "CBL keeps improving with scale");
+}
+
+/// Figures 6–7: BC beats SC on average, modestly.
+#[test]
+fn figures67_claims() {
+    let total = 48;
+    let mut bc_total = 0.0;
+    let mut sc_total = 0.0;
+    for n in [4usize, 8, 16] {
+        for grain in [Grain::Fine, Grain::Medium] {
+            sc_total += work_queue(MachineConfig::sc_cbl(n), grain, total) as f64;
+            bc_total += work_queue(MachineConfig::bc_cbl(n), grain, total) as f64;
+        }
+    }
+    let improvement = (sc_total - bc_total) / sc_total;
+    assert!(
+        improvement > 0.0,
+        "BC must win on average: SC {sc_total}, BC {bc_total}"
+    );
+    assert!(
+        improvement < 0.35,
+        "the paper calls the improvement modest; got {:.0}%",
+        improvement * 100.0
+    );
+}
+
+/// Table 2's claim on the solver: read-update's total traffic beats both
+/// invalidation variants.
+#[test]
+fn table2_claims() {
+    let n = 16;
+    let run = |alloc: Allocation, ric: bool| -> u64 {
+        let p = SolverParams::paper(n, alloc, 4);
+        let mut cfg = if ric {
+            MachineConfig::sc_cbl(n)
+        } else {
+            MachineConfig::wbi(n)
+        };
+        cfg.geometry = Geometry::new(n, 4, p.shared_blocks().max(1));
+        let wl = LinearSolver::new(p);
+        let locks = wl.machine_locks();
+        Machine::new(cfg, Box::new(wl), locks).run().total_messages()
+    };
+    let ru = run(Allocation::Packed, true);
+    let inv1 = run(Allocation::Packed, false);
+    let inv2 = run(Allocation::Padded, false);
+    assert!(ru < inv1 && ru < inv2, "read-update {ru} vs inv-I {inv1}, inv-II {inv2}");
+}
+
+/// Table 3's claim: O(n) vs O(n²) parallel-lock traffic, verified by
+/// growth factors on the real machine.
+#[test]
+fn table3_claims() {
+    use ssmp::core::primitive::LockMode;
+    use ssmp::machine::op::Script;
+    use ssmp::machine::Op;
+    let contend = |cfg: MachineConfig| -> u64 {
+        let n = cfg.geometry.nodes;
+        let script = vec![
+            vec![Op::Lock(0, LockMode::Write), Op::Compute(20), Op::Unlock(0)];
+            n
+        ];
+        Machine::new(cfg, Box::new(Script::new(script)), 2)
+            .run()
+            .total_messages()
+    };
+    let wbi_growth =
+        contend(MachineConfig::wbi(32)) as f64 / contend(MachineConfig::wbi(8)) as f64;
+    let cbl_growth =
+        contend(MachineConfig::cbl(32)) as f64 / contend(MachineConfig::cbl(8)) as f64;
+    assert!(wbi_growth > 8.0, "WBI 4x nodes -> ~16x messages, got {wbi_growth:.1}");
+    assert!(cbl_growth < 6.0, "CBL 4x nodes -> ~4x messages, got {cbl_growth:.1}");
+}
+
+/// The FFT phase workload's RESET-UPDATE keeps push traffic bounded by the
+/// live reader set.
+#[test]
+fn reset_update_claim() {
+    let n = 16;
+    let run = |reset: bool| -> u64 {
+        let mut p = FftParams::paper(n);
+        p.reset_updates = reset;
+        let mut cfg = MachineConfig::bc_cbl(n);
+        cfg.geometry = Geometry::new(n, 4, p.shared_blocks());
+        let wl = FftPhases::new(p);
+        let locks = wl.machine_locks();
+        Machine::new(cfg, Box::new(wl), locks)
+            .run()
+            .counters
+            .get("msg.ric.update_push")
+    };
+    let live = run(true);
+    let sticky = run(false);
+    assert!(
+        sticky > 2 * live,
+        "sticky readers must inflate pushes: live {live}, sticky {sticky}"
+    );
+}

@@ -1,0 +1,137 @@
+//! Machine-level property tests: randomly generated well-formed programs
+//! must complete (no deadlock, no panic), execute exactly once, and behave
+//! deterministically, on every machine configuration.
+
+use proptest::prelude::*;
+use ssmp::core::addr::SharedAddr;
+use ssmp::core::primitive::LockMode;
+use ssmp::machine::op::Script;
+use ssmp::machine::{Machine, MachineConfig, Op};
+
+/// A generator of well-formed per-node programs: balanced, non-nested
+/// lock/unlock pairs; locked accesses only inside critical sections; the
+/// same number of barriers on every node; semaphores pre-credited so P can
+/// always eventually succeed.
+fn program_strategy(
+    nodes: usize,
+    barriers: usize,
+) -> impl Strategy<Value = Vec<Vec<Op>>> {
+    let node_prog = proptest::collection::vec(0u8..8, 4..24).prop_map(move |codes| {
+        let mut segments: Vec<Vec<Op>> = vec![Vec::new()];
+        for (i, c) in codes.iter().enumerate() {
+            let seg = segments.last_mut().expect("non-empty");
+            match c % 8 {
+                0 => seg.push(Op::Compute(1 + (i as u64 % 7))),
+                1 => seg.push(Op::Private { write: i % 3 == 0 }),
+                2 => seg.push(Op::SharedRead(SharedAddr::new(i % 8, (i % 4) as u8))),
+                3 => seg.push(Op::SharedWrite(SharedAddr::new(i % 8, (i % 4) as u8))),
+                4 => {
+                    // a complete critical section
+                    let lock = i % 2;
+                    seg.push(Op::Lock(lock, LockMode::Write));
+                    seg.push(Op::LockedWrite(lock, 1 + (i % 3) as u8));
+                    seg.push(Op::LockedRead(lock, 1));
+                    seg.push(Op::Unlock(lock));
+                }
+                5 => {
+                    let lock = i % 2;
+                    seg.push(Op::Lock(lock, LockMode::Read));
+                    seg.push(Op::LockedRead(lock, 2));
+                    seg.push(Op::Unlock(lock));
+                }
+                6 => {
+                    seg.push(Op::SemP(0));
+                    seg.push(Op::Compute(2));
+                    seg.push(Op::SemV(0));
+                }
+                _ => segments.push(Vec::new()), // segment boundary (barrier slot)
+            }
+        }
+        // emit exactly `barriers` barriers: one after each of the first
+        // `barriers` segments, padding with trailing barriers if there are
+        // fewer segment boundaries than required
+        let mut prog = Vec::new();
+        let mut emitted = 0;
+        for seg in &segments {
+            prog.extend(seg.iter().copied());
+            if emitted < barriers {
+                prog.push(Op::Barrier);
+                emitted += 1;
+            }
+        }
+        while emitted < barriers {
+            prog.push(Op::Barrier);
+            emitted += 1;
+        }
+        prog
+    });
+    proptest::collection::vec(node_prog, nodes..=nodes)
+}
+
+fn all_configs(n: usize) -> Vec<MachineConfig> {
+    vec![
+        MachineConfig::wbi(n),
+        MachineConfig::wbi_backoff(n),
+        MachineConfig::cbl(n),
+        MachineConfig::sc_cbl(n),
+        MachineConfig::bc_cbl(n),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any well-formed program completes on every configuration, with both
+    /// locks granted and released in balance.
+    #[test]
+    fn random_programs_never_deadlock(
+        streams in program_strategy(4, 2),
+        cfg_idx in 0usize..5,
+    ) {
+        let mut cfg = all_configs(4).swap_remove(cfg_idx);
+        cfg.max_cycles = 50_000_000;
+        let ops_total: usize = streams.iter().map(|s| s.len()).sum();
+        let wl = Script::new(streams);
+        let r = Machine::new(cfg, Box::new(wl), 3)
+            .with_semaphores(&[64])
+            .run();
+        let executed: u64 = r.ops_completed.iter().sum();
+        prop_assert!(executed as usize >= ops_total);
+        // lock bookkeeping balances
+        let cbl_grants = r.counters.get("lock.cbl.granted");
+        let tts_acq = r.counters.get("lock.tts.acquired");
+        let releases = r.counters.get("lock.cbl.release_complete")
+            + r.counters.get("lock.cbl.release_forwarded")
+            + r.counters.get("lock.tts.release_local")
+            + r.counters.get("lock.tts.release_remote");
+        // CBL release completions are counted when the directory ack lands;
+        // the machine stops as soon as every node retires, so each node's
+        // final unlock may still be in flight (locks are non-nested, so at
+        // most one per node).
+        let acq = cbl_grants + tts_acq;
+        prop_assert!(releases <= acq, "more releases ({releases}) than acquisitions ({acq})");
+        prop_assert!(
+            acq - releases <= 4,
+            "unbalanced beyond in-flight finals: acq {acq}, rel {releases}"
+        );
+    }
+
+    /// The same program and seed give bit-identical outcomes.
+    #[test]
+    fn random_programs_deterministic(
+        streams in program_strategy(4, 1),
+        cfg_idx in 0usize..5,
+    ) {
+        let run = || {
+            let cfg = all_configs(4).swap_remove(cfg_idx);
+            Machine::new(cfg, Box::new(Script::new(streams.clone())), 3)
+                .with_semaphores(&[64])
+                .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.completion, b.completion);
+        prop_assert_eq!(a.net_packets, b.net_packets);
+        prop_assert_eq!(a.shared_memory, b.shared_memory);
+    }
+}

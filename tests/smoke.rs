@@ -1,0 +1,71 @@
+//! Cross-crate smoke tests: every workload on every relevant configuration.
+
+use ssmp_machine::{Machine, MachineConfig};
+use ssmp_workload::*;
+
+#[test]
+fn sync_model_all_schemes() {
+    for nodes in [2usize, 8] {
+        for cfg in [
+            MachineConfig::wbi(nodes),
+            MachineConfig::wbi_backoff(nodes),
+            MachineConfig::cbl(nodes),
+            MachineConfig::sc_cbl(nodes),
+            MachineConfig::bc_cbl(nodes),
+        ] {
+            let wl = SyncModel::new(SyncParams::paper(nodes, 16, 4));
+            let locks = wl.machine_locks();
+            let r = Machine::new(cfg, Box::new(wl), locks).run();
+            assert!(r.completion > 0);
+        }
+    }
+}
+
+#[test]
+fn work_queue_all_schemes() {
+    for cfg in [
+        MachineConfig::wbi(8),
+        MachineConfig::wbi_backoff(8),
+        MachineConfig::cbl(8),
+        MachineConfig::sc_cbl(8),
+        MachineConfig::bc_cbl(8),
+    ] {
+        let wl = WorkQueue::new(WorkQueueParams::paper(8, Grain::Fine, 4));
+        let locks = wl.machine_locks();
+        let r = Machine::new(cfg, Box::new(wl), locks).run();
+        assert!(r.completion > 0, "completion 0");
+    }
+}
+
+#[test]
+fn solver_ric_vs_wbi() {
+    for alloc in [Allocation::Packed, Allocation::Padded] {
+        let p = SolverParams::paper(8, alloc, 3);
+        let mut cfg = MachineConfig::sc_cbl(8);
+        cfg.geometry = ssmp_core::addr::Geometry::new(8, 4, p.shared_blocks().max(1));
+        let wl = LinearSolver::new(p.clone());
+        let locks = wl.machine_locks();
+        let r = Machine::new(cfg, Box::new(wl), locks).run();
+        assert!(r.completion > 0);
+
+        let mut cfg = MachineConfig::wbi(8);
+        cfg.geometry = ssmp_core::addr::Geometry::new(8, 4, p.shared_blocks().max(1));
+        let wl = LinearSolver::new(p);
+        let locks = wl.machine_locks();
+        let r = Machine::new(cfg, Box::new(wl), locks).run();
+        assert!(r.completion > 0);
+    }
+}
+
+#[test]
+fn fft_runs_on_ric() {
+    let p = FftParams::paper(8);
+    let mut cfg = MachineConfig::bc_cbl(8);
+    cfg.geometry = ssmp_core::addr::Geometry::new(8, 4, p.shared_blocks());
+    let wl = FftPhases::new(p);
+    let locks = wl.machine_locks();
+    let r = Machine::new(cfg, Box::new(wl), locks).run();
+    assert!(r.completion > 0);
+    assert!(r.counters.get("msg.ric.head_change") + r.counters.get("msg.ric.splice") > 0,
+        "reset-update must generate list-maintenance traffic");
+}
