@@ -119,7 +119,9 @@ impl Table3 {
         match (s, scheme) {
             // n t_cs + 10n t_nw + n(n+1)/2 t_m + 5n(5n−1)/2 t_D
             (Scenario::ParallelLock, SyncScheme::Wbi) => {
-                n * t_cs + 10.0 * n * t_nw + n * (n + 1.0) / 2.0 * t_m
+                n * t_cs
+                    + 10.0 * n * t_nw
+                    + n * (n + 1.0) / 2.0 * t_m
                     + 5.0 * n * (5.0 * n - 1.0) / 2.0 * t_d
             }
             // n t_cs + (2n+1) t_nw + (n+1) t_D + t_m
@@ -158,7 +160,10 @@ mod tests {
     #[test]
     fn printed_message_forms() {
         let t16 = t(16);
-        assert_eq!(t16.messages(Scenario::ParallelLock, SyncScheme::Wbi), 6 * 256 + 64);
+        assert_eq!(
+            t16.messages(Scenario::ParallelLock, SyncScheme::Wbi),
+            6 * 256 + 64
+        );
         assert_eq!(t16.messages(Scenario::ParallelLock, SyncScheme::Cbl), 93);
         assert_eq!(t16.messages(Scenario::SerialLock, SyncScheme::Wbi), 8);
         assert_eq!(t16.messages(Scenario::SerialLock, SyncScheme::Cbl), 3);
@@ -185,9 +190,8 @@ mod tests {
     fn parallel_lock_time_quadratic_vs_linear() {
         let (a, b) = (t(32), t(64));
         // subtract the common n·t_cs serial term to expose the overhead
-        let overhead = |x: Table3, sch| {
-            x.time(Scenario::ParallelLock, sch) - x.p.n as f64 * x.p.t_cs
-        };
+        let overhead =
+            |x: Table3, sch| x.time(Scenario::ParallelLock, sch) - x.p.n as f64 * x.p.t_cs;
         let wbi_ratio = overhead(b, SyncScheme::Wbi) / overhead(a, SyncScheme::Wbi);
         let cbl_ratio = overhead(b, SyncScheme::Cbl) / overhead(a, SyncScheme::Cbl);
         assert!(wbi_ratio > 3.5, "WBI overhead ratio {wbi_ratio}");
@@ -216,8 +220,14 @@ mod tests {
     fn serial_lock_times() {
         // uncontended times at n=16: t_nw = 4
         let m = t(16);
-        assert_eq!(m.time(Scenario::SerialLock, SyncScheme::Wbi), 32.0 + 5.0 + 4.0 + 20.0);
-        assert_eq!(m.time(Scenario::SerialLock, SyncScheme::Cbl), 12.0 + 1.0 + 20.0);
+        assert_eq!(
+            m.time(Scenario::SerialLock, SyncScheme::Wbi),
+            32.0 + 5.0 + 4.0 + 20.0
+        );
+        assert_eq!(
+            m.time(Scenario::SerialLock, SyncScheme::Cbl),
+            12.0 + 1.0 + 20.0
+        );
     }
 
     #[test]

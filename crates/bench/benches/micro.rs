@@ -1,150 +1,134 @@
 //! Microbenchmarks of the simulator substrates: event queue throughput,
 //! PRNG, Ω-network routing, and raw protocol transition rates.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ssmp_bench::Bench;
 use ssmp_core::cbl::LockQueue;
 use ssmp_core::primitive::LockMode;
 use ssmp_core::ric::UpdateList;
-use ssmp_engine::{EventQueue, SimRng};
+use ssmp_engine::{EventQueue, SimRng, WheelQueue};
 use ssmp_net::{NetConfig, OmegaNetwork};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_event_queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = SimRng::new(1);
-            for i in 0..10_000u64 {
-                q.schedule(rng.below(1_000_000).max(q.now()), i);
-                if i % 4 == 0 {
-                    std::hint::black_box(q.pop());
-                }
+fn bench_event_queue(b: &Bench) {
+    b.run("engine_event_queue/push_pop_10k", || {
+        let mut q = EventQueue::new();
+        let mut rng = SimRng::new(1);
+        for i in 0..10_000u64 {
+            q.schedule(rng.below(1_000_000).max(q.now()), i);
+            if i % 4 == 0 {
+                std::hint::black_box(q.pop());
             }
-            while q.pop().is_some() {}
-        })
+        }
+        while q.pop().is_some() {}
     });
-    g.finish();
 }
 
-fn bench_wheel_vs_heap(c: &mut Criterion) {
-    use ssmp_engine::WheelQueue;
-    let mut g = c.benchmark_group("engine_wheel_vs_heap");
-    g.throughput(Throughput::Elements(10_000));
+fn bench_wheel_vs_heap(b: &Bench) {
     // simulator-like load: mostly near-future events, occasional far ones
-    g.bench_function("heap_simload_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = SimRng::new(2);
-            for i in 0..10_000u64 {
-                let d = if rng.chance(0.95) { rng.below(8) } else { rng.below(500) };
-                q.schedule_in(d, i);
-                if i % 2 == 0 {
-                    std::hint::black_box(q.pop());
-                }
+    b.run("engine_wheel_vs_heap/heap_simload_10k", || {
+        let mut q = EventQueue::new();
+        let mut rng = SimRng::new(2);
+        for i in 0..10_000u64 {
+            let d = if rng.chance(0.95) {
+                rng.below(8)
+            } else {
+                rng.below(500)
+            };
+            q.schedule_in(d, i);
+            if i % 2 == 0 {
+                std::hint::black_box(q.pop());
             }
-            while q.pop().is_some() {}
-        })
+        }
+        while q.pop().is_some() {}
     });
-    g.bench_function("wheel_simload_10k", |b| {
-        b.iter(|| {
-            let mut q = WheelQueue::new(64);
-            let mut rng = SimRng::new(2);
-            for i in 0..10_000u64 {
-                let d = if rng.chance(0.95) { rng.below(8) } else { rng.below(500) };
-                q.schedule_in(d, i);
-                if i % 2 == 0 {
-                    std::hint::black_box(q.pop());
-                }
+    b.run("engine_wheel_vs_heap/wheel_simload_10k", || {
+        let mut q = WheelQueue::new(64);
+        let mut rng = SimRng::new(2);
+        for i in 0..10_000u64 {
+            let d = if rng.chance(0.95) {
+                rng.below(8)
+            } else {
+                rng.below(500)
+            };
+            q.schedule_in(d, i);
+            if i % 2 == 0 {
+                std::hint::black_box(q.pop());
             }
-            while q.pop().is_some() {}
-        })
+        }
+        while q.pop().is_some() {}
     });
-    g.finish();
 }
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_rng");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("next_u64_100k", |b| {
-        let mut r = SimRng::new(42);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..100_000 {
-                acc = acc.wrapping_add(r.next_u64());
-            }
-            std::hint::black_box(acc)
-        })
+fn bench_rng(b: &Bench) {
+    let mut r = SimRng::new(42);
+    b.run("engine_rng/next_u64_100k", || {
+        let mut acc = 0u64;
+        for _ in 0..100_000 {
+            acc = acc.wrapping_add(r.next_u64());
+        }
+        std::hint::black_box(acc);
     });
-    g.finish();
 }
 
-fn bench_network(c: &mut Criterion) {
-    let mut g = c.benchmark_group("omega_network");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("send_10k_64ports", |b| {
-        b.iter(|| {
-            let mut net = OmegaNetwork::new(64, NetConfig::default());
-            let mut rng = SimRng::new(7);
-            let mut t = 0;
-            for _ in 0..10_000 {
-                let s = rng.index(64);
-                let d = rng.index(64);
-                t = net.send(t, s, d, 4).max(t);
-            }
-            std::hint::black_box(t)
-        })
+fn bench_network(b: &Bench) {
+    b.run("omega_network/send_10k_64ports", || {
+        let mut net = OmegaNetwork::new(64, NetConfig::default());
+        let mut rng = SimRng::new(7);
+        let mut t = 0;
+        for _ in 0..10_000 {
+            let s = rng.index(64);
+            let d = rng.index(64);
+            t = net.send(t, s, d, 4).max(t);
+        }
+        std::hint::black_box(t);
     });
-    g.finish();
 }
 
-fn bench_protocols(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol_transitions");
-    g.throughput(Throughput::Elements(1_000));
-    g.bench_function("cbl_1k_lock_cycles", |b| {
-        b.iter(|| {
-            let mut q = LockQueue::new(4);
-            let mut wire = std::collections::VecDeque::new();
-            for round in 0..1_000usize {
-                let node = round % 8;
-                wire.extend(q.request(node, LockMode::Write));
-                while let Some(m) = wire.pop_front() {
-                    let (ms, _) = q.deliver(m);
-                    wire.extend(ms);
-                }
-                let (ms, _) = q.release(node);
+fn bench_protocols(b: &Bench) {
+    b.run("protocol_transitions/cbl_1k_lock_cycles", || {
+        let mut q = LockQueue::new(4);
+        let mut wire = std::collections::VecDeque::new();
+        for round in 0..1_000usize {
+            let node = round % 8;
+            wire.extend(q.request(node, LockMode::Write));
+            while let Some(m) = wire.pop_front() {
+                let (ms, _) = q.deliver(m);
                 wire.extend(ms);
-                while let Some(m) = wire.pop_front() {
-                    let (ms, _) = q.deliver(m);
-                    wire.extend(ms);
-                }
             }
-            std::hint::black_box(q.is_quiescent_free())
-        })
+            let (ms, _) = q.release(node);
+            wire.extend(ms);
+            while let Some(m) = wire.pop_front() {
+                let (ms, _) = q.deliver(m);
+                wire.extend(ms);
+            }
+        }
+        std::hint::black_box(q.is_quiescent_free());
     });
-    g.bench_function("ric_1k_write_push_rounds", |b| {
-        b.iter(|| {
-            let mut u = UpdateList::new(4);
-            let mut wire = std::collections::VecDeque::new();
-            for n in 0..8 {
-                wire.extend(u.read_update(n));
-                while let Some(m) = wire.pop_front() {
-                    let (ms, _) = u.deliver(m);
-                    wire.extend(ms);
-                }
+    b.run("protocol_transitions/ric_1k_write_push_rounds", || {
+        let mut u = UpdateList::new(4);
+        let mut wire = std::collections::VecDeque::new();
+        for n in 0..8 {
+            wire.extend(u.read_update(n));
+            while let Some(m) = wire.pop_front() {
+                let (ms, _) = u.deliver(m);
+                wire.extend(ms);
             }
-            for i in 0..1_000u64 {
-                wire.extend(u.write_global(0, (i % 4) as u8, i, i));
-                while let Some(m) = wire.pop_front() {
-                    let (ms, _) = u.deliver(m);
-                    wire.extend(ms);
-                }
+        }
+        for i in 0..1_000u64 {
+            wire.extend(u.write_global(0, (i % 4) as u8, i, i));
+            while let Some(m) = wire.pop_front() {
+                let (ms, _) = u.deliver(m);
+                wire.extend(ms);
             }
-            std::hint::black_box(u.len())
-        })
+        }
+        std::hint::black_box(u.len());
     });
-    g.finish();
 }
 
-criterion_group!(micro, bench_event_queue, bench_wheel_vs_heap, bench_rng, bench_network, bench_protocols);
-criterion_main!(micro);
+fn main() {
+    let b = Bench::from_args();
+    bench_event_queue(&b);
+    bench_wheel_vs_heap(&b);
+    bench_rng(&b);
+    bench_network(&b);
+    bench_protocols(&b);
+}

@@ -1,168 +1,142 @@
-//! Criterion benches that exercise every paper artifact at reduced scale,
-//! so `cargo bench` regenerates (a small version of) each table and figure
+//! Benches that exercise every paper artifact at reduced scale, so
+//! `cargo bench` regenerates (a small version of) each table and figure
 //! and tracks simulator performance over time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssmp_analytic::{CoherenceCosts, Scheme2, Table2};
 use ssmp_bench::scenarios::{one_barrier, parallel_lock, serial_lock};
-use ssmp_bench::{run_solver, run_sync, run_work_queue};
+use ssmp_bench::{run_solver, run_sync, run_work_queue, Bench};
 use ssmp_machine::MachineConfig;
 use ssmp_workload::{Allocation, Grain};
 
 /// E1 / Table 2: solver coherence traffic (analytic + simulated).
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_solver");
-    g.sample_size(10);
-    g.bench_function("analytic_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for n in [8u32, 16, 32, 64, 128] {
-                let t = Table2::new(n, 4);
-                for s in [Scheme2::ReadUpdate, Scheme2::InvI, Scheme2::InvII] {
-                    acc += t.iteration(s, CoherenceCosts::unit());
-                }
+fn bench_table2(b: &Bench) {
+    b.run("table2_solver/analytic_sweep", || {
+        let mut acc = 0.0;
+        for n in [8u32, 16, 32, 64, 128] {
+            let t = Table2::new(n, 4);
+            for s in [Scheme2::ReadUpdate, Scheme2::InvI, Scheme2::InvII] {
+                acc += t.iteration(s, CoherenceCosts::unit());
             }
-            std::hint::black_box(acc)
-        })
+        }
+        std::hint::black_box(acc);
     });
     for (name, alloc, ric) in [
         ("read_update", Allocation::Packed, true),
         ("inv_i", Allocation::Packed, false),
         ("inv_ii", Allocation::Padded, false),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let cfg = if ric {
-                    MachineConfig::sc_cbl(8)
-                } else {
-                    MachineConfig::wbi(8)
-                };
-                std::hint::black_box(run_solver(cfg, alloc, 3).completion)
-            })
+        b.run(&format!("table2_solver/{name}"), || {
+            let cfg = if ric {
+                MachineConfig::sc_cbl(8)
+            } else {
+                MachineConfig::wbi(8)
+            };
+            std::hint::black_box(run_solver(cfg, alloc, 3).completion);
         });
     }
-    g.finish();
 }
 
 /// E2 / Table 3: synchronization scenarios.
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_sync_scenarios");
-    g.sample_size(10);
+fn bench_table3(b: &Bench) {
     for n in [8usize, 16] {
-        g.bench_with_input(BenchmarkId::new("parallel_lock_wbi", n), &n, |b, &n| {
-            b.iter(|| std::hint::black_box(parallel_lock(MachineConfig::wbi(n), 20).completion))
-        });
-        g.bench_with_input(BenchmarkId::new("parallel_lock_cbl", n), &n, |b, &n| {
-            b.iter(|| std::hint::black_box(parallel_lock(MachineConfig::cbl(n), 20).completion))
-        });
+        b.run(
+            &format!("table3_sync_scenarios/parallel_lock_wbi/{n}"),
+            || {
+                std::hint::black_box(parallel_lock(MachineConfig::wbi(n), 20).completion);
+            },
+        );
+        b.run(
+            &format!("table3_sync_scenarios/parallel_lock_cbl/{n}"),
+            || {
+                std::hint::black_box(parallel_lock(MachineConfig::cbl(n), 20).completion);
+            },
+        );
     }
-    g.bench_function("serial_lock_both", |b| {
-        b.iter(|| {
-            let a = serial_lock(MachineConfig::wbi(8), 20).completion;
-            let c = serial_lock(MachineConfig::cbl(8), 20).completion;
-            std::hint::black_box(a + c)
-        })
+    b.run("table3_sync_scenarios/serial_lock_both", || {
+        let a = serial_lock(MachineConfig::wbi(8), 20).completion;
+        let c = serial_lock(MachineConfig::cbl(8), 20).completion;
+        std::hint::black_box(a + c);
     });
-    g.bench_function("barrier_both", |b| {
-        b.iter(|| {
-            let a = one_barrier(MachineConfig::wbi(8)).completion;
-            let c = one_barrier(MachineConfig::cbl(8)).completion;
-            std::hint::black_box(a + c)
-        })
+    b.run("table3_sync_scenarios/barrier_both", || {
+        let a = one_barrier(MachineConfig::wbi(8)).completion;
+        let c = one_barrier(MachineConfig::cbl(8)).completion;
+        std::hint::black_box(a + c);
     });
-    g.finish();
 }
 
 /// E3/E4 / Figures 4–5: scheme sweep on both workload models.
-fn bench_figs45(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_fig5_schemes");
-    g.sample_size(10);
+fn bench_figs45(b: &Bench) {
     for (name, grain) in [("medium", Grain::Medium), ("coarse", Grain::Coarse)] {
         for (scheme, mk) in [
             ("q_wbi", MachineConfig::wbi as fn(usize) -> MachineConfig),
-            ("q_backoff", MachineConfig::wbi_backoff as fn(usize) -> MachineConfig),
+            (
+                "q_backoff",
+                MachineConfig::wbi_backoff as fn(usize) -> MachineConfig,
+            ),
             ("q_cbl", MachineConfig::cbl as fn(usize) -> MachineConfig),
         ] {
-            g.bench_function(format!("{name}_{scheme}_n8"), |b| {
-                b.iter(|| std::hint::black_box(run_work_queue(mk(8), grain, 2).completion))
+            b.run(&format!("fig4_fig5_schemes/{name}_{scheme}_n8"), || {
+                std::hint::black_box(run_work_queue(mk(8), grain, 2).completion);
             });
         }
     }
-    g.bench_function("sync_model_wbi_n8", |b| {
-        b.iter(|| std::hint::black_box(run_sync(MachineConfig::wbi(8), 64, 2).completion))
+    b.run("fig4_fig5_schemes/sync_model_wbi_n8", || {
+        std::hint::black_box(run_sync(MachineConfig::wbi(8), 64, 2).completion);
     });
-    g.bench_function("sync_model_cbl_n8", |b| {
-        b.iter(|| std::hint::black_box(run_sync(MachineConfig::cbl(8), 64, 2).completion))
+    b.run("fig4_fig5_schemes/sync_model_cbl_n8", || {
+        std::hint::black_box(run_sync(MachineConfig::cbl(8), 64, 2).completion);
     });
-    g.finish();
 }
 
 /// E5/E6 / Figures 6–7: BC vs SC.
-fn bench_figs67(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_fig7_consistency");
-    g.sample_size(10);
+fn bench_figs67(b: &Bench) {
     for (name, grain) in [("fine", Grain::Fine), ("medium", Grain::Medium)] {
-        g.bench_function(format!("{name}_sc_cbl_n8"), |b| {
-            b.iter(|| {
-                std::hint::black_box(run_work_queue(MachineConfig::sc_cbl(8), grain, 2).completion)
-            })
+        b.run(&format!("fig6_fig7_consistency/{name}_sc_cbl_n8"), || {
+            std::hint::black_box(run_work_queue(MachineConfig::sc_cbl(8), grain, 2).completion);
         });
-        g.bench_function(format!("{name}_bc_cbl_n8"), |b| {
-            b.iter(|| {
-                std::hint::black_box(run_work_queue(MachineConfig::bc_cbl(8), grain, 2).completion)
-            })
+        b.run(&format!("fig6_fig7_consistency/{name}_bc_cbl_n8"), || {
+            std::hint::black_box(run_work_queue(MachineConfig::bc_cbl(8), grain, 2).completion);
         });
     }
-    g.finish();
 }
 
 /// Extension workloads: SOR halo exchange and hotspot saturation.
-fn bench_extensions(c: &mut Criterion) {
+fn bench_extensions(b: &Bench) {
     use ssmp_core::addr::Geometry;
     use ssmp_machine::Machine;
     use ssmp_workload::{Hotspot, HotspotParams, Sor, SorParams};
-    let mut g = c.benchmark_group("extension_workloads");
-    g.sample_size(10);
-    g.bench_function("sor_ric_n16", |b| {
-        b.iter(|| {
-            let p = SorParams::new(16, 5);
-            let mut cfg = MachineConfig::bc_cbl(16);
-            cfg.geometry = Geometry::new(16, 4, p.shared_blocks());
-            let wl = Sor::new(p);
-            let locks = wl.machine_locks();
-            std::hint::black_box(Machine::new(cfg, Box::new(wl), locks).run().completion)
-        })
+    b.run("extension_workloads/sor_ric_n16", || {
+        let p = SorParams::new(16, 5);
+        let mut cfg = MachineConfig::bc_cbl(16);
+        cfg.geometry = Geometry::new(16, 4, p.shared_blocks());
+        let wl = Sor::new(p);
+        let locks = wl.machine_locks();
+        std::hint::black_box(Machine::new(cfg, Box::new(wl), locks).run().completion);
     });
-    g.bench_function("sor_wbi_n16", |b| {
-        b.iter(|| {
-            let p = SorParams::new(16, 5);
-            let mut cfg = MachineConfig::wbi(16);
-            cfg.geometry = Geometry::new(16, 4, p.shared_blocks());
-            let wl = Sor::new(p);
-            let locks = wl.machine_locks();
-            std::hint::black_box(Machine::new(cfg, Box::new(wl), locks).run().completion)
-        })
+    b.run("extension_workloads/sor_wbi_n16", || {
+        let p = SorParams::new(16, 5);
+        let mut cfg = MachineConfig::wbi(16);
+        cfg.geometry = Geometry::new(16, 4, p.shared_blocks());
+        let wl = Sor::new(p);
+        let locks = wl.machine_locks();
+        std::hint::black_box(Machine::new(cfg, Box::new(wl), locks).run().completion);
     });
-    g.bench_function("hotspot_30pct_n16", |b| {
-        b.iter(|| {
-            let wl = Hotspot::new(HotspotParams::new(16, 0.3, 100));
-            let locks = wl.machine_locks();
-            std::hint::black_box(
-                Machine::new(MachineConfig::sc_cbl(16), Box::new(wl), locks)
-                    .run()
-                    .completion,
-            )
-        })
+    b.run("extension_workloads/hotspot_30pct_n16", || {
+        let wl = Hotspot::new(HotspotParams::new(16, 0.3, 100));
+        let locks = wl.machine_locks();
+        std::hint::black_box(
+            Machine::new(MachineConfig::sc_cbl(16), Box::new(wl), locks)
+                .run()
+                .completion,
+        );
     });
-    g.finish();
 }
 
-criterion_group!(
-    paper,
-    bench_table2,
-    bench_table3,
-    bench_figs45,
-    bench_figs67,
-    bench_extensions
-);
-criterion_main!(paper);
+fn main() {
+    let b = Bench::from_args();
+    bench_table2(&b);
+    bench_table3(&b);
+    bench_figs45(&b);
+    bench_figs67(&b);
+    bench_extensions(&b);
+}

@@ -38,7 +38,12 @@ use ssmp_workload::{Allocation, Grain, ReadMode};
 fn a1_false_sharing(n: usize, iters: usize) -> Table {
     let mut t = Table::new(
         "A1: false sharing — solver packed vs padded x",
-        &["packed cycles", "padded cycles", "packed msgs", "padded msgs"],
+        &[
+            "packed cycles",
+            "padded cycles",
+            "packed msgs",
+            "padded msgs",
+        ],
     );
     for (label, mk) in [
         ("RIC", MachineConfig::sc_cbl as fn(usize) -> MachineConfig),
@@ -179,7 +184,10 @@ fn a6_private_model(n: usize, tasks: usize) -> Table {
     );
     for (label, mode) in [
         ("probabilistic (0.95)", PrivateMode::Probabilistic),
-        ("exact working set", PrivateMode::Exact(ExactPrivateParams::default())),
+        (
+            "exact working set",
+            PrivateMode::Exact(ExactPrivateParams::default()),
+        ),
     ] {
         let mut cfg = MachineConfig::bc_cbl(n);
         cfg.private_mode = mode;

@@ -20,7 +20,11 @@ use ssmp_workload::Grain;
 fn main() {
     let quick = quick_mode();
     let json = std::env::args().any(|a| a == "--json");
-    let ns = if quick { NODES_SWEEP_QUICK } else { NODES_SWEEP };
+    let ns = if quick {
+        NODES_SWEEP_QUICK
+    } else {
+        NODES_SWEEP
+    };
     let total_tasks = if quick { 32 } else { 128 };
     let sync_tasks = if quick { 2 } else { 4 };
     let grain = Grain::Medium;

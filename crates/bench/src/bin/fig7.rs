@@ -6,16 +6,18 @@
 //!
 //! Usage: `fig7 [--quick] [--json] [--svg <file>]`
 
-use ssmp_bench::{
-    quick_mode, run_work_queue_strong, sweep, Table, NODES_SWEEP, NODES_SWEEP_QUICK,
-};
+use ssmp_bench::{quick_mode, run_work_queue_strong, sweep, Table, NODES_SWEEP, NODES_SWEEP_QUICK};
 use ssmp_machine::MachineConfig;
 use ssmp_workload::Grain;
 
 fn main() {
     let quick = quick_mode();
     let json = std::env::args().any(|a| a == "--json");
-    let ns = if quick { NODES_SWEEP_QUICK } else { NODES_SWEEP };
+    let ns = if quick {
+        NODES_SWEEP_QUICK
+    } else {
+        NODES_SWEEP
+    };
     let total_tasks = if quick { 32 } else { 128 };
     let grain = Grain::Medium;
 

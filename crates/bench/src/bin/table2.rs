@@ -40,7 +40,9 @@ fn analytic_table(ns: &[u32]) -> Table {
         );
     }
     t.note("RU = read-update, I1 = inv-I (packed x), I2 = inv-II (padded x)");
-    t.note("expected shape: writes comparable; reads free under RU, (n-1) block reloads under inv-II");
+    t.note(
+        "expected shape: writes comparable; reads free under RU, (n-1) block reloads under inv-II",
+    );
     t
 }
 
@@ -65,7 +67,10 @@ fn measured_table(ns: &[usize], iters: (usize, usize)) -> Table {
         let ru = per_iter(Allocation::Packed, true);
         let i1 = per_iter(Allocation::Packed, false);
         let i2 = per_iter(Allocation::Padded, false);
-        t.row(format!("n={n}"), vec![ru, i1, i2, i1.min(i2) / ru.max(1e-9)]);
+        t.row(
+            format!("n={n}"),
+            vec![ru, i1, i2, i1.min(i2) / ru.max(1e-9)],
+        );
     }
     t.note("measured by differencing two run lengths (initial load cancelled)");
     t.note("paper shape: RU ≪ both invalidation variants once reads are counted");

@@ -2,7 +2,7 @@
 //!
 //! Shared infrastructure for the experiment binaries (`table2`, `table3`,
 //! `fig4`–`fig7`, `ablations`) that regenerate the paper's tables and
-//! figures, and for the criterion benches.
+//! figures, and for the std-timing benches.
 
 #![warn(missing_docs)]
 
@@ -10,6 +10,7 @@ pub mod plot;
 pub mod results;
 pub mod runner;
 pub mod scenarios;
+pub mod timing;
 
 pub use plot::{maybe_write_svg, to_svg};
 pub use results::{Row, Table};
@@ -17,3 +18,4 @@ pub use runner::{
     quick_mode, run_solver, run_sync, run_work_queue, run_work_queue_strong, sweep, NODES_SWEEP,
     NODES_SWEEP_QUICK,
 };
+pub use timing::Bench;

@@ -19,7 +19,9 @@ const PALETTE: &[&str] = &[
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a [`Table`] as a log-y SVG line chart. Row labels of the form
@@ -41,9 +43,9 @@ pub fn to_svg(t: &Table) -> String {
         .flat_map(|r| r.values.iter().copied())
         .filter(|v| *v > 0.0)
         .collect();
-    let (ymin, ymax) = all
-        .iter()
-        .fold((f64::INFINITY, 1.0_f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (ymin, ymax) = all.iter().fold((f64::INFINITY, 1.0_f64), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
     let (ymin, ymax) = (ymin.max(1.0), ymax.max(2.0));
     let (lymin, lymax) = (ymin.ln(), ymax.ln());
     let (xmin, xmax) = xs
@@ -168,7 +170,10 @@ mod tests {
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
         assert_eq!(svg.matches("<polyline").count(), 2, "one line per series");
-        assert!(svg.matches("<circle").count() >= 6, "markers at data points");
+        assert!(
+            svg.matches("<circle").count() >= 6,
+            "markers at data points"
+        );
         assert!(svg.contains("Figure X"));
         assert!(svg.contains("processors"));
     }
@@ -198,6 +203,9 @@ mod tests {
         t.row("n=2", vec![0.0]);
         t.row("n=4", vec![10.0]);
         let svg = to_svg(&t);
-        assert!(svg.contains("</svg>"), "zero values must not break rendering");
+        assert!(
+            svg.contains("</svg>"),
+            "zero values must not break rendering"
+        );
     }
 }

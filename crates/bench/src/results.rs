@@ -1,9 +1,9 @@
 //! Result tables: console rendering and JSON export.
 
-use serde::Serialize;
+use ssmp_engine::Json;
 
 /// One row of an experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (e.g. the node count or scheme).
     pub label: String,
@@ -12,7 +12,7 @@ pub struct Row {
 }
 
 /// A named experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Which paper artifact this regenerates.
     pub artifact: String,
@@ -91,7 +91,32 @@ impl Table {
 
     /// Serialises to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialisation")
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("label".into(), Json::str(&r.label)),
+                    (
+                        "values".into(),
+                        Json::Arr(r.values.iter().map(Json::num).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("artifact".into(), Json::str(&self.artifact)),
+            (
+                "columns".into(),
+                Json::Arr(self.columns.iter().map(Json::str).collect()),
+            ),
+            ("rows".into(), Json::Arr(rows)),
+            (
+                "notes".into(),
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
+            ),
+        ])
+        .render()
     }
 }
 
@@ -114,10 +139,13 @@ mod tests {
     fn json_roundtrips_structure() {
         let mut t = Table::new("T", &["x"]);
         t.row("r", vec![3.0]);
-        let j = t.to_json();
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v["artifact"], "T");
-        assert_eq!(v["rows"][0]["values"][0], 3.0);
+        let v = Json::parse(&t.to_json()).unwrap();
+        assert_eq!(v.get("artifact").unwrap().as_str(), Some("T"));
+        let row = &v.get("rows").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            row.get("values").unwrap().as_array().unwrap()[0].as_f64(),
+            Some(3.0)
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ where
 {
     std::thread::scope(|s| {
         let handles: Vec<_> = items.iter().map(|it| s.spawn(|| f(it))).collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     })
 }
 

@@ -1,0 +1,69 @@
+//! Minimal std-only benchmark harness.
+//!
+//! The workspace builds offline, so criterion is unavailable; this module
+//! provides the small subset the `[[bench]]` targets need: named benchmark
+//! registration, a substring filter from the command line, warm-up, and a
+//! per-iteration wall-clock report.
+
+use std::time::{Duration, Instant};
+
+/// A benchmark session: holds the name filter and prints one line per
+/// benchmark run.
+pub struct Bench {
+    filter: Option<String>,
+    /// Target measurement time per benchmark.
+    pub budget: Duration,
+}
+
+impl Bench {
+    /// Builds a session from `std::env::args()`: the first non-flag
+    /// argument (as passed by `cargo bench <substring>`) filters benchmark
+    /// names by substring.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            filter,
+            budget: Duration::from_millis(200),
+        }
+    }
+
+    /// Runs one benchmark: warm-up once, calibrate an iteration count that
+    /// fits the time budget, then measure and print mean time per iteration.
+    pub fn run<F: FnMut()>(&self, name: &str, mut f: F) {
+        if let Some(fil) = &self.filter {
+            if !name.contains(fil.as_str()) {
+                return;
+            }
+        }
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed();
+        let iters = (self.budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = start.elapsed() / iters;
+        println!("{name:<44} {iters:>6} iters  {per:>12.3?}/iter");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_filters() {
+        let mut b = Bench {
+            filter: Some("yes".into()),
+            budget: Duration::from_micros(50),
+        };
+        b.budget = Duration::from_micros(50);
+        let mut hits = 0;
+        b.run("yes_please", || hits += 1);
+        assert!(hits >= 2, "warm-up + at least one measured iteration");
+        let mut skipped = 0;
+        b.run("no_thanks", || skipped += 1);
+        assert_eq!(skipped, 0);
+    }
+}

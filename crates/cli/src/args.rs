@@ -41,7 +41,8 @@ impl Flags {
 
     /// A required string flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     /// A parsed numeric flag with default.
@@ -78,8 +79,11 @@ mod tests {
 
     #[test]
     fn parses_values_and_switches() {
-        let f = Flags::parse(&v(&["--nodes", "16", "--json", "--seed", "7"]), &["nodes", "seed"])
-            .unwrap();
+        let f = Flags::parse(
+            &v(&["--nodes", "16", "--json", "--seed", "7"]),
+            &["nodes", "seed"],
+        )
+        .unwrap();
         assert_eq!(f.get("nodes"), Some("16"));
         assert_eq!(f.num::<u64>("seed", 0).unwrap(), 7);
         assert!(f.has("json"));

@@ -20,13 +20,36 @@ usage:
   ssmp trace replay  --in <file> --config <cfg> [--json]
   ssmp program --file <prog.sasm> --config <cfg> [--sems c0,c1,...] [--json]
 
+fault injection / robustness (run, sweep, trace replay, program):
+  [--fault-seed S] [--drop-prob p] [--dup-prob p] [--delay-prob p]
+  [--delay-cycles c] [--retry] [--retry-timeout c] [--retry-max n]
+  [--cycle-budget c]
+
 workloads: work-queue | sync | solver | fft | hotspot
 configs:   wbi | wbi-backoff | cbl | sc-cbl | bc-cbl
 grains:    fine | medium | coarse";
 
 const VALUED: &[&str] = &[
-    "workload", "config", "nodes", "grain", "tasks", "seed", "out", "in", "topology", "hot",
-    "file", "sems",
+    "workload",
+    "config",
+    "nodes",
+    "grain",
+    "tasks",
+    "seed",
+    "out",
+    "in",
+    "topology",
+    "hot",
+    "file",
+    "sems",
+    "fault-seed",
+    "drop-prob",
+    "dup-prob",
+    "delay-prob",
+    "delay-cycles",
+    "retry-timeout",
+    "retry-max",
+    "cycle-budget",
 ];
 
 /// Dispatches a full argv (without the binary name).
@@ -86,6 +109,27 @@ fn parse_topology(cfg: &mut MachineConfig, f: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Applies the fault-injection, retry, and cycle-budget flags to `cfg`.
+fn apply_robustness(cfg: &mut MachineConfig, f: &Flags) -> Result<(), String> {
+    let drop_prob = f.num::<f64>("drop-prob", 0.0)?;
+    let dup_prob = f.num::<f64>("dup-prob", 0.0)?;
+    let delay_prob = f.num::<f64>("delay-prob", 0.0)?;
+    if f.get("fault-seed").is_some() || drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 {
+        let seed = f.num::<u64>("fault-seed", 0xFA)?;
+        let mut fc = ssmp_net::FaultConfig::uniform(seed, drop_prob, dup_prob, delay_prob);
+        fc.delay_cycles = f.num::<u64>("delay-cycles", fc.delay_cycles)?;
+        cfg.fault = Some(fc);
+    }
+    if f.has("retry") || f.get("retry-timeout").is_some() || f.get("retry-max").is_some() {
+        let mut rp = ssmp_machine::RetryPolicy::enabled();
+        rp.timeout = f.num("retry-timeout", rp.timeout)?;
+        rp.max_attempts = f.num("retry-max", rp.max_attempts)?;
+        cfg.retry = rp;
+    }
+    cfg.max_cycles = f.num::<u64>("cycle-budget", cfg.max_cycles)?;
+    cfg.validate().map_err(|e| e.to_string())
+}
+
 /// Builds the named workload; returns it plus the machine lock count.
 fn build_workload(
     name: &str,
@@ -136,8 +180,11 @@ fn adapt_geometry(cfg: &mut MachineConfig, workload: &str, nodes: usize) {
     // the solver and FFT size the shared region themselves
     if workload == "solver" {
         let p = SolverParams::paper(nodes, ssmp_workload::Allocation::Packed, 1);
-        cfg.geometry =
-            ssmp_core::addr::Geometry::new(nodes, 4, p.shared_blocks().max(cfg.geometry.shared_blocks));
+        cfg.geometry = ssmp_core::addr::Geometry::new(
+            nodes,
+            4,
+            p.shared_blocks().max(cfg.geometry.shared_blocks),
+        );
     }
     if workload == "fft" {
         let p = ssmp_workload::FftParams::paper(nodes);
@@ -150,24 +197,31 @@ fn adapt_geometry(cfg: &mut MachineConfig, workload: &str, nodes: usize) {
 }
 
 fn print_report(r: &Report, json: bool) {
+    use ssmp_engine::Json;
     if json {
-        let counters: serde_json::Map<String, serde_json::Value> = r
+        let counters = r
             .counters
             .iter()
-            .map(|(k, v)| (k.to_string(), serde_json::json!(v)))
+            .map(|(k, v)| (k.to_string(), Json::num(v)))
             .collect();
-        let doc = serde_json::json!({
-            "completion_cycles": r.completion,
-            "net_packets": r.net_packets,
-            "net_words": r.net_words,
-            "net_queueing": r.net_queueing,
-            "messages": r.total_messages(),
-            "lock_acquisitions": r.lock_wait.count(),
-            "lock_wait_mean": r.lock_wait.mean(),
-            "counters": counters,
-        });
-        println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
+        let doc = Json::Obj(vec![
+            ("completion_cycles".into(), Json::num(r.completion)),
+            ("net_packets".into(), Json::num(r.net_packets)),
+            ("net_words".into(), Json::num(r.net_words)),
+            ("net_queueing".into(), Json::num(r.net_queueing)),
+            ("messages".into(), Json::num(r.total_messages())),
+            ("lock_acquisitions".into(), Json::num(r.lock_wait.count())),
+            (
+                "lock_wait_mean".into(),
+                Json::num(r.lock_wait.mean().unwrap_or(0.0)),
+            ),
+            ("deadlocked".into(), Json::Bool(r.deadlock.is_some())),
+            ("retries".into(), Json::num(r.retries.iter().sum::<u64>())),
+            ("counters".into(), Json::Obj(counters)),
+        ]);
+        println!("{}", doc.render());
     } else {
+        // summary() already covers deadlock, retry, and fault lines
         print!("{}", r.summary());
     }
 }
@@ -177,6 +231,7 @@ fn run(f: &Flags) -> Result<(), String> {
     let workload = f.require("workload")?;
     let mut cfg = parse_config(f.require("config")?, nodes)?;
     parse_topology(&mut cfg, f)?;
+    apply_robustness(&mut cfg, f)?;
     adapt_geometry(&mut cfg, workload, nodes);
     let (wl, locks) = build_workload(workload, nodes, f)?;
     let r = Machine::new(cfg, wl, locks).run();
@@ -202,6 +257,7 @@ fn sweep(f: &Flags) -> Result<(), String> {
         for c in &configs {
             let mut cfg = parse_config(c, n)?;
             parse_topology(&mut cfg, f)?;
+            apply_robustness(&mut cfg, f)?;
             adapt_geometry(&mut cfg, workload, n);
             let (wl, locks) = build_workload(workload, n, f)?;
             let r = Machine::new(cfg, wl, locks).run();
@@ -237,7 +293,10 @@ fn program(f: &Flags) -> Result<(), String> {
     let mut max_sem = 0usize;
     for op in progs.iter().flatten() {
         match *op {
-            Op::Lock(l, _) | Op::Unlock(l) | Op::LockedRead(l, _) | Op::LockedWrite(l, _)
+            Op::Lock(l, _)
+            | Op::Unlock(l)
+            | Op::LockedRead(l, _)
+            | Op::LockedWrite(l, _)
             | Op::LockedWriteVal(l, _, _) => max_lock = max_lock.max(l + 1),
             Op::SemP(sid) | Op::SemV(sid) => {
                 uses_sems = true;
@@ -250,6 +309,7 @@ fn program(f: &Flags) -> Result<(), String> {
     streams.resize_with(nodes, || vec![Op::Barrier; barriers]);
     let mut cfg = parse_config(f.require("config")?, nodes)?;
     parse_topology(&mut cfg, f)?;
+    apply_robustness(&mut cfg, f)?;
     cfg.record_reads = true;
     let sems: Vec<u64> = f
         .list("sems", &[])
@@ -297,7 +357,11 @@ fn trace_capture(f: &Flags) -> Result<(), String> {
             p.seed = seed;
             Trace::capture(WorkQueue::new(p), format!("work-queue n={nodes}"), seed)
         }
-        other => return Err(format!("trace capture supports sync|work-queue, not '{other}'")),
+        other => {
+            return Err(format!(
+                "trace capture supports sync|work-queue, not '{other}'"
+            ))
+        }
     };
     std::fs::write(out, trace.to_json()).map_err(|e| e.to_string())?;
     println!(
@@ -315,10 +379,14 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
     let trace = Trace::from_json(&text)?;
     let mut cfg = parse_config(f.require("config")?, trace.nodes())?;
     parse_topology(&mut cfg, f)?;
+    apply_robustness(&mut cfg, f)?;
     // size the lock space from the trace contents
     let mut max_lock = 1usize;
     for op in trace.streams.iter().flatten() {
-        if let Op::Lock(l, _) | Op::Unlock(l) | Op::LockedRead(l, _) | Op::LockedWrite(l, _)
+        if let Op::Lock(l, _)
+        | Op::Unlock(l)
+        | Op::LockedRead(l, _)
+        | Op::LockedWrite(l, _)
         | Op::LockedWriteVal(l, _, _) = *op
         {
             max_lock = max_lock.max(l + 1);
@@ -364,7 +432,13 @@ mod tests {
     #[test]
     fn run_rejects_non_power_of_two_nodes() {
         let e = dispatch(&v(&[
-            "run", "--workload", "sync", "--config", "cbl", "--nodes", "12",
+            "run",
+            "--workload",
+            "sync",
+            "--config",
+            "cbl",
+            "--nodes",
+            "12",
         ]))
         .unwrap_err();
         assert!(e.contains("power of two"), "{e}");
@@ -380,7 +454,13 @@ mod tests {
     fn solver_and_fft_resize_geometry() {
         for wl in ["solver", "fft"] {
             dispatch(&v(&[
-                "run", "--workload", wl, "--config", "sc-cbl", "--nodes", "8",
+                "run",
+                "--workload",
+                wl,
+                "--config",
+                "sc-cbl",
+                "--nodes",
+                "8",
             ]))
             .unwrap();
         }
@@ -389,8 +469,17 @@ mod tests {
     #[test]
     fn hotspot_runs_with_fraction() {
         dispatch(&v(&[
-            "run", "--workload", "hotspot", "--config", "sc-cbl", "--nodes", "4", "--hot", "0.5",
-            "--grain", "fine",
+            "run",
+            "--workload",
+            "hotspot",
+            "--config",
+            "sc-cbl",
+            "--nodes",
+            "4",
+            "--hot",
+            "0.5",
+            "--grain",
+            "fine",
         ]))
         .unwrap();
     }
@@ -402,7 +491,15 @@ mod tests {
         let path = dir.join("t.json");
         let path_s = path.to_str().unwrap();
         dispatch(&v(&[
-            "trace", "capture", "--workload", "sync", "--nodes", "4", "--tasks", "8", "--out",
+            "trace",
+            "capture",
+            "--workload",
+            "sync",
+            "--nodes",
+            "4",
+            "--tasks",
+            "8",
+            "--out",
             path_s,
         ]))
         .unwrap();
@@ -438,13 +535,13 @@ mod tests {
         let dir = std::env::temp_dir().join("ssmp_cli_prog3");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("b.sasm");
-        std::fs::write(
-            &path,
-            "compute 5\nbarrier\n---\nbarrier\n---\nbarrier\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "compute 5\nbarrier\n---\nbarrier\n---\nbarrier\n").unwrap();
         dispatch(&v(&[
-            "program", "--file", path.to_str().unwrap(), "--config", "cbl",
+            "program",
+            "--file",
+            path.to_str().unwrap(),
+            "--config",
+            "cbl",
         ]))
         .unwrap();
         std::fs::remove_file(path).ok();
@@ -457,7 +554,11 @@ mod tests {
         let path = dir.join("ub.sasm");
         std::fs::write(&path, "barrier\nbarrier\n---\nbarrier\n").unwrap();
         let e = dispatch(&v(&[
-            "program", "--file", path.to_str().unwrap(), "--config", "cbl",
+            "program",
+            "--file",
+            path.to_str().unwrap(),
+            "--config",
+            "cbl",
         ]))
         .unwrap_err();
         assert!(e.contains("same barrier count"), "{e}");
@@ -471,13 +572,23 @@ mod tests {
         let path = dir.join("s.sasm");
         std::fs::write(&path, "semp 0\nsemv 0\n---\ncompute 1\n").unwrap();
         let e = dispatch(&v(&[
-            "program", "--file", path.to_str().unwrap(), "--config", "cbl",
+            "program",
+            "--file",
+            path.to_str().unwrap(),
+            "--config",
+            "cbl",
         ]))
         .unwrap_err();
         assert!(e.contains("--sems"), "{e}");
         // and with credits provided it runs
         dispatch(&v(&[
-            "program", "--file", path.to_str().unwrap(), "--config", "cbl", "--sems", "1",
+            "program",
+            "--file",
+            path.to_str().unwrap(),
+            "--config",
+            "cbl",
+            "--sems",
+            "1",
         ]))
         .unwrap();
         std::fs::remove_file(path).ok();
@@ -522,8 +633,17 @@ mod tests {
     #[test]
     fn topology_flag_applies() {
         dispatch(&v(&[
-            "run", "--workload", "sync", "--config", "bc-cbl", "--nodes", "4", "--topology",
-            "bus", "--tasks", "4",
+            "run",
+            "--workload",
+            "sync",
+            "--config",
+            "bc-cbl",
+            "--nodes",
+            "4",
+            "--topology",
+            "bus",
+            "--tasks",
+            "4",
         ]))
         .unwrap();
     }

@@ -14,7 +14,7 @@ pub type NodeId = usize;
 pub type BlockId = usize;
 
 /// A word address within the shared region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SharedAddr {
     /// The containing block.
     pub block: BlockId,
@@ -43,8 +43,14 @@ pub struct Geometry {
 impl Geometry {
     /// Creates a geometry, validating invariants.
     pub fn new(nodes: usize, block_words: u8, shared_blocks: usize) -> Self {
-        assert!(nodes >= 1 && nodes.is_power_of_two(), "nodes must be a power of two");
-        assert!((1..=64).contains(&block_words), "block_words must be in 1..=64 (dirty bits are a u64 mask)");
+        assert!(
+            nodes >= 1 && nodes.is_power_of_two(),
+            "nodes must be a power of two"
+        );
+        assert!(
+            (1..=64).contains(&block_words),
+            "block_words must be in 1..=64 (dirty bits are a u64 mask)"
+        );
         Self {
             nodes,
             block_words,

@@ -147,8 +147,7 @@ impl HwBarrier {
                     self.episode += 1;
                     let mut msgs = Vec::new();
                     let mut effects = vec![BarEffect::Passed { node: src, episode }];
-                    let chain: Vec<NodeId> =
-                        self.waiters.drain(..).filter(|&w| w != src).collect();
+                    let chain: Vec<NodeId> = self.waiters.drain(..).filter(|&w| w != src).collect();
                     if let Some(&head) = chain.first() {
                         msgs.push(BarMsg {
                             src: Endpoint::Dir,

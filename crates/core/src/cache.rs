@@ -78,7 +78,10 @@ impl DataCache {
     /// Read-only access to a resident line (does not touch LRU state).
     pub fn peek(&self, block: BlockId) -> Option<&CacheLine> {
         let s = self.set_of(block);
-        self.sets[s].iter().find(|(b, _)| *b == block).map(|(_, l)| l)
+        self.sets[s]
+            .iter()
+            .find(|(b, _)| *b == block)
+            .map(|(_, l)| l)
     }
 
     /// Mutable access to a resident line; promotes it to MRU.
@@ -148,7 +151,9 @@ impl DataCache {
 
     /// Iterates over resident `(block, line)` pairs (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &CacheLine)> {
-        self.sets.iter().flat_map(|s| s.iter().map(|(b, l)| (*b, l)))
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|(b, l)| (*b, l)))
     }
 }
 

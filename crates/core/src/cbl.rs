@@ -601,7 +601,10 @@ impl LockQueue {
                     self.nodes.get(&q).map(|s| s.state),
                     Some(LockField::Waiting(_))
                 ) {
-                    self.nodes.get_mut(&node).expect("just updated").next_granted = true;
+                    self.nodes
+                        .get_mut(&node)
+                        .expect("just updated")
+                        .next_granted = true;
                     msgs.push(self.data(
                         Endpoint::Node(node),
                         Endpoint::Node(q),
@@ -1326,9 +1329,17 @@ mod regression {
         // non-tail reader's Release first.
         let (ms1, _) = q.release(1); // tail of the chain (dir tail = 1)
         let (ms2, _) = q.release(2); // head
-        // ms2's Release{None} must hit the directory before ms1's.
-        let rel2 = ms2.iter().find(|m| matches!(m.kind, CblKind::Release { .. })).copied().unwrap();
-        let rel1 = ms1.iter().find(|m| matches!(m.kind, CblKind::Release { .. })).copied().unwrap();
+                                     // ms2's Release{None} must hit the directory before ms1's.
+        let rel2 = ms2
+            .iter()
+            .find(|m| matches!(m.kind, CblKind::Release { .. }))
+            .copied()
+            .unwrap();
+        let rel1 = ms1
+            .iter()
+            .find(|m| matches!(m.kind, CblKind::Release { .. }))
+            .copied()
+            .unwrap();
         let (ms, _) = q.deliver(rel2); // deferred: tail is 1
         wire.extend(ms);
         let (ms, _) = q.deliver(rel1); // retires 1, must cascade to 2

@@ -80,8 +80,14 @@ mod tests {
         let m = MemoryModel::Buffered;
         assert!(!m.stalls_on_global_write());
         assert!(!m.flush_before(Data));
-        assert!(!m.flush_before(NpSynch), "NP-Synch does not wait for prior writes");
-        assert!(m.flush_before(CpSynch), "CP-Synch requires prior writes globally performed");
+        assert!(
+            !m.flush_before(NpSynch),
+            "NP-Synch does not wait for prior writes"
+        );
+        assert!(
+            m.flush_before(CpSynch),
+            "CP-Synch requires prior writes globally performed"
+        );
         assert!(
             !m.waits_for_synch_completion(),
             "BC continues as soon as the synch op is acknowledged"

@@ -27,7 +27,9 @@ pub struct BlockData {
 impl BlockData {
     /// A zero-filled block of `k` words.
     pub fn new(k: u8) -> Self {
-        Self { words: vec![0; k as usize] }
+        Self {
+            words: vec![0; k as usize],
+        }
     }
 
     /// Number of words.

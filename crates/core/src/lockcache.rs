@@ -60,12 +60,18 @@ impl LockCache {
 
     /// Immutable access.
     pub fn get(&self, block: BlockId) -> Option<&CacheLine> {
-        self.entries.iter().find(|(b, _)| *b == block).map(|(_, l)| l)
+        self.entries
+            .iter()
+            .find(|(b, _)| *b == block)
+            .map(|(_, l)| l)
     }
 
     /// Mutable access.
     pub fn get_mut(&mut self, block: BlockId) -> Option<&mut CacheLine> {
-        self.entries.iter_mut().find(|(b, _)| *b == block).map(|(_, l)| l)
+        self.entries
+            .iter_mut()
+            .find(|(b, _)| *b == block)
+            .map(|(_, l)| l)
     }
 
     /// Inserts a line for `block`. Fails (and counts an overflow) when full;

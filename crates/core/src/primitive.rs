@@ -5,7 +5,7 @@ use crate::addr::{BlockId, SharedAddr};
 
 /// Lock access mode: `READ-LOCK` grants shared access, `WRITE-LOCK`
 /// exclusive access (paper §4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LockMode {
     /// Shared (non-exclusive) lock.
     Read,
@@ -80,7 +80,10 @@ impl Primitive {
 
     /// Whether this primitive generates global (network) traffic by itself.
     pub fn is_global(&self) -> bool {
-        !matches!(self, Primitive::Read(_) | Primitive::Write(_) | Primitive::FlushBuffer)
+        !matches!(
+            self,
+            Primitive::Read(_) | Primitive::Write(_) | Primitive::FlushBuffer
+        )
     }
 }
 

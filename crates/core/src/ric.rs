@@ -219,7 +219,11 @@ impl UpdateList {
 
     /// Processor issues a plain read miss (no enrollment).
     pub fn read_miss(&mut self, node: NodeId) -> Vec<RicMsg> {
-        vec![Self::ctl(Endpoint::Node(node), Endpoint::Dir, RicKind::ReadMiss)]
+        vec![Self::ctl(
+            Endpoint::Node(node),
+            Endpoint::Dir,
+            RicKind::ReadMiss,
+        )]
     }
 
     /// Processor issues `READ-UPDATE` (cache miss or update bit clear).
@@ -490,7 +494,11 @@ mod tests {
         assert!(!h.u.is_member(3));
         assert!(matches!(
             h.effects[0],
-            RicEffect::Filled { node: 3, enrolled: false, .. }
+            RicEffect::Filled {
+                node: 3,
+                enrolled: false,
+                ..
+            }
         ));
     }
 
@@ -502,7 +510,11 @@ mod tests {
             h.send(m);
             h.drain();
         }
-        assert_eq!(h.u.members_in_order(), vec![9, 2, 5], "newest enrollee is the head");
+        assert_eq!(
+            h.u.members_in_order(),
+            vec![9, 2, 5],
+            "newest enrollee is the head"
+        );
         h.u.check_list().unwrap();
     }
 
@@ -541,7 +553,10 @@ mod tests {
         h.send(m);
         h.drain();
         assert_eq!(h.effects.len(), 1);
-        assert!(matches!(h.effects[0], RicEffect::WriteDone { node: 0, wid: 3 }));
+        assert!(matches!(
+            h.effects[0],
+            RicEffect::WriteDone { node: 0, wid: 3 }
+        ));
     }
 
     #[test]
@@ -622,10 +637,14 @@ mod tests {
         let m = h.u.read_global(5, 2);
         h.send(m);
         h.drain();
-        assert!(h
-            .effects
-            .iter()
-            .any(|e| matches!(e, RicEffect::ReadValue { node: 5, word: 2, value: 31 })));
+        assert!(h.effects.iter().any(|e| matches!(
+            e,
+            RicEffect::ReadValue {
+                node: 5,
+                word: 2,
+                value: 31
+            }
+        )));
     }
 
     #[test]
@@ -634,7 +653,11 @@ mod tests {
         let req = u.read_update(0);
         assert_eq!(req[0].words, 1);
         let (reply, _) = u.deliver(req[0]);
-        assert_eq!(reply.last().unwrap().words, 4, "read reply carries the block");
+        assert_eq!(
+            reply.last().unwrap().words,
+            4,
+            "read reply carries the block"
+        );
         let w = u.write_global(1, 0, 9, 0);
         assert_eq!(w[0].words, 1, "a global write sends one word");
         let (out, _) = u.deliver(w[0]);

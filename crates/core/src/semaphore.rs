@@ -166,9 +166,7 @@ impl HwSemaphore {
                 }
                 (out, vec![])
             }
-            (Endpoint::Node(node), SemKind::Grant) => {
-                (vec![], vec![SemEffect::Acquired { node }])
-            }
+            (Endpoint::Node(node), SemKind::Grant) => (vec![], vec![SemEffect::Acquired { node }]),
             (Endpoint::Node(node), SemKind::VAck) => (vec![], vec![SemEffect::VDone { node }]),
             other => panic!("semaphore cannot handle {other:?}"),
         }

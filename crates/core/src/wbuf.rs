@@ -136,8 +136,12 @@ mod tests {
     #[test]
     fn fifo_issue_and_ack() {
         let mut b = WriteBuffer::unbounded();
-        let Enqueue::Accepted(i0) = b.push(a(0), 10) else { panic!() };
-        let Enqueue::Accepted(i1) = b.push(a(1), 11) else { panic!() };
+        let Enqueue::Accepted(i0) = b.push(a(0), 10) else {
+            panic!()
+        };
+        let Enqueue::Accepted(i1) = b.push(a(1), 11) else {
+            panic!()
+        };
         assert_eq!(b.pending(), 2);
         let w0 = b.next_unissued().unwrap();
         assert_eq!(w0.id, i0);

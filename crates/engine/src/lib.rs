@@ -39,14 +39,18 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod watchdog;
 pub mod wheel;
 
 pub use event::{EventQueue, Scheduled};
+pub use json::{Json, JsonError};
 pub use rng::SimRng;
-pub use wheel::WheelQueue;
 pub use stats::{Accumulator, CounterSet, Histogram};
+pub use watchdog::{Watchdog, WatchdogVerdict};
+pub use wheel::WheelQueue;
 
 /// Simulation time, in cache cycles.
 pub type Cycle = u64;

@@ -53,7 +53,8 @@ impl SimRng {
     /// state is not advanced.
     pub fn fork(&self, stream: u64) -> Self {
         // Mix the parent's state with the stream id through splitmix64.
-        let mut sm = self.s[0] ^ self.s[1].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm =
+            self.s[0] ^ self.s[1].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let _ = splitmix64(&mut sm);
         Self::new(splitmix64(&mut sm))
     }
@@ -258,7 +259,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
     }
 
     #[test]

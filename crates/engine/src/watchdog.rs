@@ -1,0 +1,98 @@
+//! Quiescence watchdog for discrete-event simulations.
+//!
+//! A simulation is *wedged* when agents are still waiting for something but
+//! no event will ever wake them (the event queue drained), or when it has
+//! run past a configured cycle budget without completing. The seed
+//! simulator panicked in both situations; the watchdog instead classifies
+//! them so the caller can emit a structured diagnosis (see
+//! `ssmp_machine::DeadlockReport`) and terminate cleanly.
+
+use crate::Cycle;
+
+/// Why the watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogVerdict {
+    /// The event queue drained while agents were still waiting: no future
+    /// event can unblock them. A true protocol deadlock (or a lost
+    /// message with no retry).
+    Quiescent,
+    /// The cycle budget was exceeded while agents were still live: either
+    /// livelock or a workload that legitimately needs a larger budget.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for WatchdogVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatchdogVerdict::Quiescent => write!(f, "event queue drained with live agents"),
+            WatchdogVerdict::BudgetExhausted => write!(f, "cycle budget exhausted"),
+        }
+    }
+}
+
+/// Watches an event-driven run for quiescence and budget exhaustion.
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    budget: Cycle,
+}
+
+impl Watchdog {
+    /// Creates a watchdog with the given cycle budget.
+    pub fn new(budget: Cycle) -> Self {
+        Self { budget }
+    }
+
+    /// The configured cycle budget.
+    pub fn budget(&self) -> Cycle {
+        self.budget
+    }
+
+    /// Checks the state of the main loop *before* dispatching the next
+    /// event. `next_event` is the timestamp of the event about to run
+    /// (`None` when the queue drained); `live` is the number of agents
+    /// that have not yet retired.
+    pub fn check(&self, next_event: Option<Cycle>, live: usize) -> Option<WatchdogVerdict> {
+        if live == 0 {
+            return None;
+        }
+        match next_event {
+            None => Some(WatchdogVerdict::Quiescent),
+            Some(at) if at > self.budget => Some(WatchdogVerdict::BudgetExhausted),
+            Some(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_run_passes() {
+        let w = Watchdog::new(1000);
+        assert_eq!(w.check(Some(10), 4), None);
+        assert_eq!(w.check(Some(1000), 1), None);
+    }
+
+    #[test]
+    fn all_retired_never_fires() {
+        let w = Watchdog::new(100);
+        assert_eq!(w.check(None, 0), None);
+        assert_eq!(w.check(Some(5000), 0), None);
+    }
+
+    #[test]
+    fn drained_queue_with_live_agents_is_quiescent() {
+        let w = Watchdog::new(1000);
+        assert_eq!(w.check(None, 2), Some(WatchdogVerdict::Quiescent));
+    }
+
+    #[test]
+    fn budget_overrun_is_flagged() {
+        let w = Watchdog::new(1000);
+        assert_eq!(
+            w.check(Some(1001), 1),
+            Some(WatchdogVerdict::BudgetExhausted)
+        );
+    }
+}

@@ -73,7 +73,9 @@ fn parse_addr(line: usize, s: &str) -> Result<SharedAddr, AsmError> {
     let block = b
         .parse()
         .map_err(|_| err(line, format!("bad block '{b}'")))?;
-    let word = w.parse().map_err(|_| err(line, format!("bad word '{w}'")))?;
+    let word = w
+        .parse()
+        .map_err(|_| err(line, format!("bad word '{w}'")))?;
     Ok(SharedAddr::new(block, word))
 }
 
@@ -86,7 +88,10 @@ fn parse_mode(line: usize, s: &str) -> Result<LockMode, AsmError> {
     match s {
         "r" | "read" => Ok(LockMode::Read),
         "w" | "write" => Ok(LockMode::Write),
-        other => Err(err(line, format!("lock mode must be r or w, got '{other}'"))),
+        other => Err(err(
+            line,
+            format!("lock mode must be r or w, got '{other}'"),
+        )),
     }
 }
 
@@ -282,10 +287,7 @@ read 3.2
         assert_eq!(progs[0].len(), 6);
         assert_eq!(progs[0][0], Op::Compute(10));
         assert_eq!(progs[0][1], Op::Lock(0, LockMode::Write));
-        assert_eq!(
-            progs[0][4],
-            Op::SharedWriteVal(SharedAddr::new(3, 2), 42)
-        );
+        assert_eq!(progs[0][4], Op::SharedWriteVal(SharedAddr::new(3, 2), 42));
         assert_eq!(progs[1][1], Op::SpinUntilGlobal(SharedAddr::new(3, 2), 42));
     }
 

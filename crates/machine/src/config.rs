@@ -2,8 +2,102 @@
 
 use ssmp_core::addr::Geometry;
 use ssmp_core::consistency::MemoryModel;
+use ssmp_engine::Cycle;
 use ssmp_mem::{ExactPrivateParams, MemTiming};
-use ssmp_net::{NetConfig, Topology};
+use ssmp_net::{FaultConfig, NetConfig, NetError, Topology};
+
+/// A rejected machine configuration. Returned by
+/// [`MachineConfig::validate`] so callers (the CLI in particular) can
+/// report the problem instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Buffered consistency needs RIC's `WRITE-GLOBAL` path.
+    BufferedNeedsRic,
+    /// `private_hit_ratio` must lie in `[0, 1]`.
+    HitRatioOutOfRange(f64),
+    /// The per-node lock cache needs at least one entry.
+    EmptyLockCache,
+    /// A fault-injection probability is out of range (field name given).
+    FaultProbability(&'static str),
+    /// The retry timeout must be at least one cycle.
+    ZeroRetryTimeout,
+    /// Bounded retry needs at least one attempt.
+    ZeroRetryAttempts,
+    /// The interconnect geometry is invalid for the chosen topology.
+    Net(NetError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BufferedNeedsRic => write!(
+                f,
+                "buffered consistency requires the WRITE-GLOBAL path (DataScheme::Ric)"
+            ),
+            ConfigError::HitRatioOutOfRange(r) => write!(f, "hit ratio out of range: {r}"),
+            ConfigError::EmptyLockCache => write!(f, "lock cache needs at least one entry"),
+            ConfigError::FaultProbability(which) => {
+                write!(f, "fault probability out of range: {which}")
+            }
+            ConfigError::ZeroRetryTimeout => write!(f, "retry timeout must be at least 1 cycle"),
+            ConfigError::ZeroRetryAttempts => write!(f, "retry needs at least one attempt"),
+            ConfigError::Net(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<NetError> for ConfigError {
+    fn from(e: NetError) -> Self {
+        ConfigError::Net(e)
+    }
+}
+
+/// Timeout-and-bounded-retry policy for outstanding protocol requests.
+///
+/// When enabled, a node that stalls on a protocol request arms a timeout;
+/// if the reply has not arrived when it fires, the original messages are
+/// retransmitted (at most `max_attempts` sends in total, spaced by the
+/// timeout plus a randomized exponential backoff). Retransmissions reuse
+/// the original wire ids, and delivery deduplicates by wire id, so a
+/// retransmitted message that merely overtook a slow original is harmless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Master switch; off by default (the paper's machine assumes a
+    /// reliable interconnect).
+    pub enabled: bool,
+    /// Cycles to wait for a reply before retransmitting.
+    pub timeout: Cycle,
+    /// Total send attempts per request (first send included).
+    pub max_attempts: u32,
+    /// Initial window of the retransmit backoff.
+    pub backoff_base: Cycle,
+    /// Window cap of the retransmit backoff.
+    pub backoff_cap: Cycle,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            timeout: 10_000,
+            max_attempts: 6,
+            backoff_base: 16,
+            backoff_cap: 4096,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// An enabled policy with the default timing.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
 
 /// Coherence scheme for ordinary shared data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,8 +184,13 @@ pub struct MachineConfig {
     pub record_reads: bool,
     /// Master seed (forked per node).
     pub seed: u64,
-    /// Hard cap on simulated cycles (guards against configuration bugs).
+    /// Cycle budget: if the simulation runs past this, the watchdog ends
+    /// it with a [`crate::DeadlockReport`] instead of completing.
     pub max_cycles: u64,
+    /// Interconnect fault injection (`None` = reliable network).
+    pub fault: Option<FaultConfig>,
+    /// Protocol-request timeout and bounded retry.
+    pub retry: RetryPolicy,
 }
 
 impl MachineConfig {
@@ -125,6 +224,8 @@ impl MachineConfig {
             record_reads: false,
             seed: 0x5511_9a3e,
             max_cycles: 2_000_000_000,
+            fault: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -188,17 +289,26 @@ impl MachineConfig {
     }
 
     /// Validates cross-field constraints.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.model == MemoryModel::Buffered && self.data != DataScheme::Ric {
-            return Err(
-                "buffered consistency requires the WRITE-GLOBAL path (DataScheme::Ric)".into(),
-            );
+            return Err(ConfigError::BufferedNeedsRic);
         }
         if !(0.0..=1.0).contains(&self.private_hit_ratio) {
-            return Err(format!("hit ratio out of range: {}", self.private_hit_ratio));
+            return Err(ConfigError::HitRatioOutOfRange(self.private_hit_ratio));
         }
         if self.lock_cache_capacity == 0 {
-            return Err("lock cache needs at least one entry".into());
+            return Err(ConfigError::EmptyLockCache);
+        }
+        if let Some(fault) = &self.fault {
+            fault.validate().map_err(ConfigError::FaultProbability)?;
+        }
+        if self.retry.enabled {
+            if self.retry.timeout == 0 {
+                return Err(ConfigError::ZeroRetryTimeout);
+            }
+            if self.retry.max_attempts == 0 {
+                return Err(ConfigError::ZeroRetryAttempts);
+            }
         }
         Ok(())
     }
@@ -225,7 +335,42 @@ mod tests {
     fn bc_requires_ric() {
         let mut cfg = MachineConfig::bc_cbl(4);
         cfg.data = DataScheme::Wbi;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(ConfigError::BufferedNeedsRic));
+    }
+
+    #[test]
+    fn bad_fault_and_retry_settings_rejected() {
+        let mut cfg = MachineConfig::wbi(4);
+        cfg.fault = Some(FaultConfig::uniform(1, 1.5, 0.0, 0.0));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::FaultProbability("drop_prob"))
+        );
+        cfg.fault = None;
+        cfg.retry = RetryPolicy::enabled();
+        cfg.retry.timeout = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroRetryTimeout));
+        cfg.retry = RetryPolicy::enabled();
+        cfg.retry.max_attempts = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroRetryAttempts));
+        cfg.retry = RetryPolicy::enabled();
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn config_errors_render() {
+        // The CLI prints these; make sure every variant has a message.
+        for e in [
+            ConfigError::BufferedNeedsRic,
+            ConfigError::HitRatioOutOfRange(1.5),
+            ConfigError::EmptyLockCache,
+            ConfigError::FaultProbability("dup_prob"),
+            ConfigError::ZeroRetryTimeout,
+            ConfigError::ZeroRetryAttempts,
+            ConfigError::Net(ssmp_net::NetError::NoPorts),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod node;
 pub mod op;
 pub mod report;
 
-pub use config::{BarrierScheme, DataScheme, LockScheme, MachineConfig, PrivateMode};
+pub use config::{
+    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PrivateMode, RetryPolicy,
+};
 pub use machine::Machine;
 pub use op::{LockId, Op, Workload};
-pub use report::Report;
+pub use report::{DeadlockReport, LockDiag, Report, RicDiag, StalledNode};

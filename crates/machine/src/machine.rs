@@ -20,7 +20,7 @@
 //! the cached copy and the burst of refills/test-and-sets at release time
 //! that the paper identifies as WBI's scalability problem.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use ssmp_core::addr::{BlockId, NodeId};
 use ssmp_core::barrier::{BarEffect, BarKind, BarMsg, HwBarrier};
@@ -30,41 +30,94 @@ use ssmp_core::primitive::{AccessClass, LockMode};
 use ssmp_core::ric::{RicEffect, RicMsg, UpdateList};
 use ssmp_core::semaphore::{HwSemaphore, SemEffect, SemKind, SemMsg};
 use ssmp_core::wbuf::Enqueue;
-use ssmp_engine::{CounterSet, Cycle, EventQueue, Histogram, SimRng};
+use ssmp_engine::{CounterSet, Cycle, EventQueue, Histogram, SimRng, Watchdog, WatchdogVerdict};
 use ssmp_mem::{MemModule, PrivAccess, PrivCache, PrivateModel, PrivateOutcome};
-use ssmp_net::Interconnect;
-use ssmp_wbi::{WbiBlock, WbiEffect, WbiMsg};
+use ssmp_net::{FaultPlan, FaultyInterconnect, Interconnect, MsgDir, MsgKind};
+use ssmp_wbi::{Backoff, WbiBlock, WbiEffect, WbiMsg};
 
-use crate::config::{BarrierScheme, DataScheme, LockScheme, MachineConfig, PrivateMode};
+use crate::config::{
+    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PrivateMode,
+};
 use crate::node::{MicroOp, Node, SpinTarget, SyncCtx, TtsPhase, Waiting};
 use crate::op::{LockId, Op, Workload};
-use crate::report::Report;
+use crate::report::{DeadlockReport, LockDiag, Report, RicDiag, StalledNode};
 
 /// Simulator events.
 #[derive(Debug, Clone)]
 enum Ev {
     /// The node is ready for its next (micro-)operation.
     Resume(NodeId),
-    /// A protocol message is processed at its destination.
-    Deliver(Proto),
+    /// A protocol message is processed at its destination. `id` is the
+    /// message's wire id: duplicate copies and retransmissions reuse it so
+    /// delivery can be deduplicated.
+    Deliver { id: u64, p: Proto },
     /// The write buffer issues its next buffered write.
     WbufIssue(NodeId),
     /// A spinning / backing-off node retries.
     Retry(NodeId),
+    /// The retransmit timer of `node`'s outstanding request expired.
+    Timeout { node: NodeId, epoch: u64 },
 }
 
 /// A protocol message with enough context to route it.
 #[derive(Debug, Clone)]
 enum Proto {
-    Cbl { lock: LockId, msg: CblMsg },
-    Ric { block: BlockId, msg: RicMsg },
-    WbiData { block: BlockId, msg: WbiMsg },
-    WbiLock { lock: LockId, msg: WbiMsg },
-    WbiFlag { msg: WbiMsg },
-    Bar { msg: BarMsg },
-    Sem { sem: usize, msg: SemMsg },
-    /// Reply of a probabilistic private-data fetch.
-    PrivFill { node: NodeId },
+    Cbl {
+        lock: LockId,
+        msg: CblMsg,
+    },
+    Ric {
+        block: BlockId,
+        msg: RicMsg,
+    },
+    WbiData {
+        block: BlockId,
+        msg: WbiMsg,
+    },
+    WbiLock {
+        lock: LockId,
+        msg: WbiMsg,
+    },
+    WbiFlag {
+        msg: WbiMsg,
+    },
+    Bar {
+        msg: BarMsg,
+    },
+    Sem {
+        sem: usize,
+        msg: SemMsg,
+    },
+    /// Request leg of a private-data miss (node → home module).
+    PrivReq {
+        node: NodeId,
+        home: NodeId,
+    },
+    /// Reply of a private-data fetch (home module → node).
+    PrivFill {
+        node: NodeId,
+        home: NodeId,
+    },
+    /// Dirty-victim writeback of a private-data miss.
+    PrivWb {
+        node: NodeId,
+        home: NodeId,
+    },
+}
+
+/// An outstanding tracked request: the stall it must resolve and the wire
+/// messages to retransmit if the reply does not arrive in time.
+#[derive(Debug, Clone)]
+struct PendingReq {
+    /// Matches stale [`Ev::Timeout`] events against re-armed timers.
+    epoch: u64,
+    /// Send attempts so far (the first transmission included).
+    attempts: u32,
+    /// The stall this request must resolve; if the node is no longer in
+    /// this state the timer is stale.
+    waiting: Waiting,
+    /// The wire messages (id + payload) to retransmit.
+    msgs: Vec<(u64, Proto)>,
 }
 
 /// Which WBI controller an effect belongs to.
@@ -79,7 +132,7 @@ enum WbiCtx {
 pub struct Machine {
     cfg: MachineConfig,
     events: EventQueue<Ev>,
-    net: Interconnect,
+    net: FaultyInterconnect,
     mems: Vec<MemModule>,
     nodes: Vec<Node>,
     /// RIC controllers for shared data blocks (DataScheme::Ric).
@@ -110,11 +163,37 @@ pub struct Machine {
     release_waiters: BTreeMap<LockId, NodeId>,
     live: usize,
     completion: Cycle,
-    stamp: u64,
+    /// Per-node write-stamp counters (see [`Machine::next_stamp`]).
+    node_stamp: Vec<u64>,
     /// Observed shared-read values (when `record_reads` is configured).
     read_log: Vec<(NodeId, BlockId, u8, u64)>,
     /// Lock-order edges `held → requested` across all nodes.
     lock_order: std::collections::BTreeSet<(LockId, LockId)>,
+    /// Monotonic wire-id source.
+    wire_ctr: u64,
+    /// Wire ids already delivered. Populated only when faults or retry can
+    /// put a second copy of a message on the wire (`dedup`).
+    delivered: HashSet<u64>,
+    dedup: bool,
+    /// Node whose outgoing requests are currently being recorded for
+    /// possible retransmission.
+    tracking: Option<NodeId>,
+    track_buf: Vec<(u64, Proto)>,
+    /// Outstanding tracked request per node.
+    pending_req: Vec<Option<PendingReq>>,
+    epoch_ctr: u64,
+    /// Per-node retransmit backoff.
+    retry_backoff: Vec<Backoff>,
+    /// Per-node retransmission counts (surfaced in the report).
+    retry_counts: Vec<u64>,
+    /// Dedicated stream for retransmit jitter — faults and retries must
+    /// not perturb the workload's per-node random streams.
+    retry_rng: SimRng,
+    /// Wire messages of issued-but-unacked buffered writes, per node,
+    /// keyed by write id (the retransmission set for `Waiting::Flush`).
+    wbuf_msgs: Vec<BTreeMap<u64, Vec<(u64, Proto)>>>,
+    /// Set when the watchdog ended the run.
+    deadlock: Option<DeadlockReport>,
 }
 
 impl Machine {
@@ -124,9 +203,23 @@ impl Machine {
     /// plus the `locks` argument here (workload-specific lock counts are a
     /// property of the experiment, not the workload trait).
     pub fn new(cfg: MachineConfig, workload: Box<dyn Workload>, locks: usize) -> Self {
-        cfg.validate().expect("invalid machine configuration");
+        Self::try_new(cfg, workload, locks).expect("invalid machine configuration")
+    }
+
+    /// Builds a machine, reporting an invalid configuration as an error
+    /// instead of panicking.
+    pub fn try_new(
+        cfg: MachineConfig,
+        workload: Box<dyn Workload>,
+        locks: usize,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let n = cfg.geometry.nodes;
-        assert_eq!(workload.nodes(), n, "workload sized for a different machine");
+        assert_eq!(
+            workload.nodes(),
+            n,
+            "workload sized for a different machine"
+        );
         let bw = cfg.geometry.block_words;
         let master = SimRng::new(cfg.seed);
         let nodes = (0..n)
@@ -142,8 +235,15 @@ impl Machine {
             })
             .collect();
         let shared = cfg.geometry.shared_blocks;
-        Self {
-            net: Interconnect::build(cfg.topology, n, cfg.net),
+        let inner = Interconnect::try_build(cfg.topology, n, cfg.net)?;
+        let net = match cfg.fault.clone() {
+            Some(fc) => FaultyInterconnect::with_plan(inner, FaultPlan::new(fc)),
+            None => FaultyInterconnect::transparent(inner),
+        };
+        let backoff_base = cfg.retry.backoff_base.max(1);
+        let backoff_cap = cfg.retry.backoff_cap.max(backoff_base);
+        Ok(Self {
+            net,
             mems: (0..n).map(|_| MemModule::new()).collect(),
             nodes,
             ric: (0..shared).map(|_| UpdateList::new(bw)).collect(),
@@ -176,12 +276,24 @@ impl Machine {
             release_waiters: BTreeMap::new(),
             live: n,
             completion: 0,
-            stamp: 0,
+            node_stamp: vec![0; n],
             read_log: Vec::new(),
             lock_order: std::collections::BTreeSet::new(),
+            wire_ctr: 0,
+            delivered: HashSet::new(),
+            dedup: cfg.fault.is_some() || cfg.retry.enabled,
+            tracking: None,
+            track_buf: Vec::new(),
+            pending_req: (0..n).map(|_| None).collect(),
+            epoch_ctr: 0,
+            retry_backoff: vec![Backoff::new(backoff_base, backoff_cap); n],
+            retry_counts: vec![0; n],
+            retry_rng: master.fork(u64::MAX ^ 0xfa17),
+            wbuf_msgs: vec![BTreeMap::new(); n],
+            deadlock: None,
             events: EventQueue::new(),
             cfg,
-        }
+        })
     }
 
     /// Provisions hardware counting semaphores with the given initial
@@ -195,41 +307,99 @@ impl Machine {
         self.events.now()
     }
 
-    fn next_stamp(&mut self) -> u64 {
-        self.stamp += 1;
-        self.stamp
+    /// Draws a fresh write stamp for `node`: `(node + 1) << 40 | counter`.
+    /// Keying stamps by node (instead of a global counter) makes the final
+    /// memory image of race-free programs independent of message timing —
+    /// fault-injected runs must converge to the same state as fault-free
+    /// runs.
+    fn next_stamp(&mut self, node: NodeId) -> u64 {
+        self.node_stamp[node] += 1;
+        ((node as u64 + 1) << 40) | self.node_stamp[node]
     }
 
     /// Runs the workload to completion and returns the report.
+    ///
+    /// A run that wedges — the event queue drains with live nodes, or the
+    /// `max_cycles` budget is exceeded — does not panic: the watchdog ends
+    /// it and the report carries a [`DeadlockReport`].
     pub fn run(mut self) -> Report {
         for n in 0..self.nodes.len() {
             self.events.schedule(0, Ev::Resume(n));
         }
+        let watchdog = Watchdog::new(self.cfg.max_cycles);
         while self.live > 0 {
-            let Some(sch) = self.events.pop() else {
-                panic!(
-                    "deadlock: {} nodes live with no pending events; states: {:?}",
-                    self.live,
-                    self.nodes
-                        .iter()
-                        .filter(|n| !n.done)
-                        .map(|n| (n.id, n.waiting, n.sync))
-                        .collect::<Vec<_>>()
-                );
-            };
-            assert!(
-                sch.at <= self.cfg.max_cycles,
-                "exceeded max_cycles ({}); runaway configuration?",
-                self.cfg.max_cycles
-            );
+            if let Some(verdict) = watchdog.check(self.events.peek_time(), self.live) {
+                self.diagnose_deadlock(verdict);
+                break;
+            }
+            let sch = self
+                .events
+                .pop()
+                .expect("watchdog admits non-empty queues only");
+            let at = sch.at;
             match sch.event {
-                Ev::Resume(n) => self.resume(n),
-                Ev::Deliver(p) => self.deliver(p),
-                Ev::WbufIssue(n) => self.wbuf_issue(n),
-                Ev::Retry(n) => self.retry(n),
+                Ev::Resume(n) => self.with_tracking(n, at, |m| m.resume(n)),
+                Ev::Deliver { id, p } => self.deliver(id, p),
+                Ev::WbufIssue(n) => self.with_tracking(n, at, |m| m.wbuf_issue(n)),
+                Ev::Retry(n) => self.with_tracking(n, at, |m| m.retry(n)),
+                Ev::Timeout { node, epoch } => self.handle_timeout(node, epoch),
             }
         }
         self.finish()
+    }
+
+    /// Builds the structured diagnosis when the watchdog ends a run: every
+    /// stalled node's wait state, plus the CBL queues and RIC lists that
+    /// still hold members.
+    fn diagnose_deadlock(&mut self, verdict: WatchdogVerdict) {
+        let at = self.events.peek_time().unwrap_or_else(|| self.now());
+        let nodes = self
+            .nodes
+            .iter()
+            .filter(|n| !n.done)
+            .map(|n| StalledNode {
+                node: n.id,
+                waiting: format!("{:?}", n.waiting),
+                sync: n.sync.map(|s| format!("{s:?}")),
+                since: n.stall_start,
+                wbuf_occupancy: n.wbuf.pending(),
+                retries: self.retry_counts[n.id],
+            })
+            .collect();
+        let locks = self
+            .cbl
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_quiescent_free())
+            .map(|(lock, q)| LockDiag {
+                lock,
+                holders: q
+                    .holders()
+                    .into_iter()
+                    .map(|(n, m)| (n, format!("{m:?}")))
+                    .collect(),
+                waiters: q.waiters(),
+            })
+            .collect();
+        let ric = self
+            .ric
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| !u.is_empty())
+            .map(|(block, u)| RicDiag {
+                block,
+                members: u.members_in_order(),
+            })
+            .collect();
+        self.counters.bump("watchdog.fired");
+        self.deadlock = Some(DeadlockReport {
+            verdict,
+            at,
+            budget: self.cfg.max_cycles,
+            nodes,
+            locks,
+            ric,
+        });
     }
 
     fn finish(mut self) -> Report {
@@ -284,6 +454,9 @@ impl Machine {
             ops_completed: self.nodes.iter().map(|n| n.ops_completed).collect(),
             lock_cache_overflows: self.nodes.iter().map(|n| n.lock_cache.overflows).sum(),
             wbuf_peak: self.nodes.iter().map(|n| n.wbuf.peak()).max().unwrap_or(0),
+            retries: self.retry_counts,
+            faults: self.net.fault_stats(),
+            deadlock: self.deadlock,
         }
     }
 
@@ -301,7 +474,9 @@ impl Machine {
             Proto::WbiFlag { .. } => n - 1,
             Proto::Bar { .. } => 0,
             Proto::Sem { sem, .. } => (sem + 1) % n,
-            Proto::PrivFill { .. } => unreachable!("private fills are routed inline"),
+            Proto::PrivReq { home, .. }
+            | Proto::PrivFill { home, .. }
+            | Proto::PrivWb { home, .. } => *home,
         }
     }
 
@@ -314,7 +489,42 @@ impl Machine {
             Proto::WbiFlag { msg } => (msg.src, msg.dst, msg.words),
             Proto::Bar { msg } => (msg.src, msg.dst, msg.words),
             Proto::Sem { msg, .. } => (msg.src, msg.dst, msg.words),
-            Proto::PrivFill { .. } => unreachable!(),
+            Proto::PrivReq { node, .. } => (Endpoint::Node(*node), Endpoint::Dir, 1),
+            Proto::PrivFill { node, .. } => (
+                Endpoint::Dir,
+                Endpoint::Node(*node),
+                self.cfg.geometry.block_words as u32,
+            ),
+            Proto::PrivWb { node, .. } => (
+                Endpoint::Node(*node),
+                Endpoint::Dir,
+                self.cfg.geometry.block_words as u32,
+            ),
+        }
+    }
+
+    /// Protocol family of a message, for fault targeting.
+    fn msg_kind(p: &Proto) -> MsgKind {
+        match p {
+            Proto::Cbl { .. } => MsgKind::Cbl,
+            Proto::Ric { .. } => MsgKind::Ric,
+            Proto::WbiData { .. } => MsgKind::WbiData,
+            Proto::WbiLock { .. } => MsgKind::WbiLock,
+            Proto::WbiFlag { .. } => MsgKind::WbiFlag,
+            Proto::Bar { .. } => MsgKind::Barrier,
+            Proto::Sem { .. } => MsgKind::Semaphore,
+            Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => {
+                MsgKind::Private
+            }
+        }
+    }
+
+    /// Direction of a message relative to the home directory.
+    fn msg_dir(src: Endpoint, dst: Endpoint) -> MsgDir {
+        match (src, dst) {
+            (Endpoint::Node(_), Endpoint::Dir) => MsgDir::Request,
+            (Endpoint::Dir, _) => MsgDir::Reply,
+            (Endpoint::Node(_), Endpoint::Node(_)) => MsgDir::Peer,
         }
     }
 
@@ -372,16 +582,32 @@ impl Machine {
                 SemKind::Grant => "msg.sem.grant",
                 SemKind::VAck => "msg.sem.v_ack",
             },
-            Proto::PrivFill { .. } => "msg.priv.fill",
+            Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => "msg.priv",
         };
         self.counters.bump(name);
     }
 
-    /// Puts a protocol message on the wire at `depart`; schedules its
+    /// Puts a fresh protocol message on the wire at `depart`; schedules its
     /// delivery (including directory service time for Dir-bound messages —
-    /// the service itself is charged at delivery).
+    /// the service itself is charged at delivery). When request tracking is
+    /// active for the sending node, the message is recorded for possible
+    /// retransmission.
     fn route(&mut self, depart: Cycle, p: Proto) {
         self.count_msg(&p);
+        self.wire_ctr += 1;
+        let id = self.wire_ctr;
+        if let Some(t) = self.tracking {
+            if self.endpoints(&p).0 == Endpoint::Node(t) {
+                self.track_buf.push((id, p.clone()));
+            }
+        }
+        self.route_wire(depart, id, p);
+    }
+
+    /// Sends one wire message — fresh, duplicate, or retransmission; they
+    /// share `id` so delivery can dedup. The fault plan (if any) decides
+    /// whether the message is dropped, duplicated, or delayed.
+    fn route_wire(&mut self, depart: Cycle, id: u64, p: Proto) {
         let home = self.home_of(&p);
         let (src, dst, words) = self.endpoints(&p);
         let sp = match src {
@@ -392,8 +618,15 @@ impl Machine {
             Endpoint::Node(x) => x,
             Endpoint::Dir => home,
         };
-        let arrival = self.net.send(depart, sp, dp, words);
-        self.events.schedule(arrival, Ev::Deliver(p));
+        let kind = Self::msg_kind(&p);
+        let dir = Self::msg_dir(src, dst);
+        let d = self.net.send(depart, sp, dp, words, kind, dir);
+        if let Some(at) = d.duplicate {
+            self.events.schedule(at, Ev::Deliver { id, p: p.clone() });
+        }
+        if let Some(at) = d.arrival {
+            self.events.schedule(at, Ev::Deliver { id, p });
+        }
     }
 
     fn route_all_cbl(&mut self, depart: Cycle, lock: LockId, msgs: Vec<CblMsg>) {
@@ -423,21 +656,38 @@ impl Machine {
     // Delivery
     // ------------------------------------------------------------------
 
-    fn deliver(&mut self, p: Proto) {
-        let now = self.now();
-        let home = match &p {
-            Proto::PrivFill { .. } => 0,
-            other => self.home_of(other),
-        };
-        let (_, dst, in_words) = match &p {
-            Proto::PrivFill { node } => (Endpoint::Dir, Endpoint::Node(*node), 0),
-            other => self.endpoints(other),
-        };
-        if let Proto::PrivFill { node } = p {
-            self.counters.bump("priv.fill");
-            self.resume_from(node, Waiting::Fill, now);
+    fn deliver(&mut self, id: u64, p: Proto) {
+        // Faults and retransmission can put a second copy of a message on
+        // the wire; the first copy to arrive wins, later ones are dropped
+        // here so protocol controllers see exactly-once delivery.
+        if self.dedup && !self.delivered.insert(id) {
+            self.counters.bump("net.dedup");
             return;
         }
+        let now = self.now();
+        // Private-data traffic is serviced directly at the memory module —
+        // no protocol controller involved.
+        match p {
+            Proto::PrivReq { node, home } => {
+                let t = self.mems[home].service(now, self.cfg.mem.data_cost());
+                self.route(t, Proto::PrivFill { node, home });
+                return;
+            }
+            Proto::PrivFill { node, .. } => {
+                self.counters.bump("priv.fill");
+                if self.nodes[node].waiting == Waiting::Fill {
+                    self.resume_from(node, Waiting::Fill, now);
+                }
+                return;
+            }
+            Proto::PrivWb { home, .. } => {
+                self.mems[home].service(now, self.cfg.mem.data_cost());
+                return;
+            }
+            _ => {}
+        }
+        let home = self.home_of(&p);
+        let (_, dst, in_words) = self.endpoints(&p);
 
         // Process at the destination; outgoing messages depart after the
         // local processing time.
@@ -445,17 +695,32 @@ impl Machine {
         let (out, done_at): (Vec<Proto>, Cycle) = match p {
             Proto::Cbl { lock, msg } => {
                 let (msgs, effects) = self.cbl[lock].deliver(msg);
-                let t_done = self.processing_done(dst, home, touches_memory, in_words, &msgs_words_cbl(&msgs), now);
+                let t_done = self.processing_done(
+                    dst,
+                    home,
+                    touches_memory,
+                    in_words,
+                    &msgs_words_cbl(&msgs),
+                    now,
+                );
                 self.apply_cbl_effects(lock, &effects, t_done);
                 (
-                    msgs.into_iter().map(|m| Proto::Cbl { lock, msg: m }).collect(),
+                    msgs.into_iter()
+                        .map(|m| Proto::Cbl { lock, msg: m })
+                        .collect(),
                     t_done,
                 )
             }
             Proto::Ric { block, msg } => {
                 let (msgs, effects) = self.ric[block].deliver(msg);
-                let t_done =
-                    self.processing_done(dst, home, touches_memory, in_words, &msgs_words_ric(&msgs), now);
+                let t_done = self.processing_done(
+                    dst,
+                    home,
+                    touches_memory,
+                    in_words,
+                    &msgs_words_ric(&msgs),
+                    now,
+                );
                 self.apply_ric_effects(block, effects, t_done);
                 (
                     msgs.into_iter()
@@ -466,8 +731,14 @@ impl Machine {
             }
             Proto::WbiData { block, msg } => {
                 let (msgs, effects) = self.wbi[block].deliver(msg);
-                let t_done =
-                    self.processing_done(dst, home, touches_memory, in_words, &msgs_words_wbi(&msgs), now);
+                let t_done = self.processing_done(
+                    dst,
+                    home,
+                    touches_memory,
+                    in_words,
+                    &msgs_words_wbi(&msgs),
+                    now,
+                );
                 self.apply_wbi_effects(WbiCtx::Data(block), effects, t_done);
                 (
                     msgs.into_iter()
@@ -478,8 +749,14 @@ impl Machine {
             }
             Proto::WbiLock { lock, msg } => {
                 let (msgs, effects) = self.wbi_locks[lock].deliver(msg);
-                let t_done =
-                    self.processing_done(dst, home, touches_memory, in_words, &msgs_words_wbi(&msgs), now);
+                let t_done = self.processing_done(
+                    dst,
+                    home,
+                    touches_memory,
+                    in_words,
+                    &msgs_words_wbi(&msgs),
+                    now,
+                );
                 self.apply_wbi_effects(WbiCtx::Lock(lock), effects, t_done);
                 (
                     msgs.into_iter()
@@ -490,22 +767,33 @@ impl Machine {
             }
             Proto::WbiFlag { msg } => {
                 let (msgs, effects) = self.flag.deliver(msg);
-                let t_done =
-                    self.processing_done(dst, home, touches_memory, in_words, &msgs_words_wbi(&msgs), now);
+                let t_done = self.processing_done(
+                    dst,
+                    home,
+                    touches_memory,
+                    in_words,
+                    &msgs_words_wbi(&msgs),
+                    now,
+                );
                 self.apply_wbi_effects(WbiCtx::Flag, effects, t_done);
                 (
-                    msgs.into_iter().map(|m| Proto::WbiFlag { msg: m }).collect(),
+                    msgs.into_iter()
+                        .map(|m| Proto::WbiFlag { msg: m })
+                        .collect(),
                     t_done,
                 )
             }
             Proto::Bar { msg } => {
                 let (msgs, effects) = self.hwbar.deliver(msg);
                 let out_words: Vec<u32> = msgs.iter().map(|m| m.words).collect();
-                let t_done = self.processing_done(dst, home, touches_memory, in_words, &out_words, now);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, &out_words, now);
                 for e in effects {
                     let BarEffect::Passed { node, .. } = e;
                     self.counters.bump("barrier.hw.passed");
-                    self.resume_from(node, Waiting::BarrierPass, t_done);
+                    if self.nodes[node].waiting == Waiting::BarrierPass {
+                        self.resume_from(node, Waiting::BarrierPass, t_done);
+                    }
                 }
                 (
                     msgs.into_iter().map(|m| Proto::Bar { msg: m }).collect(),
@@ -515,7 +803,8 @@ impl Machine {
             Proto::Sem { sem, msg } => {
                 let (msgs, effects) = self.sems[sem].deliver(msg);
                 let out_words: Vec<u32> = msgs.iter().map(|m| m.words).collect();
-                let t_done = self.processing_done(dst, home, touches_memory, in_words, &out_words, now);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, &out_words, now);
                 for e in effects {
                     match e {
                         SemEffect::Acquired { node } => {
@@ -532,11 +821,15 @@ impl Machine {
                     }
                 }
                 (
-                    msgs.into_iter().map(|m| Proto::Sem { sem, msg: m }).collect(),
+                    msgs.into_iter()
+                        .map(|m| Proto::Sem { sem, msg: m })
+                        .collect(),
                     t_done,
                 )
             }
-            Proto::PrivFill { .. } => unreachable!(),
+            Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => {
+                unreachable!("private traffic handled above")
+            }
         };
         for m in out {
             self.route(done_at, m);
@@ -639,7 +932,7 @@ impl Machine {
                         // A re-request was waiting for the line to drain.
                         self.nodes[node].unstall(t);
                         if let Some(op) = self.nodes[node].pending_op.take() {
-                            self.execute(node, op, t);
+                            self.with_tracking(node, t, |m| m.execute(node, op, t));
                         }
                     }
                 }
@@ -648,6 +941,10 @@ impl Machine {
                     self.nodes[from].lock_cache.remove(lock);
                 }
             }
+        }
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.cbl[lock].check_exclusion() {
+            panic!("CBL invariant violated on lock {lock}: {e}");
         }
     }
 
@@ -677,6 +974,7 @@ impl Machine {
                 RicEffect::WriteDone { node, wid } => {
                     let acked = self.nodes[node].wbuf.ack(wid);
                     debug_assert!(acked, "write-ack for unknown wid");
+                    self.wbuf_msgs[node].remove(&wid);
                     self.counters.bump("wbuf.acked");
                     if self.nodes[node].wbuf.is_drained()
                         && self.nodes[node].waiting == Waiting::Flush
@@ -727,6 +1025,10 @@ impl Machine {
                 }
             }
         }
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.ric[block].check_list() {
+            panic!("RIC invariant violated on block {block}: {e}");
+        }
     }
 
     fn apply_wbi_effects(&mut self, ctx: WbiCtx, effects: Vec<WbiEffect>, t: Cycle) {
@@ -744,16 +1046,17 @@ impl Machine {
                         }
                     }
                     match self.nodes[node].sync {
-                        Some(SyncCtx::TtsLock { lock, phase: TtsPhase::Fetch })
-                            if ctx == WbiCtx::Lock(lock) =>
-                        {
+                        Some(SyncCtx::TtsLock {
+                            lock,
+                            phase: TtsPhase::Fetch,
+                        }) if ctx == WbiCtx::Lock(lock) => {
                             self.nodes[node].unstall(t);
-                            self.tts_try(node, lock, t);
+                            self.with_tracking(node, t, |m| m.tts_try(node, lock, t));
                         }
                         Some(SyncCtx::SwSpinFlag) if ctx == WbiCtx::Flag => {
                             self.nodes[node].unstall(t);
                             self.nodes[node].sync = None;
-                            self.sw_spin_flag(node, t);
+                            self.with_tracking(node, t, |m| m.sw_spin_flag(node, t));
                         }
                         _ => {
                             if self.nodes[node].spin_global.is_some()
@@ -809,9 +1112,10 @@ impl Machine {
                 self.nodes[node].sync = None;
                 self.resume_from(node, Waiting::Fill, t);
             }
-            Some(SyncCtx::TtsLock { lock, phase: TtsPhase::Acquire })
-                if ctx == WbiCtx::Lock(lock) =>
-            {
+            Some(SyncCtx::TtsLock {
+                lock,
+                phase: TtsPhase::Acquire,
+            }) if ctx == WbiCtx::Lock(lock) => {
                 let old = self.wbi_locks[lock]
                     .fetch_and_store(node, 0, 1)
                     .expect("test-and-set without ownership");
@@ -957,19 +1261,16 @@ impl Machine {
                         victim_home,
                     } => {
                         self.counters.bump("priv.miss");
-                        let bw = self.cfg.geometry.block_words as u32;
-                        // request to home
-                        let a1 = self.net.send(now, node, home, 1);
-                        let served = self.mems[home].service(a1, self.cfg.mem.data_cost());
-                        // block reply
-                        let a2 = self.net.send(served, home, node, bw);
-                        self.events.schedule(a2, Ev::Deliver(Proto::PrivFill { node }));
-                        self.counters.add("msg.priv", 2);
+                        self.route(now, Proto::PrivReq { node, home });
                         if dirty_victim {
                             self.counters.bump("priv.writeback");
-                            self.counters.bump("msg.priv");
-                            let a = self.net.send(now, node, victim_home, bw);
-                            self.mems[victim_home].service(a, self.cfg.mem.data_cost());
+                            self.route(
+                                now,
+                                Proto::PrivWb {
+                                    node,
+                                    home: victim_home,
+                                },
+                            );
                         }
                         self.nodes[node].stall(Waiting::Fill, now);
                     }
@@ -1072,7 +1373,7 @@ impl Machine {
                 }
             }
             Op::SharedWrite(addr) => {
-                let stamp = self.next_stamp();
+                let stamp = self.next_stamp(node);
                 self.execute(node, Op::SharedWriteVal(addr, stamp), now);
             }
             Op::SharedWriteVal(addr, stamp) => {
@@ -1136,7 +1437,11 @@ impl Machine {
                     }
                 }
                 DataScheme::Wbi => {
-                    self.execute(node, Op::SharedRead(ssmp_core::addr::SharedAddr::new(block, 0)), now);
+                    self.execute(
+                        node,
+                        Op::SharedRead(ssmp_core::addr::SharedAddr::new(block, 0)),
+                        now,
+                    );
                 }
             },
             Op::ResetUpdate(block) => {
@@ -1233,32 +1538,30 @@ impl Machine {
                 }
             }
             Op::LockedWrite(lock, word) => {
-                let stamp = self.next_stamp();
+                let stamp = self.next_stamp(node);
                 self.execute(node, Op::LockedWriteVal(lock, word, stamp), now);
             }
-            Op::LockedWriteVal(lock, word, stamp) => {
-                match self.cfg.locks {
-                    LockScheme::Cbl => {
-                        debug_assert!(self.cbl[lock].holds(node), "locked write without the lock");
-                        self.lock_data[lock].set(word, stamp);
+            Op::LockedWriteVal(lock, word, stamp) => match self.cfg.locks {
+                LockScheme::Cbl => {
+                    debug_assert!(self.cbl[lock].holds(node), "locked write without the lock");
+                    self.lock_data[lock].set(word, stamp);
+                    self.events.schedule(now + 1, Ev::Resume(node));
+                }
+                LockScheme::Tts | LockScheme::TtsBackoff => {
+                    if self.wbi_locks[lock].local_write(node, word, stamp) {
                         self.events.schedule(now + 1, Ev::Resume(node));
-                    }
-                    LockScheme::Tts | LockScheme::TtsBackoff => {
-                        if self.wbi_locks[lock].local_write(node, word, stamp) {
-                            self.events.schedule(now + 1, Ev::Resume(node));
-                        } else {
-                            let msgs = self.wbi_locks[lock].write_req(node);
-                            self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
-                            self.nodes[node].sync = Some(SyncCtx::PendingStore {
-                                block: lock,
-                                word,
-                                value: stamp,
-                            });
-                            self.nodes[node].stall(Waiting::Fill, now);
-                        }
+                    } else {
+                        let msgs = self.wbi_locks[lock].write_req(node);
+                        self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
+                        self.nodes[node].sync = Some(SyncCtx::PendingStore {
+                            block: lock,
+                            word,
+                            value: stamp,
+                        });
+                        self.nodes[node].stall(Waiting::Fill, now);
                     }
                 }
-            }
+            },
             Op::SemP(sem) => {
                 // NP-Synch: no flush required.
                 self.counters.bump("sem.p");
@@ -1310,10 +1613,9 @@ impl Machine {
                         // Expand: lock; decrement; unlock; then write or
                         // spin on the flag.
                         let bl = self.barrier_lock();
-                        self.nodes[node].injected.push_back(MicroOp::Op(Op::Lock(
-                            bl,
-                            LockMode::Write,
-                        )));
+                        self.nodes[node]
+                            .injected
+                            .push_back(MicroOp::Op(Op::Lock(bl, LockMode::Write)));
                         self.nodes[node].injected.push_back(MicroOp::SwArrive);
                         self.events.schedule(now + 1, Ev::Resume(node));
                     }
@@ -1423,7 +1725,7 @@ impl Machine {
         self.counters.bump("barrier.sw.arrive");
         let bl = self.barrier_lock();
         // store the new count into the lock block (local: we own it)
-        let count_stamp = self.next_stamp();
+        let count_stamp = self.next_stamp(node);
         let _ = self.wbi_locks[bl].local_write(node, 1, count_stamp);
         self.nodes[node]
             .injected
@@ -1490,7 +1792,16 @@ impl Machine {
         };
         self.counters.bump("wbuf.issued");
         let msgs = self.ric[w.addr.block].write_global(node, w.addr.word, w.value, w.id);
+        let mark = self.track_buf.len();
         self.route_all_ric(now, w.addr.block, msgs);
+        if self.cfg.retry.enabled {
+            // Remember this write's wire messages until its ack retires it
+            // — the retransmission set for a flush stall.
+            let sent: Vec<(u64, Proto)> = self.track_buf[mark..].to_vec();
+            if !sent.is_empty() {
+                self.wbuf_msgs[node].insert(w.id, sent);
+            }
+        }
         // more to issue?
         if self.nodes[node].wbuf.pending() > 0 {
             self.schedule_wbuf_issue(node, now);
@@ -1500,10 +1811,132 @@ impl Machine {
     fn flush_done(&mut self, node: NodeId, t: Cycle) {
         self.nodes[node].unstall(t);
         if let Some(op) = self.nodes[node].pending_op.take() {
-            self.execute(node, op, t);
+            self.with_tracking(node, t, |m| m.execute(node, op, t));
         } else {
             self.events.schedule(t + 1, Ev::Resume(node));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol retry (timeout + bounded retransmission)
+    // ------------------------------------------------------------------
+
+    /// Runs a node-level action, recording the requests it puts on the
+    /// wire; if the node ends up stalled waiting for a reply, a retransmit
+    /// timer is armed over them. Nested calls are pass-throughs (the
+    /// outermost wins), as is the whole mechanism when retry is disabled.
+    fn with_tracking(&mut self, node: NodeId, now: Cycle, f: impl FnOnce(&mut Self)) {
+        if !self.cfg.retry.enabled || self.tracking.is_some() {
+            f(self);
+            return;
+        }
+        self.tracking = Some(node);
+        self.track_buf.clear();
+        f(self);
+        self.tracking = None;
+        self.commit_tracking(node, now);
+    }
+
+    /// Which stalls a retransmission can resolve: waits for a protocol
+    /// reply to a request this node sent. Passive spins and timers have no
+    /// outstanding request to retransmit (a lost wakeup there is caught by
+    /// the watchdog instead).
+    fn retryable(w: Waiting) -> bool {
+        matches!(
+            w,
+            Waiting::Fill
+                | Waiting::LockGrant(_)
+                | Waiting::ReleaseDone(_)
+                | Waiting::BarrierPass
+                | Waiting::SemGrant(_)
+                | Waiting::SemDone(_)
+                | Waiting::Flush
+        )
+    }
+
+    fn commit_tracking(&mut self, node: NodeId, now: Cycle) {
+        let mut msgs = std::mem::take(&mut self.track_buf);
+        let waiting = self.nodes[node].waiting;
+        if !Self::retryable(waiting) {
+            return;
+        }
+        if waiting == Waiting::Flush {
+            // A flush stall is resolved by write acks; the retransmission
+            // set is every issued-but-unacked buffered write.
+            msgs = self.wbuf_msgs[node].values().flatten().cloned().collect();
+        }
+        if msgs.is_empty() {
+            return;
+        }
+        self.epoch_ctr += 1;
+        let epoch = self.epoch_ctr;
+        self.retry_backoff[node].reset();
+        self.pending_req[node] = Some(PendingReq {
+            epoch,
+            attempts: 1,
+            waiting,
+            msgs,
+        });
+        self.events
+            .schedule(now + self.cfg.retry.timeout, Ev::Timeout { node, epoch });
+    }
+
+    fn handle_timeout(&mut self, node: NodeId, epoch: u64) {
+        let now = self.now();
+        let live = match &self.pending_req[node] {
+            Some(req) => {
+                req.epoch == epoch
+                    && !self.nodes[node].done
+                    && self.nodes[node].waiting == req.waiting
+            }
+            None => false,
+        };
+        if !live {
+            // The reply arrived (or the node moved on): the timer is stale.
+            if self.pending_req[node]
+                .as_ref()
+                .is_some_and(|r| r.epoch == epoch)
+            {
+                self.pending_req[node] = None;
+            }
+            return;
+        }
+        let waiting = {
+            let req = self.pending_req[node].as_mut().expect("validated above");
+            if req.attempts >= self.cfg.retry.max_attempts {
+                // Out of attempts: stop retransmitting; the watchdog will
+                // report the node if nothing else unblocks it.
+                self.counters.bump("retry.exhausted");
+                self.pending_req[node] = None;
+                return;
+            }
+            req.attempts += 1;
+            req.waiting
+        };
+        let msgs: Vec<(u64, Proto)> = if waiting == Waiting::Flush {
+            // Refresh against acks that landed since the timer was armed.
+            self.wbuf_msgs[node].values().flatten().cloned().collect()
+        } else {
+            self.pending_req[node]
+                .as_ref()
+                .expect("validated above")
+                .msgs
+                .clone()
+        };
+        if msgs.is_empty() {
+            self.pending_req[node] = None;
+            return;
+        }
+        self.counters.bump("retry.retransmit");
+        self.retry_counts[node] += 1;
+        for (id, p) in msgs {
+            self.route_wire(now, id, p);
+        }
+        let jitter = self.retry_backoff[node].next_delay(&mut self.retry_rng);
+        self.events.schedule(
+            now + self.cfg.retry.timeout + jitter,
+            Ev::Timeout { node, epoch },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1617,7 +2050,11 @@ mod tests {
 
     #[test]
     fn compute_only() {
-        let r = run(MachineConfig::wbi(2), vec![vec![Op::Compute(100)], vec![]], 1);
+        let r = run(
+            MachineConfig::wbi(2),
+            vec![vec![Op::Compute(100)], vec![]],
+            1,
+        );
         assert_eq!(r.completion, 100);
     }
 
@@ -1646,7 +2083,11 @@ mod tests {
     fn shared_rw_ric_roundtrip() {
         let streams = vec![
             vec![Op::SharedWrite(addr(0, 1)), Op::Barrier],
-            vec![Op::SharedRead(addr(0, 1)), Op::Barrier, Op::SharedRead(addr(0, 1))],
+            vec![
+                Op::SharedRead(addr(0, 1)),
+                Op::Barrier,
+                Op::SharedRead(addr(0, 1)),
+            ],
         ];
         let r = run(MachineConfig::sc_cbl(2), streams, 1);
         assert!(r.counters.get("msg.ric.write_global") == 1);
@@ -1673,13 +2114,7 @@ mod tests {
     #[test]
     fn tts_lock_acquire_release() {
         let streams: Vec<Vec<Op>> = (0..4)
-            .map(|_| {
-                vec![
-                    Op::Lock(0, LockMode::Write),
-                    Op::Compute(10),
-                    Op::Unlock(0),
-                ]
-            })
+            .map(|_| vec![Op::Lock(0, LockMode::Write), Op::Compute(10), Op::Unlock(0)])
             .collect();
         let r = run(MachineConfig::wbi(4), streams, 1);
         assert_eq!(r.counters.get("lock.tts.acquired"), 4);
@@ -1690,13 +2125,7 @@ mod tests {
     #[test]
     fn tts_backoff_variant_acquires() {
         let streams: Vec<Vec<Op>> = (0..8)
-            .map(|_| {
-                vec![
-                    Op::Lock(0, LockMode::Write),
-                    Op::Compute(20),
-                    Op::Unlock(0),
-                ]
-            })
+            .map(|_| vec![Op::Lock(0, LockMode::Write), Op::Compute(20), Op::Unlock(0)])
             .collect();
         let r = run(MachineConfig::wbi_backoff(8), streams, 1);
         assert_eq!(r.counters.get("lock.tts.acquired"), 8);
@@ -1785,11 +2214,7 @@ mod tests {
 
     #[test]
     fn contended_cbl_beats_tts_on_messages() {
-        let cs: Vec<Op> = vec![
-            Op::Lock(0, LockMode::Write),
-            Op::Compute(5),
-            Op::Unlock(0),
-        ];
+        let cs: Vec<Op> = vec![Op::Lock(0, LockMode::Write), Op::Compute(5), Op::Unlock(0)];
         let n = 16;
         let cbl = run(MachineConfig::cbl(n), vec![cs.clone(); n], 1);
         let tts = run(MachineConfig::wbi(n), vec![cs; n], 1);
@@ -1831,12 +2256,13 @@ mod extension_tests {
     #[test]
     fn semaphore_blocks_until_v() {
         // node 1 P's an empty semaphore; node 0 V's it after a long compute
-        let streams = vec![
-            vec![Op::Compute(500), Op::SemV(0)],
-            vec![Op::SemP(0)],
-        ];
+        let streams = vec![vec![Op::Compute(500), Op::SemV(0)], vec![Op::SemP(0)]];
         let r = run_with_sems(MachineConfig::cbl(2), streams, &[0]);
-        assert!(r.completion >= 500, "P must wait for the V: {}", r.completion);
+        assert!(
+            r.completion >= 500,
+            "P must wait for the V: {}",
+            r.completion
+        );
         assert_eq!(r.counters.get("sem.acquired"), 1);
     }
 
@@ -1878,7 +2304,10 @@ mod extension_tests {
     #[test]
     fn spin_until_global_under_wbi() {
         let streams = vec![
-            vec![Op::Compute(300), Op::SharedWriteVal(SharedAddr::new(3, 0), 7)],
+            vec![
+                Op::Compute(300),
+                Op::SharedWriteVal(SharedAddr::new(3, 0), 7),
+            ],
             vec![Op::SpinUntilGlobal(SharedAddr::new(3, 0), 7)],
         ];
         let r = Machine::new(MachineConfig::wbi(2), Box::new(Script::new(streams)), 2).run();
@@ -1914,19 +2343,25 @@ mod extension_tests {
                         .collect()
                 })
                 .collect();
-            Machine::new(cfg, Box::new(Script::new(streams)), 1).run().completion
+            Machine::new(cfg, Box::new(Script::new(streams)), 1)
+                .run()
+                .completion
         };
         let o = mk(omega);
         let b = mk(bus);
-        assert!(b > o, "bus ({b}) must be slower than omega ({o}) under load");
+        assert!(
+            b > o,
+            "bus ({b}) must be slower than omega ({o}) under load"
+        );
     }
 
     #[test]
     fn exact_private_mode_runs() {
         let mut cfg = MachineConfig::bc_cbl(4);
         cfg.private_mode = crate::config::PrivateMode::Exact(Default::default());
-        let streams: Vec<Vec<Op>> =
-            (0..4).map(|_| vec![Op::Private { write: false }; 300]).collect();
+        let streams: Vec<Vec<Op>> = (0..4)
+            .map(|_| vec![Op::Private { write: false }; 300])
+            .collect();
         let r = Machine::new(cfg, Box::new(Script::new(streams)), 1).run();
         let hits = r.counters.get("priv.hit");
         let misses = r.counters.get("priv.miss");

@@ -17,7 +17,7 @@ use ssmp_engine::{Cycle, SimRng};
 pub type LockId = usize;
 
 /// One abstract processor operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Local computation for the given number of cycles.
     Compute(Cycle),

@@ -1,6 +1,7 @@
 //! Simulation results.
 
-use ssmp_engine::{Cycle, CounterSet, Histogram};
+use ssmp_engine::{CounterSet, Cycle, Histogram, WatchdogVerdict};
+use ssmp_net::FaultStats;
 
 /// The outcome of one machine run.
 #[derive(Debug, Clone)]
@@ -43,6 +44,111 @@ pub struct Report {
     pub lock_order_edges: Vec<(usize, usize)>,
     /// A lock-order cycle, if any was observed (deadlock hazard).
     pub lock_order_cycle: Option<Vec<usize>>,
+    /// Per-node protocol-request retransmission counts (all zero unless a
+    /// [`crate::RetryPolicy`] is enabled).
+    pub retries: Vec<u64>,
+    /// Fault-injection counts (`Some` only when a fault plan ran).
+    pub faults: Option<FaultStats>,
+    /// Set when the watchdog ended the run instead of the workload: the
+    /// run did NOT complete and `completion` is meaningless.
+    pub deadlock: Option<DeadlockReport>,
+}
+
+/// A stalled node's state at watchdog time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StalledNode {
+    /// Node id.
+    pub node: usize,
+    /// What the node is waiting for (`Waiting` rendered via `Debug`).
+    pub waiting: String,
+    /// The synchronization micro-context, if any (`SyncCtx` via `Debug`).
+    pub sync: Option<String>,
+    /// Cycle at which the current stall began.
+    pub since: Option<Cycle>,
+    /// Writes still sitting in the node's write buffer.
+    pub wbuf_occupancy: usize,
+    /// Protocol retransmissions this node performed.
+    pub retries: u64,
+}
+
+/// A CBL lock queue that is not quiescent-free at watchdog time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockDiag {
+    /// Lock id.
+    pub lock: usize,
+    /// Current holders with their modes (`LockMode` via `Debug`).
+    pub holders: Vec<(usize, String)>,
+    /// Queued waiters, in grant order.
+    pub waiters: Vec<usize>,
+}
+
+/// A RIC update list with live members at watchdog time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RicDiag {
+    /// Block id.
+    pub block: usize,
+    /// Enrolled nodes, in list order.
+    pub members: Vec<usize>,
+}
+
+/// Structured diagnosis emitted when the watchdog ends a run: which nodes
+/// were stuck on what, plus the state of every non-idle CBL queue and RIC
+/// list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlockReport {
+    /// Why the watchdog fired.
+    pub verdict: WatchdogVerdict,
+    /// Cycle at which the run was ended.
+    pub at: Cycle,
+    /// The configured cycle budget.
+    pub budget: Cycle,
+    /// Every node that had not retired, with its wait state.
+    pub nodes: Vec<StalledNode>,
+    /// CBL queues holding or queueing anybody.
+    pub locks: Vec<LockDiag>,
+    /// RIC lists with enrolled members.
+    pub ric: Vec<RicDiag>,
+}
+
+impl DeadlockReport {
+    /// A multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "DEADLOCK at cycle {} (budget {}): {}",
+            self.at, self.budget, self.verdict
+        );
+        for n in &self.nodes {
+            let _ = write!(
+                s,
+                "  node {:>3}: waiting {}  wbuf={}  retries={}",
+                n.node, n.waiting, n.wbuf_occupancy, n.retries
+            );
+            if let Some(sync) = &n.sync {
+                let _ = write!(s, "  sync={sync}");
+            }
+            if let Some(since) = n.since {
+                let _ = write!(s, "  since cycle {since}");
+            }
+            let _ = writeln!(s);
+        }
+        for l in &self.locks {
+            let holders: Vec<String> = l.holders.iter().map(|(n, m)| format!("{n}({m})")).collect();
+            let _ = writeln!(
+                s,
+                "  lock {:>3}: holders [{}] queue {:?}",
+                l.lock,
+                holders.join(", "),
+                l.waiters
+            );
+        }
+        for r in &self.ric {
+            let _ = writeln!(s, "  ric block {:>3}: members {:?}", r.block, r.members);
+        }
+        s
+    }
 }
 
 impl Report {
@@ -60,7 +166,22 @@ impl Report {
     pub fn summary(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "completion: {} cycles", self.completion);
+        if let Some(d) = &self.deadlock {
+            s.push_str(&d.render());
+        } else {
+            let _ = writeln!(s, "completion: {} cycles", self.completion);
+        }
+        let total_retries: u64 = self.retries.iter().sum();
+        if total_retries > 0 {
+            let _ = writeln!(s, "retries: {total_retries} retransmissions");
+        }
+        if let Some(f) = &self.faults {
+            let _ = writeln!(
+                s,
+                "faults: {} inspected, {} dropped, {} duplicated, {} delayed",
+                f.inspected, f.dropped, f.duplicated, f.delayed
+            );
+        }
         let _ = writeln!(
             s,
             "network: {} packets, {} words, {} queueing cycles",

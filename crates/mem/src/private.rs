@@ -254,7 +254,12 @@ mod exact_tests {
     #[test]
     fn cold_start_misses_then_hits() {
         let mut c = PrivCache::new(4);
-        assert!(matches!(c.access(1, false), PrivAccess::Miss { victim_dirty: false }));
+        assert!(matches!(
+            c.access(1, false),
+            PrivAccess::Miss {
+                victim_dirty: false
+            }
+        ));
         assert_eq!(c.access(1, false), PrivAccess::Hit);
         assert_eq!(c.access(1, true), PrivAccess::Hit);
     }

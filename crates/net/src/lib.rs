@@ -30,10 +30,51 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod fault;
 pub mod omega;
 
 pub use bus::{BusNetwork, IdealNetwork};
+pub use fault::{
+    Delivery, FaultConfig, FaultDecision, FaultPlan, FaultStats, FaultyInterconnect, MsgDir,
+    MsgKind,
+};
 pub use omega::{NetConfig, NetStats, OmegaNetwork};
+
+/// Errors constructing a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The switch radix must be at least 2.
+    RadixTooSmall {
+        /// The offending radix.
+        radix: usize,
+    },
+    /// A network needs at least one port.
+    NoPorts,
+    /// The port count must be a power of the switch radix.
+    NotPowerOfRadix {
+        /// The offending port count.
+        ports: usize,
+        /// The switch radix.
+        radix: usize,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::RadixTooSmall { radix } => {
+                write!(f, "switch radix must be at least 2, got {radix}")
+            }
+            NetError::NoPorts => write!(f, "network needs at least one port"),
+            NetError::NotPowerOfRadix { ports, radix } => write!(
+                f,
+                "ports must be a power of the switch radix {radix}, got {ports}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
 
 /// Which interconnect a machine uses (paper §1 compares the scalability of
 /// buses vs. multistage networks; Ideal isolates protocol behaviour).
@@ -60,20 +101,41 @@ pub enum Interconnect {
 
 impl Interconnect {
     /// Builds the chosen topology over `ports` endpoints.
+    ///
+    /// Panics on an invalid geometry; see [`Interconnect::try_build`].
     pub fn build(topology: Topology, ports: usize, cfg: NetConfig) -> Self {
-        match topology {
-            Topology::Omega => Interconnect::Omega(OmegaNetwork::new(ports, cfg)),
-            Topology::Bus => Interconnect::Bus(BusNetwork::new(ports, cfg.switch_delay, cfg.word_cycles)),
+        Self::try_build(topology, ports, cfg).expect("invalid network geometry")
+    }
+
+    /// Builds the chosen topology, reporting an invalid geometry as an
+    /// error instead of panicking.
+    pub fn try_build(topology: Topology, ports: usize, cfg: NetConfig) -> Result<Self, NetError> {
+        if ports < 1 {
+            return Err(NetError::NoPorts);
+        }
+        Ok(match topology {
+            Topology::Omega => {
+                Interconnect::Omega(OmegaNetwork::with_radix(ports, cfg.radix, cfg)?)
+            }
+            Topology::Bus => {
+                Interconnect::Bus(BusNetwork::new(ports, cfg.switch_delay, cfg.word_cycles))
+            }
             Topology::Ideal => Interconnect::Ideal(IdealNetwork::new(
                 ports,
                 // match the omega's uncontended control latency
                 (ports.max(2).ilog2() as u64) * cfg.switch_delay,
             )),
-        }
+        })
     }
 
     /// Sends a packet, returning its arrival time.
-    pub fn send(&mut self, depart: ssmp_engine::Cycle, src: usize, dst: usize, words: u32) -> ssmp_engine::Cycle {
+    pub fn send(
+        &mut self,
+        depart: ssmp_engine::Cycle,
+        src: usize,
+        dst: usize,
+        words: u32,
+    ) -> ssmp_engine::Cycle {
         match self {
             Interconnect::Omega(n) => n.send(depart, src, dst, words),
             Interconnect::Bus(n) => n.send(depart, src, dst, words),

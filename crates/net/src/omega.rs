@@ -2,6 +2,8 @@
 
 use ssmp_engine::Cycle;
 
+use crate::NetError;
+
 /// Timing parameters of the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetConfig {
@@ -62,33 +64,42 @@ impl OmegaNetwork {
     /// Creates a network with `ports` endpoints and the paper's two-way
     /// switches. `ports` must be a power of two and at least 1. A 1-port
     /// network has zero stages (everything is local).
+    ///
+    /// Panics on an invalid geometry; use [`OmegaNetwork::with_radix`] to
+    /// get the error as a value.
     pub fn new(ports: usize, cfg: NetConfig) -> Self {
-        Self::with_radix(ports, cfg.radix, cfg)
+        Self::with_radix(ports, cfg.radix, cfg).expect("invalid network geometry")
     }
 
     /// Creates a network of `radix`-way switches; `ports` must be a power
     /// of `radix`.
-    pub fn with_radix(ports: usize, radix: usize, cfg: NetConfig) -> Self {
-        assert!(radix >= 2, "radix must be at least 2");
-        assert!(ports >= 1, "need at least one port");
+    pub fn with_radix(ports: usize, radix: usize, cfg: NetConfig) -> Result<Self, NetError> {
+        if radix < 2 {
+            return Err(NetError::RadixTooSmall { radix });
+        }
+        if ports < 1 {
+            return Err(NetError::NoPorts);
+        }
         let mut stages = 0u32;
         let mut p = 1usize;
         while p < ports {
-            p *= radix;
+            p = match p.checked_mul(radix) {
+                Some(next) => next,
+                None => return Err(NetError::NotPowerOfRadix { ports, radix }),
+            };
             stages += 1;
         }
-        assert!(
-            p == ports || ports == 1,
-            "ports must be a power of two (radix {radix}: a power of the radix), got {ports}"
-        );
-        Self {
+        if p != ports && ports != 1 {
+            return Err(NetError::NotPowerOfRadix { ports, radix });
+        }
+        Ok(Self {
             ports,
             stages: if ports == 1 { 0 } else { stages },
             radix,
             cfg,
             next_free: vec![vec![0; ports]; if ports == 1 { 0 } else { stages as usize }],
             stats: NetStats::default(),
-        }
+        })
     }
 
     /// The switch radix.
@@ -173,7 +184,8 @@ impl OmegaNetwork {
         self.stats.packets += 1;
         self.stats.words += words as u64;
         self.stats.total_transit += arrival - depart;
-        self.stats.total_queueing += (arrival - depart).saturating_sub(self.uncontended_transit(words));
+        self.stats.total_queueing +=
+            (arrival - depart).saturating_sub(self.uncontended_transit(words));
         arrival
     }
 
@@ -204,9 +216,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
-        net(12);
+        assert_eq!(
+            OmegaNetwork::with_radix(12, 2, NetConfig::default()).unwrap_err(),
+            NetError::NotPowerOfRadix {
+                ports: 12,
+                radix: 2
+            }
+        );
+        assert_eq!(
+            OmegaNetwork::with_radix(0, 2, NetConfig::default()).unwrap_err(),
+            NetError::NoPorts
+        );
+        assert_eq!(
+            OmegaNetwork::with_radix(8, 1, NetConfig::default()).unwrap_err(),
+            NetError::RadixTooSmall { radix: 1 }
+        );
     }
 
     #[test]
@@ -268,7 +293,11 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(arrivals, sorted);
         arrivals.dedup();
-        assert_eq!(arrivals.len(), 15, "two packets arrived simultaneously at a hotspot");
+        assert_eq!(
+            arrivals.len(),
+            15,
+            "two packets arrived simultaneously at a hotspot"
+        );
         // The last arrival reflects ~15 serialised services.
         assert!(*arrivals.last().unwrap() >= 15);
     }
@@ -392,29 +421,34 @@ mod radix_tests {
 
     #[test]
     fn radix4_stage_count() {
-        let n = OmegaNetwork::with_radix(64, 4, NetConfig::default());
+        let n = OmegaNetwork::with_radix(64, 4, NetConfig::default()).unwrap();
         assert_eq!(n.stages(), 3, "64 = 4^3");
         assert_eq!(n.radix(), 4);
-        let n = OmegaNetwork::with_radix(16, 4, NetConfig::default());
+        let n = OmegaNetwork::with_radix(16, 4, NetConfig::default()).unwrap();
         assert_eq!(n.stages(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "power of")]
     fn radix4_rejects_non_powers() {
-        OmegaNetwork::with_radix(32, 4, NetConfig::default());
+        assert_eq!(
+            OmegaNetwork::with_radix(32, 4, NetConfig::default()).unwrap_err(),
+            NetError::NotPowerOfRadix {
+                ports: 32,
+                radix: 4
+            }
+        );
     }
 
     #[test]
     fn radix4_routes_terminate() {
-        let n = OmegaNetwork::with_radix(64, 4, NetConfig::default());
+        let n = OmegaNetwork::with_radix(64, 4, NetConfig::default()).unwrap();
         for s in 0..64 {
             for d in 0..64 {
                 let hops = n.route(s, d);
                 assert_eq!(hops.last().unwrap().1, d, "src={s} dst={d}");
             }
         }
-        let n = OmegaNetwork::with_radix(27, 3, NetConfig::default());
+        let n = OmegaNetwork::with_radix(27, 3, NetConfig::default()).unwrap();
         for s in 0..27 {
             for d in 0..27 {
                 assert_eq!(n.route(s, d).last().unwrap().1, d);
@@ -424,16 +458,16 @@ mod radix_tests {
 
     #[test]
     fn higher_radix_has_lower_uncontended_latency() {
-        let r2 = OmegaNetwork::with_radix(64, 2, NetConfig::default());
-        let r4 = OmegaNetwork::with_radix(64, 4, NetConfig::default());
-        let r8 = OmegaNetwork::with_radix(64, 8, NetConfig::default());
+        let r2 = OmegaNetwork::with_radix(64, 2, NetConfig::default()).unwrap();
+        let r4 = OmegaNetwork::with_radix(64, 4, NetConfig::default()).unwrap();
+        let r8 = OmegaNetwork::with_radix(64, 8, NetConfig::default()).unwrap();
         assert!(r4.uncontended_transit(1) < r2.uncontended_transit(1));
         assert!(r8.uncontended_transit(1) < r4.uncontended_transit(1));
     }
 
     #[test]
     fn radix4_hotspot_still_serialises() {
-        let mut n = OmegaNetwork::with_radix(16, 4, NetConfig::default());
+        let mut n = OmegaNetwork::with_radix(16, 4, NetConfig::default()).unwrap();
         let arrivals: Vec<Cycle> = (1..16).map(|s| n.send(0, s, 0, 1)).collect();
         let mut sorted = arrivals.clone();
         sorted.sort_unstable();
@@ -446,7 +480,7 @@ mod radix_tests {
     #[test]
     fn radix2_matches_legacy_constructor() {
         let a = OmegaNetwork::new(32, NetConfig::default());
-        let b = OmegaNetwork::with_radix(32, 2, NetConfig::default());
+        let b = OmegaNetwork::with_radix(32, 2, NetConfig::default()).unwrap();
         for s in 0..32 {
             for d in 0..32 {
                 assert_eq!(a.route(s, d), b.route(s, d));

@@ -43,8 +43,8 @@ impl Backoff {
     /// Draws the next delay (uniform in `[1, window]`) and doubles the
     /// window, truncated at the cap.
     pub fn next_delay(&mut self, rng: &mut SimRng) -> Cycle {
-        let d = rng.range(1, self.window + 1);
-        self.window = (self.window * 2).min(self.cap);
+        let d = rng.range(1, self.window.saturating_add(1));
+        self.window = self.window.saturating_mul(2).min(self.cap);
         d
     }
 
@@ -79,7 +79,10 @@ mod tests {
         let mut prev_window = b.window();
         for _ in 0..50 {
             let d = b.next_delay(&mut rng);
-            assert!(d >= 1 && d <= prev_window, "delay {d} outside [1, {prev_window}]");
+            assert!(
+                d >= 1 && d <= prev_window,
+                "delay {d} outside [1, {prev_window}]"
+            );
             prev_window = b.window();
         }
     }
@@ -94,6 +97,18 @@ mod tests {
         assert_eq!(b.window(), 1024);
         b.reset();
         assert_eq!(b.window(), 4);
+    }
+
+    #[test]
+    fn huge_window_does_not_overflow() {
+        // A cap near u64::MAX must not wrap the window when it doubles.
+        let mut b = Backoff::new(u64::MAX / 2 + 1, u64::MAX);
+        let mut rng = SimRng::new(4);
+        b.next_delay(&mut rng);
+        assert_eq!(b.window(), u64::MAX, "doubling saturates at the cap");
+        let d = b.next_delay(&mut rng);
+        assert!(d >= 1);
+        assert_eq!(b.window(), u64::MAX);
     }
 
     #[test]

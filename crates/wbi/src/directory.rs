@@ -295,7 +295,11 @@ impl WbiBlock {
             !self.lines.contains_key(&node),
             "read request with a valid line"
         );
-        vec![Self::ctl(Endpoint::Node(node), Endpoint::Dir, WbiKind::ReadReq)]
+        vec![Self::ctl(
+            Endpoint::Node(node),
+            Endpoint::Dir,
+            WbiKind::ReadReq,
+        )]
     }
 
     /// Processor write miss or upgrade.
@@ -304,7 +308,11 @@ impl WbiBlock {
             self.line_state(node) != Some(LineState::Modified),
             "write request while already owner"
         );
-        vec![Self::ctl(Endpoint::Node(node), Endpoint::Dir, WbiKind::WriteReq)]
+        vec![Self::ctl(
+            Endpoint::Node(node),
+            Endpoint::Dir,
+            WbiKind::WriteReq,
+        )]
     }
 
     /// The node replaces its line. Dirty lines emit a write-back (memory is
@@ -355,8 +363,7 @@ impl WbiBlock {
                         Txn::ReadEvict => {
                             // The victim's ack arrived: record the new
                             // sharer set and serve the read.
-                            let mut s = match std::mem::replace(&mut self.dir, DirState::Uncached)
-                            {
+                            let mut s = match std::mem::replace(&mut self.dir, DirState::Uncached) {
                                 DirState::Shared(s) => s,
                                 other => panic!("read-evict on {other:?}"),
                             };
@@ -471,11 +478,7 @@ impl WbiBlock {
                         // conservatively records an owner (it cannot see
                         // the silent E -> M upgrade).
                         self.dir = DirState::Modified(node);
-                        vec![self.blk(
-                            Endpoint::Dir,
-                            Endpoint::Node(node),
-                            WbiKind::DataExclClean,
-                        )]
+                        vec![self.blk(Endpoint::Dir, Endpoint::Node(node), WbiKind::DataExclClean)]
                     } else {
                         self.dir = DirState::Shared(BTreeSet::from([node]));
                         vec![self.blk(Endpoint::Dir, Endpoint::Node(node), WbiKind::DataShared)]
@@ -624,9 +627,27 @@ impl WbiBlock {
             }
             WbiKind::DataExcl { upgrade } => {
                 if upgrade {
-                    let l = self.lines.get_mut(&node).expect("upgrade without a line");
-                    l.state = LineState::Modified;
-                    (vec![], vec![WbiEffect::UpgradeGranted { node }])
+                    match self.lines.get_mut(&node) {
+                        Some(l) => {
+                            l.state = LineState::Modified;
+                            (vec![], vec![WbiEffect::UpgradeGranted { node }])
+                        }
+                        // Unreachable on a fault-free network, but a
+                        // delay-injected invalidation can overtake the
+                        // upgrade grant; the grant is authoritative, so
+                        // degrade to a full exclusive fill.
+                        None => {
+                            let data = self.mem.clone();
+                            self.lines.insert(
+                                node,
+                                NodeLine {
+                                    state: LineState::Modified,
+                                    data: data.clone(),
+                                },
+                            );
+                            (vec![], vec![WbiEffect::FilledExcl { node, data }])
+                        }
+                    }
                 } else {
                     let data = self.mem.clone();
                     self.lines.insert(
@@ -647,7 +668,11 @@ impl WbiBlock {
                     vec![] // spurious Inv after silent replacement
                 };
                 (
-                    vec![Self::ctl(Endpoint::Node(node), Endpoint::Dir, WbiKind::InvAck)],
+                    vec![Self::ctl(
+                        Endpoint::Node(node),
+                        Endpoint::Dir,
+                        WbiKind::InvAck,
+                    )],
                     effects,
                 )
             }
@@ -665,7 +690,11 @@ impl WbiBlock {
                     )
                 }
                 None => (
-                    vec![Self::ctl(Endpoint::Node(node), Endpoint::Dir, WbiKind::WbRace)],
+                    vec![Self::ctl(
+                        Endpoint::Node(node),
+                        Endpoint::Dir,
+                        WbiKind::WbRace,
+                    )],
                     vec![],
                 ),
             },
@@ -682,7 +711,11 @@ impl WbiBlock {
                     )
                 }
                 None => (
-                    vec![Self::ctl(Endpoint::Node(node), Endpoint::Dir, WbiKind::WbRace)],
+                    vec![Self::ctl(
+                        Endpoint::Node(node),
+                        Endpoint::Dir,
+                        WbiKind::WbRace,
+                    )],
                     vec![],
                 ),
             },
@@ -1226,7 +1259,10 @@ mod mesi_tests {
         let m = h.b.read_req(0);
         h.send(m);
         assert_eq!(h.b.line_state(0), Some(LineState::Shared));
-        assert!(!h.b.local_write(0, 1, 42), "MSI shared line cannot be written");
+        assert!(
+            !h.b.local_write(0, 1, 42),
+            "MSI shared line cannot be written"
+        );
         let m = h.b.write_req(0);
         h.send(m); // upgrade round trip
         assert!(h.b.local_write(0, 1, 42));

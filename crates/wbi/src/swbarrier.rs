@@ -112,10 +112,13 @@ mod tests {
         let mut b = SwBarrier::new(2);
         b.arrive(0);
         b.arrive(1); // episode 1 done
-        // node 0 races ahead into episode 2
+                     // node 0 races ahead into episode 2
         assert!(!b.arrive(0));
         assert!(!b.passable(0), "must wait for the slow node");
-        assert!(b.passable(1), "node 1 has not re-arrived; its sense matches");
+        assert!(
+            b.passable(1),
+            "node 1 has not re-arrived; its sense matches"
+        );
         assert!(b.arrive(1));
         assert!(b.passable(0));
     }

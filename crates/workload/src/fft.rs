@@ -58,8 +58,7 @@ impl FftParams {
     /// The partner region node `i` reads during `phase` (butterfly
     /// exchange pattern).
     pub fn partner(&self, node: usize, phase: usize) -> usize {
-        node ^ (1 << (phase % self.phases().max(1)))
-            & (self.nodes - 1)
+        node ^ (1 << (phase % self.phases().max(1))) & (self.nodes - 1)
     }
 
     /// Blocks of a region.

@@ -128,9 +128,7 @@ mod tests {
         let s = stream(p, 0);
         let hot = s
             .iter()
-            .filter(|o| {
-                matches!(o, Op::ReadGlobal(a) | Op::SharedWriteVal(a, _) if a.block == 0)
-            })
+            .filter(|o| matches!(o, Op::ReadGlobal(a) | Op::SharedWriteVal(a, _) if a.block == 0))
             .count();
         let frac = hot as f64 / s.len() as f64;
         assert!((frac - 0.25).abs() < 0.02, "hot fraction {frac}");

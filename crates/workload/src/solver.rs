@@ -97,13 +97,23 @@ impl SolverParams {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Reading x_j (j counts up, skipping own element).
-    Read { iter: usize, j: usize },
+    Read {
+        iter: usize,
+        j: usize,
+    },
     /// Combine step after each read.
-    Compute { iter: usize, j: usize },
+    Compute {
+        iter: usize,
+        j: usize,
+    },
     /// Write own element.
-    Write { iter: usize },
+    Write {
+        iter: usize,
+    },
     /// Barrier after the write.
-    Sync { iter: usize },
+    Sync {
+        iter: usize,
+    },
     Done,
 }
 
@@ -195,15 +205,9 @@ mod tests {
     fn reads_every_other_element_each_iteration() {
         let p = SolverParams::paper(4, Allocation::Packed, 2);
         let s = stream(p, 1);
-        let reads = s
-            .iter()
-            .filter(|o| matches!(o, Op::SharedRead(_)))
-            .count();
+        let reads = s.iter().filter(|o| matches!(o, Op::SharedRead(_))).count();
         assert_eq!(reads, 2 * 3, "2 iterations × (n-1) reads");
-        let writes = s
-            .iter()
-            .filter(|o| matches!(o, Op::SharedWrite(_)))
-            .count();
+        let writes = s.iter().filter(|o| matches!(o, Op::SharedWrite(_))).count();
         assert_eq!(writes, 2);
         let barriers = s.iter().filter(|o| matches!(o, Op::Barrier)).count();
         assert_eq!(barriers, 2);

@@ -62,13 +62,27 @@ impl SorParams {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Step {
     /// Read neighbour boundaries: k in 0..4 (2 words from each side).
-    ReadHalo { sweep: usize, half: u8, k: u8 },
+    ReadHalo {
+        sweep: usize,
+        half: u8,
+        k: u8,
+    },
     /// Relax the interior.
-    Relax { sweep: usize, half: u8 },
+    Relax {
+        sweep: usize,
+        half: u8,
+    },
     /// Publish own boundary: k in 0..2.
-    WriteBoundary { sweep: usize, half: u8, k: u8 },
+    WriteBoundary {
+        sweep: usize,
+        half: u8,
+        k: u8,
+    },
     /// Half-phase barrier.
-    Sync { sweep: usize, half: u8 },
+    Sync {
+        sweep: usize,
+        half: u8,
+    },
     Done,
 }
 
@@ -193,10 +207,7 @@ mod tests {
         assert_eq!(barriers, 2 * 3, "two half-phase barriers per sweep");
         let reads = s.iter().filter(|o| matches!(o, Op::SharedRead(_))).count();
         assert_eq!(reads, 4 * 2 * 3, "4 halo reads per half-phase");
-        let writes = s
-            .iter()
-            .filter(|o| matches!(o, Op::SharedWrite(_)))
-            .count();
+        let writes = s.iter().filter(|o| matches!(o, Op::SharedWrite(_))).count();
         assert_eq!(writes, 2 * 2 * 3);
     }
 
@@ -207,7 +218,11 @@ mod tests {
         let s = stream(p, 3);
         for op in &s {
             if let Op::SharedRead(a) = op {
-                assert!(a.block == l || a.block == r, "read from non-neighbour {}", a.block);
+                assert!(
+                    a.block == l || a.block == r,
+                    "read from non-neighbour {}",
+                    a.block
+                );
             }
         }
     }

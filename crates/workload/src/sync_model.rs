@@ -80,13 +80,20 @@ impl SyncParams {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Remaining references in the current task.
-    Task { refs_left: usize },
+    Task {
+        refs_left: usize,
+    },
     /// Inside a critical section: remaining references, then unlock.
-    Cs { lock: LockId, refs_left: usize },
+    Cs {
+        lock: LockId,
+        refs_left: usize,
+    },
     /// Task (including any critical section) finished; decide what's next.
     AfterTask,
     /// Barrier emitted; `last` ends the stream afterwards.
-    Barrier { last: bool },
+    Barrier {
+        last: bool,
+    },
     Done,
 }
 
@@ -303,10 +310,7 @@ mod tests {
             .iter()
             .filter(|o| matches!(o, Op::SharedRead(_) | Op::SharedWrite(_)))
             .count();
-        let private = s
-            .iter()
-            .filter(|o| matches!(o, Op::Private { .. }))
-            .count();
+        let private = s.iter().filter(|o| matches!(o, Op::Private { .. })).count();
         let ratio = shared as f64 / (shared + private) as f64;
         assert!((ratio - 0.03).abs() < 0.01, "shared ratio {ratio}");
     }

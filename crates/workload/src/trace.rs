@@ -7,9 +7,8 @@
 //! replayed bit-identically across machine configurations — the
 //! methodological upgrade the paper names as future work.
 
-use serde::{Deserialize, Serialize};
-use ssmp_engine::{Cycle, SimRng};
-use ssmp_machine::{Op, Workload};
+use ssmp_engine::{Cycle, Json, SimRng};
+use ssmp_machine::{asm, Op, Workload};
 
 /// A captured per-node operation trace.
 ///
@@ -22,7 +21,7 @@ use ssmp_machine::{Op, Workload};
 /// let back = Trace::from_json(&json).unwrap();
 /// assert_eq!(trace, back);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Format version (for forward compatibility of stored traces).
     pub version: u32,
@@ -33,8 +32,9 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Current trace format version.
-    pub const VERSION: u32 = 1;
+    /// Current trace format version. Version 2 encodes streams as ssmp
+    /// assembly text ([`ssmp_machine::asm`]) inside a JSON envelope.
+    pub const VERSION: u32 = 2;
 
     /// Creates a trace from explicit streams.
     pub fn new(source: impl Into<String>, streams: Vec<Vec<Op>>) -> Self {
@@ -81,22 +81,60 @@ impl Trace {
         self.len() == 0
     }
 
-    /// Serialises to JSON.
+    /// Serialises to JSON: each node's stream is rendered as ssmp assembly
+    /// text ([`ssmp_machine::asm`]) inside a versioned envelope.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialisation")
+        let streams = self
+            .streams
+            .iter()
+            .map(|s| Json::str(asm::render_programs(std::slice::from_ref(s))))
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::num(self.version)),
+            ("source".into(), Json::str(&self.source)),
+            ("streams".into(), Json::Arr(streams)),
+        ])
+        .render()
     }
 
     /// Parses a trace from JSON, validating the version.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        let t: Trace = serde_json::from_str(s).map_err(|e| e.to_string())?;
-        if t.version != Self::VERSION {
+        let v = Json::parse(s).map_err(|e| e.to_string())?;
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("trace missing numeric 'version'")? as u32;
+        if version != Self::VERSION {
             return Err(format!(
-                "trace version {} unsupported (expected {})",
-                t.version,
+                "trace version {version} unsupported (expected {})",
                 Self::VERSION
             ));
         }
-        Ok(t)
+        let source = v
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or("trace missing string 'source'")?
+            .to_string();
+        let streams = v
+            .get("streams")
+            .and_then(Json::as_array)
+            .ok_or("trace missing array 'streams'")?
+            .iter()
+            .map(|s| {
+                let text = s.as_str().ok_or("stream entries must be strings")?;
+                let mut progs =
+                    asm::parse_programs(text).map_err(|e| format!("bad stream: {e}"))?;
+                if progs.len() != 1 {
+                    return Err("one stream per array entry expected".to_string());
+                }
+                Ok(progs.pop().expect("non-empty"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            version,
+            source,
+            streams,
+        })
     }
 
     /// Builds a replayable workload from this trace.
@@ -163,8 +201,18 @@ mod tests {
     fn version_mismatch_rejected() {
         let mut t = sample();
         t.version = 99;
-        let j = serde_json::to_string(&t).unwrap();
-        assert!(Trace::from_json(&j).is_err());
+        let j = t.to_json();
+        let e = Trace::from_json(&j).unwrap_err();
+        assert!(e.contains("version 99"), "{e}");
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(Trace::from_json("{").is_err());
+        assert!(Trace::from_json(r#"{"version":2,"source":"x"}"#).is_err());
+        assert!(
+            Trace::from_json(r#"{"version":2,"source":"x","streams":["frobnicate 1\n"]}"#).is_err()
+        );
     }
 
     #[test]

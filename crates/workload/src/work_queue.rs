@@ -120,14 +120,23 @@ enum Phase {
     /// Emit Lock(QUEUE_LOCK) to attempt a dequeue.
     Start,
     /// In the dequeue critical section.
-    Dequeue { refs_left: usize },
+    Dequeue {
+        refs_left: usize,
+    },
     /// Unlock emitted after dequeue; `got` is the claimed task (None =>
     /// queue empty, head to the barrier).
-    AfterDequeue { got: Option<usize> },
+    AfterDequeue {
+        got: Option<usize>,
+    },
     /// Executing a task.
-    Execute { task: usize, refs_left: usize },
+    Execute {
+        task: usize,
+        refs_left: usize,
+    },
     /// In the enqueue (spawn) critical section.
-    Enqueue { refs_left: usize },
+    Enqueue {
+        refs_left: usize,
+    },
     /// Spawn bookkeeping done, go back for more work.
     AfterEnqueue,
     /// Barrier emitted; stream ends next.

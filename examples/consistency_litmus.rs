@@ -37,19 +37,34 @@ fn observe(mut cfg: MachineConfig, flush: bool, pad: usize) -> (u64, u64) {
         .filter(|(n, b, ..)| *n == 1 && *b == DATA.block)
         .map(|(.., v)| *v)
         .collect();
-    (reads.first().copied().unwrap_or(9), reads.last().copied().unwrap_or(9))
+    (
+        reads.first().copied().unwrap_or(9),
+        reads.last().copied().unwrap_or(9),
+    )
 }
 
 fn main() {
-    println!("message passing: writer stores DATA then FLAG; reader spins on FLAG, then reads DATA\n");
+    println!(
+        "message passing: writer stores DATA then FLAG; reader spins on FLAG, then reads DATA\n"
+    );
     println!(
         "{:<42} {:>12} {:>18}",
         "configuration", "DATA before", "DATA after FLAG=1"
     );
     for (name, cfg, flush, pad) in [
-        ("SC (every write stalls)", MachineConfig::sc_cbl(2), false, 16),
+        (
+            "SC (every write stalls)",
+            MachineConfig::sc_cbl(2),
+            false,
+            16,
+        ),
         ("BC, no flush (weak!)", MachineConfig::bc_cbl(2), false, 16),
-        ("BC + FLUSH-BUFFER before FLAG", MachineConfig::bc_cbl(2), true, 16),
+        (
+            "BC + FLUSH-BUFFER before FLAG",
+            MachineConfig::bc_cbl(2),
+            true,
+            16,
+        ),
     ] {
         let (before, after) = observe(cfg, flush, pad);
         let verdict = if after == 1 { "ordered" } else { "REORDERED" };

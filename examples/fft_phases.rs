@@ -34,10 +34,7 @@ fn main() {
     sticky_p.reset_updates = false; // write-update-like: readers never leave
     let sticky = run(sticky_p);
 
-    println!(
-        "{:<34} {:>14} {:>14}",
-        "", "RESET-UPDATE", "sticky readers"
-    );
+    println!("{:<34} {:>14} {:>14}", "", "RESET-UPDATE", "sticky readers");
     for (label, a, b) in [
         ("completion (cycles)", live.completion, sticky.completion),
         (

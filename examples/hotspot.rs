@@ -16,10 +16,16 @@ fn run(n: usize, hot: f64) -> (u64, u64) {
 
 fn main() {
     println!("hotspot sweep: 200 READ-GLOBAL/processor, SC-CBL machine\n");
-    println!("{:>5} {:>12} {:>12} {:>12} {:>12}", "n", "h=0%", "h=10%", "h=30%", "h=100%");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "n", "h=0%", "h=10%", "h=30%", "h=100%"
+    );
     for n in [4usize, 16, 64] {
         let row: Vec<u64> = [0.0, 0.1, 0.3, 1.0].iter().map(|&h| run(n, h).0).collect();
-        println!("{n:>5} {:>12} {:>12} {:>12} {:>12}", row[0], row[1], row[2], row[3]);
+        println!(
+            "{n:>5} {:>12} {:>12} {:>12} {:>12}",
+            row[0], row[1], row[2], row[3]
+        );
     }
     println!("\nqueueing delay at n=64:");
     for h in [0.0, 0.1, 0.3, 1.0] {

@@ -19,7 +19,10 @@ fn main() {
         trace.to_json().len()
     );
 
-    println!("{:<14} {:>12} {:>12} {:>14}", "config", "cycles", "messages", "net queueing");
+    println!(
+        "{:<14} {:>12} {:>12} {:>14}",
+        "config", "cycles", "messages", "net queueing"
+    );
     for (name, cfg) in [
         ("wbi", MachineConfig::wbi(n)),
         ("wbi-backoff", MachineConfig::wbi_backoff(n)),

@@ -147,13 +147,7 @@ fn barrier_publishes_prior_writes() {
 #[test]
 fn read_write_lock_ordering() {
     let readers: Vec<Vec<Op>> = (0..3)
-        .map(|_| {
-            vec![
-                Op::Lock(0, LockMode::Read),
-                Op::Compute(100),
-                Op::Unlock(0),
-            ]
-        })
+        .map(|_| vec![Op::Lock(0, LockMode::Read), Op::Compute(100), Op::Unlock(0)])
         .collect();
     let mut streams = readers;
     streams.push(vec![

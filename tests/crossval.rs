@@ -140,7 +140,9 @@ fn contention_advantage_grows_with_scale() {
 fn barrier_message_scaling() {
     let barrier = |cfg: MachineConfig| -> u64 {
         let n = cfg.geometry.nodes;
-        let script: Vec<Vec<Op>> = (0..n).map(|i| vec![Op::Compute(1 + i as u64), Op::Barrier]).collect();
+        let script: Vec<Vec<Op>> = (0..n)
+            .map(|i| vec![Op::Compute(1 + i as u64), Op::Barrier])
+            .collect();
         Machine::new(cfg, Box::new(Script::new(script)), 2)
             .run()
             .messages("msg.")

@@ -1,0 +1,324 @@
+//! Fault-injection sweeps: the machine must either complete with correct
+//! shared memory (benign faults, or faults covered by the retry layer) or
+//! end with a structured [`DeadlockReport`] — it must never hang or
+//! silently corrupt data.
+
+use ssmp::core::addr::SharedAddr;
+use ssmp::core::primitive::LockMode;
+use ssmp::engine::WatchdogVerdict;
+use ssmp::machine::op::Script;
+use ssmp::machine::{Machine, MachineConfig, Op, Report, RetryPolicy};
+use ssmp::net::{FaultConfig, MsgDir, MsgKind};
+
+fn run(cfg: MachineConfig, streams: Vec<Vec<Op>>, locks: usize) -> Report {
+    Machine::new(cfg, Box::new(Script::new(streams)), locks).run()
+}
+
+fn all_configs(n: usize) -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("wbi", MachineConfig::wbi(n)),
+        ("wbi_backoff", MachineConfig::wbi_backoff(n)),
+        ("cbl", MachineConfig::cbl(n)),
+        ("sc_cbl", MachineConfig::sc_cbl(n)),
+        ("bc_cbl", MachineConfig::bc_cbl(n)),
+    ]
+}
+
+/// A race-free workload touching every protocol family: disjoint-word
+/// shared writes, barriers, a lock-protected critical section, and a
+/// cross-node read. Its final shared memory is timing-independent.
+fn workload(n: usize) -> Vec<Vec<Op>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Op::SharedWriteVal(SharedAddr::new(0, i as u8), 100 + i as u64),
+                Op::Barrier,
+                Op::SharedRead(SharedAddr::new(0, ((i + 1) % n) as u8)),
+                Op::Lock(0, LockMode::Write),
+                Op::SharedWriteVal(SharedAddr::new(1, i as u8), 200 + i as u64),
+                Op::Unlock(0),
+                Op::Barrier,
+            ]
+        })
+        .collect()
+}
+
+/// Duplicated and delayed messages never lose information, so every
+/// configuration must complete — with or without the retry layer — and
+/// reach exactly the fault-free shared memory.
+#[test]
+fn dup_and_delay_faults_preserve_final_memory() {
+    for (name, base) in all_configs(4) {
+        let clean = run(base.clone(), workload(4), 2);
+        assert!(clean.deadlock.is_none(), "config {name}: clean run stuck");
+
+        for retry in [false, true] {
+            let mut cfg = base.clone();
+            cfg.fault = Some(FaultConfig::uniform(0xF00D, 0.0, 0.05, 0.10));
+            if retry {
+                cfg.retry = RetryPolicy::enabled();
+            }
+            let r = run(cfg, workload(4), 2);
+            assert!(
+                r.deadlock.is_none(),
+                "config {name} (retry={retry}): dup/delay run stuck:\n{}",
+                r.deadlock.unwrap().render()
+            );
+            assert_eq!(
+                r.shared_memory, clean.shared_memory,
+                "config {name} (retry={retry}): faults corrupted shared memory"
+            );
+            let fs = r.faults.expect("fault stats must be reported");
+            assert!(
+                fs.duplicated + fs.delayed > 0,
+                "config {name}: plan never fired (inspected {})",
+                fs.inspected
+            );
+        }
+    }
+}
+
+/// Dropped *request-leg* messages are recovered by timeout + retransmit:
+/// the run completes and the shared memory matches the fault-free run.
+/// (CBL-lock configurations: every wait state a request drop can strand is
+/// retryable.)
+#[test]
+fn request_drops_recover_with_retry() {
+    for (name, base) in [
+        ("cbl", MachineConfig::cbl(4)),
+        ("sc_cbl", MachineConfig::sc_cbl(4)),
+    ] {
+        let clean = run(base.clone(), workload(4), 2);
+
+        let mut cfg = base.clone();
+        let mut fc = FaultConfig::uniform(0xD00F, 0.08, 0.0, 0.0);
+        fc.dirs = Some(vec![MsgDir::Request]);
+        cfg.fault = Some(fc);
+        cfg.retry = RetryPolicy::enabled();
+        let r = run(cfg, workload(4), 2);
+
+        assert!(
+            r.deadlock.is_none(),
+            "config {name}: drops not recovered:\n{}",
+            r.deadlock.unwrap().render()
+        );
+        assert_eq!(r.shared_memory, clean.shared_memory, "config {name}");
+        let fs = r.faults.expect("fault stats must be reported");
+        assert!(fs.dropped > 0, "config {name}: plan never dropped anything");
+        assert!(
+            r.retries.iter().sum::<u64>() > 0,
+            "config {name}: drops recovered without any retransmission?"
+        );
+        assert_eq!(
+            r.counters.get("retry.retransmit"),
+            r.retries.iter().sum::<u64>(),
+            "config {name}: counter and per-node retry totals disagree"
+        );
+    }
+}
+
+/// A dropped lock request with no retry layer can never be granted: the
+/// watchdog must end the run with a quiescence verdict and a diagnosis
+/// naming the stranded node — instead of hanging or panicking.
+#[test]
+fn seeded_drop_without_retry_is_diagnosed() {
+    let mut cfg = MachineConfig::cbl(2);
+    cfg.fault = Some(FaultConfig::drop_nth(MsgKind::Cbl, 1));
+    let streams = vec![
+        vec![Op::Lock(0, LockMode::Write), Op::Unlock(0)],
+        vec![
+            Op::Compute(2_000),
+            Op::Lock(0, LockMode::Write),
+            Op::Unlock(0),
+        ],
+    ];
+    let r = run(cfg, streams, 2);
+
+    let d = r
+        .deadlock
+        .expect("dropped lock request must strand the run");
+    assert_eq!(d.verdict, WatchdogVerdict::Quiescent);
+    assert_eq!(r.faults.unwrap().dropped, 1);
+    assert!(
+        d.nodes.iter().any(|s| s.waiting.contains("LockGrant")),
+        "diagnosis must name the node stuck on its lock grant:\n{}",
+        d.render()
+    );
+    // The rendering is one screenful of text, not a panic.
+    assert!(d.render().starts_with("DEADLOCK at cycle"));
+}
+
+/// An exhausted cycle budget ends the run with a `BudgetExhausted`
+/// verdict rather than panicking mid-simulation.
+#[test]
+fn tiny_cycle_budget_reports_not_panics() {
+    let mut cfg = MachineConfig::wbi(4);
+    cfg.max_cycles = 300;
+    let r = run(cfg, workload(4), 2);
+    let d = r.deadlock.expect("300 cycles cannot finish this workload");
+    assert_eq!(d.verdict, WatchdogVerdict::BudgetExhausted);
+    assert_eq!(d.budget, 300);
+    assert!(!d.nodes.is_empty(), "someone must still be unfinished");
+}
+
+/// With retry enabled but faults too severe (every retransmission of a
+/// doomed message class also matches the plan), the retry layer gives up
+/// after `max_attempts` and the watchdog still produces a diagnosis.
+#[test]
+fn retry_exhaustion_falls_back_to_watchdog() {
+    let mut cfg = MachineConfig::cbl(2);
+    // Drop *every* CBL message: retransmissions are doomed too.
+    let mut fc = FaultConfig::uniform(7, 1.0, 0.0, 0.0);
+    fc.kinds = Some(vec![MsgKind::Cbl]);
+    cfg.fault = Some(fc);
+    cfg.retry = RetryPolicy::enabled();
+    let streams = vec![vec![Op::Lock(0, LockMode::Write), Op::Unlock(0)], vec![]];
+    let r = run(cfg, streams, 2);
+
+    assert!(r.deadlock.is_some(), "doomed lock request must not hang");
+    assert!(
+        r.counters.get("retry.exhausted") >= 1,
+        "the retry layer must record giving up: {}",
+        r.counters
+    );
+    assert!(r.retries[0] > 0, "node 0 must have retransmitted");
+}
+
+/// Two runs with identical seeds — machine seed *and* fault seed — are
+/// bit-identical, faults and retries included (satellite: determinism
+/// regression).
+#[test]
+fn fault_runs_are_deterministic() {
+    let mk = || {
+        let mut cfg = MachineConfig::sc_cbl(4);
+        cfg.seed = 42;
+        cfg.fault = Some(FaultConfig::uniform(0xABCD, 0.02, 0.05, 0.10));
+        cfg.retry = RetryPolicy::enabled();
+        run(cfg, workload(4), 2)
+    };
+    let (a, b) = (mk(), mk());
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+/// A fault-free machine reports no fault stats and zero retries — the
+/// robustness layer is pay-for-use.
+#[test]
+fn transparent_when_no_faults_configured() {
+    let r = run(MachineConfig::cbl(4), workload(4), 2);
+    assert!(r.faults.is_none());
+    assert_eq!(r.retries.iter().sum::<u64>(), 0);
+    assert!(r.deadlock.is_none());
+    assert_eq!(r.counters.get("retry.retransmit"), 0);
+    assert_eq!(r.counters.get("net.dedup"), 0);
+}
+
+/// The acceptance sweep: every paper workload completes under seeded
+/// dup/delay faults with retries enabled, on both paper configurations
+/// (SC-CBL and BC-CBL). Statically partitioned workloads (solver, FFT,
+/// sync model) have timing-independent final shared memory, which the
+/// faulty run must reproduce exactly; dynamically scheduled ones
+/// (work-queue task stealing, hotspot's racing hot writes) legitimately
+/// diverge under perturbed timing and are checked for completion only.
+#[test]
+fn paper_workloads_survive_dup_delay_faults() {
+    use ssmp::core::addr::Geometry;
+    use ssmp::workload::*;
+
+    let n = 4;
+    type Mk = Box<dyn Fn() -> (Box<dyn ssmp::machine::op::Workload>, usize)>;
+    // (name, constructor, final-shared-memory timing-independent?)
+    let workloads: Vec<(&str, Mk, bool)> = vec![
+        (
+            "work-queue",
+            Box::new(move || {
+                let wl = WorkQueue::new(WorkQueueParams::strong(n, Grain::Medium, 2 * n));
+                let locks = wl.machine_locks();
+                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
+            }),
+            false,
+        ),
+        (
+            "sync",
+            Box::new(move || {
+                let wl = SyncModel::new(SyncParams::paper(n, 64, 2));
+                let locks = wl.machine_locks();
+                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
+            }),
+            true,
+        ),
+        (
+            "solver",
+            Box::new(move || {
+                let wl = LinearSolver::new(SolverParams::paper(n, Allocation::Packed, 3));
+                let locks = wl.machine_locks();
+                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
+            }),
+            true,
+        ),
+        (
+            "fft",
+            Box::new(move || {
+                let wl = FftPhases::new(FftParams::paper(n));
+                let locks = wl.machine_locks();
+                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
+            }),
+            true,
+        ),
+        (
+            "hotspot",
+            Box::new(move || {
+                let wl = Hotspot::new(HotspotParams::new(n, 0.2, 32));
+                let locks = wl.machine_locks();
+                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
+            }),
+            false,
+        ),
+    ];
+
+    let geometry = |name: &str, cfg: &mut MachineConfig| {
+        // the solver and FFT size the shared region themselves (as the CLI does)
+        let blocks = match name {
+            "solver" => SolverParams::paper(n, Allocation::Packed, 3).shared_blocks(),
+            "fft" => FftParams::paper(n).shared_blocks(),
+            _ => return,
+        };
+        cfg.geometry = Geometry::new(n, 4, blocks.max(cfg.geometry.shared_blocks));
+    };
+
+    for (wl_name, mk, timing_independent) in &workloads {
+        for (cfg_name, base) in [
+            ("sc_cbl", MachineConfig::sc_cbl(n)),
+            ("bc_cbl", MachineConfig::bc_cbl(n)),
+        ] {
+            let run_with = |cfg: MachineConfig| {
+                let (wl, locks) = mk();
+                Machine::new(cfg, wl, locks).run()
+            };
+
+            let mut clean_cfg = base.clone();
+            geometry(wl_name, &mut clean_cfg);
+            let clean = run_with(clean_cfg.clone());
+            assert!(
+                clean.deadlock.is_none(),
+                "{wl_name}/{cfg_name}: clean run stuck"
+            );
+
+            let mut cfg = clean_cfg;
+            cfg.fault = Some(FaultConfig::uniform(0xBEEF ^ n as u64, 0.0, 0.04, 0.08));
+            cfg.retry = RetryPolicy::enabled();
+            let r = run_with(cfg);
+            assert!(
+                r.deadlock.is_none(),
+                "{wl_name}/{cfg_name}: dup/delay faults stranded the run:\n{}",
+                r.deadlock.unwrap().render()
+            );
+            assert!(r.faults.unwrap().inspected > 0);
+            if *timing_independent {
+                assert_eq!(
+                    r.shared_memory, clean.shared_memory,
+                    "{wl_name}/{cfg_name}: faults corrupted a timing-independent result"
+                );
+            }
+        }
+    }
+}

@@ -32,8 +32,8 @@ fn message_passing(mut cfg: MachineConfig, flush_between: bool, pad_writes: usiz
     cfg.geometry = Geometry::new(cfg.geometry.nodes, 4, 32);
     let mut writer = Vec::new();
     writer.push(Op::Compute(50)); // let the reader enroll first
-    // Pad the write buffer with writes to DATA's home module so DATA's
-    // commit is delayed behind their service times.
+                                  // Pad the write buffer with writes to DATA's home module so DATA's
+                                  // commit is delayed behind their service times.
     for i in 0..pad_writes {
         let block = 1 + 2 * (1 + i % 4); // odd blocks: home = node 1
         writer.push(Op::SharedWriteVal(SharedAddr::new(block, (i % 4) as u8), 5));
@@ -46,9 +46,9 @@ fn message_passing(mut cfg: MachineConfig, flush_between: bool, pad_writes: usiz
     writer.push(Op::FlushBuffer);
 
     let reader = vec![
-        Op::SharedRead(DATA),          // enroll; cached copy now live
-        Op::SpinUntilGlobal(FLAG, 1),  // poll memory until the flag is set
-        Op::SharedRead(DATA),          // cached: fresh only if already pushed
+        Op::SharedRead(DATA),         // enroll; cached copy now live
+        Op::SpinUntilGlobal(FLAG, 1), // poll memory until the flag is set
+        Op::SharedRead(DATA),         // cached: fresh only if already pushed
     ];
 
     let wl = Script::new(vec![writer, reader]);

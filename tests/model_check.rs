@@ -37,7 +37,10 @@ struct State {
 
 impl State {
     fn key(&self) -> String {
-        format!("{:?}|{:?}|{:?}|{}", self.q, self.wire, self.scripts, self.grants_seen)
+        format!(
+            "{:?}|{:?}|{:?}|{}",
+            self.q, self.wire, self.scripts, self.grants_seen
+        )
     }
 
     fn is_final(&self) -> bool {
@@ -176,7 +179,11 @@ fn three_writers_one_round_exhaustive() {
 
 #[test]
 fn two_readers_one_writer_exhaustive() {
-    let (states, _) = explore(&[LockMode::Read, LockMode::Read, LockMode::Write], 1, 5_000_000);
+    let (states, _) = explore(
+        &[LockMode::Read, LockMode::Read, LockMode::Write],
+        1,
+        5_000_000,
+    );
     assert!(states > 200);
 }
 
@@ -214,7 +221,10 @@ mod wbi_check {
 
     impl WState {
         fn key(&self) -> String {
-            format!("{:?}|{:?}|{:?}|{:?}", self.b, self.wire, self.progs, self.waiting)
+            format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                self.b, self.wire, self.progs, self.waiting
+            )
         }
 
         fn deliverable(&self) -> Vec<usize> {
@@ -264,7 +274,9 @@ mod wbi_check {
             let mut next = st.clone();
             let m = next.wire.remove(i).expect("valid index");
             let (msgs, effects) = next.b.deliver(m);
-            next.b.check_single_writer().expect("single-writer violated");
+            next.b
+                .check_single_writer()
+                .expect("single-writer violated");
             next.wire.extend(msgs);
             apply_effects(&mut next, effects);
             out.push(next);
@@ -322,7 +334,10 @@ mod wbi_check {
             if !visited.insert(st.key()) {
                 continue;
             }
-            assert!(visited.len() <= max_states, "state space exceeded {max_states}");
+            assert!(
+                visited.len() <= max_states,
+                "state space exceeded {max_states}"
+            );
             let succ = successors(&st);
             if succ.is_empty() {
                 assert!(st.is_final(), "protocol deadlock: {st:?}");
@@ -362,7 +377,11 @@ mod wbi_check {
     #[test]
     fn three_nodes_mixed_exhaustive() {
         let states = explore(
-            vec![vec![(false, 0)], vec![(true, 5)], vec![(false, 0), (true, 9)]],
+            vec![
+                vec![(false, 0)],
+                vec![(true, 5)],
+                vec![(false, 0), (true, 9)],
+            ],
             false,
             5_000_000,
         );

@@ -101,12 +101,17 @@ fn table2_claims() {
         cfg.geometry = Geometry::new(n, 4, p.shared_blocks().max(1));
         let wl = LinearSolver::new(p);
         let locks = wl.machine_locks();
-        Machine::new(cfg, Box::new(wl), locks).run().total_messages()
+        Machine::new(cfg, Box::new(wl), locks)
+            .run()
+            .total_messages()
     };
     let ru = run(Allocation::Packed, true);
     let inv1 = run(Allocation::Packed, false);
     let inv2 = run(Allocation::Padded, false);
-    assert!(ru < inv1 && ru < inv2, "read-update {ru} vs inv-I {inv1}, inv-II {inv2}");
+    assert!(
+        ru < inv1 && ru < inv2,
+        "read-update {ru} vs inv-I {inv1}, inv-II {inv2}"
+    );
 }
 
 /// Table 3's claim: O(n) vs O(n²) parallel-lock traffic, verified by
@@ -118,20 +123,21 @@ fn table3_claims() {
     use ssmp::machine::Op;
     let contend = |cfg: MachineConfig| -> u64 {
         let n = cfg.geometry.nodes;
-        let script = vec![
-            vec![Op::Lock(0, LockMode::Write), Op::Compute(20), Op::Unlock(0)];
-            n
-        ];
+        let script = vec![vec![Op::Lock(0, LockMode::Write), Op::Compute(20), Op::Unlock(0)]; n];
         Machine::new(cfg, Box::new(Script::new(script)), 2)
             .run()
             .total_messages()
     };
-    let wbi_growth =
-        contend(MachineConfig::wbi(32)) as f64 / contend(MachineConfig::wbi(8)) as f64;
-    let cbl_growth =
-        contend(MachineConfig::cbl(32)) as f64 / contend(MachineConfig::cbl(8)) as f64;
-    assert!(wbi_growth > 8.0, "WBI 4x nodes -> ~16x messages, got {wbi_growth:.1}");
-    assert!(cbl_growth < 6.0, "CBL 4x nodes -> ~4x messages, got {cbl_growth:.1}");
+    let wbi_growth = contend(MachineConfig::wbi(32)) as f64 / contend(MachineConfig::wbi(8)) as f64;
+    let cbl_growth = contend(MachineConfig::cbl(32)) as f64 / contend(MachineConfig::cbl(8)) as f64;
+    assert!(
+        wbi_growth > 8.0,
+        "WBI 4x nodes -> ~16x messages, got {wbi_growth:.1}"
+    );
+    assert!(
+        cbl_growth < 6.0,
+        "CBL 4x nodes -> ~4x messages, got {cbl_growth:.1}"
+    );
 }
 
 /// The FFT phase workload's RESET-UPDATE keeps push traffic bounded by the

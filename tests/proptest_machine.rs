@@ -12,10 +12,7 @@ use ssmp::machine::{Machine, MachineConfig, Op};
 /// lock/unlock pairs; locked accesses only inside critical sections; the
 /// same number of barriers on every node; semaphores pre-credited so P can
 /// always eventually succeed.
-fn program_strategy(
-    nodes: usize,
-    barriers: usize,
-) -> impl Strategy<Value = Vec<Vec<Op>>> {
+fn program_strategy(nodes: usize, barriers: usize) -> impl Strategy<Value = Vec<Vec<Op>>> {
     let node_prog = proptest::collection::vec(0u8..8, 4..24).prop_map(move |codes| {
         let mut segments: Vec<Vec<Op>> = vec![Vec::new()];
         for (i, c) in codes.iter().enumerate() {
@@ -95,6 +92,13 @@ proptest! {
         let r = Machine::new(cfg, Box::new(wl), 3)
             .with_semaphores(&[64])
             .run();
+        // Budget/quiescence overrun no longer panics — it produces a
+        // structured diagnosis, which a well-formed program must never do.
+        prop_assert!(
+            r.deadlock.is_none(),
+            "watchdog fired on a well-formed program: {:?}",
+            r.deadlock
+        );
         let executed: u64 = r.ops_completed.iter().sum();
         prop_assert!(executed as usize >= ops_total);
         // lock bookkeeping balances

@@ -66,6 +66,8 @@ fn fft_runs_on_ric() {
     let locks = wl.machine_locks();
     let r = Machine::new(cfg, Box::new(wl), locks).run();
     assert!(r.completion > 0);
-    assert!(r.counters.get("msg.ric.head_change") + r.counters.get("msg.ric.splice") > 0,
-        "reset-update must generate list-maintenance traffic");
+    assert!(
+        r.counters.get("msg.ric.head_change") + r.counters.get("msg.ric.splice") > 0,
+        "reset-update must generate list-maintenance traffic"
+    );
 }

@@ -1,0 +1,461 @@
+//! A minimal, dependency-free subset of the `proptest` API.
+//!
+//! This workspace builds in offline environments where crates.io is not
+//! reachable, so the real `proptest` cannot be fetched. This shim vendors
+//! just the surface the test suite uses:
+//!
+//! - [`Strategy`] with `generate` + [`Strategy::prop_map`]
+//! - integer and float [`std::ops::Range`] strategies, tuple strategies
+//!   (arity 2–4), [`collection::vec`], [`bool::ANY`](crate::bool::ANY)
+//! - [`Arbitrary`] / [`any`] for bare `x: ty` parameters
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//!   [`prop_assert!`] and [`prop_assert_eq!`]
+//!
+//! Differences from the real crate: no shrinking (a failing case fails the
+//! test with the panic message directly), and the per-test RNG is seeded
+//! deterministically from the test's module path + name, so runs are
+//! reproducible without a persistence file.
+
+/// Deterministic RNG used to drive strategy generation (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Creates an RNG deterministically seeded from a test's name.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the fully qualified test name.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::new(h)
+    }
+
+    /// Next raw 64-bit value (splitmix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire-style widening multiply keeps bias negligible for test use.
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of values of one type.
+///
+/// Unlike the real proptest `Strategy` (which builds value *trees* for
+/// shrinking), this shim generates plain values directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A length range for [`vec`], mirroring proptest's `SizeRange`: built
+    /// from a `usize`, `a..b`, or `a..=b` so plain integer literals at call
+    /// sites infer as `usize`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem`-generated values with a length
+    /// drawn from `size`.
+    pub fn vec<E: Strategy>(elem: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<E> {
+        elem: E,
+        size: SizeRange,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let span = (self.size.hi - self.size.lo).max(1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for a uniformly random `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy, used for bare `x: ty`
+/// parameters in [`proptest!`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (shim: draws directly, no shrinking).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Runner configuration (shim: only the case count is honoured).
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (shim: panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (shim: panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (shim: panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests. Supports an optional
+/// `#![proptest_config(expr)]` header and any number of test functions
+/// whose parameters are either `name in strategy_expr` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            (<$crate::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for _case in 0..__config.cases {
+                $crate::__proptest_bind!(__rng, $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident: $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident, $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = Strategy::generate(&(1.0f64..2.0), &mut rng);
+            assert!((1.0..2.0).contains(&f));
+            let n = Strategy::generate(&(4usize..=4), &mut rng);
+            assert_eq!(n, 4);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_compose() {
+        let mut rng = crate::TestRng::new(11);
+        let s = crate::collection::vec((0u64..10, crate::bool::ANY), 2..5);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            for (x, _) in v {
+                assert!(x < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::TestRng::new(3);
+        let s = (0u64..5).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(Strategy::generate(&s, &mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("x::y");
+        let mut b = crate::TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself binds `in` and `: ty` parameters.
+        #[test]
+        fn macro_binds_params(x in 1u32..10, seed: u64, v in crate::collection::vec(0u8..4, 1..6)) {
+            prop_assert!((1..10).contains(&x));
+            let _ = seed;
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.iter().filter(|&&b| b >= 4).count(), 0);
+        }
+    }
+}
