@@ -32,6 +32,7 @@
 //! Usage: `ablations [--quick] [--json]`
 
 use ssmp_bench::{quick_mode, run_solver, run_work_queue, Table};
+use ssmp_engine::stats::keys;
 use ssmp_machine::MachineConfig;
 use ssmp_workload::{Allocation, Grain, ReadMode};
 
@@ -80,8 +81,8 @@ fn a2_read_update(n: usize, iters: usize) -> Table {
             label,
             vec![
                 r.completion as f64,
-                r.messages("msg.ric.") as f64,
-                r.counters.get("msg.ric.update_push") as f64,
+                r.messages(keys::MSG_RIC_PREFIX) as f64,
+                r.counters.get(keys::MSG_RIC_UPDATE_PUSH) as f64,
             ],
         );
     }
@@ -137,7 +138,7 @@ fn a4_write_buffer(n: usize, tasks: usize) -> Table {
             label,
             vec![
                 r.completion as f64,
-                r.counters.get("wbuf.full_stall") as f64,
+                r.counters.get(keys::WBUF_FULL_STALL) as f64,
                 r.wbuf_peak as f64,
             ],
         );
@@ -192,8 +193,8 @@ fn a6_private_model(n: usize, tasks: usize) -> Table {
         let mut cfg = MachineConfig::bc_cbl(n);
         cfg.private_mode = mode;
         let r = run_work_queue(cfg, Grain::Coarse, tasks);
-        let hits = r.counters.get("priv.hit");
-        let misses = r.counters.get("priv.miss");
+        let hits = r.counters.get(keys::PRIV_HIT);
+        let misses = r.counters.get(keys::PRIV_MISS);
         t.row(
             label,
             vec![
@@ -227,7 +228,7 @@ fn a7_directory(n: usize, iters: usize) -> Table {
             vec![
                 r.completion as f64,
                 r.total_messages() as f64,
-                r.counters.get("wbi.dir_evictions") as f64,
+                r.counters.get(keys::WBI_DIR_EVICTIONS) as f64,
             ],
         );
     }
@@ -287,9 +288,9 @@ fn a8_mesi(n: usize) -> Table {
             label,
             vec![
                 init.completion as f64,
-                init.messages("msg.wbi.") as f64,
+                init.messages(keys::MSG_WBI_PREFIX) as f64,
                 migr.completion as f64,
-                migr.messages("msg.wbi.") as f64,
+                migr.messages(keys::MSG_WBI_PREFIX) as f64,
             ],
         );
     }

@@ -11,6 +11,7 @@
 
 use ssmp_analytic::{CoherenceCosts, Scheme2, Table2};
 use ssmp_bench::{quick_mode, run_solver, Table};
+use ssmp_engine::stats::keys;
 use ssmp_machine::MachineConfig;
 use ssmp_workload::Allocation;
 
@@ -59,7 +60,11 @@ fn measured_table(ns: &[usize], iters: (usize, usize)) -> Table {
             } else {
                 MachineConfig::wbi(n)
             };
-            let prefix = if ric { "msg.ric." } else { "msg.wbi." };
+            let prefix = if ric {
+                keys::MSG_RIC_PREFIX
+            } else {
+                keys::MSG_WBI_PREFIX
+            };
             let a = run_solver(cfg.clone(), alloc, short).messages(prefix);
             let b = run_solver(cfg, alloc, long).messages(prefix);
             (b.saturating_sub(a)) as f64 / (long - short) as f64 / n as f64

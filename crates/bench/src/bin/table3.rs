@@ -10,6 +10,7 @@
 use ssmp_analytic::{Scenario, SyncScheme, Table3, Table3Params};
 use ssmp_bench::scenarios::{one_barrier, parallel_lock, serial_lock};
 use ssmp_bench::{quick_mode, Table};
+use ssmp_engine::stats::keys;
 use ssmp_machine::MachineConfig;
 
 const T_CS: u64 = 20;
@@ -76,14 +77,14 @@ fn measured_table(ns: &[usize]) -> Table {
         t.row(
             format!("n={n}"),
             vec![
-                pw.messages("msg.wbi.") as f64,
-                pc.messages("msg.cbl.") as f64,
+                pw.messages(keys::MSG_WBI_PREFIX) as f64,
+                pc.messages(keys::MSG_CBL_PREFIX) as f64,
                 pw.completion as f64,
                 pc.completion as f64,
-                sw.messages("msg.wbi.") as f64,
-                sc.messages("msg.cbl.") as f64,
-                bw.messages("msg.") as f64,
-                bc.messages("msg.bar.") as f64,
+                sw.messages(keys::MSG_WBI_PREFIX) as f64,
+                sc.messages(keys::MSG_CBL_PREFIX) as f64,
+                bw.messages(keys::MSG_PREFIX) as f64,
+                bc.messages(keys::MSG_BAR_PREFIX) as f64,
             ],
         );
     }

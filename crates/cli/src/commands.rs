@@ -18,12 +18,20 @@ usage:
   ssmp trace capture --workload <wl> [--nodes N] [--grain g] [--tasks T]
              [--seed S] --out <file>
   ssmp trace replay  --in <file> --config <cfg> [--json]
+  ssmp trace stats   --in <file> [--validate]
   ssmp program --file <prog.sasm> --config <cfg> [--sems c0,c1,...] [--json]
 
 fault injection / robustness (run, sweep, trace replay, program):
   [--fault-seed S] [--drop-prob p] [--dup-prob p] [--delay-prob p]
   [--delay-cycles c] [--retry] [--retry-timeout c] [--retry-max n]
   [--cycle-budget c]
+
+observability (run, trace replay, program):
+  [--trace <file>] [--trace-format jsonl|perfetto] [--trace-filter f1,f2,...]
+  [--trace-ring N] [--metrics-interval N]
+  trace filter tokens: families wbi|ric|cbl|bar|sem|priv|node|net and/or
+  kinds issue|net-inject|net-deliver|retry|fault|stall-begin|stall-end|
+  lock-acquire|lock-release|flush
 
 workloads: work-queue | sync | solver | fft | hotspot
 configs:   wbi | wbi-backoff | cbl | sc-cbl | bc-cbl
@@ -50,6 +58,11 @@ const VALUED: &[&str] = &[
     "retry-timeout",
     "retry-max",
     "cycle-budget",
+    "trace",
+    "trace-format",
+    "trace-filter",
+    "trace-ring",
+    "metrics-interval",
 ];
 
 /// Dispatches a full argv (without the binary name).
@@ -60,7 +73,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("trace") => match argv.get(1).map(|s| s.as_str()) {
             Some("capture") => trace_capture(&Flags::parse(&argv[2..], VALUED)?),
             Some("replay") => trace_replay(&Flags::parse(&argv[2..], VALUED)?),
-            _ => Err("trace needs 'capture' or 'replay'".into()),
+            Some("stats") => trace_stats(&Flags::parse(&argv[2..], VALUED)?),
+            _ => Err("trace needs 'capture', 'replay', or 'stats'".into()),
         },
         Some("program") => program(&Flags::parse(&argv[1..], VALUED)?),
         Some("help") | Some("--help") | Some("-h") => {
@@ -128,6 +142,45 @@ fn apply_robustness(cfg: &mut MachineConfig, f: &Flags) -> Result<(), String> {
     }
     cfg.max_cycles = f.num::<u64>("cycle-budget", cfg.max_cycles)?;
     cfg.validate().map_err(|e| e.to_string())
+}
+
+/// Applies the observability flags to `cfg` (interval metrics sampling).
+fn apply_observability(cfg: &mut MachineConfig, f: &Flags) -> Result<(), String> {
+    if f.get("metrics-interval").is_some() {
+        let iv = f.num::<u64>("metrics-interval", 1000)?;
+        if iv == 0 {
+            return Err("--metrics-interval must be >= 1".into());
+        }
+        cfg.metrics_interval = Some(iv);
+    }
+    Ok(())
+}
+
+/// Builds the event tracer from the `--trace*` flags; off when `--trace`
+/// is absent.
+fn build_tracer(f: &Flags) -> Result<ssmp_engine::Tracer, String> {
+    use ssmp_engine::{JsonlSink, PerfettoSink, TraceFilter, Tracer};
+    let Some(path) = f.get("trace") else {
+        return Ok(Tracer::off());
+    };
+    let filter = match f.get("trace-filter") {
+        Some(spec) => TraceFilter::parse(spec)?,
+        None => TraceFilter::all(),
+    };
+    let ring = f.num::<usize>("trace-ring", 256)?;
+    let mut tracer = Tracer::new(filter).with_ring(ring);
+    let file = std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+    let w = std::io::BufWriter::new(file);
+    match f.get("trace-format").unwrap_or("jsonl") {
+        "jsonl" => tracer.add_sink(JsonlSink::new(w)),
+        "perfetto" => tracer.add_sink(PerfettoSink::new(w)),
+        other => {
+            return Err(format!(
+                "unknown trace format '{other}' (expected jsonl or perfetto)"
+            ))
+        }
+    }
+    Ok(tracer)
 }
 
 /// Builds the named workload; returns it plus the machine lock count.
@@ -204,7 +257,12 @@ fn print_report(r: &Report, json: bool) {
             .iter()
             .map(|(k, v)| (k.to_string(), Json::num(v)))
             .collect();
-        let doc = Json::Obj(vec![
+        let stall_breakdown = r
+            .stall_breakdown
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::num(*v)))
+            .collect();
+        let mut fields = vec![
             ("completion_cycles".into(), Json::num(r.completion)),
             ("net_packets".into(), Json::num(r.net_packets)),
             ("net_words".into(), Json::num(r.net_words)),
@@ -215,10 +273,42 @@ fn print_report(r: &Report, json: bool) {
                 "lock_wait_mean".into(),
                 Json::num(r.lock_wait.mean().unwrap_or(0.0)),
             ),
+            (
+                "lock_wait_p50".into(),
+                Json::num(r.lock_wait.p50().unwrap_or(0)),
+            ),
+            (
+                "lock_wait_p95".into(),
+                Json::num(r.lock_wait.p95().unwrap_or(0)),
+            ),
+            (
+                "lock_wait_p99".into(),
+                Json::num(r.lock_wait.p99().unwrap_or(0)),
+            ),
             ("deadlocked".into(), Json::Bool(r.deadlock.is_some())),
             ("retries".into(), Json::num(r.retries.iter().sum::<u64>())),
+            (
+                "retries_per_node".into(),
+                Json::Arr(r.retries.iter().map(|&n| Json::num(n)).collect()),
+            ),
+            ("stall_breakdown".into(), Json::Obj(stall_breakdown)),
             ("counters".into(), Json::Obj(counters)),
-        ]);
+        ];
+        if let Some(fs) = &r.faults {
+            fields.push((
+                "faults".into(),
+                Json::Obj(vec![
+                    ("inspected".into(), Json::num(fs.inspected)),
+                    ("dropped".into(), Json::num(fs.dropped)),
+                    ("duplicated".into(), Json::num(fs.duplicated)),
+                    ("delayed".into(), Json::num(fs.delayed)),
+                ]),
+            ));
+        }
+        if let Some(m) = &r.metrics {
+            fields.push(("metrics".into(), m.to_json()));
+        }
+        let doc = Json::Obj(fields);
         println!("{}", doc.render());
     } else {
         // summary() already covers deadlock, retry, and fault lines
@@ -232,9 +322,11 @@ fn run(f: &Flags) -> Result<(), String> {
     let mut cfg = parse_config(f.require("config")?, nodes)?;
     parse_topology(&mut cfg, f)?;
     apply_robustness(&mut cfg, f)?;
+    apply_observability(&mut cfg, f)?;
     adapt_geometry(&mut cfg, workload, nodes);
     let (wl, locks) = build_workload(workload, nodes, f)?;
-    let r = Machine::new(cfg, wl, locks).run();
+    let tracer = build_tracer(f)?;
+    let r = Machine::new(cfg, wl, locks).with_tracer(tracer).run();
     print_report(&r, f.has("json"));
     Ok(())
 }
@@ -324,9 +416,12 @@ fn program(f: &Flags) -> Result<(), String> {
             max_sem
         ));
     }
+    apply_observability(&mut cfg, f)?;
     let wl = ssmp_machine::op::Script::new(streams);
+    let tracer = build_tracer(f)?;
     let r = Machine::new(cfg, Box::new(wl), max_lock + 1)
         .with_semaphores(&sems)
+        .with_tracer(tracer)
         .run();
     print_report(&r, f.has("json"));
     if !f.has("json") && !r.read_log.is_empty() {
@@ -392,8 +487,94 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
             max_lock = max_lock.max(l + 1);
         }
     }
-    let r = Machine::new(cfg, Box::new(trace.replay()), max_lock + 1).run();
+    apply_observability(&mut cfg, f)?;
+    let tracer = build_tracer(f)?;
+    let r = Machine::new(cfg, Box::new(trace.replay()), max_lock + 1)
+        .with_tracer(tracer)
+        .run();
     print_report(&r, f.has("json"));
+    Ok(())
+}
+
+/// Summarizes (and optionally validates) an event-trace file produced by
+/// `--trace`: JSONL (one event per line) or Chrome-trace/Perfetto JSON.
+fn trace_stats(f: &Flags) -> Result<(), String> {
+    use ssmp_engine::trace::validate_jsonl;
+    use ssmp_engine::Json;
+    use std::collections::BTreeMap;
+    let path = f.require("in")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--in {path}: {e}"))?;
+    let validate = f.has("validate");
+    // Both formats start with '{'; only a Chrome-trace file is a single
+    // document with a traceEvents array (JSONL events never carry that key).
+    let chrome = text
+        .lines()
+        .next()
+        .is_some_and(|l| l.contains("\"traceEvents\"") || Json::parse(l).is_err());
+    if chrome {
+        // Chrome-trace / Perfetto JSON.
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .ok_or_else(|| format!("{path}: no traceEvents array — not a Chrome-trace file"))?;
+        let mut by_phase: BTreeMap<String, u64> = BTreeMap::new();
+        for ev in events {
+            let ph = ev.get("ph").and_then(|p| p.as_str()).unwrap_or("?");
+            *by_phase.entry(ph.to_string()).or_insert(0) += 1;
+            if validate && ev.get("ph").is_none() {
+                return Err(format!("{path}: trace event without a 'ph' field"));
+            }
+        }
+        println!("chrome-trace: {} events", events.len());
+        for (ph, n) in &by_phase {
+            let label = match ph.as_str() {
+                "M" => "metadata",
+                "X" => "span",
+                "i" => "instant",
+                "s" => "flow-start",
+                "f" => "flow-end",
+                _ => "other",
+            };
+            println!("  ph={ph} ({label}): {n}");
+        }
+        return Ok(());
+    }
+    // JSONL: one event object per line.
+    let mut total = 0u64;
+    let mut by_key: BTreeMap<String, u64> = BTreeMap::new();
+    let mut first: Option<u64> = None;
+    let mut last = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("{path}:{}: invalid JSON: {e}", i + 1))?;
+        if validate {
+            validate_jsonl(&doc).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        }
+        total += 1;
+        let fam = doc.get("family").and_then(|v| v.as_str()).unwrap_or("?");
+        let kind = doc.get("kind").and_then(|v| v.as_str()).unwrap_or("?");
+        *by_key.entry(format!("{fam}/{kind}")).or_insert(0) += 1;
+        if let Some(c) = doc.get("cycle").and_then(|v| v.as_u64()) {
+            first = Some(first.map_or(c, |f| f.min(c)));
+            last = last.max(c);
+        }
+    }
+    println!(
+        "jsonl: {} events over cycles {}..{}",
+        total,
+        first.unwrap_or(0),
+        last
+    );
+    for (k, n) in &by_key {
+        println!("  {k}: {n}");
+    }
+    if validate {
+        println!("validation: ok");
+    }
     Ok(())
 }
 
@@ -628,6 +809,84 @@ mod tests {
             "8",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn traced_run_writes_jsonl_and_stats_validates() {
+        let dir = std::env::temp_dir().join("ssmp_cli_trace_jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ev.jsonl");
+        let path_s = path.to_str().unwrap();
+        dispatch(&v(&[
+            "run",
+            "--workload",
+            "work-queue",
+            "--config",
+            "bc-cbl",
+            "--nodes",
+            "4",
+            "--grain",
+            "fine",
+            "--tasks",
+            "8",
+            "--trace",
+            path_s,
+            "--metrics-interval",
+            "100",
+            "--json",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty(), "trace file empty");
+        dispatch(&v(&["trace", "stats", "--in", path_s, "--validate"])).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn traced_run_writes_perfetto_and_stats_reads_it() {
+        let dir = std::env::temp_dir().join("ssmp_cli_trace_perfetto");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ev.json");
+        let path_s = path.to_str().unwrap();
+        dispatch(&v(&[
+            "run",
+            "--workload",
+            "sync",
+            "--config",
+            "cbl",
+            "--nodes",
+            "4",
+            "--tasks",
+            "4",
+            "--trace",
+            path_s,
+            "--trace-format",
+            "perfetto",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("traceEvents"));
+        dispatch(&v(&["trace", "stats", "--in", path_s])).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_filter_rejects_unknown_token() {
+        let e = dispatch(&v(&[
+            "run",
+            "--workload",
+            "sync",
+            "--config",
+            "cbl",
+            "--nodes",
+            "4",
+            "--trace",
+            "/tmp/ssmp_never_written.jsonl",
+            "--trace-filter",
+            "bogus-token",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("bogus-token"), "{e}");
     }
 
     #[test]

@@ -41,14 +41,21 @@
 pub mod event;
 pub mod json;
 pub mod rng;
+pub mod series;
 pub mod stats;
+pub mod trace;
 pub mod watchdog;
 pub mod wheel;
 
 pub use event::{EventQueue, Scheduled};
 pub use json::{Json, JsonError};
 pub use rng::SimRng;
+pub use series::IntervalSeries;
 pub use stats::{Accumulator, CounterSet, Histogram};
+pub use trace::{
+    Family, JsonlSink, Kind, MemorySink, PerfettoSink, TraceEvent, TraceFilter, TraceRing,
+    TraceSink, Tracer,
+};
 pub use watchdog::{Watchdog, WatchdogVerdict};
 pub use wheel::WheelQueue;
 

@@ -1,0 +1,185 @@
+//! Interval time-series metrics.
+//!
+//! End-of-run aggregates hide transients: a write buffer that is empty on
+//! average can still be full exactly when CP-Synch needs it drained, and a
+//! CBL queue that is short at completion may have been long during the
+//! critical-section storm the paper's Fig. 6 studies. An [`IntervalSeries`]
+//! holds periodic samples of machine gauges (network occupancy, write-buffer
+//! depth, CBL queue lengths, RIC list sizes, per-cause stall counts) taken
+//! every `interval` cycles, so a `Report` can show *trajectories* as well as
+//! totals.
+//!
+//! Sampling is driven lazily by the simulation loop (checked against the
+//! timestamp of each dispatched event) rather than by scheduled events, so
+//! it can never keep the event queue artificially non-empty — which would
+//! defeat the watchdog's quiescence detection — and never perturbs event
+//! order.
+
+use std::fmt;
+
+use crate::json::Json;
+use crate::Cycle;
+
+/// A fixed-column time series sampled every `interval` cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSeries {
+    interval: Cycle,
+    columns: Vec<&'static str>,
+    /// `(sample cycle, one value per column)`.
+    rows: Vec<(Cycle, Vec<u64>)>,
+}
+
+impl IntervalSeries {
+    /// Creates an empty series with the given sampling interval and column
+    /// names.
+    pub fn new(interval: Cycle, columns: Vec<&'static str>) -> Self {
+        Self {
+            interval: interval.max(1),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The sampling interval, in cycles.
+    pub fn interval(&self) -> Cycle {
+        self.interval
+    }
+
+    /// Column names, in row order.
+    pub fn columns(&self) -> &[&'static str] {
+        &self.columns
+    }
+
+    /// Appends one sample row. `values` must have one entry per column.
+    pub fn push(&mut self, at: Cycle, values: Vec<u64>) {
+        debug_assert_eq!(values.len(), self.columns.len());
+        self.rows.push((at, values));
+    }
+
+    /// Number of samples taken.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The raw sample rows.
+    pub fn rows(&self) -> &[(Cycle, Vec<u64>)] {
+        &self.rows
+    }
+
+    /// All samples of one column (by name), in time order.
+    pub fn column(&self, name: &str) -> Option<Vec<u64>> {
+        let i = self.columns.iter().position(|&c| c == name)?;
+        Some(self.rows.iter().map(|(_, vs)| vs[i]).collect())
+    }
+
+    /// Maximum sampled value of one column (`None` if empty or unknown).
+    pub fn peak(&self, name: &str) -> Option<u64> {
+        self.column(name)?.into_iter().max()
+    }
+
+    /// Serializes as `{"interval": N, "columns": [...], "samples":
+    /// [[cycle, v0, v1, ...], ...]}`.
+    pub fn to_json(&self) -> Json {
+        let columns = Json::Arr(self.columns.iter().map(|&c| Json::str(c)).collect());
+        let samples = Json::Arr(
+            self.rows
+                .iter()
+                .map(|(at, vs)| {
+                    let mut row = Vec::with_capacity(vs.len() + 1);
+                    row.push(Json::num(at));
+                    row.extend(vs.iter().map(Json::num));
+                    Json::Arr(row)
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("interval".into(), Json::num(self.interval)),
+            ("columns".into(), columns),
+            ("samples".into(), samples),
+        ])
+    }
+}
+
+impl fmt::Display for IntervalSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "interval series: {} samples every {} cycles",
+            self.rows.len(),
+            self.interval
+        )?;
+        write!(f, "{:>10}", "cycle")?;
+        for c in &self.columns {
+            write!(f, " {c:>18}")?;
+        }
+        writeln!(f)?;
+        for (at, vs) in &self.rows {
+            write!(f, "{at:>10}")?;
+            for v in vs {
+                write!(f, " {v:>18}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IntervalSeries {
+        let mut s = IntervalSeries::new(100, vec!["net.packets", "wbuf.depth"]);
+        s.push(100, vec![3, 1]);
+        s.push(200, vec![5, 0]);
+        s.push(300, vec![2, 4]);
+        s
+    }
+
+    #[test]
+    fn columns_and_peaks() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.interval(), 100);
+        assert_eq!(s.column("wbuf.depth"), Some(vec![1, 0, 4]));
+        assert_eq!(s.peak("wbuf.depth"), Some(4));
+        assert_eq!(s.peak("net.packets"), Some(5));
+        assert_eq!(s.column("nope"), None);
+    }
+
+    #[test]
+    fn json_roundtrips_shape() {
+        let s = sample();
+        let j = s.to_json();
+        let text = j.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("interval").unwrap().as_u64(), Some(100));
+        let cols = back.get("columns").unwrap().as_array().unwrap();
+        assert_eq!(cols.len(), 2);
+        let rows = back.get("samples").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 3);
+        let first = rows[0].as_array().unwrap();
+        assert_eq!(first[0].as_u64(), Some(100));
+        assert_eq!(first[1].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn display_mentions_columns() {
+        let s = sample();
+        let text = format!("{s}");
+        assert!(text.contains("net.packets"));
+        assert!(text.contains("wbuf.depth"));
+    }
+
+    #[test]
+    fn zero_interval_clamped() {
+        let s = IntervalSeries::new(0, vec!["x"]);
+        assert_eq!(s.interval(), 1);
+        assert!(s.is_empty());
+    }
+}

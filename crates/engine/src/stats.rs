@@ -11,6 +11,208 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+pub mod keys {
+    //! Canonical counter-key names.
+    //!
+    //! Every component that bumps a counter and every reader that consumes
+    //! one goes through these constants, so a typo cannot silently split a
+    //! counter into two names. Keys are dotted paths grouped by subsystem;
+    //! `msg.*` keys double as the `detail` field of trace events, keeping
+    //! counters and traces aligned.
+
+    /// Watchdog declared a deadlock / budget exhaustion.
+    pub const WATCHDOG_FIRED: &str = "watchdog.fired";
+
+    /// WBI directory evicted an entry.
+    pub const WBI_DIR_EVICTIONS: &str = "wbi.dir_evictions";
+    /// WBI invalidation applied at a cache.
+    pub const WBI_INVALIDATED: &str = "wbi.invalidated";
+    /// WBI exclusive line downgraded to shared.
+    pub const WBI_DOWNGRADED: &str = "wbi.downgraded";
+
+    /// Prefix of all interconnect message counters.
+    pub const MSG_PREFIX: &str = "msg.";
+    /// Prefix of CBL protocol message counters.
+    pub const MSG_CBL_PREFIX: &str = "msg.cbl.";
+    /// Prefix of WBI protocol message counters.
+    pub const MSG_WBI_PREFIX: &str = "msg.wbi.";
+    /// Prefix of RIC protocol message counters.
+    pub const MSG_RIC_PREFIX: &str = "msg.ric.";
+    /// Prefix of hardware-barrier message counters.
+    pub const MSG_BAR_PREFIX: &str = "msg.bar.";
+
+    /// CBL lock request to home memory.
+    pub const MSG_CBL_REQUEST: &str = "msg.cbl.request";
+    /// CBL request forwarded to the current tail.
+    pub const MSG_CBL_FORWARD: &str = "msg.cbl.forward";
+    /// CBL grant issued by home memory.
+    pub const MSG_CBL_GRANT_MEM: &str = "msg.cbl.grant_mem";
+    /// CBL grant handed down the waiting chain.
+    pub const MSG_CBL_GRANT_CHAIN: &str = "msg.cbl.grant_chain";
+    /// CBL requester spliced into the queue.
+    pub const MSG_CBL_ENQUEUED: &str = "msg.cbl.enqueued";
+    /// CBL release sent to home memory.
+    pub const MSG_CBL_RELEASE: &str = "msg.cbl.release";
+    /// CBL release acknowledged.
+    pub const MSG_CBL_RELEASE_ACK: &str = "msg.cbl.release_ack";
+    /// CBL request bounced (queue hand-off race).
+    pub const MSG_CBL_BOUNCE: &str = "msg.cbl.bounce";
+    /// CBL queue splice message.
+    pub const MSG_CBL_SPLICE: &str = "msg.cbl.splice";
+
+    /// RIC read miss to home memory.
+    pub const MSG_RIC_READ_MISS: &str = "msg.ric.read_miss";
+    /// RIC read that joins the update list.
+    pub const MSG_RIC_READ_UPDATE: &str = "msg.ric.read_update";
+    /// RIC read reply with data.
+    pub const MSG_RIC_READ_REPLY: &str = "msg.ric.read_reply";
+    /// RIC global read (bypassing cache).
+    pub const MSG_RIC_READ_GLOBAL: &str = "msg.ric.read_global";
+    /// RIC global read reply.
+    pub const MSG_RIC_READ_GLOBAL_REPLY: &str = "msg.ric.read_global_reply";
+    /// RIC global write to home memory.
+    pub const MSG_RIC_WRITE_GLOBAL: &str = "msg.ric.write_global";
+    /// RIC write acknowledgement.
+    pub const MSG_RIC_WRITE_ACK: &str = "msg.ric.write_ack";
+    /// RIC update pushed to a list member.
+    pub const MSG_RIC_UPDATE_PUSH: &str = "msg.ric.update_push";
+    /// RIC update-list head change.
+    pub const MSG_RIC_HEAD_CHANGE: &str = "msg.ric.head_change";
+    /// RIC update-list splice.
+    pub const MSG_RIC_SPLICE: &str = "msg.ric.splice";
+
+    /// WBI read request.
+    pub const MSG_WBI_READ_REQ: &str = "msg.wbi.read_req";
+    /// WBI write (ownership) request.
+    pub const MSG_WBI_WRITE_REQ: &str = "msg.wbi.write_req";
+    /// WBI data reply, shared state.
+    pub const MSG_WBI_DATA_SHARED: &str = "msg.wbi.data_shared";
+    /// WBI data reply, exclusive-clean state.
+    pub const MSG_WBI_DATA_EXCL_CLEAN: &str = "msg.wbi.data_excl_clean";
+    /// WBI data reply, exclusive state.
+    pub const MSG_WBI_DATA_EXCL: &str = "msg.wbi.data_excl";
+    /// WBI invalidation request.
+    pub const MSG_WBI_INV: &str = "msg.wbi.inv";
+    /// WBI invalidation acknowledgement.
+    pub const MSG_WBI_INV_ACK: &str = "msg.wbi.inv_ack";
+    /// WBI fetch (shared) forwarded to owner.
+    pub const MSG_WBI_FETCH_SHARED: &str = "msg.wbi.fetch_shared";
+    /// WBI fetch (exclusive) forwarded to owner.
+    pub const MSG_WBI_FETCH_EXCL: &str = "msg.wbi.fetch_excl";
+    /// WBI owner-to-requester data transfer.
+    pub const MSG_WBI_OWNER_DATA: &str = "msg.wbi.owner_data";
+    /// WBI write-back to memory.
+    pub const MSG_WBI_WRITE_BACK: &str = "msg.wbi.write_back";
+    /// WBI write-back race resolution message.
+    pub const MSG_WBI_WB_RACE: &str = "msg.wbi.wb_race";
+
+    /// Hardware barrier arrival.
+    pub const MSG_BAR_ARRIVE: &str = "msg.bar.arrive";
+    /// Hardware barrier arrival acknowledgement.
+    pub const MSG_BAR_ACK: &str = "msg.bar.ack";
+    /// Hardware barrier release broadcast.
+    pub const MSG_BAR_RELEASE: &str = "msg.bar.release";
+
+    /// Semaphore P request.
+    pub const MSG_SEM_P: &str = "msg.sem.p";
+    /// Semaphore V request.
+    pub const MSG_SEM_V: &str = "msg.sem.v";
+    /// Semaphore grant.
+    pub const MSG_SEM_GRANT: &str = "msg.sem.grant";
+    /// Semaphore V acknowledgement.
+    pub const MSG_SEM_V_ACK: &str = "msg.sem.v_ack";
+
+    /// Private-memory miss traffic (request or fill).
+    pub const MSG_PRIV: &str = "msg.priv";
+
+    /// Duplicate delivery suppressed by wire-id dedup.
+    pub const NET_DEDUP: &str = "net.dedup";
+
+    /// Private miss fill completed.
+    pub const PRIV_FILL: &str = "priv.fill";
+    /// Private cache hit.
+    pub const PRIV_HIT: &str = "priv.hit";
+    /// Private cache miss.
+    pub const PRIV_MISS: &str = "priv.miss";
+    /// Private dirty-line writeback.
+    pub const PRIV_WRITEBACK: &str = "priv.writeback";
+
+    /// Hardware barrier episode passed.
+    pub const BARRIER_HW_PASSED: &str = "barrier.hw.passed";
+    /// Software barrier arrival.
+    pub const BARRIER_SW_ARRIVE: &str = "barrier.sw.arrive";
+    /// Software barrier notify write.
+    pub const BARRIER_SW_NOTIFY: &str = "barrier.sw.notify";
+    /// Software barrier episode passed.
+    pub const BARRIER_SW_PASSED: &str = "barrier.sw.passed";
+
+    /// Semaphore acquired (P granted).
+    pub const SEM_ACQUIRED: &str = "sem.acquired";
+    /// Semaphore P issued.
+    pub const SEM_P: &str = "sem.p";
+    /// Semaphore V issued.
+    pub const SEM_V: &str = "sem.v";
+
+    /// CBL lock granted to a requester.
+    pub const LOCK_CBL_GRANTED: &str = "lock.cbl.granted";
+    /// CBL release completed at home memory.
+    pub const LOCK_CBL_RELEASE_COMPLETE: &str = "lock.cbl.release_complete";
+    /// CBL release forwarded down the chain.
+    pub const LOCK_CBL_RELEASE_FORWARDED: &str = "lock.cbl.release_forwarded";
+    /// CBL re-request issued after a bounce.
+    pub const LOCK_CBL_REREQUEST_WAIT: &str = "lock.cbl.rerequest_wait";
+
+    /// Test&set attempt issued.
+    pub const LOCK_TTS_TEST_AND_SET: &str = "lock.tts.test_and_set";
+    /// Test&set observed the lock held.
+    pub const LOCK_TTS_FAILED_TS: &str = "lock.tts.failed_ts";
+    /// Test&test&set local spin iteration.
+    pub const LOCK_TTS_SPIN: &str = "lock.tts.spin";
+    /// Test&test&set lock acquired.
+    pub const LOCK_TTS_ACQUIRED: &str = "lock.tts.acquired";
+    /// Test&test&set release hit locally.
+    pub const LOCK_TTS_RELEASE_LOCAL: &str = "lock.tts.release_local";
+    /// Test&test&set release went remote.
+    pub const LOCK_TTS_RELEASE_REMOTE: &str = "lock.tts.release_remote";
+
+    /// Write-buffer entry acknowledged.
+    pub const WBUF_ACKED: &str = "wbuf.acked";
+    /// Processor stalled on a full write buffer.
+    pub const WBUF_FULL_STALL: &str = "wbuf.full_stall";
+    /// Write-buffer entry issued to the network.
+    pub const WBUF_ISSUED: &str = "wbuf.issued";
+
+    /// RIC update applied at a list member.
+    pub const RIC_UPDATE_APPLIED: &str = "ric.update_applied";
+    /// RIC update dropped (member no longer caching).
+    pub const RIC_UPDATE_DROPPED: &str = "ric.update_dropped";
+
+    /// Shared read hit in cache.
+    pub const SHARED_READ_HIT: &str = "shared.read.hit";
+    /// Shared read missed in cache.
+    pub const SHARED_READ_MISS: &str = "shared.read.miss";
+    /// Shared read served globally (uncached).
+    pub const SHARED_READ_GLOBAL: &str = "shared.read.global";
+    /// Spin iteration on a global location.
+    pub const SHARED_SPIN_GLOBAL: &str = "shared.spin_global";
+    /// Shared write hit in cache.
+    pub const SHARED_WRITE_HIT: &str = "shared.write.hit";
+    /// Shared write missed in cache.
+    pub const SHARED_WRITE_MISS: &str = "shared.write.miss";
+    /// Shared write performed globally (uncached).
+    pub const SHARED_WRITE_GLOBAL: &str = "shared.write.global";
+
+    /// Write-buffer flush forced by CP-Synch semantics.
+    pub const FLUSH_BEFORE_CP_SYNCH: &str = "flush.before_cp_synch";
+    /// Explicit FlushBuffer op completed.
+    pub const FLUSH_EXPLICIT: &str = "flush.explicit";
+
+    /// Retry budget exhausted for a request.
+    pub const RETRY_EXHAUSTED: &str = "retry.exhausted";
+    /// Timed-out request retransmitted.
+    pub const RETRY_RETRANSMIT: &str = "retry.retransmit";
+}
+
 /// A set of named monotone counters.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CounterSet {
@@ -200,6 +402,21 @@ impl Histogram {
         Some(u64::MAX)
     }
 
+    /// Median bound — see [`Histogram::quantile_bound`] (`None` if empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile_bound(0.50)
+    }
+
+    /// 95th-percentile bound (`None` if empty).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile_bound(0.95)
+    }
+
+    /// 99th-percentile bound (`None` if empty).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile_bound(0.99)
+    }
+
     /// Raw bucket counts (64 power-of-two buckets).
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
@@ -305,6 +522,40 @@ mod tests {
         assert!(q50 <= q99);
         assert!(q50 >= 499 / 2, "median bound too low: {q50}");
         assert!(h.quantile_bound(0.0).is_some());
+    }
+
+    #[test]
+    fn histogram_named_percentiles() {
+        let mut h = Histogram::new();
+        for x in 0..1000u64 {
+            h.record(x);
+        }
+        let (p50, p95, p99) = (h.p50().unwrap(), h.p95().unwrap(), h.p99().unwrap());
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 >= 499, "median bound must cover the true median");
+        assert!(p99 >= 989, "p99 bound must cover the true p99");
+        assert_eq!(Histogram::new().p95(), None);
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let all = [
+            keys::MSG_CBL_REQUEST,
+            keys::MSG_RIC_UPDATE_PUSH,
+            keys::MSG_WBI_INV,
+            keys::LOCK_CBL_GRANTED,
+            keys::LOCK_TTS_ACQUIRED,
+            keys::WBUF_ISSUED,
+            keys::RETRY_RETRANSMIT,
+            keys::NET_DEDUP,
+            keys::WATCHDOG_FIRED,
+        ];
+        let mut set: Vec<_> = all.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), all.len());
+        assert!(keys::MSG_CBL_REQUEST.starts_with(keys::MSG_CBL_PREFIX));
+        assert!(keys::MSG_WBI_INV.starts_with(keys::MSG_WBI_PREFIX));
     }
 
     #[test]

@@ -1,0 +1,899 @@
+//! Cycle-accurate event tracing.
+//!
+//! The paper's evaluation reasons about *when* things happen — write-buffer
+//! absorption before CP-Synch, RIC update pushes racing readers, CBL queue
+//! hand-offs — but aggregate counters only say *how often*. This module
+//! records a typed [`TraceEvent`] at every point the machine already bumps
+//! a counter, into a bounded [`TraceRing`] and through pluggable
+//! [`TraceSink`]s:
+//!
+//! * [`JsonlSink`] — one JSON object per line, streamed as events occur
+//!   (cheap, greppable, machine-validated by `ssmp trace stats`).
+//! * [`PerfettoSink`] — Chrome-trace / Perfetto JSON with per-node tracks,
+//!   stall duration spans, and message flow events; open the file in
+//!   <https://ui.perfetto.dev> or `chrome://tracing`.
+//! * [`MemorySink`] — events into a shared `Vec` for tests and tooling.
+//!
+//! Tracing is **always compiled and zero-cost when off**: a disabled
+//! [`Tracer`] reduces `emit` to one branch, and recording never touches
+//! simulation state, RNG streams, or event ordering — a traced run's
+//! completion time and counters are bit-identical to an untraced run.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use crate::json::{escape, Json};
+use crate::Cycle;
+
+/// Protocol family (or subsystem) an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Family {
+    /// Write-back-invalidate coherence (data, lock, and flag blocks).
+    Wbi,
+    /// Reader-initiated coherence (update lists).
+    Ric,
+    /// Cache-based queued locks.
+    Cbl,
+    /// Hardware barrier.
+    Bar,
+    /// Hardware counting semaphores.
+    Sem,
+    /// Private-data miss traffic.
+    Priv,
+    /// Processor-local events (op issue, stalls).
+    Node,
+    /// Interconnect-level events (faults, dedup).
+    Net,
+}
+
+impl Family {
+    /// All families, in declaration order.
+    pub const ALL: [Family; 8] = [
+        Family::Wbi,
+        Family::Ric,
+        Family::Cbl,
+        Family::Bar,
+        Family::Sem,
+        Family::Priv,
+        Family::Node,
+        Family::Net,
+    ];
+
+    /// The stable token used in trace files and `--trace-filter`.
+    pub fn token(self) -> &'static str {
+        match self {
+            Family::Wbi => "wbi",
+            Family::Ric => "ric",
+            Family::Cbl => "cbl",
+            Family::Bar => "bar",
+            Family::Sem => "sem",
+            Family::Priv => "priv",
+            Family::Node => "node",
+            Family::Net => "net",
+        }
+    }
+
+    /// Parses a filter/file token.
+    pub fn from_token(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.token() == s)
+    }
+}
+
+/// What kind of event occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    /// A processor issued an operation.
+    Issue,
+    /// A protocol message departed onto the interconnect.
+    NetInject,
+    /// A protocol message was processed at its destination.
+    NetDeliver,
+    /// A timed-out request was retransmitted.
+    Retry,
+    /// The fault plan dropped, duplicated, or delayed a message (or a
+    /// duplicate was suppressed at delivery).
+    Fault,
+    /// A processor stalled (detail = cause).
+    StallBegin,
+    /// A stalled processor resumed (detail = cause).
+    StallEnd,
+    /// A lock was acquired.
+    LockAcquire,
+    /// A lock was released.
+    LockRelease,
+    /// A write-buffer drain completed.
+    Flush,
+}
+
+impl Kind {
+    /// All kinds, in declaration order.
+    pub const ALL: [Kind; 10] = [
+        Kind::Issue,
+        Kind::NetInject,
+        Kind::NetDeliver,
+        Kind::Retry,
+        Kind::Fault,
+        Kind::StallBegin,
+        Kind::StallEnd,
+        Kind::LockAcquire,
+        Kind::LockRelease,
+        Kind::Flush,
+    ];
+
+    /// The stable token used in trace files and `--trace-filter`.
+    pub fn token(self) -> &'static str {
+        match self {
+            Kind::Issue => "issue",
+            Kind::NetInject => "net-inject",
+            Kind::NetDeliver => "net-deliver",
+            Kind::Retry => "retry",
+            Kind::Fault => "fault",
+            Kind::StallBegin => "stall-begin",
+            Kind::StallEnd => "stall-end",
+            Kind::LockAcquire => "lock-acquire",
+            Kind::LockRelease => "lock-release",
+            Kind::Flush => "flush",
+        }
+    }
+
+    /// Parses a filter/file token.
+    pub fn from_token(s: &str) -> Option<Kind> {
+        Kind::ALL.into_iter().find(|k| k.token() == s)
+    }
+}
+
+/// One trace record. All fields are plain values so construction is cheap
+/// and the event is `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub cycle: Cycle,
+    /// The node the event is attributed to (`-1` = machine-global, e.g. a
+    /// directory with no node context).
+    pub node: i64,
+    /// Protocol family / subsystem.
+    pub family: Family,
+    /// Event kind.
+    pub kind: Kind,
+    /// Fine-grained label: the counter key for messages
+    /// (`"msg.cbl.request"`), the stall cause (`"fill"`), the fault fate
+    /// (`"drop"`), the op name for issues, ...
+    pub detail: &'static str,
+    /// Primary payload: wire id for message events, lock/block id for
+    /// lock events, epoch for retries.
+    pub id: u64,
+    /// Secondary payload: destination node for message events, attempt
+    /// count for retries, stall duration (cycles) for `StallEnd`.
+    pub arg: u64,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"cycle\":{},\"node\":{},\"family\":\"{}\",\"kind\":\"{}\",\"detail\":\"{}\",\"id\":{},\"arg\":{}}}",
+            self.cycle,
+            self.node,
+            self.family.token(),
+            self.kind.token(),
+            escape(self.detail),
+            self.id,
+            self.arg
+        )
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "@{} n{} {}/{} {} id={} arg={}",
+            self.cycle,
+            self.node,
+            self.family.token(),
+            self.kind.token(),
+            self.detail,
+            self.id,
+            self.arg
+        )
+    }
+}
+
+/// Validates one parsed JSONL trace record against the event schema:
+/// required fields present, `family` and `kind` drawn from the known
+/// token sets. Used by `ssmp trace stats` (and CI) so the format cannot
+/// bit-rot silently.
+pub fn validate_jsonl(doc: &Json) -> Result<(), String> {
+    for field in ["cycle", "node", "id", "arg"] {
+        let v = doc
+            .get(field)
+            .ok_or_else(|| format!("missing field '{field}'"))?;
+        if v.as_f64().is_none() {
+            return Err(format!("field '{field}' is not a number"));
+        }
+    }
+    let fam = doc
+        .get("family")
+        .and_then(|v| v.as_str())
+        .ok_or("missing field 'family'")?;
+    if Family::from_token(fam).is_none() {
+        return Err(format!("unknown family '{fam}'"));
+    }
+    let kind = doc
+        .get("kind")
+        .and_then(|v| v.as_str())
+        .ok_or("missing field 'kind'")?;
+    if Kind::from_token(kind).is_none() {
+        return Err(format!("unknown event kind '{kind}'"));
+    }
+    if doc.get("detail").and_then(|v| v.as_str()).is_none() {
+        return Err("missing field 'detail'".into());
+    }
+    Ok(())
+}
+
+/// An event filter: `None` sets admit everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceFilter {
+    /// Admitted families (`None` = all).
+    pub families: Option<Vec<Family>>,
+    /// Admitted kinds (`None` = all).
+    pub kinds: Option<Vec<Kind>>,
+}
+
+impl TraceFilter {
+    /// A filter that admits every event.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Parses a comma-separated token list mixing family and kind names,
+    /// e.g. `"cbl,ric,stall-begin"`. Family tokens restrict families,
+    /// kind tokens restrict kinds; an empty/absent spec admits everything.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut f = TraceFilter::all();
+        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(fam) = Family::from_token(tok) {
+                f.families.get_or_insert_with(Vec::new).push(fam);
+            } else if let Some(kind) = Kind::from_token(tok) {
+                f.kinds.get_or_insert_with(Vec::new).push(kind);
+            } else {
+                let families: Vec<_> = Family::ALL.iter().map(|x| x.token()).collect();
+                let kinds: Vec<_> = Kind::ALL.iter().map(|x| x.token()).collect();
+                return Err(format!(
+                    "unknown trace filter token '{tok}' (families: {}; kinds: {})",
+                    families.join("|"),
+                    kinds.join("|")
+                ));
+            }
+        }
+        Ok(f)
+    }
+
+    /// Whether the filter admits an event.
+    #[inline]
+    pub fn admits(&self, ev: &TraceEvent) -> bool {
+        if let Some(fams) = &self.families {
+            if !fams.contains(&ev.family) {
+                return false;
+            }
+        }
+        if let Some(kinds) = &self.kinds {
+            if !kinds.contains(&ev.kind) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A bounded ring of the most recent events (deadlock forensics).
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next write position; wraps at `cap`.
+    head: usize,
+    /// Total events ever recorded (so `len` is `total.min(cap)`).
+    total: u64,
+}
+
+impl TraceRing {
+    /// A ring holding the last `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+        }
+        self.head = (self.head + 1) % self.cap;
+        self.total += 1;
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The held events in chronological (recording) order.
+    pub fn in_order(&self) -> Vec<TraceEvent> {
+        if self.buf.len() < self.cap {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+
+    /// The last `k` events attributed to `node`, oldest first.
+    pub fn recent_for_node(&self, node: i64, k: usize) -> Vec<TraceEvent> {
+        let all = self.in_order();
+        let mut out: Vec<TraceEvent> = all.into_iter().filter(|e| e.node == node).collect();
+        if out.len() > k {
+            out.drain(..out.len() - k);
+        }
+        out
+    }
+}
+
+/// A destination for admitted trace events.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, ev: &TraceEvent);
+    /// Flushes / finalizes the sink (called once, at end of run).
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams events as JSON Lines.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing one JSON object per line to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out, error: None }
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{}", ev.to_jsonl()) {
+            self.error = Some(e);
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+/// Buffers events and writes a Chrome-trace / Perfetto JSON document at
+/// the end of the run.
+pub struct PerfettoSink<W: Write> {
+    out: W,
+    events: Vec<TraceEvent>,
+}
+
+impl<W: Write> PerfettoSink<W> {
+    /// A sink writing the full Chrome-trace document to `out` on finish.
+    pub fn new(out: W) -> Self {
+        Self {
+            out,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write> TraceSink for PerfettoSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        let doc = render_chrome_trace(&self.events);
+        self.out.write_all(doc.as_bytes())?;
+        self.out.flush()
+    }
+}
+
+/// Renders events as a Chrome-trace JSON document (the format Perfetto and
+/// `chrome://tracing` load):
+///
+/// * one track (tid) per node, named via `thread_name` metadata;
+/// * `StallBegin`/`StallEnd` pairs become `"X"` duration spans;
+/// * `NetInject`/`NetDeliver` pairs (matched by wire id) become `"s"`/`"f"`
+///   flow events bracketing instant events, so Perfetto draws message
+///   arrows between node tracks;
+/// * every other event is an `"i"` instant on its node's track.
+///
+/// Timestamps are in simulated cache cycles (1 cycle = 1 "µs" on the
+/// Chrome-trace timeline).
+pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
+    let tid = |node: i64| node + 2; // tid 1 = "machine" track for node -1
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"ssmp\"}}",
+    );
+    let mut nodes: Vec<i64> = events.iter().map(|e| e.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for &n in &nodes {
+        let name = if n < 0 {
+            "machine".to_string()
+        } else {
+            format!("node {n}")
+        };
+        out.push_str(&format!(
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            tid(n),
+            name
+        ));
+        out.push_str(&format!(
+            ",{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+             \"args\":{{\"sort_index\":{}}}}}",
+            tid(n),
+            n
+        ));
+    }
+    // Open stall per node → matched into X spans.
+    let mut open_stall: std::collections::BTreeMap<i64, TraceEvent> = Default::default();
+    let push = |s: &mut String, frag: String| {
+        s.push(',');
+        s.push_str(&frag);
+    };
+    for ev in events {
+        let args = format!(
+            "{{\"detail\":\"{}\",\"id\":{},\"arg\":{}}}",
+            escape(ev.detail),
+            ev.id,
+            ev.arg
+        );
+        match ev.kind {
+            Kind::StallBegin => {
+                open_stall.insert(ev.node, *ev);
+            }
+            Kind::StallEnd => {
+                let start = open_stall.remove(&ev.node).map_or(ev.cycle, |b| b.cycle);
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"stall:{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\
+                         \"dur\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                        escape(ev.detail),
+                        ev.family.token(),
+                        start,
+                        ev.cycle.saturating_sub(start).max(1),
+                        tid(ev.node),
+                        args
+                    ),
+                );
+            }
+            Kind::NetInject | Kind::NetDeliver => {
+                let (ph, bp) = if ev.kind == Kind::NetInject {
+                    ("s", "")
+                } else {
+                    ("f", ",\"bp\":\"e\"")
+                };
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\
+                         \"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{}}}",
+                        escape(ev.detail),
+                        ev.family.token(),
+                        ev.cycle,
+                        tid(ev.node),
+                        args
+                    ),
+                );
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\"{},\"id\":{},\
+                         \"ts\":{},\"pid\":0,\"tid\":{}}}",
+                        escape(ev.detail),
+                        ev.family.token(),
+                        ph,
+                        bp,
+                        ev.id,
+                        ev.cycle,
+                        tid(ev.node)
+                    ),
+                );
+            }
+            _ => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{}:{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\
+                         \"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{}}}",
+                        ev.kind.token(),
+                        escape(ev.detail),
+                        ev.family.token(),
+                        ev.cycle,
+                        tid(ev.node),
+                        args
+                    ),
+                );
+            }
+        }
+    }
+    // Close any stall still open at end of trace as a zero-length span.
+    for (node, b) in open_stall {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"stall:{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\
+                 \"dur\":1,\"pid\":0,\"tid\":{},\"args\":{{\"detail\":\"unfinished\"}}}}",
+                escape(b.detail),
+                b.family.token(),
+                b.cycle,
+                tid(node)
+            ),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Shared event store for [`MemorySink`].
+pub type SharedEvents = Rc<RefCell<Vec<TraceEvent>>>;
+
+/// Collects events into a shared in-memory vector (tests, tooling, and
+/// the interval-metrics layer).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: SharedEvents,
+}
+
+impl MemorySink {
+    /// Creates a sink plus the shared handle to read events back after the
+    /// run (the machine consumes the sink itself).
+    pub fn new() -> (Self, SharedEvents) {
+        let events: SharedEvents = Rc::new(RefCell::new(Vec::new()));
+        (
+            Self {
+                events: events.clone(),
+            },
+            events,
+        )
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.borrow_mut().push(*ev);
+    }
+}
+
+/// The tracing handle threaded through the machine. Disabled by default;
+/// `emit` on a disabled tracer is a single branch.
+pub struct Tracer {
+    on: bool,
+    filter: TraceFilter,
+    ring: TraceRing,
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("on", &self.on)
+            .field("filter", &self.filter)
+            .field("ring_len", &self.ring.len())
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Default ring capacity (deadlock forensics window).
+    pub const DEFAULT_RING: usize = 256;
+
+    /// A disabled tracer: `emit` is a no-op.
+    pub fn off() -> Self {
+        Self {
+            on: false,
+            filter: TraceFilter::all(),
+            ring: TraceRing::new(1),
+            sinks: Vec::new(),
+        }
+    }
+
+    /// An enabled tracer with the given filter and the default ring.
+    pub fn new(filter: TraceFilter) -> Self {
+        Self {
+            on: true,
+            filter,
+            ring: TraceRing::new(Self::DEFAULT_RING),
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Replaces the ring capacity.
+    pub fn with_ring(mut self, cap: usize) -> Self {
+        self.ring = TraceRing::new(cap);
+        self
+    }
+
+    /// Attaches a sink.
+    pub fn add_sink(&mut self, sink: impl TraceSink + 'static) {
+        self.sinks.push(Box::new(sink));
+    }
+
+    /// Whether events are being recorded. Call before constructing an
+    /// event so a disabled tracer costs one branch.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Records one event (if enabled and admitted by the filter).
+    #[inline]
+    pub fn emit(&mut self, ev: TraceEvent) {
+        if !self.on || !self.filter.admits(&ev) {
+            return;
+        }
+        self.ring.record(ev);
+        for s in &mut self.sinks {
+            s.record(&ev);
+        }
+    }
+
+    /// The last `k` recorded events attributed to `node`, oldest first.
+    pub fn recent_for_node(&self, node: i64, k: usize) -> Vec<TraceEvent> {
+        self.ring.recent_for_node(node, k)
+    }
+
+    /// Total events recorded (post-filter).
+    pub fn recorded(&self) -> u64 {
+        self.ring.total()
+    }
+
+    /// Finalizes every sink, returning the first error.
+    pub fn finish(&mut self) -> io::Result<()> {
+        let mut first: Option<io::Error> = None;
+        for s in &mut self.sinks {
+            if let Err(e) = s.finish() {
+                first.get_or_insert(e);
+            }
+        }
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: Cycle, node: i64, kind: Kind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            node,
+            family: Family::Cbl,
+            kind,
+            detail: "msg.cbl.request",
+            id: cycle,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let mut r = TraceRing::new(4);
+        for i in 0..10 {
+            r.record(ev(i, 0, Kind::NetInject));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total(), 10);
+        let cycles: Vec<Cycle> = r.in_order().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_partial_fill_is_in_order() {
+        let mut r = TraceRing::new(8);
+        for i in 0..3 {
+            r.record(ev(i, 0, Kind::Issue));
+        }
+        let cycles: Vec<Cycle> = r.in_order().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_recent_for_node_filters_and_caps() {
+        let mut r = TraceRing::new(16);
+        for i in 0..12 {
+            r.record(ev(i, (i % 2) as i64, Kind::NetDeliver));
+        }
+        let n1 = r.recent_for_node(1, 3);
+        let cycles: Vec<Cycle> = n1.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 9, 11]);
+        assert!(r.recent_for_node(5, 3).is_empty());
+    }
+
+    #[test]
+    fn filter_parses_and_admits() {
+        let f = TraceFilter::parse("cbl, stall-begin ,stall-end").unwrap();
+        let mut e = ev(1, 0, Kind::StallBegin);
+        assert!(f.admits(&e));
+        e.kind = Kind::NetInject;
+        assert!(!f.admits(&e), "kind not in filter");
+        e.kind = Kind::StallEnd;
+        e.family = Family::Ric;
+        assert!(!f.admits(&e), "family not in filter");
+        assert!(TraceFilter::all().admits(&e));
+        assert!(TraceFilter::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::off();
+        t.emit(ev(1, 0, Kind::Issue));
+        assert_eq!(t.recorded(), 0);
+        assert!(!t.is_on());
+    }
+
+    #[test]
+    fn tracer_filters_into_ring_and_sinks() {
+        let (sink, events) = MemorySink::new();
+        let mut t = Tracer::new(TraceFilter::parse("net-inject").unwrap());
+        t.add_sink(sink);
+        t.emit(ev(1, 0, Kind::NetInject));
+        t.emit(ev(2, 0, Kind::Issue)); // filtered out
+        t.emit(ev(3, 1, Kind::NetInject));
+        assert_eq!(t.recorded(), 2);
+        assert_eq!(events.borrow().len(), 2);
+        assert_eq!(t.recent_for_node(1, 8).len(), 1);
+        t.finish().unwrap();
+    }
+
+    #[test]
+    fn jsonl_lines_validate() {
+        let mut buf = Vec::new();
+        {
+            let mut s = JsonlSink::new(&mut buf);
+            s.record(&ev(7, 2, Kind::NetInject));
+            s.record(&ev(9, -1, Kind::Fault));
+            s.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.lines() {
+            let doc = Json::parse(line).unwrap();
+            validate_jsonl(&doc).unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unknown_kind() {
+        let doc = Json::parse(
+            r#"{"cycle":1,"node":0,"family":"cbl","kind":"frob","detail":"x","id":0,"arg":0}"#,
+        )
+        .unwrap();
+        assert!(validate_jsonl(&doc).unwrap_err().contains("unknown event"));
+        let doc = Json::parse(r#"{"cycle":1}"#).unwrap();
+        assert!(validate_jsonl(&doc).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_spans_and_flows() {
+        let events = vec![
+            TraceEvent {
+                cycle: 5,
+                node: 0,
+                family: Family::Node,
+                kind: Kind::StallBegin,
+                detail: "fill",
+                id: 0,
+                arg: 0,
+            },
+            ev(6, 0, Kind::NetInject),
+            ev(9, 1, Kind::NetDeliver),
+            TraceEvent {
+                cycle: 12,
+                node: 0,
+                family: Family::Node,
+                kind: Kind::StallEnd,
+                detail: "fill",
+                id: 0,
+                arg: 7,
+            },
+        ];
+        let doc = render_chrome_trace(&events);
+        let v = Json::parse(&doc).expect("chrome trace must be valid JSON");
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        let ph = |p: &str| {
+            evs.iter()
+                .filter(|e| e.get("ph").and_then(|x| x.as_str()) == Some(p))
+                .count()
+        };
+        assert!(ph("M") >= 3, "metadata for process + two node tracks");
+        assert_eq!(ph("X"), 1, "one stall span");
+        assert_eq!(ph("s"), 1, "one flow start");
+        assert_eq!(ph("f"), 1, "one flow finish");
+        let span = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|x| x.as_str()) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("ts").unwrap().as_u64(), Some(5));
+        assert_eq!(span.get("dur").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn chrome_trace_closes_unfinished_stalls() {
+        let events = vec![TraceEvent {
+            cycle: 3,
+            node: 2,
+            family: Family::Node,
+            kind: Kind::StallBegin,
+            detail: "lock",
+            id: 0,
+            arg: 0,
+        }];
+        let doc = render_chrome_trace(&events);
+        let v = Json::parse(&doc).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(evs
+            .iter()
+            .any(|e| e.get("ph").and_then(|x| x.as_str()) == Some("X")));
+    }
+
+    #[test]
+    fn tokens_roundtrip() {
+        for f in Family::ALL {
+            assert_eq!(Family::from_token(f.token()), Some(f));
+        }
+        for k in Kind::ALL {
+            assert_eq!(Kind::from_token(k.token()), Some(k));
+        }
+        assert_eq!(Family::from_token("nope"), None);
+        assert_eq!(Kind::from_token("nope"), None);
+    }
+}

@@ -191,6 +191,10 @@ pub struct MachineConfig {
     pub fault: Option<FaultConfig>,
     /// Protocol-request timeout and bounded retry.
     pub retry: RetryPolicy,
+    /// Sample machine gauges (network occupancy, write-buffer depth, CBL
+    /// queue lengths, RIC list sizes, per-cause stall counts) every this
+    /// many cycles into the report's `metrics` series (`None` = off).
+    pub metrics_interval: Option<Cycle>,
 }
 
 impl MachineConfig {
@@ -226,6 +230,7 @@ impl MachineConfig {
             max_cycles: 2_000_000_000,
             fault: None,
             retry: RetryPolicy::default(),
+            metrics_interval: None,
         }
     }
 

@@ -30,9 +30,13 @@ use ssmp_core::primitive::{AccessClass, LockMode};
 use ssmp_core::ric::{RicEffect, RicMsg, UpdateList};
 use ssmp_core::semaphore::{HwSemaphore, SemEffect, SemKind, SemMsg};
 use ssmp_core::wbuf::Enqueue;
-use ssmp_engine::{CounterSet, Cycle, EventQueue, Histogram, SimRng, Watchdog, WatchdogVerdict};
+use ssmp_engine::stats::keys;
+use ssmp_engine::trace::{Family, Kind, TraceEvent, Tracer};
+use ssmp_engine::{
+    CounterSet, Cycle, EventQueue, Histogram, IntervalSeries, SimRng, Watchdog, WatchdogVerdict,
+};
 use ssmp_mem::{MemModule, PrivAccess, PrivCache, PrivateModel, PrivateOutcome};
-use ssmp_net::{FaultPlan, FaultyInterconnect, Interconnect, MsgDir, MsgKind};
+use ssmp_net::{FaultDecision, FaultPlan, FaultyInterconnect, Interconnect, MsgDir, MsgKind};
 use ssmp_wbi::{Backoff, WbiBlock, WbiEffect, WbiMsg};
 
 use crate::config::{
@@ -194,7 +198,40 @@ pub struct Machine {
     wbuf_msgs: Vec<BTreeMap<u64, Vec<(u64, Proto)>>>,
     /// Set when the watchdog ended the run.
     deadlock: Option<DeadlockReport>,
+    /// Event tracer (off by default; see [`Machine::with_tracer`]).
+    tracer: Tracer,
+    /// Interval gauge sampler (`Some` when `cfg.metrics_interval` is set).
+    metrics: Option<MetricsState>,
 }
+
+/// Lazy interval sampler: gauges are read every `interval` cycles as the
+/// event loop advances past each boundary (no events are scheduled, so the
+/// watchdog's quiescence detection is unaffected).
+struct MetricsState {
+    interval: Cycle,
+    next_at: Cycle,
+    /// Network counters are cumulative; deltas per interval are reported.
+    last_packets: u64,
+    last_queueing: u64,
+    series: IntervalSeries,
+}
+
+/// Column order of the interval metrics series.
+const METRIC_COLUMNS: [&str; 13] = [
+    "net.packets",
+    "net.queueing",
+    "mem.busy",
+    "wbuf.depth",
+    "cbl.waiters",
+    "ric.members",
+    "stall.fill",
+    "stall.lock",
+    "stall.barrier",
+    "stall.semaphore",
+    "stall.flush",
+    "stall.spin",
+    "stall.timer",
+];
 
 impl Machine {
     /// Builds a machine for `workload` under `cfg`.
@@ -291,9 +328,28 @@ impl Machine {
             retry_rng: master.fork(u64::MAX ^ 0xfa17),
             wbuf_msgs: vec![BTreeMap::new(); n],
             deadlock: None,
+            tracer: Tracer::off(),
+            metrics: cfg.metrics_interval.map(|iv| {
+                let iv = iv.max(1);
+                MetricsState {
+                    interval: iv,
+                    next_at: 0,
+                    last_packets: 0,
+                    last_queueing: 0,
+                    series: IntervalSeries::new(iv, METRIC_COLUMNS.to_vec()),
+                }
+            }),
             events: EventQueue::new(),
             cfg,
         })
+    }
+
+    /// Attaches an event tracer. The tracer only *observes* the run — it
+    /// never touches simulator state, RNG streams, or event ordering, so a
+    /// traced run is bit-identical to an untraced one.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Provisions hardware counting semaphores with the given initial
@@ -337,6 +393,7 @@ impl Machine {
                 .pop()
                 .expect("watchdog admits non-empty queues only");
             let at = sch.at;
+            self.sample_metrics(at);
             match sch.event {
                 Ev::Resume(n) => self.with_tracking(n, at, |m| m.resume(n)),
                 Ev::Deliver { id, p } => self.deliver(id, p),
@@ -346,6 +403,60 @@ impl Machine {
             }
         }
         self.finish()
+    }
+
+    /// Samples the interval gauges for every interval boundary at or before
+    /// `at`. Called from the event loop before each event is dispatched, so
+    /// samples reflect machine state as of the boundary (state has not
+    /// changed since the previous event).
+    fn sample_metrics(&mut self, at: Cycle) {
+        let Some(m) = &self.metrics else { return };
+        if at < m.next_at {
+            return;
+        }
+        let net = self.net.stats();
+        let mem_busy = |t: Cycle, mems: &[MemModule]| -> u64 {
+            mems.iter().filter(|m| m.busy_at(t)).count() as u64
+        };
+        let wbuf_depth: u64 = self.nodes.iter().map(|n| n.wbuf.pending() as u64).sum();
+        let cbl_waiters: u64 = self.cbl.iter().map(|q| q.waiters().len() as u64).sum();
+        let ric_members: u64 = self.ric.iter().map(|l| l.len() as u64).sum();
+        let mut stalls: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for n in &self.nodes {
+            if n.waiting != Waiting::None {
+                *stalls.entry(Node::cause(n.waiting)).or_insert(0) += 1;
+            }
+        }
+        let stall = |c: &str| stalls.get(c).copied().unwrap_or(0);
+        let row = [
+            net.packets, // patched to delta below
+            net.total_queueing,
+            0, // mem.busy — patched per boundary below
+            wbuf_depth,
+            cbl_waiters,
+            ric_members,
+            stall("fill"),
+            stall("lock"),
+            stall("barrier"),
+            stall("semaphore"),
+            stall("flush"),
+            stall("spin"),
+            stall("timer"),
+        ];
+        let mems = std::mem::take(&mut self.mems);
+        let m = self.metrics.as_mut().expect("checked above");
+        while at >= m.next_at {
+            let t = m.next_at;
+            let mut r = row.to_vec();
+            r[0] = net.packets - m.last_packets;
+            r[1] = net.total_queueing - m.last_queueing;
+            r[2] = mem_busy(t, &mems);
+            m.last_packets = net.packets;
+            m.last_queueing = net.total_queueing;
+            m.series.push(t, r);
+            m.next_at = t + m.interval;
+        }
+        self.mems = mems;
     }
 
     /// Builds the structured diagnosis when the watchdog ends a run: every
@@ -364,6 +475,7 @@ impl Machine {
                 since: n.stall_start,
                 wbuf_occupancy: n.wbuf.pending(),
                 retries: self.retry_counts[n.id],
+                recent: self.tracer.recent_for_node(n.id as i64, 8),
             })
             .collect();
         let locks = self
@@ -391,7 +503,7 @@ impl Machine {
                 members: u.members_in_order(),
             })
             .collect();
-        self.counters.bump("watchdog.fired");
+        self.counters.bump(keys::WATCHDOG_FIRED);
         self.deadlock = Some(DeadlockReport {
             verdict,
             at,
@@ -426,7 +538,7 @@ impl Machine {
         };
         let dir_evictions: u64 = self.wbi.iter().map(|b| b.dir_evictions()).sum();
         if dir_evictions > 0 {
-            self.counters.add("wbi.dir_evictions", dir_evictions);
+            self.counters.add(keys::WBI_DIR_EVICTIONS, dir_evictions);
         }
         // lock-order cycle detection (DFS over the edge set)
         let edges: Vec<(LockId, LockId)> = self.lock_order.iter().copied().collect();
@@ -437,7 +549,7 @@ impl Machine {
                 *stall_breakdown.entry(k).or_insert(0) += v;
             }
         }
-        Report {
+        let report = Report {
             shared_memory,
             lock_blocks,
             read_log: self.read_log,
@@ -456,8 +568,13 @@ impl Machine {
             wbuf_peak: self.nodes.iter().map(|n| n.wbuf.peak()).max().unwrap_or(0),
             retries: self.retry_counts,
             faults: self.net.fault_stats(),
+            metrics: self.metrics.map(|m| m.series),
             deadlock: self.deadlock,
+        };
+        if let Err(e) = self.tracer.finish() {
+            eprintln!("warning: trace sink error: {e}");
         }
+        report
     }
 
     // ------------------------------------------------------------------
@@ -528,63 +645,85 @@ impl Machine {
         }
     }
 
-    fn count_msg(&mut self, p: &Proto) {
-        let name = match p {
+    /// Counter key of a message (shared with trace events as their
+    /// `detail` label — counters and traces stay name-compatible).
+    fn msg_name(p: &Proto) -> &'static str {
+        match p {
             Proto::Cbl { msg, .. } => match msg.kind {
-                ssmp_core::cbl::CblKind::Request(_) => "msg.cbl.request",
-                ssmp_core::cbl::CblKind::Forward { .. } => "msg.cbl.forward",
-                ssmp_core::cbl::CblKind::GrantMem => "msg.cbl.grant_mem",
-                ssmp_core::cbl::CblKind::GrantChain => "msg.cbl.grant_chain",
-                ssmp_core::cbl::CblKind::Enqueued => "msg.cbl.enqueued",
-                ssmp_core::cbl::CblKind::Release { .. } => "msg.cbl.release",
-                ssmp_core::cbl::CblKind::ReleaseAck => "msg.cbl.release_ack",
-                ssmp_core::cbl::CblKind::Bounce { .. } => "msg.cbl.bounce",
+                ssmp_core::cbl::CblKind::Request(_) => keys::MSG_CBL_REQUEST,
+                ssmp_core::cbl::CblKind::Forward { .. } => keys::MSG_CBL_FORWARD,
+                ssmp_core::cbl::CblKind::GrantMem => keys::MSG_CBL_GRANT_MEM,
+                ssmp_core::cbl::CblKind::GrantChain => keys::MSG_CBL_GRANT_CHAIN,
+                ssmp_core::cbl::CblKind::Enqueued => keys::MSG_CBL_ENQUEUED,
+                ssmp_core::cbl::CblKind::Release { .. } => keys::MSG_CBL_RELEASE,
+                ssmp_core::cbl::CblKind::ReleaseAck => keys::MSG_CBL_RELEASE_ACK,
+                ssmp_core::cbl::CblKind::Bounce { .. } => keys::MSG_CBL_BOUNCE,
                 ssmp_core::cbl::CblKind::SpliceNext | ssmp_core::cbl::CblKind::SplicePrev => {
-                    "msg.cbl.splice"
+                    keys::MSG_CBL_SPLICE
                 }
             },
             Proto::Ric { msg, .. } => match msg.kind {
-                ssmp_core::ric::RicKind::ReadMiss => "msg.ric.read_miss",
-                ssmp_core::ric::RicKind::ReadUpdateReq => "msg.ric.read_update",
-                ssmp_core::ric::RicKind::ReadReply { .. } => "msg.ric.read_reply",
-                ssmp_core::ric::RicKind::ReadGlobalReq { .. } => "msg.ric.read_global",
-                ssmp_core::ric::RicKind::ReadGlobalReply { .. } => "msg.ric.read_global_reply",
-                ssmp_core::ric::RicKind::WriteGlobal { .. } => "msg.ric.write_global",
-                ssmp_core::ric::RicKind::WriteAck { .. } => "msg.ric.write_ack",
-                ssmp_core::ric::RicKind::UpdatePush => "msg.ric.update_push",
-                ssmp_core::ric::RicKind::HeadChange => "msg.ric.head_change",
-                ssmp_core::ric::RicKind::Splice => "msg.ric.splice",
+                ssmp_core::ric::RicKind::ReadMiss => keys::MSG_RIC_READ_MISS,
+                ssmp_core::ric::RicKind::ReadUpdateReq => keys::MSG_RIC_READ_UPDATE,
+                ssmp_core::ric::RicKind::ReadReply { .. } => keys::MSG_RIC_READ_REPLY,
+                ssmp_core::ric::RicKind::ReadGlobalReq { .. } => keys::MSG_RIC_READ_GLOBAL,
+                ssmp_core::ric::RicKind::ReadGlobalReply { .. } => keys::MSG_RIC_READ_GLOBAL_REPLY,
+                ssmp_core::ric::RicKind::WriteGlobal { .. } => keys::MSG_RIC_WRITE_GLOBAL,
+                ssmp_core::ric::RicKind::WriteAck { .. } => keys::MSG_RIC_WRITE_ACK,
+                ssmp_core::ric::RicKind::UpdatePush => keys::MSG_RIC_UPDATE_PUSH,
+                ssmp_core::ric::RicKind::HeadChange => keys::MSG_RIC_HEAD_CHANGE,
+                ssmp_core::ric::RicKind::Splice => keys::MSG_RIC_SPLICE,
             },
             Proto::WbiData { msg, .. } | Proto::WbiLock { msg, .. } | Proto::WbiFlag { msg } => {
                 match msg.kind {
-                    ssmp_wbi::WbiKind::ReadReq => "msg.wbi.read_req",
-                    ssmp_wbi::WbiKind::WriteReq => "msg.wbi.write_req",
-                    ssmp_wbi::WbiKind::DataShared => "msg.wbi.data_shared",
-                    ssmp_wbi::WbiKind::DataExclClean => "msg.wbi.data_excl_clean",
-                    ssmp_wbi::WbiKind::DataExcl { .. } => "msg.wbi.data_excl",
-                    ssmp_wbi::WbiKind::Inv => "msg.wbi.inv",
-                    ssmp_wbi::WbiKind::InvAck => "msg.wbi.inv_ack",
-                    ssmp_wbi::WbiKind::FetchShared => "msg.wbi.fetch_shared",
-                    ssmp_wbi::WbiKind::FetchExcl => "msg.wbi.fetch_excl",
-                    ssmp_wbi::WbiKind::OwnerData { .. } => "msg.wbi.owner_data",
-                    ssmp_wbi::WbiKind::WriteBack => "msg.wbi.write_back",
-                    ssmp_wbi::WbiKind::WbRace => "msg.wbi.wb_race",
+                    ssmp_wbi::WbiKind::ReadReq => keys::MSG_WBI_READ_REQ,
+                    ssmp_wbi::WbiKind::WriteReq => keys::MSG_WBI_WRITE_REQ,
+                    ssmp_wbi::WbiKind::DataShared => keys::MSG_WBI_DATA_SHARED,
+                    ssmp_wbi::WbiKind::DataExclClean => keys::MSG_WBI_DATA_EXCL_CLEAN,
+                    ssmp_wbi::WbiKind::DataExcl { .. } => keys::MSG_WBI_DATA_EXCL,
+                    ssmp_wbi::WbiKind::Inv => keys::MSG_WBI_INV,
+                    ssmp_wbi::WbiKind::InvAck => keys::MSG_WBI_INV_ACK,
+                    ssmp_wbi::WbiKind::FetchShared => keys::MSG_WBI_FETCH_SHARED,
+                    ssmp_wbi::WbiKind::FetchExcl => keys::MSG_WBI_FETCH_EXCL,
+                    ssmp_wbi::WbiKind::OwnerData { .. } => keys::MSG_WBI_OWNER_DATA,
+                    ssmp_wbi::WbiKind::WriteBack => keys::MSG_WBI_WRITE_BACK,
+                    ssmp_wbi::WbiKind::WbRace => keys::MSG_WBI_WB_RACE,
                 }
             }
             Proto::Bar { msg } => match msg.kind {
-                BarKind::Arrive => "msg.bar.arrive",
-                BarKind::Ack => "msg.bar.ack",
-                BarKind::Release => "msg.bar.release",
+                BarKind::Arrive => keys::MSG_BAR_ARRIVE,
+                BarKind::Ack => keys::MSG_BAR_ACK,
+                BarKind::Release => keys::MSG_BAR_RELEASE,
             },
             Proto::Sem { msg, .. } => match msg.kind {
-                SemKind::P => "msg.sem.p",
-                SemKind::V => "msg.sem.v",
-                SemKind::Grant => "msg.sem.grant",
-                SemKind::VAck => "msg.sem.v_ack",
+                SemKind::P => keys::MSG_SEM_P,
+                SemKind::V => keys::MSG_SEM_V,
+                SemKind::Grant => keys::MSG_SEM_GRANT,
+                SemKind::VAck => keys::MSG_SEM_V_ACK,
             },
-            Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => "msg.priv",
-        };
-        self.counters.bump(name);
+            Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => keys::MSG_PRIV,
+        }
+    }
+
+    /// Trace family of a message.
+    fn msg_family(p: &Proto) -> Family {
+        match p {
+            Proto::Cbl { .. } => Family::Cbl,
+            Proto::Ric { .. } => Family::Ric,
+            Proto::WbiData { .. } | Proto::WbiLock { .. } | Proto::WbiFlag { .. } => Family::Wbi,
+            Proto::Bar { .. } => Family::Bar,
+            Proto::Sem { .. } => Family::Sem,
+            Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => Family::Priv,
+        }
+    }
+
+    /// Trace-track attribution of an endpoint: nodes map to themselves,
+    /// the directory side to the machine track (−1).
+    fn trace_node(e: Endpoint) -> i64 {
+        match e {
+            Endpoint::Node(n) => n as i64,
+            Endpoint::Dir => -1,
+        }
     }
 
     /// Puts a fresh protocol message on the wire at `depart`; schedules its
@@ -593,13 +732,29 @@ impl Machine {
     /// active for the sending node, the message is recorded for possible
     /// retransmission.
     fn route(&mut self, depart: Cycle, p: Proto) {
-        self.count_msg(&p);
+        self.counters.bump(Self::msg_name(&p));
         self.wire_ctr += 1;
         let id = self.wire_ctr;
         if let Some(t) = self.tracking {
             if self.endpoints(&p).0 == Endpoint::Node(t) {
                 self.track_buf.push((id, p.clone()));
             }
+        }
+        if self.tracer.is_on() {
+            let (src, dst, _) = self.endpoints(&p);
+            let dst_mod = match dst {
+                Endpoint::Node(x) => x,
+                Endpoint::Dir => self.home_of(&p),
+            };
+            self.tracer.emit(TraceEvent {
+                cycle: depart,
+                node: Self::trace_node(src),
+                family: Self::msg_family(&p),
+                kind: Kind::NetInject,
+                detail: Self::msg_name(&p),
+                id,
+                arg: dst_mod as u64,
+            });
         }
         self.route_wire(depart, id, p);
     }
@@ -621,6 +776,29 @@ impl Machine {
         let kind = Self::msg_kind(&p);
         let dir = Self::msg_dir(src, dst);
         let d = self.net.send(depart, sp, dp, words, kind, dir);
+        if self.tracer.is_on() {
+            let detail = match d.fault {
+                Some(FaultDecision::Drop) => Some("drop"),
+                Some(FaultDecision::Duplicate) => Some("dup"),
+                Some(FaultDecision::Delay(_)) => Some("delay"),
+                Some(FaultDecision::Deliver) | None => None,
+            };
+            if let Some(detail) = detail {
+                let arg = match d.fault {
+                    Some(FaultDecision::Delay(by)) => by,
+                    _ => 0,
+                };
+                self.tracer.emit(TraceEvent {
+                    cycle: depart,
+                    node: Self::trace_node(src),
+                    family: Self::msg_family(&p),
+                    kind: Kind::Fault,
+                    detail,
+                    id,
+                    arg,
+                });
+            }
+        }
         if let Some(at) = d.duplicate {
             self.events.schedule(at, Ev::Deliver { id, p: p.clone() });
         }
@@ -661,10 +839,33 @@ impl Machine {
         // the wire; the first copy to arrive wins, later ones are dropped
         // here so protocol controllers see exactly-once delivery.
         if self.dedup && !self.delivered.insert(id) {
-            self.counters.bump("net.dedup");
+            self.counters.bump(keys::NET_DEDUP);
+            if self.tracer.is_on() {
+                self.tracer.emit(TraceEvent {
+                    cycle: self.now(),
+                    node: -1,
+                    family: Self::msg_family(&p),
+                    kind: Kind::Fault,
+                    detail: "dedup",
+                    id,
+                    arg: 0,
+                });
+            }
             return;
         }
         let now = self.now();
+        if self.tracer.is_on() {
+            let (_, dst, _) = self.endpoints(&p);
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: Self::trace_node(dst),
+                family: Self::msg_family(&p),
+                kind: Kind::NetDeliver,
+                detail: Self::msg_name(&p),
+                id,
+                arg: 0,
+            });
+        }
         // Private-data traffic is serviced directly at the memory module —
         // no protocol controller involved.
         match p {
@@ -674,7 +875,7 @@ impl Machine {
                 return;
             }
             Proto::PrivFill { node, .. } => {
-                self.counters.bump("priv.fill");
+                self.counters.bump(keys::PRIV_FILL);
                 if self.nodes[node].waiting == Waiting::Fill {
                     self.resume_from(node, Waiting::Fill, now);
                 }
@@ -790,7 +991,7 @@ impl Machine {
                     self.processing_done(dst, home, touches_memory, in_words, &out_words, now);
                 for e in effects {
                     let BarEffect::Passed { node, .. } = e;
-                    self.counters.bump("barrier.hw.passed");
+                    self.counters.bump(keys::BARRIER_HW_PASSED);
                     if self.nodes[node].waiting == Waiting::BarrierPass {
                         self.resume_from(node, Waiting::BarrierPass, t_done);
                     }
@@ -808,7 +1009,7 @@ impl Machine {
                 for e in effects {
                     match e {
                         SemEffect::Acquired { node } => {
-                            self.counters.bump("sem.acquired");
+                            self.counters.bump(keys::SEM_ACQUIRED);
                             if self.nodes[node].waiting == Waiting::SemGrant(sem) {
                                 self.resume_from(node, Waiting::SemGrant(sem), t_done);
                             }
@@ -894,20 +1095,64 @@ impl Machine {
     }
 
     fn resume_from(&mut self, node: NodeId, expected: Waiting, t: Cycle) {
-        let n = &mut self.nodes[node];
         debug_assert_eq!(
-            n.waiting, expected,
+            self.nodes[node].waiting, expected,
             "node {node} resumed from unexpected wait state"
         );
-        n.unstall(t);
+        self.unstall_node(node, t);
         self.events.schedule(t + 1, Ev::Resume(node));
+    }
+
+    /// Stalls `node` on `w` at `now` (tracing the stall begin).
+    fn stall_node(&mut self, node: NodeId, w: Waiting, now: Cycle) {
+        if self.tracer.is_on() {
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: node as i64,
+                family: Family::Node,
+                kind: Kind::StallBegin,
+                detail: Node::cause(w),
+                id: 0,
+                arg: 0,
+            });
+        }
+        self.nodes[node].stall(w, now);
+    }
+
+    /// Clears `node`'s stall at `now` (tracing the stall end; `arg` is the
+    /// stall duration in cycles).
+    fn unstall_node(&mut self, node: NodeId, now: Cycle) {
+        if self.tracer.is_on() && self.nodes[node].waiting != Waiting::None {
+            let n = &self.nodes[node];
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: node as i64,
+                family: Family::Node,
+                kind: Kind::StallEnd,
+                detail: Node::cause(n.waiting),
+                id: 0,
+                arg: n.stall_start.map_or(0, |s| now.saturating_sub(s)),
+            });
+        }
+        self.nodes[node].unstall(now);
     }
 
     fn apply_cbl_effects(&mut self, lock: LockId, effects: &[CblEffect], t: Cycle) {
         for &e in effects {
             match e {
                 CblEffect::Granted { node, mode, .. } => {
-                    self.counters.bump("lock.cbl.granted");
+                    self.counters.bump(keys::LOCK_CBL_GRANTED);
+                    if self.tracer.is_on() {
+                        self.tracer.emit(TraceEvent {
+                            cycle: t,
+                            node: node as i64,
+                            family: Family::Cbl,
+                            kind: Kind::LockAcquire,
+                            detail: "cbl",
+                            id: lock as u64,
+                            arg: 0,
+                        });
+                    }
                     self.nodes[node].held_locks.insert(lock);
                     let _ = mode;
                     if let Some(start) = self.nodes[node].lock_wait_start.take() {
@@ -923,21 +1168,32 @@ impl Machine {
                     }
                 }
                 CblEffect::ReleaseComplete { node } => {
-                    self.counters.bump("lock.cbl.release_complete");
+                    self.counters.bump(keys::LOCK_CBL_RELEASE_COMPLETE);
+                    if self.tracer.is_on() {
+                        self.tracer.emit(TraceEvent {
+                            cycle: t,
+                            node: node as i64,
+                            family: Family::Cbl,
+                            kind: Kind::LockRelease,
+                            detail: "cbl",
+                            id: lock as u64,
+                            arg: 0,
+                        });
+                    }
                     self.nodes[node].lock_cache.remove(lock);
                     if self.nodes[node].waiting == Waiting::ReleaseDone(lock) {
                         self.release_waiters.remove(&lock);
                         self.resume_from(node, Waiting::ReleaseDone(lock), t);
                     } else if self.nodes[node].waiting == Waiting::LineFree(lock) {
                         // A re-request was waiting for the line to drain.
-                        self.nodes[node].unstall(t);
+                        self.unstall_node(node, t);
                         if let Some(op) = self.nodes[node].pending_op.take() {
                             self.with_tracking(node, t, |m| m.execute(node, op, t));
                         }
                     }
                 }
                 CblEffect::ReleaseForwarded { from, .. } => {
-                    self.counters.bump("lock.cbl.release_forwarded");
+                    self.counters.bump(keys::LOCK_CBL_RELEASE_FORWARDED);
                     self.nodes[from].lock_cache.remove(lock);
                 }
             }
@@ -975,7 +1231,7 @@ impl Machine {
                     let acked = self.nodes[node].wbuf.ack(wid);
                     debug_assert!(acked, "write-ack for unknown wid");
                     self.wbuf_msgs[node].remove(&wid);
-                    self.counters.bump("wbuf.acked");
+                    self.counters.bump(keys::WBUF_ACKED);
                     if self.nodes[node].wbuf.is_drained()
                         && self.nodes[node].waiting == Waiting::Flush
                     {
@@ -983,7 +1239,7 @@ impl Machine {
                     }
                 }
                 RicEffect::UpdateApplied { node, data } => {
-                    self.counters.bump("ric.update_applied");
+                    self.counters.bump(keys::RIC_UPDATE_APPLIED);
                     if let Some(line) = self.nodes[node].cache.get_mut(block) {
                         if line.valid && line.update {
                             // merge: keep locally-dirty words
@@ -995,7 +1251,7 @@ impl Machine {
                     }
                 }
                 RicEffect::UpdateDropped { .. } => {
-                    self.counters.bump("ric.update_dropped");
+                    self.counters.bump(keys::RIC_UPDATE_DROPPED);
                 }
                 RicEffect::ReadValue { node, word, value } => {
                     if let Some(addr) = self.nodes[node].pending_record.take() {
@@ -1012,8 +1268,8 @@ impl Machine {
                                 self.resume_from(node, Waiting::Fill, t);
                             } else {
                                 // re-poll after a cycle
-                                self.nodes[node].unstall(t);
-                                self.nodes[node].stall(Waiting::Timer, t);
+                                self.unstall_node(node, t);
+                                self.stall_node(node, Waiting::Timer, t);
                                 self.events.schedule(t + 1, Ev::Retry(node));
                             }
                             continue;
@@ -1050,11 +1306,11 @@ impl Machine {
                             lock,
                             phase: TtsPhase::Fetch,
                         }) if ctx == WbiCtx::Lock(lock) => {
-                            self.nodes[node].unstall(t);
+                            self.unstall_node(node, t);
                             self.with_tracking(node, t, |m| m.tts_try(node, lock, t));
                         }
                         Some(SyncCtx::SwSpinFlag) if ctx == WbiCtx::Flag => {
-                            self.nodes[node].unstall(t);
+                            self.unstall_node(node, t);
                             self.nodes[node].sync = None;
                             self.with_tracking(node, t, |m| m.sw_spin_flag(node, t));
                         }
@@ -1063,8 +1319,8 @@ impl Machine {
                                 && self.nodes[node].waiting == Waiting::Fill
                             {
                                 // re-check the freshly filled value
-                                self.nodes[node].unstall(t);
-                                self.nodes[node].stall(Waiting::Timer, t);
+                                self.unstall_node(node, t);
+                                self.stall_node(node, Waiting::Timer, t);
                                 self.events.schedule(t + 1, Ev::Retry(node));
                             } else if self.nodes[node].waiting == Waiting::Fill {
                                 self.resume_from(node, Waiting::Fill, t);
@@ -1076,20 +1332,20 @@ impl Machine {
                     self.wbi_ownership_arrived(ctx, node, t);
                 }
                 WbiEffect::Invalidated { node } => {
-                    self.counters.bump("wbi.invalidated");
+                    self.counters.bump(keys::WBI_INVALIDATED);
                     let spin_matches = match (self.nodes[node].waiting, ctx) {
                         (Waiting::SpinInv(SpinTarget::LockVar(l)), WbiCtx::Lock(m)) => l == m,
                         (Waiting::SpinInv(SpinTarget::Flag), WbiCtx::Flag) => true,
                         _ => false,
                     };
                     if spin_matches {
-                        self.nodes[node].unstall(t);
-                        self.nodes[node].stall(Waiting::Timer, t);
+                        self.unstall_node(node, t);
+                        self.stall_node(node, Waiting::Timer, t);
                         self.events.schedule(t + 1, Ev::Retry(node));
                     }
                 }
                 WbiEffect::Downgraded { .. } => {
-                    self.counters.bump("wbi.downgraded");
+                    self.counters.bump(keys::WBI_DOWNGRADED);
                 }
             }
         }
@@ -1119,13 +1375,13 @@ impl Machine {
                 let old = self.wbi_locks[lock]
                     .fetch_and_store(node, 0, 1)
                     .expect("test-and-set without ownership");
-                self.counters.bump("lock.tts.test_and_set");
-                self.nodes[node].unstall(t);
+                self.counters.bump(keys::LOCK_TTS_TEST_AND_SET);
+                self.unstall_node(node, t);
                 if old == 0 {
                     self.tts_acquired(node, lock, t);
                 } else {
                     // Lost the race: the lock is held. Spin or back off.
-                    self.counters.bump("lock.tts.failed_ts");
+                    self.counters.bump(keys::LOCK_TTS_FAILED_TS);
                     if self.cfg.locks == LockScheme::TtsBackoff {
                         let d = {
                             let n = &mut self.nodes[node];
@@ -1134,12 +1390,12 @@ impl Machine {
                             n.rng = rng;
                             d
                         };
-                        self.nodes[node].stall(Waiting::Timer, t);
+                        self.stall_node(node, Waiting::Timer, t);
                         self.events.schedule(t + d, Ev::Retry(node));
                     } else {
                         // We own the line (value 1); the releaser's write
                         // will invalidate us.
-                        self.nodes[node].stall(Waiting::SpinInv(SpinTarget::LockVar(lock)), t);
+                        self.stall_node(node, Waiting::SpinInv(SpinTarget::LockVar(lock)), t);
                     }
                 }
             }
@@ -1211,7 +1467,41 @@ impl Machine {
         }
     }
 
+    /// Short label of an operation (the `detail` of issue trace events).
+    fn op_name(op: &Op) -> &'static str {
+        match op {
+            Op::Compute(_) => "compute",
+            Op::Private { write: false } => "private.read",
+            Op::Private { write: true } => "private.write",
+            Op::SharedRead(_) => "shared.read",
+            Op::ReadGlobal(_) => "read.global",
+            Op::SpinUntilGlobal(..) => "spin.global",
+            Op::SharedWrite(_) | Op::SharedWriteVal(..) => "shared.write",
+            Op::ReadUpdate(_) => "read.update",
+            Op::ResetUpdate(_) => "reset.update",
+            Op::Lock(..) => "lock",
+            Op::Unlock(_) => "unlock",
+            Op::LockedRead(..) => "locked.read",
+            Op::LockedWrite(..) | Op::LockedWriteVal(..) => "locked.write",
+            Op::SemP(_) => "sem.p",
+            Op::SemV(_) => "sem.v",
+            Op::Barrier => "barrier",
+            Op::FlushBuffer => "flush.buffer",
+        }
+    }
+
     fn execute(&mut self, node: NodeId, op: Op, now: Cycle) {
+        if self.tracer.is_on() {
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: node as i64,
+                family: Family::Node,
+                kind: Kind::Issue,
+                detail: Self::op_name(&op),
+                id: 0,
+                arg: 0,
+            });
+        }
         match op {
             Op::Compute(c) => {
                 self.events.schedule(now + c.max(1), Ev::Resume(node));
@@ -1252,7 +1542,7 @@ impl Machine {
                 };
                 match outcome {
                     PrivateOutcome::Hit => {
-                        self.counters.bump("priv.hit");
+                        self.counters.bump(keys::PRIV_HIT);
                         self.events.schedule(now + 1, Ev::Resume(node));
                     }
                     PrivateOutcome::Miss {
@@ -1260,10 +1550,10 @@ impl Machine {
                         dirty_victim,
                         victim_home,
                     } => {
-                        self.counters.bump("priv.miss");
+                        self.counters.bump(keys::PRIV_MISS);
                         self.route(now, Proto::PrivReq { node, home });
                         if dirty_victim {
-                            self.counters.bump("priv.writeback");
+                            self.counters.bump(keys::PRIV_WRITEBACK);
                             self.route(
                                 now,
                                 Proto::PrivWb {
@@ -1272,7 +1562,7 @@ impl Machine {
                                 },
                             );
                         }
-                        self.nodes[node].stall(Waiting::Fill, now);
+                        self.stall_node(node, Waiting::Fill, now);
                     }
                 }
             }
@@ -1284,11 +1574,11 @@ impl Machine {
                         .filter(|l| l.valid)
                         .map(|l| l.data.get(addr.word));
                     if let Some(v) = hit_value {
-                        self.counters.bump("shared.read.hit");
+                        self.counters.bump(keys::SHARED_READ_HIT);
                         self.record_read(node, addr, v);
                         self.events.schedule(now + 1, Ev::Resume(node));
                     } else {
-                        self.counters.bump("shared.read.miss");
+                        self.counters.bump(keys::SHARED_READ_MISS);
                         if self.cfg.record_reads {
                             self.nodes[node].pending_record = Some(addr);
                         }
@@ -1298,34 +1588,34 @@ impl Machine {
                             self.ric[addr.block].read_miss(node)
                         };
                         self.route_all_ric(now, addr.block, msgs);
-                        self.nodes[node].stall(Waiting::Fill, now);
+                        self.stall_node(node, Waiting::Fill, now);
                     }
                 }
                 DataScheme::Wbi => {
                     if let Some(v) = self.wbi[addr.block].local_read(node, addr.word) {
-                        self.counters.bump("shared.read.hit");
+                        self.counters.bump(keys::SHARED_READ_HIT);
                         self.record_read(node, addr, v);
                         self.events.schedule(now + 1, Ev::Resume(node));
                     } else {
-                        self.counters.bump("shared.read.miss");
+                        self.counters.bump(keys::SHARED_READ_MISS);
                         if self.cfg.record_reads {
                             self.nodes[node].pending_record = Some(addr);
                         }
                         let msgs = self.wbi[addr.block].read_req(node);
                         self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
-                        self.nodes[node].stall(Waiting::Fill, now);
+                        self.stall_node(node, Waiting::Fill, now);
                     }
                 }
             },
             Op::ReadGlobal(addr) => match self.cfg.data {
                 DataScheme::Ric => {
-                    self.counters.bump("shared.read.global");
+                    self.counters.bump(keys::SHARED_READ_GLOBAL);
                     if self.cfg.record_reads {
                         self.nodes[node].pending_record = Some(addr);
                     }
                     let msgs = self.ric[addr.block].read_global(node, addr.word);
                     self.route_all_ric(now, addr.block, msgs);
-                    self.nodes[node].stall(Waiting::Fill, now);
+                    self.stall_node(node, Waiting::Fill, now);
                 }
                 DataScheme::Wbi => {
                     // WBI has no cache-bypass read; a coherent read is the
@@ -1335,7 +1625,7 @@ impl Machine {
             },
             Op::SpinUntilGlobal(addr, target) => {
                 self.nodes[node].spin_global = Some((addr, target));
-                self.counters.bump("shared.spin_global");
+                self.counters.bump(keys::SHARED_SPIN_GLOBAL);
                 match self.cfg.data {
                     DataScheme::Ric => {
                         if self.cfg.record_reads {
@@ -1343,7 +1633,7 @@ impl Machine {
                         }
                         let msgs = self.ric[addr.block].read_global(node, addr.word);
                         self.route_all_ric(now, addr.block, msgs);
-                        self.nodes[node].stall(Waiting::Fill, now);
+                        self.stall_node(node, Waiting::Fill, now);
                     }
                     DataScheme::Wbi => {
                         // Poll coherently: read (miss fetches); the value is
@@ -1357,7 +1647,7 @@ impl Machine {
                             Some(_) => {
                                 // spin on the cached copy; invalidation wakes us
                                 self.nodes[node].sync = None;
-                                self.nodes[node].stall(Waiting::Timer, now);
+                                self.stall_node(node, Waiting::Timer, now);
                                 self.events.schedule(now + 2, Ev::Retry(node));
                             }
                             None => {
@@ -1366,7 +1656,7 @@ impl Machine {
                                 }
                                 let msgs = self.wbi[addr.block].read_req(node);
                                 self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
-                                self.nodes[node].stall(Waiting::Fill, now);
+                                self.stall_node(node, Waiting::Fill, now);
                             }
                         }
                     }
@@ -1387,28 +1677,28 @@ impl Machine {
                         }
                         match self.nodes[node].wbuf.push(addr, stamp) {
                             Enqueue::Accepted(_) => {
-                                self.counters.bump("shared.write.global");
+                                self.counters.bump(keys::SHARED_WRITE_GLOBAL);
                                 self.schedule_wbuf_issue(node, now);
                                 if self.cfg.model.stalls_on_global_write() {
                                     // SC: wait until the write is performed.
-                                    self.nodes[node].stall(Waiting::Flush, now);
+                                    self.stall_node(node, Waiting::Flush, now);
                                 } else {
                                     self.events.schedule(now + 1, Ev::Resume(node));
                                 }
                             }
                             Enqueue::Full => {
-                                self.counters.bump("wbuf.full_stall");
+                                self.counters.bump(keys::WBUF_FULL_STALL);
                                 self.nodes[node].pending_op = Some(op);
-                                self.nodes[node].stall(Waiting::Flush, now);
+                                self.stall_node(node, Waiting::Flush, now);
                             }
                         }
                     }
                     DataScheme::Wbi => {
                         if self.wbi[addr.block].local_write(node, addr.word, stamp) {
-                            self.counters.bump("shared.write.hit");
+                            self.counters.bump(keys::SHARED_WRITE_HIT);
                             self.events.schedule(now + 1, Ev::Resume(node));
                         } else {
-                            self.counters.bump("shared.write.miss");
+                            self.counters.bump(keys::SHARED_WRITE_MISS);
                             let msgs = self.wbi[addr.block].write_req(node);
                             self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
                             self.nodes[node].sync = Some(SyncCtx::PendingStore {
@@ -1416,7 +1706,7 @@ impl Machine {
                                 word: addr.word,
                                 value: stamp,
                             });
-                            self.nodes[node].stall(Waiting::Fill, now);
+                            self.stall_node(node, Waiting::Fill, now);
                         }
                     }
                 }
@@ -1433,7 +1723,7 @@ impl Machine {
                     } else {
                         let msgs = self.ric[block].read_update(node);
                         self.route_all_ric(now, block, msgs);
-                        self.nodes[node].stall(Waiting::Fill, now);
+                        self.stall_node(node, Waiting::Fill, now);
                     }
                 }
                 DataScheme::Wbi => {
@@ -1467,16 +1757,16 @@ impl Machine {
                             // Our previous release of this lock has not
                             // been acknowledged yet (BC lets the processor
                             // race ahead): the line must drain first.
-                            self.counters.bump("lock.cbl.rerequest_wait");
+                            self.counters.bump(keys::LOCK_CBL_REREQUEST_WAIT);
                             self.nodes[node].pending_op = Some(op);
-                            self.nodes[node].stall(Waiting::LineFree(lock), now);
+                            self.stall_node(node, Waiting::LineFree(lock), now);
                             return;
                         }
                         let line = CacheLine::new(self.cfg.geometry.block_words);
                         let _ = self.nodes[node].lock_cache.try_insert(lock, line);
                         let msgs = self.cbl[lock].request(node, mode);
                         self.route_all_cbl(now, lock, msgs);
-                        self.nodes[node].stall(Waiting::LockGrant(lock), now);
+                        self.stall_node(node, Waiting::LockGrant(lock), now);
                     }
                     LockScheme::Tts | LockScheme::TtsBackoff => {
                         // TTS supports exclusive locks only.
@@ -1490,9 +1780,9 @@ impl Machine {
                 if self.cfg.model.flush_before(AccessClass::CpSynch)
                     && !self.nodes[node].wbuf.is_drained()
                 {
-                    self.counters.bump("flush.before_cp_synch");
+                    self.counters.bump(keys::FLUSH_BEFORE_CP_SYNCH);
                     self.nodes[node].pending_op = Some(op);
-                    self.nodes[node].stall(Waiting::Flush, now);
+                    self.stall_node(node, Waiting::Flush, now);
                     return;
                 }
                 match self.cfg.locks {
@@ -1506,7 +1796,7 @@ impl Machine {
                         self.apply_cbl_effects(lock, &effects, now);
                         if self.cfg.model.waits_for_synch_completion() && !immediate_done {
                             self.release_waiters.insert(lock, node);
-                            self.nodes[node].stall(Waiting::ReleaseDone(lock), now);
+                            self.stall_node(node, Waiting::ReleaseDone(lock), now);
                         } else {
                             // BC: "the unlocking processor is allowed to
                             // continue its computation immediately".
@@ -1532,7 +1822,7 @@ impl Machine {
                         } else {
                             let msgs = self.wbi_locks[lock].read_req(node);
                             self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
-                            self.nodes[node].stall(Waiting::Fill, now);
+                            self.stall_node(node, Waiting::Fill, now);
                         }
                     }
                 }
@@ -1558,36 +1848,36 @@ impl Machine {
                             word,
                             value: stamp,
                         });
-                        self.nodes[node].stall(Waiting::Fill, now);
+                        self.stall_node(node, Waiting::Fill, now);
                     }
                 }
             },
             Op::SemP(sem) => {
                 // NP-Synch: no flush required.
-                self.counters.bump("sem.p");
+                self.counters.bump(keys::SEM_P);
                 let msgs = self.sems[sem].p(node);
                 for m in msgs {
                     self.route(now, Proto::Sem { sem, msg: m });
                 }
-                self.nodes[node].stall(Waiting::SemGrant(sem), now);
+                self.stall_node(node, Waiting::SemGrant(sem), now);
             }
             Op::SemV(sem) => {
                 // CP-Synch: prior global writes must be performed first.
                 if self.cfg.model.flush_before(AccessClass::CpSynch)
                     && !self.nodes[node].wbuf.is_drained()
                 {
-                    self.counters.bump("flush.before_cp_synch");
+                    self.counters.bump(keys::FLUSH_BEFORE_CP_SYNCH);
                     self.nodes[node].pending_op = Some(op);
-                    self.nodes[node].stall(Waiting::Flush, now);
+                    self.stall_node(node, Waiting::Flush, now);
                     return;
                 }
-                self.counters.bump("sem.v");
+                self.counters.bump(keys::SEM_V);
                 let msgs = self.sems[sem].v(node);
                 for m in msgs {
                     self.route(now, Proto::Sem { sem, msg: m });
                 }
                 if self.cfg.model.waits_for_synch_completion() {
-                    self.nodes[node].stall(Waiting::SemDone(sem), now);
+                    self.stall_node(node, Waiting::SemDone(sem), now);
                 } else {
                     self.events.schedule(now + 1, Ev::Resume(node));
                 }
@@ -1596,9 +1886,9 @@ impl Machine {
                 if self.cfg.model.flush_before(AccessClass::CpSynch)
                     && !self.nodes[node].wbuf.is_drained()
                 {
-                    self.counters.bump("flush.before_cp_synch");
+                    self.counters.bump(keys::FLUSH_BEFORE_CP_SYNCH);
                     self.nodes[node].pending_op = Some(op);
-                    self.nodes[node].stall(Waiting::Flush, now);
+                    self.stall_node(node, Waiting::Flush, now);
                     return;
                 }
                 match self.cfg.barrier {
@@ -1607,7 +1897,7 @@ impl Machine {
                         for m in msgs {
                             self.route(now, Proto::Bar { msg: m });
                         }
-                        self.nodes[node].stall(Waiting::BarrierPass, now);
+                        self.stall_node(node, Waiting::BarrierPass, now);
                     }
                     BarrierScheme::Sw => {
                         // Expand: lock; decrement; unlock; then write or
@@ -1625,8 +1915,8 @@ impl Machine {
                 if self.nodes[node].wbuf.is_drained() {
                     self.events.schedule(now + 1, Ev::Resume(node));
                 } else {
-                    self.counters.bump("flush.explicit");
-                    self.nodes[node].stall(Waiting::Flush, now);
+                    self.counters.bump(keys::FLUSH_EXPLICIT);
+                    self.stall_node(node, Waiting::Flush, now);
                 }
             }
         }
@@ -1651,7 +1941,7 @@ impl Machine {
                 // Observed free: attempt the test-and-set (needs ownership).
                 if self.wbi_locks[lock].fetch_and_store(node, 0, 1).is_some() {
                     // Already owner: acquired locally.
-                    self.counters.bump("lock.tts.test_and_set");
+                    self.counters.bump(keys::LOCK_TTS_TEST_AND_SET);
                     self.tts_acquired(node, lock, now);
                 } else {
                     let msgs = self.wbi_locks[lock].write_req(node);
@@ -1660,17 +1950,17 @@ impl Machine {
                         lock,
                         phase: TtsPhase::Acquire,
                     });
-                    self.nodes[node].stall(Waiting::Fill, now);
+                    self.stall_node(node, Waiting::Fill, now);
                 }
             }
             Some(_) => {
                 // Held: spin passively on the cached copy.
-                self.counters.bump("lock.tts.spin");
+                self.counters.bump(keys::LOCK_TTS_SPIN);
                 self.nodes[node].sync = Some(SyncCtx::TtsLock {
                     lock,
                     phase: TtsPhase::Fetch,
                 });
-                self.nodes[node].stall(Waiting::SpinInv(SpinTarget::LockVar(lock)), now);
+                self.stall_node(node, Waiting::SpinInv(SpinTarget::LockVar(lock)), now);
             }
             None => {
                 // No cached copy: fetch it.
@@ -1680,13 +1970,24 @@ impl Machine {
                     lock,
                     phase: TtsPhase::Fetch,
                 });
-                self.nodes[node].stall(Waiting::Fill, now);
+                self.stall_node(node, Waiting::Fill, now);
             }
         }
     }
 
     fn tts_acquired(&mut self, node: NodeId, lock: LockId, t: Cycle) {
-        self.counters.bump("lock.tts.acquired");
+        self.counters.bump(keys::LOCK_TTS_ACQUIRED);
+        if self.tracer.is_on() {
+            self.tracer.emit(TraceEvent {
+                cycle: t,
+                node: node as i64,
+                family: Family::Wbi,
+                kind: Kind::LockAcquire,
+                detail: "tts",
+                id: lock as u64,
+                arg: 0,
+            });
+        }
         self.nodes[node].held_locks.insert(lock);
         self.nodes[node].sync = None;
         self.nodes[node].backoff.reset();
@@ -1698,19 +1999,30 @@ impl Machine {
 
     fn tts_unlock(&mut self, node: NodeId, lock: LockId, now: Cycle) {
         self.nodes[node].held_locks.remove(&lock);
+        if self.tracer.is_on() {
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: node as i64,
+                family: Family::Wbi,
+                kind: Kind::LockRelease,
+                detail: "tts",
+                id: lock as u64,
+                arg: 0,
+            });
+        }
         if self.wbi_locks[lock].local_write(node, 0, 0) {
             // We still own the line: release is local (no spinners hold
             // copies, so nobody needs waking).
-            self.counters.bump("lock.tts.release_local");
+            self.counters.bump(keys::LOCK_TTS_RELEASE_LOCAL);
             self.events.schedule(now + 1, Ev::Resume(node));
         } else {
             // Regain ownership; the invalidations wake the spinners — the
             // release burst of the paper.
-            self.counters.bump("lock.tts.release_remote");
+            self.counters.bump(keys::LOCK_TTS_RELEASE_REMOTE);
             let msgs = self.wbi_locks[lock].write_req(node);
             self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
             self.nodes[node].sync = Some(SyncCtx::TtsUnlock { lock });
-            self.nodes[node].stall(Waiting::Fill, now);
+            self.stall_node(node, Waiting::Fill, now);
         }
     }
 
@@ -1722,7 +2034,7 @@ impl Machine {
         // Holding the barrier lock: decrement the counter (a word of the
         // lock block — the machine tracks the count in `swbar`).
         let last = self.swbar.arrive(node);
-        self.counters.bump("barrier.sw.arrive");
+        self.counters.bump(keys::BARRIER_SW_ARRIVE);
         let bl = self.barrier_lock();
         // store the new count into the lock block (local: we own it)
         let count_stamp = self.next_stamp(node);
@@ -1739,7 +2051,7 @@ impl Machine {
     }
 
     fn sw_write_flag(&mut self, node: NodeId, now: Cycle) {
-        self.counters.bump("barrier.sw.notify");
+        self.counters.bump(keys::BARRIER_SW_NOTIFY);
         let v = self.swbar.flag_value();
         if self.flag.local_write(node, 0, v) {
             self.events.schedule(now + 1, Ev::Resume(node));
@@ -1747,28 +2059,28 @@ impl Machine {
             let msgs = self.flag.write_req(node);
             self.route_all_wbi(now, WbiCtx::Flag, msgs);
             self.nodes[node].sync = Some(SyncCtx::SwWriteFlag);
-            self.nodes[node].stall(Waiting::Fill, now);
+            self.stall_node(node, Waiting::Fill, now);
         }
     }
 
     fn sw_spin_flag(&mut self, node: NodeId, now: Cycle) {
         if self.swbar.passable(node) {
             // Release flag observed (or bookkeeping already flipped): pass.
-            self.counters.bump("barrier.sw.passed");
+            self.counters.bump(keys::BARRIER_SW_PASSED);
             self.events.schedule(now + 1, Ev::Resume(node));
             return;
         }
         match self.flag.local_read(node, 0) {
             Some(_) => {
                 // Cached copy says "not yet": spin until invalidated.
-                self.nodes[node].stall(Waiting::SpinInv(SpinTarget::Flag), now);
+                self.stall_node(node, Waiting::SpinInv(SpinTarget::Flag), now);
                 self.nodes[node].sync = Some(SyncCtx::SwSpinFlag);
             }
             None => {
                 let msgs = self.flag.read_req(node);
                 self.route_all_wbi(now, WbiCtx::Flag, msgs);
                 self.nodes[node].sync = Some(SyncCtx::SwSpinFlag);
-                self.nodes[node].stall(Waiting::Fill, now);
+                self.stall_node(node, Waiting::Fill, now);
             }
         }
     }
@@ -1790,7 +2102,7 @@ impl Machine {
         let Some(w) = self.nodes[node].wbuf.next_unissued() else {
             return;
         };
-        self.counters.bump("wbuf.issued");
+        self.counters.bump(keys::WBUF_ISSUED);
         let msgs = self.ric[w.addr.block].write_global(node, w.addr.word, w.value, w.id);
         let mark = self.track_buf.len();
         self.route_all_ric(now, w.addr.block, msgs);
@@ -1809,7 +2121,18 @@ impl Machine {
     }
 
     fn flush_done(&mut self, node: NodeId, t: Cycle) {
-        self.nodes[node].unstall(t);
+        if self.tracer.is_on() {
+            self.tracer.emit(TraceEvent {
+                cycle: t,
+                node: node as i64,
+                family: Family::Node,
+                kind: Kind::Flush,
+                detail: "drained",
+                id: 0,
+                arg: 0,
+            });
+        }
+        self.unstall_node(node, t);
         if let Some(op) = self.nodes[node].pending_op.take() {
             self.with_tracking(node, t, |m| m.execute(node, op, t));
         } else {
@@ -1901,17 +2224,29 @@ impl Machine {
             }
             return;
         }
-        let waiting = {
+        let (waiting, attempts) = {
             let req = self.pending_req[node].as_mut().expect("validated above");
             if req.attempts >= self.cfg.retry.max_attempts {
                 // Out of attempts: stop retransmitting; the watchdog will
                 // report the node if nothing else unblocks it.
-                self.counters.bump("retry.exhausted");
+                self.counters.bump(keys::RETRY_EXHAUSTED);
+                let attempts = req.attempts;
                 self.pending_req[node] = None;
+                if self.tracer.is_on() {
+                    self.tracer.emit(TraceEvent {
+                        cycle: now,
+                        node: node as i64,
+                        family: Family::Net,
+                        kind: Kind::Retry,
+                        detail: "exhausted",
+                        id: epoch,
+                        arg: attempts as u64,
+                    });
+                }
                 return;
             }
             req.attempts += 1;
-            req.waiting
+            (req.waiting, req.attempts)
         };
         let msgs: Vec<(u64, Proto)> = if waiting == Waiting::Flush {
             // Refresh against acks that landed since the timer was armed.
@@ -1927,8 +2262,19 @@ impl Machine {
             self.pending_req[node] = None;
             return;
         }
-        self.counters.bump("retry.retransmit");
+        self.counters.bump(keys::RETRY_RETRANSMIT);
         self.retry_counts[node] += 1;
+        if self.tracer.is_on() {
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: node as i64,
+                family: Family::Net,
+                kind: Kind::Retry,
+                detail: "retransmit",
+                id: epoch,
+                arg: attempts as u64,
+            });
+        }
         for (id, p) in msgs {
             self.route_wire(now, id, p);
         }
@@ -1949,7 +2295,7 @@ impl Machine {
             return;
         }
         if self.nodes[node].waiting == Waiting::Timer {
-            self.nodes[node].unstall(now);
+            self.unstall_node(node, now);
         }
         if let Some((addr, target)) = self.nodes[node].spin_global {
             self.execute(node, Op::SpinUntilGlobal(addr, target), now);

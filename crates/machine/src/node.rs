@@ -189,8 +189,9 @@ impl Node {
         }
     }
 
-    /// Coarse cause label for a wait state.
-    fn cause(w: Waiting) -> &'static str {
+    /// Coarse cause label for a wait state (also the `detail` of stall
+    /// trace events and the column suffix of interval stall gauges).
+    pub fn cause(w: Waiting) -> &'static str {
         match w {
             Waiting::None => "none",
             Waiting::Fill => "fill",

@@ -1,6 +1,6 @@
 //! Simulation results.
 
-use ssmp_engine::{CounterSet, Cycle, Histogram, WatchdogVerdict};
+use ssmp_engine::{CounterSet, Cycle, Histogram, IntervalSeries, TraceEvent, WatchdogVerdict};
 use ssmp_net::FaultStats;
 
 /// The outcome of one machine run.
@@ -49,6 +49,9 @@ pub struct Report {
     pub retries: Vec<u64>,
     /// Fault-injection counts (`Some` only when a fault plan ran).
     pub faults: Option<FaultStats>,
+    /// Interval-sampled machine gauges (`Some` only when
+    /// [`crate::MachineConfig::metrics_interval`] is set).
+    pub metrics: Option<IntervalSeries>,
     /// Set when the watchdog ended the run instead of the workload: the
     /// run did NOT complete and `completion` is meaningless.
     pub deadlock: Option<DeadlockReport>,
@@ -69,6 +72,9 @@ pub struct StalledNode {
     pub wbuf_occupancy: usize,
     /// Protocol retransmissions this node performed.
     pub retries: u64,
+    /// The last trace events attributed to this node before the watchdog
+    /// fired (empty when tracing is disabled).
+    pub recent: Vec<TraceEvent>,
 }
 
 /// A CBL lock queue that is not quiescent-free at watchdog time.
@@ -133,6 +139,9 @@ impl DeadlockReport {
                 let _ = write!(s, "  since cycle {since}");
             }
             let _ = writeln!(s);
+            for ev in &n.recent {
+                let _ = writeln!(s, "    {ev}");
+            }
         }
         for l in &self.locks {
             let holders: Vec<String> = l.holders.iter().map(|(n, m)| format!("{n}({m})")).collect();
@@ -191,9 +200,21 @@ impl Report {
         if let Some(mean) = self.lock_wait.mean() {
             let _ = writeln!(
                 s,
-                "lock waits: {} acquisitions, mean {:.1} cycles",
+                "lock waits: {} acquisitions, mean {:.1} cycles, p50<={} p95<={} p99<={}",
                 self.lock_wait.count(),
-                mean
+                mean,
+                self.lock_wait.p50().unwrap_or(0),
+                self.lock_wait.p95().unwrap_or(0),
+                self.lock_wait.p99().unwrap_or(0),
+            );
+        }
+        if let Some(m) = &self.metrics {
+            let _ = writeln!(
+                s,
+                "metrics: {} samples every {} cycles ({} columns)",
+                m.len(),
+                m.interval(),
+                m.columns().len()
             );
         }
         if !self.stall_breakdown.is_empty() {

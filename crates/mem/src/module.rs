@@ -68,6 +68,18 @@ impl MemModule {
         self.next_free
     }
 
+    /// Whether the module is still servicing (or has queued work) at `at` —
+    /// an instantaneous occupancy gauge for interval metrics sampling.
+    pub fn busy_at(&self, at: Cycle) -> bool {
+        self.next_free > at
+    }
+
+    /// Cycles of already-accepted work remaining after `at` (0 when idle) —
+    /// the module's backlog gauge for interval metrics sampling.
+    pub fn backlog_at(&self, at: Cycle) -> Cycle {
+        self.next_free.saturating_sub(at)
+    }
+
     /// Total busy cycles (utilisation numerator).
     pub fn busy_cycles(&self) -> Cycle {
         self.busy_cycles
@@ -114,6 +126,19 @@ mod tests {
         let t = m.service(100, 4);
         assert_eq!(t, 104);
         assert_eq!(m.queued(), 0);
+    }
+
+    #[test]
+    fn occupancy_gauges() {
+        let mut m = MemModule::new();
+        assert!(!m.busy_at(0));
+        assert_eq!(m.backlog_at(0), 0);
+        m.service(10, 4); // busy 10..14
+        assert!(m.busy_at(10));
+        assert!(m.busy_at(13));
+        assert!(!m.busy_at(14));
+        assert_eq!(m.backlog_at(11), 3);
+        assert_eq!(m.backlog_at(20), 0);
     }
 
     #[test]

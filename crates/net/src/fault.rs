@@ -256,6 +256,10 @@ pub struct Delivery {
     pub arrival: Option<Cycle>,
     /// Arrival cycle of an injected duplicate copy, if any.
     pub duplicate: Option<Cycle>,
+    /// The fault decision applied, if a plan is installed (`None` when the
+    /// wrapper is transparent). Lets callers observe injected delays, which
+    /// are otherwise indistinguishable from network queueing.
+    pub fault: Option<FaultDecision>,
 }
 
 impl Delivery {
@@ -263,6 +267,7 @@ impl Delivery {
         Self {
             arrival: Some(arrival),
             duplicate: None,
+            fault: None,
         }
     }
 }
@@ -329,22 +334,30 @@ impl FaultyInterconnect {
         let Some(plan) = &mut self.plan else {
             return Delivery::clean(arrival);
         };
-        match plan.decide(kind, dir, depart) {
-            FaultDecision::Deliver => Delivery::clean(self.fifo(src, dst, arrival)),
+        let decision = plan.decide(kind, dir, depart);
+        match decision {
+            FaultDecision::Deliver => Delivery {
+                arrival: Some(self.fifo(src, dst, arrival)),
+                duplicate: None,
+                fault: Some(decision),
+            },
             FaultDecision::Drop => Delivery {
                 arrival: None,
                 duplicate: None,
+                fault: Some(decision),
             },
             FaultDecision::Duplicate => {
                 let copy = self.inner.send(depart, src, dst, words);
                 Delivery {
                     arrival: Some(self.fifo(src, dst, arrival)),
                     duplicate: Some(self.fifo(src, dst, copy)),
+                    fault: Some(decision),
                 }
             }
             FaultDecision::Delay(extra) => Delivery {
                 arrival: Some(self.fifo(src, dst, arrival.saturating_add(extra))),
                 duplicate: None,
+                fault: Some(decision),
             },
         }
     }
@@ -376,6 +389,7 @@ mod tests {
             let d = f.send(i, 0, 1, 1, MsgKind::Cbl, MsgDir::Request);
             assert!(d.arrival.is_some());
             assert!(d.duplicate.is_none());
+            assert!(d.fault.is_none(), "no plan means no fault decision");
         }
         assert!(f.fault_stats().is_none());
     }
@@ -470,6 +484,7 @@ mod tests {
             .unwrap();
         let d = f.send(0, 0, 1, 1, MsgKind::Cbl, MsgDir::Request);
         assert_eq!(d.arrival, Some(base + 500));
+        assert_eq!(d.fault, Some(FaultDecision::Delay(500)));
 
         let mut f = FaultyInterconnect::with_plan(
             ideal(),
