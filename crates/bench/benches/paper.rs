@@ -111,7 +111,15 @@ fn bench_extensions(b: &Bench) {
         cfg.geometry = Geometry::new(16, 4, p.shared_blocks());
         let wl = Sor::new(p);
         let locks = wl.machine_locks();
-        std::hint::black_box(Machine::new(cfg, Box::new(wl), locks).run().completion);
+        std::hint::black_box(
+            Machine::builder(cfg)
+                .workload(Box::new(wl))
+                .locks(locks)
+                .build()
+                .unwrap()
+                .run()
+                .completion,
+        );
     });
     b.run("extension_workloads/sor_wbi_n16", || {
         let p = SorParams::new(16, 5);
@@ -119,13 +127,25 @@ fn bench_extensions(b: &Bench) {
         cfg.geometry = Geometry::new(16, 4, p.shared_blocks());
         let wl = Sor::new(p);
         let locks = wl.machine_locks();
-        std::hint::black_box(Machine::new(cfg, Box::new(wl), locks).run().completion);
+        std::hint::black_box(
+            Machine::builder(cfg)
+                .workload(Box::new(wl))
+                .locks(locks)
+                .build()
+                .unwrap()
+                .run()
+                .completion,
+        );
     });
     b.run("extension_workloads/hotspot_30pct_n16", || {
         let wl = Hotspot::new(HotspotParams::new(16, 0.3, 100));
         let locks = wl.machine_locks();
         std::hint::black_box(
-            Machine::new(MachineConfig::sc_cbl(16), Box::new(wl), locks)
+            Machine::builder(MachineConfig::sc_cbl(16))
+                .workload(Box::new(wl))
+                .locks(locks)
+                .build()
+                .unwrap()
                 .run()
                 .completion,
         );

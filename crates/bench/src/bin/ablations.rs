@@ -29,68 +29,18 @@
 //!   'E' state halves the protocol messages; on migratory sharing it buys
 //!   nothing (ownership transfers dominate either way).
 //!
-//! Usage: `ablations [--quick] [--json]`
+//! Every row-config is an independent sweep point, so the whole study
+//! parallelises across `--jobs` workers.
+//!
+//! Usage: `ablations [--quick] [--json] [--jobs N] [--out FILE]`
 
-use ssmp_bench::{quick_mode, run_solver, run_work_queue, Table};
+use ssmp_bench::exp::{ExpArgs, Experiment, PointOutput, SweepResult};
+use ssmp_bench::{run_solver, run_work_queue, Table};
 use ssmp_engine::stats::keys;
-use ssmp_machine::MachineConfig;
+use ssmp_machine::{MachineConfig, Report};
 use ssmp_workload::{Allocation, Grain, ReadMode};
 
-fn a1_false_sharing(n: usize, iters: usize) -> Table {
-    let mut t = Table::new(
-        "A1: false sharing — solver packed vs padded x",
-        &[
-            "packed cycles",
-            "padded cycles",
-            "packed msgs",
-            "padded msgs",
-        ],
-    );
-    for (label, mk) in [
-        ("RIC", MachineConfig::sc_cbl as fn(usize) -> MachineConfig),
-        ("WBI", MachineConfig::wbi as fn(usize) -> MachineConfig),
-    ] {
-        let packed = run_solver(mk(n), Allocation::Packed, iters);
-        let padded = run_solver(mk(n), Allocation::Padded, iters);
-        t.row(
-            label,
-            vec![
-                packed.completion as f64,
-                padded.completion as f64,
-                packed.total_messages() as f64,
-                padded.total_messages() as f64,
-            ],
-        );
-    }
-    t.note("RIC tolerates packing (per-word dirty bits) and beats WBI outright;");
-    t.note("among WBI variants packing still wins overall: padded reload volume outweighs the write ping-pong (as in Table 2)");
-    t
-}
-
-fn a2_read_update(n: usize, iters: usize) -> Table {
-    let mut t = Table::new(
-        "A2: READ-UPDATE enrollment vs READ-GLOBAL per access (solver, RIC)",
-        &["cycles", "ric msgs", "update pushes"],
-    );
-    for (label, mode) in [
-        ("READ-UPDATE (enroll)", ReadMode::Enroll),
-        ("READ-GLOBAL (fresh)", ReadMode::Global),
-    ] {
-        let r = run_solver_mode(n, mode, iters);
-        t.row(
-            label,
-            vec![
-                r.completion as f64,
-                r.messages(keys::MSG_RIC_PREFIX) as f64,
-                r.counters.get(keys::MSG_RIC_UPDATE_PUSH) as f64,
-            ],
-        );
-    }
-    t.note("READ-GLOBAL stays fresh without enrollment but pays a memory round trip per read");
-    t
-}
-
-fn run_solver_mode(n: usize, mode: ReadMode, iters: usize) -> ssmp_machine::Report {
+fn run_solver_mode(n: usize, mode: ReadMode, iters: usize) -> Report {
     use ssmp_core::addr::Geometry;
     use ssmp_machine::Machine;
     use ssmp_workload::{LinearSolver, SolverParams};
@@ -100,254 +50,390 @@ fn run_solver_mode(n: usize, mode: ReadMode, iters: usize) -> ssmp_machine::Repo
     cfg.geometry = Geometry::new(n, 4, p.shared_blocks().max(1));
     let wl = LinearSolver::new(p);
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
 }
 
-fn a3_lock_cache(n: usize, tasks: usize) -> Table {
-    let mut t = Table::new(
-        "A3: lock-cache capacity (work-queue, CBL)",
-        &["cycles", "overflows"],
-    );
-    for cap in [1usize, 2, 4, 8] {
-        let mut cfg = MachineConfig::cbl(n);
-        cfg.lock_cache_capacity = cap;
-        let r = run_work_queue(cfg, Grain::Fine, tasks);
-        t.row(
-            format!("capacity {cap}"),
-            vec![r.completion as f64, r.lock_cache_overflows as f64],
-        );
+fn a8_run(n: usize, mesi: bool, migratory: bool) -> Report {
+    use ssmp_core::addr::{Geometry, SharedAddr};
+    use ssmp_machine::op::Script;
+    use ssmp_machine::{Machine, Op};
+    let per_node = 8usize;
+    let (script, blocks): (Vec<Vec<Op>>, usize) = if migratory {
+        // migratory: blocks hand around the ring each round
+        (
+            (0..n)
+                .map(|i| {
+                    let mut ops = Vec::new();
+                    for round in 0..6usize {
+                        let block = (i + round) % n;
+                        ops.push(Op::SharedRead(SharedAddr::new(block, 0)));
+                        ops.push(Op::SharedWrite(SharedAddr::new(block, 0)));
+                        ops.push(Op::Barrier);
+                    }
+                    ops
+                })
+                .collect(),
+            n,
+        )
+    } else {
+        // first-touch: each node read-modify-writes its own disjoint blocks
+        (
+            (0..n)
+                .map(|i| {
+                    let mut ops = Vec::new();
+                    for k in 0..per_node {
+                        let block = i * per_node + k;
+                        ops.push(Op::SharedRead(SharedAddr::new(block, 0)));
+                        ops.push(Op::SharedWrite(SharedAddr::new(block, 0)));
+                    }
+                    ops
+                })
+                .collect(),
+            n * per_node,
+        )
+    };
+    let mut cfg = MachineConfig::wbi(n);
+    cfg.wbi_mesi = mesi;
+    cfg.geometry = Geometry::new(n, 4, blocks.max(32));
+    Machine::builder(cfg)
+        .workload(Box::new(Script::new(script)))
+        .locks(2)
+        .build()
+        .unwrap()
+        .run()
+}
+
+/// Registers every ablation point. Labels are `A<k>/<row>[/<col>]`.
+fn register(exp: &mut Experiment, n: usize, iters: usize, tasks: usize) {
+    // A1: packed vs padded solver under RIC and WBI
+    for (row, mk) in [
+        ("RIC", MachineConfig::sc_cbl as fn(usize) -> MachineConfig),
+        ("WBI", MachineConfig::wbi as fn(usize) -> MachineConfig),
+    ] {
+        exp.point(format!("A1/{row}"), move |_| {
+            let packed = run_solver(mk(n), Allocation::Packed, iters);
+            if let Some(d) = packed.deadlock {
+                return PointOutput::Deadlock(Box::new(d));
+            }
+            PointOutput::from_report(run_solver(mk(n), Allocation::Padded, iters), |padded| {
+                vec![
+                    ("packed cycles".into(), packed.completion as f64),
+                    ("padded cycles".into(), padded.completion as f64),
+                    ("packed msgs".into(), packed.total_messages() as f64),
+                    ("padded msgs".into(), padded.total_messages() as f64),
+                ]
+            })
+        });
     }
-    t.note("the paper's compile-time conservative mapping keeps overflows at 0; one live lock per node here");
-    t
-}
-
-fn a4_write_buffer(n: usize, tasks: usize) -> Table {
-    let mut t = Table::new(
-        "A4: finite write buffer under BC (work-queue)",
-        &["cycles", "full stalls", "peak occupancy"],
-    );
+    // A2: READ-UPDATE enrollment vs READ-GLOBAL
+    for (row, mode) in [
+        ("READ-UPDATE (enroll)", ReadMode::Enroll),
+        ("READ-GLOBAL (fresh)", ReadMode::Global),
+    ] {
+        exp.point(format!("A2/{row}"), move |_| {
+            PointOutput::from_report(run_solver_mode(n, mode, iters), |r| {
+                vec![
+                    ("cycles".into(), r.completion as f64),
+                    ("ric msgs".into(), r.messages(keys::MSG_RIC_PREFIX) as f64),
+                    (
+                        "update pushes".into(),
+                        r.counters.get(keys::MSG_RIC_UPDATE_PUSH) as f64,
+                    ),
+                ]
+            })
+        });
+    }
+    // A3: lock-cache capacity
+    for cap in [1usize, 2, 4, 8] {
+        exp.point(format!("A3/capacity {cap}"), move |_| {
+            let mut cfg = MachineConfig::cbl(n);
+            cfg.lock_cache_capacity = cap;
+            PointOutput::from_report(run_work_queue(cfg, Grain::Fine, tasks), |r| {
+                vec![
+                    ("cycles".into(), r.completion as f64),
+                    ("overflows".into(), r.lock_cache_overflows as f64),
+                ]
+            })
+        });
+    }
+    // A4: finite write buffer under BC
     for cap in [Some(1usize), Some(2), Some(4), Some(16), None] {
-        let mut cfg = MachineConfig::bc_cbl(n);
-        cfg.write_buffer_capacity = cap;
-        let r = run_work_queue(cfg, Grain::Fine, tasks);
-        let label = match cap {
+        let row = match cap {
             Some(c) => format!("capacity {c}"),
             None => "infinite".to_string(),
         };
-        t.row(
-            label,
-            vec![
-                r.completion as f64,
-                r.counters.get(keys::WBUF_FULL_STALL) as f64,
-                r.wbuf_peak as f64,
-            ],
-        );
-    }
-    t.note("the paper assumes an infinite buffer; small finite buffers approach it quickly at sh×write ≈ 0.0045");
-    t.note("sub-cycle differences between capacities (either direction) are timing noise: back-pressure shifts which node dequeues which task");
-    t
-}
-
-fn a5_topology(tasks: usize) -> Table {
-    use ssmp_net::Topology;
-    let mut t = Table::new(
-        "A5: interconnect topology (work-queue, BC-CBL)",
-        &["n=4", "n=16", "n=64"],
-    );
-    for (label, topo, radix) in [
-        ("omega (2-way)", Topology::Omega, 2usize),
-        ("omega (4-way)", Topology::Omega, 4),
-        ("bus", Topology::Bus, 2),
-        ("ideal", Topology::Ideal, 2),
-    ] {
-        let cycles: Vec<f64> = [4usize, 16, 64]
-            .iter()
-            .map(|&n| {
-                let mut cfg = MachineConfig::bc_cbl(n);
-                cfg.topology = topo;
-                cfg.net.radix = radix;
-                run_work_queue(cfg, Grain::Fine, tasks).completion as f64
+        exp.point(format!("A4/{row}"), move |_| {
+            let mut cfg = MachineConfig::bc_cbl(n);
+            cfg.write_buffer_capacity = cap;
+            PointOutput::from_report(run_work_queue(cfg, Grain::Fine, tasks), |r| {
+                vec![
+                    ("cycles".into(), r.completion as f64),
+                    (
+                        "full stalls".into(),
+                        r.counters.get(keys::WBUF_FULL_STALL) as f64,
+                    ),
+                    ("peak occupancy".into(), r.wbuf_peak as f64),
+                ]
             })
-            .collect();
-        t.row(label, cycles);
+        });
     }
-    t.note("the bus serialises every transaction: completion diverges with scale (§1's motivation for multistage networks)");
-    t.note("4-way switches halve the stage count; 'ideal' is contention-free at radix-2 latency, so a 4-way omega can even beat it");
-    t
-}
-
-fn a6_private_model(n: usize, tasks: usize) -> Table {
-    use ssmp_machine::PrivateMode;
-    use ssmp_mem::ExactPrivateParams;
-    let mut t = Table::new(
-        "A6: private references — assumed ratio vs exact cache",
-        &["cycles", "hits", "misses", "hit ratio"],
-    );
-    for (label, mode) in [
-        ("probabilistic (0.95)", PrivateMode::Probabilistic),
-        (
-            "exact working set",
-            PrivateMode::Exact(ExactPrivateParams::default()),
-        ),
-    ] {
-        let mut cfg = MachineConfig::bc_cbl(n);
-        cfg.private_mode = mode;
-        let r = run_work_queue(cfg, Grain::Coarse, tasks);
-        let hits = r.counters.get(keys::PRIV_HIT);
-        let misses = r.counters.get(keys::PRIV_MISS);
-        t.row(
-            label,
-            vec![
-                r.completion as f64,
-                hits as f64,
-                misses as f64,
-                hits as f64 / (hits + misses).max(1) as f64,
-            ],
-        );
+    // A5: topology × machine size (each cell its own point)
+    {
+        use ssmp_net::Topology;
+        for (row, topo, radix) in [
+            ("omega (2-way)", Topology::Omega, 2usize),
+            ("omega (4-way)", Topology::Omega, 4),
+            ("bus", Topology::Bus, 2),
+            ("ideal", Topology::Ideal, 2),
+        ] {
+            for nn in [4usize, 16, 64] {
+                exp.point(format!("A5/{row}/n={nn}"), move |_| {
+                    let mut cfg = MachineConfig::bc_cbl(nn);
+                    cfg.topology = topo;
+                    cfg.net.radix = radix;
+                    PointOutput::from_report(run_work_queue(cfg, Grain::Fine, tasks), |r| {
+                        vec![("cycles".into(), r.completion as f64)]
+                    })
+                });
+            }
+        }
     }
-    t.note("the exact model includes cold-start misses; its steady-state ratio approaches Table 4's assumption");
-    t
-}
-
-fn a7_directory(n: usize, iters: usize) -> Table {
-    let mut t = Table::new(
-        "A7: directory organisation (solver, WBI)",
-        &["cycles", "messages", "dir evictions"],
-    );
-    for (label, limit) in [
+    // A6: probabilistic vs exact private-reference model
+    {
+        use ssmp_machine::PrivateMode;
+        use ssmp_mem::ExactPrivateParams;
+        for (row, mode) in [
+            ("probabilistic (0.95)", PrivateMode::Probabilistic),
+            (
+                "exact working set",
+                PrivateMode::Exact(ExactPrivateParams::default()),
+            ),
+        ] {
+            exp.point(format!("A6/{row}"), move |_| {
+                let mut cfg = MachineConfig::bc_cbl(n);
+                cfg.private_mode = mode;
+                PointOutput::from_report(run_work_queue(cfg, Grain::Coarse, tasks), |r| {
+                    let hits = r.counters.get(keys::PRIV_HIT);
+                    let misses = r.counters.get(keys::PRIV_MISS);
+                    vec![
+                        ("cycles".into(), r.completion as f64),
+                        ("hits".into(), hits as f64),
+                        ("misses".into(), misses as f64),
+                        (
+                            "hit ratio".into(),
+                            hits as f64 / (hits + misses).max(1) as f64,
+                        ),
+                    ]
+                })
+            });
+        }
+    }
+    // A7: directory organisation
+    for (row, limit) in [
         ("full map", None),
         ("Dir_4", Some(4usize)),
         ("Dir_2", Some(2)),
         ("Dir_1", Some(1)),
     ] {
-        let mut cfg = MachineConfig::wbi(n);
-        cfg.wbi_sharer_limit = limit;
-        let r = run_solver(cfg, Allocation::Packed, iters);
-        t.row(
-            label,
-            vec![
-                r.completion as f64,
-                r.total_messages() as f64,
-                r.counters.get(keys::WBI_DIR_EVICTIONS) as f64,
-            ],
-        );
-    }
-    t.note("limited pointers trade read re-fetches for smaller write invalidation fan-in (evictions are not free, but neither is a full map's storm)");
-    t.note("the paper's cache-line pointer chain sidesteps the trade: O(1) directory state, no evictions, no storms (RIC rows of A1, Table 2)");
-    t
-}
-
-fn a8_mesi(n: usize) -> Table {
-    use ssmp_core::addr::{Geometry, SharedAddr};
-    use ssmp_machine::op::Script;
-    use ssmp_machine::{Machine, Op};
-    let mut t = Table::new(
-        "A8: MESI exclusive-clean (WBI baseline)",
-        &["init cycles", "init msgs", "migr cycles", "migr msgs"],
-    );
-    let per_node = 8usize;
-    // first-touch: each node read-modify-writes its own disjoint blocks
-    let init_script = |n: usize| -> Vec<Vec<Op>> {
-        (0..n)
-            .map(|i| {
-                let mut ops = Vec::new();
-                for k in 0..per_node {
-                    let block = i * per_node + k;
-                    ops.push(Op::SharedRead(SharedAddr::new(block, 0)));
-                    ops.push(Op::SharedWrite(SharedAddr::new(block, 0)));
-                }
-                ops
-            })
-            .collect()
-    };
-    // migratory: blocks hand around the ring each round
-    let migr_script = |n: usize| -> Vec<Vec<Op>> {
-        (0..n)
-            .map(|i| {
-                let mut ops = Vec::new();
-                for round in 0..6usize {
-                    let block = (i + round) % n;
-                    ops.push(Op::SharedRead(SharedAddr::new(block, 0)));
-                    ops.push(Op::SharedWrite(SharedAddr::new(block, 0)));
-                    ops.push(Op::Barrier);
-                }
-                ops
-            })
-            .collect()
-    };
-    for (label, mesi) in [("MSI (paper baseline)", false), ("MESI", true)] {
-        let run = |script: Vec<Vec<Op>>, blocks: usize| {
+        exp.point(format!("A7/{row}"), move |_| {
             let mut cfg = MachineConfig::wbi(n);
-            cfg.wbi_mesi = mesi;
-            cfg.geometry = Geometry::new(n, 4, blocks.max(32));
-            Machine::new(cfg, Box::new(Script::new(script)), 2).run()
-        };
-        let init = run(init_script(n), n * per_node);
-        let migr = run(migr_script(n), n);
-        t.row(
-            label,
-            vec![
-                init.completion as f64,
-                init.messages(keys::MSG_WBI_PREFIX) as f64,
-                migr.completion as f64,
-                migr.messages(keys::MSG_WBI_PREFIX) as f64,
-            ],
-        );
+            cfg.wbi_sharer_limit = limit;
+            PointOutput::from_report(run_solver(cfg, Allocation::Packed, iters), |r| {
+                vec![
+                    ("cycles".into(), r.completion as f64),
+                    ("messages".into(), r.total_messages() as f64),
+                    (
+                        "dir evictions".into(),
+                        r.counters.get(keys::WBI_DIR_EVICTIONS) as f64,
+                    ),
+                ]
+            })
+        });
     }
-    t.note("first-touch: 'E' halves the messages (no upgrade round trip); migratory: no help — ownership transfer dominates");
-    t
-}
-
-fn a9_barrier_shape() -> Table {
-    use ssmp_machine::op::Script;
-    use ssmp_machine::{Machine, Op};
-    let mut t = Table::new(
-        "A9: hardware barrier release — chain vs tree",
-        &["n=8", "n=16", "n=32", "n=64"],
-    );
-    for (label, tree) in [("chain (paper)", false), ("tree fan-out", true)] {
-        let cycles: Vec<f64> = [8usize, 16, 32, 64]
-            .iter()
-            .map(|&n| {
-                let mut cfg = MachineConfig::cbl(n);
+    // A8: MESI exclusive-clean, first-touch and migratory scripts
+    for (row, mesi) in [("MSI (paper baseline)", false), ("MESI", true)] {
+        for (col, migratory) in [("init", false), ("migr", true)] {
+            exp.point(format!("A8/{row}/{col}"), move |_| {
+                PointOutput::from_report(a8_run(n, mesi, migratory), |r| {
+                    vec![
+                        ("cycles".into(), r.completion as f64),
+                        ("msgs".into(), r.messages(keys::MSG_WBI_PREFIX) as f64),
+                    ]
+                })
+            });
+        }
+    }
+    // A9: barrier release chain vs tree, across machine sizes
+    for (row, tree) in [("chain (paper)", false), ("tree fan-out", true)] {
+        for nn in [8usize, 16, 32, 64] {
+            exp.point(format!("A9/{row}/n={nn}"), move |_| {
+                use ssmp_machine::op::Script;
+                use ssmp_machine::{Machine, Op};
+                let mut cfg = MachineConfig::cbl(nn);
                 cfg.hw_tree_barrier = tree;
-                let script: Vec<Vec<Op>> = (0..n)
+                let script: Vec<Vec<Op>> = (0..nn)
                     .map(|i| vec![Op::Compute(1 + i as u64), Op::Barrier])
                     .collect();
-                Machine::new(cfg, Box::new(Script::new(script)), 2)
-                    .run()
-                    .completion as f64
-            })
-            .collect();
-        t.row(label, cycles);
+                let r = Machine::builder(cfg)
+                    .workload(Box::new(Script::new(script)))
+                    .locks(2)
+                    .build()
+                    .unwrap()
+                    .run();
+                PointOutput::from_report(r, |r| vec![("cycles".into(), r.completion as f64)])
+            });
+        }
     }
-    t.note("same n messages, but the tree's release depth is log n — the last waiter resumes far sooner at scale");
-    t
+}
+
+/// Assembles the nine study tables from the finished sweep.
+fn assemble(sweep: &SweepResult) -> Vec<Table> {
+    let mut tables = Vec::new();
+    // Simple studies: rows × shared value columns, point label "A<k>/<row>".
+    let simple = [
+        (
+            "A1: false sharing — solver packed vs padded x",
+            "A1",
+            vec!["RIC", "WBI"],
+            vec!["packed cycles", "padded cycles", "packed msgs", "padded msgs"],
+            vec![
+                "RIC tolerates packing (per-word dirty bits) and beats WBI outright;",
+                "among WBI variants packing still wins overall: padded reload volume outweighs the write ping-pong (as in Table 2)",
+            ],
+        ),
+        (
+            "A2: READ-UPDATE enrollment vs READ-GLOBAL per access (solver, RIC)",
+            "A2",
+            vec!["READ-UPDATE (enroll)", "READ-GLOBAL (fresh)"],
+            vec!["cycles", "ric msgs", "update pushes"],
+            vec!["READ-GLOBAL stays fresh without enrollment but pays a memory round trip per read"],
+        ),
+        (
+            "A3: lock-cache capacity (work-queue, CBL)",
+            "A3",
+            vec!["capacity 1", "capacity 2", "capacity 4", "capacity 8"],
+            vec!["cycles", "overflows"],
+            vec!["the paper's compile-time conservative mapping keeps overflows at 0; one live lock per node here"],
+        ),
+        (
+            "A4: finite write buffer under BC (work-queue)",
+            "A4",
+            vec!["capacity 1", "capacity 2", "capacity 4", "capacity 16", "infinite"],
+            vec!["cycles", "full stalls", "peak occupancy"],
+            vec![
+                "the paper assumes an infinite buffer; small finite buffers approach it quickly at sh×write ≈ 0.0045",
+                "sub-cycle differences between capacities (either direction) are timing noise: back-pressure shifts which node dequeues which task",
+            ],
+        ),
+        (
+            "A6: private references — assumed ratio vs exact cache",
+            "A6",
+            vec!["probabilistic (0.95)", "exact working set"],
+            vec!["cycles", "hits", "misses", "hit ratio"],
+            vec!["the exact model includes cold-start misses; its steady-state ratio approaches Table 4's assumption"],
+        ),
+        (
+            "A7: directory organisation (solver, WBI)",
+            "A7",
+            vec!["full map", "Dir_4", "Dir_2", "Dir_1"],
+            vec!["cycles", "messages", "dir evictions"],
+            vec![
+                "limited pointers trade read re-fetches for smaller write invalidation fan-in (evictions are not free, but neither is a full map's storm)",
+                "the paper's cache-line pointer chain sidesteps the trade: O(1) directory state, no evictions, no storms (RIC rows of A1, Table 2)",
+            ],
+        ),
+    ];
+    for (title, key, rows, cols, notes) in simple {
+        let mut t = Table::new(title, &cols);
+        for row in rows {
+            t.row(
+                row,
+                cols.iter()
+                    .map(|c| sweep.value(&format!("{key}/{row}"), c))
+                    .collect(),
+            );
+        }
+        for n in notes {
+            t.note(n);
+        }
+        tables.push(t);
+    }
+    // A5: topology rows, one cycles point per machine size
+    {
+        let mut t = Table::new(
+            "A5: interconnect topology (work-queue, BC-CBL)",
+            &["n=4", "n=16", "n=64"],
+        );
+        for row in ["omega (2-way)", "omega (4-way)", "bus", "ideal"] {
+            t.row(
+                row,
+                [4usize, 16, 64]
+                    .iter()
+                    .map(|nn| sweep.value(&format!("A5/{row}/n={nn}"), "cycles"))
+                    .collect(),
+            );
+        }
+        t.note("the bus serialises every transaction: completion diverges with scale (§1's motivation for multistage networks)");
+        t.note("4-way switches halve the stage count; 'ideal' is contention-free at radix-2 latency, so a 4-way omega can even beat it");
+        tables.insert(4, t); // keep the historical A1..A9 print order
+    }
+    // A8: MSI vs MESI, init and migratory scripts
+    {
+        let mut t = Table::new(
+            "A8: MESI exclusive-clean (WBI baseline)",
+            &["init cycles", "init msgs", "migr cycles", "migr msgs"],
+        );
+        for row in ["MSI (paper baseline)", "MESI"] {
+            t.row(
+                row,
+                vec![
+                    sweep.value(&format!("A8/{row}/init"), "cycles"),
+                    sweep.value(&format!("A8/{row}/init"), "msgs"),
+                    sweep.value(&format!("A8/{row}/migr"), "cycles"),
+                    sweep.value(&format!("A8/{row}/migr"), "msgs"),
+                ],
+            );
+        }
+        t.note("first-touch: 'E' halves the messages (no upgrade round trip); migratory: no help — ownership transfer dominates");
+        tables.push(t);
+    }
+    // A9: barrier release shape across machine sizes
+    {
+        let mut t = Table::new(
+            "A9: hardware barrier release — chain vs tree",
+            &["n=8", "n=16", "n=32", "n=64"],
+        );
+        for row in ["chain (paper)", "tree fan-out"] {
+            t.row(
+                row,
+                [8usize, 16, 32, 64]
+                    .iter()
+                    .map(|nn| sweep.value(&format!("A9/{row}/n={nn}"), "cycles"))
+                    .collect(),
+            );
+        }
+        t.note("same n messages, but the tree's release depth is log n — the last waiter resumes far sooner at scale");
+        tables.push(t);
+    }
+    tables
 }
 
 fn main() {
-    let quick = quick_mode();
-    let json = std::env::args().any(|a| a == "--json");
-    let n = if quick { 8 } else { 16 };
-    let iters = if quick { 3 } else { 6 };
-    let tasks = if quick { 2 } else { 4 };
-    let tables = vec![
-        a1_false_sharing(n, iters),
-        a2_read_update(n, iters),
-        a3_lock_cache(n, tasks),
-        a4_write_buffer(n, tasks),
-        a5_topology(tasks),
-        a6_private_model(n, tasks),
-        a7_directory(n, iters),
-        a8_mesi(n),
-        a9_barrier_shape(),
-    ];
-    if json {
-        let parts: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
-        println!("[{}]", parts.join(","));
-    } else {
-        for t in tables {
-            println!("{}", t.render());
-        }
-    }
+    let args = ExpArgs::parse();
+    let n = if args.quick { 8 } else { 16 };
+    let iters = if args.quick { 3 } else { 6 };
+    let tasks = if args.quick { 2 } else { 4 };
+
+    let mut exp = Experiment::new("ablations").seed(args.seed);
+    register(&mut exp, n, iters, tasks);
+    let sweep = exp.run(&args.opts());
+    sweep.expect_ok();
+
+    let tables = assemble(&sweep);
+    args.emit(&tables, &sweep);
 }

@@ -5,48 +5,69 @@
 //! scales acceptably up to ~32 nodes but degrades beyond; `Q-CBL` stays
 //! near-flat.
 //!
-//! Usage: `fig5 [--quick] [--json] [--svg <file>]`
+//! Usage: `fig5 [--quick] [--json] [--jobs N] [--out FILE] [--svg FILE]`
 
-use ssmp_bench::{
-    quick_mode, run_sync, run_work_queue_strong, sweep, Table, NODES_SWEEP, NODES_SWEEP_QUICK,
-};
-use ssmp_machine::MachineConfig;
+use ssmp_bench::exp::{ExpArgs, Experiment, PointOutput};
+use ssmp_bench::{run_sync, run_work_queue_strong, Table, NODES_SWEEP, NODES_SWEEP_QUICK};
+use ssmp_machine::{MachineConfig, Report};
 use ssmp_workload::Grain;
 
+const SERIES: &[&str] = &["WBI", "CBL", "Q-WBI", "Q-backoff", "Q-CBL"];
+
+fn series_run(series: &str, n: usize, grain: Grain, total: usize, sync_tasks: usize) -> Report {
+    match series {
+        "WBI" => run_sync(MachineConfig::wbi(n), grain.refs(), sync_tasks),
+        "CBL" => run_sync(MachineConfig::cbl(n), grain.refs(), sync_tasks),
+        "Q-WBI" => run_work_queue_strong(MachineConfig::wbi(n), grain, total),
+        "Q-backoff" => run_work_queue_strong(MachineConfig::wbi_backoff(n), grain, total),
+        "Q-CBL" => run_work_queue_strong(MachineConfig::cbl(n), grain, total),
+        other => unreachable!("unknown series {other}"),
+    }
+}
+
 fn main() {
-    let quick = quick_mode();
-    let json = std::env::args().any(|a| a == "--json");
-    let ns = if quick {
+    let args = ExpArgs::parse();
+    let ns = if args.quick {
         NODES_SWEEP_QUICK
     } else {
         NODES_SWEEP
     };
-    let total_tasks = if quick { 32 } else { 128 };
-    let sync_tasks = if quick { 2 } else { 4 };
+    let total_tasks = if args.quick { 32 } else { 128 };
+    let sync_tasks = if args.quick { 2 } else { 4 };
     let grain = Grain::Coarse;
 
-    let rows = sweep(ns, |&n| {
-        let wbi = run_sync(MachineConfig::wbi(n), grain.refs(), sync_tasks).completion;
-        let cbl = run_sync(MachineConfig::cbl(n), grain.refs(), sync_tasks).completion;
-        let q_wbi = run_work_queue_strong(MachineConfig::wbi(n), grain, total_tasks).completion;
-        let q_backoff =
-            run_work_queue_strong(MachineConfig::wbi_backoff(n), grain, total_tasks).completion;
-        let q_cbl = run_work_queue_strong(MachineConfig::cbl(n), grain, total_tasks).completion;
-        (n, [wbi, cbl, q_wbi, q_backoff, q_cbl])
-    });
+    let mut exp = Experiment::new("fig5").seed(args.seed);
+    for &n in ns {
+        for &series in SERIES {
+            exp.point_with(
+                format!("n={n}/{series}"),
+                &[("nodes", n.to_string()), ("series", series.to_string())],
+                move |_| {
+                    PointOutput::from_report(
+                        series_run(series, n, grain, total_tasks, sync_tasks),
+                        |r| vec![("completion".into(), r.completion as f64)],
+                    )
+                },
+            );
+        }
+    }
+    let sweep = exp.run(&args.opts());
+    sweep.expect_ok();
 
     let mut t = Table::new(
         "Figure 5: completion time (cycles), coarse granularity",
-        &["WBI", "CBL", "Q-WBI", "Q-backoff", "Q-CBL"],
+        SERIES,
     );
-    for (n, vals) in rows {
-        t.row(format!("n={n}"), vals.iter().map(|&v| v as f64).collect());
+    for &n in ns {
+        t.row(
+            format!("n={n}"),
+            SERIES
+                .iter()
+                .map(|s| sweep.value(&format!("n={n}/{s}"), "completion"))
+                .collect(),
+        );
     }
     t.note("expected: Q-WBI improved vs Fig 4 but still degrades above 32 nodes; Q-CBL near-flat");
     ssmp_bench::maybe_write_svg(&t);
-    if json {
-        println!("{}", t.to_json());
-    } else {
-        println!("{}", t.render());
-    }
+    args.emit(&[t], &sweep);
 }

@@ -4,42 +4,61 @@
 //! Same comparison as Figure 6 at a larger task grain: the global-write
 //! fraction shrinks further, so the BC advantage should narrow.
 //!
-//! Usage: `fig7 [--quick] [--json] [--svg <file>]`
+//! Usage: `fig7 [--quick] [--json] [--jobs N] [--out FILE] [--svg FILE]`
 
-use ssmp_bench::{quick_mode, run_work_queue_strong, sweep, Table, NODES_SWEEP, NODES_SWEEP_QUICK};
+use ssmp_bench::exp::{ExpArgs, Experiment, PointOutput};
+use ssmp_bench::{run_work_queue_strong, Table, NODES_SWEEP, NODES_SWEEP_QUICK};
 use ssmp_machine::MachineConfig;
 use ssmp_workload::Grain;
 
 fn main() {
-    let quick = quick_mode();
-    let json = std::env::args().any(|a| a == "--json");
-    let ns = if quick {
+    let args = ExpArgs::parse();
+    let ns = if args.quick {
         NODES_SWEEP_QUICK
     } else {
         NODES_SWEEP
     };
-    let total_tasks = if quick { 32 } else { 128 };
+    let total_tasks = if args.quick { 32 } else { 128 };
     let grain = Grain::Medium;
 
-    let rows = sweep(ns, |&n| {
-        let sc = run_work_queue_strong(MachineConfig::sc_cbl(n), grain, total_tasks).completion;
-        let bc = run_work_queue_strong(MachineConfig::bc_cbl(n), grain, total_tasks).completion;
-        (n, sc, bc)
-    });
+    let mut exp = Experiment::new("fig7").seed(args.seed);
+    for &n in ns {
+        for (scheme, mk) in [
+            (
+                "SC-CBL",
+                MachineConfig::sc_cbl as fn(usize) -> MachineConfig,
+            ),
+            (
+                "BC-CBL",
+                MachineConfig::bc_cbl as fn(usize) -> MachineConfig,
+            ),
+        ] {
+            exp.point_with(
+                format!("n={n}/{scheme}"),
+                &[("nodes", n.to_string()), ("scheme", scheme.to_string())],
+                move |_| {
+                    PointOutput::from_report(
+                        run_work_queue_strong(mk(n), grain, total_tasks),
+                        |r| vec![("completion".into(), r.completion as f64)],
+                    )
+                },
+            );
+        }
+    }
+    let sweep = exp.run(&args.opts());
+    sweep.expect_ok();
 
     let mut t = Table::new(
         "Figure 7: BC-CBL vs SC-CBL, medium granularity (work-queue)",
         &["SC-CBL", "BC-CBL", "improvement %"],
     );
-    for (n, sc, bc) in rows {
-        let imp = 100.0 * (sc as f64 - bc as f64) / sc as f64;
-        t.row(format!("n={n}"), vec![sc as f64, bc as f64, imp]);
+    for &n in ns {
+        let sc = sweep.value(&format!("n={n}/SC-CBL"), "completion");
+        let bc = sweep.value(&format!("n={n}/BC-CBL"), "completion");
+        let imp = 100.0 * (sc - bc) / sc;
+        t.row(format!("n={n}"), vec![sc, bc, imp]);
     }
     t.note("expected: BC <= SC; smaller improvement than Fig 6 (writes are a smaller fraction)");
     ssmp_bench::maybe_write_svg(&t);
-    if json {
-        println!("{}", t.to_json());
-    } else {
-        println!("{}", t.render());
-    }
+    args.emit(&[t], &sweep);
 }

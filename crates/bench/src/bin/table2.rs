@@ -7,13 +7,16 @@
 //! padded `x`; steady-state per-iteration message counts per processor are
 //! measured by differencing two run lengths.
 //!
-//! Usage: `table2 [--quick] [--json]`
+//! Usage: `table2 [--quick] [--json] [--jobs N] [--out FILE]`
 
 use ssmp_analytic::{CoherenceCosts, Scheme2, Table2};
-use ssmp_bench::{quick_mode, run_solver, Table};
+use ssmp_bench::exp::{ExpArgs, Experiment, PointOutput, SweepResult};
+use ssmp_bench::{run_solver, Table};
 use ssmp_engine::stats::keys;
 use ssmp_machine::MachineConfig;
 use ssmp_workload::Allocation;
+
+const SCHEMES: &[&str] = &["read-update", "inv-I", "inv-II"];
 
 fn analytic_table(ns: &[u32]) -> Table {
     let mut t = Table::new(
@@ -47,31 +50,59 @@ fn analytic_table(ns: &[u32]) -> Table {
     t
 }
 
-fn measured_table(ns: &[usize], iters: (usize, usize)) -> Table {
+/// Registers one measured point per (node count, scheme). A point runs
+/// the solver twice (short and long) and differences the message counts
+/// so the initial load cancels.
+fn measured_points(exp: &mut Experiment, ns: &[usize], iters: (usize, usize)) {
+    let (short, long) = iters;
+    for &n in ns {
+        for &scheme in SCHEMES {
+            exp.point_with(
+                format!("n={n}/{scheme}"),
+                &[("nodes", n.to_string()), ("scheme", scheme.to_string())],
+                move |_| {
+                    let (alloc, ric) = match scheme {
+                        "read-update" => (Allocation::Packed, true),
+                        "inv-I" => (Allocation::Packed, false),
+                        _ => (Allocation::Padded, false),
+                    };
+                    let cfg = if ric {
+                        MachineConfig::sc_cbl(n)
+                    } else {
+                        MachineConfig::wbi(n)
+                    };
+                    let prefix = if ric {
+                        keys::MSG_RIC_PREFIX
+                    } else {
+                        keys::MSG_WBI_PREFIX
+                    };
+                    let a = run_solver(cfg.clone(), alloc, short);
+                    if let Some(d) = a.deadlock {
+                        return PointOutput::Deadlock(Box::new(d));
+                    }
+                    let b = run_solver(cfg, alloc, long);
+                    PointOutput::from_report(b, |b| {
+                        let per_iter = (b.messages(prefix).saturating_sub(a.messages(prefix)))
+                            as f64
+                            / (long - short) as f64
+                            / n as f64;
+                        vec![("per_iter".into(), per_iter)]
+                    })
+                },
+            );
+        }
+    }
+}
+
+fn measured_table(ns: &[usize], sweep: &SweepResult) -> Table {
     let mut t = Table::new(
         "Table 2 (simulated): steady-state messages / iteration / processor",
         &["read-update", "inv-I", "inv-II", "RU advantage"],
     );
-    let (short, long) = iters;
     for &n in ns {
-        let per_iter = |alloc: Allocation, ric: bool| -> f64 {
-            let cfg = if ric {
-                MachineConfig::sc_cbl(n)
-            } else {
-                MachineConfig::wbi(n)
-            };
-            let prefix = if ric {
-                keys::MSG_RIC_PREFIX
-            } else {
-                keys::MSG_WBI_PREFIX
-            };
-            let a = run_solver(cfg.clone(), alloc, short).messages(prefix);
-            let b = run_solver(cfg, alloc, long).messages(prefix);
-            (b.saturating_sub(a)) as f64 / (long - short) as f64 / n as f64
-        };
-        let ru = per_iter(Allocation::Packed, true);
-        let i1 = per_iter(Allocation::Packed, false);
-        let i2 = per_iter(Allocation::Padded, false);
+        let ru = sweep.value(&format!("n={n}/read-update"), "per_iter");
+        let i1 = sweep.value(&format!("n={n}/inv-I"), "per_iter");
+        let i2 = sweep.value(&format!("n={n}/inv-II"), "per_iter");
         t.row(
             format!("n={n}"),
             vec![ru, i1, i2, i1.min(i2) / ru.max(1e-9)],
@@ -83,16 +114,20 @@ fn measured_table(ns: &[usize], iters: (usize, usize)) -> Table {
 }
 
 fn main() {
-    let quick = quick_mode();
-    let json = std::env::args().any(|a| a == "--json");
-    let ns_a: &[u32] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
-    let ns_s: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
-    let a = analytic_table(ns_a);
-    let m = measured_table(ns_s, if quick { (2, 4) } else { (2, 8) });
-    if json {
-        println!("[{},{}]", a.to_json(), m.to_json());
+    let args = ExpArgs::parse();
+    let ns_a: &[u32] = if args.quick {
+        &[8, 16]
     } else {
-        println!("{}", a.render());
-        println!("{}", m.render());
-    }
+        &[8, 16, 32, 64]
+    };
+    let ns_s: &[usize] = if args.quick { &[8, 16] } else { &[8, 16, 32] };
+    let iters = if args.quick { (2, 4) } else { (2, 8) };
+
+    let mut exp = Experiment::new("table2").seed(args.seed);
+    measured_points(&mut exp, ns_s, iters);
+    let sweep = exp.run(&args.opts());
+    sweep.expect_ok();
+
+    let tables = [analytic_table(ns_a), measured_table(ns_s, &sweep)];
+    args.emit(&tables, &sweep);
 }

@@ -5,11 +5,12 @@
 //! the simulator and checks the complexity classes: CBL parallel-lock
 //! traffic must grow linearly in `n`, WBI quadratically.
 //!
-//! Usage: `table3 [--quick] [--json]`
+//! Usage: `table3 [--quick] [--json] [--jobs N] [--out FILE]`
 
 use ssmp_analytic::{Scenario, SyncScheme, Table3, Table3Params};
+use ssmp_bench::exp::{ExpArgs, Experiment, PointOutput, SweepResult};
 use ssmp_bench::scenarios::{one_barrier, parallel_lock, serial_lock};
-use ssmp_bench::{quick_mode, Table};
+use ssmp_bench::Table;
 use ssmp_engine::stats::keys;
 use ssmp_machine::MachineConfig;
 
@@ -53,7 +54,52 @@ fn analytic_table(ns: &[u64]) -> Table {
     t
 }
 
-fn measured_table(ns: &[usize]) -> Table {
+/// Registers the six measured points for one node count: parallel-lock,
+/// serial-lock, and one-barrier, each under WBI and CBL.
+fn measured_points(exp: &mut Experiment, n: usize) {
+    for (scenario, scheme) in [
+        ("par", "WBI"),
+        ("par", "CBL"),
+        ("ser", "WBI"),
+        ("ser", "CBL"),
+        ("barr", "WBI"),
+        ("barr", "CBL"),
+    ] {
+        exp.point_with(
+            format!("n={n}/{scenario}/{scheme}"),
+            &[
+                ("nodes", n.to_string()),
+                ("scenario", scenario.to_string()),
+                ("scheme", scheme.to_string()),
+            ],
+            move |_| {
+                let cfg = match scheme {
+                    "WBI" => MachineConfig::wbi(n),
+                    _ => MachineConfig::cbl(n),
+                };
+                let msg_prefix = match (scenario, scheme) {
+                    ("barr", "WBI") => keys::MSG_PREFIX,
+                    ("barr", _) => keys::MSG_BAR_PREFIX,
+                    (_, "WBI") => keys::MSG_WBI_PREFIX,
+                    _ => keys::MSG_CBL_PREFIX,
+                };
+                let r = match scenario {
+                    "par" => parallel_lock(cfg, T_CS),
+                    "ser" => serial_lock(cfg, T_CS),
+                    _ => one_barrier(cfg),
+                };
+                PointOutput::from_report(r, |r| {
+                    vec![
+                        ("messages".into(), r.messages(msg_prefix) as f64),
+                        ("cycles".into(), r.completion as f64),
+                    ]
+                })
+            },
+        );
+    }
+}
+
+fn measured_table(ns: &[usize], sweep: &SweepResult) -> Table {
     let mut t = Table::new(
         "Table 3 (simulated): total protocol messages / completion cycles",
         &[
@@ -68,23 +114,20 @@ fn measured_table(ns: &[usize]) -> Table {
         ],
     );
     for &n in ns {
-        let pw = parallel_lock(MachineConfig::wbi(n), T_CS);
-        let pc = parallel_lock(MachineConfig::cbl(n), T_CS);
-        let sw = serial_lock(MachineConfig::wbi(n), T_CS);
-        let sc = serial_lock(MachineConfig::cbl(n), T_CS);
-        let bw = one_barrier(MachineConfig::wbi(n));
-        let bc = one_barrier(MachineConfig::cbl(n));
+        let v = |scenario: &str, scheme: &str, key: &str| {
+            sweep.value(&format!("n={n}/{scenario}/{scheme}"), key)
+        };
         t.row(
             format!("n={n}"),
             vec![
-                pw.messages(keys::MSG_WBI_PREFIX) as f64,
-                pc.messages(keys::MSG_CBL_PREFIX) as f64,
-                pw.completion as f64,
-                pc.completion as f64,
-                sw.messages(keys::MSG_WBI_PREFIX) as f64,
-                sc.messages(keys::MSG_CBL_PREFIX) as f64,
-                bw.messages(keys::MSG_PREFIX) as f64,
-                bc.messages(keys::MSG_BAR_PREFIX) as f64,
+                v("par", "WBI", "messages"),
+                v("par", "CBL", "messages"),
+                v("par", "WBI", "cycles"),
+                v("par", "CBL", "cycles"),
+                v("ser", "WBI", "messages"),
+                v("ser", "CBL", "messages"),
+                v("barr", "WBI", "messages"),
+                v("barr", "CBL", "messages"),
             ],
         );
     }
@@ -114,17 +157,28 @@ fn check_complexity(t: &Table) {
 }
 
 fn main() {
-    let quick = quick_mode();
-    let json = std::env::args().any(|a| a == "--json");
-    let ns_a: &[u64] = if quick { &[4, 16] } else { &[4, 8, 16, 32, 64] };
-    let ns_s: &[usize] = if quick { &[4, 16] } else { &[4, 8, 16, 32, 64] };
-    let a = analytic_table(ns_a);
-    let m = measured_table(ns_s);
-    if json {
-        println!("[{},{}]", a.to_json(), m.to_json());
+    let args = ExpArgs::parse();
+    let ns_a: &[u64] = if args.quick {
+        &[4, 16]
     } else {
-        println!("{}", a.render());
-        println!("{}", m.render());
-        check_complexity(&m);
+        &[4, 8, 16, 32, 64]
+    };
+    let ns_s: &[usize] = if args.quick {
+        &[4, 16]
+    } else {
+        &[4, 8, 16, 32, 64]
+    };
+
+    let mut exp = Experiment::new("table3").seed(args.seed);
+    for &n in ns_s {
+        measured_points(&mut exp, n);
+    }
+    let sweep = exp.run(&args.opts());
+    sweep.expect_ok();
+
+    let tables = [analytic_table(ns_a), measured_table(ns_s, &sweep)];
+    args.emit(&tables, &sweep);
+    if !args.json {
+        check_complexity(&tables[1]);
     }
 }

@@ -1,0 +1,672 @@
+//! The parallel experiment engine.
+//!
+//! Every paper artifact is a *sweep*: a set of independent simulation
+//! points (config × node count × scheme × seed) whose reports are
+//! reduced to a handful of numbers each. Points share nothing, so the
+//! engine fans them across a scoped thread pool and guarantees that the
+//! resulting artifact is **byte-identical regardless of `--jobs`**:
+//!
+//! * points are registered in a fixed order and each carries its index;
+//! * per-point seeds are derived from the master seed and the index
+//!   ([`derive_seed`] — a splitmix64 mix), never from thread identity
+//!   or scheduling order;
+//! * results are written into an index-addressed slot table, so the
+//!   completion order (which *does* depend on scheduling) never shows;
+//! * the JSON artifact records nothing about the runner (no job count,
+//!   no wall-clock time).
+//!
+//! A point that trips the simulator's cycle-budget watchdog comes back
+//! as a [`PointStatus::Deadlock`] carrying the full
+//! [`DeadlockReport`]; a point that panics is caught and recorded as
+//! [`PointStatus::Panicked`]. Neither aborts the sweep — the remaining
+//! points still run, and the failure is visible in the artifact.
+//!
+//! In-flight memory is bounded by the worker count: a point's [`Report`]
+//! (which holds the final memory image) lives only inside the point
+//! closure; only the reduced [`PointRecord`] outlives it.
+//!
+//! ```
+//! use ssmp_bench::exp::{Experiment, PointOutput, RunnerOpts};
+//!
+//! let mut exp = Experiment::new("demo").seed(42);
+//! for n in [4usize, 8] {
+//!     exp.point(format!("n={n}"), move |ctx| {
+//!         // ctx.seed is stable for this (master seed, index) pair
+//!         PointOutput::values(vec![("nodes".into(), n as f64)])
+//!     });
+//! }
+//! let sweep = exp.run(&RunnerOpts::new().jobs(2));
+//! assert_eq!(sweep.value("n=8", "nodes"), 8.0);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ssmp_engine::Json;
+use ssmp_machine::{DeadlockReport, Report};
+
+use crate::results::Table;
+
+/// Derives the seed for point `index` from the sweep's master seed.
+///
+/// A splitmix64-style finalizer over `master + (index + 1) · φ64`: a
+/// bijective avalanche, so nearby indices get unrelated seeds and two
+/// sweeps with different master seeds never collide on a whole run.
+/// Depends only on `(master, index)` — never on thread or schedule.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add((index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What a point closure sees about its place in the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct PointCtx {
+    /// Registration index of this point (stable across job counts).
+    pub index: usize,
+    /// Derived seed for this point (stable across job counts).
+    pub seed: u64,
+}
+
+/// What a point closure returns.
+pub enum PointOutput {
+    /// The run completed; the named measurements it reduced to.
+    Values(Vec<(String, f64)>),
+    /// The run tripped the watchdog; the structured diagnosis.
+    Deadlock(Box<DeadlockReport>),
+}
+
+impl PointOutput {
+    /// Wraps a measurement list (convenience constructor).
+    pub fn values(vs: Vec<(String, f64)>) -> Self {
+        PointOutput::Values(vs)
+    }
+
+    /// Reduces a [`Report`]: if the watchdog ended the run, the
+    /// deadlock diagnosis; otherwise whatever `f` extracts.
+    pub fn from_report(mut r: Report, f: impl FnOnce(&Report) -> Vec<(String, f64)>) -> Self {
+        match r.deadlock.take() {
+            Some(d) => PointOutput::Deadlock(Box::new(d)),
+            None => PointOutput::Values(f(&r)),
+        }
+    }
+}
+
+/// A named measurement (convenience for building value lists).
+pub fn val(key: &str, v: f64) -> (String, f64) {
+    (key.to_string(), v)
+}
+
+type PointFn = Box<dyn Fn(&PointCtx) -> PointOutput + Send + Sync>;
+
+struct Point {
+    label: String,
+    params: Vec<(String, String)>,
+    run: PointFn,
+}
+
+/// How a point ended.
+#[derive(Debug, Clone)]
+pub enum PointStatus {
+    /// Completed; the extracted measurements.
+    Ok(Vec<(String, f64)>),
+    /// The watchdog ended the run; the structured diagnosis.
+    Deadlock(Box<DeadlockReport>),
+    /// The point closure panicked; the captured panic message.
+    Panicked(String),
+}
+
+/// One finished point of a sweep.
+#[derive(Debug, Clone)]
+pub struct PointRecord {
+    /// Registration index.
+    pub index: usize,
+    /// Point label (unique within the sweep by convention).
+    pub label: String,
+    /// Declared parameters (for the artifact; purely descriptive).
+    pub params: Vec<(String, String)>,
+    /// The seed this point was handed.
+    pub seed: u64,
+    /// How it ended.
+    pub status: PointStatus,
+}
+
+impl PointRecord {
+    /// Did the point complete?
+    pub fn is_ok(&self) -> bool {
+        matches!(self.status, PointStatus::Ok(_))
+    }
+
+    /// The measurements, if the point completed.
+    pub fn measurements(&self) -> Option<&[(String, f64)]> {
+        match &self.status {
+            PointStatus::Ok(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// One named measurement, if present.
+    pub fn value(&self, key: &str) -> Option<f64> {
+        self.measurements()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// A one-line description of the failure, if the point failed.
+    pub fn error(&self) -> Option<String> {
+        match &self.status {
+            PointStatus::Ok(_) => None,
+            PointStatus::Deadlock(d) => Some(format!(
+                "watchdog at cycle {} (budget {}): {}",
+                d.at, d.budget, d.verdict
+            )),
+            PointStatus::Panicked(msg) => Some(format!("panicked: {msg}")),
+        }
+    }
+}
+
+/// Runner knobs. The artifact never depends on these.
+#[derive(Debug, Clone)]
+pub struct RunnerOpts {
+    /// Worker threads (`SSMP_JOBS` / available parallelism by default).
+    pub jobs: usize,
+    /// Emit a `\r`-overwritten progress/ETA line on stderr.
+    pub progress: bool,
+}
+
+impl RunnerOpts {
+    /// Default options: [`default_jobs`] workers, no progress line.
+    pub fn new() -> Self {
+        Self {
+            jobs: default_jobs(),
+            progress: false,
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n.max(1);
+        self
+    }
+
+    /// Enables or disables the progress line.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+}
+
+impl Default for RunnerOpts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The default worker count: `SSMP_JOBS` if set (and ≥ 1), else the
+/// machine's available parallelism, else 1.
+pub fn default_jobs() -> usize {
+    if let Some(v) = std::env::var_os("SSMP_JOBS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A declared sweep: an ordered list of independent points.
+pub struct Experiment {
+    name: String,
+    master_seed: u64,
+    points: Vec<Point>,
+}
+
+impl Experiment {
+    /// An empty sweep named after the artifact it regenerates.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            master_seed: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Sets the master seed (recorded in the artifact; per-point seeds
+    /// are derived from it).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.master_seed = s;
+        self
+    }
+
+    /// Registers a point. Order matters: it fixes the point's index,
+    /// seed, and position in the artifact.
+    pub fn point(
+        &mut self,
+        label: impl Into<String>,
+        f: impl Fn(&PointCtx) -> PointOutput + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.point_with(label, &[], f)
+    }
+
+    /// Registers a point with descriptive parameters.
+    pub fn point_with(
+        &mut self,
+        label: impl Into<String>,
+        params: &[(&str, String)],
+        f: impl Fn(&PointCtx) -> PointOutput + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.points.push(Point {
+            label: label.into(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            run: Box::new(f),
+        });
+        self
+    }
+
+    /// Number of registered points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points are registered.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Runs every point and collects the records in registration order.
+    ///
+    /// `opts.jobs` workers pull indices from a shared counter; each
+    /// point runs under `catch_unwind`, so a panicking or deadlocking
+    /// point becomes a failed record, not an aborted sweep.
+    pub fn run(self, opts: &RunnerOpts) -> SweepResult {
+        let total = self.points.len();
+        let jobs = opts.jobs.clamp(1, total.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<PointRecord>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let progress = Progress::new(opts.progress, total);
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let p = &self.points[i];
+                    let ctx = PointCtx {
+                        index: i,
+                        seed: derive_seed(self.master_seed, i as u64),
+                    };
+                    let status = match catch_unwind(AssertUnwindSafe(|| (p.run)(&ctx))) {
+                        Ok(PointOutput::Values(vs)) => PointStatus::Ok(vs),
+                        Ok(PointOutput::Deadlock(d)) => PointStatus::Deadlock(d),
+                        Err(payload) => PointStatus::Panicked(panic_message(payload)),
+                    };
+                    *slots[i].lock().unwrap() = Some(PointRecord {
+                        index: i,
+                        label: p.label.clone(),
+                        params: p.params.clone(),
+                        seed: ctx.seed,
+                        status,
+                    });
+                    progress.tick(&p.label);
+                });
+            }
+        });
+        let points = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every point index was claimed by a worker")
+            })
+            .collect();
+        SweepResult {
+            name: self.name,
+            seed: self.master_seed,
+            points,
+        }
+    }
+}
+
+/// The stderr progress/ETA line (`\r`-overwritten, finished with `\n`).
+struct Progress {
+    on: bool,
+    total: usize,
+    state: Mutex<(usize, Instant)>,
+}
+
+impl Progress {
+    fn new(on: bool, total: usize) -> Self {
+        Self {
+            on,
+            total,
+            state: Mutex::new((0, Instant::now())),
+        }
+    }
+
+    fn tick(&self, label: &str) {
+        if !self.on {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        st.0 += 1;
+        let done = st.0;
+        let elapsed = st.1.elapsed().as_secs_f64();
+        let eta = elapsed / done as f64 * (self.total - done) as f64;
+        // pad the tail so a shorter label fully overwrites a longer one
+        eprint!(
+            "\r[{done}/{total}] {elapsed:.1}s elapsed, eta {eta:.1}s  {label:<32}",
+            total = self.total
+        );
+        if done == self.total {
+            eprintln!();
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The finished sweep: every record, in registration order.
+pub struct SweepResult {
+    /// The artifact name the sweep regenerates.
+    pub name: String,
+    /// The master seed.
+    pub seed: u64,
+    /// One record per registered point, in registration order.
+    pub points: Vec<PointRecord>,
+}
+
+impl SweepResult {
+    /// Finds a point by label (first match).
+    pub fn get(&self, label: &str) -> Option<&PointRecord> {
+        self.points.iter().find(|p| p.label == label)
+    }
+
+    /// A measurement from a completed point; panics with a diagnostic
+    /// if the point is missing, failed, or lacks the key — artifact
+    /// binaries treat a failed point as fatal at assembly time.
+    pub fn value(&self, label: &str, key: &str) -> f64 {
+        let p = self
+            .get(label)
+            .unwrap_or_else(|| panic!("sweep '{}' has no point '{label}'", self.name));
+        if let Some(e) = p.error() {
+            panic!("sweep '{}' point '{label}' failed: {e}", self.name);
+        }
+        p.value(key)
+            .unwrap_or_else(|| panic!("point '{label}' has no measurement '{key}'"))
+    }
+
+    /// The points that did not complete.
+    pub fn failures(&self) -> Vec<&PointRecord> {
+        self.points.iter().filter(|p| !p.is_ok()).collect()
+    }
+
+    /// Panics (listing every failure) unless all points completed.
+    pub fn expect_ok(&self) {
+        let fails = self.failures();
+        if !fails.is_empty() {
+            let lines: Vec<String> = fails
+                .iter()
+                .map(|p| format!("  {}: {}", p.label, p.error().unwrap()))
+                .collect();
+            panic!(
+                "sweep '{}': {}/{} points failed\n{}",
+                self.name,
+                fails.len(),
+                self.points.len(),
+                lines.join("\n")
+            );
+        }
+    }
+
+    /// The stable JSON artifact (no tables attached).
+    ///
+    /// Records only what the sweep *is* — name, master seed, per-point
+    /// labels/params/seeds/statuses — never how it was run, so any two
+    /// runs of the same sweep at any `--jobs` render identically.
+    pub fn to_json(&self) -> String {
+        self.artifact_json(&[])
+    }
+
+    /// The stable JSON artifact with derived tables attached.
+    pub fn artifact_json(&self, tables: &[Table]) -> String {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut obj = vec![
+                    ("label".to_string(), Json::str(&p.label)),
+                    (
+                        "params".to_string(),
+                        Json::Obj(
+                            p.params
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::str(v)))
+                                .collect(),
+                        ),
+                    ),
+                    ("seed".to_string(), Json::num(p.seed)),
+                ];
+                match &p.status {
+                    PointStatus::Ok(vs) => {
+                        obj.push(("status".to_string(), Json::str("ok")));
+                        obj.push((
+                            "values".to_string(),
+                            Json::Obj(vs.iter().map(|(k, v)| (k.clone(), Json::num(v))).collect()),
+                        ));
+                    }
+                    PointStatus::Deadlock(d) => {
+                        obj.push(("status".to_string(), Json::str("deadlock")));
+                        obj.push(("error".to_string(), Json::str(p.error().unwrap())));
+                        obj.push(("at".to_string(), Json::num(d.at)));
+                        obj.push(("budget".to_string(), Json::num(d.budget)));
+                        obj.push(("stalled_nodes".to_string(), Json::num(d.nodes.len())));
+                        obj.push(("detail".to_string(), Json::str(d.render())));
+                    }
+                    PointStatus::Panicked(_) => {
+                        obj.push(("status".to_string(), Json::str("panic")));
+                        obj.push(("error".to_string(), Json::str(p.error().unwrap())));
+                    }
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        let tables_json: Vec<Json> = tables
+            .iter()
+            .map(|t| Json::parse(&t.to_json()).expect("Table::to_json emits valid JSON"))
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::str("ssmp-sweep-v1")),
+            ("artifact".to_string(), Json::str(&self.name)),
+            ("seed".to_string(), Json::num(self.seed)),
+            ("failed".to_string(), Json::num(self.failures().len())),
+            ("points".to_string(), Json::Arr(points)),
+            ("tables".to_string(), Json::Arr(tables_json)),
+        ])
+        .render()
+    }
+}
+
+/// Uniform command-line surface for the experiment binaries:
+/// `[--quick] [--json] [--jobs N] [--seed N] [--out FILE]`
+/// (plus `--svg FILE`, consumed separately by [`crate::maybe_write_svg`]).
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Reduced problem sizes (`--quick` or `SSMP_QUICK=1`).
+    pub quick: bool,
+    /// Print tables as JSON on stdout instead of aligned text.
+    pub json: bool,
+    /// Worker threads (`--jobs N`, else `SSMP_JOBS`, else parallelism).
+    pub jobs: usize,
+    /// Master seed (`--seed N`, default 0).
+    pub seed: u64,
+    /// Write the full sweep artifact to this file (`--out FILE`).
+    pub out: Option<String>,
+}
+
+impl ExpArgs {
+    /// Parses the process arguments. Unknown flags are ignored (the
+    /// binaries accept `--svg` and historical aliases elsewhere).
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let flag = |name: &str| argv.iter().any(|a| a == name);
+        let opt = |name: &str| {
+            argv.iter()
+                .position(|a| a == name)
+                .and_then(|i| argv.get(i + 1))
+                .cloned()
+        };
+        let jobs = opt("--jobs")
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(default_jobs);
+        Self {
+            quick: flag("--quick") || std::env::var_os("SSMP_QUICK").is_some(),
+            json: flag("--json"),
+            jobs,
+            seed: opt("--seed").and_then(|s| s.parse().ok()).unwrap_or(0),
+            out: opt("--out"),
+        }
+    }
+
+    /// Runner options for this invocation: the parsed job count, with
+    /// the progress line on human (non-`--json`) runs unless
+    /// `SSMP_NO_PROGRESS` is set.
+    pub fn opts(&self) -> RunnerOpts {
+        let progress = !self.json && std::env::var_os("SSMP_NO_PROGRESS").is_none();
+        RunnerOpts::new().jobs(self.jobs).progress(progress)
+    }
+
+    /// Emits the artifact: tables to stdout (JSON keeps the historical
+    /// shape — a lone table bare, several as an array), and, with
+    /// `--out`, the full sweep artifact (points + tables) to a file.
+    pub fn emit(&self, tables: &[Table], sweep: &SweepResult) {
+        if self.json {
+            match tables {
+                [t] => println!("{}", t.to_json()),
+                _ => {
+                    let parts: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+                    println!("[{}]", parts.join(","));
+                }
+            }
+        } else {
+            for t in tables {
+                println!("{}", t.render());
+            }
+        }
+        if let Some(path) = &self.out {
+            let doc = sweep.artifact_json(tables);
+            if let Err(e) = std::fs::write(path, doc + "\n") {
+                eprintln!("cannot write artifact to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a: Vec<u64> = (0..64).map(|i| derive_seed(7, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "derived seeds collide");
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    fn demo(n_points: usize) -> Experiment {
+        let mut e = Experiment::new("demo").seed(1);
+        for i in 0..n_points {
+            e.point(format!("p{i}"), move |ctx| {
+                PointOutput::values(vec![
+                    val("i", i as f64),
+                    val("seed_lo", (ctx.seed & 0xFFFF) as f64),
+                ])
+            });
+        }
+        e
+    }
+
+    #[test]
+    fn artifact_is_independent_of_job_count() {
+        let a = demo(9).run(&RunnerOpts::new().jobs(1)).to_json();
+        let b = demo(9).run(&RunnerOpts::new().jobs(8)).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn records_keep_registration_order() {
+        let sweep = demo(16).run(&RunnerOpts::new().jobs(4));
+        for (i, p) in sweep.points.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.label, format!("p{i}"));
+            assert_eq!(p.value("i"), Some(i as f64));
+            assert_eq!(p.seed, derive_seed(1, i as u64));
+        }
+    }
+
+    #[test]
+    fn panics_are_captured_not_fatal() {
+        let mut e = Experiment::new("panicky");
+        e.point("good", |_| PointOutput::values(vec![val("x", 1.0)]));
+        e.point("bad", |_| panic!("boom {}", 42));
+        e.point("after", |_| PointOutput::values(vec![val("x", 3.0)]));
+        let sweep = e.run(&RunnerOpts::new().jobs(2));
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.get("good").unwrap().is_ok());
+        assert!(sweep.get("after").unwrap().is_ok());
+        let bad = sweep.get("bad").unwrap();
+        assert!(matches!(&bad.status, PointStatus::Panicked(m) if m == "boom 42"));
+        assert_eq!(sweep.failures().len(), 1);
+        let doc = Json::parse(&sweep.to_json()).unwrap();
+        assert_eq!(doc.get("failed").and_then(|f| f.as_u64()), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "points failed")]
+    fn expect_ok_reports_failures() {
+        let mut e = Experiment::new("p");
+        e.point("bad", |_| panic!("nope"));
+        e.run(&RunnerOpts::new().jobs(1)).expect_ok();
+    }
+
+    #[test]
+    fn artifact_schema_fields() {
+        let sweep = demo(2).run(&RunnerOpts::new().jobs(1));
+        let doc = Json::parse(&sweep.to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("ssmp-sweep-v1")
+        );
+        assert_eq!(doc.get("artifact").and_then(|s| s.as_str()), Some("demo"));
+        assert_eq!(doc.get("seed").and_then(|s| s.as_u64()), Some(1));
+        let pts = doc.get("points").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].get("status").and_then(|s| s.as_str()), Some("ok"));
+        assert!(pts[0].get("values").is_some());
+    }
+}

@@ -6,12 +6,14 @@
 
 #![warn(missing_docs)]
 
+pub mod exp;
 pub mod plot;
 pub mod results;
 pub mod runner;
 pub mod scenarios;
 pub mod timing;
 
+pub use exp::{derive_seed, ExpArgs, Experiment, PointOutput, RunnerOpts, SweepResult};
 pub use plot::{maybe_write_svg, to_svg};
 pub use results::{Row, Table};
 pub use runner::{

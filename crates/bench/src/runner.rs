@@ -24,7 +24,12 @@ pub fn run_work_queue(cfg: MachineConfig, grain: Grain, tasks_per_node: usize) -
     let nodes = cfg.geometry.nodes;
     let wl = WorkQueue::new(WorkQueueParams::paper(nodes, grain, tasks_per_node));
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
 }
 
 /// Runs the work-queue model on a fixed problem of `total_tasks` tasks
@@ -33,7 +38,12 @@ pub fn run_work_queue_strong(cfg: MachineConfig, grain: Grain, total_tasks: usiz
     let nodes = cfg.geometry.nodes;
     let wl = WorkQueue::new(WorkQueueParams::strong(nodes, grain, total_tasks));
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
 }
 
 /// Runs the sync model.
@@ -41,7 +51,12 @@ pub fn run_sync(cfg: MachineConfig, grain: usize, tasks_per_node: usize) -> Repo
     let nodes = cfg.geometry.nodes;
     let wl = SyncModel::new(SyncParams::paper(nodes, grain, tasks_per_node));
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
 }
 
 /// Runs the linear solver, resizing the machine's shared region to the
@@ -52,7 +67,12 @@ pub fn run_solver(mut cfg: MachineConfig, alloc: Allocation, iterations: usize) 
     cfg.geometry = Geometry::new(nodes, cfg.geometry.block_words, p.shared_blocks().max(1));
     let wl = LinearSolver::new(p);
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
 }
 
 /// Runs `f` over `items` on scoped threads (simulations are independent,

@@ -16,7 +16,12 @@ pub fn parallel_lock(cfg: MachineConfig, t_cs: u64) -> Report {
         n
     ];
     let wl = ssmp_machine::op::Script::new(script);
-    Machine::new(cfg, Box::new(wl), 2).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(2)
+        .build()
+        .unwrap()
+        .run()
 }
 
 /// Serial lock: node 0 acquires and releases once, everyone else idle.
@@ -29,7 +34,12 @@ pub fn serial_lock(cfg: MachineConfig, t_cs: u64) -> Report {
         Op::Unlock(0),
     ];
     let wl = ssmp_machine::op::Script::new(script);
-    Machine::new(cfg, Box::new(wl), 2).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(2)
+        .build()
+        .unwrap()
+        .run()
 }
 
 /// One barrier episode over all nodes (staggered arrivals so the last
@@ -40,7 +50,12 @@ pub fn one_barrier(cfg: MachineConfig) -> Report {
         .map(|i| vec![Op::Compute(1 + i as u64), Op::Barrier])
         .collect();
     let wl = ssmp_machine::op::Script::new(script);
-    Machine::new(cfg, Box::new(wl), 2).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(2)
+        .build()
+        .unwrap()
+        .run()
 }
 
 #[cfg(test)]

@@ -13,20 +13,28 @@ pub const USAGE: &str = "\
 usage:
   ssmp run   --workload <wl> --config <cfg> [--nodes N] [--grain g] [--tasks T]
              [--seed S] [--topology omega|bus|ideal] [--json]
-  ssmp sweep --workload <wl> --config <cfg>[,cfg...] [--nodes 4,8,16,...]
-             [--grain g] [--tasks T]
+  ssmp sweep [--points <spec>] [--workload <wl> --config <cfg>[,cfg...]
+             [--nodes 4,8,16,...]] [--jobs N] [--seed S] [--quick]
+             [--grain g] [--tasks T] [--json] [--out <file>]
   ssmp trace capture --workload <wl> [--nodes N] [--grain g] [--tasks T]
              [--seed S] --out <file>
   ssmp trace replay  --in <file> --config <cfg> [--json]
   ssmp trace stats   --in <file> [--validate]
   ssmp program --file <prog.sasm> --config <cfg> [--sems c0,c1,...] [--json]
 
+sweep runs its points (config × nodes × scheme) in parallel on --jobs
+worker threads; the emitted artifact is byte-identical for any --jobs.
+  --points <wl>:<cfg,cfg>:<n,n>   explicit grid, e.g. sync:wbi,cbl:4,8,16
+  --points table3[:<n,n>]         the Table 3 scenario points
+  --out <file>                    write the full JSON artifact (points
+                                  incl. failures + per-point seeds)
+
 fault injection / robustness (run, sweep, trace replay, program):
   [--fault-seed S] [--drop-prob p] [--dup-prob p] [--delay-prob p]
   [--delay-cycles c] [--retry] [--retry-timeout c] [--retry-max n]
   [--cycle-budget c]
 
-observability (run, trace replay, program):
+observability (run, trace replay, program; sweep takes --metrics-interval):
   [--trace <file>] [--trace-format jsonl|perfetto] [--trace-filter f1,f2,...]
   [--trace-ring N] [--metrics-interval N]
   trace filter tokens: families wbi|ric|cbl|bar|sem|priv|node|net and/or
@@ -50,6 +58,8 @@ const VALUED: &[&str] = &[
     "hot",
     "file",
     "sems",
+    "points",
+    "jobs",
     "fault-seed",
     "drop-prob",
     "dup-prob",
@@ -111,49 +121,80 @@ fn parse_grain(name: &str) -> Result<Grain, String> {
     })
 }
 
-fn parse_topology(cfg: &mut MachineConfig, f: &Flags) -> Result<(), String> {
-    if let Some(t) = f.get("topology") {
-        cfg.topology = match t {
-            "omega" => ssmp_net::Topology::Omega,
-            "bus" => ssmp_net::Topology::Bus,
-            "ideal" => ssmp_net::Topology::Ideal,
-            other => return Err(format!("unknown topology '{other}'")),
-        };
-    }
-    Ok(())
+/// The simulation flags shared by `run`, `sweep`, `program`, and
+/// `trace replay`: interconnect topology, fault injection, the retry
+/// layer, the cycle-budget watchdog, and interval metrics sampling.
+///
+/// Parsed once per invocation, then applied (with validation) to every
+/// machine configuration the subcommand builds — `sweep` stamps the
+/// same `SimFlags` onto each of its points.
+#[derive(Debug, Clone, Default)]
+struct SimFlags {
+    topology: Option<ssmp_net::Topology>,
+    fault: Option<ssmp_net::FaultConfig>,
+    retry: Option<ssmp_machine::RetryPolicy>,
+    max_cycles: Option<u64>,
+    metrics_interval: Option<u64>,
 }
 
-/// Applies the fault-injection, retry, and cycle-budget flags to `cfg`.
-fn apply_robustness(cfg: &mut MachineConfig, f: &Flags) -> Result<(), String> {
-    let drop_prob = f.num::<f64>("drop-prob", 0.0)?;
-    let dup_prob = f.num::<f64>("dup-prob", 0.0)?;
-    let delay_prob = f.num::<f64>("delay-prob", 0.0)?;
-    if f.get("fault-seed").is_some() || drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 {
-        let seed = f.num::<u64>("fault-seed", 0xFA)?;
-        let mut fc = ssmp_net::FaultConfig::uniform(seed, drop_prob, dup_prob, delay_prob);
-        fc.delay_cycles = f.num::<u64>("delay-cycles", fc.delay_cycles)?;
-        cfg.fault = Some(fc);
-    }
-    if f.has("retry") || f.get("retry-timeout").is_some() || f.get("retry-max").is_some() {
-        let mut rp = ssmp_machine::RetryPolicy::enabled();
-        rp.timeout = f.num("retry-timeout", rp.timeout)?;
-        rp.max_attempts = f.num("retry-max", rp.max_attempts)?;
-        cfg.retry = rp;
-    }
-    cfg.max_cycles = f.num::<u64>("cycle-budget", cfg.max_cycles)?;
-    cfg.validate().map_err(|e| e.to_string())
-}
-
-/// Applies the observability flags to `cfg` (interval metrics sampling).
-fn apply_observability(cfg: &mut MachineConfig, f: &Flags) -> Result<(), String> {
-    if f.get("metrics-interval").is_some() {
-        let iv = f.num::<u64>("metrics-interval", 1000)?;
-        if iv == 0 {
-            return Err("--metrics-interval must be >= 1".into());
+impl SimFlags {
+    fn parse(f: &Flags) -> Result<Self, String> {
+        let mut s = SimFlags::default();
+        if let Some(t) = f.get("topology") {
+            s.topology = Some(match t {
+                "omega" => ssmp_net::Topology::Omega,
+                "bus" => ssmp_net::Topology::Bus,
+                "ideal" => ssmp_net::Topology::Ideal,
+                other => return Err(format!("unknown topology '{other}'")),
+            });
         }
-        cfg.metrics_interval = Some(iv);
+        let drop_prob = f.num::<f64>("drop-prob", 0.0)?;
+        let dup_prob = f.num::<f64>("dup-prob", 0.0)?;
+        let delay_prob = f.num::<f64>("delay-prob", 0.0)?;
+        if f.get("fault-seed").is_some() || drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 {
+            let seed = f.num::<u64>("fault-seed", 0xFA)?;
+            let mut fc = ssmp_net::FaultConfig::uniform(seed, drop_prob, dup_prob, delay_prob);
+            fc.delay_cycles = f.num::<u64>("delay-cycles", fc.delay_cycles)?;
+            s.fault = Some(fc);
+        }
+        if f.has("retry") || f.get("retry-timeout").is_some() || f.get("retry-max").is_some() {
+            let mut rp = ssmp_machine::RetryPolicy::enabled();
+            rp.timeout = f.num("retry-timeout", rp.timeout)?;
+            rp.max_attempts = f.num("retry-max", rp.max_attempts)?;
+            s.retry = Some(rp);
+        }
+        if f.get("cycle-budget").is_some() {
+            s.max_cycles = Some(f.num::<u64>("cycle-budget", 0)?);
+        }
+        if f.get("metrics-interval").is_some() {
+            let iv = f.num::<u64>("metrics-interval", 1000)?;
+            if iv == 0 {
+                return Err("--metrics-interval must be >= 1".into());
+            }
+            s.metrics_interval = Some(iv);
+        }
+        Ok(s)
     }
-    Ok(())
+
+    /// Stamps the flags onto `cfg` and validates the result.
+    fn apply(&self, cfg: &mut MachineConfig) -> Result<(), String> {
+        if let Some(t) = self.topology {
+            cfg.topology = t;
+        }
+        if let Some(fc) = &self.fault {
+            cfg.fault = Some(fc.clone());
+        }
+        if let Some(rp) = self.retry {
+            cfg.retry = rp;
+        }
+        if let Some(mc) = self.max_cycles {
+            cfg.max_cycles = mc;
+        }
+        if let Some(iv) = self.metrics_interval {
+            cfg.metrics_interval = Some(iv);
+        }
+        cfg.validate().map_err(|e| e.to_string())
+    }
 }
 
 /// Builds the event tracer from the `--trace*` flags; off when `--trace`
@@ -184,49 +225,27 @@ fn build_tracer(f: &Flags) -> Result<ssmp_engine::Tracer, String> {
 }
 
 /// Builds the named workload; returns it plus the machine lock count.
+const WORKLOADS: &[&str] = &["work-queue", "sync", "solver", "fft", "hotspot"];
+
+fn check_workload(name: &str) -> Result<(), String> {
+    if WORKLOADS.contains(&name) {
+        Ok(())
+    } else {
+        Err(format!("unknown workload '{name}'"))
+    }
+}
+
 fn build_workload(
     name: &str,
     nodes: usize,
     f: &Flags,
 ) -> Result<(Box<dyn Workload>, usize), String> {
+    check_workload(name)?;
     let grain = parse_grain(f.get("grain").unwrap_or("medium"))?;
     let tasks = f.num::<usize>("tasks", 8 * nodes)?;
     let seed = f.num::<u64>("seed", 0xC11)?;
-    Ok(match name {
-        "work-queue" => {
-            let mut p = WorkQueueParams::strong(nodes, grain, tasks);
-            p.seed = seed;
-            let wl = WorkQueue::new(p);
-            let locks = wl.machine_locks();
-            (Box::new(wl), locks)
-        }
-        "sync" => {
-            let mut p = SyncParams::paper(nodes, grain.refs(), tasks.div_ceil(nodes));
-            p.seed = seed;
-            let wl = SyncModel::new(p);
-            let locks = wl.machine_locks();
-            (Box::new(wl), locks)
-        }
-        "solver" => {
-            let p = SolverParams::paper(nodes, ssmp_workload::Allocation::Packed, 6);
-            let wl = LinearSolver::new(p);
-            let locks = wl.machine_locks();
-            (Box::new(wl), locks)
-        }
-        "fft" => {
-            let p = ssmp_workload::FftParams::paper(nodes);
-            let wl = ssmp_workload::FftPhases::new(p);
-            let locks = wl.machine_locks();
-            (Box::new(wl), locks)
-        }
-        "hotspot" => {
-            let hot = f.num::<f64>("hot", 0.2)?;
-            let wl = Hotspot::new(HotspotParams::new(nodes, hot, grain.refs()));
-            let locks = wl.machine_locks();
-            (Box::new(wl), locks)
-        }
-        other => return Err(format!("unknown workload '{other}'")),
-    })
+    let hot = f.num::<f64>("hot", 0.2)?;
+    Ok(sweep_workload(name, nodes, grain, tasks, hot, seed))
 }
 
 fn adapt_geometry(cfg: &mut MachineConfig, workload: &str, nodes: usize) {
@@ -320,42 +339,338 @@ fn run(f: &Flags) -> Result<(), String> {
     let nodes = f.num::<usize>("nodes", 16)?;
     let workload = f.require("workload")?;
     let mut cfg = parse_config(f.require("config")?, nodes)?;
-    parse_topology(&mut cfg, f)?;
-    apply_robustness(&mut cfg, f)?;
-    apply_observability(&mut cfg, f)?;
+    SimFlags::parse(f)?.apply(&mut cfg)?;
     adapt_geometry(&mut cfg, workload, nodes);
     let (wl, locks) = build_workload(workload, nodes, f)?;
     let tracer = build_tracer(f)?;
-    let r = Machine::new(cfg, wl, locks).with_tracer(tracer).run();
+    let r = Machine::builder(cfg)
+        .workload(wl)
+        .locks(locks)
+        .tracer(tracer)
+        .build()
+        .unwrap()
+        .run();
     print_report(&r, f.has("json"));
     Ok(())
 }
 
-fn sweep(f: &Flags) -> Result<(), String> {
-    let workload = f.require("workload")?;
-    let configs = f.list("config", &["wbi", "cbl", "bc-cbl"]);
-    let nodes: Vec<usize> = f
-        .list("nodes", &["4", "8", "16", "32"])
-        .iter()
-        .map(|s| s.parse().map_err(|_| format!("bad node count '{s}'")))
-        .collect::<Result<_, _>>()?;
-    print!("{:>6}", "n");
-    for c in &configs {
-        print!(" {c:>12}");
-    }
-    println!();
-    for &n in &nodes {
-        print!("{n:>6}");
-        for c in &configs {
-            let mut cfg = parse_config(c, n)?;
-            parse_topology(&mut cfg, f)?;
-            apply_robustness(&mut cfg, f)?;
-            adapt_geometry(&mut cfg, workload, n);
-            let (wl, locks) = build_workload(workload, n, f)?;
-            let r = Machine::new(cfg, wl, locks).run();
-            print!(" {:>12}", r.completion);
+/// What a `sweep` invocation enumerates.
+enum SweepSpec {
+    /// workload × configs × node counts, one run per cell.
+    Grid {
+        workload: String,
+        configs: Vec<String>,
+        nodes: Vec<usize>,
+    },
+    /// The Table 3 synchronization scenarios (par/ser lock + barrier,
+    /// WBI vs CBL) per node count — the CI determinism spec.
+    Table3 { nodes: Vec<usize> },
+}
+
+fn parse_nodes(list: &[String]) -> Result<Vec<usize>, String> {
+    list.iter()
+        .map(|s| {
+            let n: usize = s.parse().map_err(|_| format!("bad node count '{s}'"))?;
+            if n == 0 || !n.is_power_of_two() {
+                return Err(format!(
+                    "--nodes must be powers of two for the omega network, got {n}"
+                ));
+            }
+            Ok(n)
+        })
+        .collect()
+}
+
+fn parse_points_spec(spec: &str, quick: bool) -> Result<SweepSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["table3"] => {
+            let ns: &[&str] = if quick {
+                &["4", "16"]
+            } else {
+                &["4", "8", "16", "32", "64"]
+            };
+            Ok(SweepSpec::Table3 {
+                nodes: parse_nodes(&ns.iter().map(|s| s.to_string()).collect::<Vec<_>>())?,
+            })
         }
-        println!();
+        ["table3", ns] => Ok(SweepSpec::Table3 {
+            nodes: parse_nodes(
+                &ns.split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect::<Vec<_>>(),
+            )?,
+        }),
+        [wl, cfgs, ns] => Ok(SweepSpec::Grid {
+            workload: wl.to_string(),
+            configs: cfgs.split(',').map(|s| s.trim().to_string()).collect(),
+            nodes: parse_nodes(
+                &ns.split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect::<Vec<_>>(),
+            )?,
+        }),
+        _ => Err(format!(
+            "--points '{spec}': expected 'table3[:<nodes>]' or '<workload>:<cfg,cfg>:<n,n>'"
+        )),
+    }
+}
+
+/// Builds a workload from explicit parameters (the parallel-sweep
+/// equivalent of [`build_workload`]: point closures cannot hold `Flags`).
+fn sweep_workload(
+    name: &str,
+    nodes: usize,
+    grain: Grain,
+    tasks: usize,
+    hot: f64,
+    seed: u64,
+) -> (Box<dyn Workload>, usize) {
+    match name {
+        "work-queue" => {
+            let mut p = WorkQueueParams::strong(nodes, grain, tasks);
+            p.seed = seed;
+            let wl = WorkQueue::new(p);
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "sync" => {
+            let mut p = SyncParams::paper(nodes, grain.refs(), tasks.div_ceil(nodes));
+            p.seed = seed;
+            let wl = SyncModel::new(p);
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "solver" => {
+            let p = SolverParams::paper(nodes, ssmp_workload::Allocation::Packed, 6);
+            let wl = LinearSolver::new(p);
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "fft" => {
+            let p = ssmp_workload::FftParams::paper(nodes);
+            let wl = ssmp_workload::FftPhases::new(p);
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "hotspot" => {
+            let wl = Hotspot::new(HotspotParams::new(nodes, hot, grain.refs()));
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        other => unreachable!("workload '{other}' was validated at registration"),
+    }
+}
+
+/// Runs a point sweep on the `ssmp_bench::exp` engine: every point is an
+/// independent simulation fanned across `--jobs` worker threads, with
+/// per-point seeds derived from `--seed` and the point index. The JSON
+/// artifact (`--json` / `--out`) is byte-identical for any `--jobs`; a
+/// point that trips the cycle-budget watchdog or panics is reported as a
+/// failed point without aborting the rest of the sweep.
+fn sweep(f: &Flags) -> Result<(), String> {
+    use ssmp_bench::exp::{default_jobs, Experiment, PointOutput, RunnerOpts};
+
+    let quick = f.has("quick") || std::env::var_os("SSMP_QUICK").is_some();
+    let json = f.has("json");
+    let sim = SimFlags::parse(f)?;
+    let jobs = f.num::<usize>("jobs", default_jobs())?;
+    let master = f.num::<u64>("seed", 0xC11)?;
+    let grain = parse_grain(f.get("grain").unwrap_or("medium"))?;
+    let tasks_flag = match f.get("tasks") {
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|_| format!("--tasks: cannot parse '{s}'"))?,
+        ),
+        None => None,
+    };
+    let hot = f.num::<f64>("hot", 0.2)?;
+
+    let spec = match f.get("points") {
+        Some(s) => parse_points_spec(s, quick)?,
+        None => SweepSpec::Grid {
+            workload: f.require("workload")?.to_string(),
+            configs: f.list("config", &["wbi", "cbl", "bc-cbl"]),
+            nodes: parse_nodes(&f.list(
+                "nodes",
+                if quick {
+                    &["4", "8"]
+                } else {
+                    &["4", "8", "16", "32"]
+                },
+            ))?,
+        },
+    };
+
+    let mut exp = Experiment::new("sweep").seed(master);
+    match &spec {
+        SweepSpec::Grid {
+            workload,
+            configs,
+            nodes,
+        } => {
+            for &n in nodes {
+                for c in configs {
+                    // validate the cell eagerly so usage errors surface
+                    // before any simulation starts
+                    let mut cfg = parse_config(c, n)?;
+                    sim.apply(&mut cfg)?;
+                    adapt_geometry(&mut cfg, workload, n);
+                    check_workload(workload)?;
+                    let wl_name = workload.clone();
+                    let tasks = tasks_flag.unwrap_or(8 * n);
+                    exp.point_with(
+                        format!("{wl_name}/{c}/n={n}"),
+                        &[
+                            ("workload", wl_name.clone()),
+                            ("config", c.clone()),
+                            ("nodes", n.to_string()),
+                        ],
+                        move |ctx| {
+                            let (wl, locks) =
+                                sweep_workload(&wl_name, n, grain, tasks, hot, ctx.seed);
+                            let r = Machine::builder(cfg.clone())
+                                .workload(wl)
+                                .locks(locks)
+                                .build()
+                                .expect("config validated at registration")
+                                .run();
+                            PointOutput::from_report(r, |r| {
+                                vec![
+                                    ("completion".into(), r.completion as f64),
+                                    ("messages".into(), r.total_messages() as f64),
+                                    ("packets".into(), r.net_packets as f64),
+                                ]
+                            })
+                        },
+                    );
+                }
+            }
+        }
+        SweepSpec::Table3 { nodes } => {
+            use ssmp_bench::scenarios::{one_barrier, parallel_lock, serial_lock};
+            use ssmp_engine::stats::keys;
+            const T_CS: u64 = 20;
+            for &n in nodes {
+                for (scenario, scheme) in [
+                    ("par", "WBI"),
+                    ("par", "CBL"),
+                    ("ser", "WBI"),
+                    ("ser", "CBL"),
+                    ("barr", "WBI"),
+                    ("barr", "CBL"),
+                ] {
+                    let mut cfg = match scheme {
+                        "WBI" => MachineConfig::wbi(n),
+                        _ => MachineConfig::cbl(n),
+                    };
+                    sim.apply(&mut cfg)?;
+                    exp.point_with(
+                        format!("n={n}/{scenario}/{scheme}"),
+                        &[
+                            ("nodes", n.to_string()),
+                            ("scenario", scenario.to_string()),
+                            ("scheme", scheme.to_string()),
+                        ],
+                        move |_| {
+                            let msg_prefix = match (scenario, scheme) {
+                                ("barr", "WBI") => keys::MSG_PREFIX,
+                                ("barr", _) => keys::MSG_BAR_PREFIX,
+                                (_, "WBI") => keys::MSG_WBI_PREFIX,
+                                _ => keys::MSG_CBL_PREFIX,
+                            };
+                            let r = match scenario {
+                                "par" => parallel_lock(cfg.clone(), T_CS),
+                                "ser" => serial_lock(cfg.clone(), T_CS),
+                                _ => one_barrier(cfg.clone()),
+                            };
+                            PointOutput::from_report(r, |r| {
+                                vec![
+                                    ("messages".into(), r.messages(msg_prefix) as f64),
+                                    ("cycles".into(), r.completion as f64),
+                                ]
+                            })
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    let opts = RunnerOpts::new()
+        .jobs(jobs)
+        .progress(!json && std::env::var_os("SSMP_NO_PROGRESS").is_none());
+    let sweep = exp.run(&opts);
+
+    if json {
+        println!("{}", sweep.to_json());
+    } else {
+        match &spec {
+            SweepSpec::Grid {
+                configs,
+                nodes,
+                workload,
+            } => {
+                print!("{:>6}", "n");
+                for c in configs {
+                    print!(" {c:>12}");
+                }
+                println!();
+                for &n in nodes {
+                    print!("{n:>6}");
+                    for c in configs {
+                        let label = format!("{workload}/{c}/n={n}");
+                        match sweep.get(&label).and_then(|p| p.value("completion")) {
+                            Some(v) => print!(" {:>12}", v as u64),
+                            None => print!(" {:>12}", "FAILED"),
+                        }
+                    }
+                    println!();
+                }
+            }
+            SweepSpec::Table3 { nodes } => {
+                let cols = [
+                    ("par", "WBI"),
+                    ("par", "CBL"),
+                    ("ser", "WBI"),
+                    ("ser", "CBL"),
+                    ("barr", "WBI"),
+                    ("barr", "CBL"),
+                ];
+                print!("{:>6}", "n");
+                for (sc, s) in cols {
+                    print!(" {:>12}", format!("{sc} {s}"));
+                }
+                println!("  (messages)");
+                for &n in nodes {
+                    print!("{n:>6}");
+                    for (sc, s) in cols {
+                        let label = format!("n={n}/{sc}/{s}");
+                        match sweep.get(&label).and_then(|p| p.value("messages")) {
+                            Some(v) => print!(" {:>12}", v as u64),
+                            None => print!(" {:>12}", "FAILED"),
+                        }
+                    }
+                    println!();
+                }
+            }
+        }
+    }
+    if let Some(path) = f.get("out") {
+        std::fs::write(path, sweep.to_json() + "\n").map_err(|e| format!("--out {path}: {e}"))?;
+    }
+    let fails = sweep.failures();
+    if !fails.is_empty() {
+        eprintln!("{} of {} points failed:", fails.len(), sweep.points.len());
+        for p in &fails {
+            eprintln!("  {}: {}", p.label, p.error().unwrap());
+            if let ssmp_bench::exp::PointStatus::Deadlock(d) = &p.status {
+                for line in d.render().lines() {
+                    eprintln!("    {line}");
+                }
+            }
+        }
+        std::process::exit(1);
     }
     Ok(())
 }
@@ -400,8 +715,7 @@ fn program(f: &Flags) -> Result<(), String> {
     let mut streams = progs;
     streams.resize_with(nodes, || vec![Op::Barrier; barriers]);
     let mut cfg = parse_config(f.require("config")?, nodes)?;
-    parse_topology(&mut cfg, f)?;
-    apply_robustness(&mut cfg, f)?;
+    SimFlags::parse(f)?.apply(&mut cfg)?;
     cfg.record_reads = true;
     let sems: Vec<u64> = f
         .list("sems", &[])
@@ -416,12 +730,15 @@ fn program(f: &Flags) -> Result<(), String> {
             max_sem
         ));
     }
-    apply_observability(&mut cfg, f)?;
     let wl = ssmp_machine::op::Script::new(streams);
     let tracer = build_tracer(f)?;
-    let r = Machine::new(cfg, Box::new(wl), max_lock + 1)
-        .with_semaphores(&sems)
-        .with_tracer(tracer)
+    let r = Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(max_lock + 1)
+        .semaphores(&sems)
+        .tracer(tracer)
+        .build()
+        .unwrap()
         .run();
     print_report(&r, f.has("json"));
     if !f.has("json") && !r.read_log.is_empty() {
@@ -473,8 +790,7 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let trace = Trace::from_json(&text)?;
     let mut cfg = parse_config(f.require("config")?, trace.nodes())?;
-    parse_topology(&mut cfg, f)?;
-    apply_robustness(&mut cfg, f)?;
+    SimFlags::parse(f)?.apply(&mut cfg)?;
     // size the lock space from the trace contents
     let mut max_lock = 1usize;
     for op in trace.streams.iter().flatten() {
@@ -487,10 +803,13 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
             max_lock = max_lock.max(l + 1);
         }
     }
-    apply_observability(&mut cfg, f)?;
     let tracer = build_tracer(f)?;
-    let r = Machine::new(cfg, Box::new(trace.replay()), max_lock + 1)
-        .with_tracer(tracer)
+    let r = Machine::builder(cfg)
+        .workload(Box::new(trace.replay()))
+        .locks(max_lock + 1)
+        .tracer(tracer)
+        .build()
+        .unwrap()
         .run();
     print_report(&r, f.has("json"));
     Ok(())
@@ -809,6 +1128,88 @@ mod tests {
             "8",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn points_spec_parses_all_forms() {
+        match parse_points_spec("table3", false).unwrap() {
+            SweepSpec::Table3 { nodes } => assert_eq!(nodes, vec![4, 8, 16, 32, 64]),
+            _ => panic!("expected table3 spec"),
+        }
+        match parse_points_spec("table3", true).unwrap() {
+            SweepSpec::Table3 { nodes } => assert_eq!(nodes, vec![4, 16]),
+            _ => panic!("expected quick table3 spec"),
+        }
+        match parse_points_spec("table3:4,8", false).unwrap() {
+            SweepSpec::Table3 { nodes } => assert_eq!(nodes, vec![4, 8]),
+            _ => panic!("expected table3 spec with nodes"),
+        }
+        match parse_points_spec("sync:wbi,cbl:4,16", false).unwrap() {
+            SweepSpec::Grid {
+                workload,
+                configs,
+                nodes,
+            } => {
+                assert_eq!(workload, "sync");
+                assert_eq!(configs, vec!["wbi", "cbl"]);
+                assert_eq!(nodes, vec![4, 16]);
+            }
+            _ => panic!("expected grid spec"),
+        }
+        assert!(parse_points_spec("table3:4,12", false).is_err());
+        assert!(parse_points_spec("sync:wbi", false).is_err());
+        assert!(parse_points_spec("a:b:c:d", false).is_err());
+    }
+
+    #[test]
+    fn sweep_points_table3_writes_artifact_independent_of_jobs() {
+        let dir = std::env::temp_dir().join("ssmp_cli_sweep_jobs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out1 = dir.join("j1.json");
+        let out2 = dir.join("j2.json");
+        for (jobs, out) in [("1", &out1), ("4", &out2)] {
+            dispatch(&v(&[
+                "sweep",
+                "--points",
+                "table3:4",
+                "--jobs",
+                jobs,
+                "--json",
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let a = std::fs::read_to_string(&out1).unwrap();
+        let b = std::fs::read_to_string(&out2).unwrap();
+        assert_eq!(a, b, "sweep artifact must not depend on --jobs");
+        assert!(a.contains("\"n=4/par/WBI\""));
+        assert!(a.contains("\"messages\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_grid_spec_runs_with_explicit_seed() {
+        dispatch(&v(&[
+            "sweep",
+            "--points",
+            "work-queue:cbl:4",
+            "--grain",
+            "fine",
+            "--tasks",
+            "8",
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_points_spec() {
+        assert!(dispatch(&v(&["sweep", "--points", "nope:cbl:4"])).is_err());
+        assert!(dispatch(&v(&["sweep", "--points", "table3:6"])).is_err());
     }
 
     #[test]

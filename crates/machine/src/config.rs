@@ -25,6 +25,11 @@ pub enum ConfigError {
     ZeroRetryAttempts,
     /// The interconnect geometry is invalid for the chosen topology.
     Net(NetError),
+    /// [`crate::MachineBuilder::build`] was called without a workload.
+    MissingWorkload,
+    /// The workload is sized for a different machine (workload nodes,
+    /// machine nodes).
+    WorkloadNodes(usize, usize),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -42,6 +47,12 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroRetryTimeout => write!(f, "retry timeout must be at least 1 cycle"),
             ConfigError::ZeroRetryAttempts => write!(f, "retry needs at least one attempt"),
             ConfigError::Net(e) => write!(f, "{e}"),
+            ConfigError::MissingWorkload => {
+                write!(f, "machine builder needs a workload before build()")
+            }
+            ConfigError::WorkloadNodes(w, m) => {
+                write!(f, "workload sized for {w} nodes on a {m}-node machine")
+            }
         }
     }
 }
@@ -373,6 +384,8 @@ mod tests {
             ConfigError::ZeroRetryTimeout,
             ConfigError::ZeroRetryAttempts,
             ConfigError::Net(ssmp_net::NetError::NoPorts),
+            ConfigError::MissingWorkload,
+            ConfigError::WorkloadNodes(4, 8),
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -32,6 +32,6 @@ pub mod report;
 pub use config::{
     BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PrivateMode, RetryPolicy,
 };
-pub use machine::Machine;
+pub use machine::{Machine, MachineBuilder};
 pub use op::{LockId, Op, Workload};
 pub use report::{DeadlockReport, LockDiag, Report, RicDiag, StalledNode};

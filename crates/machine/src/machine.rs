@@ -155,7 +155,8 @@ pub struct Machine {
     swbar: ssmp_wbi::SwBarrier,
     hwbar: HwBarrier,
     /// Hardware counting semaphores (paper §2's P/V, built like the
-    /// hardware barrier). Empty unless configured with `with_semaphores`.
+    /// hardware barrier). Empty unless configured via
+    /// [`MachineBuilder::semaphores`].
     sems: Vec<HwSemaphore>,
     workload: Box<dyn Workload>,
     priv_model: PrivateModel,
@@ -198,7 +199,7 @@ pub struct Machine {
     wbuf_msgs: Vec<BTreeMap<u64, Vec<(u64, Proto)>>>,
     /// Set when the watchdog ended the run.
     deadlock: Option<DeadlockReport>,
-    /// Event tracer (off by default; see [`Machine::with_tracer`]).
+    /// Event tracer (off by default; see [`MachineBuilder::tracer`]).
     tracer: Tracer,
     /// Interval gauge sampler (`Some` when `cfg.metrics_interval` is set).
     metrics: Option<MetricsState>,
@@ -233,30 +234,113 @@ const METRIC_COLUMNS: [&str; 13] = [
     "stall.timer",
 ];
 
+/// Fluent, fallible construction of a [`Machine`].
+///
+/// This is the one supported way to assemble a machine; the old
+/// constructor surface (`new`, `try_new`, `with_tracer`, `with_semaphores`)
+/// survives as deprecated shims over it.
+///
+/// ```
+/// use ssmp_machine::{Machine, MachineConfig, Op};
+/// use ssmp_machine::op::Script;
+///
+/// let cfg = MachineConfig::cbl(2);
+/// let wl = Script::new(vec![vec![Op::Compute(1)]; 2]);
+/// let report = Machine::builder(cfg)
+///     .workload(Box::new(wl))
+///     .locks(2)
+///     .build()
+///     .unwrap()
+///     .run();
+/// assert!(report.completion > 0);
+/// ```
+pub struct MachineBuilder {
+    cfg: MachineConfig,
+    workload: Option<Box<dyn Workload>>,
+    locks: usize,
+    sems: Vec<u64>,
+    tracer: Tracer,
+}
+
+impl MachineBuilder {
+    /// Sets the workload the machine executes (required).
+    pub fn workload(mut self, w: Box<dyn Workload>) -> Self {
+        self.workload = Some(w);
+        self
+    }
+
+    /// Provisions `n` lock blocks / CBL queues. Lock counts are a property
+    /// of the experiment, not the workload trait, so they are set here
+    /// (default 0 — any `Op::Lock` then panics on an out-of-range id).
+    pub fn locks(mut self, n: usize) -> Self {
+        self.locks = n;
+        self
+    }
+
+    /// Attaches an event tracer. The tracer only *observes* the run — it
+    /// never touches simulator state, RNG streams, or event ordering, so a
+    /// traced run is bit-identical to an untraced one.
+    pub fn tracer(mut self, t: Tracer) -> Self {
+        self.tracer = t;
+        self
+    }
+
+    /// Provisions hardware counting semaphores with the given initial
+    /// credits (semaphore `i` is homed at module `(i + 1) % nodes`).
+    pub fn semaphores(mut self, initial: &[u64]) -> Self {
+        self.sems = initial.to_vec();
+        self
+    }
+
+    /// Validates the configuration and assembles the machine.
+    pub fn build(self) -> Result<Machine, ConfigError> {
+        let workload = self.workload.ok_or(ConfigError::MissingWorkload)?;
+        let mut m = Machine::assemble(self.cfg, workload, self.locks)?;
+        m.sems = self.sems.iter().map(|&c| HwSemaphore::new(c)).collect();
+        m.tracer = self.tracer;
+        Ok(m)
+    }
+}
+
 impl Machine {
+    /// Starts building a machine under `cfg`. See [`MachineBuilder`].
+    pub fn builder(cfg: MachineConfig) -> MachineBuilder {
+        MachineBuilder {
+            cfg,
+            workload: None,
+            locks: 0,
+            sems: Vec::new(),
+            tracer: Tracer::off(),
+        }
+    }
+
     /// Builds a machine for `workload` under `cfg`.
-    ///
-    /// The workload decides the number of locks via [`Workload::nodes`]
-    /// plus the `locks` argument here (workload-specific lock counts are a
-    /// property of the experiment, not the workload trait).
+    #[deprecated(note = "use Machine::builder(cfg).workload(w).locks(n).build()")]
     pub fn new(cfg: MachineConfig, workload: Box<dyn Workload>, locks: usize) -> Self {
-        Self::try_new(cfg, workload, locks).expect("invalid machine configuration")
+        Self::assemble(cfg, workload, locks).expect("invalid machine configuration")
     }
 
     /// Builds a machine, reporting an invalid configuration as an error
     /// instead of panicking.
+    #[deprecated(note = "use Machine::builder(cfg).workload(w).locks(n).build()")]
     pub fn try_new(
+        cfg: MachineConfig,
+        workload: Box<dyn Workload>,
+        locks: usize,
+    ) -> Result<Self, ConfigError> {
+        Self::assemble(cfg, workload, locks)
+    }
+
+    fn assemble(
         cfg: MachineConfig,
         workload: Box<dyn Workload>,
         locks: usize,
     ) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let n = cfg.geometry.nodes;
-        assert_eq!(
-            workload.nodes(),
-            n,
-            "workload sized for a different machine"
-        );
+        if workload.nodes() != n {
+            return Err(ConfigError::WorkloadNodes(workload.nodes(), n));
+        }
         let bw = cfg.geometry.block_words;
         let master = SimRng::new(cfg.seed);
         let nodes = (0..n)
@@ -344,16 +428,16 @@ impl Machine {
         })
     }
 
-    /// Attaches an event tracer. The tracer only *observes* the run — it
-    /// never touches simulator state, RNG streams, or event ordering, so a
-    /// traced run is bit-identical to an untraced one.
+    /// Attaches an event tracer.
+    #[deprecated(note = "use Machine::builder(cfg).tracer(t)")]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
         self
     }
 
     /// Provisions hardware counting semaphores with the given initial
-    /// credits (semaphore `i` is homed at module `(i + 1) % nodes`).
+    /// credits.
+    #[deprecated(note = "use Machine::builder(cfg).semaphores(&[..])")]
     pub fn with_semaphores(mut self, initial: &[u64]) -> Self {
         self.sems = initial.iter().map(|&c| HwSemaphore::new(c)).collect();
         self
@@ -2385,7 +2469,12 @@ mod tests {
 
     fn run(cfg: MachineConfig, streams: Vec<Vec<Op>>, locks: usize) -> Report {
         let wl = Script::new(streams);
-        Machine::new(cfg, Box::new(wl), locks).run()
+        Machine::builder(cfg)
+            .workload(Box::new(wl))
+            .locks(locks)
+            .build()
+            .unwrap()
+            .run()
     }
 
     #[test]
@@ -2594,8 +2683,12 @@ mod extension_tests {
     use ssmp_core::addr::SharedAddr;
 
     fn run_with_sems(cfg: MachineConfig, streams: Vec<Vec<Op>>, sems: &[u64]) -> Report {
-        Machine::new(cfg, Box::new(Script::new(streams)), 2)
-            .with_semaphores(sems)
+        Machine::builder(cfg)
+            .workload(Box::new(Script::new(streams)))
+            .locks(2)
+            .semaphores(sems)
+            .build()
+            .unwrap()
             .run()
     }
 
@@ -2656,7 +2749,12 @@ mod extension_tests {
             ],
             vec![Op::SpinUntilGlobal(SharedAddr::new(3, 0), 7)],
         ];
-        let r = Machine::new(MachineConfig::wbi(2), Box::new(Script::new(streams)), 2).run();
+        let r = Machine::builder(MachineConfig::wbi(2))
+            .workload(Box::new(Script::new(streams)))
+            .locks(2)
+            .build()
+            .unwrap()
+            .run();
         assert!(r.completion >= 300);
     }
 
@@ -2670,7 +2768,12 @@ mod extension_tests {
             ],
             vec![Op::SpinUntilGlobal(SharedAddr::new(3, 0), 7)],
         ];
-        let r = Machine::new(MachineConfig::bc_cbl(2), Box::new(Script::new(streams)), 2).run();
+        let r = Machine::builder(MachineConfig::bc_cbl(2))
+            .workload(Box::new(Script::new(streams)))
+            .locks(2)
+            .build()
+            .unwrap()
+            .run();
         assert!(r.completion >= 300);
         assert!(r.counters.get("msg.ric.read_global") >= 1);
     }
@@ -2689,7 +2792,11 @@ mod extension_tests {
                         .collect()
                 })
                 .collect();
-            Machine::new(cfg, Box::new(Script::new(streams)), 1)
+            Machine::builder(cfg)
+                .workload(Box::new(Script::new(streams)))
+                .locks(1)
+                .build()
+                .unwrap()
                 .run()
                 .completion
         };
@@ -2708,7 +2815,12 @@ mod extension_tests {
         let streams: Vec<Vec<Op>> = (0..4)
             .map(|_| vec![Op::Private { write: false }; 300])
             .collect();
-        let r = Machine::new(cfg, Box::new(Script::new(streams)), 1).run();
+        let r = Machine::builder(cfg)
+            .workload(Box::new(Script::new(streams)))
+            .locks(1)
+            .build()
+            .unwrap()
+            .run();
         let hits = r.counters.get("priv.hit");
         let misses = r.counters.get("priv.miss");
         assert_eq!(hits + misses, 4 * 300);
@@ -2727,7 +2839,12 @@ mod extension_tests {
                 ]
             })
             .collect();
-        let r = Machine::new(MachineConfig::cbl(4), Box::new(Script::new(streams)), 2).run();
+        let r = Machine::builder(MachineConfig::cbl(4))
+            .workload(Box::new(Script::new(streams)))
+            .locks(2)
+            .build()
+            .unwrap()
+            .run();
         assert!(r.stall_breakdown.get("lock").copied().unwrap_or(0) > 0);
         assert!(r.stall_breakdown.get("barrier").copied().unwrap_or(0) > 0);
     }
@@ -2739,7 +2856,12 @@ mod extension_tests {
         let streams: Vec<Vec<Op>> = (0..8)
             .map(|_| vec![Op::SharedRead(SharedAddr::new(0, 0)); 4])
             .collect();
-        let r = Machine::new(cfg, Box::new(Script::new(streams)), 2).run();
+        let r = Machine::builder(cfg)
+            .workload(Box::new(Script::new(streams)))
+            .locks(2)
+            .build()
+            .unwrap()
+            .run();
         assert!(
             r.counters.get("wbi.dir_evictions") > 0,
             "eight readers of one block must overflow a Dir_1"

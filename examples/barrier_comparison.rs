@@ -19,7 +19,12 @@ fn episode(cfg: MachineConfig, episodes: usize) -> (u64, u64) {
             ops
         })
         .collect();
-    let r = Machine::new(cfg, Box::new(Script::new(script)), 2).run();
+    let r = Machine::builder(cfg)
+        .workload(Box::new(Script::new(script)))
+        .locks(2)
+        .build()
+        .unwrap()
+        .run();
     (r.completion, r.total_messages())
 }
 

@@ -61,8 +61,12 @@ fn main() {
         for _ in 0..n / 2 {
             streams.push(consumer(items_per_pair));
         }
-        let m =
-            Machine::new(cfg, Box::new(Script::new(streams)), 2).with_semaphores(&[capacity, 0]);
+        let m = Machine::builder(cfg)
+            .workload(Box::new(Script::new(streams)))
+            .locks(2)
+            .semaphores(&[capacity, 0])
+            .build()
+            .unwrap();
         let r = m.run();
         println!(
             "{name:<20} {:>8} cycles | sem grants {} | P blocks resolved FIFO | mutex grants {}",

@@ -30,7 +30,12 @@ fn observe(mut cfg: MachineConfig, flush: bool, pad: usize) -> (u64, u64) {
         Op::SpinUntilGlobal(FLAG, 1),
         Op::SharedRead(DATA),
     ];
-    let r = Machine::new(cfg, Box::new(Script::new(vec![writer, reader])), 1).run();
+    let r = Machine::builder(cfg)
+        .workload(Box::new(Script::new(vec![writer, reader])))
+        .locks(1)
+        .build()
+        .unwrap()
+        .run();
     let reads: Vec<u64> = r
         .read_log
         .iter()

@@ -16,7 +16,12 @@ fn run(p: FftParams) -> Report {
     cfg.geometry = Geometry::new(n, 4, p.shared_blocks());
     let wl = FftPhases::new(p);
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
 }
 
 fn main() {

@@ -10,7 +10,12 @@ use ssmp::workload::{Hotspot, HotspotParams};
 fn run(n: usize, hot: f64) -> (u64, u64) {
     let wl = Hotspot::new(HotspotParams::new(n, hot, 200));
     let locks = wl.machine_locks();
-    let r = Machine::new(MachineConfig::sc_cbl(n), Box::new(wl), locks).run();
+    let r = Machine::builder(MachineConfig::sc_cbl(n))
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run();
     (r.completion, r.net_queueing)
 }
 

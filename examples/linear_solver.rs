@@ -22,7 +22,12 @@ fn run(n: usize, alloc: Allocation, ric: bool, iters: usize) -> (u64, u64, u64) 
     cfg.geometry = Geometry::new(n, 4, p.shared_blocks().max(1));
     let wl = LinearSolver::new(p);
     let locks = wl.machine_locks();
-    let r = Machine::new(cfg, Box::new(wl), locks).run();
+    let r = Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run();
     (r.completion, r.total_messages(), r.net_words)
 }
 

@@ -18,7 +18,12 @@ fn contend(cfg: MachineConfig, t_cs: u64) -> (u64, u64, f64) {
         ];
         n
     ];
-    let r = Machine::new(cfg, Box::new(Script::new(script)), 2).run();
+    let r = Machine::builder(cfg)
+        .workload(Box::new(Script::new(script)))
+        .locks(2)
+        .build()
+        .unwrap()
+        .run();
     (
         r.completion,
         r.total_messages(),

@@ -17,7 +17,12 @@ fn main() {
     let wl = WorkQueue::new(WorkQueueParams::paper(8, Grain::Medium, 4));
     let locks = wl.machine_locks();
 
-    let report = Machine::new(cfg, Box::new(wl), locks).run();
+    let report = Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run();
 
     println!("{}", report.summary());
     println!("selected counters:");
@@ -35,7 +40,12 @@ fn main() {
     // Compare against the same workload on the WBI baseline.
     let wl = WorkQueue::new(WorkQueueParams::paper(8, Grain::Medium, 4));
     let locks = wl.machine_locks();
-    let baseline = Machine::new(MachineConfig::wbi(8), Box::new(wl), locks).run();
+    let baseline = Machine::builder(MachineConfig::wbi(8))
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run();
     println!(
         "\nbaseline (WBI + spin locks): {} cycles — proposed architecture: {} cycles ({:.2}x)",
         baseline.completion,

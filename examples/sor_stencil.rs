@@ -15,7 +15,12 @@ fn run(mut cfg: MachineConfig, n: usize, sweeps: usize) -> (u64, u64, u64) {
     cfg.geometry = Geometry::new(n, 4, p.shared_blocks());
     let wl = Sor::new(p);
     let locks = wl.machine_locks();
-    let r = Machine::new(cfg, Box::new(wl), locks).run();
+    let r = Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run();
     (
         r.completion,
         r.counters.get("shared.read.miss"),

@@ -30,7 +30,12 @@ fn main() {
         ("sc-cbl", MachineConfig::sc_cbl(n)),
         ("bc-cbl", MachineConfig::bc_cbl(n)),
     ] {
-        let r = Machine::new(cfg, Box::new(trace.replay()), 17).run();
+        let r = Machine::builder(cfg)
+            .workload(Box::new(trace.replay()))
+            .locks(17)
+            .build()
+            .unwrap()
+            .run();
         println!(
             "{name:<14} {:>12} {:>12} {:>14}",
             r.completion,

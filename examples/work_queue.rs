@@ -10,7 +10,13 @@ fn run(cfg: MachineConfig, grain: Grain) -> u64 {
     let n = cfg.geometry.nodes;
     let wl = WorkQueue::new(WorkQueueParams::paper(n, grain, 4));
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks).run().completion
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
+        .completion
 }
 
 fn main() {

@@ -15,7 +15,13 @@
 //! let run = |cfg: MachineConfig| {
 //!     let wl = WorkQueue::new(WorkQueueParams::paper(4, Grain::Fine, 2));
 //!     let locks = wl.machine_locks();
-//!     Machine::new(cfg, Box::new(wl), locks).run().completion
+//!     Machine::builder(cfg)
+//!         .workload(Box::new(wl))
+//!         .locks(locks)
+//!         .build()
+//!         .unwrap()
+//!         .run()
+//!         .completion
 //! };
 //! let proposed = run(MachineConfig::bc_cbl(4)); // RIC + CBL + BC
 //! let baseline = run(MachineConfig::wbi(4));    // invalidate + spin locks

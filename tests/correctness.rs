@@ -8,7 +8,12 @@ use ssmp::machine::op::Script;
 use ssmp::machine::{Machine, MachineConfig, Op, Report};
 
 fn run(cfg: MachineConfig, streams: Vec<Vec<Op>>, locks: usize) -> Report {
-    Machine::new(cfg, Box::new(Script::new(streams)), locks).run()
+    Machine::builder(cfg)
+        .workload(Box::new(Script::new(streams)))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
 }
 
 fn all_configs(n: usize) -> Vec<(&'static str, MachineConfig)> {

@@ -17,7 +17,12 @@ fn parallel_lock(cfg: MachineConfig, t_cs: u64) -> Report {
         ];
         n
     ];
-    Machine::new(cfg, Box::new(Script::new(script)), 2).run()
+    Machine::builder(cfg)
+        .workload(Box::new(Script::new(script)))
+        .locks(2)
+        .build()
+        .unwrap()
+        .run()
 }
 
 /// Table 3's headline: CBL parallel-lock messages grow linearly, WBI's
@@ -90,7 +95,12 @@ fn solver_traffic_ordering_matches_table2() {
             cfg.geometry = Geometry::new(n, 4, p.shared_blocks().max(1));
             let wl = LinearSolver::new(p);
             let locks = wl.machine_locks();
-            let r = Machine::new(cfg, Box::new(wl), locks).run();
+            let r = Machine::builder(cfg)
+                .workload(Box::new(wl))
+                .locks(locks)
+                .build()
+                .unwrap()
+                .run();
             r.messages(if ric { "msg.ric." } else { "msg.wbi." })
         };
         (run(6) - run(2)) as f64 / 4.0
@@ -143,7 +153,11 @@ fn barrier_message_scaling() {
         let script: Vec<Vec<Op>> = (0..n)
             .map(|i| vec![Op::Compute(1 + i as u64), Op::Barrier])
             .collect();
-        Machine::new(cfg, Box::new(Script::new(script)), 2)
+        Machine::builder(cfg)
+            .workload(Box::new(Script::new(script)))
+            .locks(2)
+            .build()
+            .unwrap()
             .run()
             .messages("msg.")
     };
@@ -176,7 +190,11 @@ fn hotspot_saturation_matches_queueing_model() {
     let run = |hot: f64| -> u64 {
         let wl = Hotspot::new(HotspotParams::new(n, hot, refs));
         let locks = wl.machine_locks();
-        Machine::new(MachineConfig::sc_cbl(n), Box::new(wl), locks)
+        Machine::builder(MachineConfig::sc_cbl(n))
+            .workload(Box::new(wl))
+            .locks(locks)
+            .build()
+            .unwrap()
             .run()
             .completion
     };

@@ -2,6 +2,11 @@
 //! shared memory (benign faults, or faults covered by the retry layer) or
 //! end with a structured [`DeadlockReport`] — it must never hang or
 //! silently corrupt data.
+//!
+//! The two whole-matrix sweeps (configs × retry, workloads × configs) run
+//! on the `ssmp_bench::exp` engine: each cell is an independent point, a
+//! failed assertion is captured as a failed point, and `expect_ok` reports
+//! every failing cell at once instead of stopping at the first.
 
 use ssmp::core::addr::SharedAddr;
 use ssmp::core::primitive::LockMode;
@@ -9,9 +14,15 @@ use ssmp::engine::WatchdogVerdict;
 use ssmp::machine::op::Script;
 use ssmp::machine::{Machine, MachineConfig, Op, Report, RetryPolicy};
 use ssmp::net::{FaultConfig, MsgDir, MsgKind};
+use ssmp_bench::exp::{Experiment, PointOutput, RunnerOpts};
 
 fn run(cfg: MachineConfig, streams: Vec<Vec<Op>>, locks: usize) -> Report {
-    Machine::new(cfg, Box::new(Script::new(streams)), locks).run()
+    Machine::builder(cfg)
+        .workload(Box::new(Script::new(streams)))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
 }
 
 fn all_configs(n: usize) -> Vec<(&'static str, MachineConfig)> {
@@ -45,37 +56,48 @@ fn workload(n: usize) -> Vec<Vec<Op>> {
 
 /// Duplicated and delayed messages never lose information, so every
 /// configuration must complete — with or without the retry layer — and
-/// reach exactly the fault-free shared memory.
+/// reach exactly the fault-free shared memory. One sweep point per
+/// (configuration, retry) cell; each point compares its faulty run to
+/// its own clean run.
 #[test]
 fn dup_and_delay_faults_preserve_final_memory() {
+    let mut exp = Experiment::new("fault-dup-delay");
     for (name, base) in all_configs(4) {
-        let clean = run(base.clone(), workload(4), 2);
-        assert!(clean.deadlock.is_none(), "config {name}: clean run stuck");
-
         for retry in [false, true] {
-            let mut cfg = base.clone();
-            cfg.fault = Some(FaultConfig::uniform(0xF00D, 0.0, 0.05, 0.10));
-            if retry {
-                cfg.retry = RetryPolicy::enabled();
-            }
-            let r = run(cfg, workload(4), 2);
-            assert!(
-                r.deadlock.is_none(),
-                "config {name} (retry={retry}): dup/delay run stuck:\n{}",
-                r.deadlock.unwrap().render()
-            );
-            assert_eq!(
-                r.shared_memory, clean.shared_memory,
-                "config {name} (retry={retry}): faults corrupted shared memory"
-            );
-            let fs = r.faults.expect("fault stats must be reported");
-            assert!(
-                fs.duplicated + fs.delayed > 0,
-                "config {name}: plan never fired (inspected {})",
-                fs.inspected
-            );
+            let base = base.clone();
+            exp.point(format!("{name}/retry={retry}"), move |_| {
+                let clean = run(base.clone(), workload(4), 2);
+                assert!(clean.deadlock.is_none(), "config {name}: clean run stuck");
+
+                let mut cfg = base.clone();
+                cfg.fault = Some(FaultConfig::uniform(0xF00D, 0.0, 0.05, 0.10));
+                if retry {
+                    cfg.retry = RetryPolicy::enabled();
+                }
+                let r = run(cfg, workload(4), 2);
+                assert!(
+                    r.deadlock.is_none(),
+                    "config {name} (retry={retry}): dup/delay run stuck:\n{}",
+                    r.deadlock.unwrap().render()
+                );
+                assert_eq!(
+                    r.shared_memory, clean.shared_memory,
+                    "config {name} (retry={retry}): faults corrupted shared memory"
+                );
+                let fs = r.faults.expect("fault stats must be reported");
+                assert!(
+                    fs.duplicated + fs.delayed > 0,
+                    "config {name}: plan never fired (inspected {})",
+                    fs.inspected
+                );
+                PointOutput::values(vec![(
+                    "faults fired".into(),
+                    (fs.duplicated + fs.delayed) as f64,
+                )])
+            });
         }
     }
+    exp.run(&RunnerOpts::new()).expect_ok();
 }
 
 /// Dropped *request-leg* messages are recovered by timeout + retransmit:
@@ -225,57 +247,47 @@ fn paper_workloads_survive_dup_delay_faults() {
     use ssmp::workload::*;
 
     let n = 4;
-    type Mk = Box<dyn Fn() -> (Box<dyn ssmp::machine::op::Workload>, usize)>;
-    // (name, constructor, final-shared-memory timing-independent?)
-    let workloads: Vec<(&str, Mk, bool)> = vec![
-        (
-            "work-queue",
-            Box::new(move || {
-                let wl = WorkQueue::new(WorkQueueParams::strong(n, Grain::Medium, 2 * n));
-                let locks = wl.machine_locks();
-                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
-            }),
-            false,
-        ),
-        (
-            "sync",
-            Box::new(move || {
-                let wl = SyncModel::new(SyncParams::paper(n, 64, 2));
-                let locks = wl.machine_locks();
-                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
-            }),
-            true,
-        ),
-        (
-            "solver",
-            Box::new(move || {
-                let wl = LinearSolver::new(SolverParams::paper(n, Allocation::Packed, 3));
-                let locks = wl.machine_locks();
-                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
-            }),
-            true,
-        ),
-        (
-            "fft",
-            Box::new(move || {
-                let wl = FftPhases::new(FftParams::paper(n));
-                let locks = wl.machine_locks();
-                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
-            }),
-            true,
-        ),
-        (
-            "hotspot",
-            Box::new(move || {
-                let wl = Hotspot::new(HotspotParams::new(n, 0.2, 32));
-                let locks = wl.machine_locks();
-                (Box::new(wl) as Box<dyn ssmp::machine::op::Workload>, locks)
-            }),
-            false,
-        ),
+    // (name, final-shared-memory timing-independent?)
+    let workloads: &[(&str, bool)] = &[
+        ("work-queue", false),
+        ("sync", true),
+        ("solver", true),
+        ("fft", true),
+        ("hotspot", false),
     ];
 
-    let geometry = |name: &str, cfg: &mut MachineConfig| {
+    fn mk(name: &str, n: usize) -> (Box<dyn ssmp::machine::op::Workload>, usize) {
+        match name {
+            "work-queue" => {
+                let wl = WorkQueue::new(WorkQueueParams::strong(n, Grain::Medium, 2 * n));
+                let locks = wl.machine_locks();
+                (Box::new(wl), locks)
+            }
+            "sync" => {
+                let wl = SyncModel::new(SyncParams::paper(n, 64, 2));
+                let locks = wl.machine_locks();
+                (Box::new(wl), locks)
+            }
+            "solver" => {
+                let wl = LinearSolver::new(SolverParams::paper(n, Allocation::Packed, 3));
+                let locks = wl.machine_locks();
+                (Box::new(wl), locks)
+            }
+            "fft" => {
+                let wl = FftPhases::new(FftParams::paper(n));
+                let locks = wl.machine_locks();
+                (Box::new(wl), locks)
+            }
+            "hotspot" => {
+                let wl = Hotspot::new(HotspotParams::new(n, 0.2, 32));
+                let locks = wl.machine_locks();
+                (Box::new(wl), locks)
+            }
+            other => unreachable!("unknown workload {other}"),
+        }
+    }
+
+    fn geometry(name: &str, n: usize, cfg: &mut MachineConfig) {
         // the solver and FFT size the shared region themselves (as the CLI does)
         let blocks = match name {
             "solver" => SolverParams::paper(n, Allocation::Packed, 3).shared_blocks(),
@@ -283,42 +295,52 @@ fn paper_workloads_survive_dup_delay_faults() {
             _ => return,
         };
         cfg.geometry = Geometry::new(n, 4, blocks.max(cfg.geometry.shared_blocks));
-    };
+    }
 
-    for (wl_name, mk, timing_independent) in &workloads {
+    let mut exp = Experiment::new("fault-paper-workloads");
+    for &(wl_name, timing_independent) in workloads {
         for (cfg_name, base) in [
             ("sc_cbl", MachineConfig::sc_cbl(n)),
             ("bc_cbl", MachineConfig::bc_cbl(n)),
         ] {
-            let run_with = |cfg: MachineConfig| {
-                let (wl, locks) = mk();
-                Machine::new(cfg, wl, locks).run()
-            };
+            exp.point(format!("{wl_name}/{cfg_name}"), move |_| {
+                let run_with = |cfg: MachineConfig| {
+                    let (wl, locks) = mk(wl_name, n);
+                    Machine::builder(cfg)
+                        .workload(wl)
+                        .locks(locks)
+                        .build()
+                        .unwrap()
+                        .run()
+                };
 
-            let mut clean_cfg = base.clone();
-            geometry(wl_name, &mut clean_cfg);
-            let clean = run_with(clean_cfg.clone());
-            assert!(
-                clean.deadlock.is_none(),
-                "{wl_name}/{cfg_name}: clean run stuck"
-            );
-
-            let mut cfg = clean_cfg;
-            cfg.fault = Some(FaultConfig::uniform(0xBEEF ^ n as u64, 0.0, 0.04, 0.08));
-            cfg.retry = RetryPolicy::enabled();
-            let r = run_with(cfg);
-            assert!(
-                r.deadlock.is_none(),
-                "{wl_name}/{cfg_name}: dup/delay faults stranded the run:\n{}",
-                r.deadlock.unwrap().render()
-            );
-            assert!(r.faults.unwrap().inspected > 0);
-            if *timing_independent {
-                assert_eq!(
-                    r.shared_memory, clean.shared_memory,
-                    "{wl_name}/{cfg_name}: faults corrupted a timing-independent result"
+                let mut clean_cfg = base.clone();
+                geometry(wl_name, n, &mut clean_cfg);
+                let clean = run_with(clean_cfg.clone());
+                assert!(
+                    clean.deadlock.is_none(),
+                    "{wl_name}/{cfg_name}: clean run stuck"
                 );
-            }
+
+                let mut cfg = clean_cfg;
+                cfg.fault = Some(FaultConfig::uniform(0xBEEF ^ n as u64, 0.0, 0.04, 0.08));
+                cfg.retry = RetryPolicy::enabled();
+                let r = run_with(cfg);
+                assert!(
+                    r.deadlock.is_none(),
+                    "{wl_name}/{cfg_name}: dup/delay faults stranded the run:\n{}",
+                    r.deadlock.unwrap().render()
+                );
+                assert!(r.faults.as_ref().unwrap().inspected > 0);
+                if timing_independent {
+                    assert_eq!(
+                        r.shared_memory, clean.shared_memory,
+                        "{wl_name}/{cfg_name}: faults corrupted a timing-independent result"
+                    );
+                }
+                PointOutput::from_report(r, |r| vec![("completion".into(), r.completion as f64)])
+            });
         }
     }
+    exp.run(&RunnerOpts::new()).expect_ok();
 }

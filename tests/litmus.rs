@@ -52,7 +52,12 @@ fn message_passing(mut cfg: MachineConfig, flush_between: bool, pad_writes: usiz
     ];
 
     let wl = Script::new(vec![writer, reader]);
-    Machine::new(cfg, Box::new(wl), 1).run()
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(1)
+        .build()
+        .unwrap()
+        .run()
 }
 
 /// Extracts the reader's (node 1) observation: the data value read at the
@@ -152,6 +157,11 @@ fn record_reads_off_keeps_log_empty() {
         vec![Op::SharedWriteVal(DATA, 1)],
         vec![Op::SharedRead(DATA)],
     ]);
-    let r = Machine::new(cfg, Box::new(wl), 1).run();
+    let r = Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(1)
+        .build()
+        .unwrap()
+        .run();
     assert!(r.read_log.is_empty());
 }

@@ -10,14 +10,26 @@ fn work_queue(cfg: MachineConfig, grain: Grain, total: usize) -> u64 {
     let n = cfg.geometry.nodes;
     let wl = WorkQueue::new(WorkQueueParams::strong(n, grain, total));
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks).run().completion
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
+        .completion
 }
 
 fn sync_model(cfg: MachineConfig, grain: usize, tasks: usize) -> u64 {
     let n = cfg.geometry.nodes;
     let wl = SyncModel::new(SyncParams::paper(n, grain, tasks));
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks).run().completion
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run()
+        .completion
 }
 
 /// Figure 4's four claims at reduced scale (n = 16, medium grain).
@@ -101,7 +113,11 @@ fn table2_claims() {
         cfg.geometry = Geometry::new(n, 4, p.shared_blocks().max(1));
         let wl = LinearSolver::new(p);
         let locks = wl.machine_locks();
-        Machine::new(cfg, Box::new(wl), locks)
+        Machine::builder(cfg)
+            .workload(Box::new(wl))
+            .locks(locks)
+            .build()
+            .unwrap()
             .run()
             .total_messages()
     };
@@ -124,7 +140,11 @@ fn table3_claims() {
     let contend = |cfg: MachineConfig| -> u64 {
         let n = cfg.geometry.nodes;
         let script = vec![vec![Op::Lock(0, LockMode::Write), Op::Compute(20), Op::Unlock(0)]; n];
-        Machine::new(cfg, Box::new(Script::new(script)), 2)
+        Machine::builder(cfg)
+            .workload(Box::new(Script::new(script)))
+            .locks(2)
+            .build()
+            .unwrap()
             .run()
             .total_messages()
     };
@@ -152,7 +172,11 @@ fn reset_update_claim() {
         cfg.geometry = Geometry::new(n, 4, p.shared_blocks());
         let wl = FftPhases::new(p);
         let locks = wl.machine_locks();
-        Machine::new(cfg, Box::new(wl), locks)
+        Machine::builder(cfg)
+            .workload(Box::new(wl))
+            .locks(locks)
+            .build()
+            .unwrap()
             .run()
             .counters
             .get("msg.ric.update_push")

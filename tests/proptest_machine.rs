@@ -89,8 +89,7 @@ proptest! {
         cfg.max_cycles = 50_000_000;
         let ops_total: usize = streams.iter().map(|s| s.len()).sum();
         let wl = Script::new(streams);
-        let r = Machine::new(cfg, Box::new(wl), 3)
-            .with_semaphores(&[64])
+        let r = Machine::builder(cfg).workload(Box::new(wl)).locks(3).semaphores(&[64]).build().unwrap()
             .run();
         // Budget/quiescence overrun no longer panics — it produces a
         // structured diagnosis, which a well-formed program must never do.
@@ -128,8 +127,7 @@ proptest! {
     ) {
         let run = || {
             let cfg = all_configs(4).swap_remove(cfg_idx);
-            Machine::new(cfg, Box::new(Script::new(streams.clone())), 3)
-                .with_semaphores(&[64])
+            Machine::builder(cfg).workload(Box::new(Script::new(streams.clone()))).locks(3).semaphores(&[64]).build().unwrap()
                 .run()
         };
         let a = run();

@@ -15,7 +15,12 @@ fn sync_model_all_schemes() {
         ] {
             let wl = SyncModel::new(SyncParams::paper(nodes, 16, 4));
             let locks = wl.machine_locks();
-            let r = Machine::new(cfg, Box::new(wl), locks).run();
+            let r = Machine::builder(cfg)
+                .workload(Box::new(wl))
+                .locks(locks)
+                .build()
+                .unwrap()
+                .run();
             assert!(r.completion > 0);
         }
     }
@@ -32,7 +37,12 @@ fn work_queue_all_schemes() {
     ] {
         let wl = WorkQueue::new(WorkQueueParams::paper(8, Grain::Fine, 4));
         let locks = wl.machine_locks();
-        let r = Machine::new(cfg, Box::new(wl), locks).run();
+        let r = Machine::builder(cfg)
+            .workload(Box::new(wl))
+            .locks(locks)
+            .build()
+            .unwrap()
+            .run();
         assert!(r.completion > 0, "completion 0");
     }
 }
@@ -45,14 +55,24 @@ fn solver_ric_vs_wbi() {
         cfg.geometry = ssmp_core::addr::Geometry::new(8, 4, p.shared_blocks().max(1));
         let wl = LinearSolver::new(p.clone());
         let locks = wl.machine_locks();
-        let r = Machine::new(cfg, Box::new(wl), locks).run();
+        let r = Machine::builder(cfg)
+            .workload(Box::new(wl))
+            .locks(locks)
+            .build()
+            .unwrap()
+            .run();
         assert!(r.completion > 0);
 
         let mut cfg = MachineConfig::wbi(8);
         cfg.geometry = ssmp_core::addr::Geometry::new(8, 4, p.shared_blocks().max(1));
         let wl = LinearSolver::new(p);
         let locks = wl.machine_locks();
-        let r = Machine::new(cfg, Box::new(wl), locks).run();
+        let r = Machine::builder(cfg)
+            .workload(Box::new(wl))
+            .locks(locks)
+            .build()
+            .unwrap()
+            .run();
         assert!(r.completion > 0);
     }
 }
@@ -64,7 +84,12 @@ fn fft_runs_on_ric() {
     cfg.geometry = ssmp_core::addr::Geometry::new(8, 4, p.shared_blocks());
     let wl = FftPhases::new(p);
     let locks = wl.machine_locks();
-    let r = Machine::new(cfg, Box::new(wl), locks).run();
+    let r = Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run();
     assert!(r.completion > 0);
     assert!(
         r.counters.get("msg.ric.head_change") + r.counters.get("msg.ric.splice") > 0,

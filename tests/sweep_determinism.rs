@@ -1,0 +1,119 @@
+//! The determinism contract of the parallel experiment engine
+//! (`ssmp_bench::exp`, DESIGN.md §9): a sweep's JSON artifact depends
+//! only on the registered points and the master seed — never on the
+//! worker-thread count, scheduling order, or wall-clock — and a point
+//! that trips the deadlock watchdog or panics is reported as a failed
+//! point (carrying its report) while the rest of the sweep completes.
+
+use ssmp::machine::{Machine, MachineConfig};
+use ssmp::workload::{Grain, WorkQueue, WorkQueueParams};
+use ssmp_bench::exp::{derive_seed, Experiment, PointOutput, PointStatus, RunnerOpts};
+
+/// Registers a real simulation sweep: work-queue on WBI and CBL at two
+/// scales, with per-point workload seeds taken from the engine-derived
+/// `ctx.seed` so the points genuinely differ.
+fn simulation_experiment() -> Experiment {
+    let mut exp = Experiment::new("determinism").seed(0xD5EED);
+    for n in [4usize, 8] {
+        for scheme in ["wbi", "cbl"] {
+            exp.point_with(
+                format!("{scheme}/n={n}"),
+                &[("nodes", n.to_string()), ("scheme", scheme.to_string())],
+                move |ctx| {
+                    let cfg = match scheme {
+                        "wbi" => MachineConfig::wbi(n),
+                        _ => MachineConfig::cbl(n),
+                    };
+                    let mut p = WorkQueueParams::strong(n, Grain::Fine, 2 * n);
+                    p.seed = ctx.seed;
+                    let wl = WorkQueue::new(p);
+                    let locks = wl.machine_locks();
+                    let r = Machine::builder(cfg)
+                        .workload(Box::new(wl))
+                        .locks(locks)
+                        .build()
+                        .unwrap()
+                        .run();
+                    PointOutput::from_report(r, |r| {
+                        vec![
+                            ("completion".into(), r.completion as f64),
+                            ("messages".into(), r.total_messages() as f64),
+                        ]
+                    })
+                },
+            );
+        }
+    }
+    exp
+}
+
+#[test]
+fn artifact_is_byte_identical_across_job_counts() {
+    let a = simulation_experiment()
+        .run(&RunnerOpts::new().jobs(1).progress(false))
+        .to_json();
+    let b = simulation_experiment()
+        .run(&RunnerOpts::new().jobs(8).progress(false))
+        .to_json();
+    assert_eq!(a, b, "jobs=1 and jobs=8 must serialize identically");
+    assert!(a.contains("\"schema\":\"ssmp-sweep-v1\""));
+}
+
+#[test]
+fn per_point_seeds_follow_the_published_derivation() {
+    let sweep = simulation_experiment().run(&RunnerOpts::new().jobs(3).progress(false));
+    for (i, p) in sweep.points.iter().enumerate() {
+        assert_eq!(p.seed, derive_seed(0xD5EED, i as u64));
+    }
+    // distinct masters give distinct per-point streams
+    assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+}
+
+#[test]
+fn watchdog_trip_is_a_failed_point_and_the_sweep_continues() {
+    let mut exp = Experiment::new("budget");
+    // A healthy point and a budget-starved one: the watchdog fires on
+    // the starved machine, and the engine must keep going.
+    for (label, budget) in [("healthy", 2_000_000_000u64), ("starved", 50)] {
+        exp.point(label, move |_| {
+            let mut cfg = MachineConfig::cbl(4);
+            cfg.max_cycles = budget;
+            let wl = WorkQueue::new(WorkQueueParams::strong(4, Grain::Medium, 8));
+            let locks = wl.machine_locks();
+            let r = Machine::builder(cfg)
+                .workload(Box::new(wl))
+                .locks(locks)
+                .build()
+                .unwrap()
+                .run();
+            PointOutput::from_report(r, |r| vec![("completion".into(), r.completion as f64)])
+        });
+    }
+    let sweep = exp.run(&RunnerOpts::new().jobs(2).progress(false));
+    assert!(sweep.get("healthy").unwrap().is_ok());
+    let starved = sweep.get("starved").unwrap();
+    match &starved.status {
+        PointStatus::Deadlock(report) => {
+            assert_eq!(report.budget, 50);
+            assert!(starved.error().unwrap().contains("watchdog"));
+        }
+        other => panic!("expected a deadlock record, got {other:?}"),
+    }
+    // the failure is part of the artifact, not an abort
+    let json = sweep.to_json();
+    assert!(json.contains("\"failed\":1"));
+    assert!(json.contains("\"status\":\"deadlock\""));
+}
+
+#[test]
+fn panicking_point_is_captured_without_poisoning_neighbours() {
+    let mut exp = Experiment::new("panics");
+    exp.point("boom", |_| panic!("synthetic failure"))
+        .point("fine", |_| PointOutput::values(vec![("v".into(), 1.0)]));
+    let sweep = exp.run(&RunnerOpts::new().jobs(2).progress(false));
+    assert!(sweep.get("fine").unwrap().is_ok());
+    let boom = sweep.get("boom").unwrap();
+    assert!(matches!(&boom.status, PointStatus::Panicked(m) if m.contains("synthetic failure")));
+    assert_eq!(sweep.failures().len(), 1);
+}

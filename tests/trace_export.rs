@@ -9,11 +9,16 @@ use ssmp::machine::{Machine, MachineConfig, Report};
 use ssmp::workload::{Grain, SyncModel, SyncParams, WorkQueue, WorkQueueParams};
 
 /// A small fig4-style contended run (work queue under BC + CBL).
-fn build(cfg: MachineConfig) -> Machine {
+fn build(cfg: MachineConfig, tracer: Tracer) -> Machine {
     let nodes = cfg.geometry.nodes;
     let wl = WorkQueue::new(WorkQueueParams::paper(nodes, Grain::Fine, 3 * nodes));
     let locks = wl.machine_locks();
-    Machine::new(cfg, Box::new(wl), locks)
+    Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .tracer(tracer)
+        .build()
+        .unwrap()
 }
 
 /// Runs the workload with a memory sink attached; returns the report and
@@ -22,7 +27,7 @@ fn traced_run(cfg: MachineConfig) -> (Report, Vec<TraceEvent>) {
     let (sink, events) = MemorySink::new();
     let mut tracer = Tracer::new(TraceFilter::all()).with_ring(64);
     tracer.add_sink(sink);
-    let r = build(cfg).with_tracer(tracer).run();
+    let r = build(cfg, tracer).run();
     let evs = events.borrow().clone();
     (r, evs)
 }
@@ -107,7 +112,7 @@ fn traced_run_reports_exactly_as_untraced() {
         MachineConfig::wbi(4),
         MachineConfig::sc_cbl(4),
     ] {
-        let plain = build(cfg.clone()).run();
+        let plain = build(cfg.clone(), Tracer::off()).run();
         let (traced, _) = traced_run(cfg);
         assert_eq!(plain.completion, traced.completion);
         assert_eq!(plain.net_packets, traced.net_packets);
@@ -129,7 +134,12 @@ fn interval_metrics_sample_the_run() {
     let nodes = cfg.geometry.nodes;
     let wl = SyncModel::new(SyncParams::paper(nodes, 16, 4));
     let locks = wl.machine_locks();
-    let r = Machine::new(cfg, Box::new(wl), locks).run();
+    let r = Machine::builder(cfg)
+        .workload(Box::new(wl))
+        .locks(locks)
+        .build()
+        .unwrap()
+        .run();
     let m = r.metrics.expect("metrics series requested");
     assert_eq!(m.interval(), 50);
     assert!(!m.is_empty(), "no samples taken");

@@ -14,7 +14,11 @@ fn capture() -> Trace {
 fn replay_is_deterministic_per_config() {
     let t = capture();
     let run = |t: &Trace| {
-        Machine::new(MachineConfig::cbl(8), Box::new(t.replay()), 17)
+        Machine::builder(MachineConfig::cbl(8))
+            .workload(Box::new(t.replay()))
+            .locks(17)
+            .build()
+            .unwrap()
             .run()
             .completion
     };
@@ -31,7 +35,12 @@ fn same_trace_across_schemes_same_work() {
         MachineConfig::sc_cbl(8),
         MachineConfig::bc_cbl(8),
     ] {
-        let r = Machine::new(cfg, Box::new(t.replay()), 17).run();
+        let r = Machine::builder(cfg)
+            .workload(Box::new(t.replay()))
+            .locks(17)
+            .build()
+            .unwrap()
+            .run();
         let executed: u64 = r.ops_completed.iter().sum::<u64>();
         // every node runs its stream plus the end-of-stream probe; micro-op
         // expansion (software barriers) adds more, never less
@@ -46,10 +55,18 @@ fn same_trace_across_schemes_same_work() {
 fn json_roundtrip_replays_identically() {
     let t = capture();
     let back = Trace::from_json(&t.to_json()).unwrap();
-    let a = Machine::new(MachineConfig::bc_cbl(8), Box::new(t.replay()), 17)
+    let a = Machine::builder(MachineConfig::bc_cbl(8))
+        .workload(Box::new(t.replay()))
+        .locks(17)
+        .build()
+        .unwrap()
         .run()
         .completion;
-    let b = Machine::new(MachineConfig::bc_cbl(8), Box::new(back.replay()), 17)
+    let b = Machine::builder(MachineConfig::bc_cbl(8))
+        .workload(Box::new(back.replay()))
+        .locks(17)
+        .build()
+        .unwrap()
         .run()
         .completion;
     assert_eq!(a, b);
@@ -60,10 +77,18 @@ fn trace_exposes_scheme_differences_on_fixed_input() {
     // The entire point of trace-driven methodology: identical input, so
     // completion differences are attributable to the architecture alone.
     let t = capture();
-    let wbi = Machine::new(MachineConfig::wbi(8), Box::new(t.replay()), 17)
+    let wbi = Machine::builder(MachineConfig::wbi(8))
+        .workload(Box::new(t.replay()))
+        .locks(17)
+        .build()
+        .unwrap()
         .run()
         .completion;
-    let cbl = Machine::new(MachineConfig::cbl(8), Box::new(t.replay()), 17)
+    let cbl = Machine::builder(MachineConfig::cbl(8))
+        .workload(Box::new(t.replay()))
+        .locks(17)
+        .build()
+        .unwrap()
         .run()
         .completion;
     assert_ne!(wbi, cbl, "schemes should differ on a contended trace");
