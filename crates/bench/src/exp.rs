@@ -75,6 +75,9 @@ pub struct PointCtx {
 pub enum PointOutput {
     /// The run completed; the named measurements it reduced to.
     Values(Vec<(String, f64)>),
+    /// The run completed with profiling on; the measurements plus the
+    /// rendered `ssmp-profile-v1` JSON document.
+    Profiled(Vec<(String, f64)>, String),
     /// The run tripped the watchdog; the structured diagnosis.
     Deadlock(Box<DeadlockReport>),
 }
@@ -86,11 +89,19 @@ impl PointOutput {
     }
 
     /// Reduces a [`Report`]: if the watchdog ended the run, the
-    /// deadlock diagnosis; otherwise whatever `f` extracts.
+    /// deadlock diagnosis; otherwise whatever `f` extracts. A report
+    /// carrying a profile (builder `.profile(true)` or `SSMP_PROFILE`)
+    /// embeds it in the artifact automatically.
     pub fn from_report(mut r: Report, f: impl FnOnce(&Report) -> Vec<(String, f64)>) -> Self {
         match r.deadlock.take() {
             Some(d) => PointOutput::Deadlock(Box::new(d)),
-            None => PointOutput::Values(f(&r)),
+            None => {
+                let vs = f(&r);
+                match r.profile.take() {
+                    Some(p) => PointOutput::Profiled(vs, p.to_json().render()),
+                    None => PointOutput::Values(vs),
+                }
+            }
         }
     }
 }
@@ -132,6 +143,8 @@ pub struct PointRecord {
     pub seed: u64,
     /// How it ended.
     pub status: PointStatus,
+    /// Rendered `ssmp-profile-v1` JSON, when the point ran profiled.
+    pub profile: Option<String>,
 }
 
 impl PointRecord {
@@ -306,10 +319,11 @@ impl Experiment {
                         index: i,
                         seed: derive_seed(self.master_seed, i as u64),
                     };
-                    let status = match catch_unwind(AssertUnwindSafe(|| (p.run)(&ctx))) {
-                        Ok(PointOutput::Values(vs)) => PointStatus::Ok(vs),
-                        Ok(PointOutput::Deadlock(d)) => PointStatus::Deadlock(d),
-                        Err(payload) => PointStatus::Panicked(panic_message(payload)),
+                    let (status, profile) = match catch_unwind(AssertUnwindSafe(|| (p.run)(&ctx))) {
+                        Ok(PointOutput::Values(vs)) => (PointStatus::Ok(vs), None),
+                        Ok(PointOutput::Profiled(vs, prof)) => (PointStatus::Ok(vs), Some(prof)),
+                        Ok(PointOutput::Deadlock(d)) => (PointStatus::Deadlock(d), None),
+                        Err(payload) => (PointStatus::Panicked(panic_message(payload)), None),
                     };
                     *slots[i].lock().unwrap() = Some(PointRecord {
                         index: i,
@@ -317,6 +331,7 @@ impl Experiment {
                         params: p.params.clone(),
                         seed: ctx.seed,
                         status,
+                        profile,
                     });
                     progress.tick(&p.label);
                 });
@@ -472,6 +487,11 @@ impl SweepResult {
                             "values".to_string(),
                             Json::Obj(vs.iter().map(|(k, v)| (k.clone(), Json::num(v))).collect()),
                         ));
+                        if let Some(prof) = &p.profile {
+                            let doc =
+                                Json::parse(prof).expect("Profile::to_json renders valid JSON");
+                            obj.push(("profile".to_string(), doc));
+                        }
                     }
                     PointStatus::Deadlock(d) => {
                         obj.push(("status".to_string(), Json::str("deadlock")));
@@ -506,7 +526,7 @@ impl SweepResult {
 }
 
 /// Uniform command-line surface for the experiment binaries:
-/// `[--quick] [--json] [--jobs N] [--seed N] [--out FILE]`
+/// `[--quick] [--json] [--jobs N] [--seed N] [--out FILE] [--profile]`
 /// (plus `--svg FILE`, consumed separately by [`crate::maybe_write_svg`]).
 #[derive(Debug, Clone)]
 pub struct ExpArgs {
@@ -520,6 +540,9 @@ pub struct ExpArgs {
     pub seed: u64,
     /// Write the full sweep artifact to this file (`--out FILE`).
     pub out: Option<String>,
+    /// Profile every point (`--profile` or `SSMP_PROFILE=1`); the
+    /// `ssmp-profile-v1` documents land in the `--out` artifact.
+    pub profile: bool,
 }
 
 impl ExpArgs {
@@ -538,12 +561,19 @@ impl ExpArgs {
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or_else(default_jobs);
+        let profile = flag("--profile") || std::env::var_os("SSMP_PROFILE").is_some();
+        if profile {
+            // The scenario helpers build their machines internally; the
+            // builder honours this variable, so every point runs profiled.
+            std::env::set_var("SSMP_PROFILE", "1");
+        }
         Self {
             quick: flag("--quick") || std::env::var_os("SSMP_QUICK").is_some(),
             json: flag("--json"),
             jobs,
             seed: opt("--seed").and_then(|s| s.parse().ok()).unwrap_or(0),
             out: opt("--out"),
+            profile,
         }
     }
 

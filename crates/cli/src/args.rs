@@ -12,6 +12,8 @@ pub struct Flags {
 impl Flags {
     /// Parses `argv` (after the subcommand). Flags needing values are
     /// listed in `valued`; everything else starting with `--` is a switch.
+    /// `--name=value` attaches a value to any flag (including switches —
+    /// the form `--profile=out.json` upgrades an optional switch).
     pub fn parse(argv: &[String], valued: &[&str]) -> Result<Self, String> {
         let mut f = Flags::default();
         let mut i = 0;
@@ -20,7 +22,11 @@ impl Flags {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument '{a}'"));
             };
-            if valued.contains(&name) {
+            if let Some((name, value)) = name.split_once('=') {
+                f.values.insert(name.to_string(), value.to_string());
+                f.switches.push(name.to_string());
+                i += 1;
+            } else if valued.contains(&name) {
                 let v = argv
                     .get(i + 1)
                     .ok_or_else(|| format!("--{name} needs a value"))?;
@@ -88,6 +94,14 @@ mod tests {
         assert_eq!(f.num::<u64>("seed", 0).unwrap(), 7);
         assert!(f.has("json"));
         assert!(!f.has("quiet"));
+    }
+
+    #[test]
+    fn equals_form_sets_both_switch_and_value() {
+        let f = Flags::parse(&v(&["--profile=out.json", "--nodes=16"]), &["nodes"]).unwrap();
+        assert!(f.has("profile"));
+        assert_eq!(f.get("profile"), Some("out.json"));
+        assert_eq!(f.num::<usize>("nodes", 0).unwrap(), 16);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use ssmp_machine::{Machine, MachineConfig, Report, Workload};
 use ssmp_workload::{
-    Grain, Hotspot, HotspotParams, LinearSolver, SolverParams, SyncModel, SyncParams, Trace,
-    WorkQueue, WorkQueueParams,
+    Grain, Hotspot, HotspotParams, LinearSolver, SolverParams, Sor, SorParams, SyncModel,
+    SyncParams, Trace, WorkQueue, WorkQueueParams,
 };
 
 use crate::args::Flags;
@@ -20,6 +20,7 @@ usage:
              [--seed S] --out <file>
   ssmp trace replay  --in <file> --config <cfg> [--json]
   ssmp trace stats   --in <file> [--validate]
+  ssmp analyze --in <trace.jsonl> [--top K] [--json] [--out <file>]
   ssmp program --file <prog.sasm> --config <cfg> [--sems c0,c1,...] [--json]
 
 sweep runs its points (config × nodes × scheme) in parallel on --jobs
@@ -39,9 +40,19 @@ observability (run, trace replay, program; sweep takes --metrics-interval):
   [--trace-ring N] [--metrics-interval N]
   trace filter tokens: families wbi|ric|cbl|bar|sem|priv|node|net and/or
   kinds issue|net-inject|net-deliver|retry|fault|stall-begin|stall-end|
-  lock-acquire|lock-release|flush
+  lock-acquire|lock-release|flush|access|queue|done
 
-workloads: work-queue | sync | solver | fft | hotspot
+profiling (run, sweep, trace replay, program):
+  [--profile[=<out.json>]]  fold events live into the ssmp-profile-v1
+  contention/stall profile: per-line heatmaps + false-sharing detector,
+  per-lock latency/queue-depth/fairness, per-node stall attribution.
+  Printed with the report (text) or embedded as \"profile\" (--json /
+  sweep artifacts); --profile=<file> also writes the JSON document.
+  'ssmp analyze' folds a --trace jsonl offline into the identical JSON.
+
+workloads: work-queue | sync | solver | fft | hotspot | sor
+  hotspot: [--hot h] [--hot-lock]   route hot refs through lock 0
+  sor:     [--packed]               false-sharing boundary layout
 configs:   wbi | wbi-backoff | cbl | sc-cbl | bc-cbl
 grains:    fine | medium | coarse";
 
@@ -73,6 +84,7 @@ const VALUED: &[&str] = &[
     "trace-filter",
     "trace-ring",
     "metrics-interval",
+    "top",
 ];
 
 /// Dispatches a full argv (without the binary name).
@@ -86,6 +98,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             Some("stats") => trace_stats(&Flags::parse(&argv[2..], VALUED)?),
             _ => Err("trace needs 'capture', 'replay', or 'stats'".into()),
         },
+        Some("analyze") => analyze(&Flags::parse(&argv[1..], VALUED)?),
         Some("program") => program(&Flags::parse(&argv[1..], VALUED)?),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
@@ -135,11 +148,22 @@ struct SimFlags {
     retry: Option<ssmp_machine::RetryPolicy>,
     max_cycles: Option<u64>,
     metrics_interval: Option<u64>,
+    profile: bool,
 }
 
 impl SimFlags {
     fn parse(f: &Flags) -> Result<Self, String> {
-        let mut s = SimFlags::default();
+        let mut s = SimFlags {
+            profile: f.has("profile"),
+            ..SimFlags::default()
+        };
+        if s.profile && f.get("trace-filter").is_some() {
+            return Err(
+                "--profile needs the full event stream (the filter prunes events before \
+                 sinks and would skew attribution); drop --trace-filter"
+                    .into(),
+            );
+        }
         if let Some(t) = f.get("topology") {
             s.topology = Some(match t {
                 "omega" => ssmp_net::Topology::Omega,
@@ -225,7 +249,7 @@ fn build_tracer(f: &Flags) -> Result<ssmp_engine::Tracer, String> {
 }
 
 /// Builds the named workload; returns it plus the machine lock count.
-const WORKLOADS: &[&str] = &["work-queue", "sync", "solver", "fft", "hotspot"];
+const WORKLOADS: &[&str] = &["work-queue", "sync", "solver", "fft", "hotspot", "sor"];
 
 fn check_workload(name: &str) -> Result<(), String> {
     if WORKLOADS.contains(&name) {
@@ -245,10 +269,20 @@ fn build_workload(
     let tasks = f.num::<usize>("tasks", 8 * nodes)?;
     let seed = f.num::<u64>("seed", 0xC11)?;
     let hot = f.num::<f64>("hot", 0.2)?;
-    Ok(sweep_workload(name, nodes, grain, tasks, hot, seed))
+    let shape = WorkloadShape {
+        hot,
+        hot_lock: f.has("hot-lock"),
+        packed: f.has("packed"),
+    };
+    Ok(sweep_workload(name, nodes, grain, tasks, shape, seed))
 }
 
 fn adapt_geometry(cfg: &mut MachineConfig, workload: &str, nodes: usize) {
+    // SOR owns one boundary block per chunk (padded layout upper bound)
+    if workload == "sor" {
+        cfg.geometry =
+            ssmp_core::addr::Geometry::new(nodes, 4, nodes.max(cfg.geometry.shared_blocks));
+    }
     // the solver and FFT size the shared region themselves
     if workload == "solver" {
         let p = SolverParams::paper(nodes, ssmp_workload::Allocation::Packed, 1);
@@ -327,6 +361,9 @@ fn print_report(r: &Report, json: bool) {
         if let Some(m) = &r.metrics {
             fields.push(("metrics".into(), m.to_json()));
         }
+        if let Some(p) = &r.profile {
+            fields.push(("profile".into(), p.to_json()));
+        }
         let doc = Json::Obj(fields);
         println!("{}", doc.render());
     } else {
@@ -335,11 +372,25 @@ fn print_report(r: &Report, json: bool) {
     }
 }
 
+/// Writes the run's `ssmp-profile-v1` JSON to the `--profile=<file>`
+/// target, when one was given (a bare `--profile` only prints/embeds).
+fn write_profile_out(r: &Report, f: &Flags) -> Result<(), String> {
+    let Some(path) = f.get("profile") else {
+        return Ok(());
+    };
+    let p = r
+        .profile
+        .as_ref()
+        .ok_or("internal error: --profile run produced no profile")?;
+    std::fs::write(path, p.to_json().render() + "\n").map_err(|e| format!("--profile {path}: {e}"))
+}
+
 fn run(f: &Flags) -> Result<(), String> {
     let nodes = f.num::<usize>("nodes", 16)?;
     let workload = f.require("workload")?;
     let mut cfg = parse_config(f.require("config")?, nodes)?;
-    SimFlags::parse(f)?.apply(&mut cfg)?;
+    let sim = SimFlags::parse(f)?;
+    sim.apply(&mut cfg)?;
     adapt_geometry(&mut cfg, workload, nodes);
     let (wl, locks) = build_workload(workload, nodes, f)?;
     let tracer = build_tracer(f)?;
@@ -347,11 +398,12 @@ fn run(f: &Flags) -> Result<(), String> {
         .workload(wl)
         .locks(locks)
         .tracer(tracer)
+        .profile(sim.profile)
         .build()
         .unwrap()
         .run();
     print_report(&r, f.has("json"));
-    Ok(())
+    write_profile_out(&r, f)
 }
 
 /// What a `sweep` invocation enumerates.
@@ -416,6 +468,16 @@ fn parse_points_spec(spec: &str, quick: bool) -> Result<SweepSpec, String> {
     }
 }
 
+/// The workload-shaping switches that don't fit a single number: the
+/// hotspot fraction plus the profiler's showcase modes (hot refs routed
+/// through lock 0; SOR's packed false-sharing boundary layout).
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkloadShape {
+    hot: f64,
+    hot_lock: bool,
+    packed: bool,
+}
+
 /// Builds a workload from explicit parameters (the parallel-sweep
 /// equivalent of [`build_workload`]: point closures cannot hold `Flags`).
 fn sweep_workload(
@@ -423,7 +485,7 @@ fn sweep_workload(
     nodes: usize,
     grain: Grain,
     tasks: usize,
-    hot: f64,
+    shape: WorkloadShape,
     seed: u64,
 ) -> (Box<dyn Workload>, usize) {
     match name {
@@ -454,7 +516,21 @@ fn sweep_workload(
             (Box::new(wl), locks)
         }
         "hotspot" => {
-            let wl = Hotspot::new(HotspotParams::new(nodes, hot, grain.refs()));
+            let mut p = HotspotParams::new(nodes, shape.hot, grain.refs());
+            p.hot_locks = shape.hot_lock;
+            let wl = Hotspot::new(p);
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "sor" => {
+            // one full sweep per 8·nodes tasks keeps --tasks meaningful
+            let sweeps = (tasks / (8 * nodes).max(1)).max(1) * 4;
+            let p = if shape.packed {
+                SorParams::packed(nodes, sweeps)
+            } else {
+                SorParams::new(nodes, sweeps)
+            };
+            let wl = Sor::new(p);
             let locks = wl.machine_locks();
             (Box::new(wl), locks)
         }
@@ -474,6 +550,7 @@ fn sweep(f: &Flags) -> Result<(), String> {
     let quick = f.has("quick") || std::env::var_os("SSMP_QUICK").is_some();
     let json = f.has("json");
     let sim = SimFlags::parse(f)?;
+    let profile = sim.profile;
     let jobs = f.num::<usize>("jobs", default_jobs())?;
     let master = f.num::<u64>("seed", 0xC11)?;
     let grain = parse_grain(f.get("grain").unwrap_or("medium"))?;
@@ -484,7 +561,11 @@ fn sweep(f: &Flags) -> Result<(), String> {
         ),
         None => None,
     };
-    let hot = f.num::<f64>("hot", 0.2)?;
+    let shape = WorkloadShape {
+        hot: f.num::<f64>("hot", 0.2)?,
+        hot_lock: f.has("hot-lock"),
+        packed: f.has("packed"),
+    };
 
     let spec = match f.get("points") {
         Some(s) => parse_points_spec(s, quick)?,
@@ -528,10 +609,11 @@ fn sweep(f: &Flags) -> Result<(), String> {
                         ],
                         move |ctx| {
                             let (wl, locks) =
-                                sweep_workload(&wl_name, n, grain, tasks, hot, ctx.seed);
+                                sweep_workload(&wl_name, n, grain, tasks, shape, ctx.seed);
                             let r = Machine::builder(cfg.clone())
                                 .workload(wl)
                                 .locks(locks)
+                                .profile(profile)
                                 .build()
                                 .expect("config validated at registration")
                                 .run();
@@ -551,6 +633,13 @@ fn sweep(f: &Flags) -> Result<(), String> {
             use ssmp_bench::scenarios::{one_barrier, parallel_lock, serial_lock};
             use ssmp_engine::stats::keys;
             const T_CS: u64 = 20;
+            if profile {
+                // the scenario helpers assemble their machines internally;
+                // use SSMP_PROFILE=1 (process-wide) to profile them
+                return Err("--profile is not supported with --points table3; \
+                     set SSMP_PROFILE=1 instead"
+                    .into());
+            }
             for &n in nodes {
                 for (scenario, scheme) in [
                     ("par", "WBI"),
@@ -715,7 +804,8 @@ fn program(f: &Flags) -> Result<(), String> {
     let mut streams = progs;
     streams.resize_with(nodes, || vec![Op::Barrier; barriers]);
     let mut cfg = parse_config(f.require("config")?, nodes)?;
-    SimFlags::parse(f)?.apply(&mut cfg)?;
+    let sim = SimFlags::parse(f)?;
+    sim.apply(&mut cfg)?;
     cfg.record_reads = true;
     let sems: Vec<u64> = f
         .list("sems", &[])
@@ -737,6 +827,7 @@ fn program(f: &Flags) -> Result<(), String> {
         .locks(max_lock + 1)
         .semaphores(&sems)
         .tracer(tracer)
+        .profile(sim.profile)
         .build()
         .unwrap()
         .run();
@@ -747,7 +838,7 @@ fn program(f: &Flags) -> Result<(), String> {
             println!("  node {n}: block {b} word {w} = {v}");
         }
     }
-    Ok(())
+    write_profile_out(&r, f)
 }
 
 fn trace_capture(f: &Flags) -> Result<(), String> {
@@ -790,7 +881,8 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let trace = Trace::from_json(&text)?;
     let mut cfg = parse_config(f.require("config")?, trace.nodes())?;
-    SimFlags::parse(f)?.apply(&mut cfg)?;
+    let sim = SimFlags::parse(f)?;
+    sim.apply(&mut cfg)?;
     // size the lock space from the trace contents
     let mut max_lock = 1usize;
     for op in trace.streams.iter().flatten() {
@@ -808,10 +900,32 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
         .workload(Box::new(trace.replay()))
         .locks(max_lock + 1)
         .tracer(tracer)
+        .profile(sim.profile)
         .build()
         .unwrap()
         .run();
     print_report(&r, f.has("json"));
+    write_profile_out(&r, f)
+}
+
+/// Folds a `--trace` JSONL file into the same `ssmp-profile-v1` profile
+/// a live `--profile` run produces — byte-identical JSON, so the two
+/// paths can be diffed against each other (and are, in CI).
+fn analyze(f: &Flags) -> Result<(), String> {
+    let path = f.require("in")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("--in {path}: {e}"))?;
+    let profile = ssmp_profile::Profile::from_jsonl(std::io::BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    if f.has("json") {
+        println!("{}", profile.to_json().render());
+    } else {
+        let top = f.num::<usize>("top", 8)?;
+        print!("{}", profile.render_table(top));
+    }
+    if let Some(out) = f.get("out") {
+        std::fs::write(out, profile.to_json().render() + "\n")
+            .map_err(|e| format!("--out {out}: {e}"))?;
+    }
     Ok(())
 }
 
@@ -1288,6 +1402,120 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.contains("bogus-token"), "{e}");
+    }
+
+    #[test]
+    fn profiled_run_matches_offline_analyze() {
+        // the tentpole guarantee: the live ProfileSink and the offline
+        // `ssmp analyze` fold of the same trace emit identical JSON
+        let dir = std::env::temp_dir().join("ssmp_cli_profile_equiv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.jsonl");
+        let live = dir.join("live.json");
+        let offline = dir.join("offline.json");
+        dispatch(&v(&[
+            "run",
+            "--workload",
+            "hotspot",
+            "--config",
+            "cbl",
+            "--nodes",
+            "4",
+            "--hot",
+            "0.8",
+            "--hot-lock",
+            "--grain",
+            "fine",
+            "--trace",
+            trace.to_str().unwrap(),
+            &format!("--profile={}", live.display()),
+            "--json",
+        ]))
+        .unwrap();
+        dispatch(&v(&[
+            "analyze",
+            "--in",
+            trace.to_str().unwrap(),
+            "--out",
+            offline.to_str().unwrap(),
+            "--top",
+            "4",
+        ]))
+        .unwrap();
+        let a = std::fs::read_to_string(&live).unwrap();
+        let b = std::fs::read_to_string(&offline).unwrap();
+        assert!(!a.is_empty() && a.contains("ssmp-profile-v1"));
+        assert_eq!(a, b, "live sink and offline analyze diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_requires_input_file() {
+        assert!(dispatch(&v(&["analyze"])).is_err());
+        assert!(dispatch(&v(&["analyze", "--in", "/nonexistent/ssmp.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn profile_rejects_trace_filter() {
+        let e = dispatch(&v(&[
+            "run",
+            "--workload",
+            "sync",
+            "--config",
+            "cbl",
+            "--nodes",
+            "4",
+            "--profile",
+            "--trace",
+            "/tmp/ssmp_never_written2.jsonl",
+            "--trace-filter",
+            "cbl",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--trace-filter"), "{e}");
+    }
+
+    #[test]
+    fn sor_runs_padded_and_packed() {
+        for cfg in ["wbi", "cbl"] {
+            for layout in [
+                &["--workload", "sor"][..],
+                &["--workload", "sor", "--packed"],
+            ] {
+                let mut args = vec!["run"];
+                args.extend_from_slice(layout);
+                args.extend_from_slice(&["--config", cfg, "--nodes", "4", "--tasks", "32"]);
+                dispatch(&v(&args)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_embeds_profile_in_artifact() {
+        let dir = std::env::temp_dir().join("ssmp_cli_sweep_profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("a.json");
+        dispatch(&v(&[
+            "sweep",
+            "--points",
+            "hotspot:cbl:4",
+            "--grain",
+            "fine",
+            "--profile",
+            "--json",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("ssmp-profile-v1"), "artifact lacks profile");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_table3_rejects_profile_flag() {
+        let e = dispatch(&v(&["sweep", "--points", "table3:4", "--profile"])).unwrap_err();
+        assert!(e.contains("table3"), "{e}");
     }
 
     #[test]

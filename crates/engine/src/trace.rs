@@ -105,11 +105,22 @@ pub enum Kind {
     LockRelease,
     /// A write-buffer drain completed.
     Flush,
+    /// A shared-data access touched a block (detail = access class:
+    /// `"read"`, `"read.global"`, `"write"`, `"update.apply"`,
+    /// `"invalidate"`; id = block, arg = word). Feeds the per-line
+    /// heatmaps and the false-sharing detector.
+    Access,
+    /// A queue/list membership change (CBL waiter queue, RIC update list,
+    /// write-buffer residency; id = lock/block/write id, arg = new depth).
+    Queue,
+    /// A node retired its final operation (emitted once per node at end of
+    /// run; cycle = the node's completion time).
+    Done,
 }
 
 impl Kind {
     /// All kinds, in declaration order.
-    pub const ALL: [Kind; 10] = [
+    pub const ALL: [Kind; 13] = [
         Kind::Issue,
         Kind::NetInject,
         Kind::NetDeliver,
@@ -120,6 +131,9 @@ impl Kind {
         Kind::LockAcquire,
         Kind::LockRelease,
         Kind::Flush,
+        Kind::Access,
+        Kind::Queue,
+        Kind::Done,
     ];
 
     /// The stable token used in trace files and `--trace-filter`.
@@ -135,6 +149,9 @@ impl Kind {
             Kind::LockAcquire => "lock-acquire",
             Kind::LockRelease => "lock-release",
             Kind::Flush => "flush",
+            Kind::Access => "access",
+            Kind::Queue => "queue",
+            Kind::Done => "done",
         }
     }
 
@@ -232,6 +249,65 @@ pub fn validate_jsonl(doc: &Json) -> Result<(), String> {
         return Err("missing field 'detail'".into());
     }
     Ok(())
+}
+
+/// A parsed trace record with an owned `detail` string — the offline
+/// counterpart of [`TraceEvent`] (whose `detail` is `&'static str`), used
+/// by consumers that read traces back from JSONL files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedEvent {
+    /// Simulation time of the event.
+    pub cycle: Cycle,
+    /// The node the event is attributed to (`-1` = machine-global).
+    pub node: i64,
+    /// Protocol family / subsystem.
+    pub family: Family,
+    /// Event kind.
+    pub kind: Kind,
+    /// Fine-grained label.
+    pub detail: String,
+    /// Primary payload.
+    pub id: u64,
+    /// Secondary payload.
+    pub arg: u64,
+}
+
+impl From<&TraceEvent> for OwnedEvent {
+    fn from(ev: &TraceEvent) -> Self {
+        Self {
+            cycle: ev.cycle,
+            node: ev.node,
+            family: ev.family,
+            kind: ev.kind,
+            detail: ev.detail.to_string(),
+            id: ev.id,
+            arg: ev.arg,
+        }
+    }
+}
+
+/// Parses one validated JSONL trace record into an [`OwnedEvent`]. Runs
+/// [`validate_jsonl`] first, so callers get schema errors and field
+/// extraction from one place (`ssmp trace stats --validate` and
+/// `ssmp analyze` share this).
+pub fn parse_jsonl_event(doc: &Json) -> Result<OwnedEvent, String> {
+    validate_jsonl(doc)?;
+    let num = |field: &str| doc.get(field).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    Ok(OwnedEvent {
+        cycle: num("cycle") as Cycle,
+        node: num("node") as i64,
+        family: Family::from_token(doc.get("family").and_then(|v| v.as_str()).unwrap_or(""))
+            .ok_or("unknown family")?,
+        kind: Kind::from_token(doc.get("kind").and_then(|v| v.as_str()).unwrap_or(""))
+            .ok_or("unknown kind")?,
+        detail: doc
+            .get("detail")
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_string(),
+        id: num("id") as u64,
+        arg: num("arg") as u64,
+    })
 }
 
 /// An event filter: `None` sets admit everything.
@@ -883,6 +959,24 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| e.get("ph").and_then(|x| x.as_str()) == Some("X")));
+    }
+
+    #[test]
+    fn parse_jsonl_event_roundtrips() {
+        let orig = TraceEvent {
+            cycle: 42,
+            node: -1,
+            family: Family::Ric,
+            kind: Kind::Access,
+            detail: "write",
+            id: 7,
+            arg: 3,
+        };
+        let doc = Json::parse(&orig.to_jsonl()).unwrap();
+        let parsed = parse_jsonl_event(&doc).unwrap();
+        assert_eq!(parsed, OwnedEvent::from(&orig));
+        let bad = Json::parse(r#"{"cycle":1}"#).unwrap();
+        assert!(parse_jsonl_event(&bad).is_err());
     }
 
     #[test]

@@ -201,6 +201,9 @@ pub struct Machine {
     deadlock: Option<DeadlockReport>,
     /// Event tracer (off by default; see [`MachineBuilder::tracer`]).
     tracer: Tracer,
+    /// Live profiler handle (`Some` when [`MachineBuilder::profile`] is
+    /// enabled); the folded profile is cloned into the report at finish.
+    profile: Option<ssmp_profile::SharedProfile>,
     /// Interval gauge sampler (`Some` when `cfg.metrics_interval` is set).
     metrics: Option<MetricsState>,
 }
@@ -260,6 +263,7 @@ pub struct MachineBuilder {
     locks: usize,
     sems: Vec<u64>,
     tracer: Tracer,
+    profile: bool,
 }
 
 impl MachineBuilder {
@@ -292,12 +296,36 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables the protocol-level profiler: a [`ssmp_profile::ProfileSink`]
+    /// is attached to the tracer (enabling it, unfiltered, if no tracer was
+    /// set) and the folded [`ssmp_profile::Profile`] lands in
+    /// [`Report::profile`]. Profiling, like tracing, is a pure observer.
+    ///
+    /// Note: if a tracer with a restrictive [`TraceFilter`] is also
+    /// attached, the profile only sees the filtered stream and its
+    /// attribution will be incomplete — combine profiling with an
+    /// all-admitting filter.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
     /// Validates the configuration and assembles the machine.
     pub fn build(self) -> Result<Machine, ConfigError> {
         let workload = self.workload.ok_or(ConfigError::MissingWorkload)?;
         let mut m = Machine::assemble(self.cfg, workload, self.locks)?;
         m.sems = self.sems.iter().map(|&c| HwSemaphore::new(c)).collect();
         m.tracer = self.tracer;
+        // `SSMP_PROFILE` force-enables profiling so sweep/bench binaries
+        // built on `ExpArgs` pick up `--profile` without plumbing.
+        if self.profile || std::env::var_os("SSMP_PROFILE").is_some() {
+            if !m.tracer.is_on() {
+                m.tracer = Tracer::new(ssmp_engine::TraceFilter::all());
+            }
+            let (sink, handle) = ssmp_profile::ProfileSink::new();
+            m.tracer.add_sink(sink);
+            m.profile = Some(handle);
+        }
         Ok(m)
     }
 }
@@ -311,6 +339,7 @@ impl Machine {
             locks: 0,
             sems: Vec::new(),
             tracer: Tracer::off(),
+            profile: false,
         }
     }
 
@@ -413,6 +442,7 @@ impl Machine {
             wbuf_msgs: vec![BTreeMap::new(); n],
             deadlock: None,
             tracer: Tracer::off(),
+            profile: None,
             metrics: cfg.metrics_interval.map(|iv| {
                 let iv = iv.max(1);
                 MetricsState {
@@ -633,6 +663,24 @@ impl Machine {
                 *stall_breakdown.entry(k).or_insert(0) += v;
             }
         }
+        // Per-node retirement markers: the profiler keys its per-node cycle
+        // totals (and hence busy = cycles − stalled) off these.
+        if self.tracer.is_on() {
+            for n in &self.nodes {
+                if n.done {
+                    self.tracer.emit(TraceEvent {
+                        cycle: n.done_at,
+                        node: n.id as i64,
+                        family: Family::Node,
+                        kind: Kind::Done,
+                        detail: "done",
+                        id: 0,
+                        arg: 0,
+                    });
+                }
+            }
+        }
+        let profile = self.profile.as_ref().map(|h| h.borrow().clone());
         let report = Report {
             shared_memory,
             lock_blocks,
@@ -654,6 +702,7 @@ impl Machine {
             faults: self.net.fault_stats(),
             metrics: self.metrics.map(|m| m.series),
             deadlock: self.deadlock,
+            profile,
         };
         if let Err(e) = self.tracer.finish() {
             eprintln!("warning: trace sink error: {e}");
@@ -979,6 +1028,7 @@ impl Machine {
         let touches_memory = Self::dir_touches_memory(&p);
         let (out, done_at): (Vec<Proto>, Cycle) = match p {
             Proto::Cbl { lock, msg } => {
+                let depth_before = self.tracer.is_on().then(|| self.cbl[lock].waiters().len());
                 let (msgs, effects) = self.cbl[lock].deliver(msg);
                 let t_done = self.processing_done(
                     dst,
@@ -988,6 +1038,20 @@ impl Machine {
                     &msgs_words_cbl(&msgs),
                     now,
                 );
+                if let Some(before) = depth_before {
+                    let after = self.cbl[lock].waiters().len();
+                    if after != before {
+                        self.tracer.emit(TraceEvent {
+                            cycle: t_done,
+                            node: -1,
+                            family: Family::Cbl,
+                            kind: Kind::Queue,
+                            detail: "depth",
+                            id: lock as u64,
+                            arg: after as u64,
+                        });
+                    }
+                }
                 self.apply_cbl_effects(lock, &effects, t_done);
                 (
                     msgs.into_iter()
@@ -997,6 +1061,7 @@ impl Machine {
                 )
             }
             Proto::Ric { block, msg } => {
+                let len_before = self.tracer.is_on().then(|| self.ric[block].len());
                 let (msgs, effects) = self.ric[block].deliver(msg);
                 let t_done = self.processing_done(
                     dst,
@@ -1006,6 +1071,7 @@ impl Machine {
                     &msgs_words_ric(&msgs),
                     now,
                 );
+                self.emit_ric_len_change(block, len_before, t_done);
                 self.apply_ric_effects(block, effects, t_done);
                 (
                     msgs.into_iter()
@@ -1187,20 +1253,72 @@ impl Machine {
         self.events.schedule(t + 1, Ev::Resume(node));
     }
 
-    /// Stalls `node` on `w` at `now` (tracing the stall begin).
+    /// Stalls `node` on `w` at `now` (tracing the stall begin with the
+    /// coarse cause label).
     fn stall_node(&mut self, node: NodeId, w: Waiting, now: Cycle) {
+        self.stall_node_tagged(node, w, now, Node::cause(w));
+    }
+
+    /// Stalls `node` on `w` at `now`, tracing the stall begin with a
+    /// refined attribution tag. The tag is what the profiler blames the
+    /// stalled cycles on (e.g. `"flush.wbuf-full"` vs `"flush.cp-synch"`);
+    /// `Node::cause` stays the coarse per-report category.
+    fn stall_node_tagged(&mut self, node: NodeId, w: Waiting, now: Cycle, tag: &'static str) {
         if self.tracer.is_on() {
             self.tracer.emit(TraceEvent {
                 cycle: now,
                 node: node as i64,
                 family: Family::Node,
                 kind: Kind::StallBegin,
-                detail: Node::cause(w),
+                detail: tag,
                 id: 0,
                 arg: 0,
             });
         }
         self.nodes[node].stall(w, now);
+    }
+
+    /// Emits a heatmap access event (profiler input): which block/word a
+    /// shared reference touched and how (`detail` is the access class).
+    fn trace_access(
+        &mut self,
+        now: Cycle,
+        node: i64,
+        family: Family,
+        detail: &'static str,
+        block: BlockId,
+        word: u8,
+    ) {
+        if self.tracer.is_on() {
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node,
+                family,
+                kind: Kind::Access,
+                detail,
+                id: block as u64,
+                arg: word as u64,
+            });
+        }
+    }
+
+    /// Emits a RIC list-churn event when `block`'s update list changed
+    /// length (join or leave); `before` is `None` when tracing is off.
+    fn emit_ric_len_change(&mut self, block: BlockId, before: Option<usize>, t: Cycle) {
+        if let Some(before) = before {
+            let after = self.ric[block].len();
+            if after != before {
+                self.tracer.emit(TraceEvent {
+                    cycle: t,
+                    node: -1,
+                    family: Family::Ric,
+                    kind: Kind::Queue,
+                    detail: if after > before { "join" } else { "leave" },
+                    id: block as u64,
+                    arg: after as u64,
+                });
+            }
+        }
     }
 
     /// Clears `node`'s stall at `now` (tracing the stall end; `arg` is the
@@ -1227,6 +1345,9 @@ impl Machine {
                 CblEffect::Granted { node, mode, .. } => {
                     self.counters.bump(keys::LOCK_CBL_GRANTED);
                     if self.tracer.is_on() {
+                        let waited = self.nodes[node]
+                            .lock_wait_start
+                            .map_or(0, |s| t.saturating_sub(s));
                         self.tracer.emit(TraceEvent {
                             cycle: t,
                             node: node as i64,
@@ -1234,7 +1355,7 @@ impl Machine {
                             kind: Kind::LockAcquire,
                             detail: "cbl",
                             id: lock as u64,
-                            arg: 0,
+                            arg: waited,
                         });
                     }
                     self.nodes[node].held_locks.insert(lock);
@@ -1316,6 +1437,17 @@ impl Machine {
                     debug_assert!(acked, "write-ack for unknown wid");
                     self.wbuf_msgs[node].remove(&wid);
                     self.counters.bump(keys::WBUF_ACKED);
+                    if self.tracer.is_on() {
+                        self.tracer.emit(TraceEvent {
+                            cycle: t,
+                            node: node as i64,
+                            family: Family::Node,
+                            kind: Kind::Queue,
+                            detail: "wbuf.ack",
+                            id: wid,
+                            arg: self.nodes[node].wbuf.pending() as u64,
+                        });
+                    }
                     if self.nodes[node].wbuf.is_drained()
                         && self.nodes[node].waiting == Waiting::Flush
                     {
@@ -1324,6 +1456,7 @@ impl Machine {
                 }
                 RicEffect::UpdateApplied { node, data } => {
                     self.counters.bump(keys::RIC_UPDATE_APPLIED);
+                    self.trace_access(t, node as i64, Family::Ric, "update.apply", block, 0);
                     if let Some(line) = self.nodes[node].cache.get_mut(block) {
                         if line.valid && line.update {
                             // merge: keep locally-dirty words
@@ -1353,7 +1486,7 @@ impl Machine {
                             } else {
                                 // re-poll after a cycle
                                 self.unstall_node(node, t);
-                                self.stall_node(node, Waiting::Timer, t);
+                                self.stall_node_tagged(node, Waiting::Timer, t, "timer.flag");
                                 self.events.schedule(t + 1, Ev::Retry(node));
                             }
                             continue;
@@ -1404,7 +1537,7 @@ impl Machine {
                             {
                                 // re-check the freshly filled value
                                 self.unstall_node(node, t);
-                                self.stall_node(node, Waiting::Timer, t);
+                                self.stall_node_tagged(node, Waiting::Timer, t, "timer.flag");
                                 self.events.schedule(t + 1, Ev::Retry(node));
                             } else if self.nodes[node].waiting == Waiting::Fill {
                                 self.resume_from(node, Waiting::Fill, t);
@@ -1417,14 +1550,22 @@ impl Machine {
                 }
                 WbiEffect::Invalidated { node } => {
                     self.counters.bump(keys::WBI_INVALIDATED);
+                    if let WbiCtx::Data(block) = ctx {
+                        self.trace_access(t, node as i64, Family::Wbi, "invalidate", block, 0);
+                    }
                     let spin_matches = match (self.nodes[node].waiting, ctx) {
                         (Waiting::SpinInv(SpinTarget::LockVar(l)), WbiCtx::Lock(m)) => l == m,
                         (Waiting::SpinInv(SpinTarget::Flag), WbiCtx::Flag) => true,
                         _ => false,
                     };
                     if spin_matches {
+                        let tag = if matches!(ctx, WbiCtx::Flag) {
+                            "timer.flag"
+                        } else {
+                            "timer.lock"
+                        };
                         self.unstall_node(node, t);
-                        self.stall_node(node, Waiting::Timer, t);
+                        self.stall_node_tagged(node, Waiting::Timer, t, tag);
                         self.events.schedule(t + 1, Ev::Retry(node));
                     }
                 }
@@ -1474,12 +1615,17 @@ impl Machine {
                             n.rng = rng;
                             d
                         };
-                        self.stall_node(node, Waiting::Timer, t);
+                        self.stall_node_tagged(node, Waiting::Timer, t, "timer.lock");
                         self.events.schedule(t + d, Ev::Retry(node));
                     } else {
                         // We own the line (value 1); the releaser's write
                         // will invalidate us.
-                        self.stall_node(node, Waiting::SpinInv(SpinTarget::LockVar(lock)), t);
+                        self.stall_node_tagged(
+                            node,
+                            Waiting::SpinInv(SpinTarget::LockVar(lock)),
+                            t,
+                            "spin.lock",
+                        );
                     }
                 }
             }
@@ -1650,50 +1796,65 @@ impl Machine {
                     }
                 }
             }
-            Op::SharedRead(addr) => match self.cfg.data {
-                DataScheme::Ric => {
-                    let hit_value = self.nodes[node]
-                        .cache
-                        .peek(addr.block)
-                        .filter(|l| l.valid)
-                        .map(|l| l.data.get(addr.word));
-                    if let Some(v) = hit_value {
-                        self.counters.bump(keys::SHARED_READ_HIT);
-                        self.record_read(node, addr, v);
-                        self.events.schedule(now + 1, Ev::Resume(node));
-                    } else {
-                        self.counters.bump(keys::SHARED_READ_MISS);
-                        if self.cfg.record_reads {
-                            self.nodes[node].pending_record = Some(addr);
-                        }
-                        let msgs = if self.cfg.auto_read_update {
-                            self.ric[addr.block].read_update(node)
+            Op::SharedRead(addr) => {
+                let fam = match self.cfg.data {
+                    DataScheme::Ric => Family::Ric,
+                    DataScheme::Wbi => Family::Wbi,
+                };
+                self.trace_access(now, node as i64, fam, "read", addr.block, addr.word);
+                match self.cfg.data {
+                    DataScheme::Ric => {
+                        let hit_value = self.nodes[node]
+                            .cache
+                            .peek(addr.block)
+                            .filter(|l| l.valid)
+                            .map(|l| l.data.get(addr.word));
+                        if let Some(v) = hit_value {
+                            self.counters.bump(keys::SHARED_READ_HIT);
+                            self.record_read(node, addr, v);
+                            self.events.schedule(now + 1, Ev::Resume(node));
                         } else {
-                            self.ric[addr.block].read_miss(node)
-                        };
-                        self.route_all_ric(now, addr.block, msgs);
-                        self.stall_node(node, Waiting::Fill, now);
-                    }
-                }
-                DataScheme::Wbi => {
-                    if let Some(v) = self.wbi[addr.block].local_read(node, addr.word) {
-                        self.counters.bump(keys::SHARED_READ_HIT);
-                        self.record_read(node, addr, v);
-                        self.events.schedule(now + 1, Ev::Resume(node));
-                    } else {
-                        self.counters.bump(keys::SHARED_READ_MISS);
-                        if self.cfg.record_reads {
-                            self.nodes[node].pending_record = Some(addr);
+                            self.counters.bump(keys::SHARED_READ_MISS);
+                            if self.cfg.record_reads {
+                                self.nodes[node].pending_record = Some(addr);
+                            }
+                            let msgs = if self.cfg.auto_read_update {
+                                self.ric[addr.block].read_update(node)
+                            } else {
+                                self.ric[addr.block].read_miss(node)
+                            };
+                            self.route_all_ric(now, addr.block, msgs);
+                            self.stall_node(node, Waiting::Fill, now);
                         }
-                        let msgs = self.wbi[addr.block].read_req(node);
-                        self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
-                        self.stall_node(node, Waiting::Fill, now);
+                    }
+                    DataScheme::Wbi => {
+                        if let Some(v) = self.wbi[addr.block].local_read(node, addr.word) {
+                            self.counters.bump(keys::SHARED_READ_HIT);
+                            self.record_read(node, addr, v);
+                            self.events.schedule(now + 1, Ev::Resume(node));
+                        } else {
+                            self.counters.bump(keys::SHARED_READ_MISS);
+                            if self.cfg.record_reads {
+                                self.nodes[node].pending_record = Some(addr);
+                            }
+                            let msgs = self.wbi[addr.block].read_req(node);
+                            self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
+                            self.stall_node(node, Waiting::Fill, now);
+                        }
                     }
                 }
-            },
+            }
             Op::ReadGlobal(addr) => match self.cfg.data {
                 DataScheme::Ric => {
                     self.counters.bump(keys::SHARED_READ_GLOBAL);
+                    self.trace_access(
+                        now,
+                        node as i64,
+                        Family::Ric,
+                        "read.global",
+                        addr.block,
+                        addr.word,
+                    );
                     if self.cfg.record_reads {
                         self.nodes[node].pending_record = Some(addr);
                     }
@@ -1710,6 +1871,11 @@ impl Machine {
             Op::SpinUntilGlobal(addr, target) => {
                 self.nodes[node].spin_global = Some((addr, target));
                 self.counters.bump(keys::SHARED_SPIN_GLOBAL);
+                let fam = match self.cfg.data {
+                    DataScheme::Ric => Family::Ric,
+                    DataScheme::Wbi => Family::Wbi,
+                };
+                self.trace_access(now, node as i64, fam, "read.global", addr.block, addr.word);
                 match self.cfg.data {
                     DataScheme::Ric => {
                         if self.cfg.record_reads {
@@ -1731,7 +1897,7 @@ impl Machine {
                             Some(_) => {
                                 // spin on the cached copy; invalidation wakes us
                                 self.nodes[node].sync = None;
-                                self.stall_node(node, Waiting::Timer, now);
+                                self.stall_node_tagged(node, Waiting::Timer, now, "timer.flag");
                                 self.events.schedule(now + 2, Ev::Retry(node));
                             }
                             None => {
@@ -1760,12 +1926,36 @@ impl Machine {
                             }
                         }
                         match self.nodes[node].wbuf.push(addr, stamp) {
-                            Enqueue::Accepted(_) => {
+                            Enqueue::Accepted(wid) => {
                                 self.counters.bump(keys::SHARED_WRITE_GLOBAL);
+                                self.trace_access(
+                                    now,
+                                    node as i64,
+                                    Family::Ric,
+                                    "write",
+                                    addr.block,
+                                    addr.word,
+                                );
+                                if self.tracer.is_on() {
+                                    self.tracer.emit(TraceEvent {
+                                        cycle: now,
+                                        node: node as i64,
+                                        family: Family::Node,
+                                        kind: Kind::Queue,
+                                        detail: "wbuf.push",
+                                        id: wid,
+                                        arg: self.nodes[node].wbuf.pending() as u64,
+                                    });
+                                }
                                 self.schedule_wbuf_issue(node, now);
                                 if self.cfg.model.stalls_on_global_write() {
                                     // SC: wait until the write is performed.
-                                    self.stall_node(node, Waiting::Flush, now);
+                                    self.stall_node_tagged(
+                                        node,
+                                        Waiting::Flush,
+                                        now,
+                                        "flush.write",
+                                    );
                                 } else {
                                     self.events.schedule(now + 1, Ev::Resume(node));
                                 }
@@ -1773,11 +1963,24 @@ impl Machine {
                             Enqueue::Full => {
                                 self.counters.bump(keys::WBUF_FULL_STALL);
                                 self.nodes[node].pending_op = Some(op);
-                                self.stall_node(node, Waiting::Flush, now);
+                                self.stall_node_tagged(
+                                    node,
+                                    Waiting::Flush,
+                                    now,
+                                    "flush.wbuf-full",
+                                );
                             }
                         }
                     }
                     DataScheme::Wbi => {
+                        self.trace_access(
+                            now,
+                            node as i64,
+                            Family::Wbi,
+                            "write",
+                            addr.block,
+                            addr.word,
+                        );
                         if self.wbi[addr.block].local_write(node, addr.word, stamp) {
                             self.counters.bump(keys::SHARED_WRITE_HIT);
                             self.events.schedule(now + 1, Ev::Resume(node));
@@ -1823,7 +2026,9 @@ impl Machine {
                     if let Some(line) = self.nodes[node].cache.get_mut(block) {
                         line.update = false;
                     }
+                    let len_before = self.tracer.is_on().then(|| self.ric[block].len());
                     let msgs = self.ric[block].leave(node);
+                    self.emit_ric_len_change(block, len_before, now);
                     self.route_all_ric(now, block, msgs);
                 }
                 self.events.schedule(now + 1, Ev::Resume(node));
@@ -1866,7 +2071,7 @@ impl Machine {
                 {
                     self.counters.bump(keys::FLUSH_BEFORE_CP_SYNCH);
                     self.nodes[node].pending_op = Some(op);
-                    self.stall_node(node, Waiting::Flush, now);
+                    self.stall_node_tagged(node, Waiting::Flush, now, "flush.cp-synch");
                     return;
                 }
                 match self.cfg.locks {
@@ -1952,7 +2157,7 @@ impl Machine {
                 {
                     self.counters.bump(keys::FLUSH_BEFORE_CP_SYNCH);
                     self.nodes[node].pending_op = Some(op);
-                    self.stall_node(node, Waiting::Flush, now);
+                    self.stall_node_tagged(node, Waiting::Flush, now, "flush.cp-synch");
                     return;
                 }
                 self.counters.bump(keys::SEM_V);
@@ -1972,7 +2177,7 @@ impl Machine {
                 {
                     self.counters.bump(keys::FLUSH_BEFORE_CP_SYNCH);
                     self.nodes[node].pending_op = Some(op);
-                    self.stall_node(node, Waiting::Flush, now);
+                    self.stall_node_tagged(node, Waiting::Flush, now, "flush.cp-synch");
                     return;
                 }
                 match self.cfg.barrier {
@@ -2000,7 +2205,7 @@ impl Machine {
                     self.events.schedule(now + 1, Ev::Resume(node));
                 } else {
                     self.counters.bump(keys::FLUSH_EXPLICIT);
-                    self.stall_node(node, Waiting::Flush, now);
+                    self.stall_node_tagged(node, Waiting::Flush, now, "flush.explicit");
                 }
             }
         }
@@ -2044,7 +2249,12 @@ impl Machine {
                     lock,
                     phase: TtsPhase::Fetch,
                 });
-                self.stall_node(node, Waiting::SpinInv(SpinTarget::LockVar(lock)), now);
+                self.stall_node_tagged(
+                    node,
+                    Waiting::SpinInv(SpinTarget::LockVar(lock)),
+                    now,
+                    "spin.lock",
+                );
             }
             None => {
                 // No cached copy: fetch it.
@@ -2062,6 +2272,9 @@ impl Machine {
     fn tts_acquired(&mut self, node: NodeId, lock: LockId, t: Cycle) {
         self.counters.bump(keys::LOCK_TTS_ACQUIRED);
         if self.tracer.is_on() {
+            let waited = self.nodes[node]
+                .lock_wait_start
+                .map_or(0, |s| t.saturating_sub(s));
             self.tracer.emit(TraceEvent {
                 cycle: t,
                 node: node as i64,
@@ -2069,7 +2282,7 @@ impl Machine {
                 kind: Kind::LockAcquire,
                 detail: "tts",
                 id: lock as u64,
-                arg: 0,
+                arg: waited,
             });
         }
         self.nodes[node].held_locks.insert(lock);
@@ -2157,7 +2370,7 @@ impl Machine {
         match self.flag.local_read(node, 0) {
             Some(_) => {
                 // Cached copy says "not yet": spin until invalidated.
-                self.stall_node(node, Waiting::SpinInv(SpinTarget::Flag), now);
+                self.stall_node_tagged(node, Waiting::SpinInv(SpinTarget::Flag), now, "spin.flag");
                 self.nodes[node].sync = Some(SyncCtx::SwSpinFlag);
             }
             None => {

@@ -55,6 +55,10 @@ pub struct Report {
     /// Set when the watchdog ended the run instead of the workload: the
     /// run did NOT complete and `completion` is meaningless.
     pub deadlock: Option<DeadlockReport>,
+    /// The protocol-level profile folded live during the run (`Some` only
+    /// when the machine was built with `.profile(true)` or the
+    /// `SSMP_PROFILE` environment variable was set).
+    pub profile: Option<ssmp_profile::Profile>,
 }
 
 /// A stalled node's state at watchdog time.
@@ -223,6 +227,9 @@ impl Report {
                 let _ = write!(s, " {k}={v}");
             }
             let _ = writeln!(s);
+        }
+        if let Some(p) = &self.profile {
+            s.push_str(&p.render_table(8));
         }
         s
     }

@@ -10,7 +10,10 @@
 //! polling traffic entirely (compare a hot *lock* under TTS vs. CBL with
 //! the `lock_contention` example).
 
+use std::collections::VecDeque;
+
 use ssmp_core::addr::SharedAddr;
+use ssmp_core::primitive::LockMode;
 use ssmp_engine::{Cycle, SimRng};
 use ssmp_machine::{Op, Workload};
 
@@ -33,6 +36,11 @@ pub struct HotspotParams {
     pub think: Cycle,
     /// Content seed.
     pub seed: u64,
+    /// Route every hot reference through lock 0 (a hot *lock* instead of
+    /// a hot block): reads become `LockedRead` and writes `LockedWriteVal`
+    /// inside a `Lock`/`Unlock` pair — the access pattern that exercises
+    /// queued-lock contention (CBL handoff chains, queue depth).
+    pub hot_locks: bool,
 }
 
 impl HotspotParams {
@@ -48,6 +56,15 @@ impl HotspotParams {
             read_ratio: 0.85,
             think: 1,
             seed: 0x707_5b07,
+            hot_locks: false,
+        }
+    }
+
+    /// The same setup with hot references routed through lock 0.
+    pub fn hot_locks(nodes: usize, hot_fraction: f64, refs_per_node: usize) -> Self {
+        Self {
+            hot_locks: true,
+            ..Self::new(nodes, hot_fraction, refs_per_node)
         }
     }
 }
@@ -57,6 +74,7 @@ pub struct Hotspot {
     p: HotspotParams,
     rngs: Vec<SimRng>,
     left: Vec<usize>,
+    pending: Vec<VecDeque<Op>>,
 }
 
 impl Hotspot {
@@ -65,7 +83,13 @@ impl Hotspot {
         let master = SimRng::new(p.seed);
         let rngs = (0..p.nodes).map(|i| master.fork(i as u64)).collect();
         let left = vec![p.refs_per_node; p.nodes];
-        Self { p, rngs, left }
+        let pending = vec![VecDeque::new(); p.nodes];
+        Self {
+            p,
+            rngs,
+            left,
+            pending,
+        }
     }
 
     /// Locks needed on the machine.
@@ -76,19 +100,35 @@ impl Hotspot {
 
 impl Workload for Hotspot {
     fn next_op(&mut self, node: usize, _now: Cycle, _rng: &mut SimRng) -> Option<Op> {
+        if let Some(op) = self.pending[node].pop_front() {
+            return Some(op);
+        }
         if self.left[node] == 0 {
             return None;
         }
         self.left[node] -= 1;
         let rng = &mut self.rngs[node];
-        let block = if rng.chance(self.p.hot_fraction) {
+        let hot = rng.chance(self.p.hot_fraction);
+        let block = if hot {
             self.p.hot_block
         } else {
             // cold traffic spreads over the remaining blocks
             1 + rng.index(self.p.shared_blocks - 1)
         };
-        let addr = SharedAddr::new(block, rng.below(4) as u8);
-        Some(if rng.chance(self.p.read_ratio) {
+        let word = rng.below(4) as u8;
+        let read = rng.chance(self.p.read_ratio);
+        if hot && self.p.hot_locks {
+            // A hot reference becomes a critical section on lock 0.
+            self.pending[node].push_back(if read {
+                Op::LockedRead(0, word)
+            } else {
+                Op::LockedWrite(0, word)
+            });
+            self.pending[node].push_back(Op::Unlock(0));
+            return Some(Op::Lock(0, LockMode::Write));
+        }
+        let addr = SharedAddr::new(block, word);
+        Some(if read {
             // READ-GLOBAL forces a memory round trip per reference — the
             // polling pattern that saturates the hot module.
             Op::ReadGlobal(addr)
@@ -142,6 +182,22 @@ mod tests {
             o,
             Op::ReadGlobal(a) | Op::SharedWriteVal(a, _) if a.block == 0
         )));
+    }
+
+    #[test]
+    fn hot_locks_mode_wraps_hot_refs_in_lock_unlock() {
+        let p = HotspotParams::hot_locks(2, 1.0, 50);
+        let s = stream(p, 0);
+        let locks = s.iter().filter(|o| matches!(o, Op::Lock(0, _))).count();
+        let unlocks = s.iter().filter(|o| matches!(o, Op::Unlock(0))).count();
+        let body = s
+            .iter()
+            .filter(|o| matches!(o, Op::LockedRead(0, _) | Op::LockedWrite(0, _)))
+            .count();
+        assert_eq!(locks, 50);
+        assert_eq!(unlocks, 50);
+        assert_eq!(body, 50);
+        assert_eq!(s.len(), 150);
     }
 
     #[test]

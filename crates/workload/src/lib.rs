@@ -37,7 +37,7 @@ pub mod work_queue;
 pub use fft::{FftParams, FftPhases};
 pub use hotspot::{Hotspot, HotspotParams};
 pub use solver::{Allocation, LinearSolver, ReadMode, SolverParams};
-pub use sor::{Sor, SorParams};
+pub use sor::{Sor, SorLayout, SorParams};
 pub use sync_model::{SyncModel, SyncParams};
 pub use trace::{Trace, TraceReplay};
 pub use work_queue::{Grain, WorkQueue, WorkQueueParams};

@@ -16,6 +16,20 @@ use ssmp_core::addr::SharedAddr;
 use ssmp_engine::{Cycle, SimRng};
 use ssmp_machine::{Op, Workload};
 
+/// How boundary words are laid out in shared blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SorLayout {
+    /// One boundary block per chunk (the cache-friendly layout).
+    #[default]
+    Padded,
+    /// Two adjacent chunks share one boundary block, each owning a
+    /// disjoint pair of words — a deliberate *false sharing* layout.
+    /// Under write-invalidate the co-tenants ping-pong the block even
+    /// though their word sets never overlap; RIC's per-word dirty bits
+    /// make the same layout free of invalidations.
+    Packed,
+}
+
 /// SOR workload parameters.
 #[derive(Debug, Clone)]
 pub struct SorParams {
@@ -27,6 +41,8 @@ pub struct SorParams {
     pub interior: usize,
     /// Compute cycles per relaxed point.
     pub compute_per_point: Cycle,
+    /// Boundary-block layout.
+    pub layout: SorLayout,
 }
 
 impl SorParams {
@@ -37,17 +53,51 @@ impl SorParams {
             sweeps,
             interior: 16,
             compute_per_point: 2,
+            layout: SorLayout::Padded,
         }
     }
 
-    /// The boundary block owned by chunk `c` (one block per chunk).
+    /// The same setup with the packed (false-sharing) boundary layout.
+    pub fn packed(nodes: usize, sweeps: usize) -> Self {
+        Self {
+            layout: SorLayout::Packed,
+            ..Self::new(nodes, sweeps)
+        }
+    }
+
+    /// The boundary block owned by chunk `c`.
     pub fn boundary_block(&self, chunk: usize) -> usize {
-        chunk
+        match self.layout {
+            SorLayout::Padded => chunk,
+            SorLayout::Packed => chunk / 2,
+        }
+    }
+
+    /// The word chunk `c` publishes for boundary write `k` of `half`.
+    pub fn boundary_word(&self, chunk: usize, k: u8, half: u8) -> u8 {
+        match self.layout {
+            SorLayout::Padded => k * 2 + half,
+            // Each co-tenant owns words {0,1} or {2,3} of the shared
+            // block; red/black alternate within the pair.
+            SorLayout::Packed => 2 * (chunk % 2) as u8 + (k + half) % 2,
+        }
+    }
+
+    /// The word read from neighbour chunk `src` for halo read `k` of
+    /// `half`.
+    pub fn halo_word(&self, src: usize, k: u8, half: u8) -> u8 {
+        match self.layout {
+            SorLayout::Padded => (k % 2) * 2 + half,
+            SorLayout::Packed => 2 * (src % 2) as u8 + (k + half) % 2,
+        }
     }
 
     /// Shared blocks the machine must provision.
     pub fn shared_blocks(&self) -> usize {
-        self.nodes
+        match self.layout {
+            SorLayout::Padded => self.nodes,
+            SorLayout::Packed => self.nodes.div_ceil(2),
+        }
     }
 
     /// Left/right neighbours on the ring.
@@ -123,7 +173,7 @@ impl Workload for Sor {
                     }
                     let (left, right) = self.p.neighbours(node);
                     let src = if k < 2 { left } else { right };
-                    let word = (k % 2) * 2 + half; // red/black words differ
+                    let word = self.p.halo_word(src, k, half); // red/black words differ
                     self.step[node] = Step::ReadHalo {
                         sweep,
                         half,
@@ -145,7 +195,7 @@ impl Workload for Sor {
                         self.step[node] = Step::Sync { sweep, half };
                         return Some(Op::Barrier);
                     }
-                    let word = k * 2 + half;
+                    let word = self.p.boundary_word(node, k, half);
                     self.step[node] = Step::WriteBoundary {
                         sweep,
                         half,
@@ -243,5 +293,29 @@ mod tests {
         let p = SorParams::new(4, 1);
         assert_eq!(p.neighbours(0), (3, 1));
         assert_eq!(p.neighbours(3), (2, 0));
+    }
+
+    #[test]
+    fn packed_layout_co_tenants_write_disjoint_words_of_one_block() {
+        let p = SorParams::packed(4, 2);
+        assert_eq!(p.shared_blocks(), 2);
+        // Chunks 0 and 1 share block 0; their word sets never overlap.
+        let words = |chunk: usize| -> std::collections::BTreeSet<u8> {
+            stream(SorParams::packed(4, 2), chunk)
+                .iter()
+                .filter_map(|o| match o {
+                    Op::SharedWrite(a) => Some((a.block, a.word)),
+                    _ => None,
+                })
+                .map(|(b, w)| {
+                    assert_eq!(b, chunk / 2);
+                    w
+                })
+                .collect()
+        };
+        let w0 = words(0);
+        let w1 = words(1);
+        assert!(w0.iter().all(|w| *w < 2), "chunk 0 words {w0:?}");
+        assert!(w1.iter().all(|w| *w >= 2), "chunk 1 words {w1:?}");
     }
 }
