@@ -1,0 +1,183 @@
+//! **Simulator throughput baseline**: end-to-end events/sec and
+//! cycles/sec of the machine simulator itself, heap vs. timing-wheel
+//! event queue, across three paper workloads × two interconnect
+//! topologies.
+//!
+//! Unlike the paper-artifact binaries this measures the *simulator*, not
+//! the simulated machine: both queue implementations run the identical
+//! configuration in the same process and the artifact records their wall
+//! times side by side, so the speedup column is meaningful even on a
+//! noisy host. Each point also asserts that the two queues produced the
+//! same completion time and message count — the determinism contract the
+//! wheel scheduler must uphold.
+//!
+//! Usage: `throughput [--quick] [--json] [--seed N] [--out FILE]`
+//! (runs single-threaded regardless of `--jobs`: timed points must not
+//! contend with each other).
+
+use std::time::Instant;
+
+use ssmp_bench::exp::{ExpArgs, Experiment, PointOutput, RunnerOpts, SweepResult};
+use ssmp_bench::{run_solver, run_sync, run_work_queue_strong, Table};
+use ssmp_machine::{MachineConfig, QueueKind, Report};
+use ssmp_net::Topology;
+use ssmp_workload::{Allocation, Grain};
+
+const WORKLOADS: &[&str] = &["work-queue", "sync", "solver"];
+const TOPOLOGIES: &[(&str, Topology)] = &[("omega", Topology::Omega), ("bus", Topology::Bus)];
+
+/// Problem sizes per workload (full / `--quick`).
+struct Sizes {
+    nodes: usize,
+    tasks: usize,
+    solver_iters: usize,
+    /// Timed repetitions per queue kind; the fastest is recorded.
+    reps: usize,
+}
+
+impl Sizes {
+    fn pick(quick: bool) -> Self {
+        if quick {
+            Sizes {
+                nodes: 16,
+                tasks: 512,
+                solver_iters: 8,
+                reps: 2,
+            }
+        } else {
+            Sizes {
+                nodes: 32,
+                tasks: 2048,
+                solver_iters: 24,
+                reps: 3,
+            }
+        }
+    }
+}
+
+fn run_workload(wl: &str, cfg: MachineConfig, s: &Sizes) -> Report {
+    match wl {
+        "work-queue" => run_work_queue_strong(cfg, Grain::Fine, s.tasks),
+        "sync" => {
+            let per_node = s.tasks.div_ceil(cfg.geometry.nodes);
+            run_sync(cfg, Grain::Fine.refs(), per_node)
+        }
+        "solver" => run_solver(cfg, Allocation::Packed, s.solver_iters),
+        other => unreachable!("workload '{other}' not registered"),
+    }
+}
+
+/// Runs `wl` under `queue` `reps` times, returning the last report and
+/// the fastest wall time in seconds.
+fn timed(wl: &str, mut cfg: MachineConfig, queue: QueueKind, s: &Sizes) -> (Report, f64) {
+    cfg.queue = queue;
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..s.reps.max(1) {
+        let t0 = Instant::now();
+        let r = run_workload(wl, cfg.clone(), s);
+        best = best.min(t0.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    (report.expect("reps >= 1"), best)
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let sizes = Sizes::pick(args.quick);
+
+    let mut exp = Experiment::new("throughput").seed(args.seed);
+    for &wl in WORKLOADS {
+        for &(topo_name, topo) in TOPOLOGIES {
+            let nodes = sizes.nodes;
+            exp.point_with(
+                format!("{wl}/{topo_name}"),
+                &[
+                    ("workload", wl.to_string()),
+                    ("topology", topo_name.to_string()),
+                    ("nodes", nodes.to_string()),
+                ],
+                move |_| {
+                    let sizes = Sizes::pick(args.quick);
+                    let mut cfg = MachineConfig::cbl(nodes);
+                    cfg.topology = topo;
+                    let (heap_r, heap_s) = timed(wl, cfg.clone(), QueueKind::Heap, &sizes);
+                    let (wheel_r, wheel_s) = timed(wl, cfg, QueueKind::Wheel, &sizes);
+                    // The determinism contract: the queue implementation
+                    // must be invisible in the simulation outcome.
+                    assert_eq!(
+                        heap_r.completion, wheel_r.completion,
+                        "heap and wheel queues diverged on completion time"
+                    );
+                    assert_eq!(
+                        heap_r.total_messages(),
+                        wheel_r.total_messages(),
+                        "heap and wheel queues diverged on message count"
+                    );
+                    assert_eq!(
+                        heap_r.events_popped, wheel_r.events_popped,
+                        "heap and wheel queues dispatched different event counts"
+                    );
+                    let events = wheel_r.events_popped as f64;
+                    let cycles = wheel_r.completion as f64;
+                    PointOutput::values(vec![
+                        ("cycles".into(), cycles),
+                        ("events".into(), events),
+                        ("heap_secs".into(), heap_s),
+                        ("wheel_secs".into(), wheel_s),
+                        ("heap_events_per_sec".into(), events / heap_s.max(1e-12)),
+                        ("wheel_events_per_sec".into(), events / wheel_s.max(1e-12)),
+                        ("heap_cycles_per_sec".into(), cycles / heap_s.max(1e-12)),
+                        ("wheel_cycles_per_sec".into(), cycles / wheel_s.max(1e-12)),
+                        ("speedup".into(), heap_s / wheel_s.max(1e-12)),
+                    ])
+                },
+            );
+        }
+    }
+
+    // Timed points must not contend for cores: force one worker.
+    let opts = RunnerOpts::new()
+        .jobs(1)
+        .progress(!args.json && std::env::var_os("SSMP_NO_PROGRESS").is_none());
+    let sweep = exp.run(&opts);
+    sweep.expect_ok();
+
+    let table = throughput_table(&sweep);
+    args.emit(&[table], &sweep);
+}
+
+fn throughput_table(sweep: &SweepResult) -> Table {
+    let mut t = Table::new(
+        "Simulator throughput: heap vs timing-wheel event queue",
+        &[
+            "cycles",
+            "events",
+            "heap ev/s",
+            "wheel ev/s",
+            "wheel cyc/s",
+            "speedup",
+        ],
+    );
+    let mut best = 0.0f64;
+    for &wl in WORKLOADS {
+        for &(topo_name, _) in TOPOLOGIES {
+            let label = format!("{wl}/{topo_name}");
+            best = best.max(sweep.value(&label, "speedup"));
+            t.row(
+                label.clone(),
+                vec![
+                    sweep.value(&label, "cycles"),
+                    sweep.value(&label, "events"),
+                    sweep.value(&label, "heap_events_per_sec"),
+                    sweep.value(&label, "wheel_events_per_sec"),
+                    sweep.value(&label, "wheel_cycles_per_sec"),
+                    sweep.value(&label, "speedup"),
+                ],
+            );
+        }
+    }
+    t.note("both queues run the identical configuration in-process; speedup = heap_secs / wheel_secs (fastest of the timed repetitions)");
+    t.note(format!("best wheel speedup across points: {best:.2}x"));
+    t
+}

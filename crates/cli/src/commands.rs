@@ -12,7 +12,8 @@ use crate::args::Flags;
 pub const USAGE: &str = "\
 usage:
   ssmp run   --workload <wl> --config <cfg> [--nodes N] [--grain g] [--tasks T]
-             [--seed S] [--topology omega|bus|ideal] [--json]
+             [--seed S] [--topology omega|bus|ideal] [--queue wheel|heap]
+             [--json]
   ssmp sweep [--points <spec>] [--workload <wl> --config <cfg>[,cfg...]
              [--nodes 4,8,16,...]] [--jobs N] [--seed S] [--quick]
              [--grain g] [--tasks T] [--json] [--out <file>]
@@ -29,6 +30,12 @@ worker threads; the emitted artifact is byte-identical for any --jobs.
   --points table3[:<n,n>]         the Table 3 scenario points
   --out <file>                    write the full JSON artifact (points
                                   incl. failures + per-point seeds)
+
+simulator internals (run, sweep, trace replay, program):
+  [--queue wheel|heap]   event-queue implementation: the timing-wheel
+  scheduler (default) or the binary-heap baseline. Reports and sweep
+  artifacts are byte-identical either way; the flag exists for perf
+  comparison and as an escape hatch.
 
 fault injection / robustness (run, sweep, trace replay, program):
   [--fault-seed S] [--drop-prob p] [--dup-prob p] [--delay-prob p]
@@ -85,6 +92,7 @@ const VALUED: &[&str] = &[
     "trace-ring",
     "metrics-interval",
     "top",
+    "queue",
 ];
 
 /// Dispatches a full argv (without the binary name).
@@ -144,6 +152,7 @@ fn parse_grain(name: &str) -> Result<Grain, String> {
 #[derive(Debug, Clone, Default)]
 struct SimFlags {
     topology: Option<ssmp_net::Topology>,
+    queue: Option<ssmp_machine::QueueKind>,
     fault: Option<ssmp_net::FaultConfig>,
     retry: Option<ssmp_machine::RetryPolicy>,
     max_cycles: Option<u64>,
@@ -170,6 +179,13 @@ impl SimFlags {
                 "bus" => ssmp_net::Topology::Bus,
                 "ideal" => ssmp_net::Topology::Ideal,
                 other => return Err(format!("unknown topology '{other}'")),
+            });
+        }
+        if let Some(q) = f.get("queue") {
+            s.queue = Some(match q {
+                "wheel" => ssmp_machine::QueueKind::Wheel,
+                "heap" => ssmp_machine::QueueKind::Heap,
+                other => return Err(format!("unknown queue '{other}' (expected wheel or heap)")),
             });
         }
         let drop_prob = f.num::<f64>("drop-prob", 0.0)?;
@@ -204,6 +220,9 @@ impl SimFlags {
     fn apply(&self, cfg: &mut MachineConfig) -> Result<(), String> {
         if let Some(t) = self.topology {
             cfg.topology = t;
+        }
+        if let Some(q) = self.queue {
+            cfg.queue = q;
         }
         if let Some(fc) = &self.fault {
             cfg.fault = Some(fc.clone());
@@ -1516,6 +1535,39 @@ mod tests {
     fn sweep_table3_rejects_profile_flag() {
         let e = dispatch(&v(&["sweep", "--points", "table3:4", "--profile"])).unwrap_err();
         assert!(e.contains("table3"), "{e}");
+    }
+
+    #[test]
+    fn queue_flag_parses_and_rejects_unknown() {
+        for q in ["heap", "wheel"] {
+            dispatch(&v(&[
+                "run",
+                "--workload",
+                "sync",
+                "--config",
+                "cbl",
+                "--nodes",
+                "4",
+                "--tasks",
+                "4",
+                "--queue",
+                q,
+            ]))
+            .unwrap();
+        }
+        let e = dispatch(&v(&[
+            "run",
+            "--workload",
+            "sync",
+            "--config",
+            "cbl",
+            "--nodes",
+            "4",
+            "--queue",
+            "fifo",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("unknown queue"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Queue-implementation invariance at the CLI boundary (DESIGN.md §11):
+//! `--queue heap` and `--queue wheel` must produce **byte-identical**
+//! `--json` run reports and byte-identical `ssmp-sweep-v1` sweep
+//! artifacts. The event queue is a performance choice, never a semantic
+//! one — any divergence here is a scheduler-ordering bug.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_cli(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_ssmp-cli"))
+        .args(args)
+        .output()
+        .expect("spawn ssmp-cli");
+    assert!(
+        out.status.success(),
+        "ssmp-cli {:?} failed:\n{}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+/// Stdout of `run … --json --queue <kind>`.
+fn run_json(base: &[&str], queue: &str) -> Vec<u8> {
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--json", "--queue", queue]);
+    run_cli(&args)
+}
+
+#[test]
+fn run_reports_are_byte_identical_across_queues() {
+    // One case per protocol family the run command exercises: RIC data +
+    // CBL locks, WBI with a contended lock + interval metrics, and the
+    // barrier/semaphore-heavy sync microbenchmark.
+    let cases: &[&[&str]] = &[
+        &[
+            "run",
+            "--workload",
+            "work-queue",
+            "--config",
+            "bc-cbl",
+            "--nodes",
+            "8",
+            "--grain",
+            "fine",
+        ],
+        &[
+            "run",
+            "--workload",
+            "hotspot",
+            "--config",
+            "cbl",
+            "--nodes",
+            "8",
+            "--hot",
+            "0.8",
+            "--hot-lock",
+            "--grain",
+            "fine",
+            "--metrics-interval",
+            "500",
+        ],
+        &[
+            "run",
+            "--workload",
+            "sync",
+            "--config",
+            "cbl",
+            "--nodes",
+            "8",
+        ],
+    ];
+    for base in cases {
+        let heap = run_json(base, "heap");
+        let wheel = run_json(base, "wheel");
+        assert!(!heap.is_empty(), "no JSON emitted for {base:?}");
+        assert_eq!(
+            heap, wheel,
+            "heap and wheel --json reports differ for {base:?}"
+        );
+    }
+}
+
+#[test]
+fn sweep_artifacts_are_byte_identical_across_queues() {
+    let dir = std::env::temp_dir();
+    let artifact = |queue: &str| -> Vec<u8> {
+        let path: PathBuf = dir.join(format!(
+            "ssmp-queue-invariance-{}-{queue}.json",
+            std::process::id()
+        ));
+        let path_s = path.to_str().expect("utf-8 temp path");
+        run_cli(&[
+            "sweep",
+            "--points",
+            "sync:wbi,cbl:4,8",
+            "--quick",
+            "--jobs",
+            "2",
+            "--json",
+            "--queue",
+            queue,
+            "--out",
+            path_s,
+        ]);
+        let bytes = std::fs::read(&path).expect("sweep artifact written");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    };
+    let heap = artifact("heap");
+    let wheel = artifact("wheel");
+    assert!(
+        String::from_utf8_lossy(&heap).contains("\"schema\":\"ssmp-sweep-v1\""),
+        "artifact must carry the ssmp-sweep-v1 schema tag"
+    );
+    assert_eq!(
+        heap, wheel,
+        "heap and wheel sweep artifacts must serialize identically"
+    );
+}

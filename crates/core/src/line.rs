@@ -16,40 +16,76 @@
 use crate::addr::NodeId;
 use crate::primitive::LockMode;
 
+/// Words a [`BlockData`] stores without heap allocation. The paper's
+/// geometry uses 4-word blocks, so protocol payloads cloned per message
+/// (grants, fills, write-backs) stay allocation-free; larger blocks —
+/// test-only today — fall back to a `Vec`.
+const INLINE_WORDS: usize = 8;
+
+/// Block-word storage: inline for blocks up to [`INLINE_WORDS`], heap
+/// beyond. The variant is fixed by the length at construction, so equal
+/// contents always mean equal representation (derived `Eq` is sound: the
+/// inline tail past `len` is never written and stays zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Words {
+    Inline { buf: [u64; INLINE_WORDS], len: u8 },
+    Heap(Vec<u64>),
+}
+
 /// Simulated contents of one memory block. Words are `u64` "version stamps":
 /// the machine writes a fresh stamp on every store so tests can check
 /// visibility (who observed whose write) exactly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockData {
-    words: Vec<u64>,
+    words: Words,
 }
 
 impl BlockData {
     /// A zero-filled block of `k` words.
     pub fn new(k: u8) -> Self {
-        Self {
-            words: vec![0; k as usize],
+        let words = if k as usize <= INLINE_WORDS {
+            Words::Inline {
+                buf: [0; INLINE_WORDS],
+                len: k,
+            }
+        } else {
+            Words::Heap(vec![0; k as usize])
+        };
+        Self { words }
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline { buf, len } => &buf[..*len as usize],
+            Words::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.words {
+            Words::Inline { buf, len } => &mut buf[..*len as usize],
+            Words::Heap(v) => v,
         }
     }
 
     /// Number of words.
     pub fn len(&self) -> u8 {
-        self.words.len() as u8
+        self.as_slice().len() as u8
     }
 
     /// True if the block has no words (never the case in practice).
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Reads word `w`.
     pub fn get(&self, w: u8) -> u64 {
-        self.words[w as usize]
+        self.as_slice()[w as usize]
     }
 
     /// Writes word `w`.
     pub fn set(&mut self, w: u8, v: u64) {
-        self.words[w as usize] = v;
+        self.as_mut_slice()[w as usize] = v;
     }
 
     /// Merges the words of `src` selected by `mask` into `self`.
@@ -58,16 +94,18 @@ impl BlockData {
     /// destination, so two nodes that dirtied *different* words of the same
     /// block never clobber each other (§3 issue 6).
     pub fn merge_masked(&mut self, src: &BlockData, mask: u64) {
-        for w in 0..self.words.len() {
+        let src = src.as_slice();
+        let dst = self.as_mut_slice();
+        for w in 0..dst.len() {
             if mask & (1 << w) != 0 {
-                self.words[w] = src.words[w];
+                dst[w] = src[w];
             }
         }
     }
 
     /// All words as a slice.
     pub fn words(&self) -> &[u64] {
-        &self.words
+        self.as_slice()
     }
 }
 
@@ -205,6 +243,34 @@ mod tests {
         assert_eq!(l.prev, None);
         assert_eq!(l.next, None);
         assert_eq!(l.lock, LockField::None);
+    }
+
+    #[test]
+    fn inline_and_heap_blocks_behave_identically() {
+        // 8 words sit in the inline buffer, 9 spill to the heap; the API
+        // must not care.
+        for k in [1u8, 4, 8, 9, 64] {
+            let mut d = BlockData::new(k);
+            assert_eq!(d.len(), k);
+            assert!(!d.is_empty());
+            assert_eq!(d.words(), vec![0u64; k as usize].as_slice());
+            for w in 0..k {
+                d.set(w, 1000 + w as u64);
+            }
+            for w in 0..k {
+                assert_eq!(d.get(w), 1000 + w as u64);
+            }
+            assert_eq!(d.clone(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inline_block_out_of_range_word_panics() {
+        // an inline block of 4 words must reject word 5 even though the
+        // backing buffer physically has 8 slots
+        let mut d = BlockData::new(4);
+        d.set(5, 1);
     }
 
     #[test]

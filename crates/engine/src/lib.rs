@@ -51,7 +51,7 @@ pub use event::{EventQueue, Scheduled};
 pub use json::{Json, JsonError};
 pub use rng::SimRng;
 pub use series::IntervalSeries;
-pub use stats::{Accumulator, CounterSet, Histogram};
+pub use stats::{Accumulator, CounterId, CounterSet, Histogram};
 pub use trace::{
     Family, JsonlSink, Kind, MemorySink, OwnedEvent, PerfettoSink, TraceEvent, TraceFilter,
     TraceRing, TraceSink, Tracer,

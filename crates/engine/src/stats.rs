@@ -5,218 +5,269 @@
 //! by messages and time). Components therefore bump named counters as they
 //! operate; experiment harnesses read them back to regenerate the tables.
 //!
-//! Counters are keyed by `&'static str` and stored in a `BTreeMap` so that
-//! report iteration order is deterministic.
+//! Counters are keyed by `&'static str` names but stored densely: the
+//! `counters!` table below generates both the canonical key constants and a
+//! [`CounterId`] enum, so a bump is an array index instead of a `BTreeMap`
+//! lookup. The table is listed in sorted key order (checked by a test), so
+//! iteration is deterministic and byte-identical to the old map-backed
+//! store: a `touched` bitmask reproduces its "only ever-bumped keys appear"
+//! reporting semantics.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
-pub mod keys {
-    //! Canonical counter-key names.
-    //!
-    //! Every component that bumps a counter and every reader that consumes
-    //! one goes through these constants, so a typo cannot silently split a
-    //! counter into two names. Keys are dotted paths grouped by subsystem;
-    //! `msg.*` keys double as the `detail` field of trace events, keeping
-    //! counters and traces aligned.
+/// Generates the `keys` constants, the dense [`CounterId`] enum, and the
+/// name⇄id tables from one list of counters. Entries MUST be in sorted
+/// key order (asserted by a unit test) so that ordinal order equals name
+/// order and reports iterate identically to a sorted map.
+macro_rules! counters {
+    ($( $(#[$doc:meta])* $variant:ident, $konst:ident => $key:literal; )+) => {
+        pub mod keys {
+            //! Canonical counter-key names.
+            //!
+            //! Every component that bumps a counter and every reader that
+            //! consumes one goes through these constants, so a typo cannot
+            //! silently split a counter into two names. Keys are dotted
+            //! paths grouped by subsystem; `msg.*` keys double as the
+            //! `detail` field of trace events, keeping counters and traces
+            //! aligned.
 
-    /// Watchdog declared a deadlock / budget exhaustion.
-    pub const WATCHDOG_FIRED: &str = "watchdog.fired";
+            $( $(#[$doc])* pub const $konst: &str = $key; )+
 
-    /// WBI directory evicted an entry.
-    pub const WBI_DIR_EVICTIONS: &str = "wbi.dir_evictions";
-    /// WBI invalidation applied at a cache.
-    pub const WBI_INVALIDATED: &str = "wbi.invalidated";
-    /// WBI exclusive line downgraded to shared.
-    pub const WBI_DOWNGRADED: &str = "wbi.downgraded";
+            /// Prefix of all interconnect message counters.
+            pub const MSG_PREFIX: &str = "msg.";
+            /// Prefix of CBL protocol message counters.
+            pub const MSG_CBL_PREFIX: &str = "msg.cbl.";
+            /// Prefix of WBI protocol message counters.
+            pub const MSG_WBI_PREFIX: &str = "msg.wbi.";
+            /// Prefix of RIC protocol message counters.
+            pub const MSG_RIC_PREFIX: &str = "msg.ric.";
+            /// Prefix of hardware-barrier message counters.
+            pub const MSG_BAR_PREFIX: &str = "msg.bar.";
+        }
 
-    /// Prefix of all interconnect message counters.
-    pub const MSG_PREFIX: &str = "msg.";
-    /// Prefix of CBL protocol message counters.
-    pub const MSG_CBL_PREFIX: &str = "msg.cbl.";
-    /// Prefix of WBI protocol message counters.
-    pub const MSG_WBI_PREFIX: &str = "msg.wbi.";
-    /// Prefix of RIC protocol message counters.
-    pub const MSG_RIC_PREFIX: &str = "msg.ric.";
-    /// Prefix of hardware-barrier message counters.
-    pub const MSG_BAR_PREFIX: &str = "msg.bar.";
+        /// Dense index of every counter key — one variant per entry of the
+        /// `counters!` table, in sorted key order. Hot paths bump by id
+        /// (an array index); names are recovered via [`CounterId::name`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum CounterId {
+            $( $(#[$doc])* $variant, )+
+        }
 
-    /// CBL lock request to home memory.
-    pub const MSG_CBL_REQUEST: &str = "msg.cbl.request";
-    /// CBL request forwarded to the current tail.
-    pub const MSG_CBL_FORWARD: &str = "msg.cbl.forward";
-    /// CBL grant issued by home memory.
-    pub const MSG_CBL_GRANT_MEM: &str = "msg.cbl.grant_mem";
-    /// CBL grant handed down the waiting chain.
-    pub const MSG_CBL_GRANT_CHAIN: &str = "msg.cbl.grant_chain";
-    /// CBL requester spliced into the queue.
-    pub const MSG_CBL_ENQUEUED: &str = "msg.cbl.enqueued";
-    /// CBL release sent to home memory.
-    pub const MSG_CBL_RELEASE: &str = "msg.cbl.release";
-    /// CBL release acknowledged.
-    pub const MSG_CBL_RELEASE_ACK: &str = "msg.cbl.release_ack";
-    /// CBL request bounced (queue hand-off race).
-    pub const MSG_CBL_BOUNCE: &str = "msg.cbl.bounce";
-    /// CBL queue splice message.
-    pub const MSG_CBL_SPLICE: &str = "msg.cbl.splice";
+        impl CounterId {
+            /// Key names, in the same (sorted) order as the variants.
+            const NAMES: &'static [&'static str] = &[ $( $key, )+ ];
 
-    /// RIC read miss to home memory.
-    pub const MSG_RIC_READ_MISS: &str = "msg.ric.read_miss";
-    /// RIC read that joins the update list.
-    pub const MSG_RIC_READ_UPDATE: &str = "msg.ric.read_update";
-    /// RIC read reply with data.
-    pub const MSG_RIC_READ_REPLY: &str = "msg.ric.read_reply";
-    /// RIC global read (bypassing cache).
-    pub const MSG_RIC_READ_GLOBAL: &str = "msg.ric.read_global";
-    /// RIC global read reply.
-    pub const MSG_RIC_READ_GLOBAL_REPLY: &str = "msg.ric.read_global_reply";
-    /// RIC global write to home memory.
-    pub const MSG_RIC_WRITE_GLOBAL: &str = "msg.ric.write_global";
-    /// RIC write acknowledgement.
-    pub const MSG_RIC_WRITE_ACK: &str = "msg.ric.write_ack";
-    /// RIC update pushed to a list member.
-    pub const MSG_RIC_UPDATE_PUSH: &str = "msg.ric.update_push";
-    /// RIC update-list head change.
-    pub const MSG_RIC_HEAD_CHANGE: &str = "msg.ric.head_change";
-    /// RIC update-list splice.
-    pub const MSG_RIC_SPLICE: &str = "msg.ric.splice";
+            /// Every counter id, in variant (= sorted key) order.
+            pub const ALL: &'static [CounterId] = &[ $( CounterId::$variant, )+ ];
 
-    /// WBI read request.
-    pub const MSG_WBI_READ_REQ: &str = "msg.wbi.read_req";
-    /// WBI write (ownership) request.
-    pub const MSG_WBI_WRITE_REQ: &str = "msg.wbi.write_req";
-    /// WBI data reply, shared state.
-    pub const MSG_WBI_DATA_SHARED: &str = "msg.wbi.data_shared";
-    /// WBI data reply, exclusive-clean state.
-    pub const MSG_WBI_DATA_EXCL_CLEAN: &str = "msg.wbi.data_excl_clean";
-    /// WBI data reply, exclusive state.
-    pub const MSG_WBI_DATA_EXCL: &str = "msg.wbi.data_excl";
-    /// WBI invalidation request.
-    pub const MSG_WBI_INV: &str = "msg.wbi.inv";
-    /// WBI invalidation acknowledgement.
-    pub const MSG_WBI_INV_ACK: &str = "msg.wbi.inv_ack";
-    /// WBI fetch (shared) forwarded to owner.
-    pub const MSG_WBI_FETCH_SHARED: &str = "msg.wbi.fetch_shared";
-    /// WBI fetch (exclusive) forwarded to owner.
-    pub const MSG_WBI_FETCH_EXCL: &str = "msg.wbi.fetch_excl";
-    /// WBI owner-to-requester data transfer.
-    pub const MSG_WBI_OWNER_DATA: &str = "msg.wbi.owner_data";
-    /// WBI write-back to memory.
-    pub const MSG_WBI_WRITE_BACK: &str = "msg.wbi.write_back";
-    /// WBI write-back race resolution message.
-    pub const MSG_WBI_WB_RACE: &str = "msg.wbi.wb_race";
-
-    /// Hardware barrier arrival.
-    pub const MSG_BAR_ARRIVE: &str = "msg.bar.arrive";
-    /// Hardware barrier arrival acknowledgement.
-    pub const MSG_BAR_ACK: &str = "msg.bar.ack";
-    /// Hardware barrier release broadcast.
-    pub const MSG_BAR_RELEASE: &str = "msg.bar.release";
-
-    /// Semaphore P request.
-    pub const MSG_SEM_P: &str = "msg.sem.p";
-    /// Semaphore V request.
-    pub const MSG_SEM_V: &str = "msg.sem.v";
-    /// Semaphore grant.
-    pub const MSG_SEM_GRANT: &str = "msg.sem.grant";
-    /// Semaphore V acknowledgement.
-    pub const MSG_SEM_V_ACK: &str = "msg.sem.v_ack";
-
-    /// Private-memory miss traffic (request or fill).
-    pub const MSG_PRIV: &str = "msg.priv";
-
-    /// Duplicate delivery suppressed by wire-id dedup.
-    pub const NET_DEDUP: &str = "net.dedup";
-
-    /// Private miss fill completed.
-    pub const PRIV_FILL: &str = "priv.fill";
-    /// Private cache hit.
-    pub const PRIV_HIT: &str = "priv.hit";
-    /// Private cache miss.
-    pub const PRIV_MISS: &str = "priv.miss";
-    /// Private dirty-line writeback.
-    pub const PRIV_WRITEBACK: &str = "priv.writeback";
-
-    /// Hardware barrier episode passed.
-    pub const BARRIER_HW_PASSED: &str = "barrier.hw.passed";
-    /// Software barrier arrival.
-    pub const BARRIER_SW_ARRIVE: &str = "barrier.sw.arrive";
-    /// Software barrier notify write.
-    pub const BARRIER_SW_NOTIFY: &str = "barrier.sw.notify";
-    /// Software barrier episode passed.
-    pub const BARRIER_SW_PASSED: &str = "barrier.sw.passed";
-
-    /// Semaphore acquired (P granted).
-    pub const SEM_ACQUIRED: &str = "sem.acquired";
-    /// Semaphore P issued.
-    pub const SEM_P: &str = "sem.p";
-    /// Semaphore V issued.
-    pub const SEM_V: &str = "sem.v";
-
-    /// CBL lock granted to a requester.
-    pub const LOCK_CBL_GRANTED: &str = "lock.cbl.granted";
-    /// CBL release completed at home memory.
-    pub const LOCK_CBL_RELEASE_COMPLETE: &str = "lock.cbl.release_complete";
-    /// CBL release forwarded down the chain.
-    pub const LOCK_CBL_RELEASE_FORWARDED: &str = "lock.cbl.release_forwarded";
-    /// CBL re-request issued after a bounce.
-    pub const LOCK_CBL_REREQUEST_WAIT: &str = "lock.cbl.rerequest_wait";
-
-    /// Test&set attempt issued.
-    pub const LOCK_TTS_TEST_AND_SET: &str = "lock.tts.test_and_set";
-    /// Test&set observed the lock held.
-    pub const LOCK_TTS_FAILED_TS: &str = "lock.tts.failed_ts";
-    /// Test&test&set local spin iteration.
-    pub const LOCK_TTS_SPIN: &str = "lock.tts.spin";
-    /// Test&test&set lock acquired.
-    pub const LOCK_TTS_ACQUIRED: &str = "lock.tts.acquired";
-    /// Test&test&set release hit locally.
-    pub const LOCK_TTS_RELEASE_LOCAL: &str = "lock.tts.release_local";
-    /// Test&test&set release went remote.
-    pub const LOCK_TTS_RELEASE_REMOTE: &str = "lock.tts.release_remote";
-
-    /// Write-buffer entry acknowledged.
-    pub const WBUF_ACKED: &str = "wbuf.acked";
-    /// Processor stalled on a full write buffer.
-    pub const WBUF_FULL_STALL: &str = "wbuf.full_stall";
-    /// Write-buffer entry issued to the network.
-    pub const WBUF_ISSUED: &str = "wbuf.issued";
-
-    /// RIC update applied at a list member.
-    pub const RIC_UPDATE_APPLIED: &str = "ric.update_applied";
-    /// RIC update dropped (member no longer caching).
-    pub const RIC_UPDATE_DROPPED: &str = "ric.update_dropped";
-
-    /// Shared read hit in cache.
-    pub const SHARED_READ_HIT: &str = "shared.read.hit";
-    /// Shared read missed in cache.
-    pub const SHARED_READ_MISS: &str = "shared.read.miss";
-    /// Shared read served globally (uncached).
-    pub const SHARED_READ_GLOBAL: &str = "shared.read.global";
-    /// Spin iteration on a global location.
-    pub const SHARED_SPIN_GLOBAL: &str = "shared.spin_global";
-    /// Shared write hit in cache.
-    pub const SHARED_WRITE_HIT: &str = "shared.write.hit";
-    /// Shared write missed in cache.
-    pub const SHARED_WRITE_MISS: &str = "shared.write.miss";
-    /// Shared write performed globally (uncached).
-    pub const SHARED_WRITE_GLOBAL: &str = "shared.write.global";
-
-    /// Write-buffer flush forced by CP-Synch semantics.
-    pub const FLUSH_BEFORE_CP_SYNCH: &str = "flush.before_cp_synch";
-    /// Explicit FlushBuffer op completed.
-    pub const FLUSH_EXPLICIT: &str = "flush.explicit";
-
-    /// Retry budget exhausted for a request.
-    pub const RETRY_EXHAUSTED: &str = "retry.exhausted";
-    /// Timed-out request retransmitted.
-    pub const RETRY_RETRANSMIT: &str = "retry.retransmit";
+            /// Number of counters.
+            pub const COUNT: usize = Self::NAMES.len();
+        }
+    };
 }
 
-/// A set of named monotone counters.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+counters! {
+    /// Hardware barrier episode passed.
+    BarrierHwPassed, BARRIER_HW_PASSED => "barrier.hw.passed";
+    /// Software barrier arrival.
+    BarrierSwArrive, BARRIER_SW_ARRIVE => "barrier.sw.arrive";
+    /// Software barrier notify write.
+    BarrierSwNotify, BARRIER_SW_NOTIFY => "barrier.sw.notify";
+    /// Software barrier episode passed.
+    BarrierSwPassed, BARRIER_SW_PASSED => "barrier.sw.passed";
+    /// Write-buffer flush forced by CP-Synch semantics.
+    FlushBeforeCpSynch, FLUSH_BEFORE_CP_SYNCH => "flush.before_cp_synch";
+    /// Explicit FlushBuffer op completed.
+    FlushExplicit, FLUSH_EXPLICIT => "flush.explicit";
+    /// CBL lock granted to a requester.
+    LockCblGranted, LOCK_CBL_GRANTED => "lock.cbl.granted";
+    /// CBL release completed at home memory.
+    LockCblReleaseComplete, LOCK_CBL_RELEASE_COMPLETE => "lock.cbl.release_complete";
+    /// CBL release forwarded down the chain.
+    LockCblReleaseForwarded, LOCK_CBL_RELEASE_FORWARDED => "lock.cbl.release_forwarded";
+    /// CBL re-request issued after a bounce.
+    LockCblRerequestWait, LOCK_CBL_REREQUEST_WAIT => "lock.cbl.rerequest_wait";
+    /// Test&test&set lock acquired.
+    LockTtsAcquired, LOCK_TTS_ACQUIRED => "lock.tts.acquired";
+    /// Test&set observed the lock held.
+    LockTtsFailedTs, LOCK_TTS_FAILED_TS => "lock.tts.failed_ts";
+    /// Test&test&set release hit locally.
+    LockTtsReleaseLocal, LOCK_TTS_RELEASE_LOCAL => "lock.tts.release_local";
+    /// Test&test&set release went remote.
+    LockTtsReleaseRemote, LOCK_TTS_RELEASE_REMOTE => "lock.tts.release_remote";
+    /// Test&test&set local spin iteration.
+    LockTtsSpin, LOCK_TTS_SPIN => "lock.tts.spin";
+    /// Test&set attempt issued.
+    LockTtsTestAndSet, LOCK_TTS_TEST_AND_SET => "lock.tts.test_and_set";
+    /// Hardware barrier arrival acknowledgement.
+    MsgBarAck, MSG_BAR_ACK => "msg.bar.ack";
+    /// Hardware barrier arrival.
+    MsgBarArrive, MSG_BAR_ARRIVE => "msg.bar.arrive";
+    /// Hardware barrier release broadcast.
+    MsgBarRelease, MSG_BAR_RELEASE => "msg.bar.release";
+    /// CBL request bounced (queue hand-off race).
+    MsgCblBounce, MSG_CBL_BOUNCE => "msg.cbl.bounce";
+    /// CBL requester spliced into the queue.
+    MsgCblEnqueued, MSG_CBL_ENQUEUED => "msg.cbl.enqueued";
+    /// CBL request forwarded to the current tail.
+    MsgCblForward, MSG_CBL_FORWARD => "msg.cbl.forward";
+    /// CBL grant handed down the waiting chain.
+    MsgCblGrantChain, MSG_CBL_GRANT_CHAIN => "msg.cbl.grant_chain";
+    /// CBL grant issued by home memory.
+    MsgCblGrantMem, MSG_CBL_GRANT_MEM => "msg.cbl.grant_mem";
+    /// CBL release sent to home memory.
+    MsgCblRelease, MSG_CBL_RELEASE => "msg.cbl.release";
+    /// CBL release acknowledged.
+    MsgCblReleaseAck, MSG_CBL_RELEASE_ACK => "msg.cbl.release_ack";
+    /// CBL lock request to home memory.
+    MsgCblRequest, MSG_CBL_REQUEST => "msg.cbl.request";
+    /// CBL queue splice message.
+    MsgCblSplice, MSG_CBL_SPLICE => "msg.cbl.splice";
+    /// Private-memory miss traffic (request or fill).
+    MsgPriv, MSG_PRIV => "msg.priv";
+    /// RIC update-list head change.
+    MsgRicHeadChange, MSG_RIC_HEAD_CHANGE => "msg.ric.head_change";
+    /// RIC global read (bypassing cache).
+    MsgRicReadGlobal, MSG_RIC_READ_GLOBAL => "msg.ric.read_global";
+    /// RIC global read reply.
+    MsgRicReadGlobalReply, MSG_RIC_READ_GLOBAL_REPLY => "msg.ric.read_global_reply";
+    /// RIC read miss to home memory.
+    MsgRicReadMiss, MSG_RIC_READ_MISS => "msg.ric.read_miss";
+    /// RIC read reply with data.
+    MsgRicReadReply, MSG_RIC_READ_REPLY => "msg.ric.read_reply";
+    /// RIC read that joins the update list.
+    MsgRicReadUpdate, MSG_RIC_READ_UPDATE => "msg.ric.read_update";
+    /// RIC update-list splice.
+    MsgRicSplice, MSG_RIC_SPLICE => "msg.ric.splice";
+    /// RIC update pushed to a list member.
+    MsgRicUpdatePush, MSG_RIC_UPDATE_PUSH => "msg.ric.update_push";
+    /// RIC write acknowledgement.
+    MsgRicWriteAck, MSG_RIC_WRITE_ACK => "msg.ric.write_ack";
+    /// RIC global write to home memory.
+    MsgRicWriteGlobal, MSG_RIC_WRITE_GLOBAL => "msg.ric.write_global";
+    /// Semaphore grant.
+    MsgSemGrant, MSG_SEM_GRANT => "msg.sem.grant";
+    /// Semaphore P request.
+    MsgSemP, MSG_SEM_P => "msg.sem.p";
+    /// Semaphore V request.
+    MsgSemV, MSG_SEM_V => "msg.sem.v";
+    /// Semaphore V acknowledgement.
+    MsgSemVAck, MSG_SEM_V_ACK => "msg.sem.v_ack";
+    /// WBI data reply, exclusive state.
+    MsgWbiDataExcl, MSG_WBI_DATA_EXCL => "msg.wbi.data_excl";
+    /// WBI data reply, exclusive-clean state.
+    MsgWbiDataExclClean, MSG_WBI_DATA_EXCL_CLEAN => "msg.wbi.data_excl_clean";
+    /// WBI data reply, shared state.
+    MsgWbiDataShared, MSG_WBI_DATA_SHARED => "msg.wbi.data_shared";
+    /// WBI fetch (exclusive) forwarded to owner.
+    MsgWbiFetchExcl, MSG_WBI_FETCH_EXCL => "msg.wbi.fetch_excl";
+    /// WBI fetch (shared) forwarded to owner.
+    MsgWbiFetchShared, MSG_WBI_FETCH_SHARED => "msg.wbi.fetch_shared";
+    /// WBI invalidation request.
+    MsgWbiInv, MSG_WBI_INV => "msg.wbi.inv";
+    /// WBI invalidation acknowledgement.
+    MsgWbiInvAck, MSG_WBI_INV_ACK => "msg.wbi.inv_ack";
+    /// WBI owner-to-requester data transfer.
+    MsgWbiOwnerData, MSG_WBI_OWNER_DATA => "msg.wbi.owner_data";
+    /// WBI read request.
+    MsgWbiReadReq, MSG_WBI_READ_REQ => "msg.wbi.read_req";
+    /// WBI write-back race resolution message.
+    MsgWbiWbRace, MSG_WBI_WB_RACE => "msg.wbi.wb_race";
+    /// WBI write-back to memory.
+    MsgWbiWriteBack, MSG_WBI_WRITE_BACK => "msg.wbi.write_back";
+    /// WBI write (ownership) request.
+    MsgWbiWriteReq, MSG_WBI_WRITE_REQ => "msg.wbi.write_req";
+    /// Duplicate delivery suppressed by wire-id dedup.
+    NetDedup, NET_DEDUP => "net.dedup";
+    /// Private miss fill completed.
+    PrivFill, PRIV_FILL => "priv.fill";
+    /// Private cache hit.
+    PrivHit, PRIV_HIT => "priv.hit";
+    /// Private cache miss.
+    PrivMiss, PRIV_MISS => "priv.miss";
+    /// Private dirty-line writeback.
+    PrivWriteback, PRIV_WRITEBACK => "priv.writeback";
+    /// Retry budget exhausted for a request.
+    RetryExhausted, RETRY_EXHAUSTED => "retry.exhausted";
+    /// Timed-out request retransmitted.
+    RetryRetransmit, RETRY_RETRANSMIT => "retry.retransmit";
+    /// RIC update applied at a list member.
+    RicUpdateApplied, RIC_UPDATE_APPLIED => "ric.update_applied";
+    /// RIC update dropped (member no longer caching).
+    RicUpdateDropped, RIC_UPDATE_DROPPED => "ric.update_dropped";
+    /// Semaphore acquired (P granted).
+    SemAcquired, SEM_ACQUIRED => "sem.acquired";
+    /// Semaphore P issued.
+    SemP, SEM_P => "sem.p";
+    /// Semaphore V issued.
+    SemV, SEM_V => "sem.v";
+    /// Shared read served globally (uncached).
+    SharedReadGlobal, SHARED_READ_GLOBAL => "shared.read.global";
+    /// Shared read hit in cache.
+    SharedReadHit, SHARED_READ_HIT => "shared.read.hit";
+    /// Shared read missed in cache.
+    SharedReadMiss, SHARED_READ_MISS => "shared.read.miss";
+    /// Spin iteration on a global location.
+    SharedSpinGlobal, SHARED_SPIN_GLOBAL => "shared.spin_global";
+    /// Shared write performed globally (uncached).
+    SharedWriteGlobal, SHARED_WRITE_GLOBAL => "shared.write.global";
+    /// Shared write hit in cache.
+    SharedWriteHit, SHARED_WRITE_HIT => "shared.write.hit";
+    /// Shared write missed in cache.
+    SharedWriteMiss, SHARED_WRITE_MISS => "shared.write.miss";
+    /// Watchdog declared a deadlock / budget exhaustion.
+    WatchdogFired, WATCHDOG_FIRED => "watchdog.fired";
+    /// WBI directory evicted an entry.
+    WbiDirEvictions, WBI_DIR_EVICTIONS => "wbi.dir_evictions";
+    /// WBI exclusive line downgraded to shared.
+    WbiDowngraded, WBI_DOWNGRADED => "wbi.downgraded";
+    /// WBI invalidation applied at a cache.
+    WbiInvalidated, WBI_INVALIDATED => "wbi.invalidated";
+    /// Write-buffer entry acknowledged.
+    WbufAcked, WBUF_ACKED => "wbuf.acked";
+    /// Processor stalled on a full write buffer.
+    WbufFullStall, WBUF_FULL_STALL => "wbuf.full_stall";
+    /// Write-buffer entry issued to the network.
+    WbufIssued, WBUF_ISSUED => "wbuf.issued";
+}
+
+// The touched bitmask below is a u128; the table must fit.
+const _: () = assert!(CounterId::COUNT <= 128);
+
+impl CounterId {
+    /// The canonical key name for this counter.
+    #[inline]
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self as usize]
+    }
+
+    /// Looks a key name up by binary search (the table is sorted).
+    pub fn from_name(name: &str) -> Option<CounterId> {
+        Self::NAMES
+            .binary_search_by(|probe| (**probe).cmp(name))
+            .ok()
+            .map(|i| Self::ALL[i])
+    }
+}
+
+/// A set of named monotone counters, stored densely: one `u64` slot per
+/// [`CounterId`] plus a bitmask of counters that were ever bumped, so that
+/// iteration (and therefore report/JSON output) lists exactly the counters
+/// a map-backed store would — in the same sorted order, since variant
+/// order equals name order.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterSet {
-    counters: BTreeMap<&'static str, u64>,
+    values: [u64; CounterId::COUNT],
+    touched: u128,
+}
+
+impl Default for CounterSet {
+    fn default() -> Self {
+        Self {
+            values: [0; CounterId::COUNT],
+            touched: 0,
+        }
+    }
 }
 
 impl CounterSet {
@@ -225,41 +276,65 @@ impl CounterSet {
         Self::default()
     }
 
-    /// Adds `by` to counter `name`, creating it at zero if absent.
+    /// Adds `by` to counter `id`.
     #[inline]
-    pub fn add(&mut self, name: &'static str, by: u64) {
-        *self.counters.entry(name).or_insert(0) += by;
+    pub fn add_id(&mut self, id: CounterId, by: u64) {
+        self.values[id as usize] += by;
+        self.touched |= 1u128 << (id as u32);
     }
 
-    /// Increments counter `name` by one.
+    /// Increments counter `id` by one.
+    #[inline]
+    pub fn bump_id(&mut self, id: CounterId) {
+        self.add_id(id, 1);
+    }
+
+    /// Adds `by` to counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is not in the [`keys`] table — bump through the
+    /// constants (or [`CounterSet::add_id`]), never ad-hoc strings.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, by: u64) {
+        let id =
+            CounterId::from_name(name).unwrap_or_else(|| panic!("unknown counter key '{name}'"));
+        self.add_id(id, by);
+    }
+
+    /// Increments counter `name` by one (same panics as [`CounterSet::add`]).
     #[inline]
     pub fn bump(&mut self, name: &'static str) {
         self.add(name, 1);
     }
 
-    /// Reads counter `name` (0 if never bumped).
+    /// Reads counter `name` (0 if never bumped or unknown).
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        CounterId::from_name(name).map_or(0, |id| self.values[id as usize])
     }
 
     /// Sum of all counters whose name starts with `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.counters
+        CounterId::ALL
             .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(_, v)| v)
+            .filter(|id| id.name().starts_with(prefix))
+            .map(|&id| self.values[id as usize])
             .sum()
     }
 
-    /// Iterates `(name, value)` pairs in deterministic (sorted) order.
+    /// Iterates `(name, value)` pairs of ever-bumped counters in
+    /// deterministic (sorted) order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &v)| (k, v))
+        CounterId::ALL
+            .iter()
+            .filter(move |&&id| self.touched >> (id as u32) & 1 == 1)
+            .map(move |&id| (id.name(), self.values[id as usize]))
     }
 
     /// Merges another counter set into this one (summing matching names).
     pub fn merge(&mut self, other: &CounterSet) {
-        for (k, v) in other.iter() {
-            self.add(k, v);
+        self.touched |= other.touched;
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += b;
         }
     }
 }
@@ -440,36 +515,81 @@ mod tests {
     #[test]
     fn counters_accumulate_and_sort() {
         let mut c = CounterSet::new();
-        c.bump("net.msg.read");
-        c.add("net.msg.read", 2);
-        c.bump("net.msg.write");
-        assert_eq!(c.get("net.msg.read"), 3);
-        assert_eq!(c.get("net.msg.write"), 1);
+        c.bump(keys::MSG_CBL_REQUEST);
+        c.add(keys::MSG_CBL_REQUEST, 2);
+        c.bump(keys::MSG_CBL_RELEASE);
+        assert_eq!(c.get(keys::MSG_CBL_REQUEST), 3);
+        assert_eq!(c.get(keys::MSG_CBL_RELEASE), 1);
         assert_eq!(c.get("absent"), 0);
-        assert_eq!(c.sum_prefix("net.msg."), 4);
-        let keys: Vec<_> = c.iter().map(|(k, _)| k).collect();
-        assert_eq!(keys, vec!["net.msg.read", "net.msg.write"]);
+        assert_eq!(c.sum_prefix(keys::MSG_CBL_PREFIX), 4);
+        let listed: Vec<_> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(listed, vec![keys::MSG_CBL_RELEASE, keys::MSG_CBL_REQUEST]);
     }
 
     #[test]
     fn counters_merge() {
         let mut a = CounterSet::new();
-        a.add("x", 2);
+        a.add(keys::PRIV_HIT, 2);
         let mut b = CounterSet::new();
-        b.add("x", 3);
-        b.add("y", 1);
+        b.add(keys::PRIV_HIT, 3);
+        b.add(keys::PRIV_MISS, 1);
         a.merge(&b);
-        assert_eq!(a.get("x"), 5);
-        assert_eq!(a.get("y"), 1);
+        assert_eq!(a.get(keys::PRIV_HIT), 5);
+        assert_eq!(a.get(keys::PRIV_MISS), 1);
+        // merge must not surface counters neither side ever bumped
+        assert_eq!(a.iter().count(), 2);
     }
 
     #[test]
     fn counter_display_lists_all() {
         let mut c = CounterSet::new();
-        c.add("alpha", 1);
-        c.add("beta", 2);
+        c.add(keys::WBUF_ISSUED, 1);
+        c.add(keys::WBUF_ACKED, 2);
         let s = format!("{c}");
-        assert!(s.contains("alpha") && s.contains("beta"));
+        assert!(s.contains(keys::WBUF_ISSUED) && s.contains(keys::WBUF_ACKED));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown counter key")]
+    fn bump_of_unknown_key_panics() {
+        CounterSet::new().bump("not.a.real.key");
+    }
+
+    #[test]
+    fn counter_table_is_sorted_and_distinct() {
+        // the dense store relies on variant order == sorted name order so
+        // iteration matches what the old BTreeMap produced
+        assert_eq!(CounterId::ALL.len(), CounterId::COUNT);
+        for w in CounterId::ALL.windows(2) {
+            assert!(
+                w[0].name() < w[1].name(),
+                "counters! table out of order: '{}' before '{}'",
+                w[0].name(),
+                w[1].name()
+            );
+        }
+    }
+
+    #[test]
+    fn counter_id_name_roundtrip() {
+        for &id in CounterId::ALL {
+            assert_eq!(CounterId::from_name(id.name()), Some(id));
+            assert_eq!(id.name(), CounterId::ALL[id as usize].name());
+        }
+        assert_eq!(CounterId::from_name("msg."), None);
+        assert_eq!(CounterId::from_name(""), None);
+    }
+
+    #[test]
+    fn untouched_counters_do_not_iterate() {
+        let mut c = CounterSet::new();
+        assert_eq!(c.iter().count(), 0);
+        c.bump_id(CounterId::NetDedup);
+        let listed: Vec<_> = c.iter().collect();
+        assert_eq!(listed, vec![(keys::NET_DEDUP, 1)]);
+        // name- and id-based bumps hit the same slot
+        c.bump(keys::NET_DEDUP);
+        assert_eq!(c.get(keys::NET_DEDUP), 2);
     }
 
     #[test]
@@ -595,6 +715,24 @@ mod tests {
     }
 
     proptest! {
+        /// The dense store reports exactly what a sorted map would for any
+        /// bump sequence: same keys, same order, same values.
+        #[test]
+        fn prop_dense_counters_match_sorted_map(
+            ops in proptest::collection::vec((0usize..CounterId::COUNT, 1u64..100), 0..100),
+        ) {
+            let mut dense = CounterSet::new();
+            let mut map = std::collections::BTreeMap::<&'static str, u64>::new();
+            for (i, by) in ops {
+                let id = CounterId::ALL[i];
+                dense.add_id(id, by);
+                *map.entry(id.name()).or_insert(0) += by;
+            }
+            let a: Vec<_> = dense.iter().collect();
+            let b: Vec<_> = map.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(a, b);
+        }
+
         #[test]
         fn prop_histogram_count_and_mean(xs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
             let mut h = Histogram::new();

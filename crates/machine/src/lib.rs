@@ -30,7 +30,8 @@ pub mod op;
 pub mod report;
 
 pub use config::{
-    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PrivateMode, RetryPolicy,
+    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PrivateMode, QueueKind,
+    RetryPolicy,
 };
 pub use machine::{Machine, MachineBuilder};
 pub use op::{LockId, Op, Workload};

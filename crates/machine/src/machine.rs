@@ -30,17 +30,17 @@ use ssmp_core::primitive::{AccessClass, LockMode};
 use ssmp_core::ric::{RicEffect, RicMsg, UpdateList};
 use ssmp_core::semaphore::{HwSemaphore, SemEffect, SemKind, SemMsg};
 use ssmp_core::wbuf::Enqueue;
-use ssmp_engine::stats::keys;
 use ssmp_engine::trace::{Family, Kind, TraceEvent, Tracer};
 use ssmp_engine::{
-    CounterSet, Cycle, EventQueue, Histogram, IntervalSeries, SimRng, Watchdog, WatchdogVerdict,
+    CounterId, CounterSet, Cycle, EventQueue, Histogram, IntervalSeries, Scheduled, SimRng,
+    Watchdog, WatchdogVerdict, WheelQueue,
 };
 use ssmp_mem::{MemModule, PrivAccess, PrivCache, PrivateModel, PrivateOutcome};
 use ssmp_net::{FaultDecision, FaultPlan, FaultyInterconnect, Interconnect, MsgDir, MsgKind};
 use ssmp_wbi::{Backoff, WbiBlock, WbiEffect, WbiMsg};
 
 use crate::config::{
-    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PrivateMode,
+    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PrivateMode, QueueKind,
 };
 use crate::node::{MicroOp, Node, SpinTarget, SyncCtx, TtsPhase, Waiting};
 use crate::op::{LockId, Op, Workload};
@@ -132,10 +132,66 @@ enum WbiCtx {
     Flag,
 }
 
+/// Horizon of the timing wheel, in one-cycle slots. Most events land a few
+/// cycles out (network hops, directory service); only retry timeouts and
+/// long backoffs overflow past it, and those take the wheel's (correct but
+/// slower) overflow path.
+const WHEEL_SLOTS: usize = 1024;
+
+/// The machine's event queue: a timing wheel by default, a binary heap as
+/// the `--queue heap` escape hatch. Both pop in identical order
+/// (nondecreasing time, FIFO within a cycle — property-verified), so the
+/// choice affects wall-clock speed only, never simulated behavior.
+enum Queue {
+    Heap(EventQueue<Ev>),
+    Wheel(WheelQueue<Ev>),
+}
+
+impl Queue {
+    fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Heap => Queue::Heap(EventQueue::new()),
+            QueueKind::Wheel => Queue::Wheel(WheelQueue::new(WHEEL_SLOTS)),
+        }
+    }
+
+    #[inline]
+    fn now(&self) -> Cycle {
+        match self {
+            Queue::Heap(q) => q.now(),
+            Queue::Wheel(q) => q.now(),
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, at: Cycle, event: Ev) {
+        match self {
+            Queue::Heap(q) => q.schedule(at, event),
+            Queue::Wheel(q) => q.schedule(at, event),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Scheduled<Ev>> {
+        match self {
+            Queue::Heap(q) => q.pop(),
+            Queue::Wheel(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    fn popped(&self) -> u64 {
+        match self {
+            Queue::Heap(q) => q.popped(),
+            Queue::Wheel(q) => q.popped(),
+        }
+    }
+}
+
 /// The assembled machine.
 pub struct Machine {
     cfg: MachineConfig,
-    events: EventQueue<Ev>,
+    events: Queue,
     net: FaultyInterconnect,
     mems: Vec<MemModule>,
     nodes: Vec<Node>,
@@ -286,6 +342,13 @@ impl MachineBuilder {
     /// traced run is bit-identical to an untraced one.
     pub fn tracer(mut self, t: Tracer) -> Self {
         self.tracer = t;
+        self
+    }
+
+    /// Selects the event-queue implementation (timing wheel by default).
+    /// Both produce byte-identical reports; see [`QueueKind`].
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.cfg.queue = kind;
         self
     }
 
@@ -453,7 +516,7 @@ impl Machine {
                     series: IntervalSeries::new(iv, METRIC_COLUMNS.to_vec()),
                 }
             }),
-            events: EventQueue::new(),
+            events: Queue::new(cfg.queue),
             cfg,
         })
     }
@@ -498,14 +561,17 @@ impl Machine {
         }
         let watchdog = Watchdog::new(self.cfg.max_cycles);
         while self.live > 0 {
-            if let Some(verdict) = watchdog.check(self.events.peek_time(), self.live) {
-                self.diagnose_deadlock(verdict);
+            // Pop first and let the watchdog judge the popped timestamp: one
+            // queue operation per event instead of a peek + pop pair. A
+            // popped event that trips the budget is *not* dispatched — its
+            // timestamp becomes the diagnosis time, exactly as the old
+            // peek-based check reported it.
+            let next = self.events.pop();
+            if let Some(verdict) = watchdog.check(next.as_ref().map(|s| s.at), self.live) {
+                self.diagnose_deadlock(verdict, next.map(|s| s.at));
                 break;
             }
-            let sch = self
-                .events
-                .pop()
-                .expect("watchdog admits non-empty queues only");
+            let sch = next.expect("watchdog admits non-empty queues only");
             let at = sch.at;
             self.sample_metrics(at);
             match sch.event {
@@ -535,13 +601,23 @@ impl Machine {
         let wbuf_depth: u64 = self.nodes.iter().map(|n| n.wbuf.pending() as u64).sum();
         let cbl_waiters: u64 = self.cbl.iter().map(|q| q.waiters().len() as u64).sum();
         let ric_members: u64 = self.ric.iter().map(|l| l.len() as u64).sum();
-        let mut stalls: BTreeMap<&'static str, u64> = BTreeMap::new();
+        // per-cause stall counts, indexed to match the stall.* columns of
+        // METRIC_COLUMNS
+        let mut stalls = [0u64; 7];
         for n in &self.nodes {
             if n.waiting != Waiting::None {
-                *stalls.entry(Node::cause(n.waiting)).or_insert(0) += 1;
+                let i = match Node::cause(n.waiting) {
+                    "fill" => 0,
+                    "lock" => 1,
+                    "barrier" => 2,
+                    "semaphore" => 3,
+                    "flush" => 4,
+                    "spin" => 5,
+                    _ => 6, // "timer"
+                };
+                stalls[i] += 1;
             }
         }
-        let stall = |c: &str| stalls.get(c).copied().unwrap_or(0);
         let row = [
             net.packets, // patched to delta below
             net.total_queueing,
@@ -549,13 +625,13 @@ impl Machine {
             wbuf_depth,
             cbl_waiters,
             ric_members,
-            stall("fill"),
-            stall("lock"),
-            stall("barrier"),
-            stall("semaphore"),
-            stall("flush"),
-            stall("spin"),
-            stall("timer"),
+            stalls[0],
+            stalls[1],
+            stalls[2],
+            stalls[3],
+            stalls[4],
+            stalls[5],
+            stalls[6],
         ];
         let mems = std::mem::take(&mut self.mems);
         let m = self.metrics.as_mut().expect("checked above");
@@ -576,8 +652,8 @@ impl Machine {
     /// Builds the structured diagnosis when the watchdog ends a run: every
     /// stalled node's wait state, plus the CBL queues and RIC lists that
     /// still hold members.
-    fn diagnose_deadlock(&mut self, verdict: WatchdogVerdict) {
-        let at = self.events.peek_time().unwrap_or_else(|| self.now());
+    fn diagnose_deadlock(&mut self, verdict: WatchdogVerdict, at: Option<Cycle>) {
+        let at = at.unwrap_or_else(|| self.now());
         let nodes = self
             .nodes
             .iter()
@@ -617,7 +693,7 @@ impl Machine {
                 members: u.members_in_order(),
             })
             .collect();
-        self.counters.bump(keys::WATCHDOG_FIRED);
+        self.counters.bump_id(CounterId::WatchdogFired);
         self.deadlock = Some(DeadlockReport {
             verdict,
             at,
@@ -652,7 +728,8 @@ impl Machine {
         };
         let dir_evictions: u64 = self.wbi.iter().map(|b| b.dir_evictions()).sum();
         if dir_evictions > 0 {
-            self.counters.add(keys::WBI_DIR_EVICTIONS, dir_evictions);
+            self.counters
+                .add_id(CounterId::WbiDirEvictions, dir_evictions);
         }
         // lock-order cycle detection (DFS over the edge set)
         let edges: Vec<(LockId, LockId)> = self.lock_order.iter().copied().collect();
@@ -691,6 +768,7 @@ impl Machine {
             completion: self.completion,
             counters: self.counters,
             lock_wait: self.lock_wait,
+            events_popped: self.events.popped(),
             net_packets: net_stats.packets,
             net_words: net_stats.words,
             net_queueing: net_stats.total_queueing,
@@ -778,64 +856,72 @@ impl Machine {
         }
     }
 
-    /// Counter key of a message (shared with trace events as their
-    /// `detail` label — counters and traces stay name-compatible).
-    fn msg_name(p: &Proto) -> &'static str {
+    /// Counter id of a message; its name doubles as the `detail` label of
+    /// trace events (see [`Machine::msg_name`]), so counters and traces
+    /// stay name-compatible.
+    fn msg_key(p: &Proto) -> CounterId {
         match p {
             Proto::Cbl { msg, .. } => match msg.kind {
-                ssmp_core::cbl::CblKind::Request(_) => keys::MSG_CBL_REQUEST,
-                ssmp_core::cbl::CblKind::Forward { .. } => keys::MSG_CBL_FORWARD,
-                ssmp_core::cbl::CblKind::GrantMem => keys::MSG_CBL_GRANT_MEM,
-                ssmp_core::cbl::CblKind::GrantChain => keys::MSG_CBL_GRANT_CHAIN,
-                ssmp_core::cbl::CblKind::Enqueued => keys::MSG_CBL_ENQUEUED,
-                ssmp_core::cbl::CblKind::Release { .. } => keys::MSG_CBL_RELEASE,
-                ssmp_core::cbl::CblKind::ReleaseAck => keys::MSG_CBL_RELEASE_ACK,
-                ssmp_core::cbl::CblKind::Bounce { .. } => keys::MSG_CBL_BOUNCE,
+                ssmp_core::cbl::CblKind::Request(_) => CounterId::MsgCblRequest,
+                ssmp_core::cbl::CblKind::Forward { .. } => CounterId::MsgCblForward,
+                ssmp_core::cbl::CblKind::GrantMem => CounterId::MsgCblGrantMem,
+                ssmp_core::cbl::CblKind::GrantChain => CounterId::MsgCblGrantChain,
+                ssmp_core::cbl::CblKind::Enqueued => CounterId::MsgCblEnqueued,
+                ssmp_core::cbl::CblKind::Release { .. } => CounterId::MsgCblRelease,
+                ssmp_core::cbl::CblKind::ReleaseAck => CounterId::MsgCblReleaseAck,
+                ssmp_core::cbl::CblKind::Bounce { .. } => CounterId::MsgCblBounce,
                 ssmp_core::cbl::CblKind::SpliceNext | ssmp_core::cbl::CblKind::SplicePrev => {
-                    keys::MSG_CBL_SPLICE
+                    CounterId::MsgCblSplice
                 }
             },
             Proto::Ric { msg, .. } => match msg.kind {
-                ssmp_core::ric::RicKind::ReadMiss => keys::MSG_RIC_READ_MISS,
-                ssmp_core::ric::RicKind::ReadUpdateReq => keys::MSG_RIC_READ_UPDATE,
-                ssmp_core::ric::RicKind::ReadReply { .. } => keys::MSG_RIC_READ_REPLY,
-                ssmp_core::ric::RicKind::ReadGlobalReq { .. } => keys::MSG_RIC_READ_GLOBAL,
-                ssmp_core::ric::RicKind::ReadGlobalReply { .. } => keys::MSG_RIC_READ_GLOBAL_REPLY,
-                ssmp_core::ric::RicKind::WriteGlobal { .. } => keys::MSG_RIC_WRITE_GLOBAL,
-                ssmp_core::ric::RicKind::WriteAck { .. } => keys::MSG_RIC_WRITE_ACK,
-                ssmp_core::ric::RicKind::UpdatePush => keys::MSG_RIC_UPDATE_PUSH,
-                ssmp_core::ric::RicKind::HeadChange => keys::MSG_RIC_HEAD_CHANGE,
-                ssmp_core::ric::RicKind::Splice => keys::MSG_RIC_SPLICE,
+                ssmp_core::ric::RicKind::ReadMiss => CounterId::MsgRicReadMiss,
+                ssmp_core::ric::RicKind::ReadUpdateReq => CounterId::MsgRicReadUpdate,
+                ssmp_core::ric::RicKind::ReadReply { .. } => CounterId::MsgRicReadReply,
+                ssmp_core::ric::RicKind::ReadGlobalReq { .. } => CounterId::MsgRicReadGlobal,
+                ssmp_core::ric::RicKind::ReadGlobalReply { .. } => CounterId::MsgRicReadGlobalReply,
+                ssmp_core::ric::RicKind::WriteGlobal { .. } => CounterId::MsgRicWriteGlobal,
+                ssmp_core::ric::RicKind::WriteAck { .. } => CounterId::MsgRicWriteAck,
+                ssmp_core::ric::RicKind::UpdatePush => CounterId::MsgRicUpdatePush,
+                ssmp_core::ric::RicKind::HeadChange => CounterId::MsgRicHeadChange,
+                ssmp_core::ric::RicKind::Splice => CounterId::MsgRicSplice,
             },
             Proto::WbiData { msg, .. } | Proto::WbiLock { msg, .. } | Proto::WbiFlag { msg } => {
                 match msg.kind {
-                    ssmp_wbi::WbiKind::ReadReq => keys::MSG_WBI_READ_REQ,
-                    ssmp_wbi::WbiKind::WriteReq => keys::MSG_WBI_WRITE_REQ,
-                    ssmp_wbi::WbiKind::DataShared => keys::MSG_WBI_DATA_SHARED,
-                    ssmp_wbi::WbiKind::DataExclClean => keys::MSG_WBI_DATA_EXCL_CLEAN,
-                    ssmp_wbi::WbiKind::DataExcl { .. } => keys::MSG_WBI_DATA_EXCL,
-                    ssmp_wbi::WbiKind::Inv => keys::MSG_WBI_INV,
-                    ssmp_wbi::WbiKind::InvAck => keys::MSG_WBI_INV_ACK,
-                    ssmp_wbi::WbiKind::FetchShared => keys::MSG_WBI_FETCH_SHARED,
-                    ssmp_wbi::WbiKind::FetchExcl => keys::MSG_WBI_FETCH_EXCL,
-                    ssmp_wbi::WbiKind::OwnerData { .. } => keys::MSG_WBI_OWNER_DATA,
-                    ssmp_wbi::WbiKind::WriteBack => keys::MSG_WBI_WRITE_BACK,
-                    ssmp_wbi::WbiKind::WbRace => keys::MSG_WBI_WB_RACE,
+                    ssmp_wbi::WbiKind::ReadReq => CounterId::MsgWbiReadReq,
+                    ssmp_wbi::WbiKind::WriteReq => CounterId::MsgWbiWriteReq,
+                    ssmp_wbi::WbiKind::DataShared => CounterId::MsgWbiDataShared,
+                    ssmp_wbi::WbiKind::DataExclClean => CounterId::MsgWbiDataExclClean,
+                    ssmp_wbi::WbiKind::DataExcl { .. } => CounterId::MsgWbiDataExcl,
+                    ssmp_wbi::WbiKind::Inv => CounterId::MsgWbiInv,
+                    ssmp_wbi::WbiKind::InvAck => CounterId::MsgWbiInvAck,
+                    ssmp_wbi::WbiKind::FetchShared => CounterId::MsgWbiFetchShared,
+                    ssmp_wbi::WbiKind::FetchExcl => CounterId::MsgWbiFetchExcl,
+                    ssmp_wbi::WbiKind::OwnerData { .. } => CounterId::MsgWbiOwnerData,
+                    ssmp_wbi::WbiKind::WriteBack => CounterId::MsgWbiWriteBack,
+                    ssmp_wbi::WbiKind::WbRace => CounterId::MsgWbiWbRace,
                 }
             }
             Proto::Bar { msg } => match msg.kind {
-                BarKind::Arrive => keys::MSG_BAR_ARRIVE,
-                BarKind::Ack => keys::MSG_BAR_ACK,
-                BarKind::Release => keys::MSG_BAR_RELEASE,
+                BarKind::Arrive => CounterId::MsgBarArrive,
+                BarKind::Ack => CounterId::MsgBarAck,
+                BarKind::Release => CounterId::MsgBarRelease,
             },
             Proto::Sem { msg, .. } => match msg.kind {
-                SemKind::P => keys::MSG_SEM_P,
-                SemKind::V => keys::MSG_SEM_V,
-                SemKind::Grant => keys::MSG_SEM_GRANT,
-                SemKind::VAck => keys::MSG_SEM_V_ACK,
+                SemKind::P => CounterId::MsgSemP,
+                SemKind::V => CounterId::MsgSemV,
+                SemKind::Grant => CounterId::MsgSemGrant,
+                SemKind::VAck => CounterId::MsgSemVAck,
             },
-            Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => keys::MSG_PRIV,
+            Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => {
+                CounterId::MsgPriv
+            }
         }
+    }
+
+    /// Counter-key name of a message — the trace `detail` label.
+    fn msg_name(p: &Proto) -> &'static str {
+        Self::msg_key(p).name()
     }
 
     /// Trace family of a message.
@@ -865,7 +951,7 @@ impl Machine {
     /// active for the sending node, the message is recorded for possible
     /// retransmission.
     fn route(&mut self, depart: Cycle, p: Proto) {
-        self.counters.bump(Self::msg_name(&p));
+        self.counters.bump_id(Self::msg_key(&p));
         self.wire_ctr += 1;
         let id = self.wire_ctr;
         if let Some(t) = self.tracking {
@@ -972,7 +1058,7 @@ impl Machine {
         // the wire; the first copy to arrive wins, later ones are dropped
         // here so protocol controllers see exactly-once delivery.
         if self.dedup && !self.delivered.insert(id) {
-            self.counters.bump(keys::NET_DEDUP);
+            self.counters.bump_id(CounterId::NetDedup);
             if self.tracer.is_on() {
                 self.tracer.emit(TraceEvent {
                     cycle: self.now(),
@@ -1008,7 +1094,7 @@ impl Machine {
                 return;
             }
             Proto::PrivFill { node, .. } => {
-                self.counters.bump(keys::PRIV_FILL);
+                self.counters.bump_id(CounterId::PrivFill);
                 if self.nodes[node].waiting == Waiting::Fill {
                     self.resume_from(node, Waiting::Fill, now);
                 }
@@ -1025,19 +1111,17 @@ impl Machine {
 
         // Process at the destination; outgoing messages depart after the
         // local processing time.
+        // Each arm applies its effects and then routes the outgoing
+        // messages directly, wrapping them into `Proto` one at a time —
+        // no intermediate `Vec<Proto>` per delivery.
         let touches_memory = Self::dir_touches_memory(&p);
-        let (out, done_at): (Vec<Proto>, Cycle) = match p {
+        match p {
             Proto::Cbl { lock, msg } => {
                 let depth_before = self.tracer.is_on().then(|| self.cbl[lock].waiters().len());
                 let (msgs, effects) = self.cbl[lock].deliver(msg);
-                let t_done = self.processing_done(
-                    dst,
-                    home,
-                    touches_memory,
-                    in_words,
-                    &msgs_words_cbl(&msgs),
-                    now,
-                );
+                let out_data = msgs.iter().any(|m| m.words > 1);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 if let Some(before) = depth_before {
                     let after = self.cbl[lock].waiters().len();
                     if after != before {
@@ -1053,113 +1137,77 @@ impl Machine {
                     }
                 }
                 self.apply_cbl_effects(lock, &effects, t_done);
-                (
-                    msgs.into_iter()
-                        .map(|m| Proto::Cbl { lock, msg: m })
-                        .collect(),
-                    t_done,
-                )
+                for msg in msgs {
+                    self.route(t_done, Proto::Cbl { lock, msg });
+                }
             }
             Proto::Ric { block, msg } => {
                 let len_before = self.tracer.is_on().then(|| self.ric[block].len());
                 let (msgs, effects) = self.ric[block].deliver(msg);
-                let t_done = self.processing_done(
-                    dst,
-                    home,
-                    touches_memory,
-                    in_words,
-                    &msgs_words_ric(&msgs),
-                    now,
-                );
+                let out_data = msgs.iter().any(|m| m.words > 1);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 self.emit_ric_len_change(block, len_before, t_done);
                 self.apply_ric_effects(block, effects, t_done);
-                (
-                    msgs.into_iter()
-                        .map(|m| Proto::Ric { block, msg: m })
-                        .collect(),
-                    t_done,
-                )
+                for msg in msgs {
+                    self.route(t_done, Proto::Ric { block, msg });
+                }
             }
             Proto::WbiData { block, msg } => {
                 let (msgs, effects) = self.wbi[block].deliver(msg);
-                let t_done = self.processing_done(
-                    dst,
-                    home,
-                    touches_memory,
-                    in_words,
-                    &msgs_words_wbi(&msgs),
-                    now,
-                );
+                let out_data = msgs.iter().any(|m| m.words > 1);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 self.apply_wbi_effects(WbiCtx::Data(block), effects, t_done);
-                (
-                    msgs.into_iter()
-                        .map(|m| Proto::WbiData { block, msg: m })
-                        .collect(),
-                    t_done,
-                )
+                for msg in msgs {
+                    self.route(t_done, Proto::WbiData { block, msg });
+                }
             }
             Proto::WbiLock { lock, msg } => {
                 let (msgs, effects) = self.wbi_locks[lock].deliver(msg);
-                let t_done = self.processing_done(
-                    dst,
-                    home,
-                    touches_memory,
-                    in_words,
-                    &msgs_words_wbi(&msgs),
-                    now,
-                );
+                let out_data = msgs.iter().any(|m| m.words > 1);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 self.apply_wbi_effects(WbiCtx::Lock(lock), effects, t_done);
-                (
-                    msgs.into_iter()
-                        .map(|m| Proto::WbiLock { lock, msg: m })
-                        .collect(),
-                    t_done,
-                )
+                for msg in msgs {
+                    self.route(t_done, Proto::WbiLock { lock, msg });
+                }
             }
             Proto::WbiFlag { msg } => {
                 let (msgs, effects) = self.flag.deliver(msg);
-                let t_done = self.processing_done(
-                    dst,
-                    home,
-                    touches_memory,
-                    in_words,
-                    &msgs_words_wbi(&msgs),
-                    now,
-                );
+                let out_data = msgs.iter().any(|m| m.words > 1);
+                let t_done =
+                    self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 self.apply_wbi_effects(WbiCtx::Flag, effects, t_done);
-                (
-                    msgs.into_iter()
-                        .map(|m| Proto::WbiFlag { msg: m })
-                        .collect(),
-                    t_done,
-                )
+                for msg in msgs {
+                    self.route(t_done, Proto::WbiFlag { msg });
+                }
             }
             Proto::Bar { msg } => {
                 let (msgs, effects) = self.hwbar.deliver(msg);
-                let out_words: Vec<u32> = msgs.iter().map(|m| m.words).collect();
+                let out_data = msgs.iter().any(|m| m.words > 1);
                 let t_done =
-                    self.processing_done(dst, home, touches_memory, in_words, &out_words, now);
+                    self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 for e in effects {
                     let BarEffect::Passed { node, .. } = e;
-                    self.counters.bump(keys::BARRIER_HW_PASSED);
+                    self.counters.bump_id(CounterId::BarrierHwPassed);
                     if self.nodes[node].waiting == Waiting::BarrierPass {
                         self.resume_from(node, Waiting::BarrierPass, t_done);
                     }
                 }
-                (
-                    msgs.into_iter().map(|m| Proto::Bar { msg: m }).collect(),
-                    t_done,
-                )
+                for msg in msgs {
+                    self.route(t_done, Proto::Bar { msg });
+                }
             }
             Proto::Sem { sem, msg } => {
                 let (msgs, effects) = self.sems[sem].deliver(msg);
-                let out_words: Vec<u32> = msgs.iter().map(|m| m.words).collect();
+                let out_data = msgs.iter().any(|m| m.words > 1);
                 let t_done =
-                    self.processing_done(dst, home, touches_memory, in_words, &out_words, now);
+                    self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 for e in effects {
                     match e {
                         SemEffect::Acquired { node } => {
-                            self.counters.bump(keys::SEM_ACQUIRED);
+                            self.counters.bump_id(CounterId::SemAcquired);
                             if self.nodes[node].waiting == Waiting::SemGrant(sem) {
                                 self.resume_from(node, Waiting::SemGrant(sem), t_done);
                             }
@@ -1171,19 +1219,13 @@ impl Machine {
                         }
                     }
                 }
-                (
-                    msgs.into_iter()
-                        .map(|m| Proto::Sem { sem, msg: m })
-                        .collect(),
-                    t_done,
-                )
+                for msg in msgs {
+                    self.route(t_done, Proto::Sem { sem, msg });
+                }
             }
             Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => {
                 unreachable!("private traffic handled above")
             }
-        };
-        for m in out {
-            self.route(done_at, m);
         }
     }
 
@@ -1200,13 +1242,13 @@ impl Machine {
         home: NodeId,
         touches_memory: bool,
         in_words: u32,
-        out_words: &[u32],
+        out_data: bool,
         arrival: Cycle,
     ) -> Cycle {
         match dst {
             Endpoint::Node(_) => arrival + self.cfg.mem.dir_check,
             Endpoint::Dir => {
-                let data = touches_memory || in_words > 1 || out_words.iter().any(|&w| w > 1);
+                let data = touches_memory || in_words > 1 || out_data;
                 let cost = if data {
                     self.cfg.mem.data_cost()
                 } else {
@@ -1343,7 +1385,7 @@ impl Machine {
         for &e in effects {
             match e {
                 CblEffect::Granted { node, mode, .. } => {
-                    self.counters.bump(keys::LOCK_CBL_GRANTED);
+                    self.counters.bump_id(CounterId::LockCblGranted);
                     if self.tracer.is_on() {
                         let waited = self.nodes[node]
                             .lock_wait_start
@@ -1373,7 +1415,7 @@ impl Machine {
                     }
                 }
                 CblEffect::ReleaseComplete { node } => {
-                    self.counters.bump(keys::LOCK_CBL_RELEASE_COMPLETE);
+                    self.counters.bump_id(CounterId::LockCblReleaseComplete);
                     if self.tracer.is_on() {
                         self.tracer.emit(TraceEvent {
                             cycle: t,
@@ -1398,7 +1440,7 @@ impl Machine {
                     }
                 }
                 CblEffect::ReleaseForwarded { from, .. } => {
-                    self.counters.bump(keys::LOCK_CBL_RELEASE_FORWARDED);
+                    self.counters.bump_id(CounterId::LockCblReleaseForwarded);
                     self.nodes[from].lock_cache.remove(lock);
                 }
             }
@@ -1436,7 +1478,7 @@ impl Machine {
                     let acked = self.nodes[node].wbuf.ack(wid);
                     debug_assert!(acked, "write-ack for unknown wid");
                     self.wbuf_msgs[node].remove(&wid);
-                    self.counters.bump(keys::WBUF_ACKED);
+                    self.counters.bump_id(CounterId::WbufAcked);
                     if self.tracer.is_on() {
                         self.tracer.emit(TraceEvent {
                             cycle: t,
@@ -1455,7 +1497,7 @@ impl Machine {
                     }
                 }
                 RicEffect::UpdateApplied { node, data } => {
-                    self.counters.bump(keys::RIC_UPDATE_APPLIED);
+                    self.counters.bump_id(CounterId::RicUpdateApplied);
                     self.trace_access(t, node as i64, Family::Ric, "update.apply", block, 0);
                     if let Some(line) = self.nodes[node].cache.get_mut(block) {
                         if line.valid && line.update {
@@ -1468,7 +1510,7 @@ impl Machine {
                     }
                 }
                 RicEffect::UpdateDropped { .. } => {
-                    self.counters.bump(keys::RIC_UPDATE_DROPPED);
+                    self.counters.bump_id(CounterId::RicUpdateDropped);
                 }
                 RicEffect::ReadValue { node, word, value } => {
                     if let Some(addr) = self.nodes[node].pending_record.take() {
@@ -1549,7 +1591,7 @@ impl Machine {
                     self.wbi_ownership_arrived(ctx, node, t);
                 }
                 WbiEffect::Invalidated { node } => {
-                    self.counters.bump(keys::WBI_INVALIDATED);
+                    self.counters.bump_id(CounterId::WbiInvalidated);
                     if let WbiCtx::Data(block) = ctx {
                         self.trace_access(t, node as i64, Family::Wbi, "invalidate", block, 0);
                     }
@@ -1570,7 +1612,7 @@ impl Machine {
                     }
                 }
                 WbiEffect::Downgraded { .. } => {
-                    self.counters.bump(keys::WBI_DOWNGRADED);
+                    self.counters.bump_id(CounterId::WbiDowngraded);
                 }
             }
         }
@@ -1600,13 +1642,13 @@ impl Machine {
                 let old = self.wbi_locks[lock]
                     .fetch_and_store(node, 0, 1)
                     .expect("test-and-set without ownership");
-                self.counters.bump(keys::LOCK_TTS_TEST_AND_SET);
+                self.counters.bump_id(CounterId::LockTtsTestAndSet);
                 self.unstall_node(node, t);
                 if old == 0 {
                     self.tts_acquired(node, lock, t);
                 } else {
                     // Lost the race: the lock is held. Spin or back off.
-                    self.counters.bump(keys::LOCK_TTS_FAILED_TS);
+                    self.counters.bump_id(CounterId::LockTtsFailedTs);
                     if self.cfg.locks == LockScheme::TtsBackoff {
                         let d = {
                             let n = &mut self.nodes[node];
@@ -1772,7 +1814,7 @@ impl Machine {
                 };
                 match outcome {
                     PrivateOutcome::Hit => {
-                        self.counters.bump(keys::PRIV_HIT);
+                        self.counters.bump_id(CounterId::PrivHit);
                         self.events.schedule(now + 1, Ev::Resume(node));
                     }
                     PrivateOutcome::Miss {
@@ -1780,10 +1822,10 @@ impl Machine {
                         dirty_victim,
                         victim_home,
                     } => {
-                        self.counters.bump(keys::PRIV_MISS);
+                        self.counters.bump_id(CounterId::PrivMiss);
                         self.route(now, Proto::PrivReq { node, home });
                         if dirty_victim {
-                            self.counters.bump(keys::PRIV_WRITEBACK);
+                            self.counters.bump_id(CounterId::PrivWriteback);
                             self.route(
                                 now,
                                 Proto::PrivWb {
@@ -1810,11 +1852,11 @@ impl Machine {
                             .filter(|l| l.valid)
                             .map(|l| l.data.get(addr.word));
                         if let Some(v) = hit_value {
-                            self.counters.bump(keys::SHARED_READ_HIT);
+                            self.counters.bump_id(CounterId::SharedReadHit);
                             self.record_read(node, addr, v);
                             self.events.schedule(now + 1, Ev::Resume(node));
                         } else {
-                            self.counters.bump(keys::SHARED_READ_MISS);
+                            self.counters.bump_id(CounterId::SharedReadMiss);
                             if self.cfg.record_reads {
                                 self.nodes[node].pending_record = Some(addr);
                             }
@@ -1829,11 +1871,11 @@ impl Machine {
                     }
                     DataScheme::Wbi => {
                         if let Some(v) = self.wbi[addr.block].local_read(node, addr.word) {
-                            self.counters.bump(keys::SHARED_READ_HIT);
+                            self.counters.bump_id(CounterId::SharedReadHit);
                             self.record_read(node, addr, v);
                             self.events.schedule(now + 1, Ev::Resume(node));
                         } else {
-                            self.counters.bump(keys::SHARED_READ_MISS);
+                            self.counters.bump_id(CounterId::SharedReadMiss);
                             if self.cfg.record_reads {
                                 self.nodes[node].pending_record = Some(addr);
                             }
@@ -1846,7 +1888,7 @@ impl Machine {
             }
             Op::ReadGlobal(addr) => match self.cfg.data {
                 DataScheme::Ric => {
-                    self.counters.bump(keys::SHARED_READ_GLOBAL);
+                    self.counters.bump_id(CounterId::SharedReadGlobal);
                     self.trace_access(
                         now,
                         node as i64,
@@ -1870,7 +1912,7 @@ impl Machine {
             },
             Op::SpinUntilGlobal(addr, target) => {
                 self.nodes[node].spin_global = Some((addr, target));
-                self.counters.bump(keys::SHARED_SPIN_GLOBAL);
+                self.counters.bump_id(CounterId::SharedSpinGlobal);
                 let fam = match self.cfg.data {
                     DataScheme::Ric => Family::Ric,
                     DataScheme::Wbi => Family::Wbi,
@@ -1927,7 +1969,7 @@ impl Machine {
                         }
                         match self.nodes[node].wbuf.push(addr, stamp) {
                             Enqueue::Accepted(wid) => {
-                                self.counters.bump(keys::SHARED_WRITE_GLOBAL);
+                                self.counters.bump_id(CounterId::SharedWriteGlobal);
                                 self.trace_access(
                                     now,
                                     node as i64,
@@ -1961,7 +2003,7 @@ impl Machine {
                                 }
                             }
                             Enqueue::Full => {
-                                self.counters.bump(keys::WBUF_FULL_STALL);
+                                self.counters.bump_id(CounterId::WbufFullStall);
                                 self.nodes[node].pending_op = Some(op);
                                 self.stall_node_tagged(
                                     node,
@@ -1982,10 +2024,10 @@ impl Machine {
                             addr.word,
                         );
                         if self.wbi[addr.block].local_write(node, addr.word, stamp) {
-                            self.counters.bump(keys::SHARED_WRITE_HIT);
+                            self.counters.bump_id(CounterId::SharedWriteHit);
                             self.events.schedule(now + 1, Ev::Resume(node));
                         } else {
-                            self.counters.bump(keys::SHARED_WRITE_MISS);
+                            self.counters.bump_id(CounterId::SharedWriteMiss);
                             let msgs = self.wbi[addr.block].write_req(node);
                             self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
                             self.nodes[node].sync = Some(SyncCtx::PendingStore {
@@ -2046,7 +2088,7 @@ impl Machine {
                             // Our previous release of this lock has not
                             // been acknowledged yet (BC lets the processor
                             // race ahead): the line must drain first.
-                            self.counters.bump(keys::LOCK_CBL_REREQUEST_WAIT);
+                            self.counters.bump_id(CounterId::LockCblRerequestWait);
                             self.nodes[node].pending_op = Some(op);
                             self.stall_node(node, Waiting::LineFree(lock), now);
                             return;
@@ -2069,7 +2111,7 @@ impl Machine {
                 if self.cfg.model.flush_before(AccessClass::CpSynch)
                     && !self.nodes[node].wbuf.is_drained()
                 {
-                    self.counters.bump(keys::FLUSH_BEFORE_CP_SYNCH);
+                    self.counters.bump_id(CounterId::FlushBeforeCpSynch);
                     self.nodes[node].pending_op = Some(op);
                     self.stall_node_tagged(node, Waiting::Flush, now, "flush.cp-synch");
                     return;
@@ -2143,7 +2185,7 @@ impl Machine {
             },
             Op::SemP(sem) => {
                 // NP-Synch: no flush required.
-                self.counters.bump(keys::SEM_P);
+                self.counters.bump_id(CounterId::SemP);
                 let msgs = self.sems[sem].p(node);
                 for m in msgs {
                     self.route(now, Proto::Sem { sem, msg: m });
@@ -2155,12 +2197,12 @@ impl Machine {
                 if self.cfg.model.flush_before(AccessClass::CpSynch)
                     && !self.nodes[node].wbuf.is_drained()
                 {
-                    self.counters.bump(keys::FLUSH_BEFORE_CP_SYNCH);
+                    self.counters.bump_id(CounterId::FlushBeforeCpSynch);
                     self.nodes[node].pending_op = Some(op);
                     self.stall_node_tagged(node, Waiting::Flush, now, "flush.cp-synch");
                     return;
                 }
-                self.counters.bump(keys::SEM_V);
+                self.counters.bump_id(CounterId::SemV);
                 let msgs = self.sems[sem].v(node);
                 for m in msgs {
                     self.route(now, Proto::Sem { sem, msg: m });
@@ -2175,7 +2217,7 @@ impl Machine {
                 if self.cfg.model.flush_before(AccessClass::CpSynch)
                     && !self.nodes[node].wbuf.is_drained()
                 {
-                    self.counters.bump(keys::FLUSH_BEFORE_CP_SYNCH);
+                    self.counters.bump_id(CounterId::FlushBeforeCpSynch);
                     self.nodes[node].pending_op = Some(op);
                     self.stall_node_tagged(node, Waiting::Flush, now, "flush.cp-synch");
                     return;
@@ -2204,7 +2246,7 @@ impl Machine {
                 if self.nodes[node].wbuf.is_drained() {
                     self.events.schedule(now + 1, Ev::Resume(node));
                 } else {
-                    self.counters.bump(keys::FLUSH_EXPLICIT);
+                    self.counters.bump_id(CounterId::FlushExplicit);
                     self.stall_node_tagged(node, Waiting::Flush, now, "flush.explicit");
                 }
             }
@@ -2230,7 +2272,7 @@ impl Machine {
                 // Observed free: attempt the test-and-set (needs ownership).
                 if self.wbi_locks[lock].fetch_and_store(node, 0, 1).is_some() {
                     // Already owner: acquired locally.
-                    self.counters.bump(keys::LOCK_TTS_TEST_AND_SET);
+                    self.counters.bump_id(CounterId::LockTtsTestAndSet);
                     self.tts_acquired(node, lock, now);
                 } else {
                     let msgs = self.wbi_locks[lock].write_req(node);
@@ -2244,7 +2286,7 @@ impl Machine {
             }
             Some(_) => {
                 // Held: spin passively on the cached copy.
-                self.counters.bump(keys::LOCK_TTS_SPIN);
+                self.counters.bump_id(CounterId::LockTtsSpin);
                 self.nodes[node].sync = Some(SyncCtx::TtsLock {
                     lock,
                     phase: TtsPhase::Fetch,
@@ -2270,7 +2312,7 @@ impl Machine {
     }
 
     fn tts_acquired(&mut self, node: NodeId, lock: LockId, t: Cycle) {
-        self.counters.bump(keys::LOCK_TTS_ACQUIRED);
+        self.counters.bump_id(CounterId::LockTtsAcquired);
         if self.tracer.is_on() {
             let waited = self.nodes[node]
                 .lock_wait_start
@@ -2310,12 +2352,12 @@ impl Machine {
         if self.wbi_locks[lock].local_write(node, 0, 0) {
             // We still own the line: release is local (no spinners hold
             // copies, so nobody needs waking).
-            self.counters.bump(keys::LOCK_TTS_RELEASE_LOCAL);
+            self.counters.bump_id(CounterId::LockTtsReleaseLocal);
             self.events.schedule(now + 1, Ev::Resume(node));
         } else {
             // Regain ownership; the invalidations wake the spinners — the
             // release burst of the paper.
-            self.counters.bump(keys::LOCK_TTS_RELEASE_REMOTE);
+            self.counters.bump_id(CounterId::LockTtsReleaseRemote);
             let msgs = self.wbi_locks[lock].write_req(node);
             self.route_all_wbi(now, WbiCtx::Lock(lock), msgs);
             self.nodes[node].sync = Some(SyncCtx::TtsUnlock { lock });
@@ -2331,7 +2373,7 @@ impl Machine {
         // Holding the barrier lock: decrement the counter (a word of the
         // lock block — the machine tracks the count in `swbar`).
         let last = self.swbar.arrive(node);
-        self.counters.bump(keys::BARRIER_SW_ARRIVE);
+        self.counters.bump_id(CounterId::BarrierSwArrive);
         let bl = self.barrier_lock();
         // store the new count into the lock block (local: we own it)
         let count_stamp = self.next_stamp(node);
@@ -2348,7 +2390,7 @@ impl Machine {
     }
 
     fn sw_write_flag(&mut self, node: NodeId, now: Cycle) {
-        self.counters.bump(keys::BARRIER_SW_NOTIFY);
+        self.counters.bump_id(CounterId::BarrierSwNotify);
         let v = self.swbar.flag_value();
         if self.flag.local_write(node, 0, v) {
             self.events.schedule(now + 1, Ev::Resume(node));
@@ -2363,7 +2405,7 @@ impl Machine {
     fn sw_spin_flag(&mut self, node: NodeId, now: Cycle) {
         if self.swbar.passable(node) {
             // Release flag observed (or bookkeeping already flipped): pass.
-            self.counters.bump(keys::BARRIER_SW_PASSED);
+            self.counters.bump_id(CounterId::BarrierSwPassed);
             self.events.schedule(now + 1, Ev::Resume(node));
             return;
         }
@@ -2399,7 +2441,7 @@ impl Machine {
         let Some(w) = self.nodes[node].wbuf.next_unissued() else {
             return;
         };
-        self.counters.bump(keys::WBUF_ISSUED);
+        self.counters.bump_id(CounterId::WbufIssued);
         let msgs = self.ric[w.addr.block].write_global(node, w.addr.word, w.value, w.id);
         let mark = self.track_buf.len();
         self.route_all_ric(now, w.addr.block, msgs);
@@ -2526,7 +2568,7 @@ impl Machine {
             if req.attempts >= self.cfg.retry.max_attempts {
                 // Out of attempts: stop retransmitting; the watchdog will
                 // report the node if nothing else unblocks it.
-                self.counters.bump(keys::RETRY_EXHAUSTED);
+                self.counters.bump_id(CounterId::RetryExhausted);
                 let attempts = req.attempts;
                 self.pending_req[node] = None;
                 if self.tracer.is_on() {
@@ -2559,7 +2601,7 @@ impl Machine {
             self.pending_req[node] = None;
             return;
         }
-        self.counters.bump(keys::RETRY_RETRANSMIT);
+        self.counters.bump_id(CounterId::RetryRetransmit);
         self.retry_counts[node] += 1;
         if self.tracer.is_on() {
             self.tracer.emit(TraceEvent {
@@ -2656,18 +2698,6 @@ fn find_lock_cycle(edges: &[(LockId, LockId)]) -> Option<Vec<LockId>> {
         }
     }
     None
-}
-
-fn msgs_words_cbl(msgs: &[CblMsg]) -> Vec<u32> {
-    msgs.iter().map(|m| m.words).collect()
-}
-
-fn msgs_words_ric(msgs: &[RicMsg]) -> Vec<u32> {
-    msgs.iter().map(|m| m.words).collect()
-}
-
-fn msgs_words_wbi(msgs: &[WbiMsg]) -> Vec<u32> {
-    msgs.iter().map(|m| m.words).collect()
 }
 
 #[cfg(test)]
@@ -3079,5 +3109,123 @@ mod extension_tests {
             r.counters.get("wbi.dir_evictions") > 0,
             "eight readers of one block must overflow a Dir_1"
         );
+    }
+
+    /// The wheel≡heap contract at machine granularity: the generic engine
+    /// property test drives both queues with integer payloads; these drive
+    /// them with the machine's own [`Ev`] mix (all five variants, `Deliver`
+    /// carrying real [`Proto`] payloads) and with whole-machine runs.
+    mod queue_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds one of the machine's event variants from drawn integers:
+        /// all five [`Ev`] arms, with `Deliver` carrying real [`Proto`]
+        /// payloads (the private-data legs, which need only node ids).
+        fn build_ev(sel: u8, aux: u64) -> Ev {
+            let node = (aux % 8) as NodeId;
+            let home = ((aux >> 8) % 8) as NodeId;
+            match sel {
+                0 => Ev::Resume(node),
+                1 => Ev::WbufIssue(node),
+                2 => Ev::Retry(node),
+                3 => Ev::Timeout {
+                    node,
+                    epoch: aux % 4,
+                },
+                4 => Ev::Deliver {
+                    id: aux % 512,
+                    p: Proto::PrivReq { node, home },
+                },
+                5 => Ev::Deliver {
+                    id: aux % 512,
+                    p: Proto::PrivFill { node, home },
+                },
+                _ => Ev::Deliver {
+                    id: aux % 512,
+                    p: Proto::PrivWb { node, home },
+                },
+            }
+        }
+
+        fn pop_both(heap: &mut EventQueue<Ev>, wheel: &mut WheelQueue<Ev>) -> bool {
+            let (h, w) = (heap.pop(), wheel.pop());
+            assert_eq!(h.is_some(), w.is_some(), "one queue drained early");
+            match (h, w) {
+                (Some(h), Some(w)) => {
+                    assert_eq!(h.at, w.at, "pop times diverged");
+                    assert_eq!(
+                        format!("{:?}", h.event),
+                        format!("{:?}", w.event),
+                        "pop order diverged at cycle {}",
+                        h.at
+                    );
+                    true
+                }
+                _ => false,
+            }
+        }
+
+        proptest! {
+            /// Random interleavings of schedule / pop / peek with the full
+            /// machine event mix pop identically from both queues. Deltas
+            /// up to 2× the wheel horizon exercise the overflow path.
+            #[test]
+            fn wheel_matches_heap_on_machine_events(
+                ops in proptest::collection::vec(
+                    (0u8..3, 0u64..(2 * WHEEL_SLOTS as u64), 0u8..7, any::<u64>()),
+                    1..200,
+                )
+            ) {
+                let mut heap = EventQueue::new();
+                let mut wheel = WheelQueue::new(WHEEL_SLOTS);
+                for (op, dt, sel, aux) in ops {
+                    match op {
+                        0 => {
+                            let at = heap.now() + dt;
+                            let ev = build_ev(sel, aux);
+                            heap.schedule(at, ev.clone());
+                            wheel.schedule(at, ev);
+                        }
+                        1 => {
+                            pop_both(&mut heap, &mut wheel);
+                        }
+                        _ => prop_assert_eq!(heap.peek_time(), wheel.peek_time()),
+                    }
+                }
+                while pop_both(&mut heap, &mut wheel) {}
+            }
+        }
+
+        /// A contended whole-machine run (locks + barrier + shared data,
+        /// so every `Ev` variant fires) must produce a field-for-field
+        /// identical report under both queue implementations.
+        #[test]
+        fn whole_machine_reports_identical() {
+            let run_with = |kind: QueueKind| {
+                let streams: Vec<Vec<Op>> = (0..4)
+                    .map(|_| {
+                        vec![
+                            Op::Lock(0, ssmp_core::primitive::LockMode::Write),
+                            Op::SharedWrite(SharedAddr::new(0, 0)),
+                            Op::Unlock(0),
+                            Op::Barrier,
+                            Op::SharedRead(SharedAddr::new(0, 0)),
+                        ]
+                    })
+                    .collect();
+                let mut cfg = MachineConfig::cbl(4);
+                cfg.queue = kind;
+                Machine::builder(cfg)
+                    .workload(Box::new(Script::new(streams)))
+                    .locks(1)
+                    .build()
+                    .unwrap()
+                    .run()
+            };
+            let heap = run_with(QueueKind::Heap);
+            let wheel = run_with(QueueKind::Wheel);
+            assert_eq!(format!("{heap:?}"), format!("{wheel:?}"));
+        }
     }
 }

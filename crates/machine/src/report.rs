@@ -12,6 +12,9 @@ pub struct Report {
     pub counters: CounterSet,
     /// Lock acquisition wait times.
     pub lock_wait: Histogram,
+    /// Simulator events dispatched during the run (scheduler throughput
+    /// denominator for the bench harness; not part of report output).
+    pub events_popped: u64,
     /// Total packets injected into the network.
     pub net_packets: u64,
     /// Total payload words carried.

@@ -32,6 +32,7 @@
 pub mod bus;
 pub mod fault;
 pub mod omega;
+pub mod scratch;
 
 pub use bus::{BusNetwork, IdealNetwork};
 pub use fault::{
@@ -39,6 +40,7 @@ pub use fault::{
     MsgKind,
 };
 pub use omega::{NetConfig, NetStats, OmegaNetwork};
+pub use scratch::SortScratch;
 
 /// Errors constructing a network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -141,16 +141,23 @@ impl OmegaNetwork {
     /// The sequence of `(stage, output_port)` resources a packet from `src`
     /// to `dst` crosses. Exposed for tests and for conflict analysis.
     pub fn route(&self, src: usize, dst: usize) -> Vec<(u32, usize)> {
+        let mut hops = Vec::with_capacity(self.stages as usize);
+        self.route_into(src, dst, &mut hops);
+        hops
+    }
+
+    /// [`OmegaNetwork::route`] into a caller-owned buffer (cleared first),
+    /// so conflict analysis over many packets reuses one allocation.
+    pub fn route_into(&self, src: usize, dst: usize, hops: &mut Vec<(u32, usize)>) {
         assert!(src < self.ports && dst < self.ports);
         let r = self.radix;
         let mut addr = src;
-        let mut hops = Vec::with_capacity(self.stages as usize);
+        hops.clear();
         for stage in 0..self.stages {
             let digit = (dst / r.pow(self.stages - 1 - stage)) % r;
             addr = (addr * r + digit) % self.ports;
             hops.push((stage, addr));
         }
-        hops
     }
 
     /// Sends a packet of `words` payload words from port `src` to port `dst`,
@@ -201,6 +208,7 @@ impl OmegaNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SortScratch;
     use proptest::prelude::*;
 
     fn net(ports: usize) -> OmegaNetwork {
@@ -289,9 +297,8 @@ mod tests {
         // serialise on the final output port: arrivals strictly increase.
         let mut n = net(16);
         let mut arrivals: Vec<Cycle> = (1..16).map(|s| n.send(0, s, 0, 1)).collect();
-        let mut sorted = arrivals.clone();
-        sorted.sort_unstable();
-        assert_eq!(arrivals, sorted);
+        let mut scratch = SortScratch::new();
+        assert_eq!(arrivals, scratch.sorted(&arrivals));
         arrivals.dedup();
         assert_eq!(
             arrivals.len(),
@@ -378,9 +385,8 @@ mod tests {
         ) {
             let ports = 1usize << k;
             let mut n = net(ports);
-            let mut sorted = sends.clone();
-            sorted.sort_by_key(|&(t, ..)| t);
-            for (t, s, d, w) in sorted {
+            let mut scratch = SortScratch::new();
+            for &(t, s, d, w) in scratch.sorted_by_key(&sends, |&(t, ..)| t) {
                 let (s, d) = (s % ports, d % ports);
                 let arr = n.send(t, s, d, w);
                 prop_assert!(arr >= t);
@@ -403,13 +409,10 @@ mod tests {
                 let arr = n.send(0, s, d, w);
                 per_dst.entry(d).or_default().push(arr);
             }
+            let mut scratch = SortScratch::new();
             for (_, arrs) in per_dst {
-                let mut sorted = arrs.clone();
-                sorted.sort_unstable();
-                prop_assert_eq!(&arrs, &sorted, "arrivals at a single port went backwards");
-                let mut dedup = arrs.clone();
-                dedup.dedup();
-                prop_assert_eq!(dedup.len(), arrs.len(), "two packets occupied one port simultaneously");
+                prop_assert_eq!(&arrs[..], scratch.sorted(&arrs), "arrivals at a single port went backwards");
+                prop_assert_eq!(scratch.sorted_dedup(&arrs).len(), arrs.len(), "two packets occupied one port simultaneously");
             }
         }
     }
@@ -418,6 +421,7 @@ mod tests {
 #[cfg(test)]
 mod radix_tests {
     use super::*;
+    use crate::SortScratch;
 
     #[test]
     fn radix4_stage_count() {
@@ -469,12 +473,9 @@ mod radix_tests {
     fn radix4_hotspot_still_serialises() {
         let mut n = OmegaNetwork::with_radix(16, 4, NetConfig::default()).unwrap();
         let arrivals: Vec<Cycle> = (1..16).map(|s| n.send(0, s, 0, 1)).collect();
-        let mut sorted = arrivals.clone();
-        sorted.sort_unstable();
-        assert_eq!(arrivals, sorted);
-        let mut dedup = arrivals.clone();
-        dedup.dedup();
-        assert_eq!(dedup.len(), 15);
+        let mut scratch = SortScratch::new();
+        assert_eq!(arrivals, scratch.sorted(&arrivals));
+        assert_eq!(scratch.sorted_dedup(&arrivals).len(), 15);
     }
 
     #[test]

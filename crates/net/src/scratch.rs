@@ -1,0 +1,78 @@
+//! Reusable sort/dedup scratch buffers.
+//!
+//! Network analysis and the port-reservation property tests repeatedly need
+//! a *sorted view* of an arrival list they must not mutate. Cloning the
+//! list each time allocates per check; a [`SortScratch`] owns one buffer
+//! and reuses its capacity across calls, so a loop of checks settles into
+//! zero allocations once the buffer has grown to the working-set size.
+
+/// A reusable buffer producing sorted (optionally deduplicated) views of
+/// slices without per-call allocation.
+#[derive(Debug, Default)]
+pub struct SortScratch<T> {
+    buf: Vec<T>,
+}
+
+impl<T: Clone + Ord> SortScratch<T> {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Copies `items` into the scratch buffer and sorts them. The returned
+    /// slice is valid until the next call.
+    pub fn sorted(&mut self, items: &[T]) -> &[T] {
+        self.fill(items);
+        self.buf.sort_unstable();
+        &self.buf
+    }
+
+    /// Like [`SortScratch::sorted`], but also removes consecutive
+    /// duplicates after sorting (so *all* duplicates, as the buffer is
+    /// sorted first).
+    pub fn sorted_dedup(&mut self, items: &[T]) -> &[T] {
+        self.fill(items);
+        self.buf.sort_unstable();
+        self.buf.dedup();
+        &self.buf
+    }
+
+    /// Copies `items` and sorts them by `key` (stable, preserving the
+    /// input order of equal keys).
+    pub fn sorted_by_key<K: Ord>(&mut self, items: &[T], key: impl FnMut(&T) -> K) -> &[T] {
+        self.fill(items);
+        self.buf.sort_by_key(key);
+        &self.buf
+    }
+
+    fn fill(&mut self, items: &[T]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(items);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_views_and_capacity_reuse() {
+        let mut s = SortScratch::new();
+        assert_eq!(s.sorted(&[3, 1, 2]), &[1, 2, 3]);
+        assert_eq!(s.sorted_dedup(&[2, 1, 2, 1]), &[1, 2]);
+        let cap = s.buf.capacity();
+        // a smaller follow-up call must reuse the existing allocation
+        assert_eq!(s.sorted(&[9, 8]), &[8, 9]);
+        assert_eq!(s.buf.capacity(), cap);
+    }
+
+    #[test]
+    fn sorted_by_key_is_stable() {
+        let mut s = SortScratch::new();
+        let items = [(2, 'a'), (1, 'b'), (2, 'c'), (1, 'd')];
+        assert_eq!(
+            s.sorted_by_key(&items, |&(k, _)| k),
+            &[(1, 'b'), (1, 'd'), (2, 'a'), (2, 'c')]
+        );
+    }
+}
