@@ -23,6 +23,12 @@ usage:
   ssmp trace stats   --in <file> [--validate]
   ssmp analyze --in <trace.jsonl> [--top K] [--json] [--out <file>]
   ssmp program --file <prog.sasm> --config <cfg> [--sems c0,c1,...] [--json]
+  ssmp fuzz  [--quick] [--jobs N] [--seeds K] [--seed S] [--out <repro.json>]
+             [--workload wl[,wl...]] [--config cfg[,cfg...]] [--nodes N]
+             [--dup-prob p] [--delay-prob p] [--delay-cycles c] [--retry]
+             [--grain g] [--tasks T] [--cycle-budget c]
+             [--planted-bug cbl-dedup]
+  ssmp run   --repro <repro.json> [--json]
 
 sweep runs its points (config × nodes × scheme) in parallel on --jobs
 worker threads; the emitted artifact is byte-identical for any --jobs.
@@ -56,6 +62,20 @@ profiling (run, sweep, trace replay, program):
   Printed with the report (text) or embedded as \"profile\" (--json /
   sweep artifacts); --profile=<file> also writes the JSON document.
   'ssmp analyze' folds a --trace jsonl offline into the identical JSON.
+
+sanitizing / fuzzing:
+  [--check]   (run, sweep, trace replay, program) arm the live protocol
+  sanitizer: every trace event is folded into a reference oracle (SWMR,
+  exactly-once wire delivery, CBL FIFO + mutual exclusion, write-buffer
+  drain order, value provenance) and violations are reported with the
+  last trace events attached. Observation-only: the report is otherwise
+  byte-identical to an unarmed run.
+  'ssmp fuzz' sweeps seeded random fault plans across workload/config
+  scenarios with the sanitizer armed; any violation, deadlock, or panic
+  is shrunk (ddmin over the fault decision log, then nodes/tasks) to a
+  minimal deterministic reproducer written to --out (default repro.json)
+  and replayable with 'ssmp run --repro <file>'. --planted-bug arms a
+  deliberate protocol bug (self-test of the pipeline).
 
 workloads: work-queue | sync | solver | fft | hotspot | sor
   hotspot: [--hot h] [--hot-lock]   route hot refs through lock 0
@@ -93,6 +113,9 @@ const VALUED: &[&str] = &[
     "metrics-interval",
     "top",
     "queue",
+    "repro",
+    "seeds",
+    "planted-bug",
 ];
 
 /// Dispatches a full argv (without the binary name).
@@ -108,6 +131,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         },
         Some("analyze") => analyze(&Flags::parse(&argv[1..], VALUED)?),
         Some("program") => program(&Flags::parse(&argv[1..], VALUED)?),
+        Some("fuzz") => crate::fuzz::fuzz(&Flags::parse(&argv[1..], VALUED)?),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(())
@@ -117,7 +141,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     }
 }
 
-fn parse_config(name: &str, nodes: usize) -> Result<MachineConfig, String> {
+pub(crate) fn parse_config(name: &str, nodes: usize) -> Result<MachineConfig, String> {
     if nodes == 0 || !nodes.is_power_of_two() {
         return Err(format!(
             "--nodes must be a power of two for the omega network, got {nodes}"
@@ -133,7 +157,7 @@ fn parse_config(name: &str, nodes: usize) -> Result<MachineConfig, String> {
     })
 }
 
-fn parse_grain(name: &str) -> Result<Grain, String> {
+pub(crate) fn parse_grain(name: &str) -> Result<Grain, String> {
     Ok(match name {
         "fine" => Grain::Fine,
         "medium" => Grain::Medium,
@@ -142,9 +166,64 @@ fn parse_grain(name: &str) -> Result<Grain, String> {
     })
 }
 
+/// Flag pairs that cannot be combined, with the reason — one table
+/// instead of ad-hoc per-flag checks scattered through the parsers.
+/// Checked for every subcommand that takes simulator flags.
+const CONFLICTS: &[(&str, &str, &str)] = &[
+    (
+        "profile",
+        "trace-filter",
+        "--profile needs the full event stream (the filter prunes events before \
+         sinks and would skew attribution); drop --trace-filter",
+    ),
+    (
+        "check",
+        "trace-filter",
+        "--check folds every event into the sanitizer's oracles (the filter would \
+         blind them and fake violations); drop --trace-filter",
+    ),
+    (
+        "repro",
+        "workload",
+        "--repro replays the scenario recorded in the file; drop --workload",
+    ),
+    (
+        "repro",
+        "config",
+        "--repro replays the scenario recorded in the file; drop --config",
+    ),
+    (
+        "repro",
+        "fault-seed",
+        "--repro carries its own fault plan; drop --fault-seed",
+    ),
+    (
+        "repro",
+        "planted-bug",
+        "--repro records whether a bug was planted; drop --planted-bug",
+    ),
+];
+
+/// Whether a flag was given in any form (`--name`, `--name value`, or
+/// `--name=value`).
+fn given(f: &Flags, name: &str) -> bool {
+    f.has(name) || f.get(name).is_some()
+}
+
+/// Rejects any combination listed in [`CONFLICTS`].
+fn check_conflicts(f: &Flags) -> Result<(), String> {
+    for (a, b, why) in CONFLICTS {
+        if given(f, a) && given(f, b) {
+            return Err(format!("--{a} conflicts with --{b}: {why}"));
+        }
+    }
+    Ok(())
+}
+
 /// The simulation flags shared by `run`, `sweep`, `program`, and
 /// `trace replay`: interconnect topology, fault injection, the retry
-/// layer, the cycle-budget watchdog, and interval metrics sampling.
+/// layer, the cycle-budget watchdog, interval metrics sampling, the
+/// profiler, and the protocol sanitizer.
 ///
 /// Parsed once per invocation, then applied (with validation) to every
 /// machine configuration the subcommand builds — `sweep` stamps the
@@ -158,21 +237,17 @@ struct SimFlags {
     max_cycles: Option<u64>,
     metrics_interval: Option<u64>,
     profile: bool,
+    check: bool,
 }
 
 impl SimFlags {
     fn parse(f: &Flags) -> Result<Self, String> {
+        check_conflicts(f)?;
         let mut s = SimFlags {
             profile: f.has("profile"),
+            check: f.has("check"),
             ..SimFlags::default()
         };
-        if s.profile && f.get("trace-filter").is_some() {
-            return Err(
-                "--profile needs the full event stream (the filter prunes events before \
-                 sinks and would skew attribution); drop --trace-filter"
-                    .into(),
-            );
-        }
         if let Some(t) = f.get("topology") {
             s.topology = Some(match t {
                 "omega" => ssmp_net::Topology::Omega,
@@ -270,7 +345,7 @@ fn build_tracer(f: &Flags) -> Result<ssmp_engine::Tracer, String> {
 /// Builds the named workload; returns it plus the machine lock count.
 const WORKLOADS: &[&str] = &["work-queue", "sync", "solver", "fft", "hotspot", "sor"];
 
-fn check_workload(name: &str) -> Result<(), String> {
+pub(crate) fn check_workload(name: &str) -> Result<(), String> {
     if WORKLOADS.contains(&name) {
         Ok(())
     } else {
@@ -296,7 +371,7 @@ fn build_workload(
     Ok(sweep_workload(name, nodes, grain, tasks, shape, seed))
 }
 
-fn adapt_geometry(cfg: &mut MachineConfig, workload: &str, nodes: usize) {
+pub(crate) fn adapt_geometry(cfg: &mut MachineConfig, workload: &str, nodes: usize) {
     // SOR owns one boundary block per chunk (padded layout upper bound)
     if workload == "sor" {
         cfg.geometry =
@@ -405,6 +480,10 @@ fn write_profile_out(r: &Report, f: &Flags) -> Result<(), String> {
 }
 
 fn run(f: &Flags) -> Result<(), String> {
+    check_conflicts(f)?;
+    if let Some(path) = f.get("repro") {
+        return crate::fuzz::run_repro(path, f.has("json"));
+    }
     let nodes = f.num::<usize>("nodes", 16)?;
     let workload = f.require("workload")?;
     let mut cfg = parse_config(f.require("config")?, nodes)?;
@@ -418,6 +497,7 @@ fn run(f: &Flags) -> Result<(), String> {
         .locks(locks)
         .tracer(tracer)
         .profile(sim.profile)
+        .check(sim.check)
         .build()
         .unwrap()
         .run();
@@ -491,7 +571,7 @@ fn parse_points_spec(spec: &str, quick: bool) -> Result<SweepSpec, String> {
 /// hotspot fraction plus the profiler's showcase modes (hot refs routed
 /// through lock 0; SOR's packed false-sharing boundary layout).
 #[derive(Debug, Clone, Copy, Default)]
-struct WorkloadShape {
+pub(crate) struct WorkloadShape {
     hot: f64,
     hot_lock: bool,
     packed: bool,
@@ -499,7 +579,7 @@ struct WorkloadShape {
 
 /// Builds a workload from explicit parameters (the parallel-sweep
 /// equivalent of [`build_workload`]: point closures cannot hold `Flags`).
-fn sweep_workload(
+pub(crate) fn sweep_workload(
     name: &str,
     nodes: usize,
     grain: Grain,
@@ -570,6 +650,7 @@ fn sweep(f: &Flags) -> Result<(), String> {
     let json = f.has("json");
     let sim = SimFlags::parse(f)?;
     let profile = sim.profile;
+    let check = sim.check;
     let jobs = f.num::<usize>("jobs", default_jobs())?;
     let master = f.num::<u64>("seed", 0xC11)?;
     let grain = parse_grain(f.get("grain").unwrap_or("medium"))?;
@@ -633,9 +714,15 @@ fn sweep(f: &Flags) -> Result<(), String> {
                                 .workload(wl)
                                 .locks(locks)
                                 .profile(profile)
+                                .check(check)
                                 .build()
                                 .expect("config validated at registration")
                                 .run();
+                            if let Some(v) = r.violations.first() {
+                                // points run under catch_unwind: a panic is
+                                // recorded as a failed point, not a crash
+                                panic!("{}", v.render());
+                            }
                             PointOutput::from_report(r, |r| {
                                 vec![
                                     ("completion".into(), r.completion as f64),
@@ -657,6 +744,13 @@ fn sweep(f: &Flags) -> Result<(), String> {
                 // use SSMP_PROFILE=1 (process-wide) to profile them
                 return Err("--profile is not supported with --points table3; \
                      set SSMP_PROFILE=1 instead"
+                    .into());
+            }
+            if check {
+                // same story as --profile: the helpers build their own
+                // machines, but the builder also arms off the environment
+                return Err("--check is not supported with --points table3; \
+                     set SSMP_CHECK=1 instead"
                     .into());
             }
             for &n in nodes {
@@ -847,6 +941,7 @@ fn program(f: &Flags) -> Result<(), String> {
         .semaphores(&sems)
         .tracer(tracer)
         .profile(sim.profile)
+        .check(sim.check)
         .build()
         .unwrap()
         .run();
@@ -920,6 +1015,7 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
         .locks(max_lock + 1)
         .tracer(tracer)
         .profile(sim.profile)
+        .check(sim.check)
         .build()
         .unwrap()
         .run();
@@ -1492,6 +1588,60 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.contains("--trace-filter"), "{e}");
+    }
+
+    #[test]
+    fn check_rejects_trace_filter() {
+        let e = dispatch(&v(&[
+            "run",
+            "--workload",
+            "sync",
+            "--config",
+            "cbl",
+            "--nodes",
+            "4",
+            "--check",
+            "--trace",
+            "/tmp/ssmp_never_written3.jsonl",
+            "--trace-filter",
+            "cbl",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--check") && e.contains("--trace-filter"), "{e}");
+    }
+
+    #[test]
+    fn repro_rejects_scenario_flags() {
+        // --repro carries the whole scenario; combining it with scenario
+        // flags would silently ignore one side
+        for extra in [
+            &["--workload", "sync"][..],
+            &["--config", "cbl"],
+            &["--fault-seed", "7"],
+            &["--planted-bug", "cbl-dedup"],
+        ] {
+            let mut args = vec!["run", "--repro", "/tmp/ssmp_no_such_repro.json"];
+            args.extend_from_slice(extra);
+            let e = dispatch(&v(&args)).unwrap_err();
+            assert!(e.contains("--repro"), "{extra:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn armed_run_and_sweep_stay_clean() {
+        dispatch(&v(&[
+            "run",
+            "--workload",
+            "work-queue",
+            "--config",
+            "bc-cbl",
+            "--nodes",
+            "4",
+            "--check",
+        ]))
+        .unwrap();
+        let e = dispatch(&v(&["sweep", "--points", "table3", "--quick", "--check"])).unwrap_err();
+        assert!(e.contains("SSMP_CHECK"), "{e}");
     }
 
     #[test]

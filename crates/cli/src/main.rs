@@ -14,6 +14,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod fuzz;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

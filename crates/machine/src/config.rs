@@ -165,6 +165,18 @@ pub enum PrivateMode {
     Exact(ExactPrivateParams),
 }
 
+/// A deliberately planted protocol bug, selectable per machine. Exists so
+/// the chaos fuzzer (and CI) can prove end-to-end that the sanitizer
+/// detects a real protocol break and that the shrinker reduces it to a
+/// minimal reproducer. Never enabled by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlantedBug {
+    /// Skip wire-id deduplication for CBL messages: a duplicated lock
+    /// message is processed twice at its destination, breaking the
+    /// exactly-once delivery contract the queue protocol relies on.
+    CblDedupSkip,
+}
+
 /// Full machine configuration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -225,6 +237,9 @@ pub struct MachineConfig {
     /// Event-queue implementation (timing wheel by default; identical
     /// simulated behavior either way).
     pub queue: QueueKind,
+    /// Deliberately planted protocol bug (`None` = correct protocol).
+    /// Only the fuzzer's self-test and CI regression arm this.
+    pub planted_bug: Option<PlantedBug>,
 }
 
 impl MachineConfig {
@@ -262,6 +277,7 @@ impl MachineConfig {
             retry: RetryPolicy::default(),
             metrics_interval: None,
             queue: QueueKind::default(),
+            planted_bug: None,
         }
     }
 

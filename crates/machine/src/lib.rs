@@ -30,9 +30,10 @@ pub mod op;
 pub mod report;
 
 pub use config::{
-    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PrivateMode, QueueKind,
-    RetryPolicy,
+    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PlantedBug, PrivateMode,
+    QueueKind, RetryPolicy,
 };
 pub use machine::{Machine, MachineBuilder};
 pub use op::{LockId, Op, Workload};
 pub use report::{DeadlockReport, LockDiag, Report, RicDiag, StalledNode};
+pub use ssmp_check::{LineSummary, ViolationReport};

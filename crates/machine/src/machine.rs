@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use ssmp_core::addr::{BlockId, NodeId};
 use ssmp_core::barrier::{BarEffect, BarKind, BarMsg, HwBarrier};
-use ssmp_core::cbl::{CblEffect, CblMsg, Endpoint, LockQueue};
+use ssmp_core::cbl::{CblEffect, CblKind, CblMsg, Endpoint, LockQueue};
 use ssmp_core::line::{BlockData, CacheLine};
 use ssmp_core::primitive::{AccessClass, LockMode};
 use ssmp_core::ric::{RicEffect, RicMsg, UpdateList};
@@ -40,7 +40,8 @@ use ssmp_net::{FaultDecision, FaultPlan, FaultyInterconnect, Interconnect, MsgDi
 use ssmp_wbi::{Backoff, WbiBlock, WbiEffect, WbiMsg};
 
 use crate::config::{
-    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PrivateMode, QueueKind,
+    BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PlantedBug, PrivateMode,
+    QueueKind,
 };
 use crate::node::{MicroOp, Node, SpinTarget, SyncCtx, TtsPhase, Waiting};
 use crate::op::{LockId, Op, Workload};
@@ -260,6 +261,11 @@ pub struct Machine {
     /// Live profiler handle (`Some` when [`MachineBuilder::profile`] is
     /// enabled); the folded profile is cloned into the report at finish.
     profile: Option<ssmp_profile::SharedProfile>,
+    /// Live protocol sanitizer (`Some` when [`MachineBuilder::check`] is
+    /// enabled): shares the oracle with the `CheckSink` on the tracer and
+    /// receives the state-exposure hooks; its violations land in the
+    /// report at finish.
+    check: Option<ssmp_check::SharedChecker>,
     /// Interval gauge sampler (`Some` when `cfg.metrics_interval` is set).
     metrics: Option<MetricsState>,
 }
@@ -320,6 +326,7 @@ pub struct MachineBuilder {
     sems: Vec<u64>,
     tracer: Tracer,
     profile: bool,
+    check: bool,
 }
 
 impl MachineBuilder {
@@ -373,6 +380,17 @@ impl MachineBuilder {
         self
     }
 
+    /// Arms the runtime protocol sanitizer: a [`ssmp_check::CheckSink`] is
+    /// attached to the tracer (enabling it, unfiltered, if no tracer was
+    /// set) and any [`ssmp_check::ViolationReport`]s land in
+    /// [`Report::violations`]. Like tracing and profiling, the sanitizer
+    /// is a pure observer: an armed run that violates nothing produces a
+    /// report byte-identical to an unarmed run.
+    pub fn check(mut self, on: bool) -> Self {
+        self.check = on;
+        self
+    }
+
     /// Validates the configuration and assembles the machine.
     pub fn build(self) -> Result<Machine, ConfigError> {
         let workload = self.workload.ok_or(ConfigError::MissingWorkload)?;
@@ -389,6 +407,15 @@ impl MachineBuilder {
             m.tracer.add_sink(sink);
             m.profile = Some(handle);
         }
+        // `SSMP_CHECK` force-arms the sanitizer the same way.
+        if self.check || std::env::var_os("SSMP_CHECK").is_some() {
+            if !m.tracer.is_on() {
+                m.tracer = Tracer::new(ssmp_engine::TraceFilter::all());
+            }
+            let (sink, handle) = ssmp_check::CheckSink::new();
+            m.tracer.add_sink(sink);
+            m.check = Some(handle);
+        }
         Ok(m)
     }
 }
@@ -403,6 +430,7 @@ impl Machine {
             sems: Vec::new(),
             tracer: Tracer::off(),
             profile: false,
+            check: false,
         }
     }
 
@@ -506,6 +534,7 @@ impl Machine {
             deadlock: None,
             tracer: Tracer::off(),
             profile: None,
+            check: None,
             metrics: cfg.metrics_interval.map(|iv| {
                 let iv = iv.max(1);
                 MetricsState {
@@ -548,6 +577,15 @@ impl Machine {
     fn next_stamp(&mut self, node: NodeId) -> u64 {
         self.node_stamp[node] += 1;
         ((node as u64 + 1) << 40) | self.node_stamp[node]
+    }
+
+    /// The armed sanitizer's shared handle (`None` unless built with
+    /// `.check(true)` or `SSMP_CHECK`). Harnesses that run the machine
+    /// under `catch_unwind` clone this first so violations folded before
+    /// a panic stay readable — [`Report::violations`] only exists when
+    /// the run returns.
+    pub fn checker(&self) -> Option<ssmp_check::SharedChecker> {
+        self.check.clone()
     }
 
     /// Runs the workload to completion and returns the report.
@@ -694,6 +732,12 @@ impl Machine {
             })
             .collect();
         self.counters.bump_id(CounterId::WatchdogFired);
+        // When the sanitizer is armed, attach its per-line ownership view
+        // so hangs and violations share one diagnosis format.
+        let lines = match &self.check {
+            Some(c) => self.line_summaries(&c.borrow()),
+            None => Vec::new(),
+        };
         self.deadlock = Some(DeadlockReport {
             verdict,
             at,
@@ -701,7 +745,54 @@ impl Machine {
             nodes,
             locks,
             ric,
+            lines,
         });
+    }
+
+    /// Per-line owner/sharers summary from the authoritative directory
+    /// state plus the sanitizer's last-writer observations. Idle lines
+    /// nobody ever wrote are omitted.
+    fn line_summaries(&self, checker: &ssmp_check::Checker) -> Vec<ssmp_check::LineSummary> {
+        let mut out = Vec::new();
+        match self.cfg.data {
+            DataScheme::Ric => {
+                for (block, u) in self.ric.iter().enumerate() {
+                    let mut sharers = u.members_in_order();
+                    sharers.sort_unstable();
+                    let last_writer = checker.last_writer(block);
+                    if sharers.is_empty() && last_writer.is_none() {
+                        continue;
+                    }
+                    out.push(ssmp_check::LineSummary {
+                        block,
+                        owner: None,
+                        sharers,
+                        last_writer,
+                    });
+                }
+            }
+            DataScheme::Wbi => {
+                for (block, b) in self.wbi.iter().enumerate() {
+                    use ssmp_wbi::directory::DirState;
+                    let (owner, sharers) = match b.dir_state() {
+                        DirState::Uncached => (None, Vec::new()),
+                        DirState::Shared(set) => (None, set.iter().copied().collect()),
+                        DirState::Modified(o) => (Some(*o), Vec::new()),
+                    };
+                    let last_writer = checker.last_writer(block);
+                    if owner.is_none() && sharers.is_empty() && last_writer.is_none() {
+                        continue;
+                    }
+                    out.push(ssmp_check::LineSummary {
+                        block,
+                        owner,
+                        sharers,
+                        last_writer,
+                    });
+                }
+            }
+        }
+        out
     }
 
     fn finish(mut self) -> Report {
@@ -758,6 +849,40 @@ impl Machine {
             }
         }
         let profile = self.profile.as_ref().map(|h| h.borrow().clone());
+        let violations = match &self.check {
+            Some(c) => {
+                let mut checker = c.borrow_mut();
+                // End-of-run cross-checks only make sense for a completed
+                // run: after a watchdog trip (and for CBL queues even on
+                // success) final messages may legitimately still be in
+                // flight when the machine stops.
+                if self.deadlock.is_none() {
+                    let at = self.completion;
+                    for (block, u) in self.ric.iter().enumerate() {
+                        let members = u.members_in_order();
+                        let cached: Vec<NodeId> = self
+                            .nodes
+                            .iter()
+                            .filter(|n| n.cache.peek(block).is_some_and(|l| l.valid && l.update))
+                            .map(|n| n.id)
+                            .collect();
+                        checker.ric_membership(block, &members, &cached, at);
+                        checker.structural("ric.list", at, u.check_list());
+                    }
+                    for b in &self.wbi {
+                        checker.structural("wbi.swmr", at, b.check_single_writer());
+                        checker.structural("wbi.quiescent", at, b.check_quiescent());
+                    }
+                    for (block, words) in shared_memory.iter().enumerate() {
+                        for (w, &v) in words.iter().enumerate() {
+                            checker.final_word(block, w as u8, v, at);
+                        }
+                    }
+                }
+                checker.take_violations()
+            }
+            None => Vec::new(),
+        };
         let report = Report {
             shared_memory,
             lock_blocks,
@@ -781,6 +906,8 @@ impl Machine {
             metrics: self.metrics.map(|m| m.series),
             deadlock: self.deadlock,
             profile,
+            violations,
+            fault_log: self.net.fault_log().map(<[_]>::to_vec).unwrap_or_default(),
         };
         if let Err(e) = self.tracer.finish() {
             eprintln!("warning: trace sink error: {e}");
@@ -1058,19 +1185,26 @@ impl Machine {
         // the wire; the first copy to arrive wins, later ones are dropped
         // here so protocol controllers see exactly-once delivery.
         if self.dedup && !self.delivered.insert(id) {
-            self.counters.bump_id(CounterId::NetDedup);
-            if self.tracer.is_on() {
-                self.tracer.emit(TraceEvent {
-                    cycle: self.now(),
-                    node: -1,
-                    family: Self::msg_family(&p),
-                    kind: Kind::Fault,
-                    detail: "dedup",
-                    id,
-                    arg: 0,
-                });
+            // The planted bug lets a duplicated CBL message through dedup,
+            // so the protocol controller sees it twice — a deliberate
+            // exactly-once violation the fuzzer must find and shrink.
+            let planted = self.cfg.planted_bug == Some(PlantedBug::CblDedupSkip)
+                && matches!(p, Proto::Cbl { .. });
+            if !planted {
+                self.counters.bump_id(CounterId::NetDedup);
+                if self.tracer.is_on() {
+                    self.tracer.emit(TraceEvent {
+                        cycle: self.now(),
+                        node: -1,
+                        family: Self::msg_family(&p),
+                        kind: Kind::Fault,
+                        detail: "dedup",
+                        id,
+                        arg: 0,
+                    });
+                }
+                return;
             }
-            return;
         }
         let now = self.now();
         if self.tracer.is_on() {
@@ -1117,6 +1251,15 @@ impl Machine {
         let touches_memory = Self::dir_touches_memory(&p);
         match p {
             Proto::Cbl { lock, msg } => {
+                if let Some(c) = &self.check {
+                    // Directory arrival order of requests defines the FIFO
+                    // the grant stream must honour.
+                    if msg.dst == Endpoint::Dir {
+                        if let (Endpoint::Node(n), CblKind::Request(_)) = (msg.src, &msg.kind) {
+                            c.borrow_mut().cbl_request(lock, n, now);
+                        }
+                    }
+                }
                 let depth_before = self.tracer.is_on().then(|| self.cbl[lock].waiters().len());
                 let (msgs, effects) = self.cbl[lock].deliver(msg);
                 let out_data = msgs.iter().any(|m| m.words > 1);
@@ -1159,6 +1302,13 @@ impl Machine {
                 let t_done =
                     self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 self.apply_wbi_effects(WbiCtx::Data(block), effects, t_done);
+                if let Some(c) = &self.check {
+                    c.borrow_mut().structural(
+                        "wbi.swmr",
+                        t_done,
+                        self.wbi[block].check_single_writer(),
+                    );
+                }
                 for msg in msgs {
                     self.route(t_done, Proto::WbiData { block, msg });
                 }
@@ -1169,6 +1319,13 @@ impl Machine {
                 let t_done =
                     self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 self.apply_wbi_effects(WbiCtx::Lock(lock), effects, t_done);
+                if let Some(c) = &self.check {
+                    c.borrow_mut().structural(
+                        "wbi.swmr",
+                        t_done,
+                        self.wbi_locks[lock].check_single_writer(),
+                    );
+                }
                 for msg in msgs {
                     self.route(t_done, Proto::WbiLock { lock, msg });
                 }
@@ -1179,6 +1336,10 @@ impl Machine {
                 let t_done =
                     self.processing_done(dst, home, touches_memory, in_words, out_data, now);
                 self.apply_wbi_effects(WbiCtx::Flag, effects, t_done);
+                if let Some(c) = &self.check {
+                    c.borrow_mut()
+                        .structural("wbi.swmr", t_done, self.flag.check_single_writer());
+                }
                 for msg in msgs {
                     self.route(t_done, Proto::WbiFlag { msg });
                 }
@@ -1279,11 +1440,29 @@ impl Machine {
     // Effects
     // ------------------------------------------------------------------
 
-    /// Appends a completed shared read to the log (when configured).
+    /// Appends a completed shared read to the log (when configured) and
+    /// feeds the sanitizer's value oracle (when armed).
     fn record_read(&mut self, node: NodeId, addr: ssmp_core::addr::SharedAddr, value: u64) {
+        if let Some(c) = &self.check {
+            c.borrow_mut()
+                .value_read(node, addr.block, addr.word, value, self.now());
+        }
         if self.cfg.record_reads {
             self.read_log.push((node, addr.block, addr.word, value));
         }
+    }
+
+    /// Feeds a shared-data store into the sanitizer's value oracle.
+    fn record_write(&mut self, node: NodeId, block: BlockId, word: u8, value: u64) {
+        if let Some(c) = &self.check {
+            c.borrow_mut().value_write(node, block, word, value);
+        }
+    }
+
+    /// Whether completed shared reads need routing through [`record_read`]
+    /// (either the report wants the read log or the sanitizer is armed).
+    fn wants_reads(&self) -> bool {
+        self.cfg.record_reads || self.check.is_some()
     }
 
     fn resume_from(&mut self, node: NodeId, expected: Waiting, t: Cycle) {
@@ -1386,6 +1565,9 @@ impl Machine {
             match e {
                 CblEffect::Granted { node, mode, .. } => {
                     self.counters.bump_id(CounterId::LockCblGranted);
+                    if let Some(c) = &self.check {
+                        c.borrow_mut().cbl_grant(lock, node, t);
+                    }
                     if self.tracer.is_on() {
                         let waited = self.nodes[node]
                             .lock_wait_start
@@ -1444,6 +1626,10 @@ impl Machine {
                     self.nodes[from].lock_cache.remove(lock);
                 }
             }
+        }
+        if let Some(c) = &self.check {
+            c.borrow_mut()
+                .structural("cbl.exclusion", t, self.cbl[lock].check_exclusion());
         }
         #[cfg(debug_assertions)]
         if let Err(e) = self.cbl[lock].check_exclusion() {
@@ -1540,6 +1726,10 @@ impl Machine {
                 }
             }
         }
+        if let Some(c) = &self.check {
+            c.borrow_mut()
+                .structural("ric.list", t, self.ric[block].check_list());
+        }
         #[cfg(debug_assertions)]
         if let Err(e) = self.ric[block].check_list() {
             panic!("RIC invariant violated on block {block}: {e}");
@@ -1625,6 +1815,7 @@ impl Machine {
             Some(SyncCtx::PendingStore { block, word, value }) if ctx == WbiCtx::Data(block) => {
                 let ok = self.wbi[block].local_write(node, word, value);
                 debug_assert!(ok, "store failed after ownership");
+                self.record_write(node, block, word, value);
                 self.nodes[node].sync = None;
                 self.resume_from(node, Waiting::Fill, t);
             }
@@ -1857,7 +2048,7 @@ impl Machine {
                             self.events.schedule(now + 1, Ev::Resume(node));
                         } else {
                             self.counters.bump_id(CounterId::SharedReadMiss);
-                            if self.cfg.record_reads {
+                            if self.wants_reads() {
                                 self.nodes[node].pending_record = Some(addr);
                             }
                             let msgs = if self.cfg.auto_read_update {
@@ -1876,7 +2067,7 @@ impl Machine {
                             self.events.schedule(now + 1, Ev::Resume(node));
                         } else {
                             self.counters.bump_id(CounterId::SharedReadMiss);
-                            if self.cfg.record_reads {
+                            if self.wants_reads() {
                                 self.nodes[node].pending_record = Some(addr);
                             }
                             let msgs = self.wbi[addr.block].read_req(node);
@@ -1897,7 +2088,7 @@ impl Machine {
                         addr.block,
                         addr.word,
                     );
-                    if self.cfg.record_reads {
+                    if self.wants_reads() {
                         self.nodes[node].pending_record = Some(addr);
                     }
                     let msgs = self.ric[addr.block].read_global(node, addr.word);
@@ -1920,7 +2111,7 @@ impl Machine {
                 self.trace_access(now, node as i64, fam, "read.global", addr.block, addr.word);
                 match self.cfg.data {
                     DataScheme::Ric => {
-                        if self.cfg.record_reads {
+                        if self.wants_reads() {
                             self.nodes[node].pending_record = Some(addr);
                         }
                         let msgs = self.ric[addr.block].read_global(node, addr.word);
@@ -1943,7 +2134,7 @@ impl Machine {
                                 self.events.schedule(now + 2, Ev::Retry(node));
                             }
                             None => {
-                                if self.cfg.record_reads {
+                                if self.wants_reads() {
                                     self.nodes[node].pending_record = Some(addr);
                                 }
                                 let msgs = self.wbi[addr.block].read_req(node);
@@ -1969,6 +2160,7 @@ impl Machine {
                         }
                         match self.nodes[node].wbuf.push(addr, stamp) {
                             Enqueue::Accepted(wid) => {
+                                self.record_write(node, addr.block, addr.word, stamp);
                                 self.counters.bump_id(CounterId::SharedWriteGlobal);
                                 self.trace_access(
                                     now,
@@ -2024,6 +2216,7 @@ impl Machine {
                             addr.word,
                         );
                         if self.wbi[addr.block].local_write(node, addr.word, stamp) {
+                            self.record_write(node, addr.block, addr.word, stamp);
                             self.counters.bump_id(CounterId::SharedWriteHit);
                             self.events.schedule(now + 1, Ev::Resume(node));
                         } else {

@@ -1,7 +1,8 @@
 //! Simulation results.
 
+use ssmp_check::{LineSummary, ViolationReport};
 use ssmp_engine::{CounterSet, Cycle, Histogram, IntervalSeries, TraceEvent, WatchdogVerdict};
-use ssmp_net::FaultStats;
+use ssmp_net::{FaultStats, ForcedFault};
 
 /// The outcome of one machine run.
 #[derive(Debug, Clone)]
@@ -62,6 +63,15 @@ pub struct Report {
     /// when the machine was built with `.profile(true)` or the
     /// `SSMP_PROFILE` environment variable was set).
     pub profile: Option<ssmp_profile::Profile>,
+    /// Invariant violations found by the protocol sanitizer (always empty
+    /// unless the machine was built with `.check(true)` or `SSMP_CHECK`
+    /// was set — and then still empty on a correct run, so an armed
+    /// clean run's report is byte-identical to an unarmed one).
+    pub violations: Vec<ViolationReport>,
+    /// The fault plan's replayable decision log (empty without a plan).
+    /// Feeding it back through `FaultConfig::replay` reproduces the run's
+    /// fault pattern exactly — the raw material the fuzzer shrinks.
+    pub fault_log: Vec<ForcedFault>,
 }
 
 /// A stalled node's state at watchdog time.
@@ -121,6 +131,10 @@ pub struct DeadlockReport {
     pub locks: Vec<LockDiag>,
     /// RIC lists with enrolled members.
     pub ric: Vec<RicDiag>,
+    /// Per-line owner/sharers summary from the sanitizer's oracle, so
+    /// hangs and violations share one diagnosis format (populated only
+    /// when the sanitizer was armed).
+    pub lines: Vec<LineSummary>,
 }
 
 impl DeadlockReport {
@@ -163,6 +177,9 @@ impl DeadlockReport {
         for r in &self.ric {
             let _ = writeln!(s, "  ric block {:>3}: members {:?}", r.block, r.members);
         }
+        for l in &self.lines {
+            let _ = writeln!(s, "  {l}");
+        }
         s
     }
 }
@@ -186,6 +203,9 @@ impl Report {
             s.push_str(&d.render());
         } else {
             let _ = writeln!(s, "completion: {} cycles", self.completion);
+        }
+        for v in &self.violations {
+            s.push_str(&v.render());
         }
         let total_retries: u64 = self.retries.iter().sum();
         if total_retries > 0 {

@@ -52,6 +52,33 @@ pub enum MsgDir {
     Peer,
 }
 
+/// A fault applied deterministically to one specific message, identified
+/// by its per-kind sequence number. The building block of replayable
+/// fault schedules: a [`FaultPlan`] logs every probabilistic decision as
+/// a `ForcedFault`, and a plan built from that log (with zero
+/// probabilities) reproduces the original run exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForcedFault {
+    /// Message kind the fault targets.
+    pub kind: MsgKind,
+    /// Which message of that kind (0-based, counted over the whole run,
+    /// regardless of any kind/direction/window filters).
+    pub nth: u64,
+    /// What happens to it.
+    pub op: FaultOp,
+}
+
+/// The fault applied by a [`ForcedFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Lose the message.
+    Drop,
+    /// Deliver it twice.
+    Dup,
+    /// Deliver it late by the given number of cycles.
+    Delay(Cycle),
+}
+
 /// Configuration of a fault plan. Probabilities are per message and must
 /// lie in `[0, 1]`; at most one fault is applied to a given message
 /// (drop wins over duplicate wins over delay, from a single uniform draw).
@@ -77,6 +104,10 @@ pub struct FaultConfig {
     /// `kind` (0-based, counted over the whole run) regardless of the
     /// probabilities. For tests that need a specific loss.
     pub forced_drops: Vec<(MsgKind, u64)>,
+    /// Guaranteed faults of any kind, applied before the kind/direction/
+    /// window filters and the probability draw — the replay half of the
+    /// fuzzer's shrinking loop (see [`FaultPlan::log`]).
+    pub forced: Vec<ForcedFault>,
 }
 
 impl FaultConfig {
@@ -93,7 +124,16 @@ impl FaultConfig {
             dirs: None,
             window: None,
             forced_drops: Vec::new(),
+            forced: Vec::new(),
         }
+    }
+
+    /// A plan that replays exactly the given forced faults and nothing
+    /// else (all probabilities zero).
+    pub fn replay(forced: Vec<ForcedFault>) -> Self {
+        let mut c = Self::uniform(0, 0.0, 0.0, 0.0);
+        c.forced = forced;
+        c
     }
 
     /// A plan whose only effect is dropping the `n`-th message of `kind`.
@@ -153,10 +193,15 @@ pub struct FaultStats {
 pub struct FaultPlan {
     cfg: FaultConfig,
     rng: SimRng,
-    /// Per-kind sequence counters for `forced_drops` (indexed by the kind's
+    /// Per-kind sequence counters for forced faults (indexed by the kind's
     /// position in the `MsgKind` declaration).
     seq: [u64; 8],
     stats: FaultStats,
+    /// Every non-`Deliver` decision taken so far, as a replayable forced
+    /// fault. Counters tick for every inspected message whether or not
+    /// probabilities fire, so feeding this log back through
+    /// [`FaultConfig::replay`] reproduces the run exactly.
+    log: Vec<ForcedFault>,
 }
 
 fn kind_index(k: MsgKind) -> usize {
@@ -183,6 +228,7 @@ impl FaultPlan {
             rng,
             seq: [0; 8],
             stats: FaultStats::default(),
+            log: Vec::new(),
         }
     }
 
@@ -194,6 +240,11 @@ impl FaultPlan {
     /// Fault counts so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Every non-`Deliver` decision taken so far, in decision order.
+    pub fn log(&self) -> &[ForcedFault] {
+        &self.log
     }
 
     fn matches(&self, kind: MsgKind, dir: MsgDir, depart: Cycle) -> bool {
@@ -225,25 +276,57 @@ impl FaultPlan {
         let n = self.seq[kind_index(kind)];
         self.seq[kind_index(kind)] += 1;
         if self.cfg.forced_drops.contains(&(kind, n)) {
-            self.stats.dropped += 1;
-            return FaultDecision::Drop;
+            return self.record(kind, n, FaultDecision::Drop);
+        }
+        if let Some(f) = self
+            .cfg
+            .forced
+            .iter()
+            .find(|f| f.kind == kind && f.nth == n)
+        {
+            let d = match f.op {
+                FaultOp::Drop => FaultDecision::Drop,
+                FaultOp::Dup => FaultDecision::Duplicate,
+                FaultOp::Delay(extra) => FaultDecision::Delay(extra),
+            };
+            return self.record(kind, n, d);
         }
         if !self.matches(kind, dir, depart) {
             return FaultDecision::Deliver;
         }
         let u = self.rng.next_f64();
-        if u < self.cfg.drop_prob {
-            self.stats.dropped += 1;
+        let d = if u < self.cfg.drop_prob {
             FaultDecision::Drop
         } else if u < self.cfg.drop_prob + self.cfg.dup_prob {
-            self.stats.duplicated += 1;
             FaultDecision::Duplicate
         } else if u < self.cfg.drop_prob + self.cfg.dup_prob + self.cfg.delay_prob {
-            self.stats.delayed += 1;
             FaultDecision::Delay(self.cfg.delay_cycles)
         } else {
-            FaultDecision::Deliver
-        }
+            return FaultDecision::Deliver;
+        };
+        self.record(kind, n, d)
+    }
+
+    /// Bumps the stats for a non-`Deliver` decision and logs it as a
+    /// replayable forced fault.
+    fn record(&mut self, kind: MsgKind, nth: u64, d: FaultDecision) -> FaultDecision {
+        let op = match d {
+            FaultDecision::Drop => {
+                self.stats.dropped += 1;
+                FaultOp::Drop
+            }
+            FaultDecision::Duplicate => {
+                self.stats.duplicated += 1;
+                FaultOp::Dup
+            }
+            FaultDecision::Delay(extra) => {
+                self.stats.delayed += 1;
+                FaultOp::Delay(extra)
+            }
+            FaultDecision::Deliver => unreachable!("record() only takes faults"),
+        };
+        self.log.push(ForcedFault { kind, nth, op });
+        d
     }
 }
 
@@ -370,6 +453,11 @@ impl FaultyInterconnect {
     /// Fault counts, if a plan is installed.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.plan.as_ref().map(|p| p.stats())
+    }
+
+    /// The plan's replayable decision log, if a plan is installed.
+    pub fn fault_log(&self) -> Option<&[ForcedFault]> {
+        self.plan.as_ref().map(|p| p.log())
     }
 }
 
@@ -524,6 +612,74 @@ mod tests {
             .arrival
             .unwrap();
         assert!(other < first);
+    }
+
+    #[test]
+    fn decision_log_replays_identically() {
+        // run a probabilistic plan, capture its log, then replay the log
+        // through a zero-probability plan: every decision must match
+        let msgs: Vec<(MsgKind, MsgDir)> = (0..300)
+            .map(|i| match i % 3 {
+                0 => (MsgKind::Cbl, MsgDir::Request),
+                1 => (MsgKind::Ric, MsgDir::Reply),
+                _ => (MsgKind::WbiData, MsgDir::Peer),
+            })
+            .collect();
+        let mut original = FaultPlan::new(FaultConfig::uniform(42, 0.05, 0.1, 0.1));
+        let fates: Vec<_> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, d))| original.decide(k, d, i as Cycle))
+            .collect();
+        assert!(!original.log().is_empty(), "seed produced no faults");
+        let mut replay = FaultPlan::new(FaultConfig::replay(original.log().to_vec()));
+        let replayed: Vec<_> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, d))| replay.decide(k, d, i as Cycle))
+            .collect();
+        assert_eq!(fates, replayed);
+        assert_eq!(original.log(), replay.log());
+    }
+
+    #[test]
+    fn forced_faults_apply_each_op() {
+        let cfg = FaultConfig::replay(vec![
+            ForcedFault {
+                kind: MsgKind::Cbl,
+                nth: 1,
+                op: FaultOp::Dup,
+            },
+            ForcedFault {
+                kind: MsgKind::Cbl,
+                nth: 2,
+                op: FaultOp::Delay(77),
+            },
+            ForcedFault {
+                kind: MsgKind::Ric,
+                nth: 0,
+                op: FaultOp::Drop,
+            },
+        ]);
+        let mut plan = FaultPlan::new(cfg);
+        assert_eq!(
+            plan.decide(MsgKind::Cbl, MsgDir::Request, 0),
+            FaultDecision::Deliver
+        );
+        assert_eq!(
+            plan.decide(MsgKind::Cbl, MsgDir::Request, 1),
+            FaultDecision::Duplicate
+        );
+        assert_eq!(
+            plan.decide(MsgKind::Cbl, MsgDir::Request, 2),
+            FaultDecision::Delay(77)
+        );
+        assert_eq!(
+            plan.decide(MsgKind::Ric, MsgDir::Reply, 3),
+            FaultDecision::Drop
+        );
+        let s = plan.stats();
+        assert_eq!((s.dropped, s.duplicated, s.delayed), (1, 1, 1));
     }
 
     #[test]

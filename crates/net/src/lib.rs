@@ -36,8 +36,8 @@ pub mod scratch;
 
 pub use bus::{BusNetwork, IdealNetwork};
 pub use fault::{
-    Delivery, FaultConfig, FaultDecision, FaultPlan, FaultStats, FaultyInterconnect, MsgDir,
-    MsgKind,
+    Delivery, FaultConfig, FaultDecision, FaultOp, FaultPlan, FaultStats, FaultyInterconnect,
+    ForcedFault, MsgDir, MsgKind,
 };
 pub use omega::{NetConfig, NetStats, OmegaNetwork};
 pub use scratch::SortScratch;

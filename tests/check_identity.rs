@@ -1,0 +1,98 @@
+//! The protocol sanitizer is observation-only: arming it must not change
+//! the simulation in any way. This property test runs every paper workload
+//! on every configuration with and without the sanitizer and requires the
+//! two reports to be byte-identical (via their `Debug` rendering, which
+//! covers every field) — which also implies an armed clean run reports
+//! zero violations.
+
+use proptest::prelude::*;
+use ssmp::core::addr::Geometry;
+use ssmp::machine::{Machine, MachineConfig};
+use ssmp::workload::*;
+
+const WORKLOADS: &[&str] = &["work-queue", "sync", "solver", "fft", "hotspot"];
+
+fn mk(name: &str, n: usize) -> (Box<dyn ssmp::machine::op::Workload>, usize) {
+    match name {
+        "work-queue" => {
+            let wl = WorkQueue::new(WorkQueueParams::strong(n, Grain::Medium, 2 * n));
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "sync" => {
+            let wl = SyncModel::new(SyncParams::paper(n, 64, 2));
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "solver" => {
+            let wl = LinearSolver::new(SolverParams::paper(n, Allocation::Packed, 3));
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "fft" => {
+            let wl = FftPhases::new(FftParams::paper(n));
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        "hotspot" => {
+            let wl = Hotspot::new(HotspotParams::new(n, 0.2, 32));
+            let locks = wl.machine_locks();
+            (Box::new(wl), locks)
+        }
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+fn geometry(name: &str, n: usize, cfg: &mut MachineConfig) {
+    let blocks = match name {
+        "solver" => SolverParams::paper(n, Allocation::Packed, 3).shared_blocks(),
+        "fft" => FftParams::paper(n).shared_blocks(),
+        _ => return,
+    };
+    cfg.geometry = Geometry::new(n, 4, blocks.max(cfg.geometry.shared_blocks));
+}
+
+fn config(idx: usize, n: usize) -> MachineConfig {
+    match idx {
+        0 => MachineConfig::wbi(n),
+        1 => MachineConfig::wbi_backoff(n),
+        2 => MachineConfig::cbl(n),
+        3 => MachineConfig::sc_cbl(n),
+        _ => MachineConfig::bc_cbl(n),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn armed_runs_are_report_byte_identical(
+        wl_idx in 0usize..5,
+        cfg_idx in 0usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let n = 4;
+        let name = WORKLOADS[wl_idx];
+        let run = |armed: bool| {
+            let mut cfg = config(cfg_idx, n);
+            cfg.seed = seed;
+            geometry(name, n, &mut cfg);
+            let (wl, locks) = mk(name, n);
+            Machine::builder(cfg)
+                .workload(wl)
+                .locks(locks)
+                .check(armed)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let armed = run(true);
+        let unarmed = run(false);
+        prop_assert!(
+            armed.violations.is_empty(),
+            "{name}/{cfg_idx}: sanitizer violations on a clean run:\n{:#?}",
+            armed.violations
+        );
+        prop_assert_eq!(format!("{armed:?}"), format!("{unarmed:?}"));
+    }
+}

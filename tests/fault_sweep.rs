@@ -16,13 +16,23 @@ use ssmp::machine::{Machine, MachineConfig, Op, Report, RetryPolicy};
 use ssmp::net::{FaultConfig, MsgDir, MsgKind};
 use ssmp_bench::exp::{Experiment, PointOutput, RunnerOpts};
 
+/// Runs with the protocol sanitizer armed: every fault scenario in this
+/// file is invariant-checked (exactly-once delivery, SWMR, CBL FIFO,
+/// value oracle, …), not just completion-checked.
 fn run(cfg: MachineConfig, streams: Vec<Vec<Op>>, locks: usize) -> Report {
-    Machine::builder(cfg)
+    let r = Machine::builder(cfg)
         .workload(Box::new(Script::new(streams)))
         .locks(locks)
+        .check(true)
         .build()
         .unwrap()
-        .run()
+        .run();
+    assert!(
+        r.violations.is_empty(),
+        "sanitizer found protocol violations:\n{:#?}",
+        r.violations
+    );
+    r
 }
 
 fn all_configs(n: usize) -> Vec<(&'static str, MachineConfig)> {
@@ -306,12 +316,19 @@ fn paper_workloads_survive_dup_delay_faults() {
             exp.point(format!("{wl_name}/{cfg_name}"), move |_| {
                 let run_with = |cfg: MachineConfig| {
                     let (wl, locks) = mk(wl_name, n);
-                    Machine::builder(cfg)
+                    let r = Machine::builder(cfg)
                         .workload(wl)
                         .locks(locks)
+                        .check(true)
                         .build()
                         .unwrap()
-                        .run()
+                        .run();
+                    assert!(
+                        r.violations.is_empty(),
+                        "{wl_name}/{cfg_name}: sanitizer violations:\n{:#?}",
+                        r.violations
+                    );
+                    r
                 };
 
                 let mut clean_cfg = base.clone();
