@@ -1,0 +1,172 @@
+//! **Perf-regression guard**: diffs a freshly generated `ssmp-sweep-v1`
+//! artifact against a committed baseline, point by point.
+//!
+//! Measurement keys fall into three classes:
+//!
+//! - **deterministic** (`cycles`, `events`, `completion`, counts, ...):
+//!   products of the simulation itself, so they must match the baseline
+//!   *exactly* — any drift is a silent behaviour change, not noise;
+//! - **`speedup`**: a relative in-process timing ratio, checked against
+//!   a lower bound `baseline × (1 − tolerance)` — only regressions fail,
+//!   a faster run is fine;
+//! - **wall-clock** (`*_secs`, `*_per_sec`): host-dependent, reported in
+//!   the delta table but never enforced.
+//!
+//! The per-point delta table is always printed; the process exits 1 on
+//! the first class of violation it found (missing points count too), so
+//! CI fails loudly with the full diff in the log.
+//!
+//! Usage: `perfguard --baseline FILE --current FILE [--tolerance FRAC]`
+//! (default tolerance 0.5 — the wheel-vs-heap speedup may sag to half
+//! its recorded value before the guard trips).
+
+use ssmp_engine::Json;
+
+/// One point's measurements, keyed by label.
+type Points = Vec<(String, Vec<(String, f64)>)>;
+
+fn load(path: &str) -> Result<Points, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("ssmp-sweep-v1") {
+        return Err(format!("{path}: not an ssmp-sweep-v1 artifact"));
+    }
+    let points = doc
+        .get("points")
+        .and_then(|p| p.as_array())
+        .ok_or_else(|| format!("{path}: no points array"))?;
+    let mut out = Points::new();
+    for p in points {
+        let label = p
+            .get("label")
+            .and_then(|l| l.as_str())
+            .ok_or_else(|| format!("{path}: point without a label"))?
+            .to_string();
+        if p.get("status").and_then(|s| s.as_str()) != Some("ok") {
+            return Err(format!("{path}: point '{label}' did not complete"));
+        }
+        let values = p
+            .get("values")
+            .ok_or_else(|| format!("{path}: point '{label}' has no values"))?;
+        let Json::Obj(fields) = values else {
+            return Err(format!("{path}: point '{label}' values is not an object"));
+        };
+        let mut vs = Vec::new();
+        for (k, v) in fields {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("{path}: '{label}.{k}' is not numeric"))?;
+            vs.push((k.clone(), n));
+        }
+        out.push((label, vs));
+    }
+    Ok(out)
+}
+
+/// How one measurement key is judged.
+enum Class {
+    Exact,
+    SpeedupFloor,
+    Informational,
+}
+
+fn classify(key: &str) -> Class {
+    if key.ends_with("_secs") || key.ends_with("_per_sec") {
+        Class::Informational
+    } else if key == "speedup" {
+        Class::SpeedupFloor
+    } else {
+        Class::Exact
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let opt = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    let usage = "usage: perfguard --baseline FILE --current FILE [--tolerance FRAC]";
+    let (Some(base_path), Some(cur_path)) = (opt("--baseline"), opt("--current")) else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let tolerance: f64 = opt("--tolerance")
+        .map(|s| s.parse().expect("--tolerance: not a number"))
+        .unwrap_or(0.5);
+
+    let baseline = load(&base_path).unwrap_or_else(|e| {
+        eprintln!("perfguard: {e}");
+        std::process::exit(2);
+    });
+    let current = load(&cur_path).unwrap_or_else(|e| {
+        eprintln!("perfguard: {e}");
+        std::process::exit(2);
+    });
+
+    let mut violations: Vec<String> = Vec::new();
+    println!(
+        "{:<24} {:<20} {:>14} {:>14} {:>9}  verdict",
+        "point", "key", "baseline", "current", "delta"
+    );
+    for (label, base_vals) in &baseline {
+        let Some((_, cur_vals)) = current.iter().find(|(l, _)| l == label) else {
+            violations.push(format!("point '{label}' missing from {cur_path}"));
+            continue;
+        };
+        for (key, b) in base_vals {
+            let Some((_, c)) = cur_vals.iter().find(|(k, _)| k == key) else {
+                violations.push(format!("'{label}.{key}' missing from {cur_path}"));
+                continue;
+            };
+            let delta = if *b == 0.0 { 0.0 } else { (c - b) / b * 100.0 };
+            let verdict = match classify(key) {
+                Class::Exact => {
+                    if c == b {
+                        "ok"
+                    } else {
+                        violations.push(format!(
+                            "'{label}.{key}' drifted: baseline {b} != current {c} \
+                             (deterministic key — simulation behaviour changed)"
+                        ));
+                        "DRIFT"
+                    }
+                }
+                Class::SpeedupFloor => {
+                    if *c >= b * (1.0 - tolerance) {
+                        "ok"
+                    } else {
+                        violations.push(format!(
+                            "'{label}.{key}' regressed: current {c:.3} < floor {:.3} \
+                             (baseline {b:.3} × (1 − {tolerance}))",
+                            b * (1.0 - tolerance)
+                        ));
+                        "REGRESSED"
+                    }
+                }
+                Class::Informational => "info",
+            };
+            println!("{label:<24} {key:<20} {b:>14.3} {c:>14.3} {delta:>+8.1}%  {verdict}");
+        }
+    }
+    for (label, _) in &current {
+        if !baseline.iter().any(|(l, _)| l == label) {
+            println!("{label:<24} (not in baseline — new point, ignored)");
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "perfguard: {} points checked against {base_path}: ok",
+            baseline.len()
+        );
+    } else {
+        eprintln!("perfguard: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -75,9 +75,9 @@ pub struct PointCtx {
 pub enum PointOutput {
     /// The run completed; the named measurements it reduced to.
     Values(Vec<(String, f64)>),
-    /// The run completed with profiling on; the measurements plus the
-    /// rendered `ssmp-profile-v1` JSON document.
-    Profiled(Vec<(String, f64)>, String),
+    /// The run completed with observability armed; the measurements plus
+    /// the rendered `ssmp-profile-v1` and/or `ssmp-span-v1` documents.
+    Observed(Vec<(String, f64)>, Option<String>, Option<String>),
     /// The run tripped the watchdog; the structured diagnosis.
     Deadlock(Box<DeadlockReport>),
 }
@@ -91,15 +91,18 @@ impl PointOutput {
     /// Reduces a [`Report`]: if the watchdog ended the run, the
     /// deadlock diagnosis; otherwise whatever `f` extracts. A report
     /// carrying a profile (builder `.profile(true)` or `SSMP_PROFILE`)
-    /// embeds it in the artifact automatically.
+    /// or a span set (builder `.spans(true)` or `SSMP_SPANS`) embeds it
+    /// in the artifact automatically.
     pub fn from_report(mut r: Report, f: impl FnOnce(&Report) -> Vec<(String, f64)>) -> Self {
         match r.deadlock.take() {
             Some(d) => PointOutput::Deadlock(Box::new(d)),
             None => {
                 let vs = f(&r);
-                match r.profile.take() {
-                    Some(p) => PointOutput::Profiled(vs, p.to_json().render()),
-                    None => PointOutput::Values(vs),
+                let prof = r.profile.take().map(|p| p.to_json().render());
+                let spans = r.spans.take().map(|s| s.to_json().render());
+                match (prof, spans) {
+                    (None, None) => PointOutput::Values(vs),
+                    (p, s) => PointOutput::Observed(vs, p, s),
                 }
             }
         }
@@ -145,6 +148,8 @@ pub struct PointRecord {
     pub status: PointStatus,
     /// Rendered `ssmp-profile-v1` JSON, when the point ran profiled.
     pub profile: Option<String>,
+    /// Rendered `ssmp-span-v1` JSON, when the point ran span-stitched.
+    pub spans: Option<String>,
 }
 
 impl PointRecord {
@@ -319,11 +324,13 @@ impl Experiment {
                         index: i,
                         seed: derive_seed(self.master_seed, i as u64),
                     };
-                    let (status, profile) = match catch_unwind(AssertUnwindSafe(|| (p.run)(&ctx))) {
-                        Ok(PointOutput::Values(vs)) => (PointStatus::Ok(vs), None),
-                        Ok(PointOutput::Profiled(vs, prof)) => (PointStatus::Ok(vs), Some(prof)),
-                        Ok(PointOutput::Deadlock(d)) => (PointStatus::Deadlock(d), None),
-                        Err(payload) => (PointStatus::Panicked(panic_message(payload)), None),
+                    let (status, profile, spans) = match catch_unwind(AssertUnwindSafe(|| {
+                        (p.run)(&ctx)
+                    })) {
+                        Ok(PointOutput::Values(vs)) => (PointStatus::Ok(vs), None, None),
+                        Ok(PointOutput::Observed(vs, prof, sp)) => (PointStatus::Ok(vs), prof, sp),
+                        Ok(PointOutput::Deadlock(d)) => (PointStatus::Deadlock(d), None, None),
+                        Err(payload) => (PointStatus::Panicked(panic_message(payload)), None, None),
                     };
                     *slots[i].lock().unwrap() = Some(PointRecord {
                         index: i,
@@ -332,6 +339,7 @@ impl Experiment {
                         seed: ctx.seed,
                         status,
                         profile,
+                        spans,
                     });
                     progress.tick(&p.label);
                 });
@@ -491,6 +499,10 @@ impl SweepResult {
                             let doc =
                                 Json::parse(prof).expect("Profile::to_json renders valid JSON");
                             obj.push(("profile".to_string(), doc));
+                        }
+                        if let Some(sp) = &p.spans {
+                            let doc = Json::parse(sp).expect("SpanSet::to_json renders valid JSON");
+                            obj.push(("spans".to_string(), doc));
                         }
                     }
                     PointStatus::Deadlock(d) => {

@@ -22,6 +22,7 @@ usage:
   ssmp trace replay  --in <file> --config <cfg> [--json]
   ssmp trace stats   --in <file> [--validate]
   ssmp analyze --in <trace.jsonl> [--top K] [--json] [--out <file>]
+  ssmp spans   --in <trace.jsonl> [--top K] [--json] [--out <file>]
   ssmp program --file <prog.sasm> --config <cfg> [--sems c0,c1,...] [--json]
   ssmp fuzz  [--quick] [--jobs N] [--seeds K] [--seed S] [--out <repro.json>]
              [--workload wl[,wl...]] [--config cfg[,cfg...]] [--nodes N]
@@ -62,6 +63,16 @@ profiling (run, sweep, trace replay, program):
   Printed with the report (text) or embedded as \"profile\" (--json /
   sweep artifacts); --profile=<file> also writes the JSON document.
   'ssmp analyze' folds a --trace jsonl offline into the identical JSON.
+
+span tracing (run, sweep, trace replay, program):
+  [--spans[=<out.json>]]  stitch the event stream live into per-
+  transaction spans (ssmp-span-v1): exact end-to-end latency with an
+  exact-sum segment breakdown (issue/wbuf/net/mem/queue/complete/local),
+  per-type latency quantiles up to p999, the critical path, and
+  stitching-health counters. Printed with the report (text) or embedded
+  as \"spans\" (--json / sweep artifacts); --spans=<file> also writes
+  the JSON document. 'ssmp spans' stitches a --trace jsonl offline into
+  the identical JSON; 'ssmp trace stats' reports stitching health.
 
 sanitizing / fuzzing:
   [--check]   (run, sweep, trace replay, program) arm the live protocol
@@ -130,6 +141,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             _ => Err("trace needs 'capture', 'replay', or 'stats'".into()),
         },
         Some("analyze") => analyze(&Flags::parse(&argv[1..], VALUED)?),
+        Some("spans") => spans(&Flags::parse(&argv[1..], VALUED)?),
         Some("program") => program(&Flags::parse(&argv[1..], VALUED)?),
         Some("fuzz") => crate::fuzz::fuzz(&Flags::parse(&argv[1..], VALUED)?),
         Some("help") | Some("--help") | Some("-h") => {
@@ -175,6 +187,12 @@ const CONFLICTS: &[(&str, &str, &str)] = &[
         "trace-filter",
         "--profile needs the full event stream (the filter prunes events before \
          sinks and would skew attribution); drop --trace-filter",
+    ),
+    (
+        "spans",
+        "trace-filter",
+        "--spans stitches spans out of the full event stream (the filter would \
+         orphan begins/ends and drop wire links); drop --trace-filter",
     ),
     (
         "check",
@@ -237,6 +255,7 @@ struct SimFlags {
     max_cycles: Option<u64>,
     metrics_interval: Option<u64>,
     profile: bool,
+    spans: bool,
     check: bool,
 }
 
@@ -245,6 +264,7 @@ impl SimFlags {
         check_conflicts(f)?;
         let mut s = SimFlags {
             profile: f.has("profile"),
+            spans: f.has("spans"),
             check: f.has("check"),
             ..SimFlags::default()
         };
@@ -414,6 +434,7 @@ fn print_report(r: &Report, json: bool) {
             ("net_packets".into(), Json::num(r.net_packets)),
             ("net_words".into(), Json::num(r.net_words)),
             ("net_queueing".into(), Json::num(r.net_queueing)),
+            ("net_max_transit".into(), Json::num(r.net_max_transit)),
             ("messages".into(), Json::num(r.total_messages())),
             ("lock_acquisitions".into(), Json::num(r.lock_wait.count())),
             (
@@ -458,6 +479,9 @@ fn print_report(r: &Report, json: bool) {
         if let Some(p) = &r.profile {
             fields.push(("profile".into(), p.to_json()));
         }
+        if let Some(sp) = &r.spans {
+            fields.push(("spans".into(), sp.to_json()));
+        }
         let doc = Json::Obj(fields);
         println!("{}", doc.render());
     } else {
@@ -479,6 +503,19 @@ fn write_profile_out(r: &Report, f: &Flags) -> Result<(), String> {
     std::fs::write(path, p.to_json().render() + "\n").map_err(|e| format!("--profile {path}: {e}"))
 }
 
+/// Writes the run's `ssmp-span-v1` JSON to the `--spans=<file>` target,
+/// when one was given (a bare `--spans` only prints/embeds).
+fn write_spans_out(r: &Report, f: &Flags) -> Result<(), String> {
+    let Some(path) = f.get("spans") else {
+        return Ok(());
+    };
+    let sp = r
+        .spans
+        .as_ref()
+        .ok_or("internal error: --spans run produced no spans")?;
+    std::fs::write(path, sp.to_json().render() + "\n").map_err(|e| format!("--spans {path}: {e}"))
+}
+
 fn run(f: &Flags) -> Result<(), String> {
     check_conflicts(f)?;
     if let Some(path) = f.get("repro") {
@@ -497,12 +534,14 @@ fn run(f: &Flags) -> Result<(), String> {
         .locks(locks)
         .tracer(tracer)
         .profile(sim.profile)
+        .spans(sim.spans)
         .check(sim.check)
         .build()
         .unwrap()
         .run();
     print_report(&r, f.has("json"));
-    write_profile_out(&r, f)
+    write_profile_out(&r, f)?;
+    write_spans_out(&r, f)
 }
 
 /// What a `sweep` invocation enumerates.
@@ -650,6 +689,7 @@ fn sweep(f: &Flags) -> Result<(), String> {
     let json = f.has("json");
     let sim = SimFlags::parse(f)?;
     let profile = sim.profile;
+    let spans = sim.spans;
     let check = sim.check;
     let jobs = f.num::<usize>("jobs", default_jobs())?;
     let master = f.num::<u64>("seed", 0xC11)?;
@@ -714,6 +754,7 @@ fn sweep(f: &Flags) -> Result<(), String> {
                                 .workload(wl)
                                 .locks(locks)
                                 .profile(profile)
+                                .spans(spans)
                                 .check(check)
                                 .build()
                                 .expect("config validated at registration")
@@ -744,6 +785,13 @@ fn sweep(f: &Flags) -> Result<(), String> {
                 // use SSMP_PROFILE=1 (process-wide) to profile them
                 return Err("--profile is not supported with --points table3; \
                      set SSMP_PROFILE=1 instead"
+                    .into());
+            }
+            if spans {
+                // same story as --profile: the helpers build their own
+                // machines, but the builder also arms off the environment
+                return Err("--spans is not supported with --points table3; \
+                     set SSMP_SPANS=1 instead"
                     .into());
             }
             if check {
@@ -941,6 +989,7 @@ fn program(f: &Flags) -> Result<(), String> {
         .semaphores(&sems)
         .tracer(tracer)
         .profile(sim.profile)
+        .spans(sim.spans)
         .check(sim.check)
         .build()
         .unwrap()
@@ -952,7 +1001,8 @@ fn program(f: &Flags) -> Result<(), String> {
             println!("  node {n}: block {b} word {w} = {v}");
         }
     }
-    write_profile_out(&r, f)
+    write_profile_out(&r, f)?;
+    write_spans_out(&r, f)
 }
 
 fn trace_capture(f: &Flags) -> Result<(), String> {
@@ -1015,12 +1065,14 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
         .locks(max_lock + 1)
         .tracer(tracer)
         .profile(sim.profile)
+        .spans(sim.spans)
         .check(sim.check)
         .build()
         .unwrap()
         .run();
     print_report(&r, f.has("json"));
-    write_profile_out(&r, f)
+    write_profile_out(&r, f)?;
+    write_spans_out(&r, f)
 }
 
 /// Folds a `--trace` JSONL file into the same `ssmp-profile-v1` profile
@@ -1039,6 +1091,27 @@ fn analyze(f: &Flags) -> Result<(), String> {
     }
     if let Some(out) = f.get("out") {
         std::fs::write(out, profile.to_json().render() + "\n")
+            .map_err(|e| format!("--out {out}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Stitches a `--trace` JSONL file into the same `ssmp-span-v1` span set
+/// a live `--spans` run produces — byte-identical JSON, so the two paths
+/// can be diffed against each other (and are, in CI).
+fn spans(f: &Flags) -> Result<(), String> {
+    let path = f.require("in")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("--in {path}: {e}"))?;
+    let set = ssmp_span::SpanSet::from_jsonl(std::io::BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    if f.has("json") {
+        println!("{}", set.to_json().render());
+    } else {
+        let top = f.num::<usize>("top", 8)?;
+        print!("{}", set.render_table(top));
+    }
+    if let Some(out) = f.get("out") {
+        std::fs::write(out, set.to_json().render() + "\n")
             .map_err(|e| format!("--out {out}: {e}"))?;
     }
     Ok(())
@@ -1120,6 +1193,25 @@ fn trace_stats(f: &Flags) -> Result<(), String> {
     for (k, n) in &by_key {
         println!("  {k}: {n}");
     }
+    // Span-stitching health: re-fold the stream through the span
+    // stitcher so a truncated or filtered trace is diagnosed here
+    // before anyone trusts `ssmp spans` output built from it.
+    let h = ssmp_span::SpanSet::from_jsonl(text.as_bytes())
+        .map_err(|e| format!("{path}: {e}"))?
+        .health();
+    println!(
+        "span stitching: spans={} orphan-begins={} orphan-ends={} links={} \
+         dangling-links={} wires={} undelivered={} unmatched-delivers={} -> {}",
+        h.spans,
+        h.orphan_begins,
+        h.orphan_ends,
+        h.links,
+        h.dangling_links,
+        h.wires,
+        h.undelivered_wires,
+        h.unmatched_delivers,
+        if h.clean() { "clean" } else { "DEGRADED" }
+    );
     if validate {
         println!("validation: ok");
     }
@@ -1568,6 +1660,106 @@ mod tests {
     fn analyze_requires_input_file() {
         assert!(dispatch(&v(&["analyze"])).is_err());
         assert!(dispatch(&v(&["analyze", "--in", "/nonexistent/ssmp.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn spanned_run_matches_offline_spans() {
+        // the tentpole guarantee: the live SpanSink and the offline
+        // `ssmp spans` stitch of the same trace emit identical JSON
+        let dir = std::env::temp_dir().join("ssmp_cli_spans_equiv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.jsonl");
+        let live = dir.join("live.json");
+        let offline = dir.join("offline.json");
+        dispatch(&v(&[
+            "run",
+            "--workload",
+            "work-queue",
+            "--config",
+            "bc-cbl",
+            "--nodes",
+            "4",
+            "--grain",
+            "fine",
+            "--trace",
+            trace.to_str().unwrap(),
+            &format!("--spans={}", live.display()),
+            "--json",
+        ]))
+        .unwrap();
+        dispatch(&v(&[
+            "spans",
+            "--in",
+            trace.to_str().unwrap(),
+            "--out",
+            offline.to_str().unwrap(),
+            "--top",
+            "4",
+        ]))
+        .unwrap();
+        let a = std::fs::read_to_string(&live).unwrap();
+        let b = std::fs::read_to_string(&offline).unwrap();
+        assert!(!a.is_empty() && a.contains("ssmp-span-v1"));
+        assert_eq!(a, b, "live sink and offline spans diverged");
+        // and trace stats reports the stitch as clean
+        dispatch(&v(&["trace", "stats", "--in", trace.to_str().unwrap()])).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spans_requires_input_file() {
+        assert!(dispatch(&v(&["spans"])).is_err());
+        assert!(dispatch(&v(&["spans", "--in", "/nonexistent/ssmp.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn spans_rejects_trace_filter() {
+        let e = dispatch(&v(&[
+            "run",
+            "--workload",
+            "sync",
+            "--config",
+            "cbl",
+            "--nodes",
+            "4",
+            "--spans",
+            "--trace",
+            "/tmp/ssmp_never_written4.jsonl",
+            "--trace-filter",
+            "cbl",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--spans") && e.contains("--trace-filter"), "{e}");
+    }
+
+    #[test]
+    fn sweep_embeds_spans_in_artifact() {
+        let dir = std::env::temp_dir().join("ssmp_cli_sweep_spans");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("a.json");
+        dispatch(&v(&[
+            "sweep",
+            "--points",
+            "work-queue:bc-cbl:4",
+            "--grain",
+            "fine",
+            "--tasks",
+            "8",
+            "--spans",
+            "--json",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("ssmp-span-v1"), "artifact lacks spans");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_table3_rejects_spans_flag() {
+        let e = dispatch(&v(&["sweep", "--points", "table3:4", "--spans"])).unwrap_err();
+        assert!(e.contains("SSMP_SPANS"), "{e}");
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct PendingWrite {
     pub id: u64,
     /// Whether the write has been put on the network yet.
     pub issued: bool,
+    /// Span transaction id attached by the machine when tracing (0 =
+    /// untagged). Carried here so the issue and ack paths can attribute
+    /// the write's wire messages without a side table.
+    pub txn: u64,
 }
 
 /// The write buffer.
@@ -76,6 +80,7 @@ impl WriteBuffer {
             value,
             id,
             issued: false,
+            txn: 0,
         });
         self.peak = self.peak.max(self.entries.len());
         self.total_enqueued += 1;
@@ -88,6 +93,23 @@ impl WriteBuffer {
         let e = self.entries.iter_mut().find(|e| !e.issued)?;
         e.issued = true;
         Some(*e)
+    }
+
+    /// Attaches a span transaction id to the pending write `id` (no-op if
+    /// the id is unknown — e.g. it was already acknowledged).
+    pub fn tag_txn(&mut self, id: u64, txn: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.txn = txn;
+        }
+    }
+
+    /// The span transaction tagged onto pending write `id` (0 when
+    /// untagged or unknown).
+    pub fn txn_of(&self, id: u64) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map_or(0, |e| e.txn)
     }
 
     /// Retires the entry whose acknowledgment arrived. Returns `true` if the

@@ -492,6 +492,12 @@ impl Histogram {
         self.quantile_bound(0.99)
     }
 
+    /// 99.9th-percentile bound (`None` if empty) — the tail-latency
+    /// quantile the span layer reports per transaction type.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile_bound(0.999)
+    }
+
     /// Raw bucket counts (64 power-of-two buckets).
     pub fn buckets(&self) -> &[u64] {
         &self.buckets

@@ -116,11 +116,23 @@ pub enum Kind {
     /// A node retired its final operation (emitted once per node at end of
     /// run; cycle = the node's completion time).
     Done,
+    /// A transaction span opened (detail = transaction type: the stall
+    /// cause tag, `"wbuf.write"` for buffered global writes, or the op
+    /// name for fire-and-forget ops; id = transaction id).
+    SpanBegin,
+    /// A transaction span closed (detail = transaction type, id =
+    /// transaction id, arg = end-to-end duration in cycles).
+    SpanEnd,
+    /// A causal edge binding a wire to the transaction that caused it
+    /// (id = wire id, arg = transaction id). Emitted at injection time,
+    /// after the owning `SpanBegin` for request wires and inside the
+    /// delivery that triggered the send for replies/forwards.
+    Link,
 }
 
 impl Kind {
     /// All kinds, in declaration order.
-    pub const ALL: [Kind; 13] = [
+    pub const ALL: [Kind; 16] = [
         Kind::Issue,
         Kind::NetInject,
         Kind::NetDeliver,
@@ -134,6 +146,9 @@ impl Kind {
         Kind::Access,
         Kind::Queue,
         Kind::Done,
+        Kind::SpanBegin,
+        Kind::SpanEnd,
+        Kind::Link,
     ];
 
     /// The stable token used in trace files and `--trace-filter`.
@@ -152,6 +167,9 @@ impl Kind {
             Kind::Access => "access",
             Kind::Queue => "queue",
             Kind::Done => "done",
+            Kind::SpanBegin => "span-begin",
+            Kind::SpanEnd => "span-end",
+            Kind::Link => "link",
         }
     }
 

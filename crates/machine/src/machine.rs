@@ -20,7 +20,7 @@
 //! the cached copy and the burst of refills/test-and-sets at release time
 //! that the paper identifies as WBI's scalability problem.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use ssmp_core::addr::{BlockId, NodeId};
 use ssmp_core::barrier::{BarEffect, BarKind, BarMsg, HwBarrier};
@@ -261,6 +261,31 @@ pub struct Machine {
     /// Live profiler handle (`Some` when [`MachineBuilder::profile`] is
     /// enabled); the folded profile is cloned into the report at finish.
     profile: Option<ssmp_profile::SharedProfile>,
+    /// Live span-stitcher handle (`Some` when [`MachineBuilder::spans`]
+    /// is enabled); the folded span set is cloned into the report at
+    /// finish. Span *emission* is keyed on the tracer alone, so any
+    /// traced run stitches offline even without this sink.
+    spans: Option<ssmp_span::SharedSpans>,
+    /// Monotonic span transaction-id source (ids start at 1; 0 = none).
+    txn_ctr: u64,
+    /// Wire id → owning span transaction. Consumed at delivery so the
+    /// messages a delivery routes inherit the requester's transaction.
+    /// Lookup-only (never iterated): determinism-safe as a HashMap.
+    wire_txn: HashMap<u64, u64>,
+    /// Transaction that caused the delivery currently being processed
+    /// (0 = none); wires routed while it is set are linked to it.
+    cause: u64,
+    /// Node whose operation/continuation is currently executing under
+    /// span attribution (see [`Machine::with_span`]).
+    span_node: Option<NodeId>,
+    /// Wires routed by the current operation before its span opened
+    /// (flushed into the span when the stall begins, or into a
+    /// zero-length span if the operation never stalls).
+    span_pending: Vec<(u64, Family)>,
+    /// Per-node open span transaction id (0 = none).
+    open_txn: Vec<u64>,
+    /// Begin cycle of each open buffered-write span, keyed by txn.
+    wbuf_begin: HashMap<u64, Cycle>,
     /// Live protocol sanitizer (`Some` when [`MachineBuilder::check`] is
     /// enabled): shares the oracle with the `CheckSink` on the tracer and
     /// receives the state-exposure hooks; its violations land in the
@@ -326,6 +351,7 @@ pub struct MachineBuilder {
     sems: Vec<u64>,
     tracer: Tracer,
     profile: bool,
+    spans: bool,
     check: bool,
 }
 
@@ -380,6 +406,21 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables transaction-level span stitching: a [`ssmp_span::SpanSink`]
+    /// is attached to the tracer (enabling it, unfiltered, if no tracer
+    /// was set) and the folded [`ssmp_span::SpanSet`] lands in
+    /// [`Report::spans`]. Like profiling, span stitching is a pure
+    /// observer — an armed run's simulated behavior is bit-identical to
+    /// an unarmed one.
+    ///
+    /// The span/link events themselves are emitted whenever the tracer is
+    /// on, so a JSONL trace captured without this flag still stitches
+    /// offline (`ssmp spans --in trace.jsonl`) into the same report.
+    pub fn spans(mut self, on: bool) -> Self {
+        self.spans = on;
+        self
+    }
+
     /// Arms the runtime protocol sanitizer: a [`ssmp_check::CheckSink`] is
     /// attached to the tracer (enabling it, unfiltered, if no tracer was
     /// set) and any [`ssmp_check::ViolationReport`]s land in
@@ -407,6 +448,15 @@ impl MachineBuilder {
             m.tracer.add_sink(sink);
             m.profile = Some(handle);
         }
+        // `SSMP_SPANS` force-enables span stitching the same way.
+        if self.spans || std::env::var_os("SSMP_SPANS").is_some() {
+            if !m.tracer.is_on() {
+                m.tracer = Tracer::new(ssmp_engine::TraceFilter::all());
+            }
+            let (sink, handle) = ssmp_span::SpanSink::new();
+            m.tracer.add_sink(sink);
+            m.spans = Some(handle);
+        }
         // `SSMP_CHECK` force-arms the sanitizer the same way.
         if self.check || std::env::var_os("SSMP_CHECK").is_some() {
             if !m.tracer.is_on() {
@@ -430,6 +480,7 @@ impl Machine {
             sems: Vec::new(),
             tracer: Tracer::off(),
             profile: false,
+            spans: false,
             check: false,
         }
     }
@@ -534,6 +585,14 @@ impl Machine {
             deadlock: None,
             tracer: Tracer::off(),
             profile: None,
+            spans: None,
+            txn_ctr: 0,
+            wire_txn: HashMap::new(),
+            cause: 0,
+            span_node: None,
+            span_pending: Vec::new(),
+            open_txn: vec![0; n],
+            wbuf_begin: HashMap::new(),
             check: None,
             metrics: cfg.metrics_interval.map(|iv| {
                 let iv = iv.max(1);
@@ -849,6 +908,7 @@ impl Machine {
             }
         }
         let profile = self.profile.as_ref().map(|h| h.borrow().clone());
+        let spans = self.spans.as_ref().map(|h| h.borrow().clone());
         let violations = match &self.check {
             Some(c) => {
                 let mut checker = c.borrow_mut();
@@ -897,6 +957,7 @@ impl Machine {
             net_packets: net_stats.packets,
             net_words: net_stats.words,
             net_queueing: net_stats.total_queueing,
+            net_max_transit: net_stats.max_transit,
             stalled_cycles: self.nodes.iter().map(|n| n.stalled_cycles).collect(),
             ops_completed: self.nodes.iter().map(|n| n.ops_completed).collect(),
             lock_cache_overflows: self.nodes.iter().map(|n| n.lock_cache.overflows).sum(),
@@ -906,6 +967,7 @@ impl Machine {
             metrics: self.metrics.map(|m| m.series),
             deadlock: self.deadlock,
             profile,
+            spans,
             violations,
             fault_log: self.net.fault_log().map(<[_]>::to_vec).unwrap_or_default(),
         };
@@ -1101,6 +1163,33 @@ impl Machine {
                 id,
                 arg: dst_mod as u64,
             });
+            // Span causality: a wire routed by an executing operation
+            // belongs to that operation's span (deferred until the span
+            // opens); a wire routed while processing a delivery inherits
+            // the delivered wire's transaction.
+            let owner = match self.span_node {
+                Some(sn) => {
+                    if self.open_txn[sn] != 0 {
+                        self.open_txn[sn]
+                    } else {
+                        self.span_pending.push((id, Self::msg_family(&p)));
+                        0
+                    }
+                }
+                None => self.cause,
+            };
+            if owner != 0 {
+                self.wire_txn.insert(id, owner);
+                self.tracer.emit(TraceEvent {
+                    cycle: depart,
+                    node: Self::trace_node(src),
+                    family: Self::msg_family(&p),
+                    kind: Kind::Link,
+                    detail: "wire",
+                    id,
+                    arg: owner,
+                });
+            }
         }
         self.route_wire(depart, id, p);
     }
@@ -1181,6 +1270,17 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn deliver(&mut self, id: u64, p: Proto) {
+        // Span causality: the delivered wire's transaction (if linked)
+        // becomes the cause of every wire this delivery routes in turn —
+        // replies, forwards, and fan-out inherit the requester's span.
+        // The mapping is consumed on first arrival, so duplicate copies
+        // (dedup'd below) cannot re-link.
+        self.cause = self.wire_txn.remove(&id).unwrap_or(0);
+        self.deliver_inner(id, p);
+        self.cause = 0;
+    }
+
+    fn deliver_inner(&mut self, id: u64, p: Proto) {
         // Faults and retransmission can put a second copy of a message on
         // the wire; the first copy to arrive wins, later ones are dropped
         // here so protocol controllers see exactly-once delivery.
@@ -1495,6 +1595,23 @@ impl Machine {
                 id: 0,
                 arg: 0,
             });
+            // Every stall opens a span typed by the attribution tag; the
+            // wires the stalling operation already routed become the
+            // span's own messages.
+            let txn = self.next_txn();
+            self.open_txn[node] = txn;
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: node as i64,
+                family: Family::Node,
+                kind: Kind::SpanBegin,
+                detail: tag,
+                id: txn,
+                arg: 0,
+            });
+            if self.span_node == Some(node) {
+                self.flush_span_pending(txn, now, node);
+            }
         }
         self.nodes[node].stall(w, now);
     }
@@ -1547,15 +1664,30 @@ impl Machine {
     fn unstall_node(&mut self, node: NodeId, now: Cycle) {
         if self.tracer.is_on() && self.nodes[node].waiting != Waiting::None {
             let n = &self.nodes[node];
+            let cause = Node::cause(n.waiting);
+            let dur = n.stall_start.map_or(0, |s| now.saturating_sub(s));
             self.tracer.emit(TraceEvent {
                 cycle: now,
                 node: node as i64,
                 family: Family::Node,
                 kind: Kind::StallEnd,
-                detail: Node::cause(n.waiting),
+                detail: cause,
                 id: 0,
-                arg: n.stall_start.map_or(0, |s| now.saturating_sub(s)),
+                arg: dur,
             });
+            let txn = self.open_txn[node];
+            if txn != 0 {
+                self.open_txn[node] = 0;
+                self.tracer.emit(TraceEvent {
+                    cycle: now,
+                    node: node as i64,
+                    family: Family::Node,
+                    kind: Kind::SpanEnd,
+                    detail: cause,
+                    id: txn,
+                    arg: dur,
+                });
+            }
         }
         self.nodes[node].unstall(now);
     }
@@ -1661,6 +1793,7 @@ impl Machine {
                     }
                 }
                 RicEffect::WriteDone { node, wid } => {
+                    let txn = self.nodes[node].wbuf.txn_of(wid);
                     let acked = self.nodes[node].wbuf.ack(wid);
                     debug_assert!(acked, "write-ack for unknown wid");
                     self.wbuf_msgs[node].remove(&wid);
@@ -1675,6 +1808,18 @@ impl Machine {
                             id: wid,
                             arg: self.nodes[node].wbuf.pending() as u64,
                         });
+                        if txn != 0 {
+                            let begin = self.wbuf_begin.remove(&txn).unwrap_or(t);
+                            self.tracer.emit(TraceEvent {
+                                cycle: t,
+                                node: node as i64,
+                                family: Family::Node,
+                                kind: Kind::SpanEnd,
+                                detail: "wbuf.write",
+                                id: txn,
+                                arg: t.saturating_sub(begin),
+                            });
+                        }
                     }
                     if self.nodes[node].wbuf.is_drained()
                         && self.nodes[node].waiting == Waiting::Flush
@@ -1756,12 +1901,16 @@ impl Machine {
                             phase: TtsPhase::Fetch,
                         }) if ctx == WbiCtx::Lock(lock) => {
                             self.unstall_node(node, t);
-                            self.with_tracking(node, t, |m| m.tts_try(node, lock, t));
+                            self.with_tracking(node, t, |m| {
+                                m.with_span(node, t, "lock", |m| m.tts_try(node, lock, t))
+                            });
                         }
                         Some(SyncCtx::SwSpinFlag) if ctx == WbiCtx::Flag => {
                             self.unstall_node(node, t);
                             self.nodes[node].sync = None;
-                            self.with_tracking(node, t, |m| m.sw_spin_flag(node, t));
+                            self.with_tracking(node, t, |m| {
+                                m.with_span(node, t, "barrier", |m| m.sw_spin_flag(node, t))
+                            });
                         }
                         _ => {
                             if self.nodes[node].spin_global.is_some()
@@ -1905,9 +2054,15 @@ impl Machine {
         if let Some(m) = self.nodes[node].injected.pop_front() {
             match m {
                 MicroOp::Op(op) => self.execute(node, op, now),
-                MicroOp::SwArrive => self.sw_arrive(node, now),
-                MicroOp::SwWriteFlag => self.sw_write_flag(node, now),
-                MicroOp::SwSpinFlag => self.sw_spin_flag(node, now),
+                MicroOp::SwArrive => {
+                    self.with_span(node, now, "barrier", |m| m.sw_arrive(node, now))
+                }
+                MicroOp::SwWriteFlag => {
+                    self.with_span(node, now, "barrier", |m| m.sw_write_flag(node, now))
+                }
+                MicroOp::SwSpinFlag => {
+                    self.with_span(node, now, "barrier", |m| m.sw_spin_flag(node, now))
+                }
             }
             return;
         }
@@ -1953,7 +2108,86 @@ impl Machine {
         }
     }
 
+    /// Draws a fresh span transaction id.
+    fn next_txn(&mut self) -> u64 {
+        self.txn_ctr += 1;
+        self.txn_ctr
+    }
+
+    /// Links every wire the current operation routed before its span
+    /// opened to `txn` (emitting the `Link` events after the span's
+    /// `SpanBegin`, which the stitcher requires).
+    fn flush_span_pending(&mut self, txn: u64, now: Cycle, node: NodeId) {
+        for (id, family) in std::mem::take(&mut self.span_pending) {
+            self.wire_txn.insert(id, txn);
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: node as i64,
+                family,
+                kind: Kind::Link,
+                detail: "wire",
+                id,
+                arg: txn,
+            });
+        }
+    }
+
+    /// Runs a node-level action under span attribution: wires it routes
+    /// before stalling are collected and linked to the span its stall
+    /// opens. An action that routes traffic but never stalls (a BC
+    /// unlock, a BC `sem.v`) gets a zero-length span labelled `label` so
+    /// its messages still have an owner — the causal anchor for the
+    /// wakeups they trigger elsewhere. Nested calls are pass-throughs,
+    /// and the delivery cause is masked for the duration: traffic the
+    /// node initiates belongs to its new span, not to the wire that
+    /// happened to wake it.
+    fn with_span(
+        &mut self,
+        node: NodeId,
+        now: Cycle,
+        label: &'static str,
+        f: impl FnOnce(&mut Self),
+    ) {
+        if !self.tracer.is_on() || self.span_node.is_some() {
+            f(self);
+            return;
+        }
+        let caused_by = self.cause;
+        self.cause = 0;
+        self.span_node = Some(node);
+        f(self);
+        self.span_node = None;
+        self.cause = caused_by;
+        if !self.span_pending.is_empty() {
+            let txn = self.next_txn();
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: node as i64,
+                family: Family::Node,
+                kind: Kind::SpanBegin,
+                detail: label,
+                id: txn,
+                arg: 0,
+            });
+            self.flush_span_pending(txn, now, node);
+            self.tracer.emit(TraceEvent {
+                cycle: now,
+                node: node as i64,
+                family: Family::Node,
+                kind: Kind::SpanEnd,
+                detail: label,
+                id: txn,
+                arg: 0,
+            });
+        }
+    }
+
     fn execute(&mut self, node: NodeId, op: Op, now: Cycle) {
+        let label = Self::op_name(&op);
+        self.with_span(node, now, label, |m| m.execute_inner(node, op, now));
+    }
+
+    fn execute_inner(&mut self, node: NodeId, op: Op, now: Cycle) {
         if self.tracer.is_on() {
             self.tracer.emit(TraceEvent {
                 cycle: now,
@@ -2179,6 +2413,21 @@ impl Machine {
                                         detail: "wbuf.push",
                                         id: wid,
                                         arg: self.nodes[node].wbuf.pending() as u64,
+                                    });
+                                    // The buffered write's own span: open
+                                    // now, closed by the write-ack. Its
+                                    // wires are linked at issue time.
+                                    let txn = self.next_txn();
+                                    self.nodes[node].wbuf.tag_txn(wid, txn);
+                                    self.wbuf_begin.insert(txn, now);
+                                    self.tracer.emit(TraceEvent {
+                                        cycle: now,
+                                        node: node as i64,
+                                        family: Family::Node,
+                                        kind: Kind::SpanBegin,
+                                        detail: "wbuf.write",
+                                        id: txn,
+                                        arg: 0,
                                     });
                                 }
                                 self.schedule_wbuf_issue(node, now);
@@ -2637,7 +2886,11 @@ impl Machine {
         self.counters.bump_id(CounterId::WbufIssued);
         let msgs = self.ric[w.addr.block].write_global(node, w.addr.word, w.value, w.id);
         let mark = self.track_buf.len();
+        // Wires of a buffered write belong to its wbuf span (tagged at
+        // enqueue), not to whatever context scheduled the issue.
+        self.cause = w.txn;
         self.route_all_ric(now, w.addr.block, msgs);
+        self.cause = 0;
         if self.cfg.retry.enabled {
             // Remember this write's wire messages until its ack retires it
             // — the retransmission set for a flush stall.
@@ -2834,10 +3087,12 @@ impl Machine {
             return;
         }
         match self.nodes[node].sync {
-            Some(SyncCtx::TtsLock { lock, .. }) => self.tts_try(node, lock, now),
+            Some(SyncCtx::TtsLock { lock, .. }) => {
+                self.with_span(node, now, "lock", |m| m.tts_try(node, lock, now))
+            }
             Some(SyncCtx::SwSpinFlag) => {
                 self.nodes[node].sync = None;
-                self.sw_spin_flag(node, now);
+                self.with_span(node, now, "barrier", |m| m.sw_spin_flag(node, now));
             }
             other => panic!("retry with no spin context: {other:?}"),
         }

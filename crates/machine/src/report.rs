@@ -22,6 +22,9 @@ pub struct Report {
     pub net_words: u64,
     /// Total network queueing delay (contention) in cycles.
     pub net_queueing: u64,
+    /// Worst single-packet network transit in cycles (tail at the wire
+    /// level; the span tracer attributes its transaction-level analogue).
+    pub net_max_transit: u64,
     /// Per-node stalled cycles.
     pub stalled_cycles: Vec<Cycle>,
     /// Per-node completed operation counts.
@@ -63,6 +66,10 @@ pub struct Report {
     /// when the machine was built with `.profile(true)` or the
     /// `SSMP_PROFILE` environment variable was set).
     pub profile: Option<ssmp_profile::Profile>,
+    /// Per-transaction spans stitched live during the run (`Some` only
+    /// when the machine was built with `.spans(true)` or the
+    /// `SSMP_SPANS` environment variable was set).
+    pub spans: Option<ssmp_span::SpanSet>,
     /// Invariant violations found by the protocol sanitizer (always empty
     /// unless the machine was built with `.check(true)` or `SSMP_CHECK`
     /// was set — and then still empty on a correct run, so an armed
@@ -220,8 +227,8 @@ impl Report {
         }
         let _ = writeln!(
             s,
-            "network: {} packets, {} words, {} queueing cycles",
-            self.net_packets, self.net_words, self.net_queueing
+            "network: {} packets, {} words, {} queueing cycles, worst transit {}",
+            self.net_packets, self.net_words, self.net_queueing, self.net_max_transit
         );
         let _ = writeln!(s, "messages: {}", self.total_messages());
         if let Some(mean) = self.lock_wait.mean() {
@@ -253,6 +260,9 @@ impl Report {
         }
         if let Some(p) = &self.profile {
             s.push_str(&p.render_table(8));
+        }
+        if let Some(sp) = &self.spans {
+            s.push_str(&sp.render_table(8));
         }
         s
     }

@@ -73,6 +73,7 @@ impl BusNetwork {
         self.stats.words += words as u64;
         self.stats.total_transit += arrival - depart;
         self.stats.total_queueing += start - depart;
+        self.stats.max_transit = self.stats.max_transit.max(arrival - depart);
         arrival
     }
 }
@@ -121,6 +122,7 @@ impl IdealNetwork {
         self.stats.packets += 1;
         self.stats.words += words.max(1) as u64;
         self.stats.total_transit += self.latency;
+        self.stats.max_transit = self.stats.max_transit.max(self.latency);
         depart + self.latency
     }
 }

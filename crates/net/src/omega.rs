@@ -37,6 +37,10 @@ pub struct NetStats {
     pub total_transit: u64,
     /// Sum over packets of queueing delay (transit − uncontended transit).
     pub total_queueing: u64,
+    /// Worst single-packet transit (arrival − departure), in cycles — the
+    /// network-layer tail that the span tracer's per-transaction `net`
+    /// segment decomposes by cause.
+    pub max_transit: u64,
 }
 
 /// An Ω network connecting `n = radix^stages` ports.
@@ -193,6 +197,7 @@ impl OmegaNetwork {
         self.stats.total_transit += arrival - depart;
         self.stats.total_queueing +=
             (arrival - depart).saturating_sub(self.uncontended_transit(words));
+        self.stats.max_transit = self.stats.max_transit.max(arrival - depart);
         arrival
     }
 
@@ -289,6 +294,16 @@ mod tests {
         let mut n = net(16);
         let arr = n.send(10, 0, 9, 4);
         assert_eq!(arr - 10, n.uncontended_transit(4));
+    }
+
+    #[test]
+    fn max_transit_tracks_the_worst_packet() {
+        // A hotspot burst: the first packet sees uncontended latency, the
+        // last queues behind all the others — max_transit records it.
+        let mut n = net(16);
+        let worst = (1..16).map(|s| n.send(0, s, 0, 1)).max().unwrap();
+        assert_eq!(n.stats().max_transit, worst);
+        assert!(n.stats().max_transit > n.uncontended_transit(1));
     }
 
     #[test]

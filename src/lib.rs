@@ -34,5 +34,6 @@ pub use ssmp_machine as machine;
 pub use ssmp_mem as mem;
 pub use ssmp_net as net;
 pub use ssmp_profile as profile;
+pub use ssmp_span as span;
 pub use ssmp_wbi as wbi;
 pub use ssmp_workload as workload;
