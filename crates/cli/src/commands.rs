@@ -11,10 +11,11 @@ use crate::args::Flags;
 /// CLI usage text.
 pub const USAGE: &str = "\
 usage:
-  ssmp run   --workload <wl> --config <cfg> [--nodes N] [--grain g] [--tasks T]
-             [--seed S] [--topology omega|bus|ideal] [--queue wheel|heap]
-             [--json]
-  ssmp sweep [--points <spec>] [--workload <wl> --config <cfg>[,cfg...]
+  ssmp run   --workload <wl> (--protocol <p> | --config <cfg>) [--nodes N]
+             [--grain g] [--tasks T] [--seed S]
+             [--topology omega|bus|ideal] [--queue wheel|heap] [--json]
+  ssmp sweep [--points <spec>] [--workload <wl>
+             (--protocol <p>[,p...] | --config <cfg>[,cfg...])
              [--nodes 4,8,16,...]] [--jobs N] [--seed S] [--quick]
              [--grain g] [--tasks T] [--json] [--out <file>]
   ssmp trace capture --workload <wl> [--nodes N] [--grain g] [--tasks T]
@@ -91,12 +92,22 @@ sanitizing / fuzzing:
 workloads: work-queue | sync | solver | fft | hotspot | sor
   hotspot: [--hot h] [--hot-lock]   route hot refs through lock 0
   sor:     [--packed]               false-sharing boundary layout
-configs:   wbi | wbi-backoff | cbl | sc-cbl | bc-cbl
+protocols: ric | wbi | mesi | dragon
+  --protocol picks the shared-data coherence backend by name (run, sweep,
+  program, trace replay): the paper's reader-initiated scheme, the WBI
+  write-invalidate directory, snooping MESI, or the Dragon write-update
+  protocol. Each uses TTS locks and the software barrier, so the data
+  protocols compare like-for-like.
+configs:   wbi | wbi-backoff | cbl | sc-cbl | bc-cbl | ric | mesi | dragon
+  --config is the older spelling (deprecated in favour of --protocol for
+  the four coherence schemes); it keeps working, and remains the only way
+  to pick the lock-centric presets (wbi-backoff, cbl, sc-cbl, bc-cbl).
 grains:    fine | medium | coarse";
 
 const VALUED: &[&str] = &[
     "workload",
     "config",
+    "protocol",
     "nodes",
     "grain",
     "tasks",
@@ -165,8 +176,38 @@ pub(crate) fn parse_config(name: &str, nodes: usize) -> Result<MachineConfig, St
         "cbl" => MachineConfig::cbl(nodes),
         "sc-cbl" => MachineConfig::sc_cbl(nodes),
         "bc-cbl" => MachineConfig::bc_cbl(nodes),
+        // coherence-protocol presets (the `--protocol` names; accepted as
+        // configs too so sweep artifacts can mix them with lock presets)
+        "ric" => MachineConfig::ric(nodes),
+        "mesi" => MachineConfig::mesi(nodes),
+        "dragon" => MachineConfig::dragon(nodes),
         other => return Err(format!("unknown config '{other}'")),
     })
+}
+
+/// The `--protocol` names: one per coherence backend.
+pub(crate) const PROTOCOLS: &[&str] = &["ric", "wbi", "mesi", "dragon"];
+
+/// Rejects a `--protocol` value that is not a coherence backend name
+/// (unlike `--config`, which also accepts the lock-centric presets).
+fn check_protocol(name: &str) -> Result<(), String> {
+    if PROTOCOLS.contains(&name) {
+        Ok(())
+    } else {
+        Err(format!("unknown protocol '{name}' (ric|wbi|mesi|dragon)"))
+    }
+}
+
+/// Resolves the configuration name from `--protocol` (preferred) or the
+/// older `--config` spelling; the conflict table rejects giving both.
+fn config_selector(f: &Flags) -> Result<&str, String> {
+    match f.get("protocol") {
+        Some(p) => {
+            check_protocol(p)?;
+            Ok(p)
+        }
+        None => f.require("config"),
+    }
 }
 
 pub(crate) fn parse_grain(name: &str) -> Result<Grain, String> {
@@ -199,6 +240,12 @@ const CONFLICTS: &[(&str, &str, &str)] = &[
         "trace-filter",
         "--check folds every event into the sanitizer's oracles (the filter would \
          blind them and fake violations); drop --trace-filter",
+    ),
+    (
+        "protocol",
+        "config",
+        "--protocol is the one coherence-selection surface and --config is its \
+         older spelling; give either, not both",
     ),
     (
         "repro",
@@ -430,6 +477,7 @@ fn print_report(r: &Report, json: bool) {
             .map(|(k, v)| (k.to_string(), Json::num(*v)))
             .collect();
         let mut fields = vec![
+            ("protocol".into(), Json::str(r.protocol)),
             ("completion_cycles".into(), Json::num(r.completion)),
             ("net_packets".into(), Json::num(r.net_packets)),
             ("net_words".into(), Json::num(r.net_words)),
@@ -523,7 +571,7 @@ fn run(f: &Flags) -> Result<(), String> {
     }
     let nodes = f.num::<usize>("nodes", 16)?;
     let workload = f.require("workload")?;
-    let mut cfg = parse_config(f.require("config")?, nodes)?;
+    let mut cfg = parse_config(config_selector(f)?, nodes)?;
     let sim = SimFlags::parse(f)?;
     sim.apply(&mut cfg)?;
     adapt_geometry(&mut cfg, workload, nodes);
@@ -707,11 +755,22 @@ fn sweep(f: &Flags) -> Result<(), String> {
         packed: f.has("packed"),
     };
 
+    let protocol_configs = match f.get("protocol") {
+        Some(_) => {
+            let ps = f.list("protocol", &[]);
+            for p in &ps {
+                check_protocol(p)?;
+            }
+            Some(ps)
+        }
+        None => None,
+    };
     let spec = match f.get("points") {
         Some(s) => parse_points_spec(s, quick)?,
         None => SweepSpec::Grid {
             workload: f.require("workload")?.to_string(),
-            configs: f.list("config", &["wbi", "cbl", "bc-cbl"]),
+            configs: protocol_configs
+                .unwrap_or_else(|| f.list("config", &["wbi", "cbl", "bc-cbl"])),
             nodes: parse_nodes(&f.list(
                 "nodes",
                 if quick {
@@ -964,7 +1023,7 @@ fn program(f: &Flags) -> Result<(), String> {
     }
     let mut streams = progs;
     streams.resize_with(nodes, || vec![Op::Barrier; barriers]);
-    let mut cfg = parse_config(f.require("config")?, nodes)?;
+    let mut cfg = parse_config(config_selector(f)?, nodes)?;
     let sim = SimFlags::parse(f)?;
     sim.apply(&mut cfg)?;
     cfg.record_reads = true;
@@ -1044,7 +1103,7 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
     let path = f.require("in")?;
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let trace = Trace::from_json(&text)?;
-    let mut cfg = parse_config(f.require("config")?, trace.nodes())?;
+    let mut cfg = parse_config(config_selector(f)?, trace.nodes())?;
     let sim = SimFlags::parse(f)?;
     sim.apply(&mut cfg)?;
     // size the lock space from the trace contents
@@ -1269,6 +1328,59 @@ mod tests {
     fn run_rejects_bad_config() {
         let e = dispatch(&v(&["run", "--workload", "sync", "--config", "zzz"])).unwrap_err();
         assert!(e.contains("unknown config"));
+    }
+
+    #[test]
+    fn run_accepts_every_protocol() {
+        for p in PROTOCOLS {
+            dispatch(&v(&[
+                "run",
+                "--workload",
+                "sync",
+                "--protocol",
+                p,
+                "--nodes",
+                "4",
+            ]))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn run_rejects_unknown_protocol() {
+        let e = dispatch(&v(&["run", "--workload", "sync", "--protocol", "moesi"])).unwrap_err();
+        assert!(e.contains("unknown protocol"), "{e}");
+        assert!(e.contains("ric|wbi|mesi|dragon"), "{e}");
+    }
+
+    #[test]
+    fn protocol_and_config_flags_conflict() {
+        let e = dispatch(&v(&[
+            "run",
+            "--workload",
+            "sync",
+            "--protocol",
+            "mesi",
+            "--config",
+            "cbl",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--protocol") && e.contains("--config"), "{e}");
+    }
+
+    #[test]
+    fn sweep_accepts_protocol_list() {
+        dispatch(&v(&[
+            "sweep",
+            "--workload",
+            "sync",
+            "--protocol",
+            "ric,mesi,dragon",
+            "--nodes",
+            "4",
+            "--quick",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Protocol-zoo determinism at the CLI boundary (DESIGN.md §14): every
+//! coherence backend behind the `CoherenceProtocol` trait must be as
+//! deterministic as the simulator it plugs into. Three invariances are
+//! enforced for all four protocols:
+//!
+//! 1. **Jobs invariance** — `ssmp-sweep-v1` artifacts are byte-identical
+//!    for `--jobs 1` and `--jobs 8` (per-point seeds derive from the
+//!    master seed and point index, never from scheduling).
+//! 2. **Sanitizer transparency** — an armed (`--check`) clean run's
+//!    `--json` report is byte-identical to the unarmed run's. The
+//!    sanitizer observes; it never perturbs.
+//! 3. **Zero violations** — MESI and Dragon complete every paper
+//!    workload with the sanitizer armed and nothing to report.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const PROTOCOLS: &[&str] = &["ric", "wbi", "mesi", "dragon"];
+
+fn run_cli(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_ssmp-cli"))
+        .args(args)
+        .output()
+        .expect("spawn ssmp-cli");
+    assert!(
+        out.status.success(),
+        "ssmp-cli {:?} failed:\n{}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn sweep_artifacts_are_jobs_invariant_for_every_protocol() {
+    // One sweep per paper workload covering all four backends at once;
+    // the artifact must not depend on how points were fanned out.
+    let dir = std::env::temp_dir();
+    for wl in ["work-queue", "solver", "sor"] {
+        let artifact = |jobs: &str| -> Vec<u8> {
+            let path: PathBuf = dir.join(format!(
+                "ssmp-protocol-determinism-{}-{wl}-j{jobs}.json",
+                std::process::id()
+            ));
+            let path_s = path.to_str().expect("utf-8 temp path");
+            run_cli(&[
+                "sweep",
+                "--workload",
+                wl,
+                "--protocol",
+                "ric,wbi,mesi,dragon",
+                "--nodes",
+                "8",
+                "--quick",
+                "--jobs",
+                jobs,
+                "--json",
+                "--out",
+                path_s,
+            ]);
+            let bytes = std::fs::read(&path).expect("sweep artifact written");
+            let _ = std::fs::remove_file(&path);
+            bytes
+        };
+        let j1 = artifact("1");
+        let j8 = artifact("8");
+        assert!(
+            String::from_utf8_lossy(&j1).contains("\"schema\":\"ssmp-sweep-v1\""),
+            "artifact must carry the ssmp-sweep-v1 schema tag"
+        );
+        assert_eq!(
+            j1, j8,
+            "{wl}: --jobs 1 and --jobs 8 sweep artifacts must serialize identically"
+        );
+    }
+}
+
+#[test]
+fn armed_sanitizer_run_reports_are_byte_identical_to_unarmed() {
+    for wl in ["work-queue", "solver", "sor"] {
+        for p in PROTOCOLS {
+            let base = [
+                "run",
+                "--workload",
+                wl,
+                "--protocol",
+                p,
+                "--nodes",
+                "8",
+                "--json",
+            ];
+            let unarmed = run_cli(&base);
+            let mut armed_args = base.to_vec();
+            armed_args.push("--check");
+            let armed = run_cli(&armed_args);
+            assert!(!unarmed.is_empty(), "{wl}/{p}: no JSON emitted");
+            assert_eq!(
+                unarmed, armed,
+                "{wl}/{p}: armed (--check) report differs from unarmed"
+            );
+        }
+    }
+}
+
+#[test]
+fn json_report_leads_with_the_chosen_protocol() {
+    for p in PROTOCOLS {
+        let out = run_cli(&[
+            "run",
+            "--workload",
+            "sync",
+            "--protocol",
+            p,
+            "--nodes",
+            "4",
+            "--json",
+        ]);
+        let s = String::from_utf8(out).expect("utf-8 JSON");
+        assert!(
+            s.starts_with(&format!("{{\"protocol\":\"{p}\",")),
+            "{p}: report must lead with the protocol field, got: {}",
+            &s[..s.len().min(80)]
+        );
+    }
+}
+
+#[test]
+fn mesi_and_dragon_complete_every_paper_workload_clean() {
+    for p in ["mesi", "dragon"] {
+        for wl in ["work-queue", "sync", "solver", "fft", "sor"] {
+            let out = run_cli(&[
+                "run",
+                "--workload",
+                wl,
+                "--protocol",
+                p,
+                "--nodes",
+                "8",
+                "--check",
+            ]);
+            let s = String::from_utf8_lossy(&out);
+            assert!(
+                s.contains("completion:"),
+                "{wl}/{p}: run did not complete:\n{s}"
+            );
+            assert!(
+                s.contains(&format!("protocol: {p}")),
+                "{wl}/{p}: summary must name the protocol:\n{s}"
+            );
+            assert!(
+                !s.contains("VIOLATION"),
+                "{wl}/{p}: sanitizer reported a violation:\n{s}"
+            );
+            assert!(!s.contains("DEADLOCK"), "{wl}/{p}: watchdog fired:\n{s}");
+        }
+    }
+}

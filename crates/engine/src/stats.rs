@@ -41,6 +41,10 @@ macro_rules! counters {
             pub const MSG_WBI_PREFIX: &str = "msg.wbi.";
             /// Prefix of RIC protocol message counters.
             pub const MSG_RIC_PREFIX: &str = "msg.ric.";
+            /// Prefix of snooping-MESI protocol message counters.
+            pub const MSG_MESI_PREFIX: &str = "msg.mesi.";
+            /// Prefix of Dragon protocol message counters.
+            pub const MSG_DRAGON_PREFIX: &str = "msg.dragon.";
             /// Prefix of hardware-barrier message counters.
             pub const MSG_BAR_PREFIX: &str = "msg.bar.";
         }
@@ -75,6 +79,10 @@ counters! {
     BarrierSwNotify, BARRIER_SW_NOTIFY => "barrier.sw.notify";
     /// Software barrier episode passed.
     BarrierSwPassed, BARRIER_SW_PASSED => "barrier.sw.passed";
+    /// Dragon owner copy downgraded to shared-clean (read elsewhere).
+    DragonDowngraded, DRAGON_DOWNGRADED => "dragon.downgraded";
+    /// Dragon multicast update applied at a sharer's copy.
+    DragonUpdateApplied, DRAGON_UPDATE_APPLIED => "dragon.update_applied";
     /// Write-buffer flush forced by CP-Synch semantics.
     FlushBeforeCpSynch, FLUSH_BEFORE_CP_SYNCH => "flush.before_cp_synch";
     /// Explicit FlushBuffer op completed.
@@ -99,6 +107,10 @@ counters! {
     LockTtsSpin, LOCK_TTS_SPIN => "lock.tts.spin";
     /// Test&set attempt issued.
     LockTtsTestAndSet, LOCK_TTS_TEST_AND_SET => "lock.tts.test_and_set";
+    /// MESI owner line downgraded to shared (read elsewhere).
+    MesiDowngraded, MESI_DOWNGRADED => "mesi.downgraded";
+    /// MESI invalidation applied at a cache.
+    MesiInvalidated, MESI_INVALIDATED => "mesi.invalidated";
     /// Hardware barrier arrival acknowledgement.
     MsgBarAck, MSG_BAR_ACK => "msg.bar.ack";
     /// Hardware barrier arrival.
@@ -123,6 +135,52 @@ counters! {
     MsgCblRequest, MSG_CBL_REQUEST => "msg.cbl.request";
     /// CBL queue splice message.
     MsgCblSplice, MSG_CBL_SPLICE => "msg.cbl.splice";
+    /// Dragon fetch forwarded to the exclusive owner.
+    MsgDragonFetch, MSG_DRAGON_FETCH => "msg.dragon.fetch";
+    /// Dragon fetch raced a vanished line; memory already current.
+    MsgDragonFetchMiss, MSG_DRAGON_FETCH_MISS => "msg.dragon.fetch_miss";
+    /// Dragon exclusive-clean fill (sole reader).
+    MsgDragonFillExcl, MSG_DRAGON_FILL_EXCL => "msg.dragon.fill_excl";
+    /// Dragon shared-clean fill.
+    MsgDragonFillShared, MSG_DRAGON_FILL_SHARED => "msg.dragon.fill_shared";
+    /// Dragon owner-to-home data transfer.
+    MsgDragonOwnerData, MSG_DRAGON_OWNER_DATA => "msg.dragon.owner_data";
+    /// Dragon read miss to home memory.
+    MsgDragonRd, MSG_DRAGON_RD => "msg.dragon.rd";
+    /// Dragon word update to home memory (write hit on a shared copy).
+    MsgDragonUpd, MSG_DRAGON_UPD => "msg.dragon.upd";
+    /// Dragon update acknowledged by a sharer.
+    MsgDragonUpdAck, MSG_DRAGON_UPD_ACK => "msg.dragon.upd_ack";
+    /// Dragon update complete, back to the writer.
+    MsgDragonUpdDone, MSG_DRAGON_UPD_DONE => "msg.dragon.upd_done";
+    /// Dragon write miss: fill plus word update in one transaction.
+    MsgDragonUpdFill, MSG_DRAGON_UPD_FILL => "msg.dragon.upd_fill";
+    /// Dragon update multicast to a sharer's copy.
+    MsgDragonUpdPush, MSG_DRAGON_UPD_PUSH => "msg.dragon.upd_push";
+    /// MESI bus read (read miss).
+    MsgMesiBusRd, MSG_MESI_BUS_RD => "msg.mesi.bus_rd";
+    /// MESI bus read-exclusive (write miss).
+    MsgMesiBusRdx, MSG_MESI_BUS_RDX => "msg.mesi.bus_rdx";
+    /// MESI bus upgrade (write hit on a shared copy).
+    MsgMesiBusUpgr, MSG_MESI_BUS_UPGR => "msg.mesi.bus_upgr";
+    /// MESI exclusive data reply.
+    MsgMesiDataExcl, MSG_MESI_DATA_EXCL => "msg.mesi.data_excl";
+    /// MESI exclusive-clean data reply (sole reader, 'E' grant).
+    MsgMesiDataExclClean, MSG_MESI_DATA_EXCL_CLEAN => "msg.mesi.data_excl_clean";
+    /// MESI shared data reply.
+    MsgMesiDataShared, MSG_MESI_DATA_SHARED => "msg.mesi.data_shared";
+    /// MESI fetch forwarded to the owner.
+    MsgMesiFetch, MSG_MESI_FETCH => "msg.mesi.fetch";
+    /// MESI fetch raced a vanished line; memory already current.
+    MsgMesiFetchMiss, MSG_MESI_FETCH_MISS => "msg.mesi.fetch_miss";
+    /// MESI snoop invalidation (broadcast to every other node).
+    MsgMesiInv, MSG_MESI_INV => "msg.mesi.inv";
+    /// MESI snoop invalidation acknowledged.
+    MsgMesiInvAck, MSG_MESI_INV_ACK => "msg.mesi.inv_ack";
+    /// MESI owner-to-home data transfer.
+    MsgMesiOwnerData, MSG_MESI_OWNER_DATA => "msg.mesi.owner_data";
+    /// MESI ownership-only upgrade grant.
+    MsgMesiUpgradeAck, MSG_MESI_UPGRADE_ACK => "msg.mesi.upgrade_ack";
     /// Private-memory miss traffic (request or fill).
     MsgPriv, MSG_PRIV => "msg.priv";
     /// RIC update-list head change.

@@ -46,11 +46,15 @@ pub enum Family {
     Node,
     /// Interconnect-level events (faults, dedup).
     Net,
+    /// Snooping MESI write-invalidate coherence (data blocks).
+    Mesi,
+    /// Dragon write-update coherence (data blocks).
+    Dragon,
 }
 
 impl Family {
     /// All families, in declaration order.
-    pub const ALL: [Family; 8] = [
+    pub const ALL: [Family; 10] = [
         Family::Wbi,
         Family::Ric,
         Family::Cbl,
@@ -59,6 +63,8 @@ impl Family {
         Family::Priv,
         Family::Node,
         Family::Net,
+        Family::Mesi,
+        Family::Dragon,
     ];
 
     /// The stable token used in trace files and `--trace-filter`.
@@ -72,6 +78,8 @@ impl Family {
             Family::Priv => "priv",
             Family::Node => "node",
             Family::Net => "net",
+            Family::Mesi => "mesi",
+            Family::Dragon => "dragon",
         }
     }
 

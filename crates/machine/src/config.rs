@@ -117,6 +117,24 @@ pub enum DataScheme {
     Ric,
     /// Write-back invalidate directory protocol (the baseline).
     Wbi,
+    /// Snooping MESI: write-invalidate with broadcast snoops — every
+    /// write transaction interrogates every other cache (protocol zoo).
+    Mesi,
+    /// Dragon: write-update — stores to shared lines multicast the new
+    /// word to every cached copy instead of invalidating (protocol zoo).
+    Dragon,
+}
+
+impl DataScheme {
+    /// The stable protocol token (`--protocol` values, report field).
+    pub fn name(self) -> &'static str {
+        match self {
+            DataScheme::Ric => "ric",
+            DataScheme::Wbi => "wbi",
+            DataScheme::Mesi => "mesi",
+            DataScheme::Dragon => "dragon",
+        }
+    }
 }
 
 /// Lock implementation.
@@ -304,6 +322,43 @@ impl MachineConfig {
         )
     }
 
+    /// The `ric` protocol preset: reader-initiated coherence on the same
+    /// software-synchronization substrate as [`MachineConfig::wbi`], so
+    /// `--protocol` comparisons vary only the data-coherence backend.
+    pub fn ric(nodes: usize) -> Self {
+        Self::paper(
+            nodes,
+            DataScheme::Ric,
+            LockScheme::Tts,
+            BarrierScheme::Sw,
+            MemoryModel::Sequential,
+        )
+    }
+
+    /// The `mesi` protocol preset: snooping write-invalidate coherence on
+    /// the [`MachineConfig::wbi`] synchronization substrate.
+    pub fn mesi(nodes: usize) -> Self {
+        Self::paper(
+            nodes,
+            DataScheme::Mesi,
+            LockScheme::Tts,
+            BarrierScheme::Sw,
+            MemoryModel::Sequential,
+        )
+    }
+
+    /// The `dragon` protocol preset: write-update coherence on the
+    /// [`MachineConfig::wbi`] synchronization substrate.
+    pub fn dragon(nodes: usize) -> Self {
+        Self::paper(
+            nodes,
+            DataScheme::Dragon,
+            LockScheme::Tts,
+            BarrierScheme::Sw,
+            MemoryModel::Sequential,
+        )
+    }
+
     /// The paper's `CBL` curve (Figs. 4–5): hardware locks and barriers,
     /// invalidate data coherence, sequential consistency.
     pub fn cbl(nodes: usize) -> Self {
@@ -378,8 +433,29 @@ mod tests {
             MachineConfig::cbl(8),
             MachineConfig::sc_cbl(8),
             MachineConfig::bc_cbl(8),
+            MachineConfig::ric(8),
+            MachineConfig::mesi(8),
+            MachineConfig::dragon(8),
         ] {
             cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn protocol_names_are_stable() {
+        assert_eq!(DataScheme::Ric.name(), "ric");
+        assert_eq!(DataScheme::Wbi.name(), "wbi");
+        assert_eq!(DataScheme::Mesi.name(), "mesi");
+        assert_eq!(DataScheme::Dragon.name(), "dragon");
+        // protocol presets differ only in the data scheme
+        for cfg in [
+            MachineConfig::ric(8),
+            MachineConfig::mesi(8),
+            MachineConfig::dragon(8),
+        ] {
+            assert_eq!(cfg.locks, LockScheme::Tts);
+            assert_eq!(cfg.barrier, BarrierScheme::Sw);
+            assert_eq!(cfg.model, MemoryModel::Sequential);
         }
     }
 

@@ -22,6 +22,9 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+use ssmp_coherence::{
+    CohEffect, CohKind, CohMsg, CoherenceProtocol, DragonBlock, DragonKind, MesiBlock, MesiKind,
+};
 use ssmp_core::addr::{BlockId, NodeId};
 use ssmp_core::barrier::{BarEffect, BarKind, BarMsg, HwBarrier};
 use ssmp_core::cbl::{CblEffect, CblKind, CblMsg, Endpoint, LockQueue};
@@ -37,7 +40,7 @@ use ssmp_engine::{
 };
 use ssmp_mem::{MemModule, PrivAccess, PrivCache, PrivateModel, PrivateOutcome};
 use ssmp_net::{FaultDecision, FaultPlan, FaultyInterconnect, Interconnect, MsgDir, MsgKind};
-use ssmp_wbi::{Backoff, WbiBlock, WbiEffect, WbiMsg};
+use ssmp_wbi::{Backoff, WbiBlock, WbiEffect, WbiKind, WbiMsg};
 
 use crate::config::{
     BarrierScheme, ConfigError, DataScheme, LockScheme, MachineConfig, PlantedBug, PrivateMode,
@@ -75,9 +78,11 @@ enum Proto {
         block: BlockId,
         msg: RicMsg,
     },
-    WbiData {
+    /// Shared-data coherence traffic, whatever the configured backend
+    /// (WBI directory, snooping MESI, or Dragon — see [`DataScheme`]).
+    Coh {
         block: BlockId,
-        msg: WbiMsg,
+        msg: CohMsg,
     },
     WbiLock {
         lock: LockId,
@@ -125,10 +130,12 @@ struct PendingReq {
     msgs: Vec<(u64, Proto)>,
 }
 
-/// Which WBI controller an effect belongs to.
+/// Which WBI controller a sync-substrate effect belongs to. Shared data
+/// blocks go through the [`CoherenceProtocol`] trait instead (see
+/// [`Machine::apply_coh_effects`]); WBI remains the fixed substrate for
+/// TTS lock blocks and the software barrier's release flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WbiCtx {
-    Data(BlockId),
     Lock(LockId),
     Flag,
 }
@@ -198,8 +205,10 @@ pub struct Machine {
     nodes: Vec<Node>,
     /// RIC controllers for shared data blocks (DataScheme::Ric).
     ric: Vec<UpdateList>,
-    /// WBI controllers for shared data blocks (DataScheme::Wbi).
-    wbi: Vec<WbiBlock>,
+    /// Coherence backends for shared data blocks (every non-RIC
+    /// [`DataScheme`]): the WBI directory, snooping MESI, or Dragon,
+    /// behind the one [`CoherenceProtocol`] trait.
+    coh: Vec<Box<dyn CoherenceProtocol>>,
     /// CBL lock queues (LockScheme::Cbl).
     cbl: Vec<LockQueue>,
     /// Contents of CBL lock blocks (travel with the grant).
@@ -324,11 +333,9 @@ const METRIC_COLUMNS: [&str; 13] = [
     "stall.timer",
 ];
 
-/// Fluent, fallible construction of a [`Machine`].
-///
-/// This is the one supported way to assemble a machine; the old
-/// constructor surface (`new`, `try_new`, `with_tracer`, `with_semaphores`)
-/// survives as deprecated shims over it.
+/// Fluent, fallible construction of a [`Machine`]. This is the one way
+/// to assemble a machine; the old constructor surface (`new`, `try_new`,
+/// `with_tracer`, `with_semaphores`) has been removed.
 ///
 /// ```
 /// use ssmp_machine::{Machine, MachineConfig, Op};
@@ -382,6 +389,14 @@ impl MachineBuilder {
     /// Both produce byte-identical reports; see [`QueueKind`].
     pub fn queue(mut self, kind: QueueKind) -> Self {
         self.cfg.queue = kind;
+        self
+    }
+
+    /// Selects the shared-data coherence protocol, overriding whatever the
+    /// preset chose: the paper's reader-initiated scheme, the WBI
+    /// directory, snooping MESI, or Dragon. See [`DataScheme`].
+    pub fn protocol(mut self, p: DataScheme) -> Self {
+        self.cfg.data = p;
         self
     }
 
@@ -485,23 +500,6 @@ impl Machine {
         }
     }
 
-    /// Builds a machine for `workload` under `cfg`.
-    #[deprecated(note = "use Machine::builder(cfg).workload(w).locks(n).build()")]
-    pub fn new(cfg: MachineConfig, workload: Box<dyn Workload>, locks: usize) -> Self {
-        Self::assemble(cfg, workload, locks).expect("invalid machine configuration")
-    }
-
-    /// Builds a machine, reporting an invalid configuration as an error
-    /// instead of panicking.
-    #[deprecated(note = "use Machine::builder(cfg).workload(w).locks(n).build()")]
-    pub fn try_new(
-        cfg: MachineConfig,
-        workload: Box<dyn Workload>,
-        locks: usize,
-    ) -> Result<Self, ConfigError> {
-        Self::assemble(cfg, workload, locks)
-    }
-
     fn assemble(
         cfg: MachineConfig,
         workload: Box<dyn Workload>,
@@ -539,11 +537,21 @@ impl Machine {
             mems: (0..n).map(|_| MemModule::new()).collect(),
             nodes,
             ric: (0..shared).map(|_| UpdateList::new(bw)).collect(),
-            wbi: (0..shared)
-                .map(|_| match (cfg.wbi_sharer_limit, cfg.wbi_mesi) {
-                    (Some(limit), _) => WbiBlock::with_sharer_limit(bw, limit),
-                    (None, true) => WbiBlock::with_mesi(bw),
-                    (None, false) => WbiBlock::new(bw),
+            coh: (0..shared)
+                .map(|_| -> Box<dyn CoherenceProtocol> {
+                    match cfg.data {
+                        DataScheme::Mesi => Box::new(MesiBlock::new(bw, n)),
+                        DataScheme::Dragon => Box::new(DragonBlock::new(bw)),
+                        // RIC keeps a (quiescent) WBI vec too so block
+                        // indexing stays uniform across schemes.
+                        DataScheme::Ric | DataScheme::Wbi => {
+                            Box::new(match (cfg.wbi_sharer_limit, cfg.wbi_mesi) {
+                                (Some(limit), _) => WbiBlock::with_sharer_limit(bw, limit),
+                                (None, true) => WbiBlock::with_mesi(bw),
+                                (None, false) => WbiBlock::new(bw),
+                            })
+                        }
+                    }
                 })
                 .collect(),
             cbl: (0..locks).map(|_| LockQueue::new(bw as u32)).collect(),
@@ -607,21 +615,6 @@ impl Machine {
             events: Queue::new(cfg.queue),
             cfg,
         })
-    }
-
-    /// Attaches an event tracer.
-    #[deprecated(note = "use Machine::builder(cfg).tracer(t)")]
-    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
-        self.tracer = tracer;
-        self
-    }
-
-    /// Provisions hardware counting semaphores with the given initial
-    /// credits.
-    #[deprecated(note = "use Machine::builder(cfg).semaphores(&[..])")]
-    pub fn with_semaphores(mut self, initial: &[u64]) -> Self {
-        self.sems = initial.iter().map(|&c| HwSemaphore::new(c)).collect();
-        self
     }
 
     fn now(&self) -> Cycle {
@@ -830,14 +823,10 @@ impl Machine {
                     });
                 }
             }
-            DataScheme::Wbi => {
-                for (block, b) in self.wbi.iter().enumerate() {
-                    use ssmp_wbi::directory::DirState;
-                    let (owner, sharers) = match b.dir_state() {
-                        DirState::Uncached => (None, Vec::new()),
-                        DirState::Shared(set) => (None, set.iter().copied().collect()),
-                        DirState::Modified(o) => (Some(*o), Vec::new()),
-                    };
+            _ => {
+                for (block, b) in self.coh.iter().enumerate() {
+                    let owner = b.owner();
+                    let sharers = b.sharers();
                     let last_writer = checker.last_writer(block);
                     if owner.is_none() && sharers.is_empty() && last_writer.is_none() {
                         continue;
@@ -870,13 +859,17 @@ impl Machine {
         };
         let shared_memory: Vec<Vec<u64>> = match self.cfg.data {
             DataScheme::Ric => self.ric.iter().map(|u| u.mem().words().to_vec()).collect(),
-            DataScheme::Wbi => self.wbi.iter().map(wbi_view).collect(),
+            _ => self
+                .coh
+                .iter()
+                .map(|b| (0..bw).map(|w| b.coherent_word(w)).collect())
+                .collect(),
         };
         let lock_blocks: Vec<Vec<u64>> = match self.cfg.locks {
             LockScheme::Cbl => self.lock_data.iter().map(|d| d.words().to_vec()).collect(),
             _ => self.wbi_locks.iter().map(wbi_view).collect(),
         };
-        let dir_evictions: u64 = self.wbi.iter().map(|b| b.dir_evictions()).sum();
+        let dir_evictions: u64 = self.coh.iter().map(|b| b.dir_evictions()).sum();
         if dir_evictions > 0 {
             self.counters
                 .add_id(CounterId::WbiDirEvictions, dir_evictions);
@@ -929,9 +922,9 @@ impl Machine {
                         checker.ric_membership(block, &members, &cached, at);
                         checker.structural("ric.list", at, u.check_list());
                     }
-                    for b in &self.wbi {
-                        checker.structural("wbi.swmr", at, b.check_single_writer());
-                        checker.structural("wbi.quiescent", at, b.check_quiescent());
+                    for b in &self.coh {
+                        checker.structural(b.swmr_invariant(), at, b.check_single_writer());
+                        checker.structural(b.quiescent_invariant(), at, b.check_quiescent());
                     }
                     for (block, words) in shared_memory.iter().enumerate() {
                         for (w, &v) in words.iter().enumerate() {
@@ -944,6 +937,7 @@ impl Machine {
             None => Vec::new(),
         };
         let report = Report {
+            protocol: self.cfg.data.name(),
             shared_memory,
             lock_blocks,
             read_log: self.read_log,
@@ -986,7 +980,7 @@ impl Machine {
         match p {
             Proto::Cbl { lock, .. } => lock % n,
             Proto::Ric { block, .. } => block % n,
-            Proto::WbiData { block, .. } => block % n,
+            Proto::Coh { block, .. } => block % n,
             Proto::WbiLock { lock, .. } => lock % n,
             Proto::WbiFlag { .. } => n - 1,
             Proto::Bar { .. } => 0,
@@ -1001,7 +995,7 @@ impl Machine {
         match p {
             Proto::Cbl { msg, .. } => (msg.src, msg.dst, msg.words),
             Proto::Ric { msg, .. } => (msg.src, msg.dst, msg.words),
-            Proto::WbiData { msg, .. } => (msg.src, msg.dst, msg.words),
+            Proto::Coh { msg, .. } => (msg.src, msg.dst, msg.words),
             Proto::WbiLock { msg, .. } => (msg.src, msg.dst, msg.words),
             Proto::WbiFlag { msg } => (msg.src, msg.dst, msg.words),
             Proto::Bar { msg } => (msg.src, msg.dst, msg.words),
@@ -1025,7 +1019,7 @@ impl Machine {
         match p {
             Proto::Cbl { .. } => MsgKind::Cbl,
             Proto::Ric { .. } => MsgKind::Ric,
-            Proto::WbiData { .. } => MsgKind::WbiData,
+            Proto::Coh { .. } => MsgKind::WbiData,
             Proto::WbiLock { .. } => MsgKind::WbiLock,
             Proto::WbiFlag { .. } => MsgKind::WbiFlag,
             Proto::Bar { .. } => MsgKind::Barrier,
@@ -1075,22 +1069,37 @@ impl Machine {
                 ssmp_core::ric::RicKind::HeadChange => CounterId::MsgRicHeadChange,
                 ssmp_core::ric::RicKind::Splice => CounterId::MsgRicSplice,
             },
-            Proto::WbiData { msg, .. } | Proto::WbiLock { msg, .. } | Proto::WbiFlag { msg } => {
-                match msg.kind {
-                    ssmp_wbi::WbiKind::ReadReq => CounterId::MsgWbiReadReq,
-                    ssmp_wbi::WbiKind::WriteReq => CounterId::MsgWbiWriteReq,
-                    ssmp_wbi::WbiKind::DataShared => CounterId::MsgWbiDataShared,
-                    ssmp_wbi::WbiKind::DataExclClean => CounterId::MsgWbiDataExclClean,
-                    ssmp_wbi::WbiKind::DataExcl { .. } => CounterId::MsgWbiDataExcl,
-                    ssmp_wbi::WbiKind::Inv => CounterId::MsgWbiInv,
-                    ssmp_wbi::WbiKind::InvAck => CounterId::MsgWbiInvAck,
-                    ssmp_wbi::WbiKind::FetchShared => CounterId::MsgWbiFetchShared,
-                    ssmp_wbi::WbiKind::FetchExcl => CounterId::MsgWbiFetchExcl,
-                    ssmp_wbi::WbiKind::OwnerData { .. } => CounterId::MsgWbiOwnerData,
-                    ssmp_wbi::WbiKind::WriteBack => CounterId::MsgWbiWriteBack,
-                    ssmp_wbi::WbiKind::WbRace => CounterId::MsgWbiWbRace,
-                }
-            }
+            Proto::WbiLock { msg, .. } | Proto::WbiFlag { msg } => Self::wbi_kind_key(msg.kind),
+            Proto::Coh { msg, .. } => match msg.kind {
+                CohKind::Wbi(k) => Self::wbi_kind_key(k),
+                CohKind::Mesi(k) => match k {
+                    MesiKind::BusRd => CounterId::MsgMesiBusRd,
+                    MesiKind::BusRdx => CounterId::MsgMesiBusRdx,
+                    MesiKind::BusUpgr => CounterId::MsgMesiBusUpgr,
+                    MesiKind::DataShared => CounterId::MsgMesiDataShared,
+                    MesiKind::DataExcl => CounterId::MsgMesiDataExcl,
+                    MesiKind::DataExclClean => CounterId::MsgMesiDataExclClean,
+                    MesiKind::UpgradeAck => CounterId::MsgMesiUpgradeAck,
+                    MesiKind::Inv => CounterId::MsgMesiInv,
+                    MesiKind::InvAck => CounterId::MsgMesiInvAck,
+                    MesiKind::Fetch { .. } => CounterId::MsgMesiFetch,
+                    MesiKind::FetchMiss => CounterId::MsgMesiFetchMiss,
+                    MesiKind::OwnerData { .. } => CounterId::MsgMesiOwnerData,
+                },
+                CohKind::Dragon(k) => match k {
+                    DragonKind::Rd => CounterId::MsgDragonRd,
+                    DragonKind::FillShared => CounterId::MsgDragonFillShared,
+                    DragonKind::FillExcl => CounterId::MsgDragonFillExcl,
+                    DragonKind::Fetch => CounterId::MsgDragonFetch,
+                    DragonKind::FetchMiss => CounterId::MsgDragonFetchMiss,
+                    DragonKind::OwnerData => CounterId::MsgDragonOwnerData,
+                    DragonKind::Upd { .. } => CounterId::MsgDragonUpd,
+                    DragonKind::UpdFill { .. } => CounterId::MsgDragonUpdFill,
+                    DragonKind::UpdPush { .. } => CounterId::MsgDragonUpdPush,
+                    DragonKind::UpdAck => CounterId::MsgDragonUpdAck,
+                    DragonKind::UpdDone { .. } => CounterId::MsgDragonUpdDone,
+                },
+            },
             Proto::Bar { msg } => match msg.kind {
                 BarKind::Arrive => CounterId::MsgBarArrive,
                 BarKind::Ack => CounterId::MsgBarAck,
@@ -1108,6 +1117,25 @@ impl Machine {
         }
     }
 
+    /// Counter id of a WBI directory message, shared by the lock/flag
+    /// substrate and the WBI data backend behind [`Proto::Coh`].
+    fn wbi_kind_key(kind: WbiKind) -> CounterId {
+        match kind {
+            WbiKind::ReadReq => CounterId::MsgWbiReadReq,
+            WbiKind::WriteReq => CounterId::MsgWbiWriteReq,
+            WbiKind::DataShared => CounterId::MsgWbiDataShared,
+            WbiKind::DataExclClean => CounterId::MsgWbiDataExclClean,
+            WbiKind::DataExcl { .. } => CounterId::MsgWbiDataExcl,
+            WbiKind::Inv => CounterId::MsgWbiInv,
+            WbiKind::InvAck => CounterId::MsgWbiInvAck,
+            WbiKind::FetchShared => CounterId::MsgWbiFetchShared,
+            WbiKind::FetchExcl => CounterId::MsgWbiFetchExcl,
+            WbiKind::OwnerData { .. } => CounterId::MsgWbiOwnerData,
+            WbiKind::WriteBack => CounterId::MsgWbiWriteBack,
+            WbiKind::WbRace => CounterId::MsgWbiWbRace,
+        }
+    }
+
     /// Counter-key name of a message — the trace `detail` label.
     fn msg_name(p: &Proto) -> &'static str {
         Self::msg_key(p).name()
@@ -1118,7 +1146,12 @@ impl Machine {
         match p {
             Proto::Cbl { .. } => Family::Cbl,
             Proto::Ric { .. } => Family::Ric,
-            Proto::WbiData { .. } | Proto::WbiLock { .. } | Proto::WbiFlag { .. } => Family::Wbi,
+            Proto::Coh { msg, .. } => match msg.kind {
+                CohKind::Wbi(_) => Family::Wbi,
+                CohKind::Mesi(_) => Family::Mesi,
+                CohKind::Dragon(_) => Family::Dragon,
+            },
+            Proto::WbiLock { .. } | Proto::WbiFlag { .. } => Family::Wbi,
             Proto::Bar { .. } => Family::Bar,
             Proto::Sem { .. } => Family::Sem,
             Proto::PrivReq { .. } | Proto::PrivFill { .. } | Proto::PrivWb { .. } => Family::Priv,
@@ -1257,11 +1290,16 @@ impl Machine {
     fn route_all_wbi(&mut self, depart: Cycle, ctx: WbiCtx, msgs: Vec<WbiMsg>) {
         for msg in msgs {
             let p = match ctx {
-                WbiCtx::Data(block) => Proto::WbiData { block, msg },
                 WbiCtx::Lock(lock) => Proto::WbiLock { lock, msg },
                 WbiCtx::Flag => Proto::WbiFlag { msg },
             };
             self.route(depart, p);
+        }
+    }
+
+    fn route_all_coh(&mut self, depart: Cycle, block: BlockId, msgs: Vec<CohMsg>) {
+        for msg in msgs {
+            self.route(depart, Proto::Coh { block, msg });
         }
     }
 
@@ -1396,21 +1434,21 @@ impl Machine {
                     self.route(t_done, Proto::Ric { block, msg });
                 }
             }
-            Proto::WbiData { block, msg } => {
-                let (msgs, effects) = self.wbi[block].deliver(msg);
+            Proto::Coh { block, msg } => {
+                let (msgs, effects) = self.coh[block].deliver(msg);
                 let out_data = msgs.iter().any(|m| m.words > 1);
                 let t_done =
                     self.processing_done(dst, home, touches_memory, in_words, out_data, now);
-                self.apply_wbi_effects(WbiCtx::Data(block), effects, t_done);
+                self.apply_coh_effects(block, effects, t_done);
                 if let Some(c) = &self.check {
                     c.borrow_mut().structural(
-                        "wbi.swmr",
+                        self.coh[block].swmr_invariant(),
                         t_done,
-                        self.wbi[block].check_single_writer(),
+                        self.coh[block].check_single_writer(),
                     );
                 }
                 for msg in msgs {
-                    self.route(t_done, Proto::WbiData { block, msg });
+                    self.route(t_done, Proto::Coh { block, msg });
                 }
             }
             Proto::WbiLock { lock, msg } => {
@@ -1532,6 +1570,12 @@ impl Machine {
             ),
             Proto::Bar { msg } => matches!(msg.kind, BarKind::Arrive),
             Proto::Sem { msg, .. } => matches!(msg.kind, SemKind::P | SemKind::V),
+            // A Dragon write request carries the store's word to the home,
+            // which applies it to main memory on serialization.
+            Proto::Coh { msg, .. } => matches!(
+                msg.kind,
+                CohKind::Dragon(DragonKind::Upd { .. } | DragonKind::UpdFill { .. })
+            ),
             _ => false,
         }
     }
@@ -1884,17 +1928,7 @@ impl Machine {
     fn apply_wbi_effects(&mut self, ctx: WbiCtx, effects: Vec<WbiEffect>, t: Cycle) {
         for e in effects {
             match e {
-                WbiEffect::FilledShared { node, ref data } => {
-                    if let WbiCtx::Data(block) = ctx {
-                        if let Some(addr) = self.nodes[node].pending_record.take() {
-                            if addr.block == block {
-                                let v = data.get(addr.word);
-                                self.record_read(node, addr, v);
-                            } else {
-                                self.nodes[node].pending_record = Some(addr);
-                            }
-                        }
-                    }
+                WbiEffect::FilledShared { node, .. } => {
                     match self.nodes[node].sync {
                         Some(SyncCtx::TtsLock {
                             lock,
@@ -1931,9 +1965,6 @@ impl Machine {
                 }
                 WbiEffect::Invalidated { node } => {
                     self.counters.bump_id(CounterId::WbiInvalidated);
-                    if let WbiCtx::Data(block) = ctx {
-                        self.trace_access(t, node as i64, Family::Wbi, "invalidate", block, 0);
-                    }
                     let spin_matches = match (self.nodes[node].waiting, ctx) {
                         (Waiting::SpinInv(SpinTarget::LockVar(l)), WbiCtx::Lock(m)) => l == m,
                         (Waiting::SpinInv(SpinTarget::Flag), WbiCtx::Flag) => true,
@@ -1957,17 +1988,11 @@ impl Machine {
         }
     }
 
-    /// Exclusive ownership (or an upgrade) arrived for `node` on the block
-    /// identified by `ctx`: perform the deferred store / test-and-set.
+    /// Exclusive ownership (or an upgrade) arrived for `node` on the lock
+    /// or flag block identified by `ctx`: perform the deferred store /
+    /// test-and-set.
     fn wbi_ownership_arrived(&mut self, ctx: WbiCtx, node: NodeId, t: Cycle) {
         match self.nodes[node].sync {
-            Some(SyncCtx::PendingStore { block, word, value }) if ctx == WbiCtx::Data(block) => {
-                let ok = self.wbi[block].local_write(node, word, value);
-                debug_assert!(ok, "store failed after ownership");
-                self.record_write(node, block, word, value);
-                self.nodes[node].sync = None;
-                self.resume_from(node, Waiting::Fill, t);
-            }
             Some(SyncCtx::PendingStore { block, word, value }) if ctx == WbiCtx::Lock(block) => {
                 // LockedWrite under TTS: the lock block doubles as data.
                 let ok = self.wbi_locks[block].local_write(node, word, value);
@@ -2028,6 +2053,122 @@ impl Machine {
                 // A plain exclusive fill with no pending action (possible
                 // when a queued transaction completed after its purpose was
                 // already served); just resume if stalled on it.
+                if self.nodes[node].waiting == Waiting::Fill {
+                    self.resume_from(node, Waiting::Fill, t);
+                }
+            }
+        }
+    }
+
+    /// Trace family of the configured shared-data scheme.
+    fn data_family(&self) -> Family {
+        match self.cfg.data {
+            DataScheme::Ric => Family::Ric,
+            DataScheme::Wbi => Family::Wbi,
+            DataScheme::Mesi => Family::Mesi,
+            DataScheme::Dragon => Family::Dragon,
+        }
+    }
+
+    /// Applies the effects a shared-data coherence backend emitted while
+    /// processing a delivery on `block`.
+    fn apply_coh_effects(&mut self, block: BlockId, effects: Vec<CohEffect>, t: Cycle) {
+        for e in effects {
+            match e {
+                CohEffect::FilledShared { node, ref data } => {
+                    if let Some(addr) = self.nodes[node].pending_record.take() {
+                        if addr.block == block {
+                            let v = data.get(addr.word);
+                            self.record_read(node, addr, v);
+                        } else {
+                            self.nodes[node].pending_record = Some(addr);
+                        }
+                    }
+                    if self.nodes[node].spin_global.is_some()
+                        && self.nodes[node].waiting == Waiting::Fill
+                    {
+                        // re-check the freshly filled value
+                        self.unstall_node(node, t);
+                        self.stall_node_tagged(node, Waiting::Timer, t, "timer.flag");
+                        self.events.schedule(t + 1, Ev::Retry(node));
+                    } else if self.nodes[node].waiting == Waiting::Fill {
+                        self.resume_from(node, Waiting::Fill, t);
+                    }
+                }
+                CohEffect::FilledExcl { node, .. } | CohEffect::UpgradeGranted { node } => {
+                    self.coh_ownership_arrived(block, node, t);
+                }
+                CohEffect::Invalidated { node } => {
+                    let ctr = match self.cfg.data {
+                        DataScheme::Mesi => CounterId::MesiInvalidated,
+                        _ => CounterId::WbiInvalidated,
+                    };
+                    self.counters.bump_id(ctr);
+                    self.trace_access(t, node as i64, self.data_family(), "invalidate", block, 0);
+                }
+                CohEffect::Downgraded { .. } => {
+                    let ctr = match self.cfg.data {
+                        DataScheme::Mesi => CounterId::MesiDowngraded,
+                        DataScheme::Dragon => CounterId::DragonDowngraded,
+                        _ => CounterId::WbiDowngraded,
+                    };
+                    self.counters.bump_id(ctr);
+                }
+                CohEffect::UpdateApplied { node, word } => {
+                    // A Dragon multicast landed a fresh word in `node`'s
+                    // copy in place — the update-protocol counterpart of an
+                    // invalidation, and the heatmap signal that separates
+                    // update from invalidate false-sharing behavior.
+                    self.counters.bump_id(CounterId::DragonUpdateApplied);
+                    self.trace_access(
+                        t,
+                        node as i64,
+                        self.data_family(),
+                        "update.apply",
+                        block,
+                        word,
+                    );
+                }
+                CohEffect::StoreSerialized { node, word, value } => {
+                    // The home serialized the store into main memory: this
+                    // is the point the value becomes visible to fills, so
+                    // the provenance oracle learns it here — before any
+                    // pushed copy can be read.
+                    self.record_write(node, block, word, value);
+                }
+                CohEffect::StoreComplete { node } => {
+                    if matches!(
+                        self.nodes[node].sync,
+                        Some(SyncCtx::PendingStore { block: b, .. }) if b == block
+                    ) {
+                        self.nodes[node].sync = None;
+                        self.resume_from(node, Waiting::Fill, t);
+                    } else if self.nodes[node].waiting == Waiting::Fill {
+                        self.resume_from(node, Waiting::Fill, t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exclusive ownership (or an upgrade) arrived for `node` on shared
+    /// data `block`: perform the deferred store.
+    fn coh_ownership_arrived(&mut self, block: BlockId, node: NodeId, t: Cycle) {
+        match self.nodes[node].sync {
+            Some(SyncCtx::PendingStore {
+                block: b,
+                word,
+                value,
+            }) if b == block => {
+                let ok = self.coh[block].local_write(node, word, value);
+                debug_assert!(ok, "store failed after ownership");
+                self.record_write(node, block, word, value);
+                self.nodes[node].sync = None;
+                self.resume_from(node, Waiting::Fill, t);
+            }
+            _ => {
+                // A stale grant whose purpose was already served; just
+                // resume if stalled on it.
                 if self.nodes[node].waiting == Waiting::Fill {
                     self.resume_from(node, Waiting::Fill, t);
                 }
@@ -2264,10 +2405,7 @@ impl Machine {
                 }
             }
             Op::SharedRead(addr) => {
-                let fam = match self.cfg.data {
-                    DataScheme::Ric => Family::Ric,
-                    DataScheme::Wbi => Family::Wbi,
-                };
+                let fam = self.data_family();
                 self.trace_access(now, node as i64, fam, "read", addr.block, addr.word);
                 match self.cfg.data {
                     DataScheme::Ric => {
@@ -2294,8 +2432,8 @@ impl Machine {
                             self.stall_node(node, Waiting::Fill, now);
                         }
                     }
-                    DataScheme::Wbi => {
-                        if let Some(v) = self.wbi[addr.block].local_read(node, addr.word) {
+                    _ => {
+                        if let Some(v) = self.coh[addr.block].local_read(node, addr.word) {
                             self.counters.bump_id(CounterId::SharedReadHit);
                             self.record_read(node, addr, v);
                             self.events.schedule(now + 1, Ev::Resume(node));
@@ -2304,8 +2442,8 @@ impl Machine {
                             if self.wants_reads() {
                                 self.nodes[node].pending_record = Some(addr);
                             }
-                            let msgs = self.wbi[addr.block].read_req(node);
-                            self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
+                            let msgs = self.coh[addr.block].read_req(node);
+                            self.route_all_coh(now, addr.block, msgs);
                             self.stall_node(node, Waiting::Fill, now);
                         }
                     }
@@ -2329,19 +2467,16 @@ impl Machine {
                     self.route_all_ric(now, addr.block, msgs);
                     self.stall_node(node, Waiting::Fill, now);
                 }
-                DataScheme::Wbi => {
-                    // WBI has no cache-bypass read; a coherent read is the
-                    // closest equivalent.
+                _ => {
+                    // The write-coherent schemes have no cache-bypass read;
+                    // a coherent read is the closest equivalent.
                     self.execute(node, Op::SharedRead(addr), now);
                 }
             },
             Op::SpinUntilGlobal(addr, target) => {
                 self.nodes[node].spin_global = Some((addr, target));
                 self.counters.bump_id(CounterId::SharedSpinGlobal);
-                let fam = match self.cfg.data {
-                    DataScheme::Ric => Family::Ric,
-                    DataScheme::Wbi => Family::Wbi,
-                };
+                let fam = self.data_family();
                 self.trace_access(now, node as i64, fam, "read.global", addr.block, addr.word);
                 match self.cfg.data {
                     DataScheme::Ric => {
@@ -2352,17 +2487,20 @@ impl Machine {
                         self.route_all_ric(now, addr.block, msgs);
                         self.stall_node(node, Waiting::Fill, now);
                     }
-                    DataScheme::Wbi => {
+                    _ => {
                         // Poll coherently: read (miss fetches); the value is
                         // checked when the fill or the cached copy arrives.
-                        match self.wbi[addr.block].local_read(node, addr.word) {
+                        // Invalidate backends wake the spinner through the
+                        // refill; Dragon updates the copy in place and the
+                        // poll sees the new word.
+                        match self.coh[addr.block].local_read(node, addr.word) {
                             Some(v) if v == target => {
                                 self.record_read(node, addr, v);
                                 self.nodes[node].spin_global = None;
                                 self.events.schedule(now + 1, Ev::Resume(node));
                             }
                             Some(_) => {
-                                // spin on the cached copy; invalidation wakes us
+                                // spin on the cached copy
                                 self.nodes[node].sync = None;
                                 self.stall_node_tagged(node, Waiting::Timer, now, "timer.flag");
                                 self.events.schedule(now + 2, Ev::Retry(node));
@@ -2371,8 +2509,8 @@ impl Machine {
                                 if self.wants_reads() {
                                     self.nodes[node].pending_record = Some(addr);
                                 }
-                                let msgs = self.wbi[addr.block].read_req(node);
-                                self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
+                                let msgs = self.coh[addr.block].read_req(node);
+                                self.route_all_coh(now, addr.block, msgs);
                                 self.stall_node(node, Waiting::Fill, now);
                             }
                         }
@@ -2455,23 +2593,17 @@ impl Machine {
                             }
                         }
                     }
-                    DataScheme::Wbi => {
-                        self.trace_access(
-                            now,
-                            node as i64,
-                            Family::Wbi,
-                            "write",
-                            addr.block,
-                            addr.word,
-                        );
-                        if self.wbi[addr.block].local_write(node, addr.word, stamp) {
+                    _ => {
+                        let fam = self.data_family();
+                        self.trace_access(now, node as i64, fam, "write", addr.block, addr.word);
+                        if self.coh[addr.block].local_write(node, addr.word, stamp) {
                             self.record_write(node, addr.block, addr.word, stamp);
                             self.counters.bump_id(CounterId::SharedWriteHit);
                             self.events.schedule(now + 1, Ev::Resume(node));
                         } else {
                             self.counters.bump_id(CounterId::SharedWriteMiss);
-                            let msgs = self.wbi[addr.block].write_req(node);
-                            self.route_all_wbi(now, WbiCtx::Data(addr.block), msgs);
+                            let msgs = self.coh[addr.block].write_req(node, addr.word, stamp);
+                            self.route_all_coh(now, addr.block, msgs);
                             self.nodes[node].sync = Some(SyncCtx::PendingStore {
                                 block: addr.block,
                                 word: addr.word,
@@ -2497,7 +2629,7 @@ impl Machine {
                         self.stall_node(node, Waiting::Fill, now);
                     }
                 }
-                DataScheme::Wbi => {
+                _ => {
                     self.execute(
                         node,
                         Op::SharedRead(ssmp_core::addr::SharedAddr::new(block, 0)),

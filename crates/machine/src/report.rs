@@ -7,6 +7,9 @@ use ssmp_net::{FaultStats, ForcedFault};
 /// The outcome of one machine run.
 #[derive(Debug, Clone)]
 pub struct Report {
+    /// Name of the shared-data coherence protocol the run used
+    /// (`"ric"`, `"wbi"`, `"mesi"`, or `"dragon"`).
+    pub protocol: &'static str,
     /// Completion time in machine cycles (the paper's metric).
     pub completion: Cycle,
     /// Named event counters (messages by protocol/kind, hits, misses, …).
@@ -211,6 +214,7 @@ impl Report {
         } else {
             let _ = writeln!(s, "completion: {} cycles", self.completion);
         }
+        let _ = writeln!(s, "protocol: {}", self.protocol);
         for v in &self.violations {
             s.push_str(&v.render());
         }
