@@ -1,7 +1,9 @@
 //! **Perf-regression guard**: diffs a freshly generated `ssmp-sweep-v1`
 //! artifact against a committed baseline, point by point.
 //!
-//! Measurement keys fall into three classes:
+//! The comparison itself lives in the `ssmp-diff` engine
+//! ([`ssmp_diff::SweepDiff`]) — perfguard is now a thin gate over it.
+//! Measurement keys fall into three classes ([`ssmp_diff::classify`]):
 //!
 //! - **deterministic** (`cycles`, `events`, `completion`, counts, ...):
 //!   products of the simulation itself, so they must match the baseline
@@ -20,63 +22,16 @@
 //! (default tolerance 0.5 — the wheel-vs-heap speedup may sag to half
 //! its recorded value before the guard trips).
 
-use ssmp_engine::Json;
+use ssmp_diff::{Artifact, DiffPolicy, SweepDiff, SweepView};
 
-/// One point's measurements, keyed by label.
-type Points = Vec<(String, Vec<(String, f64)>)>;
-
-fn load(path: &str) -> Result<Points, String> {
+fn load(path: &str) -> Result<SweepView, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    if doc.get("schema").and_then(|s| s.as_str()) != Some("ssmp-sweep-v1") {
-        return Err(format!("{path}: not an ssmp-sweep-v1 artifact"));
-    }
-    let points = doc
-        .get("points")
-        .and_then(|p| p.as_array())
-        .ok_or_else(|| format!("{path}: no points array"))?;
-    let mut out = Points::new();
-    for p in points {
-        let label = p
-            .get("label")
-            .and_then(|l| l.as_str())
-            .ok_or_else(|| format!("{path}: point without a label"))?
-            .to_string();
-        if p.get("status").and_then(|s| s.as_str()) != Some("ok") {
-            return Err(format!("{path}: point '{label}' did not complete"));
-        }
-        let values = p
-            .get("values")
-            .ok_or_else(|| format!("{path}: point '{label}' has no values"))?;
-        let Json::Obj(fields) = values else {
-            return Err(format!("{path}: point '{label}' values is not an object"));
-        };
-        let mut vs = Vec::new();
-        for (k, v) in fields {
-            let n = v
-                .as_f64()
-                .ok_or_else(|| format!("{path}: '{label}.{k}' is not numeric"))?;
-            vs.push((k.clone(), n));
-        }
-        out.push((label, vs));
-    }
-    Ok(out)
-}
-
-/// How one measurement key is judged.
-enum Class {
-    Exact,
-    SpeedupFloor,
-    Informational,
-}
-
-fn classify(key: &str) -> Class {
-    if key.ends_with("_secs") || key.ends_with("_per_sec") {
-        Class::Informational
-    } else if key == "speedup" {
-        Class::SpeedupFloor
-    } else {
-        Class::Exact
+    match Artifact::parse(&text).map_err(|e| format!("{path}: {e}"))? {
+        Artifact::Sweep(s) => Ok(s),
+        other => Err(format!(
+            "{path}: not an ssmp-sweep-v1 artifact (got a {} artifact)",
+            other.kind()
+        )),
     }
 }
 
@@ -106,65 +61,17 @@ fn main() {
         std::process::exit(2);
     });
 
-    let mut violations: Vec<String> = Vec::new();
-    println!(
-        "{:<24} {:<20} {:>14} {:>14} {:>9}  verdict",
-        "point", "key", "baseline", "current", "delta"
-    );
-    for (label, base_vals) in &baseline {
-        let Some((_, cur_vals)) = current.iter().find(|(l, _)| l == label) else {
-            violations.push(format!("point '{label}' missing from {cur_path}"));
-            continue;
-        };
-        for (key, b) in base_vals {
-            let Some((_, c)) = cur_vals.iter().find(|(k, _)| k == key) else {
-                violations.push(format!("'{label}.{key}' missing from {cur_path}"));
-                continue;
-            };
-            let delta = if *b == 0.0 { 0.0 } else { (c - b) / b * 100.0 };
-            let verdict = match classify(key) {
-                Class::Exact => {
-                    if c == b {
-                        "ok"
-                    } else {
-                        violations.push(format!(
-                            "'{label}.{key}' drifted: baseline {b} != current {c} \
-                             (deterministic key — simulation behaviour changed)"
-                        ));
-                        "DRIFT"
-                    }
-                }
-                Class::SpeedupFloor => {
-                    if *c >= b * (1.0 - tolerance) {
-                        "ok"
-                    } else {
-                        violations.push(format!(
-                            "'{label}.{key}' regressed: current {c:.3} < floor {:.3} \
-                             (baseline {b:.3} × (1 − {tolerance}))",
-                            b * (1.0 - tolerance)
-                        ));
-                        "REGRESSED"
-                    }
-                }
-                Class::Informational => "info",
-            };
-            println!("{label:<24} {key:<20} {b:>14.3} {c:>14.3} {delta:>+8.1}%  {verdict}");
-        }
-    }
-    for (label, _) in &current {
-        if !baseline.iter().any(|(l, _)| l == label) {
-            println!("{label:<24} (not in baseline — new point, ignored)");
-        }
-    }
+    let diff = SweepDiff::between(&baseline, &current, &cur_path, &DiffPolicy { tolerance });
+    print!("{}", diff.render_guard());
 
-    if violations.is_empty() {
+    if diff.violations.is_empty() {
         println!(
             "perfguard: {} points checked against {base_path}: ok",
-            baseline.len()
+            baseline.points.len()
         );
     } else {
-        eprintln!("perfguard: {} violation(s):", violations.len());
-        for v in &violations {
+        eprintln!("perfguard: {} violation(s):", diff.violations.len());
+        for v in &diff.violations {
             eprintln!("  {v}");
         }
         std::process::exit(1);

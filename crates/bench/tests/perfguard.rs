@@ -1,0 +1,108 @@
+//! Perfguard gate semantics, exercised through the real binary (the
+//! violation path calls `std::process::exit`, so it can only be tested
+//! by spawning).
+//!
+//! The four committed `BENCH_*.json` baselines must each pass a
+//! self-diff with the exact verdicts CI relies on — this pins the
+//! perfguard port onto the `ssmp-diff` engine to the behaviour the
+//! workflow observed before the port.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn baseline(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    p.to_str().expect("utf-8 path").to_string()
+}
+
+fn guard(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perfguard"))
+        .args(args)
+        .output()
+        .expect("spawn perfguard")
+}
+
+#[test]
+fn committed_baselines_pass_self_diff() {
+    for name in [
+        "BENCH_table2.json",
+        "BENCH_latency.json",
+        "BENCH_throughput.json",
+        "BENCH_protocols.json",
+    ] {
+        let path = baseline(name);
+        let out = guard(&["--baseline", &path, "--current", &path]);
+        assert!(
+            out.status.success(),
+            "{name} self-diff failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains("verdict"),
+            "{name}: missing delta table header"
+        );
+        assert!(
+            text.contains(": ok"),
+            "{name}: missing summary line\n{text}"
+        );
+        assert!(!text.contains("DRIFT"), "{name}: spurious drift\n{text}");
+    }
+}
+
+#[test]
+fn tampered_current_fails_with_drift() {
+    let base = baseline("BENCH_protocols.json");
+    let doc = std::fs::read_to_string(&base).unwrap();
+    // perturb one deterministic value: any movement must trip the gate
+    let tampered = doc.replacen("\"completion\":", "\"completion\":1, \"x_completion\":", 1);
+    assert_ne!(doc, tampered, "fixture must actually change");
+    let p = std::env::temp_dir().join(format!("perfguard-tampered-{}.json", std::process::id()));
+    std::fs::write(&p, tampered).unwrap();
+    let cur = p.to_str().unwrap().to_string();
+    let out = guard(&["--baseline", &base, "--current", &cur]);
+    assert_eq!(out.status.code(), Some(1), "drift must exit 1");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("DRIFT"),
+        "delta table must carry the DRIFT verdict"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("violation(s)"),
+        "stderr must summarise the violations"
+    );
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
+fn unreadable_or_wrong_artifact_exits_2() {
+    let out = guard(&[
+        "--baseline",
+        "/nonexistent/base.json",
+        "--current",
+        "/nonexistent/cur.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "load failure must exit 2");
+
+    // a report artifact is not a sweep: usage error, not a violation
+    let p = std::env::temp_dir().join(format!("perfguard-report-{}.json", std::process::id()));
+    std::fs::write(&p, "{\"completion_cycles\":10}").unwrap();
+    let rp = p.to_str().unwrap().to_string();
+    let base = baseline("BENCH_table2.json");
+    let out = guard(&["--baseline", &base, "--current", &rp]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not an ssmp-sweep-v1 artifact"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(p).ok();
+
+    let out = guard(&["--baseline", &base]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing --current is a usage error"
+    );
+}

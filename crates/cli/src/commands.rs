@@ -21,9 +21,11 @@ usage:
   ssmp trace capture --workload <wl> [--nodes N] [--grain g] [--tasks T]
              [--seed S] --out <file>
   ssmp trace replay  --in <file> --config <cfg> [--json]
-  ssmp trace stats   --in <file> [--validate]
+  ssmp trace stats   --in <file> [--validate] [--json]
   ssmp analyze --in <trace.jsonl> [--top K] [--json] [--out <file>]
   ssmp spans   --in <trace.jsonl> [--top K] [--json] [--out <file>]
+  ssmp diff  <a> <b> [--top K] [--json] [--out <file>] [--gate]
+             [--tolerance FRAC]
   ssmp program --file <prog.sasm> --config <cfg> [--sems c0,c1,...] [--json]
   ssmp fuzz  [--quick] [--jobs N] [--seeds K] [--seed S] [--out <repro.json>]
              [--workload wl[,wl...]] [--config cfg[,cfg...]] [--nodes N]
@@ -38,6 +40,26 @@ worker threads; the emitted artifact is byte-identical for any --jobs.
   --points table3[:<n,n>]         the Table 3 scenario points
   --out <file>                    write the full JSON artifact (points
                                   incl. failures + per-point seeds)
+  --diff-against <artifact>       diff this sweep against a committed
+                                  ssmp-sweep-v1 baseline (the perfguard
+                                  policies gate it; violations exit 1)
+
+differential observability:
+  ssmp diff takes any two artifacts of the same kind — two --json run
+  reports, two ssmp-sweep-v1 sweeps (point-aligned by scenario label),
+  two ssmp-profile-v1 profiles, or two ssmp-span-v1 span sets — and
+  explains where the cycles, messages, and contention moved: exact
+  counter deltas (the simulator is deterministic, so every nonzero
+  delta is real), stall-attribution movement tables that preserve the
+  exact-sum invariant on both sides, per-line heatmap deltas with
+  false sharing that appears/disappears, per-lock latency/fairness/
+  handoff shifts, span-segment tiling shifts with percentile-by-
+  percentile comparison, and a ranked top-movers summary. --json /
+  --out emit the deterministic ssmp-diff-v1 document; --gate exits 1
+  on policy violations (sweeps gate by perfguard key class: exact keys
+  must match, speedup sags past --tolerance fail, wall-clock keys are
+  informational; other kinds gate on strict identity). Either path may
+  be '-' for stdin.
 
 simulator internals (run, sweep, trace replay, program):
   [--queue wheel|heap]   event-queue implementation: the timing-wheel
@@ -138,13 +160,48 @@ const VALUED: &[&str] = &[
     "repro",
     "seeds",
     "planted-bug",
+    "tolerance",
+    "diff-against",
 ];
+
+/// Splits an argv into positional operands and flag tokens, so commands
+/// like `ssmp diff <a> <b> --json` can take paths without `--in`-style
+/// spelling. Valued flags keep their value token even when it doesn't
+/// start with `--`.
+fn split_positionals(argv: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        match a.strip_prefix("--") {
+            // anything not `--`-prefixed is an operand (including the
+            // stdin spelling '-')
+            None => pos.push(a.clone()),
+            Some(name) => {
+                flags.push(a.clone());
+                if !name.contains('=') && VALUED.contains(&name) {
+                    if let Some(v) = argv.get(i + 1) {
+                        flags.push(v.clone());
+                        i += 1;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    (pos, flags)
+}
 
 /// Dispatches a full argv (without the binary name).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     match argv.first().map(|s| s.as_str()) {
         Some("run") => run(&Flags::parse(&argv[1..], VALUED)?),
         Some("sweep") => sweep(&Flags::parse(&argv[1..], VALUED)?),
+        Some("diff") => {
+            let (pos, flag_args) = split_positionals(&argv[1..]);
+            diff(&pos, &Flags::parse(&flag_args, VALUED)?)
+        }
         Some("trace") => match argv.get(1).map(|s| s.as_str()) {
             Some("capture") => trace_capture(&Flags::parse(&argv[2..], VALUED)?),
             Some("replay") => trace_replay(&Flags::parse(&argv[2..], VALUED)?),
@@ -198,6 +255,19 @@ fn check_protocol(name: &str) -> Result<(), String> {
     }
 }
 
+/// Warns (once per value, on stderr) when the deprecated `--config`
+/// spelling names a coherence backend that `--protocol` selects; the
+/// lock-centric presets have no `--protocol` spelling, so they stay
+/// silent.
+pub(crate) fn warn_config_deprecated(value: &str) {
+    if PROTOCOLS.contains(&value) {
+        eprintln!(
+            "warning: --config {value} is deprecated; use --protocol {value} \
+             (--config remains for the lock-centric presets)"
+        );
+    }
+}
+
 /// Resolves the configuration name from `--protocol` (preferred) or the
 /// older `--config` spelling; the conflict table rejects giving both.
 fn config_selector(f: &Flags) -> Result<&str, String> {
@@ -206,7 +276,11 @@ fn config_selector(f: &Flags) -> Result<&str, String> {
             check_protocol(p)?;
             Ok(p)
         }
-        None => f.require("config"),
+        None => {
+            let c = f.require("config")?;
+            warn_config_deprecated(c);
+            Ok(c)
+        }
     }
 }
 
@@ -464,74 +538,10 @@ pub(crate) fn adapt_geometry(cfg: &mut MachineConfig, workload: &str, nodes: usi
 }
 
 fn print_report(r: &Report, json: bool) {
-    use ssmp_engine::Json;
     if json {
-        let counters = r
-            .counters
-            .iter()
-            .map(|(k, v)| (k.to_string(), Json::num(v)))
-            .collect();
-        let stall_breakdown = r
-            .stall_breakdown
-            .iter()
-            .map(|(k, v)| (k.to_string(), Json::num(*v)))
-            .collect();
-        let mut fields = vec![
-            ("protocol".into(), Json::str(r.protocol)),
-            ("completion_cycles".into(), Json::num(r.completion)),
-            ("net_packets".into(), Json::num(r.net_packets)),
-            ("net_words".into(), Json::num(r.net_words)),
-            ("net_queueing".into(), Json::num(r.net_queueing)),
-            ("net_max_transit".into(), Json::num(r.net_max_transit)),
-            ("messages".into(), Json::num(r.total_messages())),
-            ("lock_acquisitions".into(), Json::num(r.lock_wait.count())),
-            (
-                "lock_wait_mean".into(),
-                Json::num(r.lock_wait.mean().unwrap_or(0.0)),
-            ),
-            (
-                "lock_wait_p50".into(),
-                Json::num(r.lock_wait.p50().unwrap_or(0)),
-            ),
-            (
-                "lock_wait_p95".into(),
-                Json::num(r.lock_wait.p95().unwrap_or(0)),
-            ),
-            (
-                "lock_wait_p99".into(),
-                Json::num(r.lock_wait.p99().unwrap_or(0)),
-            ),
-            ("deadlocked".into(), Json::Bool(r.deadlock.is_some())),
-            ("retries".into(), Json::num(r.retries.iter().sum::<u64>())),
-            (
-                "retries_per_node".into(),
-                Json::Arr(r.retries.iter().map(|&n| Json::num(n)).collect()),
-            ),
-            ("stall_breakdown".into(), Json::Obj(stall_breakdown)),
-            ("counters".into(), Json::Obj(counters)),
-        ];
-        if let Some(fs) = &r.faults {
-            fields.push((
-                "faults".into(),
-                Json::Obj(vec![
-                    ("inspected".into(), Json::num(fs.inspected)),
-                    ("dropped".into(), Json::num(fs.dropped)),
-                    ("duplicated".into(), Json::num(fs.duplicated)),
-                    ("delayed".into(), Json::num(fs.delayed)),
-                ]),
-            ));
-        }
-        if let Some(m) = &r.metrics {
-            fields.push(("metrics".into(), m.to_json()));
-        }
-        if let Some(p) = &r.profile {
-            fields.push(("profile".into(), p.to_json()));
-        }
-        if let Some(sp) = &r.spans {
-            fields.push(("spans".into(), sp.to_json()));
-        }
-        let doc = Json::Obj(fields);
-        println!("{}", doc.render());
+        // Report::to_json owns the field list — it is the serde-stable
+        // document `ssmp diff` compares, so the CLI only renders it.
+        println!("{}", r.to_json().render());
     } else {
         // summary() already covers deadlock, retry, and fault lines
         print!("{}", r.summary());
@@ -769,8 +779,18 @@ fn sweep(f: &Flags) -> Result<(), String> {
         Some(s) => parse_points_spec(s, quick)?,
         None => SweepSpec::Grid {
             workload: f.require("workload")?.to_string(),
-            configs: protocol_configs
-                .unwrap_or_else(|| f.list("config", &["wbi", "cbl", "bc-cbl"])),
+            configs: match protocol_configs {
+                Some(ps) => ps,
+                None => {
+                    let cs = f.list("config", &["wbi", "cbl", "bc-cbl"]);
+                    if f.get("config").is_some() {
+                        for c in &cs {
+                            warn_config_deprecated(c);
+                        }
+                    }
+                    cs
+                }
+            },
             nodes: parse_nodes(&f.list(
                 "nodes",
                 if quick {
@@ -981,6 +1001,27 @@ fn sweep(f: &Flags) -> Result<(), String> {
         }
         std::process::exit(1);
     }
+    // Differential gate: diff this sweep's artifact against a committed
+    // baseline (perfguard's key classes decide what may move).
+    if let Some(base_path) = f.get("diff-against") {
+        let base = ssmp_diff::Artifact::parse(&read_input(base_path)?)
+            .map_err(|e| format!("--diff-against {base_path}: {e}"))?;
+        let current = ssmp_diff::Artifact::parse(&sweep.to_json())
+            .map_err(|e| format!("internal error: sweep artifact unparseable: {e}"))?;
+        let policy = ssmp_diff::DiffPolicy {
+            tolerance: f.num::<f64>("tolerance", 0.5)?,
+        };
+        let d = ssmp_diff::Diff::between(&base, &current, base_path, "this sweep", &policy)?;
+        print!("{}", d.render(f.num::<usize>("top", 8)?));
+        let violations = d.violations();
+        if !violations.is_empty() {
+            eprintln!("{} violation(s) against {base_path}:", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
     Ok(())
 }
 
@@ -1134,14 +1175,71 @@ fn trace_replay(f: &Flags) -> Result<(), String> {
     write_spans_out(&r, f)
 }
 
+/// Reads an input operand; `-` reads stdin so pipelines compose
+/// (`ssmp run --json ... | ssmp diff baseline.json -`).
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        use std::io::Read as _;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// `ssmp diff <a> <b>`: aligns two artifacts of the same kind (run
+/// reports, sweeps, profiles, span sets) and explains where the cycles,
+/// messages, and contention moved. `--json`/`--out` emit the
+/// deterministic `ssmp-diff-v1` document; `--gate` exits 1 on policy
+/// violations.
+fn diff(pos: &[String], f: &Flags) -> Result<(), String> {
+    let [a_path, b_path] = pos else {
+        return Err(format!(
+            "diff needs exactly two artifact paths (got {}): ssmp diff <a> <b>",
+            pos.len()
+        ));
+    };
+    let a =
+        ssmp_diff::Artifact::parse(&read_input(a_path)?).map_err(|e| format!("{a_path}: {e}"))?;
+    let b =
+        ssmp_diff::Artifact::parse(&read_input(b_path)?).map_err(|e| format!("{b_path}: {e}"))?;
+    let policy = ssmp_diff::DiffPolicy {
+        tolerance: f.num::<f64>("tolerance", 0.5)?,
+    };
+    let d = ssmp_diff::Diff::between(&a, &b, a_path, b_path, &policy)?;
+    if f.has("json") {
+        println!("{}", d.to_json().render());
+    } else {
+        print!("{}", d.render(f.num::<usize>("top", 8)?));
+    }
+    if let Some(out) = f.get("out") {
+        std::fs::write(out, d.to_json().render() + "\n")
+            .map_err(|e| format!("--out {out}: {e}"))?;
+    }
+    if f.has("gate") {
+        let violations = d.violations();
+        if !violations.is_empty() {
+            eprintln!("{} violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}
+
 /// Folds a `--trace` JSONL file into the same `ssmp-profile-v1` profile
 /// a live `--profile` run produces — byte-identical JSON, so the two
 /// paths can be diffed against each other (and are, in CI).
 fn analyze(f: &Flags) -> Result<(), String> {
     let path = f.require("in")?;
-    let file = std::fs::File::open(path).map_err(|e| format!("--in {path}: {e}"))?;
-    let profile = ssmp_profile::Profile::from_jsonl(std::io::BufReader::new(file))
-        .map_err(|e| format!("{path}: {e}"))?;
+    let text = read_input(path).map_err(|e| format!("--in {e}"))?;
+    let profile =
+        ssmp_profile::Profile::from_jsonl(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
     if f.has("json") {
         println!("{}", profile.to_json().render());
     } else {
@@ -1160,9 +1258,9 @@ fn analyze(f: &Flags) -> Result<(), String> {
 /// can be diffed against each other (and are, in CI).
 fn spans(f: &Flags) -> Result<(), String> {
     let path = f.require("in")?;
-    let file = std::fs::File::open(path).map_err(|e| format!("--in {path}: {e}"))?;
-    let set = ssmp_span::SpanSet::from_jsonl(std::io::BufReader::new(file))
-        .map_err(|e| format!("{path}: {e}"))?;
+    let text = read_input(path).map_err(|e| format!("--in {e}"))?;
+    let set =
+        ssmp_span::SpanSet::from_jsonl(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
     if f.has("json") {
         println!("{}", set.to_json().render());
     } else {
@@ -1183,8 +1281,9 @@ fn trace_stats(f: &Flags) -> Result<(), String> {
     use ssmp_engine::Json;
     use std::collections::BTreeMap;
     let path = f.require("in")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("--in {path}: {e}"))?;
+    let text = read_input(path).map_err(|e| format!("--in {e}"))?;
     let validate = f.has("validate");
+    let json = f.has("json");
     // Both formats start with '{'; only a Chrome-trace file is a single
     // document with a traceEvents array (JSONL events never carry that key).
     let chrome = text
@@ -1205,6 +1304,23 @@ fn trace_stats(f: &Flags) -> Result<(), String> {
             if validate && ev.get("ph").is_none() {
                 return Err(format!("{path}: trace event without a 'ph' field"));
             }
+        }
+        if json {
+            let doc = Json::Obj(vec![
+                ("format".into(), Json::str("chrome-trace")),
+                ("events".into(), Json::num(events.len() as u64)),
+                (
+                    "by_phase".into(),
+                    Json::Obj(
+                        by_phase
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::num(*v)))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            println!("{}", doc.render());
+            return Ok(());
         }
         println!("chrome-trace: {} events", events.len());
         for (ph, n) in &by_phase {
@@ -1243,6 +1359,53 @@ fn trace_stats(f: &Flags) -> Result<(), String> {
             last = last.max(c);
         }
     }
+    // Span-stitching health: re-fold the stream through the span
+    // stitcher so a truncated or filtered trace is diagnosed here
+    // before anyone trusts `ssmp spans` output built from it.
+    let h = ssmp_span::SpanSet::from_jsonl(text.as_bytes())
+        .map_err(|e| format!("{path}: {e}"))?
+        .health();
+    if json {
+        let mut fields = vec![
+            ("format".to_string(), Json::str("jsonl")),
+            ("events".into(), Json::num(total)),
+            (
+                "cycles".into(),
+                Json::Obj(vec![
+                    ("first".into(), Json::num(first.unwrap_or(0))),
+                    ("last".into(), Json::num(last)),
+                ]),
+            ),
+            (
+                "by_key".into(),
+                Json::Obj(
+                    by_key
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "span_stitching".into(),
+                Json::Obj(vec![
+                    ("spans".into(), Json::num(h.spans)),
+                    ("orphan_begins".into(), Json::num(h.orphan_begins)),
+                    ("orphan_ends".into(), Json::num(h.orphan_ends)),
+                    ("links".into(), Json::num(h.links)),
+                    ("dangling_links".into(), Json::num(h.dangling_links)),
+                    ("wires".into(), Json::num(h.wires)),
+                    ("undelivered_wires".into(), Json::num(h.undelivered_wires)),
+                    ("unmatched_delivers".into(), Json::num(h.unmatched_delivers)),
+                    ("clean".into(), Json::Bool(h.clean())),
+                ]),
+            ),
+        ];
+        if validate {
+            fields.push(("validation".into(), Json::str("ok")));
+        }
+        println!("{}", Json::Obj(fields).render());
+        return Ok(());
+    }
     println!(
         "jsonl: {} events over cycles {}..{}",
         total,
@@ -1252,12 +1415,6 @@ fn trace_stats(f: &Flags) -> Result<(), String> {
     for (k, n) in &by_key {
         println!("  {k}: {n}");
     }
-    // Span-stitching health: re-fold the stream through the span
-    // stitcher so a truncated or filtered trace is diagnosed here
-    // before anyone trusts `ssmp spans` output built from it.
-    let h = ssmp_span::SpanSet::from_jsonl(text.as_bytes())
-        .map_err(|e| format!("{path}: {e}"))?
-        .health();
     println!(
         "span stitching: spans={} orphan-begins={} orphan-ends={} links={} \
          dangling-links={} wires={} undelivered={} unmatched-delivers={} -> {}",

@@ -571,6 +571,23 @@ impl Histogram {
     }
 }
 
+/// Exact nearest-rank quantile over an ascending-sorted slice: the
+/// smallest value with at least `ceil(q·n)` observations at or below it.
+/// Returns 0 for an empty slice.
+///
+/// This is the one exact-percentile definition shared by the span layer's
+/// per-type latency quantiles and the diff engine's distribution
+/// comparison — unlike [`Histogram::quantile_bound`], which returns the
+/// power-of-two *bucket upper bound* the quantile sample falls in.
+pub fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -776,6 +793,71 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.quantile_bound(0.5), None);
         assert_eq!(h.mean(), None);
+    }
+
+    // Percentile edge cases, pinned for every consumer of the two quantile
+    // definitions: report summaries (Histogram::quantile_bound — bucket
+    // upper bounds) and the span/diff distribution comparison
+    // (nearest_rank — exact values).
+
+    #[test]
+    fn histogram_single_sample_quantiles() {
+        let mut h = Histogram::new();
+        h.record(5); // bucket 2 holds 3..=6, upper bound 6
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile_bound(q), Some(6), "q={q}");
+        }
+        assert_eq!(h.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_all_equal_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(7); // bucket 3 holds 7..=14, upper bound 14
+        }
+        assert_eq!(h.p50(), Some(14));
+        assert_eq!(h.p999(), Some(14));
+        assert_eq!(h.mean(), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_zero_sample_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0 holds exactly x == 0, upper bound 0
+        assert_eq!(h.p50(), Some(0));
+        assert_eq!(h.quantile_bound(1.0), Some(0));
+    }
+
+    #[test]
+    fn nearest_rank_empty_is_zero() {
+        assert_eq!(nearest_rank(&[], 0.5), 0);
+        assert_eq!(nearest_rank(&[], 0.999), 0);
+    }
+
+    #[test]
+    fn nearest_rank_single_sample_every_quantile() {
+        for q in [0.0, 0.5, 0.95, 0.999, 1.0] {
+            assert_eq!(nearest_rank(&[42], q), 42, "q={q}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_all_equal() {
+        let xs = [9u64; 50];
+        assert_eq!(nearest_rank(&xs, 0.5), 9);
+        assert_eq!(nearest_rank(&xs, 0.999), 9);
+    }
+
+    #[test]
+    fn nearest_rank_exact_semantics_pinned() {
+        // smallest value with at least ceil(q·n) observations at or below
+        let xs = [1, 2, 3, 4];
+        assert_eq!(nearest_rank(&xs, 0.50), 2); // rank ceil(2.0) = 2
+        assert_eq!(nearest_rank(&xs, 0.51), 3); // rank ceil(2.04) = 3
+        assert_eq!(nearest_rank(&xs, 0.0), 1); // rank clamps to 1
+        assert_eq!(nearest_rank(&xs, 1.0), 4);
+        assert_eq!(nearest_rank(&[10, 20, 30], 0.999), 30);
     }
 
     proptest! {

@@ -200,6 +200,88 @@ impl Report {
         self.counters.sum_prefix(prefix)
     }
 
+    /// The stable JSON report (`ssmp run --json` prints exactly this).
+    ///
+    /// This is the serde-stable comparison surface: `ssmp diff` aligns two
+    /// of these documents field by field, so every key here is part of the
+    /// artifact contract. Deterministic: counters and stall buckets are
+    /// ordered maps, embedded profile/span documents render through their
+    /// own stable schemas.
+    pub fn to_json(&self) -> ssmp_engine::Json {
+        use ssmp_engine::Json;
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::num(v)))
+            .collect();
+        let stall_breakdown = self
+            .stall_breakdown
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::num(*v)))
+            .collect();
+        let mut fields = vec![
+            ("protocol".into(), Json::str(self.protocol)),
+            ("completion_cycles".into(), Json::num(self.completion)),
+            ("net_packets".into(), Json::num(self.net_packets)),
+            ("net_words".into(), Json::num(self.net_words)),
+            ("net_queueing".into(), Json::num(self.net_queueing)),
+            ("net_max_transit".into(), Json::num(self.net_max_transit)),
+            ("messages".into(), Json::num(self.total_messages())),
+            (
+                "lock_acquisitions".into(),
+                Json::num(self.lock_wait.count()),
+            ),
+            (
+                "lock_wait_mean".into(),
+                Json::num(self.lock_wait.mean().unwrap_or(0.0)),
+            ),
+            (
+                "lock_wait_p50".into(),
+                Json::num(self.lock_wait.p50().unwrap_or(0)),
+            ),
+            (
+                "lock_wait_p95".into(),
+                Json::num(self.lock_wait.p95().unwrap_or(0)),
+            ),
+            (
+                "lock_wait_p99".into(),
+                Json::num(self.lock_wait.p99().unwrap_or(0)),
+            ),
+            ("deadlocked".into(), Json::Bool(self.deadlock.is_some())),
+            (
+                "retries".into(),
+                Json::num(self.retries.iter().sum::<u64>()),
+            ),
+            (
+                "retries_per_node".into(),
+                Json::Arr(self.retries.iter().map(|&n| Json::num(n)).collect()),
+            ),
+            ("stall_breakdown".into(), Json::Obj(stall_breakdown)),
+            ("counters".into(), Json::Obj(counters)),
+        ];
+        if let Some(fs) = &self.faults {
+            fields.push((
+                "faults".into(),
+                Json::Obj(vec![
+                    ("inspected".into(), Json::num(fs.inspected)),
+                    ("dropped".into(), Json::num(fs.dropped)),
+                    ("duplicated".into(), Json::num(fs.duplicated)),
+                    ("delayed".into(), Json::num(fs.delayed)),
+                ]),
+            ));
+        }
+        if let Some(m) = &self.metrics {
+            fields.push(("metrics".into(), m.to_json()));
+        }
+        if let Some(p) = &self.profile {
+            fields.push(("profile".into(), p.to_json()));
+        }
+        if let Some(sp) = &self.spans {
+            fields.push(("spans".into(), sp.to_json()));
+        }
+        Json::Obj(fields)
+    }
+
     /// All protocol messages.
     pub fn total_messages(&self) -> u64 {
         self.counters.sum_prefix("msg.")

@@ -51,17 +51,11 @@ pub const SCHEMA: &str = "ssmp-span-v1";
 /// segment sum equals the span's duration.
 pub const SEGMENTS: [&str; 7] = ["issue", "wbuf", "net", "mem", "queue", "complete", "local"];
 
-/// Exact nearest-rank quantile over an ascending-sorted slice:
-/// the smallest value with at least `ceil(q·n)` observations at or
-/// below it. Returns 0 for an empty slice.
-pub fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let n = sorted.len();
-    let rank = (q * n as f64).ceil() as usize;
-    sorted[rank.clamp(1, n) - 1]
-}
+/// Exact nearest-rank quantile — the engine's shared definition, re-exported
+/// so span consumers keep their historical import path. The diff engine's
+/// distribution comparison uses the same function, so both layers pin
+/// identical percentile semantics.
+pub use ssmp_engine::stats::nearest_rank;
 
 /// One wire (a routed protocol message) observed on the interconnect.
 #[derive(Debug, Clone, PartialEq, Eq)]
